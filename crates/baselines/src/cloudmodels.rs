@@ -1,0 +1,150 @@
+//! Latency/throughput models for the six systems of Fig. 10.
+//!
+//! These are calibrated to the paper's own Fig. 10 curves (measured from
+//! an AWS Lambda client with pipelining disabled), reusing the tier
+//! models in [`jiffy_persistent::tiers`]. Jiffy itself is *measured*
+//! (in-process data path + modeled datacenter RTT) by the
+//! `fig10_sixsystems` harness; its model here provides the comparison
+//! line and a cross-check.
+
+use std::time::Duration;
+
+use jiffy_persistent::tiers;
+use jiffy_persistent::CostModel;
+
+/// One compared system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum System {
+    /// Amazon S3 (persistent object store).
+    S3,
+    /// DynamoDB (persistent KV; 128 KB object cap in the paper's runs).
+    DynamoDb,
+    /// Apache Crail (in-memory, RDMA-oriented).
+    Crail,
+    /// Amazon ElastiCache (in-memory Redis).
+    Elasticache,
+    /// Pocket's DRAM tier.
+    Pocket,
+    /// Jiffy.
+    Jiffy,
+}
+
+impl System {
+    /// All six, in the paper's legend order.
+    pub const ALL: [System; 6] = [
+        System::S3,
+        System::DynamoDb,
+        System::Crail,
+        System::Elasticache,
+        System::Pocket,
+        System::Jiffy,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::S3 => "S3",
+            Self::DynamoDb => "DynamoDB",
+            Self::Crail => "Apache Crail",
+            Self::Elasticache => "ElastiCache",
+            Self::Pocket => "Pocket",
+            Self::Jiffy => "Jiffy",
+        }
+    }
+
+    /// Read-path cost model.
+    pub fn read_model(&self) -> CostModel {
+        match self {
+            Self::S3 => tiers::s3_read(),
+            Self::DynamoDb => tiers::dynamodb_read(),
+            // In-memory systems differ mainly in RPC overhead: Crail's
+            // is the leanest; Redis adds protocol parsing; Pocket sits
+            // between; Jiffy's optimized framed RPC matches Crail's
+            // ballpark (paper: "Jiffy matches state-of-the-art stores").
+            Self::Crail => CostModel::new(Duration::from_micros(130), 1150.0),
+            Self::Elasticache => CostModel::new(Duration::from_micros(230), 1000.0),
+            Self::Pocket => CostModel::new(Duration::from_micros(180), 1100.0),
+            Self::Jiffy => CostModel::new(Duration::from_micros(140), 1150.0),
+        }
+    }
+
+    /// Write-path cost model.
+    pub fn write_model(&self) -> CostModel {
+        match self {
+            Self::S3 => tiers::s3_write(),
+            Self::DynamoDb => tiers::dynamodb_write(),
+            Self::Crail => CostModel::new(Duration::from_micros(140), 1100.0),
+            Self::Elasticache => CostModel::new(Duration::from_micros(240), 950.0),
+            Self::Pocket => CostModel::new(Duration::from_micros(190), 1050.0),
+            Self::Jiffy => CostModel::new(Duration::from_micros(150), 1100.0),
+        }
+    }
+
+    /// Largest object the system accepts (Fig. 10 stops DynamoDB's
+    /// curve at 128 KB).
+    pub fn max_object(&self) -> Option<u64> {
+        match self {
+            Self::DynamoDb => Some(tiers::DYNAMODB_MAX_OBJECT),
+            _ => None,
+        }
+    }
+
+    /// Whether the system serves from DRAM (sub-millisecond band in
+    /// Fig. 10a).
+    pub fn is_in_memory(&self) -> bool {
+        matches!(
+            self,
+            Self::Crail | Self::Elasticache | Self::Pocket | Self::Jiffy
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig10_small_object_bands() {
+        // Paper Fig. 10(a): in-memory stores sub-ms, persistent stores
+        // ≥ millisecond for 8 B objects.
+        for sys in System::ALL {
+            let lat = sys.read_model().cost(8);
+            if sys.is_in_memory() {
+                assert!(lat < Duration::from_millis(1), "{}: {lat:?}", sys.name());
+            } else {
+                assert!(lat >= Duration::from_millis(1), "{}: {lat:?}", sys.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_ordering_matches_the_paper() {
+        // Jiffy ≲ Crail < Pocket < ElastiCache ≪ DynamoDB < S3 for
+        // small-object reads.
+        let lat = |s: System| s.read_model().cost(128);
+        assert!(lat(System::Jiffy) <= lat(System::Pocket));
+        assert!(lat(System::Pocket) < lat(System::Elasticache));
+        assert!(lat(System::Elasticache) < lat(System::DynamoDb));
+        assert!(lat(System::DynamoDb) < lat(System::S3));
+    }
+
+    #[test]
+    fn large_objects_converge_on_bandwidth() {
+        // Fig. 10(b): at 128 MB all in-memory systems reach ~1 GB/s-
+        // class throughput (tens of MBPS on the paper's per-op plot is
+        // single-threaded without pipelining; our model reports the
+        // effective single-stream rate).
+        for sys in [System::Jiffy, System::Pocket, System::Crail] {
+            let mbps = sys.read_model().effective_mbps(128 << 20);
+            assert!(mbps > 800.0, "{}: {mbps}", sys.name());
+        }
+        let s3 = System::S3.read_model().effective_mbps(128 << 20);
+        assert!(s3 < 100.0);
+    }
+
+    #[test]
+    fn dynamodb_caps_object_size() {
+        assert_eq!(System::DynamoDb.max_object(), Some(128 * 1024));
+        assert_eq!(System::Jiffy.max_object(), None);
+    }
+}

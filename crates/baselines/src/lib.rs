@@ -1,0 +1,20 @@
+//! Comparator systems for the Jiffy evaluation.
+//!
+//! Fig. 9 compares three *allocation policies* over identical hardware:
+//! ElastiCache-style static provisioning, Pocket-style job-granularity
+//! reservation, and Jiffy's block-granularity multiplexing. The paper
+//! runs the real systems; we reimplement each policy as a deterministic
+//! state machine over virtual time ([`policy`]) and let the
+//! discrete-event simulator drive all three with the same trace.
+//!
+//! Fig. 10 compares service latencies of six storage systems from a
+//! Lambda client. Five of them are cloud services we cannot call from
+//! this environment; [`cloudmodels`] provides latency/throughput models
+//! calibrated to the paper's own measurements (and Jiffy is measured
+//! for real by the benchmark harness, with the model kept alongside for
+//! cross-checking).
+
+pub mod cloudmodels;
+pub mod policy;
+
+pub use policy::{AllocationPolicy, ElasticachePolicy, JiffyPolicy, Placement, PocketPolicy, Tier};

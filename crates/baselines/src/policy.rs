@@ -1,0 +1,515 @@
+//! Allocation policies compared in Fig. 9, as deterministic state
+//! machines over virtual time.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+
+/// Where intermediate bytes landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// The far-memory DRAM pool.
+    Dram,
+    /// The flash spill tier (Pocket, Jiffy overflow).
+    Ssd,
+    /// S3 (ElastiCache overflow, lease-expiry flush target).
+    S3,
+}
+
+/// How an acquisition was satisfied: `dram` bytes in memory, `spill`
+/// bytes on the policy's spill tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Placement {
+    /// Bytes granted in DRAM.
+    pub dram: u64,
+    /// Bytes that overflowed to the spill tier.
+    pub spill: u64,
+    /// Blocks backing the DRAM grant (Jiffy only; 0 elsewhere). Echoed
+    /// back on release so block accounting stays exact under partial
+    /// block occupancy.
+    pub blocks: u64,
+}
+
+impl Placement {
+    /// Total bytes covered.
+    pub fn total(&self) -> u64 {
+        self.dram + self.spill
+    }
+}
+
+/// An intermediate-data allocation policy (one per compared system).
+///
+/// The simulator calls these with monotonically non-decreasing `now`
+/// values; policies may use time for deferred reclamation (Jiffy's
+/// leases).
+pub trait AllocationPolicy: Send {
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str;
+
+    /// A job registers; `declared_peak` is the demand the job states at
+    /// submission (used only by reservation-based policies), and
+    /// `tenant` identifies the owning tenant (used only by statically
+    /// partitioned policies).
+    fn job_arrives(&mut self, now: Duration, job: u64, tenant: u32, declared_peak: u64);
+
+    /// The job needs `bytes` more live intermediate storage.
+    fn acquire(&mut self, now: Duration, job: u64, bytes: u64) -> Placement;
+
+    /// The job no longer needs a previously acquired placement.
+    fn release(&mut self, now: Duration, job: u64, placement: Placement);
+
+    /// The job deregisters; all of its holdings return.
+    fn job_departs(&mut self, now: Duration, job: u64);
+
+    /// Bytes of intermediate data currently resident in DRAM.
+    fn dram_used(&self, now: Duration) -> u64;
+
+    /// DRAM bytes currently *held* (reserved or allocated) and thus
+    /// unavailable to other jobs — the denominator of the utilization
+    /// metric.
+    fn dram_held(&self, now: Duration) -> u64;
+
+    /// The tier overflow goes to.
+    fn spill_tier(&self) -> Tier;
+}
+
+// ---------------------------------------------------------------------------
+// Jiffy
+// ---------------------------------------------------------------------------
+
+/// Jiffy's policy: a shared pool carved into fixed-size blocks,
+/// allocated on demand and reclaimed one lease period after release
+/// (§3). Overflow beyond pool capacity spills to flash, as in the
+/// paper's constrained-capacity runs.
+pub struct JiffyPolicy {
+    capacity: u64,
+    block_size: u64,
+    lease: Duration,
+    /// Per job: (live DRAM bytes, blocks backing them).
+    live: HashMap<u64, (u64, u64)>,
+    /// Blocks held per job, including lease-lagged ones.
+    held_blocks: u64,
+    /// Blocks pending reclamation: expiry time → blocks.
+    pending_free: BTreeMap<Duration, u64>,
+    used: u64,
+}
+
+impl JiffyPolicy {
+    /// Creates the policy with the paper's defaults scaled to
+    /// `capacity`.
+    pub fn new(capacity: u64, block_size: u64, lease: Duration) -> Self {
+        Self {
+            capacity,
+            block_size,
+            lease,
+            live: HashMap::new(),
+            held_blocks: 0,
+            pending_free: BTreeMap::new(),
+            used: 0,
+        }
+    }
+
+    fn expire(&mut self, now: Duration) {
+        let due: Vec<Duration> = self.pending_free.range(..=now).map(|(t, _)| *t).collect();
+        for t in due {
+            let blocks = self.pending_free.remove(&t).expect("present");
+            self.held_blocks -= blocks;
+        }
+    }
+
+    fn blocks_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.block_size)
+    }
+}
+
+impl AllocationPolicy for JiffyPolicy {
+    fn name(&self) -> &'static str {
+        "jiffy"
+    }
+
+    fn job_arrives(&mut self, now: Duration, job: u64, _tenant: u32, _declared_peak: u64) {
+        self.expire(now);
+        self.live.insert(job, (0, 0));
+    }
+
+    fn acquire(&mut self, now: Duration, job: u64, bytes: u64) -> Placement {
+        self.expire(now);
+        let free_blocks = (self.capacity / self.block_size).saturating_sub(self.held_blocks);
+        let need_blocks = self.blocks_for(bytes);
+        let granted_blocks = need_blocks.min(free_blocks);
+        let dram = (granted_blocks * self.block_size).min(bytes);
+        let spill = bytes - dram;
+        self.held_blocks += granted_blocks;
+        self.used += dram;
+        let entry = self.live.entry(job).or_insert((0, 0));
+        entry.0 += dram;
+        entry.1 += granted_blocks;
+        Placement {
+            dram,
+            spill,
+            blocks: granted_blocks,
+        }
+    }
+
+    fn release(&mut self, now: Duration, job: u64, placement: Placement) {
+        self.expire(now);
+        let entry = self.live.entry(job).or_insert((0, 0));
+        let dram = placement.dram.min(entry.0);
+        let blocks = placement.blocks.min(entry.1);
+        entry.0 -= dram;
+        entry.1 -= blocks;
+        self.used -= dram;
+        // Blocks stay held until the lease lapses (the job stopped
+        // renewing this prefix when it released the data).
+        if blocks > 0 {
+            *self.pending_free.entry(now + self.lease).or_insert(0) += blocks;
+        }
+    }
+
+    fn job_departs(&mut self, now: Duration, job: u64) {
+        self.expire(now);
+        if let Some((live, blocks)) = self.live.remove(&job) {
+            self.used -= live;
+            if blocks > 0 {
+                *self.pending_free.entry(now + self.lease).or_insert(0) += blocks;
+            }
+        }
+    }
+
+    fn dram_used(&self, _now: Duration) -> u64 {
+        self.used
+    }
+
+    fn dram_held(&self, _now: Duration) -> u64 {
+        (self.held_blocks * self.block_size).min(self.capacity)
+    }
+
+    fn spill_tier(&self) -> Tier {
+        Tier::Ssd
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pocket
+// ---------------------------------------------------------------------------
+
+/// Pocket's policy: at registration a job reserves DRAM equal to its
+/// declared demand (its peak — Fig. 1 in the Pocket paper) for its
+/// whole lifetime; the reservation is capped by what is currently free.
+/// Data beyond the job's DRAM reservation spills to flash.
+pub struct PocketPolicy {
+    capacity: u64,
+    /// job → (reservation, live bytes in DRAM).
+    jobs: HashMap<u64, (u64, u64)>,
+    reserved: u64,
+    used: u64,
+}
+
+impl PocketPolicy {
+    /// Creates the policy over `capacity` bytes of DRAM.
+    pub fn new(capacity: u64) -> Self {
+        Self {
+            capacity,
+            jobs: HashMap::new(),
+            reserved: 0,
+            used: 0,
+        }
+    }
+}
+
+impl AllocationPolicy for PocketPolicy {
+    fn name(&self) -> &'static str {
+        "pocket"
+    }
+
+    fn job_arrives(&mut self, _now: Duration, job: u64, _tenant: u32, declared_peak: u64) {
+        let free = self.capacity - self.reserved;
+        let reservation = declared_peak.min(free);
+        self.reserved += reservation;
+        self.jobs.insert(job, (reservation, 0));
+    }
+
+    fn acquire(&mut self, _now: Duration, job: u64, bytes: u64) -> Placement {
+        let (reservation, live) = self.jobs.get_mut(&job).copied().map_or((0, 0), |v| v);
+        let headroom = reservation.saturating_sub(live);
+        let dram = bytes.min(headroom);
+        let spill = bytes - dram;
+        if let Some(entry) = self.jobs.get_mut(&job) {
+            entry.1 += dram;
+        }
+        self.used += dram;
+        Placement {
+            dram,
+            spill,
+            blocks: 0,
+        }
+    }
+
+    fn release(&mut self, _now: Duration, job: u64, placement: Placement) {
+        if let Some(entry) = self.jobs.get_mut(&job) {
+            let dram = placement.dram.min(entry.1);
+            entry.1 -= dram;
+            self.used -= dram;
+        }
+        // The reservation itself is NOT returned: Pocket holds it until
+        // the job deregisters — exactly the waste Fig. 9(b) shows.
+    }
+
+    fn job_departs(&mut self, _now: Duration, job: u64) {
+        if let Some((reservation, live)) = self.jobs.remove(&job) {
+            self.reserved -= reservation;
+            self.used -= live;
+        }
+    }
+
+    fn dram_used(&self, _now: Duration) -> u64 {
+        self.used
+    }
+
+    fn dram_held(&self, _now: Duration) -> u64 {
+        self.reserved
+    }
+
+    fn spill_tier(&self) -> Tier {
+        Tier::Ssd
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ElastiCache
+// ---------------------------------------------------------------------------
+
+/// ElastiCache-style static provisioning: the cluster's capacity is
+/// provisioned up front and partitioned across tenants (the paper's
+/// "systems that provision resources for all jobs"; ElastiCache has no
+/// multi-tenant elasticity and no secondary tier). A tenant's jobs
+/// share its static slice; overflow goes to S3.
+pub struct ElasticachePolicy {
+    capacity: u64,
+    tenants: u32,
+    /// Optional per-tenant capacity weights (normalized); `None` means
+    /// equal slices.
+    weights: Option<Vec<f64>>,
+    /// tenant → live bytes in its slice.
+    tenant_live: HashMap<u32, u64>,
+    job_tenant: HashMap<u64, u32>,
+    used: u64,
+}
+
+impl ElasticachePolicy {
+    /// Creates the policy with `capacity` split evenly over `tenants`.
+    pub fn new(capacity: u64, tenants: u32) -> Self {
+        Self {
+            capacity,
+            tenants: tenants.max(1),
+            weights: None,
+            tenant_live: HashMap::new(),
+            job_tenant: HashMap::new(),
+            used: 0,
+        }
+    }
+
+    /// Provisions slices proportional to `weights` (e.g. each tenant's
+    /// historical peak — how a capacity planner would size dedicated
+    /// clusters). Weights are normalized internally.
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Self {
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            self.weights = Some(weights.into_iter().map(|w| w / total).collect());
+        }
+        self
+    }
+
+    fn slice(&self, tenant: u32) -> u64 {
+        match &self.weights {
+            Some(w) => {
+                let frac = w.get(tenant as usize).copied().unwrap_or(0.0);
+                (self.capacity as f64 * frac) as u64
+            }
+            None => self.capacity / u64::from(self.tenants),
+        }
+    }
+}
+
+impl AllocationPolicy for ElasticachePolicy {
+    fn name(&self) -> &'static str {
+        "elasticache"
+    }
+
+    fn job_arrives(&mut self, _now: Duration, job: u64, tenant: u32, _declared_peak: u64) {
+        self.job_tenant.insert(job, tenant);
+        self.tenant_live.entry(tenant).or_insert(0);
+    }
+
+    fn acquire(&mut self, _now: Duration, job: u64, bytes: u64) -> Placement {
+        let tenant = self.job_tenant.get(&job).copied().unwrap_or(0);
+        let slice = self.slice(tenant);
+        let live = self.tenant_live.entry(tenant).or_insert(0);
+        let headroom = slice.saturating_sub(*live);
+        let dram = bytes.min(headroom);
+        let spill = bytes - dram;
+        *live += dram;
+        self.used += dram;
+        Placement {
+            dram,
+            spill,
+            blocks: 0,
+        }
+    }
+
+    fn release(&mut self, _now: Duration, job: u64, placement: Placement) {
+        let tenant = self.job_tenant.get(&job).copied().unwrap_or(0);
+        if let Some(live) = self.tenant_live.get_mut(&tenant) {
+            let dram = placement.dram.min(*live);
+            *live -= dram;
+            self.used -= dram;
+        }
+    }
+
+    fn job_departs(&mut self, _now: Duration, job: u64) {
+        self.job_tenant.remove(&job);
+    }
+
+    fn dram_used(&self, _now: Duration) -> u64 {
+        self.used
+    }
+
+    fn dram_held(&self, _now: Duration) -> u64 {
+        // The whole cluster is provisioned regardless of demand.
+        self.capacity
+    }
+
+    fn spill_tier(&self) -> Tier {
+        Tier::S3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1 << 20;
+
+    fn t(secs: u64) -> Duration {
+        Duration::from_secs(secs)
+    }
+
+    #[test]
+    fn jiffy_multiplexes_the_pool_across_jobs() {
+        let mut p = JiffyPolicy::new(100 * MB, MB, Duration::from_secs(1));
+        p.job_arrives(t(0), 1, 0, u64::MAX);
+        p.job_arrives(t(0), 2, 0, u64::MAX);
+        // Job 1 takes 80 MB, releases it; after the lease, job 2 can
+        // take 80 MB too.
+        let a = p.acquire(t(0), 1, 80 * MB);
+        assert_eq!((a.dram, a.spill), (80 * MB, 0));
+        p.release(t(1), 1, a);
+        // Within the lease window the blocks are still held.
+        assert!(p.dram_held(t(1)) >= 80 * MB);
+        let b = p.acquire(t(3), 2, 80 * MB);
+        assert_eq!(b.spill, 0, "lease expired, blocks recycled");
+        assert_eq!(p.dram_used(t(3)), 80 * MB);
+    }
+
+    #[test]
+    fn jiffy_spills_only_beyond_capacity() {
+        let mut p = JiffyPolicy::new(10 * MB, MB, Duration::from_secs(1));
+        p.job_arrives(t(0), 1, 0, u64::MAX);
+        let a = p.acquire(t(0), 1, 15 * MB);
+        assert_eq!(a.dram, 10 * MB);
+        assert_eq!(a.spill, 5 * MB);
+    }
+
+    #[test]
+    fn jiffy_rounds_to_blocks() {
+        let mut p = JiffyPolicy::new(10 * MB, MB, Duration::from_secs(1));
+        p.job_arrives(t(0), 1, 0, 0);
+        p.acquire(t(0), 1, MB / 2);
+        // Half a block used, one block held.
+        assert_eq!(p.dram_used(t(0)), MB / 2);
+        assert_eq!(p.dram_held(t(0)), MB);
+    }
+
+    #[test]
+    fn pocket_reserves_at_registration_and_wastes_idle_reservation() {
+        let mut p = PocketPolicy::new(100 * MB);
+        p.job_arrives(t(0), 1, 0, 70 * MB);
+        // Nothing used yet, but 70 MB are gone from the pool.
+        assert_eq!(p.dram_used(t(0)), 0);
+        assert_eq!(p.dram_held(t(0)), 70 * MB);
+        // A second job can only reserve the remainder.
+        p.job_arrives(t(0), 2, 0, 70 * MB);
+        assert_eq!(p.dram_held(t(0)), 100 * MB);
+        let b = p.acquire(t(0), 2, 70 * MB);
+        assert_eq!(b.dram, 30 * MB, "only the leftover reservation");
+        assert_eq!(b.spill, 40 * MB);
+        // Job 1's departure frees its reservation.
+        p.job_departs(t(1), 1);
+        assert_eq!(p.dram_held(t(1)), 30 * MB);
+    }
+
+    #[test]
+    fn pocket_release_returns_headroom_to_the_same_job_only() {
+        let mut p = PocketPolicy::new(100 * MB);
+        p.job_arrives(t(0), 1, 0, 50 * MB);
+        let a = p.acquire(t(0), 1, 50 * MB);
+        assert_eq!(a.spill, 0);
+        p.release(t(1), 1, a);
+        assert_eq!(p.dram_used(t(1)), 0);
+        // Reservation still held.
+        assert_eq!(p.dram_held(t(1)), 50 * MB);
+        // The same job can reuse its reservation.
+        let b = p.acquire(t(2), 1, 50 * MB);
+        assert_eq!(b.spill, 0);
+    }
+
+    #[test]
+    fn elasticache_partitions_capacity_per_tenant() {
+        let mut p = ElasticachePolicy::new(100 * MB, 4);
+        p.job_arrives(t(0), 1, 0, 0);
+        p.job_arrives(t(0), 2, 1, 0);
+        // Tenant 0's slice is 25 MB; beyond that goes to S3 even though
+        // other slices are idle.
+        let a = p.acquire(t(0), 1, 40 * MB);
+        assert_eq!(a.dram, 25 * MB);
+        assert_eq!(a.spill, 15 * MB);
+        // Tenant 1 has its own slice.
+        let b = p.acquire(t(0), 2, 20 * MB);
+        assert_eq!(b.spill, 0);
+        // The whole cluster counts as held.
+        assert_eq!(p.dram_held(t(0)), 100 * MB);
+        assert_eq!(p.spill_tier(), Tier::S3);
+    }
+
+    #[test]
+    fn accounting_balances_over_a_random_walk() {
+        let mut policies: Vec<Box<dyn AllocationPolicy>> = vec![
+            Box::new(JiffyPolicy::new(64 * MB, MB, Duration::from_millis(100))),
+            Box::new(PocketPolicy::new(64 * MB)),
+            Box::new(ElasticachePolicy::new(64 * MB, 4)),
+        ];
+        for p in &mut policies {
+            let mut placements: Vec<(u64, Placement)> = Vec::new();
+            let mut state = 0xDEADBEEFu64;
+            for step in 0..1000u64 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let now = Duration::from_millis(step * 10);
+                let job = (state >> 50) % 8;
+                match state % 4 {
+                    0 => p.job_arrives(now, job, (job % 3) as u32, 8 * MB),
+                    1 => {
+                        let pl = p.acquire(now, job, (state >> 33) % (4 * MB));
+                        placements.push((job, pl));
+                    }
+                    2 => {
+                        if let Some((j, pl)) = placements.pop() {
+                            p.release(now, j, pl);
+                        }
+                    }
+                    _ => p.job_departs(now, job),
+                }
+                // Invariants: used <= held <= ... (EC holds capacity).
+                assert!(p.dram_used(now) <= p.dram_held(now).max(64 * MB));
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Criterion micro-bench: wire-codec encode/decode throughput (the
+//! RPC-layer optimization of §4.2.2 depends on cheap serialization).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jiffy_common::BlockId;
+use jiffy_proto::{from_bytes, to_bytes, DataRequest, DsOp, Envelope};
+
+fn envelope(value_len: usize) -> Envelope {
+    Envelope::DataReq {
+        id: 42,
+        req: DataRequest::Op {
+            block: BlockId(7),
+            op: DsOp::Put {
+                key: b"benchmark-key".as_slice().into(),
+                value: vec![0xAB; value_len].into(),
+            },
+        },
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_codec");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for len in [64usize, 4096, 256 * 1024] {
+        let env = envelope(len);
+        let bytes = to_bytes(&env).unwrap();
+        group.throughput(criterion::Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(format!("encode_{len}B_value"), |b| {
+            b.iter(|| to_bytes(black_box(&env)).unwrap())
+        });
+        group.bench_function(format!("decode_{len}B_value"), |b| {
+            b.iter(|| from_bytes::<Envelope>(black_box(&bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Criterion micro-bench: controller operations (the Fig. 12 hot path —
+//! lease renewal with DAG propagation, address resolution, prefix
+//! lifecycle).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jiffy_common::clock::SystemClock;
+use jiffy_common::JiffyConfig;
+use jiffy_controller::{Controller, NoopDataPlane};
+use jiffy_persistent::MemObjectStore;
+use jiffy_proto::{ControlRequest, ControlResponse};
+use std::sync::Arc;
+
+fn bench_controller(c: &mut Criterion) {
+    let ctrl = Controller::new(
+        JiffyConfig::default(),
+        SystemClock::shared(),
+        Arc::new(NoopDataPlane),
+        Arc::new(MemObjectStore::new()),
+    );
+    ctrl.dispatch(ControlRequest::RegisterServer {
+        addr: "inproc:0".into(),
+        capacity_blocks: 1024,
+    })
+    .unwrap();
+    let job = match ctrl
+        .dispatch(ControlRequest::RegisterJob { name: "b".into() })
+        .unwrap()
+    {
+        ControlResponse::JobRegistered { job } => job,
+        other => panic!("{other:?}"),
+    };
+    // A 16-deep chain so renewal propagation has real work to do.
+    for i in 0..16 {
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: format!("t{i}"),
+            parents: if i == 0 {
+                vec![]
+            } else {
+                vec![format!("t{}", i - 1)]
+            },
+            ds: None,
+            initial_blocks: 0,
+        })
+        .unwrap();
+    }
+
+    let mut group = c.benchmark_group("controller_ops");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.bench_function("renew_lease_chain16", |b| {
+        b.iter(|| {
+            ctrl.dispatch(black_box(ControlRequest::RenewLease {
+                job,
+                name: "t8".into(),
+            }))
+            .unwrap()
+        })
+    });
+    group.bench_function("resolve_prefix", |b| {
+        b.iter(|| {
+            ctrl.dispatch(black_box(ControlRequest::ResolvePrefix {
+                job,
+                name: "t15".into(),
+            }))
+            .unwrap()
+        })
+    });
+    group.bench_function("resolve_dotted_path", |b| {
+        b.iter(|| {
+            ctrl.dispatch(black_box(ControlRequest::ResolvePrefix {
+                job,
+                name: "t13.t14.t15".into(),
+            }))
+            .unwrap()
+        })
+    });
+    let mut i = 0u64;
+    group.bench_function("create_remove_prefix", |b| {
+        b.iter(|| {
+            i += 1;
+            let name = format!("tmp{i}");
+            ctrl.dispatch(ControlRequest::CreatePrefix {
+                job,
+                name: name.clone(),
+                parents: vec![],
+                ds: None,
+                initial_blocks: 0,
+            })
+            .unwrap();
+            ctrl.dispatch(ControlRequest::RemovePrefix { job, name })
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_controller);
+criterion_main!(benches);

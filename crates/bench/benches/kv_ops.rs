@@ -1,0 +1,42 @@
+//! Criterion micro-bench: end-to-end KV operations through the real
+//! client -> memory-server path (the measured substrate behind Fig. 10's
+//! Jiffy rows).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+
+fn bench_kv(c: &mut Criterion) {
+    let cluster =
+        JiffyCluster::in_process(JiffyConfig::default()
+            .with_block_size(8 << 20)
+            // Hour-long leases: criterion's warmups must not race expiry.
+            .with_lease_duration(std::time::Duration::from_secs(3600)), 2, 16).unwrap();
+    let job = cluster.client().unwrap().register_job("bench").unwrap();
+    let kv = job.open_kv("kv", &[], 2).unwrap();
+
+    let mut group = c.benchmark_group("kv_ops");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for size in [8usize, 2048, 512 * 1024] {
+        let value = vec![0x5A; size];
+        kv.put(b"hot", &value).unwrap();
+        group.throughput(criterion::Throughput::Bytes(size as u64));
+        group.bench_function(format!("put_{size}B"), |b| {
+            b.iter(|| kv.put(black_box(b"hot"), black_box(&value)).unwrap())
+        });
+        group.bench_function(format!("get_{size}B"), |b| {
+            b.iter(|| kv.get(black_box(b"hot")).unwrap())
+        });
+    }
+    group.bench_function("delete_insert_8B", |b| {
+        b.iter(|| {
+            kv.put(b"churn", b"x").unwrap();
+            kv.delete(b"churn").unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kv);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-bench: queue and file operations through the real
+//! client path (the data channels of the §5 programming models).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+
+fn bench_queue_file(c: &mut Criterion) {
+    let cluster =
+        JiffyCluster::in_process(JiffyConfig::default()
+            .with_block_size(8 << 20)
+            // Hour-long leases: criterion's warmups must not race expiry.
+            .with_lease_duration(std::time::Duration::from_secs(3600)), 2, 64).unwrap();
+    let job = cluster.client().unwrap().register_job("bench").unwrap();
+
+    let mut group = c.benchmark_group("queue_file_ops");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+
+    let q = job.open_queue("q", &[]).unwrap();
+    let item = vec![0x11u8; 1024];
+    group.throughput(criterion::Throughput::Bytes(1024));
+    group.bench_function("enqueue_dequeue_1KB", |b| {
+        b.iter(|| {
+            q.enqueue(black_box(&item)).unwrap();
+            q.dequeue().unwrap()
+        })
+    });
+
+    // Appends grow the file without bound; rotate to a fresh file every
+    // 200k appends (~200 MB) and release the old one so the bench never
+    // exhausts cluster capacity.
+    let file = std::cell::RefCell::new(job.open_file("f-0", &[]).unwrap());
+    let count = std::cell::Cell::new(0u64);
+    let generation = std::cell::Cell::new(0u32);
+    group.bench_function("file_append_1KB", |b| {
+        b.iter(|| {
+            let n = count.get() + 1;
+            count.set(n);
+            if n % 200_000 == 0 {
+                let g = generation.get() + 1;
+                generation.set(g);
+                *file.borrow_mut() = job.open_file(&format!("f-{g}"), &[]).unwrap();
+                job.remove_addr_prefix(&format!("f-{}", g - 1)).ok();
+            }
+            file.borrow().append(black_box(&item)).unwrap()
+        })
+    });
+    let reader = file.borrow();
+    let len = reader.size().unwrap().min(64 * 1024);
+    group.bench_function("file_read_64KB", |b| {
+        b.iter(|| reader.read_at(0, black_box(len)).unwrap())
+    });
+    drop(reader);
+    group.finish();
+}
+
+criterion_group!(benches, bench_queue_file);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Fig. 1 — analysis of the (synthetic, Snowflake-calibrated) workload:
+//! (a) per-tenant intermediate data over time, normalized by mean usage;
+//! (b) utilization when provisioning for peak.
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin fig01_snowflake`
+
+use std::time::Duration;
+
+use jiffy_workloads::{SnowflakeConfig, Trace};
+
+fn main() {
+    // Fig. 1 uses 4 tenants over a 1-hour window.
+    let trace = Trace::generate(&SnowflakeConfig::small());
+    let step = Duration::from_secs(60);
+
+    println!("=== Fig. 1(a): per-tenant intermediate data, normalized by mean ===");
+    println!(
+        "{:<10} {}",
+        "t (min)", "tenant#1   tenant#2   tenant#3   tenant#4"
+    );
+    let timelines: Vec<Vec<(Duration, u64)>> = (0..4)
+        .map(|t| trace.tenant_demand_timeline(step, t))
+        .collect();
+    let means: Vec<f64> = timelines
+        .iter()
+        .map(|tl| tl.iter().map(|(_, b)| *b as f64).sum::<f64>() / tl.len() as f64)
+        .collect();
+    for i in 0..timelines[0].len() {
+        print!("{:<10}", i);
+        for t in 0..4 {
+            let norm = if means[t] == 0.0 {
+                0.0
+            } else {
+                timelines[t][i].1 as f64 / means[t]
+            };
+            print!(" {norm:<10.3}");
+        }
+        println!();
+    }
+
+    println!("\n=== Fig. 1(a) summary: peak-to-average ratios ===");
+    for t in 0..4 {
+        println!(
+            "tenant#{}: peak/avg = {:.1}x",
+            t + 1,
+            trace.tenant_peak_to_avg(step, t)
+        );
+    }
+
+    println!("\n=== Fig. 1(b): provisioning for peak ===");
+    let full = Trace::generate(&SnowflakeConfig::default());
+    let per_tenant = full.mean_tenant_utilization(step);
+    let aggregate = full.utilization_vs_peak_provisioning(step);
+    println!("tenants: {}, jobs: {}", full.tenants, full.jobs.len());
+    println!(
+        "mean per-tenant utilization (paper: ~19%):          {:.1}%",
+        per_tenant * 100.0
+    );
+    println!(
+        "aggregate demand / sum of tenant peaks (paper <10%): {:.1}%",
+        aggregate * 100.0
+    );
+    println!(
+        "wasted when provisioning per-tenant peaks:           {:.1}%",
+        (1.0 - aggregate) * 100.0
+    );
+}

@@ -1,0 +1,121 @@
+//! Fig. 9 — benefits of fine-grained elasticity: (a) average job
+//! slowdown and (b) average resource utilization as far-memory capacity
+//! shrinks to a fraction of the workload's peak demand, for
+//! ElastiCache-, Pocket- and Jiffy-style allocation over identical
+//! modeled hardware.
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin fig09_elasticity`
+
+use std::time::Duration;
+
+use jiffy_sim::{ClusterSim, SystemKind};
+use jiffy_workloads::{SnowflakeConfig, Trace};
+
+fn main() {
+    // §6.1: ~50k jobs across 100 tenants over a 5 h window. Our default
+    // generator config reproduces that scale.
+    let trace = Trace::generate(&SnowflakeConfig::default());
+    let step = Duration::from_secs(5);
+    let peak = trace.peak_demand(step);
+    // ElastiCache slices are provisioned proportionally to each
+    // tenant's peak (what a capacity planner would do).
+    let weights: Vec<f64> = (0..trace.tenants)
+        .map(|t| {
+            trace
+                .tenant_demand_timeline(Duration::from_secs(30), t)
+                .iter()
+                .map(|(_, b)| *b)
+                .max()
+                .unwrap_or(0) as f64
+        })
+        .collect();
+    println!(
+        "trace: {} jobs, {} tenants, peak demand {:.1} GB",
+        trace.jobs.len(),
+        trace.tenants,
+        peak as f64 / (1u64 << 30) as f64
+    );
+
+    // 128 MB blocks and 1 s leases (the paper's defaults) for Jiffy.
+    let capacities = [100u64, 80, 60, 40, 20, 10];
+    println!("\n=== Fig. 9(a): average job slowdown vs capacity (% of peak) ===");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "capacity", "Elasticache", "Pocket", "Jiffy"
+    );
+    let mut utilization_rows = Vec::new();
+    let mut spill_rows = Vec::new();
+    // Reference run per system: 100 % of peak.
+    let refs: Vec<_> = SystemKind::ALL
+        .iter()
+        .map(|s| {
+            ClusterSim::new(&trace, *s, peak)
+                .with_tenant_weights(weights.clone())
+                .run()
+        })
+        .collect();
+    // Cross-system absolute comparison at 100 % (the paper's footnote:
+    // EC was 30 % worse than Pocket, Pocket 5 % worse than Jiffy).
+    let abs100: Vec<f64> = refs
+        .iter()
+        .map(|o| o.mean_completion().as_secs_f64())
+        .collect();
+    for pct in capacities {
+        let cap = (peak as f64 * pct as f64 / 100.0) as u64;
+        print!("{:<10}", format!("{pct}%"));
+        let mut utils = Vec::new();
+        let mut spills = Vec::new();
+        for (i, system) in SystemKind::ALL.iter().enumerate() {
+            let outcome = ClusterSim::new(&trace, *system, cap)
+                .with_tenant_weights(weights.clone())
+                .run();
+            let slowdown = outcome.mean_slowdown_vs(&refs[i]);
+            print!(" {slowdown:>11.2}x");
+            utils.push(outcome.utilization() * 100.0);
+            spills.push(outcome.spill_fraction * 100.0);
+        }
+        println!();
+        utilization_rows.push((pct, utils));
+        spill_rows.push((pct, spills));
+    }
+
+    println!("\n=== Fig. 9(b): average resource utilization (used / held DRAM, %) ===");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "capacity", "Elasticache", "Pocket", "Jiffy"
+    );
+    for (pct, utils) in &utilization_rows {
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>11.1}%",
+            format!("{pct}%"),
+            utils[0],
+            utils[1],
+            utils[2]
+        );
+    }
+
+    println!("\n=== supporting: fraction of intermediate bytes spilled off DRAM (%) ===");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12}",
+        "capacity", "EC->S3", "Pocket->SSD", "Jiffy->SSD"
+    );
+    for (pct, spills) in &spill_rows {
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}% {:>11.1}%",
+            format!("{pct}%"),
+            spills[0],
+            spills[1],
+            spills[2]
+        );
+    }
+
+    println!("\n=== supporting: absolute mean completion at 100% capacity ===");
+    for (i, system) in SystemKind::ALL.iter().enumerate() {
+        println!(
+            "{:<12} {:.2}s ({:+.0}% vs Jiffy)",
+            system.name(),
+            abs100[i],
+            (abs100[i] / abs100[2] - 1.0) * 100.0
+        );
+    }
+}

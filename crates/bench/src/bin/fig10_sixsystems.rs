@@ -1,0 +1,142 @@
+//! Fig. 10 — read/write latency and throughput for six storage systems
+//! across object sizes, from a serverless client.
+//!
+//! The five cloud systems are *models* calibrated to the paper's own
+//! measurements (see `jiffy_baselines::cloudmodels`); Jiffy is
+//! **measured for real**: the full client→server KV path runs
+//! in-process with the paper's EC2 round-trip time injected at the
+//! transport, up to 8 MB objects (the modeled value is printed for the
+//! 128 MB point, where one object exceeds this harness's block size).
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin fig10_sixsystems`
+
+use std::time::{Duration, Instant};
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+use jiffy_baselines::cloudmodels::System;
+use jiffy_bench::fmt_dur;
+
+const SIZES: [u64; 7] = [
+    8,
+    128,
+    2 * 1024,
+    32 * 1024,
+    512 * 1024,
+    8 * 1024 * 1024,
+    128 * 1024 * 1024,
+];
+
+/// EC2 same-AZ round trip injected under the measured Jiffy path.
+const EC2_RTT: Duration = Duration::from_micros(150);
+
+fn fmt_size(s: u64) -> String {
+    match s {
+        s if s >= 1 << 20 => format!("{}MB", s >> 20),
+        s if s >= 1 << 10 => format!("{}KB", s >> 10),
+        s => format!("{s}B"),
+    }
+}
+
+fn main() {
+    // Real Jiffy cluster: 16 MB blocks hold up to 8 MB objects.
+    let cluster =
+        JiffyCluster::in_process(JiffyConfig::default().with_block_size(16 << 20), 2, 24).unwrap();
+    let job = cluster.client().unwrap().register_job("fig10").unwrap();
+    let kv = job.open_kv("bench", &[], 2).unwrap();
+
+    let mut measured_read = Vec::new();
+    let mut measured_write = Vec::new();
+    for &size in &SIZES {
+        if size > 8 << 20 {
+            measured_read.push(None);
+            measured_write.push(None);
+            continue;
+        }
+        let value = vec![0xA5u8; size as usize];
+        let key = format!("obj-{size}");
+        let reps: u32 = if size <= 32 * 1024 { 200 } else { 20 };
+        // Warm up.
+        kv.put(key.as_bytes(), &value).unwrap();
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            kv.put(key.as_bytes(), &value).unwrap();
+        }
+        let write = t0.elapsed() / reps + EC2_RTT;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            let got = kv.get(key.as_bytes()).unwrap().unwrap();
+            assert_eq!(got.len(), size as usize);
+        }
+        let read = t0.elapsed() / reps + EC2_RTT;
+        measured_read.push(Some(read));
+        measured_write.push(Some(write));
+    }
+
+    for (dir, measured) in [("READ", &measured_read), ("WRITE", &measured_write)] {
+        println!("=== Fig. 10(a): {dir} latency ===");
+        print!("{:<14}", "system");
+        for &s in &SIZES {
+            print!("{:>10}", fmt_size(s));
+        }
+        println!();
+        for sys in System::ALL {
+            let model = if dir == "READ" {
+                sys.read_model()
+            } else {
+                sys.write_model()
+            };
+            print!("{:<14}", sys.name());
+            for (i, &size) in SIZES.iter().enumerate() {
+                if sys.max_object().is_some_and(|m| size > m) {
+                    print!("{:>10}", "-");
+                    continue;
+                }
+                let lat = if sys == System::Jiffy {
+                    match measured[i] {
+                        Some(d) => d,
+                        None => model.cost(size), // 128 MB point: model
+                    }
+                } else {
+                    model.cost(size)
+                };
+                print!("{:>10}", fmt_dur(lat));
+            }
+            println!();
+        }
+        println!();
+    }
+
+    for (dir, measured) in [("READ", &measured_read), ("WRITE", &measured_write)] {
+        println!("=== Fig. 10(b): {dir} throughput (MB/s per client) ===");
+        print!("{:<14}", "system");
+        for &s in &SIZES {
+            print!("{:>10}", fmt_size(s));
+        }
+        println!();
+        for sys in System::ALL {
+            let model = if dir == "READ" {
+                sys.read_model()
+            } else {
+                sys.write_model()
+            };
+            print!("{:<14}", sys.name());
+            for (i, &size) in SIZES.iter().enumerate() {
+                if sys.max_object().is_some_and(|m| size > m) {
+                    print!("{:>10}", "-");
+                    continue;
+                }
+                let lat = if sys == System::Jiffy {
+                    measured[i].unwrap_or_else(|| model.cost(size))
+                } else {
+                    model.cost(size)
+                };
+                let mbps = size as f64 / lat.as_secs_f64() / 1e6;
+                print!("{mbps:>10.2}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("(Jiffy: measured on the real client->server KV path with {EC2_RTT:?} injected RTT; 128 MB point from the calibrated model. Others: models calibrated to the paper's Fig. 10.)");
+}

@@ -1,0 +1,159 @@
+//! Fig. 13(a) — streaming word-count: CDF of end-to-end latency per
+//! 64-sentence batch, Jiffy vs an over-provisioned ElastiCache-style
+//! cluster (same topology; ElastiCache's higher per-op RPC cost is the
+//! difference, per Fig. 10). Partition tasks split sentences and route
+//! words by hash to count tasks (Dataflow + Piccolo models, §6.5).
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin fig13a_wordcount`
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::{JiffyClient, JiffyConfig, JobClient};
+use jiffy_bench::print_cdf;
+use jiffy_ds::kv_slot;
+use jiffy_workloads::SentenceGen;
+
+/// Paper: 50 partition + 50 count tasks on 5 instances; scaled to this
+/// single-core host.
+const PARTITION_TASKS: usize = 8;
+const COUNT_TASKS: usize = 8;
+const BATCHES: usize = 30;
+const SENTENCES_PER_BATCH: usize = 64;
+
+/// Modeled client->store RTTs (Fig. 10): Jiffy's lean framed RPC vs
+/// Redis protocol.
+const JIFFY_RTT: Duration = Duration::from_micros(150);
+const EC_RTT: Duration = Duration::from_micros(230);
+
+fn run_pipeline(label: &str, rtt: Duration) -> Vec<Duration> {
+    let cluster =
+        JiffyCluster::in_process(JiffyConfig::default().with_block_size(1 << 20), 2, 256).unwrap();
+    let delayed = cluster.fabric().clone().with_injected_rtt(rtt);
+    let client = JiffyClient::connect(delayed, cluster.controller_addr()).unwrap();
+    let job = client.register_job(label).unwrap();
+
+    // Channels: per-partition-task input queues, per-count-task word
+    // queues, one ack queue; counts live in a shared KV store.
+    for p in 0..PARTITION_TASKS {
+        job.open_queue(&format!("in-{p}"), &[]).unwrap();
+    }
+    for c in 0..COUNT_TASKS {
+        job.open_queue(&format!("words-{c}"), &[]).unwrap();
+    }
+    job.open_queue("acks", &[]).unwrap();
+    job.open_kv("counts", &[], 4).unwrap();
+    let renew: Vec<String> = (0..PARTITION_TASKS)
+        .map(|p| format!("in-{p}"))
+        .chain((0..COUNT_TASKS).map(|c| format!("words-{c}")))
+        .chain(["acks".to_string(), "counts".to_string()])
+        .collect();
+    let _renewer = job.start_lease_renewer(renew, Duration::from_millis(200));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut workers = Vec::new();
+    // Partition tasks: sentence -> words, routed by hash.
+    for p in 0..PARTITION_TASKS {
+        let job: JobClient = job.clone();
+        let stop = stop.clone();
+        workers.push(std::thread::spawn(move || {
+            let input = job.open_queue(&format!("in-{p}"), &[]).unwrap();
+            let outs: Vec<_> = (0..COUNT_TASKS)
+                .map(|c| job.open_queue(&format!("words-{c}"), &[]).unwrap())
+                .collect();
+            let listener = input.subscribe(&[jiffy::OpKind::Enqueue]).unwrap();
+            while !stop.load(Ordering::Relaxed) {
+                match input.dequeue().unwrap() {
+                    Some(sentence) => {
+                        for w in String::from_utf8_lossy(&sentence).split_whitespace() {
+                            let c = kv_slot(w.as_bytes(), COUNT_TASKS as u32) as usize;
+                            outs[c].enqueue(w.as_bytes()).unwrap();
+                        }
+                    }
+                    None => {
+                        let _ = listener.get(Duration::from_millis(5));
+                    }
+                }
+            }
+        }));
+    }
+    // Count tasks: word -> running count in the KV store, ack per word.
+    for c in 0..COUNT_TASKS {
+        let job: JobClient = job.clone();
+        let stop = stop.clone();
+        workers.push(std::thread::spawn(move || {
+            let input = job.open_queue(&format!("words-{c}"), &[]).unwrap();
+            let acks = job.open_queue("acks", &[]).unwrap();
+            let kv = job.open_kv("counts", &[], 1).unwrap();
+            let listener = input.subscribe(&[jiffy::OpKind::Enqueue]).unwrap();
+            let mut local: HashMap<Vec<u8>, u64> = HashMap::new();
+            while !stop.load(Ordering::Relaxed) {
+                match input.dequeue().unwrap() {
+                    Some(word) => {
+                        let n = local.entry(word.clone()).or_insert(0);
+                        *n += 1;
+                        kv.put(&word, &n.to_le_bytes()).unwrap();
+                        acks.enqueue(b"1").unwrap();
+                    }
+                    None => {
+                        let _ = listener.get(Duration::from_millis(5));
+                    }
+                }
+            }
+        }));
+    }
+
+    // Master: feed batches, measure end-to-end completion of each.
+    let inputs: Vec<_> = (0..PARTITION_TASKS)
+        .map(|p| job.open_queue(&format!("in-{p}"), &[]).unwrap())
+        .collect();
+    let acks = job.open_queue("acks", &[]).unwrap();
+    let ack_listener = acks.subscribe(&[jiffy::OpKind::Enqueue]).unwrap();
+    let mut gen = SentenceGen::new(5000, 1.05, 0x13A);
+    let mut latencies = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let batch = gen.batch(SENTENCES_PER_BATCH);
+        let expected: usize = batch.iter().map(|s| s.split_whitespace().count()).sum();
+        let t0 = Instant::now();
+        for (i, sentence) in batch.iter().enumerate() {
+            inputs[i % PARTITION_TASKS]
+                .enqueue(sentence.as_bytes())
+                .unwrap();
+        }
+        let mut acked = 0usize;
+        while acked < expected {
+            match acks.dequeue().unwrap() {
+                Some(_) => acked += 1,
+                None => {
+                    let _ = ack_listener.get(Duration::from_millis(2));
+                }
+            }
+        }
+        latencies.push(t0.elapsed());
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().unwrap();
+    }
+    latencies
+}
+
+fn main() {
+    println!(
+        "streaming word-count: {PARTITION_TASKS} partition + {COUNT_TASKS} count tasks, \
+         {BATCHES} batches x {SENTENCES_PER_BATCH} sentences"
+    );
+    let mut jiffy = run_pipeline("jiffy", JIFFY_RTT);
+    let mut ec = run_pipeline("elasticache", EC_RTT);
+    println!("\n=== Fig. 13(a): end-to-end latency per 64-sentence batch ===");
+    print_cdf("Elasticache (overprov.)", &mut ec);
+    print_cdf("Jiffy", &mut jiffy);
+    let med = |v: &mut Vec<Duration>| jiffy_bench::percentile(v, 50.0);
+    println!(
+        "\nmedian ratio EC/Jiffy: {:.2}x (paper: comparable, Jiffy >= EC)",
+        med(&mut ec).as_secs_f64() / med(&mut jiffy).as_secs_f64()
+    );
+}

@@ -1,0 +1,80 @@
+//! Shared helpers for the figure-regeneration harnesses.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper's evaluation (§6); DESIGN.md carries the experiment index and
+//! EXPERIMENTS.md records paper-vs-measured for every run.
+
+use std::time::Duration;
+
+/// Computes the `p`-th percentile (0–100) of a sample set.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty.
+pub fn percentile(samples: &mut [Duration], p: f64) -> Duration {
+    assert!(!samples.is_empty(), "percentile of empty sample set");
+    samples.sort_unstable();
+    let rank = (p / 100.0 * (samples.len() - 1) as f64).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+/// Formats a duration compactly (µs / ms / s with 3 significant-ish
+/// digits), matching the log-scale axes of the paper's plots.
+pub fn fmt_dur(d: Duration) -> String {
+    let us = d.as_secs_f64() * 1e6;
+    if us < 1000.0 {
+        format!("{us:.0}µs")
+    } else if us < 1_000_000.0 {
+        format!("{:.2}ms", us / 1000.0)
+    } else {
+        format!("{:.2}s", us / 1e6)
+    }
+}
+
+/// Prints a CDF of `samples` at the given percentile points as aligned
+/// rows, prefixed by `label`.
+pub fn print_cdf(label: &str, samples: &mut [Duration]) {
+    const POINTS: [f64; 7] = [10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0];
+    print!("{label:<28}");
+    for p in POINTS {
+        print!(" p{:<3}={:<9}", p as u32, fmt_dur(percentile(samples, p)));
+    }
+    println!();
+}
+
+/// A fixed-width horizontal bar for timeline plots.
+pub fn bar(value: u64, max: u64, width: usize) -> String {
+    if max == 0 {
+        return String::new();
+    }
+    let n = ((value as f64 / max as f64) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates_ranks() {
+        let mut v: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&mut v, 50.0), Duration::from_millis(51));
+        assert_eq!(percentile(&mut v, 100.0), Duration::from_millis(100));
+        assert_eq!(percentile(&mut v, 0.0), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn durations_format_by_magnitude() {
+        assert_eq!(fmt_dur(Duration::from_micros(250)), "250µs");
+        assert_eq!(fmt_dur(Duration::from_micros(2500)), "2.50ms");
+        assert_eq!(fmt_dur(Duration::from_millis(2500)), "2.50s");
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        assert_eq!(bar(50, 100, 10).chars().count(), 5);
+        assert_eq!(bar(0, 100, 10), "");
+        assert_eq!(bar(100, 100, 10).chars().count(), 10);
+        assert_eq!(bar(1, 0, 10), "");
+    }
+}

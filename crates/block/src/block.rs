@@ -1,0 +1,382 @@
+//! A fixed-capacity block with usage-threshold detection.
+
+use jiffy_common::{BlockId, JiffyError, Result};
+use jiffy_proto::{DsOp, DsResult, Notification, OpKind};
+
+use crate::partition::Partition;
+
+/// Emitted by [`Block::execute`] when the block's usage crosses a
+/// repartition threshold (paper §3.3). The memory server forwards these
+/// to the controller as `ReportOverload`/`ReportUnderload`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdEvent {
+    /// Usage rose above the high watermark.
+    Overloaded {
+        /// Bytes in use at the crossing.
+        used: u64,
+    },
+    /// Usage fell below the low watermark.
+    Underloaded {
+        /// Bytes in use at the crossing.
+        used: u64,
+    },
+}
+
+/// One memory block: identity, capacity, thresholds, an optional
+/// partition (present once the block is allocated to a data structure),
+/// and a per-block operation sequence number used for notifications and
+/// the paper's atomic-operator guarantee.
+pub struct Block {
+    id: BlockId,
+    capacity: usize,
+    high_watermark: usize,
+    low_watermark: usize,
+    partition: Option<Box<dyn Partition>>,
+    seq: u64,
+    /// Hysteresis latches so a block signals each crossing once rather
+    /// than on every op while above/below the watermark.
+    high_signaled: bool,
+    low_signaled: bool,
+    /// While a repartition is in flight the block suppresses further
+    /// threshold events for itself.
+    repartition_in_flight: bool,
+}
+
+impl Block {
+    /// Creates an unallocated (free) block.
+    pub fn new(id: BlockId, capacity: usize, low_watermark: usize, high_watermark: usize) -> Self {
+        Self {
+            id,
+            capacity,
+            high_watermark,
+            low_watermark,
+            partition: None,
+            seq: 0,
+            high_signaled: false,
+            low_signaled: false,
+            repartition_in_flight: false,
+        }
+    }
+
+    /// The block's cluster-unique ID.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Bytes in use (0 when unallocated).
+    pub fn used_bytes(&self) -> usize {
+        self.partition.as_ref().map_or(0, |p| p.used_bytes())
+    }
+
+    /// Whether a partition is installed.
+    pub fn is_allocated(&self) -> bool {
+        self.partition.is_some()
+    }
+
+    /// Installs a partition, making the block serve a data structure.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::Internal`] if the block is already allocated.
+    pub fn install(&mut self, partition: Box<dyn Partition>) -> Result<()> {
+        if self.partition.is_some() {
+            return Err(JiffyError::Internal(format!(
+                "block {} already allocated",
+                self.id
+            )));
+        }
+        self.partition = Some(partition);
+        self.high_signaled = false;
+        self.low_signaled = false;
+        self.repartition_in_flight = false;
+        Ok(())
+    }
+
+    /// Clears the block back to the free state, dropping all data.
+    pub fn reset(&mut self) {
+        self.partition = None;
+        self.seq = 0;
+        self.high_signaled = false;
+        self.low_signaled = false;
+        self.repartition_in_flight = false;
+    }
+
+    /// Direct access to the partition (repartitioning, export).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] if the block is unallocated.
+    pub fn partition_mut(&mut self) -> Result<&mut (dyn Partition + 'static)> {
+        self.partition
+            .as_deref_mut()
+            .ok_or(JiffyError::UnknownBlock(self.id.raw()))
+    }
+
+    /// Immutable access to the partition.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] if the block is unallocated.
+    pub fn partition_ref(&self) -> Result<&(dyn Partition + 'static)> {
+        self.partition
+            .as_deref()
+            .ok_or(JiffyError::UnknownBlock(self.id.raw()))
+    }
+
+    /// Marks a repartition as started (threshold events suppressed).
+    pub fn set_repartition_in_flight(&mut self, in_flight: bool) {
+        self.repartition_in_flight = in_flight;
+        if !in_flight {
+            // Allow a fresh signal if the block is still outside its
+            // comfort band after the repartition.
+            self.high_signaled = false;
+            self.low_signaled = false;
+        }
+    }
+
+    /// Finishes a repartition. When `data_moved` is false (file-append
+    /// and queue-link splits move no bytes), the high latch stays set:
+    /// this block is full *by design* and signalling again would spawn
+    /// an endless chain of empty siblings. Data-moving repartitions
+    /// clear both latches so a still-hot block can split again.
+    pub fn finish_repartition(&mut self, data_moved: bool) {
+        self.repartition_in_flight = false;
+        if data_moved {
+            self.high_signaled = false;
+        } else {
+            self.high_signaled = true;
+        }
+        self.low_signaled = false;
+    }
+
+    /// Whether a repartition is currently in flight for this block.
+    pub fn repartition_in_flight(&self) -> bool {
+        self.repartition_in_flight
+    }
+
+    /// Executes one operator, returning the result, an optional
+    /// notification to fan out to subscribers, and an optional threshold
+    /// event for the controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates partition errors (wrong structure, capacity, range).
+    pub fn execute(
+        &mut self,
+        op: &DsOp,
+    ) -> Result<(DsResult, Option<Notification>, Option<ThresholdEvent>)> {
+        let partition = self
+            .partition
+            .as_deref_mut()
+            .ok_or(JiffyError::UnknownBlock(self.id.raw()))?;
+        let result = partition.execute(op)?;
+        let notification = op.kind().map(|kind| {
+            self.seq += 1;
+            Notification {
+                block: self.id,
+                op: kind,
+                size: op_payload_size(op),
+                seq: self.seq,
+            }
+        });
+        let event = self.check_thresholds();
+        Ok((result, notification, event))
+    }
+
+    /// Re-evaluates thresholds after out-of-band mutations (absorb,
+    /// split_out) and returns a crossing event if one fired.
+    pub fn check_thresholds(&mut self) -> Option<ThresholdEvent> {
+        if self.repartition_in_flight {
+            return None;
+        }
+        let used = self.used_bytes();
+        if used >= self.high_watermark {
+            if !self.high_signaled {
+                self.high_signaled = true;
+                return Some(ThresholdEvent::Overloaded { used: used as u64 });
+            }
+        } else {
+            self.high_signaled = false;
+        }
+        if used <= self.low_watermark {
+            if !self.low_signaled {
+                self.low_signaled = true;
+                return Some(ThresholdEvent::Underloaded { used: used as u64 });
+            }
+        } else {
+            self.low_signaled = false;
+        }
+        None
+    }
+
+    /// Current per-block operation sequence number.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+impl std::fmt::Debug for Block {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Block({}, {}/{} bytes, allocated={})",
+            self.id,
+            self.used_bytes(),
+            self.capacity,
+            self.is_allocated()
+        )
+    }
+}
+
+/// Size of the mutation payload, reported in notifications.
+fn op_payload_size(op: &DsOp) -> u64 {
+    match op {
+        DsOp::FileWrite { data, .. } | DsOp::FileAppend { data } => data.len() as u64,
+        DsOp::Enqueue { item } => item.len() as u64,
+        DsOp::Put { key, value } => (key.len() + value.len()) as u64,
+        DsOp::Delete { key } => key.len() as u64,
+        _ => 0,
+    }
+}
+
+/// Convenience: classify a notification-worthy op kind (re-exported for
+/// the server's subscription map).
+pub fn op_kind(op: &DsOp) -> Option<OpKind> {
+    op.kind()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::testutil::BytePile;
+
+    fn pile_block(capacity: usize, low: usize, high: usize) -> Block {
+        let mut b = Block::new(BlockId(1), capacity, low, high);
+        b.install(Box::new(BytePile {
+            capacity,
+            data: Vec::new(),
+        }))
+        .unwrap();
+        b
+    }
+
+    fn write(n: usize) -> DsOp {
+        DsOp::FileWrite {
+            offset: 0,
+            data: vec![0u8; n].into(),
+        }
+    }
+
+    #[test]
+    fn unallocated_block_rejects_ops() {
+        let mut b = Block::new(BlockId(1), 100, 5, 95);
+        assert!(b.execute(&write(1)).is_err());
+        assert!(!b.is_allocated());
+        assert_eq!(b.used_bytes(), 0);
+    }
+
+    #[test]
+    fn double_install_is_an_error() {
+        let mut b = pile_block(100, 5, 95);
+        assert!(b
+            .install(Box::new(BytePile {
+                capacity: 100,
+                data: Vec::new()
+            }))
+            .is_err());
+    }
+
+    #[test]
+    fn mutations_produce_notifications_with_increasing_seq() {
+        let mut b = pile_block(100, 0, 95);
+        let (_, n1, _) = b.execute(&write(10)).unwrap();
+        let (_, n2, _) = b.execute(&write(10)).unwrap();
+        let n1 = n1.unwrap();
+        let n2 = n2.unwrap();
+        assert_eq!(n1.seq, 1);
+        assert_eq!(n2.seq, 2);
+        assert_eq!(n1.op, OpKind::Write);
+        assert_eq!(n1.size, 10);
+        // Reads produce no notification.
+        let (_, n3, _) = b.execute(&DsOp::FileRead { offset: 0, len: 1 }).unwrap();
+        assert!(n3.is_none());
+    }
+
+    #[test]
+    fn overload_fires_once_at_high_watermark() {
+        let mut b = pile_block(100, 0, 50);
+        let (_, _, e1) = b.execute(&write(40)).unwrap();
+        assert_eq!(e1, None);
+        let (_, _, e2) = b.execute(&write(20)).unwrap();
+        assert_eq!(e2, Some(ThresholdEvent::Overloaded { used: 60 }));
+        // Still above: no repeat signal.
+        let (_, _, e3) = b.execute(&write(10)).unwrap();
+        assert_eq!(e3, None);
+    }
+
+    #[test]
+    fn underload_fires_after_draining() {
+        let mut b = pile_block(100, 10, 90);
+        // Note: a fresh block starts at 0 bytes which is below the low
+        // watermark; the first check latches it without an event only if
+        // the first op keeps it below. Write above low first.
+        let (_, _, e0) = b.execute(&write(30)).unwrap();
+        assert_eq!(e0, None);
+        // Truncate (the pile treats Delete as truncate).
+        let (_, _, _e) = b.execute(&DsOp::Delete { key: "x".into() }).unwrap();
+        let ev = b.check_thresholds();
+        // Either the execute or the explicit check reported it, exactly
+        // one of them.
+        let fired = matches!(_e, Some(ThresholdEvent::Underloaded { .. }))
+            ^ matches!(ev, Some(ThresholdEvent::Underloaded { .. }));
+        assert!(fired, "exactly one underload event expected");
+    }
+
+    #[test]
+    fn repartition_in_flight_suppresses_events() {
+        let mut b = pile_block(100, 0, 50);
+        b.set_repartition_in_flight(true);
+        let (_, _, e) = b.execute(&write(80)).unwrap();
+        assert_eq!(e, None);
+        // Finishing the repartition re-arms the latch.
+        b.set_repartition_in_flight(false);
+        assert_eq!(
+            b.check_thresholds(),
+            Some(ThresholdEvent::Overloaded { used: 80 })
+        );
+    }
+
+    #[test]
+    fn reset_returns_block_to_free_state() {
+        let mut b = pile_block(100, 0, 50);
+        b.execute(&write(30)).unwrap();
+        b.reset();
+        assert!(!b.is_allocated());
+        assert_eq!(b.used_bytes(), 0);
+        assert_eq!(b.seq(), 0);
+        // Can be reallocated afterwards.
+        b.install(Box::new(BytePile {
+            capacity: 100,
+            data: Vec::new(),
+        }))
+        .unwrap();
+        assert!(b.is_allocated());
+    }
+
+    #[test]
+    fn hysteresis_rearms_after_dropping_below_high() {
+        let mut b = pile_block(100, 0, 50);
+        let (_, _, e) = b.execute(&write(60)).unwrap();
+        assert!(matches!(e, Some(ThresholdEvent::Overloaded { .. })));
+        // Drain below the watermark.
+        b.execute(&DsOp::Delete { key: "x".into() }).unwrap();
+        // Cross again: should fire again.
+        let (_, _, e2) = b.execute(&write(55)).unwrap();
+        assert!(matches!(e2, Some(ThresholdEvent::Overloaded { .. })));
+    }
+}

@@ -1,0 +1,27 @@
+//! Data-plane block abstraction.
+//!
+//! Jiffy partitions memory-server capacity into fixed-size blocks — the
+//! unit of allocation, lease accounting and repartitioning (§3). Each
+//! block allocated to a data structure hosts one *partition* of that
+//! structure and exposes the operator interface of the paper's Fig. 6
+//! (`getBlock` routing happens client-side; `writeOp`/`readOp`/
+//! `deleteOp` arrive here as [`jiffy_proto::DsOp`] values).
+//!
+//! - [`partition`] — the [`Partition`] trait implemented by every data
+//!   structure, plus the registry for custom structures.
+//! - [`block`] — a fixed-capacity [`Block`]: partition + usage
+//!   accounting + high/low-threshold crossing detection with hysteresis.
+//! - [`store`] — the per-memory-server [`BlockStore`] mapping block IDs
+//!   to blocks.
+//!
+//! [`Partition`]: partition::Partition
+//! [`Block`]: block::Block
+//! [`BlockStore`]: store::BlockStore
+
+pub mod block;
+pub mod partition;
+pub mod store;
+
+pub use block::{Block, ThresholdEvent};
+pub use partition::{Partition, PartitionFactory, PartitionRegistry};
+pub use store::BlockStore;

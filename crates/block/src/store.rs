@@ -1,0 +1,161 @@
+//! The per-memory-server block store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jiffy_common::{BlockId, JiffyError, Result};
+use parking_lot::{Mutex, RwLock};
+
+use crate::block::Block;
+
+/// Maps block IDs to blocks on one memory server.
+///
+/// Each block carries its own mutex so operations on different blocks
+/// proceed in parallel; the outer map is only write-locked when blocks
+/// are added or removed (server registration / decommission).
+#[derive(Default)]
+pub struct BlockStore {
+    blocks: RwLock<HashMap<BlockId, Arc<Mutex<Block>>>>,
+}
+
+impl BlockStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a block to the store.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::Internal`] if the ID is already present.
+    pub fn add(&self, block: Block) -> Result<()> {
+        let id = block.id();
+        let mut map = self.blocks.write();
+        if map.contains_key(&id) {
+            return Err(JiffyError::Internal(format!("duplicate block {id}")));
+        }
+        map.insert(id, Arc::new(Mutex::new(block)));
+        Ok(())
+    }
+
+    /// Removes a block entirely (decommission).
+    pub fn remove(&self, id: BlockId) -> Option<Arc<Mutex<Block>>> {
+        self.blocks.write().remove(&id)
+    }
+
+    /// Fetches a block handle.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] if absent.
+    pub fn get(&self, id: BlockId) -> Result<Arc<Mutex<Block>>> {
+        self.blocks
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(JiffyError::UnknownBlock(id.raw()))
+    }
+
+    /// Number of blocks hosted.
+    pub fn len(&self) -> usize {
+        self.blocks.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// IDs of all hosted blocks.
+    pub fn ids(&self) -> Vec<BlockId> {
+        self.blocks.read().keys().copied().collect()
+    }
+
+    /// Total bytes used across all blocks (metric for utilization plots).
+    pub fn total_used_bytes(&self) -> u64 {
+        let handles: Vec<_> = self.blocks.read().values().cloned().collect();
+        handles.iter().map(|b| b.lock().used_bytes() as u64).sum()
+    }
+
+    /// Number of allocated (partition-carrying) blocks.
+    pub fn allocated_count(&self) -> usize {
+        let handles: Vec<_> = self.blocks.read().values().cloned().collect();
+        handles.iter().filter(|b| b.lock().is_allocated()).count()
+    }
+}
+
+impl std::fmt::Debug for BlockStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BlockStore({} blocks)", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(id: u64) -> Block {
+        Block::new(BlockId(id), 1024, 51, 973)
+    }
+
+    #[test]
+    fn add_get_remove() {
+        let store = BlockStore::new();
+        store.add(block(1)).unwrap();
+        store.add(block(2)).unwrap();
+        assert_eq!(store.len(), 2);
+        assert!(store.get(BlockId(1)).is_ok());
+        assert!(store.get(BlockId(3)).is_err());
+        assert!(store.remove(BlockId(1)).is_some());
+        assert!(store.get(BlockId(1)).is_err());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_add_is_rejected() {
+        let store = BlockStore::new();
+        store.add(block(1)).unwrap();
+        assert!(store.add(block(1)).is_err());
+    }
+
+    #[test]
+    fn ids_lists_all_blocks() {
+        let store = BlockStore::new();
+        for i in 0..5 {
+            store.add(block(i)).unwrap();
+        }
+        let mut ids = store.ids();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..5).map(BlockId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn usage_metrics_start_at_zero() {
+        let store = BlockStore::new();
+        store.add(block(1)).unwrap();
+        assert_eq!(store.total_used_bytes(), 0);
+        assert_eq!(store.allocated_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_access_to_distinct_blocks() {
+        let store = Arc::new(BlockStore::new());
+        for i in 0..8 {
+            store.add(block(i)).unwrap();
+        }
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let s = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..100 {
+                    let b = s.get(BlockId(i)).unwrap();
+                    let _guard = b.lock();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,693 @@
+//! Typed data-structure handles with client-side `getBlock` routing.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_common::{JiffyError, Result};
+use jiffy_proto::{
+    Blob, BlockLocation, ControlRequest, DataRequest, DataResponse, DsOp, DsResult, Envelope,
+    OpKind, PartitionView,
+};
+use parking_lot::RwLock;
+
+use crate::job::JobClient;
+use crate::listener::Listener;
+
+/// Retries before a routing problem is reported to the caller. Splits
+/// complete in milliseconds; 100 retries with backoff spans seconds.
+const MAX_ROUTING_RETRIES: usize = 100;
+
+/// Backoff between routing retries.
+const RETRY_BACKOFF: Duration = Duration::from_millis(2);
+
+/// Shared plumbing for the three handles: the cached partition view and
+/// the refresh/retry discipline.
+struct DsCore {
+    job: Arc<JobClient>,
+    name: String,
+    view: RwLock<PartitionView>,
+}
+
+impl DsCore {
+    fn open(job: Arc<JobClient>, name: &str) -> Result<Self> {
+        let view = Self::fetch_view(&job, name)?;
+        Ok(Self {
+            job,
+            name: name.to_string(),
+            view: RwLock::new(view),
+        })
+    }
+
+    fn fetch_view(job: &JobClient, name: &str) -> Result<PartitionView> {
+        let prefix = job.resolve(name)?;
+        prefix
+            .partition
+            .ok_or_else(|| JiffyError::WrongDataStructure {
+                expected: "a bound data structure".into(),
+                found: "bare prefix".into(),
+            })
+    }
+
+    fn refresh(&self) -> Result<()> {
+        let view = Self::fetch_view(&self.job, &self.name)?;
+        *self.view.write() = view;
+        Ok(())
+    }
+
+    fn view(&self) -> PartitionView {
+        self.view.read().clone()
+    }
+
+    /// Executes a data-plane op against a block, routing writes to the
+    /// chain head (with replication fan-down) and reads to the tail.
+    fn data_op(&self, loc: &BlockLocation, op: DsOp, is_write: bool) -> Result<DsResult> {
+        let fabric = self.job.client().fabric();
+        let req = if is_write && loc.chain.len() > 1 {
+            let head = loc.head();
+            DataRequest::Replicate {
+                block: head.block,
+                op,
+                downstream: loc.chain[1..].to_vec(),
+            }
+        } else {
+            let replica = if is_write { loc.head() } else { loc.tail() };
+            DataRequest::Op {
+                block: replica.block,
+                op,
+            }
+        };
+        let addr = if is_write {
+            &loc.head().addr
+        } else {
+            &loc.tail().addr
+        };
+        let conn = fabric.connect(addr)?;
+        match conn.call(Envelope::DataReq { id: 0, req })? {
+            Envelope::DataResp { resp, .. } => match resp? {
+                DataResponse::OpResult(r) => Ok(r),
+                other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+            },
+            other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
+        }
+    }
+
+    /// Asks the controller to grow the structure at `block` (the
+    /// demand-driven face of the overload path: a client that outran the
+    /// asynchronous threshold signal forces the split synchronously).
+    fn request_split(&self, block: jiffy_common::BlockId) -> Result<()> {
+        self.job
+            .client()
+            .control(ControlRequest::ReportOverload { block, used: 0 })?;
+        Ok(())
+    }
+
+    /// Runs `attempt` with the standard refresh-on-stale retry loop.
+    fn with_routing_retries<T>(&self, mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
+        let mut last = None;
+        for i in 0..MAX_ROUTING_RETRIES {
+            match attempt() {
+                Ok(v) => return Ok(v),
+                Err(e @ (JiffyError::StaleMetadata | JiffyError::UnknownBlock(_))) => {
+                    self.refresh()?;
+                    last = Some(e);
+                    if i > 2 {
+                        std::thread::sleep(RETRY_BACKOFF);
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last.unwrap_or(JiffyError::StaleMetadata))
+    }
+
+    fn listener(&self, ops: &[OpKind]) -> Result<Listener> {
+        Listener::subscribe(self.job.client().fabric().clone(), &self.view(), ops)
+    }
+}
+
+impl std::fmt::Debug for DsCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DsCore({})", self.name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// File
+// ---------------------------------------------------------------------------
+
+/// Handle to a Jiffy file (§5.1): a chunked append log.
+///
+/// `append` serializes on the tail chunk, so concurrent appenders from
+/// many tasks interleave whole records (the shuffle-file mode).
+/// Chunk-addressed reads are exact; a chunk may end short of its
+/// capacity when an append did not fit, so `read_all` (which walks chunk
+/// sizes) is the faithful way to scan a file written with `append`.
+#[derive(Debug)]
+pub struct FileClient {
+    core: DsCore,
+}
+
+impl FileClient {
+    pub(crate) fn open(job: Arc<JobClient>, name: &str) -> Result<Self> {
+        Ok(Self {
+            core: DsCore::open(job, name)?,
+        })
+    }
+
+    /// The prefix this file lives under.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    fn file_view(&self) -> Result<(u64, Vec<BlockLocation>)> {
+        match self.core.view() {
+            PartitionView::File { chunk_size, blocks } => Ok((chunk_size, blocks)),
+            other => Err(JiffyError::WrongDataStructure {
+                expected: "file".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Appends a record to the file's tail chunk, growing the file with
+    /// a fresh chunk when the tail is full.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::BlockFull`] if the record exceeds a whole chunk;
+    /// routing failures after exhausting retries.
+    pub fn append(&self, data: &[u8]) -> Result<()> {
+        let (chunk_size, _) = self.file_view()?;
+        if data.len() as u64 > chunk_size {
+            return Err(JiffyError::BlockFull {
+                capacity: chunk_size as usize,
+                requested: data.len(),
+            });
+        }
+        self.core.with_routing_retries(|| {
+            let (_, blocks) = self.file_view()?;
+            let tail = blocks.last().ok_or(JiffyError::StaleMetadata)?.clone();
+            match self.core.data_op(
+                &tail,
+                DsOp::FileAppend {
+                    data: Blob::new(data.to_vec()),
+                },
+                true,
+            ) {
+                Ok(_) => Ok(()),
+                Err(JiffyError::BlockFull { .. }) => {
+                    // Tail chunk full: force growth and retry through the
+                    // refresh path.
+                    self.core.request_split(tail.id())?;
+                    Err(JiffyError::StaleMetadata)
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Writes at an absolute offset (must not leave holes within the
+    /// addressed chunk). Grows the file with fresh chunks as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::OutOfRange`] for holes; routing failures.
+    pub fn write_at(&self, offset: u64, data: &[u8]) -> Result<()> {
+        let (chunk_size, _) = self.file_view()?;
+        let mut cursor = 0usize;
+        while cursor < data.len() {
+            let abs = offset + cursor as u64;
+            let chunk_idx = (abs / chunk_size) as usize;
+            let chunk_off = abs % chunk_size;
+            let take = ((chunk_size - chunk_off) as usize).min(data.len() - cursor);
+            let slice = &data[cursor..cursor + take];
+            self.core.with_routing_retries(|| {
+                let (_, blocks) = self.file_view()?;
+                match blocks.get(chunk_idx) {
+                    Some(loc) => self
+                        .core
+                        .data_op(
+                            loc,
+                            DsOp::FileWrite {
+                                offset: chunk_off,
+                                data: Blob::new(slice.to_vec()),
+                            },
+                            true,
+                        )
+                        .map(|_| ()),
+                    None => {
+                        // Need more chunks: ask for growth at the current
+                        // tail and retry.
+                        let tail = blocks.last().ok_or(JiffyError::StaleMetadata)?;
+                        self.core.request_split(tail.id())?;
+                        Err(JiffyError::StaleMetadata)
+                    }
+                }
+            })?;
+            cursor += take;
+        }
+        Ok(())
+    }
+
+    /// Reads up to `len` bytes at an absolute offset (paper `seek` +
+    /// read). Returns fewer bytes at end-of-data.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::OutOfRange`] when `offset` is beyond the chunk's
+    /// data; routing failures.
+    pub fn read_at(&self, offset: u64, len: u64) -> Result<Vec<u8>> {
+        let (chunk_size, _) = self.file_view()?;
+        let mut out = Vec::with_capacity(len as usize);
+        let mut remaining = len;
+        let mut abs = offset;
+        while remaining > 0 {
+            let chunk_idx = (abs / chunk_size) as usize;
+            let chunk_off = abs % chunk_size;
+            let take = (chunk_size - chunk_off).min(remaining);
+            let piece = self.core.with_routing_retries(|| {
+                let (_, blocks) = self.file_view()?;
+                let Some(loc) = blocks.get(chunk_idx) else {
+                    return Ok(Vec::new()); // Past the last chunk: EOF.
+                };
+                match self.core.data_op(
+                    loc,
+                    DsOp::FileRead {
+                        offset: chunk_off,
+                        len: take,
+                    },
+                    false,
+                )? {
+                    DsResult::Data(b) => Ok(b.into_inner()),
+                    other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+                }
+            })?;
+            let got = piece.len() as u64;
+            out.extend_from_slice(&piece);
+            if got < take {
+                break; // Chunk ended short: end of data.
+            }
+            abs += got;
+            remaining -= got;
+        }
+        Ok(out)
+    }
+
+    /// Reads the whole file by walking its chunks.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn read_all(&self) -> Result<Vec<u8>> {
+        self.core.refresh()?;
+        let (_, blocks) = self.file_view()?;
+        let mut out = Vec::new();
+        for loc in &blocks {
+            let size = match self.core.data_op(loc, DsOp::FileSize, false)? {
+                DsResult::Size(s) => s,
+                other => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            };
+            if size == 0 {
+                continue;
+            }
+            match self.core.data_op(
+                loc,
+                DsOp::FileRead {
+                    offset: 0,
+                    len: size,
+                },
+                false,
+            )? {
+                DsResult::Data(b) => out.extend_from_slice(&b),
+                other => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total bytes stored across chunks.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn size(&self) -> Result<u64> {
+        self.core.refresh()?;
+        let (_, blocks) = self.file_view()?;
+        let mut total = 0;
+        for loc in &blocks {
+            match self.core.data_op(loc, DsOp::FileSize, false)? {
+                DsResult::Size(s) => total += s,
+                other => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Subscribes to write notifications on the file's current blocks.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn subscribe(&self, ops: &[OpKind]) -> Result<Listener> {
+        self.core.listener(ops)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------------
+
+/// Handle to a Jiffy FIFO queue (§5.2).
+#[derive(Debug)]
+pub struct QueueClient {
+    core: DsCore,
+    /// Local dequeue cursor into the cached segment list; advances when
+    /// a sealed segment drains (`StaleMetadata` from the server).
+    head_cursor: parking_lot::Mutex<usize>,
+    /// Client-side bound on queue length in items (paper
+    /// `maxQueueLength`); `None` = unbounded.
+    max_len: Option<u64>,
+}
+
+impl QueueClient {
+    pub(crate) fn open(job: Arc<JobClient>, name: &str) -> Result<Self> {
+        Ok(Self {
+            core: DsCore::open(job, name)?,
+            head_cursor: parking_lot::Mutex::new(0),
+            max_len: None,
+        })
+    }
+
+    /// Sets the client-enforced maximum queue length (approximate under
+    /// concurrent producers, as in the paper's client-cached design).
+    pub fn with_max_len(mut self, max_len: u64) -> Self {
+        self.max_len = Some(max_len);
+        self
+    }
+
+    /// The prefix this queue lives under.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    fn segments(&self) -> Result<Vec<BlockLocation>> {
+        match self.core.view() {
+            PartitionView::Queue { segments, .. } => Ok(segments),
+            other => Err(JiffyError::WrongDataStructure {
+                expected: "queue".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Enqueues an item at the tail segment, linking a new segment when
+    /// the tail fills.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::QueueFull`] when `max_len` is reached;
+    /// [`JiffyError::BlockFull`] if the item exceeds a whole segment.
+    pub fn enqueue(&self, item: &[u8]) -> Result<()> {
+        if let Some(max) = self.max_len {
+            if self.len()? >= max {
+                return Err(JiffyError::QueueFull);
+            }
+        }
+        self.core.with_routing_retries(|| {
+            let segments = self.segments()?;
+            let tail = segments.last().ok_or(JiffyError::StaleMetadata)?.clone();
+            match self.core.data_op(
+                &tail,
+                DsOp::Enqueue {
+                    item: Blob::new(item.to_vec()),
+                },
+                true,
+            ) {
+                Ok(_) => Ok(()),
+                Err(JiffyError::BlockFull {
+                    capacity,
+                    requested,
+                }) if requested > capacity => Err(JiffyError::BlockFull {
+                    capacity,
+                    requested,
+                }),
+                Err(JiffyError::BlockFull { .. }) => {
+                    self.core.request_split(tail.id())?;
+                    Err(JiffyError::StaleMetadata)
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Dequeues the oldest item; `None` when the queue is currently
+    /// empty.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn dequeue(&self) -> Result<Option<Vec<u8>>> {
+        self.fetch_front(true)
+    }
+
+    /// Reads the oldest item without removing it.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn peek(&self) -> Result<Option<Vec<u8>>> {
+        self.fetch_front(false)
+    }
+
+    fn fetch_front(&self, remove: bool) -> Result<Option<Vec<u8>>> {
+        let op = if remove { DsOp::Dequeue } else { DsOp::Peek };
+        let mut refreshes = 0;
+        loop {
+            let segments = self.segments()?;
+            let cursor = *self.head_cursor.lock();
+            let Some(loc) = segments.get(cursor) else {
+                // Cursor ran off the cached list: refresh and restart
+                // from the new head.
+                if refreshes >= MAX_ROUTING_RETRIES {
+                    return Err(JiffyError::StaleMetadata);
+                }
+                refreshes += 1;
+                self.core.refresh()?;
+                *self.head_cursor.lock() = 0;
+                continue;
+            };
+            match self.core.data_op(loc, op.clone(), remove) {
+                Ok(DsResult::MaybeData(d)) => return Ok(d.map(Blob::into_inner)),
+                Ok(other) => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+                // Sealed + drained: advance to the next segment.
+                Err(JiffyError::StaleMetadata) => {
+                    let mut c = self.head_cursor.lock();
+                    if *c == cursor {
+                        *c += 1;
+                    }
+                }
+                // Segment was unlinked and reset: refresh the list.
+                Err(JiffyError::UnknownBlock(_)) => {
+                    if refreshes >= MAX_ROUTING_RETRIES {
+                        return Err(JiffyError::StaleMetadata);
+                    }
+                    refreshes += 1;
+                    self.core.refresh()?;
+                    *self.head_cursor.lock() = 0;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Items currently resident across segments.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn len(&self) -> Result<u64> {
+        self.core.refresh()?;
+        let mut total = 0;
+        for loc in self.segments()? {
+            match self.core.data_op(&loc, DsOp::QueueLen, false) {
+                Ok(DsResult::Size(s)) => total += s,
+                Ok(other) => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+                // Unlinked while counting: skip it.
+                Err(JiffyError::UnknownBlock(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Subscribes to notifications (e.g. [`OpKind::Enqueue`] to learn
+    /// when data is available) on the queue's current segments.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn subscribe(&self, ops: &[OpKind]) -> Result<Listener> {
+        self.core.listener(ops)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KV store
+// ---------------------------------------------------------------------------
+
+/// Handle to a Jiffy KV-store (§5.3).
+#[derive(Debug)]
+pub struct KvClient {
+    core: DsCore,
+}
+
+impl KvClient {
+    pub(crate) fn open(job: Arc<JobClient>, name: &str) -> Result<Self> {
+        Ok(Self {
+            core: DsCore::open(job, name)?,
+        })
+    }
+
+    /// The prefix this store lives under.
+    pub fn name(&self) -> &str {
+        &self.core.name
+    }
+
+    fn owner_of(&self, key: &[u8]) -> Result<BlockLocation> {
+        match self.core.view() {
+            PartitionView::Kv { num_slots, slots } => {
+                let slot = jiffy_ds::kv_slot(key, num_slots);
+                slots
+                    .iter()
+                    .find(|s| s.contains(slot))
+                    .map(|s| s.location.clone())
+                    .ok_or(JiffyError::StaleMetadata)
+            }
+            other => Err(JiffyError::WrongDataStructure {
+                expected: "kv_store".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Stores a pair, returning the previous value for the key.
+    ///
+    /// # Errors
+    ///
+    /// Capacity exhaustion after retries; routing failures.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.core.with_routing_retries(|| {
+            let loc = self.owner_of(key)?;
+            match self.core.data_op(
+                &loc,
+                DsOp::Put {
+                    key: Blob::new(key.to_vec()),
+                    value: Blob::new(value.to_vec()),
+                },
+                true,
+            ) {
+                Ok(DsResult::Replaced(prev)) => Ok(prev.map(Blob::into_inner)),
+                Ok(other) => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+                Err(JiffyError::BlockFull { .. }) => {
+                    // The owner filled before the async threshold signal
+                    // landed: force the split, then retry.
+                    self.core.request_split(loc.id())?;
+                    Err(JiffyError::StaleMetadata)
+                }
+                Err(e) => Err(e),
+            }
+        })
+    }
+
+    /// Looks up a key.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.core.with_routing_retries(|| {
+            let loc = self.owner_of(key)?;
+            match self.core.data_op(
+                &loc,
+                DsOp::Get {
+                    key: Blob::new(key.to_vec()),
+                },
+                false,
+            )? {
+                DsResult::MaybeData(v) => Ok(v.map(Blob::into_inner)),
+                other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            }
+        })
+    }
+
+    /// Deletes a key, returning its previous value.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.core.with_routing_retries(|| {
+            let loc = self.owner_of(key)?;
+            match self.core.data_op(
+                &loc,
+                DsOp::Delete {
+                    key: Blob::new(key.to_vec()),
+                },
+                true,
+            )? {
+                DsResult::MaybeData(v) => Ok(v.map(Blob::into_inner)),
+                other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            }
+        })
+    }
+
+    /// Whether the key exists.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn exists(&self, key: &[u8]) -> Result<bool> {
+        self.core.with_routing_retries(|| {
+            let loc = self.owner_of(key)?;
+            match self.core.data_op(
+                &loc,
+                DsOp::Exists {
+                    key: Blob::new(key.to_vec()),
+                },
+                false,
+            )? {
+                DsResult::Bool(b) => Ok(b),
+                other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            }
+        })
+    }
+
+    /// Number of pairs across all partition blocks.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn count(&self) -> Result<u64> {
+        self.core.refresh()?;
+        let view = self.core.view();
+        let mut total = 0;
+        for loc in view.blocks() {
+            match self.core.data_op(loc, DsOp::KvCount, false) {
+                Ok(DsResult::Size(s)) => total += s,
+                Ok(other) => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+                Err(JiffyError::UnknownBlock(_)) => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+
+    /// Subscribes to notifications on the store's current blocks.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn subscribe(&self, ops: &[OpKind]) -> Result<Listener> {
+        self.core.listener(ops)
+    }
+}

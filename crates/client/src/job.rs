@@ -1,0 +1,324 @@
+//! Connection and job-scope handles.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_common::{JiffyError, JobId, Result};
+use jiffy_proto::{ControlRequest, ControlResponse, DagNodeSpec, DsType, Envelope, PrefixView};
+use jiffy_rpc::{ClientConn, Fabric};
+
+use crate::ds::{FileClient, KvClient, QueueClient};
+use crate::lease::LeaseRenewer;
+
+/// A connection to a Jiffy cluster's controller.
+#[derive(Clone)]
+pub struct JiffyClient {
+    fabric: Fabric,
+    controller_addr: String,
+    conn: ClientConn,
+}
+
+impl JiffyClient {
+    /// Connects to the controller at `jiffy_address` (paper `connect`).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn connect(fabric: Fabric, jiffy_address: &str) -> Result<Self> {
+        let conn = fabric.connect(jiffy_address)?;
+        Ok(Self {
+            fabric,
+            controller_addr: jiffy_address.to_string(),
+            conn,
+        })
+    }
+
+    /// The fabric used for data-plane connections.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The controller address.
+    pub fn controller_addr(&self) -> &str {
+        &self.controller_addr
+    }
+
+    /// Issues one control request.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or controller-side errors.
+    pub fn control(&self, req: ControlRequest) -> Result<ControlResponse> {
+        match self.conn.call(Envelope::ControlReq { id: 0, req })? {
+            Envelope::ControlResp { resp, .. } => resp,
+            other => Err(JiffyError::Rpc(format!(
+                "unexpected controller reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Registers a job, returning its scoped handle.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn register_job(&self, name: &str) -> Result<JobClient> {
+        match self.control(ControlRequest::RegisterJob {
+            name: name.to_string(),
+        })? {
+            ControlResponse::JobRegistered { job } => Ok(JobClient {
+                client: self.clone(),
+                job,
+            }),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Cluster statistics (free blocks, jobs, splits, ...).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&self) -> Result<jiffy_proto::ControllerStats> {
+        match self.control(ControlRequest::GetStats)? {
+            ControlResponse::Stats(s) => Ok(s),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+}
+
+impl std::fmt::Debug for JiffyClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JiffyClient({})", self.controller_addr)
+    }
+}
+
+/// Job-scoped API: everything in paper Table 1 below `connect`.
+#[derive(Debug, Clone)]
+pub struct JobClient {
+    client: JiffyClient,
+    job: JobId,
+}
+
+impl JobClient {
+    /// Wraps an existing job ID (e.g. one shared with serverless tasks
+    /// out-of-band, which is how tasks of one job attach to its
+    /// hierarchy).
+    pub fn attach(client: JiffyClient, job: JobId) -> Self {
+        Self { client, job }
+    }
+
+    /// The job ID (shared with the job's serverless tasks).
+    pub fn id(&self) -> JobId {
+        self.job
+    }
+
+    /// The underlying cluster connection.
+    pub fn client(&self) -> &JiffyClient {
+        &self.client
+    }
+
+    /// Creates an address prefix (paper `createAddrPrefix`). `parents`
+    /// name existing prefixes; empty hangs the node off the job root.
+    ///
+    /// # Errors
+    ///
+    /// Controller-side validation (duplicate name, missing parent).
+    pub fn create_addr_prefix(&self, name: &str, parents: &[&str]) -> Result<()> {
+        self.client.control(ControlRequest::CreatePrefix {
+            job: self.job,
+            name: name.to_string(),
+            parents: parents.iter().map(|s| s.to_string()).collect(),
+            ds: None,
+            initial_blocks: 0,
+        })?;
+        Ok(())
+    }
+
+    /// Creates the whole address hierarchy from an execution DAG (paper
+    /// `createHierarchy`).
+    ///
+    /// # Errors
+    ///
+    /// Controller-side validation; nodes must be topologically ordered.
+    pub fn create_hierarchy(&self, nodes: Vec<DagNodeSpec>) -> Result<()> {
+        self.client.control(ControlRequest::CreateHierarchy {
+            job: self.job,
+            nodes,
+        })?;
+        Ok(())
+    }
+
+    /// Adds an extra parent edge, giving a prefix an additional address.
+    ///
+    /// # Errors
+    ///
+    /// Controller-side validation (cycles, duplicates).
+    pub fn add_parent(&self, name: &str, parent: &str) -> Result<()> {
+        self.client.control(ControlRequest::AddParent {
+            job: self.job,
+            name: name.to_string(),
+            parent: parent.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Removes a prefix, reclaiming its memory immediately.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::PathNotFound`] for unknown prefixes.
+    pub fn remove_addr_prefix(&self, name: &str) -> Result<()> {
+        self.client.control(ControlRequest::RemovePrefix {
+            job: self.job,
+            name: name.to_string(),
+        })?;
+        Ok(())
+    }
+
+    /// Resolves a prefix (by name or dotted path) to its current view.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::PathNotFound`] for unknown paths.
+    pub fn resolve(&self, path: &str) -> Result<PrefixView> {
+        match self.client.control(ControlRequest::ResolvePrefix {
+            job: self.job,
+            name: path.to_string(),
+        })? {
+            ControlResponse::Resolved(v) => Ok(v),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Renews the lease on a prefix (and, per §3.2, its direct parents
+    /// and all descendants). Returns the renewed prefix names.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::PathNotFound`] for unknown paths.
+    pub fn renew_lease(&self, path: &str) -> Result<Vec<String>> {
+        match self.client.control(ControlRequest::RenewLease {
+            job: self.job,
+            name: path.to_string(),
+        })? {
+            ControlResponse::LeaseRenewed { renewed, .. } => Ok(renewed),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// The lease duration configured for a prefix (paper
+    /// `getLeaseDuration`).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::PathNotFound`] for unknown paths.
+    pub fn lease_duration(&self, path: &str) -> Result<Duration> {
+        match self.client.control(ControlRequest::GetLeaseDuration {
+            job: self.job,
+            name: path.to_string(),
+        })? {
+            ControlResponse::LeaseDuration { micros } => Ok(Duration::from_micros(micros)),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Starts a background lease renewer for the given prefixes (the
+    /// "master process" role in the paper's programming models).
+    pub fn start_lease_renewer(&self, prefixes: Vec<String>, interval: Duration) -> LeaseRenewer {
+        LeaseRenewer::start(self.clone(), prefixes, interval)
+    }
+
+    /// Flushes a prefix's data to the persistent tier (paper
+    /// `flushAddrPrefix`). Returns bytes written.
+    ///
+    /// # Errors
+    ///
+    /// Path or persistent-tier failures.
+    pub fn flush(&self, path: &str, external_path: &str) -> Result<u64> {
+        match self.client.control(ControlRequest::FlushPrefix {
+            job: self.job,
+            name: path.to_string(),
+            external_path: external_path.to_string(),
+        })? {
+            ControlResponse::Persisted { bytes } => Ok(bytes),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Loads a prefix's data back from the persistent tier (paper
+    /// `loadAddrPrefix`). Returns bytes read.
+    ///
+    /// # Errors
+    ///
+    /// Path or persistent-tier failures; the prefix must not currently
+    /// hold a live structure.
+    pub fn load(&self, path: &str, external_path: &str) -> Result<u64> {
+        match self.client.control(ControlRequest::LoadPrefix {
+            job: self.job,
+            name: path.to_string(),
+            external_path: external_path.to_string(),
+        })? {
+            ControlResponse::Persisted { bytes } => Ok(bytes),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    fn init_ds(&self, name: &str, parents: &[&str], ds: DsType, initial_blocks: u32) -> Result<()> {
+        match self.client.control(ControlRequest::CreatePrefix {
+            job: self.job,
+            name: name.to_string(),
+            parents: parents.iter().map(|s| s.to_string()).collect(),
+            ds: Some(ds),
+            initial_blocks,
+        }) {
+            Ok(_) => Ok(()),
+            // initDataStructure on an existing prefix opens it instead.
+            Err(JiffyError::PathExists(_)) => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Creates (or opens) a file under `name` (paper
+    /// `initDataStructure(addr, File)`).
+    ///
+    /// # Errors
+    ///
+    /// Allocation or controller failures.
+    pub fn open_file(&self, name: &str, parents: &[&str]) -> Result<FileClient> {
+        self.init_ds(name, parents, DsType::File, 1)?;
+        FileClient::open(Arc::new(self.clone()), name)
+    }
+
+    /// Creates (or opens) a FIFO queue under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or controller failures.
+    pub fn open_queue(&self, name: &str, parents: &[&str]) -> Result<QueueClient> {
+        self.init_ds(name, parents, DsType::Queue, 1)?;
+        QueueClient::open(Arc::new(self.clone()), name)
+    }
+
+    /// Creates (or opens) a KV-store under `name`, pre-partitioned over
+    /// `initial_blocks` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Allocation or controller failures.
+    pub fn open_kv(&self, name: &str, parents: &[&str], initial_blocks: u32) -> Result<KvClient> {
+        self.init_ds(name, parents, DsType::KvStore, initial_blocks.max(1))?;
+        KvClient::open(Arc::new(self.clone()), name)
+    }
+
+    /// Deregisters the job, releasing all its memory.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownJob`] if already deregistered.
+    pub fn deregister(&self) -> Result<()> {
+        self.client
+            .control(ControlRequest::DeregisterJob { job: self.job })?;
+        Ok(())
+    }
+}

@@ -1,0 +1,30 @@
+//! Jiffy client library — the user-facing API of paper Table 1.
+//!
+//! ```text
+//! connect(jiffyAddress)                 -> JiffyClient::connect
+//! createAddrPrefix(addr, parent, opts)  -> JobClient::create_addr_prefix
+//! createHierarchy(dag, opts)            -> JobClient::create_hierarchy
+//! flushAddrPrefix / loadAddrPrefix      -> JobClient::{flush,load}
+//! getLeaseDuration / renewLease         -> JobClient::{lease_duration,renew_lease}
+//! initDataStructure(addr, type)         -> JobClient::{open_file,open_queue,open_kv}
+//! ds.subscribe(op) / listener.get(t)    -> handles' subscribe() -> Listener::get
+//! ```
+//!
+//! Every data-structure handle caches the controller's partition
+//! metadata ([`jiffy_proto::PartitionView`]) and implements the
+//! `getBlock` routing of paper Fig. 6 client-side: file offsets to chunk
+//! blocks, queue ends to head/tail segments, key hashes to slot owners.
+//! When a memory server answers [`jiffy_common::JiffyError::StaleMetadata`]
+//! (the layout changed under the client), the handle refreshes its view
+//! from the controller and retries — the client-visible face of Jiffy's
+//! asynchronous repartitioning.
+
+pub mod ds;
+pub mod job;
+pub mod lease;
+pub mod listener;
+
+pub use ds::{FileClient, KvClient, QueueClient};
+pub use job::{JiffyClient, JobClient};
+pub use lease::LeaseRenewer;
+pub use listener::Listener;

@@ -1,0 +1,106 @@
+//! Notification listeners (paper Table 1: `ds.subscribe(op)` /
+//! `listener.get(timeout)`).
+
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver};
+use jiffy_common::Result;
+use jiffy_proto::{DataRequest, Envelope, Notification, OpKind, PartitionView};
+use jiffy_rpc::{ClientConn, Fabric};
+
+/// Receives asynchronous notifications for subscribed operations.
+///
+/// A listener holds one dedicated connection per block it subscribed on
+/// (pushes arrive per-connection). Blocks added to the structure *after*
+/// subscription are not covered until [`Listener::resubscribe`] is
+/// called with a fresh view — the same refresh-on-scale discipline the
+/// data path uses.
+pub struct Listener {
+    rx: Receiver<Notification>,
+    tx: crossbeam::channel::Sender<Notification>,
+    fabric: Fabric,
+    ops: Vec<OpKind>,
+    conns: Vec<ClientConn>,
+    covered: Vec<jiffy_common::BlockId>,
+}
+
+impl Listener {
+    /// Subscribes to `ops` on every block of `view`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn subscribe(fabric: Fabric, view: &PartitionView, ops: &[OpKind]) -> Result<Self> {
+        let (tx, rx) = unbounded();
+        let mut listener = Self {
+            rx,
+            tx,
+            fabric,
+            ops: ops.to_vec(),
+            conns: Vec::new(),
+            covered: Vec::new(),
+        };
+        listener.resubscribe(view)?;
+        Ok(listener)
+    }
+
+    /// Extends the subscription to any blocks in `view` not yet covered.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn resubscribe(&mut self, view: &PartitionView) -> Result<()> {
+        for loc in view.blocks() {
+            let tail = loc.tail();
+            if self.covered.contains(&tail.block) {
+                continue;
+            }
+            // Dedicated connection: pushes are per-connection.
+            let conn = self.fabric.dial(&tail.addr)?;
+            let tx = self.tx.clone();
+            conn.set_push_callback(std::sync::Arc::new(move |n| {
+                let _ = tx.send(n);
+            }));
+            conn.call(Envelope::DataReq {
+                id: 0,
+                req: DataRequest::Subscribe {
+                    block: tail.block,
+                    ops: self.ops.clone(),
+                },
+            })?;
+            self.conns.push(conn);
+            self.covered.push(tail.block);
+        }
+        Ok(())
+    }
+
+    /// Waits up to `timeout` for the next notification (paper
+    /// `listener.get(timeout)`); `None` on timeout.
+    pub fn get(&self, timeout: Duration) -> Option<Notification> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Returns a notification if one is already queued.
+    pub fn try_get(&self) -> Option<Notification> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Number of blocks currently subscribed.
+    pub fn coverage(&self) -> usize {
+        self.covered.len()
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        for c in &self.conns {
+            c.close();
+        }
+    }
+}
+
+impl std::fmt::Debug for Listener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Listener({} blocks, {:?})", self.covered.len(), self.ops)
+    }
+}

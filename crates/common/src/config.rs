@@ -1,0 +1,177 @@
+//! System-wide configuration with the paper's default parameters.
+
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::size::MB;
+
+/// Tunable parameters of a Jiffy deployment.
+///
+/// Defaults follow §6 of the paper: 128 MB blocks, 1 s lease duration,
+/// 5 % / 95 % low/high repartition thresholds. Tests and the simulator
+/// shrink the block size so experiments fit on one machine; the
+/// sensitivity harness (Fig. 14) sweeps each parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JiffyConfig {
+    /// Capacity of every memory block in bytes (paper default: 128 MB).
+    pub block_size: usize,
+    /// How long a lease lives without renewal (paper default: 1 s).
+    pub lease_duration: Duration,
+    /// How often the expiry worker scans the address hierarchies.
+    pub lease_scan_interval: Duration,
+    /// Fraction of block capacity above which the block signals overload
+    /// and triggers a split (paper default: 0.95).
+    pub high_threshold: f64,
+    /// Fraction of block capacity below which the block becomes a merge
+    /// candidate (paper default: 0.05).
+    pub low_threshold: f64,
+    /// Number of hash slots in the KV-store keyspace (paper default: 1024).
+    pub kv_hash_slots: u32,
+    /// Replication chain length for blocks that request fault tolerance
+    /// (1 = no replication).
+    pub chain_length: usize,
+}
+
+impl Default for JiffyConfig {
+    fn default() -> Self {
+        Self {
+            block_size: 128 * MB,
+            lease_duration: Duration::from_secs(1),
+            lease_scan_interval: Duration::from_millis(100),
+            high_threshold: 0.95,
+            low_threshold: 0.05,
+            kv_hash_slots: 1024,
+            chain_length: 1,
+        }
+    }
+}
+
+impl JiffyConfig {
+    /// A configuration with small (64 KB) blocks suitable for unit and
+    /// integration tests on a single machine.
+    pub fn for_testing() -> Self {
+        Self {
+            block_size: 64 * 1024,
+            lease_duration: Duration::from_secs(1),
+            lease_scan_interval: Duration::from_millis(20),
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the block size.
+    pub fn with_block_size(mut self, bytes: usize) -> Self {
+        self.block_size = bytes;
+        self
+    }
+
+    /// Builder-style override of the lease duration.
+    pub fn with_lease_duration(mut self, d: Duration) -> Self {
+        self.lease_duration = d;
+        self
+    }
+
+    /// Builder-style override of the repartition thresholds.
+    pub fn with_thresholds(mut self, low: f64, high: f64) -> Self {
+        self.low_threshold = low;
+        self.high_threshold = high;
+        self
+    }
+
+    /// Builder-style override of the replication chain length.
+    pub fn with_chain_length(mut self, n: usize) -> Self {
+        self.chain_length = n;
+        self
+    }
+
+    /// Validates internal consistency (thresholds ordered and in `[0, 1]`,
+    /// non-zero block size, chain length at least 1).
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.block_size == 0 {
+            return Err(crate::JiffyError::Internal("block_size must be > 0".into()));
+        }
+        if !(0.0..=1.0).contains(&self.low_threshold)
+            || !(0.0..=1.0).contains(&self.high_threshold)
+            || self.low_threshold >= self.high_threshold
+        {
+            return Err(crate::JiffyError::Internal(format!(
+                "invalid thresholds: low={} high={}",
+                self.low_threshold, self.high_threshold
+            )));
+        }
+        if self.chain_length == 0 {
+            return Err(crate::JiffyError::Internal(
+                "chain_length must be >= 1".into(),
+            ));
+        }
+        if self.kv_hash_slots == 0 {
+            return Err(crate::JiffyError::Internal(
+                "kv_hash_slots must be >= 1".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bytes above which a block is considered overloaded.
+    pub fn high_watermark(&self) -> usize {
+        (self.block_size as f64 * self.high_threshold) as usize
+    }
+
+    /// Bytes below which a block is considered underloaded.
+    pub fn low_watermark(&self) -> usize {
+        (self.block_size as f64 * self.low_threshold) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = JiffyConfig::default();
+        assert_eq!(c.block_size, 128 * MB);
+        assert_eq!(c.lease_duration, Duration::from_secs(1));
+        assert_eq!(c.high_threshold, 0.95);
+        assert_eq!(c.low_threshold, 0.05);
+        assert_eq!(c.kv_hash_slots, 1024);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn watermarks_scale_with_block_size() {
+        let c = JiffyConfig::default().with_block_size(1000);
+        assert_eq!(c.high_watermark(), 950);
+        assert_eq!(c.low_watermark(), 50);
+    }
+
+    #[test]
+    fn validate_rejects_inverted_thresholds() {
+        let c = JiffyConfig::default().with_thresholds(0.9, 0.1);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_block() {
+        let c = JiffyConfig::default().with_block_size(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_chain() {
+        let c = JiffyConfig::default().with_chain_length(0);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = JiffyConfig::for_testing()
+            .with_lease_duration(Duration::from_millis(100))
+            .with_thresholds(0.1, 0.8)
+            .with_chain_length(3);
+        assert_eq!(c.lease_duration, Duration::from_millis(100));
+        assert_eq!(c.low_threshold, 0.1);
+        assert_eq!(c.chain_length, 3);
+        c.validate().unwrap();
+    }
+}

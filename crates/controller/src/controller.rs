@@ -1,0 +1,1344 @@
+//! The Jiffy controller service (paper Fig. 7).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jiffy_common::clock::SharedClock;
+use jiffy_common::id::IdGen;
+use jiffy_common::{BlockId, JiffyConfig, JiffyError, JobId, Result};
+use jiffy_persistent::ObjectStore;
+use jiffy_proto::{
+    Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
+    DataRequest, DataResponse, DsType, Envelope, MergeSpec, PrefixView, SplitSpec,
+};
+use jiffy_rpc::{Fabric, Service, SessionHandle};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::freelist::FreeList;
+use crate::hierarchy::AddressHierarchy;
+use crate::meta::{DsMeta, DsSkeleton};
+
+/// Controller-side view of the data plane, so the same control logic
+/// runs against real memory servers (RPC), or against nothing at all
+/// (controller micro-benchmarks and the discrete-event simulator, which
+/// model data movement separately).
+pub trait DataPlane: Send + Sync {
+    /// Initializes a block (all chain replicas) as a partition.
+    ///
+    /// # Errors
+    ///
+    /// Transport or partition-construction failures.
+    fn init_block(&self, loc: &BlockLocation, ds: DsType, params: &[u8]) -> Result<()>;
+
+    /// Resets a block (all chain replicas) to the free state.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    fn reset_block(&self, loc: &BlockLocation) -> Result<()>;
+
+    /// Exports a block's full contents (tail replica).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    fn export_block(&self, loc: &BlockLocation) -> Result<Vec<u8>>;
+
+    /// Imports a payload into a block (head replica; chain forwards).
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    fn import_payload(&self, loc: &BlockLocation, payload: &[u8]) -> Result<()>;
+
+    /// Orders a source block to split per `spec`, shipping extracted data
+    /// to `target` (paper Fig. 8 step 4).
+    ///
+    /// # Errors
+    ///
+    /// Transport or partition failures.
+    fn split_block(
+        &self,
+        loc: &BlockLocation,
+        spec: &SplitSpec,
+        target: Option<&BlockLocation>,
+    ) -> Result<()>;
+
+    /// Orders a source block to merge all its contents into `target`.
+    ///
+    /// # Errors
+    ///
+    /// Transport or partition failures.
+    fn merge_block(
+        &self,
+        loc: &BlockLocation,
+        spec: &MergeSpec,
+        target: Option<&BlockLocation>,
+    ) -> Result<()>;
+
+    /// Reports a block's `(used, capacity)` bytes — consulted when
+    /// choosing a merge target with enough headroom.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    fn block_usage(&self, loc: &BlockLocation) -> Result<(u64, u64)>;
+}
+
+/// A no-op data plane: every operation succeeds and exports are empty.
+/// Used by controller micro-benchmarks (Fig. 12) and unit tests where
+/// only control-plane state matters.
+#[derive(Debug, Default)]
+pub struct NoopDataPlane;
+
+impl DataPlane for NoopDataPlane {
+    fn init_block(&self, _loc: &BlockLocation, _ds: DsType, _params: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn reset_block(&self, _loc: &BlockLocation) -> Result<()> {
+        Ok(())
+    }
+
+    fn export_block(&self, _loc: &BlockLocation) -> Result<Vec<u8>> {
+        Ok(Vec::new())
+    }
+
+    fn import_payload(&self, _loc: &BlockLocation, _payload: &[u8]) -> Result<()> {
+        Ok(())
+    }
+
+    fn split_block(
+        &self,
+        _loc: &BlockLocation,
+        _spec: &SplitSpec,
+        _target: Option<&BlockLocation>,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    fn merge_block(
+        &self,
+        _loc: &BlockLocation,
+        _spec: &MergeSpec,
+        _target: Option<&BlockLocation>,
+    ) -> Result<()> {
+        Ok(())
+    }
+
+    fn block_usage(&self, _loc: &BlockLocation) -> Result<(u64, u64)> {
+        Ok((0, u64::MAX))
+    }
+}
+
+/// RPC-backed data plane talking to real memory servers over a
+/// [`Fabric`].
+pub struct RpcDataPlane {
+    fabric: Fabric,
+}
+
+impl RpcDataPlane {
+    /// Creates a data-plane handle over the given fabric.
+    pub fn new(fabric: Fabric) -> Self {
+        Self { fabric }
+    }
+
+    fn call(&self, addr: &str, req: DataRequest) -> Result<DataResponse> {
+        let conn = self.fabric.connect(addr)?;
+        match conn.call(Envelope::DataReq { id: 0, req })? {
+            Envelope::DataResp { resp, .. } => resp,
+            other => Err(JiffyError::Rpc(format!(
+                "unexpected envelope from data plane: {other:?}"
+            ))),
+        }
+    }
+}
+
+impl DataPlane for RpcDataPlane {
+    fn init_block(&self, loc: &BlockLocation, ds: DsType, params: &[u8]) -> Result<()> {
+        for replica in &loc.chain {
+            self.call(
+                &replica.addr,
+                DataRequest::InitBlock {
+                    block: replica.block,
+                    ds: ds.to_string(),
+                    params: params.into(),
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn reset_block(&self, loc: &BlockLocation) -> Result<()> {
+        for replica in &loc.chain {
+            self.call(
+                &replica.addr,
+                DataRequest::ResetBlock {
+                    block: replica.block,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn export_block(&self, loc: &BlockLocation) -> Result<Vec<u8>> {
+        let tail = loc.tail();
+        match self.call(&tail.addr, DataRequest::ExportBlock { block: tail.block })? {
+            DataResponse::Exported { payload } => Ok(payload.into_inner()),
+            other => Err(JiffyError::Rpc(format!(
+                "unexpected export reply: {other:?}"
+            ))),
+        }
+    }
+
+    fn import_payload(&self, loc: &BlockLocation, payload: &[u8]) -> Result<()> {
+        let head = loc.head();
+        self.call(
+            &head.addr,
+            DataRequest::ImportPayload {
+                block: head.block,
+                payload: payload.into(),
+            },
+        )?;
+        Ok(())
+    }
+
+    fn split_block(
+        &self,
+        loc: &BlockLocation,
+        spec: &SplitSpec,
+        target: Option<&BlockLocation>,
+    ) -> Result<()> {
+        let head = loc.head();
+        self.call(
+            &head.addr,
+            DataRequest::SplitBlock {
+                block: head.block,
+                spec: spec.clone(),
+                target: target.cloned(),
+            },
+        )?;
+        Ok(())
+    }
+
+    fn merge_block(
+        &self,
+        loc: &BlockLocation,
+        spec: &MergeSpec,
+        target: Option<&BlockLocation>,
+    ) -> Result<()> {
+        let head = loc.head();
+        self.call(
+            &head.addr,
+            DataRequest::MergeBlock {
+                block: head.block,
+                spec: spec.clone(),
+                target: target.cloned(),
+            },
+        )?;
+        Ok(())
+    }
+
+    fn block_usage(&self, loc: &BlockLocation) -> Result<(u64, u64)> {
+        let head = loc.head();
+        match self.call(&head.addr, DataRequest::Usage { block: head.block })? {
+            DataResponse::Usage { used, capacity } => Ok((used, capacity)),
+            other => Err(JiffyError::Rpc(format!(
+                "unexpected usage reply: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// A flushed prefix as stored in the persistent tier.
+#[derive(Serialize, Deserialize)]
+struct FlushRecord {
+    ds: DsType,
+    skeleton: DsSkeleton,
+    payloads: Vec<Blob>,
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    #[allow(dead_code)] // Observability: surfaced in debug dumps.
+    name: String,
+    hierarchy: AddressHierarchy,
+}
+
+#[derive(Default)]
+struct Counters {
+    ops_served: u64,
+    leases_expired: u64,
+    splits: u64,
+    merges: u64,
+}
+
+struct CtrlState {
+    jobs: HashMap<JobId, JobEntry>,
+    freelist: FreeList,
+    /// Reverse map: logical block → (job, node) for overload routing.
+    block_owner: HashMap<BlockId, (JobId, String)>,
+    counters: Counters,
+}
+
+/// The unified control plane: block allocator + metadata manager + lease
+/// manager in one service (paper §4.2).
+pub struct Controller {
+    cfg: JiffyConfig,
+    clock: SharedClock,
+    state: Mutex<CtrlState>,
+    dataplane: Arc<dyn DataPlane>,
+    persistent: Arc<dyn ObjectStore>,
+    job_ids: IdGen,
+}
+
+impl Controller {
+    /// Creates a controller.
+    pub fn new(
+        cfg: JiffyConfig,
+        clock: SharedClock,
+        dataplane: Arc<dyn DataPlane>,
+        persistent: Arc<dyn ObjectStore>,
+    ) -> Arc<Self> {
+        cfg.validate().expect("invalid JiffyConfig");
+        Arc::new(Self {
+            cfg,
+            clock,
+            state: Mutex::new(CtrlState {
+                jobs: HashMap::new(),
+                freelist: FreeList::new(),
+                block_owner: HashMap::new(),
+                counters: Counters::default(),
+            }),
+            dataplane,
+            persistent,
+            job_ids: IdGen::new(),
+        })
+    }
+
+    /// The configuration this controller runs with.
+    pub fn config(&self) -> &JiffyConfig {
+        &self.cfg
+    }
+
+    /// Handles one control request (also reachable through the
+    /// [`Service`] impl; exposed directly for in-process callers like
+    /// the simulator).
+    pub fn dispatch(&self, req: ControlRequest) -> Result<ControlResponse> {
+        let mut st = self.state.lock();
+        st.counters.ops_served += 1;
+        match req {
+            ControlRequest::RegisterJob { name } => {
+                let job: JobId = self.job_ids.next_id();
+                st.jobs.insert(
+                    job,
+                    JobEntry {
+                        name,
+                        hierarchy: AddressHierarchy::new(),
+                    },
+                );
+                Ok(ControlResponse::JobRegistered { job })
+            }
+            ControlRequest::DeregisterJob { job } => {
+                let entry = st
+                    .jobs
+                    .remove(&job)
+                    .ok_or(JiffyError::UnknownJob(job.raw()))?;
+                for name in entry.hierarchy.names() {
+                    if let Some(node) = entry.hierarchy.get(&name) {
+                        if let Some(meta) = &node.ds {
+                            for loc in meta.locations() {
+                                let _ = self.dataplane.reset_block(&loc);
+                                for replica in &loc.chain {
+                                    st.block_owner.remove(&replica.block);
+                                    let _ = st.freelist.release(replica.block);
+                                }
+                            }
+                        }
+                    }
+                }
+                Ok(ControlResponse::Ack)
+            }
+            ControlRequest::CreatePrefix {
+                job,
+                name,
+                parents,
+                ds,
+                initial_blocks,
+            } => {
+                self.create_prefix(&mut st, job, &name, &parents, ds, initial_blocks)?;
+                Ok(ControlResponse::PrefixCreated { name })
+            }
+            ControlRequest::AddParent { job, name, parent } => {
+                let entry = st
+                    .jobs
+                    .get_mut(&job)
+                    .ok_or(JiffyError::UnknownJob(job.raw()))?;
+                entry.hierarchy.add_parent(&name, &parent)?;
+                Ok(ControlResponse::Ack)
+            }
+            ControlRequest::CreateHierarchy { job, nodes } => {
+                for spec in &nodes {
+                    let DagNodeSpec {
+                        name,
+                        parents,
+                        ds,
+                        initial_blocks,
+                    } = spec;
+                    self.create_prefix(&mut st, job, name, parents, *ds, *initial_blocks)?;
+                }
+                Ok(ControlResponse::Ack)
+            }
+            ControlRequest::RemovePrefix { job, name } => {
+                self.reclaim_prefix(&mut st, job, &name, false, None)?;
+                let entry = st
+                    .jobs
+                    .get_mut(&job)
+                    .ok_or(JiffyError::UnknownJob(job.raw()))?;
+                entry.hierarchy.remove_node(&name)?;
+                Ok(ControlResponse::Ack)
+            }
+            ControlRequest::ResolvePrefix { job, name } => {
+                let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
+                let node = entry.hierarchy.resolve(&name)?;
+                Ok(ControlResponse::Resolved(PrefixView {
+                    name: node.name.clone(),
+                    ds: node.ds.as_ref().map(DsMeta::ds_type),
+                    partition: node.ds.as_ref().map(DsMeta::view),
+                    lease_duration_micros: self.cfg.lease_duration.as_micros() as u64,
+                    parents: node.parents.clone(),
+                    children: node.children.clone(),
+                    version: node.version,
+                }))
+            }
+            ControlRequest::RenewLease { job, name } => {
+                let now = self.clock.now();
+                let entry = st
+                    .jobs
+                    .get_mut(&job)
+                    .ok_or(JiffyError::UnknownJob(job.raw()))?;
+                let renewed = entry.hierarchy.renew(&name, now)?;
+                Ok(ControlResponse::LeaseRenewed {
+                    renewed,
+                    lease_duration_micros: self.cfg.lease_duration.as_micros() as u64,
+                })
+            }
+            ControlRequest::GetLeaseDuration { job, name } => {
+                let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
+                entry.hierarchy.resolve(&name)?;
+                Ok(ControlResponse::LeaseDuration {
+                    micros: self.cfg.lease_duration.as_micros() as u64,
+                })
+            }
+            ControlRequest::FlushPrefix {
+                job,
+                name,
+                external_path,
+            } => {
+                let bytes = self.flush_prefix(&mut st, job, &name, &external_path, false)?;
+                Ok(ControlResponse::Persisted { bytes })
+            }
+            ControlRequest::LoadPrefix {
+                job,
+                name,
+                external_path,
+            } => {
+                let bytes = self.load_prefix(&mut st, job, &name, &external_path)?;
+                Ok(ControlResponse::Persisted { bytes })
+            }
+            ControlRequest::RegisterServer {
+                addr,
+                capacity_blocks,
+            } => {
+                let (server, blocks) = st.freelist.register_server(addr, capacity_blocks);
+                Ok(ControlResponse::ServerRegistered { server, blocks })
+            }
+            ControlRequest::ReportOverload { block, .. } => {
+                let (target, spec) = self.handle_overload(&mut st, block)?;
+                Ok(ControlResponse::SplitTarget { target, spec })
+            }
+            ControlRequest::ReportUnderload { block, .. } => {
+                let (target, spec) = self.handle_underload(&mut st, block)?;
+                Ok(ControlResponse::MergeTarget { target, spec })
+            }
+            ControlRequest::CommitRepartition { .. } => {
+                // Repartitions are controller-orchestrated and commit
+                // inline; this message is accepted for compatibility.
+                Ok(ControlResponse::Ack)
+            }
+            ControlRequest::GetStats => Ok(ControlResponse::Stats(self.stats_locked(&st))),
+            ControlRequest::ListPrefixes { job } => {
+                let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
+                Ok(ControlResponse::Prefixes(entry.hierarchy.names()))
+            }
+        }
+    }
+
+    fn create_prefix(
+        &self,
+        st: &mut CtrlState,
+        job: JobId,
+        name: &str,
+        parents: &[String],
+        ds: Option<DsType>,
+        initial_blocks: u32,
+    ) -> Result<()> {
+        let now = self.clock.now();
+        let entry = st
+            .jobs
+            .get_mut(&job)
+            .ok_or(JiffyError::UnknownJob(job.raw()))?;
+        entry.hierarchy.add_node(name, parents, now)?;
+        if let Some(ds) = ds {
+            let total = initial_blocks.max(1);
+            let mut meta = DsMeta::new(ds, self.cfg.block_size, self.cfg.kv_hash_slots);
+            let mut locs = Vec::with_capacity(total as usize);
+            for i in 0..total {
+                let params = meta.initial_params(i, total)?;
+                let loc = match st.freelist.allocate_chain(self.cfg.chain_length) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        // Roll back: free what we grabbed and drop the node.
+                        for loc in &locs {
+                            let l: &BlockLocation = loc;
+                            for r in &l.chain {
+                                let _ = st.freelist.release(r.block);
+                            }
+                        }
+                        let _ = entry.hierarchy.remove_node(name);
+                        return Err(e);
+                    }
+                };
+                self.dataplane.init_block(&loc, ds, &params)?;
+                st.block_owner.insert(loc.id(), (job, name.to_string()));
+                locs.push(loc);
+            }
+            meta.install_initial(locs);
+            let entry = st.jobs.get_mut(&job).expect("checked above");
+            let node = entry.hierarchy.get_mut(name).expect("just created");
+            node.ds = Some(meta);
+        }
+        Ok(())
+    }
+
+    /// Flushes a prefix's blocks to the persistent tier, returning bytes
+    /// written. With `reclaim`, also resets and frees the blocks
+    /// (lease-expiry path).
+    fn flush_prefix(
+        &self,
+        st: &mut CtrlState,
+        job: JobId,
+        name: &str,
+        external_path: &str,
+        reclaim: bool,
+    ) -> Result<u64> {
+        let entry = st
+            .jobs
+            .get_mut(&job)
+            .ok_or(JiffyError::UnknownJob(job.raw()))?;
+        let node = entry.hierarchy.resolve_mut(name)?;
+        let Some(meta) = &node.ds else {
+            return Ok(0);
+        };
+        let ds = meta.ds_type();
+        let skeleton = meta.skeleton();
+        let locations = meta.locations();
+        let mut payloads = Vec::with_capacity(locations.len());
+        let mut bytes = 0u64;
+        for loc in &locations {
+            let payload = self.dataplane.export_block(loc)?;
+            bytes += payload.len() as u64;
+            payloads.push(Blob::new(payload));
+        }
+        let record = FlushRecord {
+            ds,
+            skeleton,
+            payloads,
+        };
+        self.persistent
+            .put(external_path, &jiffy_proto::to_bytes(&record)?)?;
+        let node = st
+            .jobs
+            .get_mut(&job)
+            .expect("checked")
+            .hierarchy
+            .resolve_mut(name)
+            .expect("checked");
+        node.flushed_to = Some(external_path.to_string());
+        if reclaim {
+            node.ds = None;
+            node.version += 1;
+            for loc in &locations {
+                let _ = self.dataplane.reset_block(loc);
+                for r in &loc.chain {
+                    st.block_owner.remove(&r.block);
+                    let _ = st.freelist.release(r.block);
+                }
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Loads a previously flushed prefix back into fresh blocks.
+    fn load_prefix(
+        &self,
+        st: &mut CtrlState,
+        job: JobId,
+        name: &str,
+        external_path: &str,
+    ) -> Result<u64> {
+        let record_bytes = self.persistent.get(external_path)?;
+        let record: FlushRecord = jiffy_proto::from_bytes(&record_bytes)?;
+        {
+            let entry = st
+                .jobs
+                .get_mut(&job)
+                .ok_or(JiffyError::UnknownJob(job.raw()))?;
+            let node = entry.hierarchy.resolve_mut(name)?;
+            if node.ds.is_some() {
+                return Err(JiffyError::Internal(format!(
+                    "prefix {name} already has a live data structure; cannot load over it"
+                )));
+            }
+        }
+        let n = record.payloads.len();
+        let mut locs = Vec::with_capacity(n);
+        for _ in 0..n {
+            locs.push(st.freelist.allocate_chain(self.cfg.chain_length)?);
+        }
+        let meta = DsMeta::from_skeleton(&record.skeleton, locs.clone())?;
+        let mut bytes = 0u64;
+        for (loc, payload) in locs.iter().zip(&record.payloads) {
+            // Initialize empty, then absorb the flushed contents.
+            let params = match &record.skeleton {
+                DsSkeleton::Kv { num_slots, .. } => jiffy_proto::to_bytes(&InitKvMirror {
+                    ranges: vec![],
+                    num_slots: *num_slots,
+                })?,
+                _ => Vec::new(),
+            };
+            self.dataplane.init_block(loc, record.ds, &params)?;
+            self.dataplane.import_payload(loc, payload)?;
+            bytes += payload.len() as u64;
+            st.block_owner.insert(loc.id(), (job, name.to_string()));
+        }
+        let entry = st.jobs.get_mut(&job).expect("checked");
+        let node = entry.hierarchy.resolve_mut(name).expect("checked");
+        node.ds = Some(meta);
+        node.version += 1;
+        node.flushed_to = Some(external_path.to_string());
+        Ok(bytes)
+    }
+
+    /// Reclaims a prefix's blocks (optionally flushing first). Used by
+    /// `RemovePrefix` and lease expiry.
+    fn reclaim_prefix(
+        &self,
+        st: &mut CtrlState,
+        job: JobId,
+        name: &str,
+        flush_first: bool,
+        flush_path: Option<String>,
+    ) -> Result<()> {
+        if flush_first {
+            let path =
+                flush_path.unwrap_or_else(|| format!("jiffy-expired/{}/{}", job.raw(), name));
+            self.flush_prefix(st, job, name, &path, true)?;
+            st.counters.leases_expired += 1;
+            return Ok(());
+        }
+        let entry = st
+            .jobs
+            .get_mut(&job)
+            .ok_or(JiffyError::UnknownJob(job.raw()))?;
+        let Ok(node) = entry.hierarchy.resolve_mut(name) else {
+            return Ok(());
+        };
+        let locations = node.ds.as_ref().map(DsMeta::locations).unwrap_or_default();
+        node.ds = None;
+        node.version += 1;
+        for loc in &locations {
+            let _ = self.dataplane.reset_block(loc);
+            for r in &loc.chain {
+                st.block_owner.remove(&r.block);
+                let _ = st.freelist.release(r.block);
+            }
+        }
+        Ok(())
+    }
+
+    /// Handles an overload signal: allocate, initialize, order the split,
+    /// commit the new layout (paper Fig. 8).
+    fn handle_overload(
+        &self,
+        st: &mut CtrlState,
+        block: BlockId,
+    ) -> Result<(Option<BlockLocation>, Option<SplitSpec>)> {
+        let Some((job, name)) = st.block_owner.get(&block).cloned() else {
+            return Err(JiffyError::UnknownBlock(block.raw()));
+        };
+        let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
+        let node = entry.hierarchy.resolve(&name)?;
+        let Some(meta) = &node.ds else {
+            return Err(JiffyError::UnknownBlock(block.raw()));
+        };
+        let plan = match meta.plan_split(block) {
+            Ok(p) => p,
+            // Unsplittable (single hot slot / stale signal): no target.
+            Err(_) => return Ok((None, None)),
+        };
+        let ds = meta.ds_type();
+        let source_loc = st.freelist.location_of(block);
+        let new_loc = match st.freelist.allocate_chain(self.cfg.chain_length) {
+            Ok(l) => l,
+            // Capacity exhausted: the block keeps serving; writes beyond
+            // its capacity will fail and spill at the tier above.
+            Err(JiffyError::OutOfBlocks) => return Ok((None, None)),
+            Err(e) => return Err(e),
+        };
+        self.dataplane
+            .init_block(&new_loc, ds, &plan.target_params)?;
+        self.dataplane
+            .split_block(&source_loc, &plan.spec, plan.moves_data.then_some(&new_loc))?;
+        // Commit the layout.
+        let entry = st.jobs.get_mut(&job).expect("checked");
+        let node = entry.hierarchy.resolve_mut(&name).expect("checked");
+        let meta = node.ds.as_mut().expect("checked");
+        meta.commit_split(block, &plan.spec, new_loc.clone())?;
+        node.version += 1;
+        st.block_owner.insert(new_loc.id(), (job, name));
+        st.counters.splits += 1;
+        Ok((Some(new_loc), Some(plan.spec)))
+    }
+
+    /// Handles an underload signal: order the merge, commit, reclaim the
+    /// drained block.
+    fn handle_underload(
+        &self,
+        st: &mut CtrlState,
+        block: BlockId,
+    ) -> Result<(Option<BlockLocation>, Option<MergeSpec>)> {
+        let Some((job, name)) = st.block_owner.get(&block).cloned() else {
+            return Err(JiffyError::UnknownBlock(block.raw()));
+        };
+        let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
+        let node = entry.hierarchy.resolve(&name)?;
+        let Some(meta) = &node.ds else {
+            return Err(JiffyError::UnknownBlock(block.raw()));
+        };
+        let Some(plan) = meta.plan_merge(block)? else {
+            return Ok((None, None));
+        };
+        let source_loc = st.freelist.location_of(block);
+        // Pick the first candidate with room for the source's contents
+        // without immediately re-crossing the high threshold.
+        let target = if plan.candidates.is_empty() {
+            None
+        } else {
+            let (src_used, _) = self.dataplane.block_usage(&source_loc)?;
+            let mut chosen = None;
+            for cand in &plan.candidates {
+                let (used, capacity) = self.dataplane.block_usage(cand)?;
+                let limit = (capacity as f64 * self.cfg.high_threshold) as u64;
+                if used.saturating_add(src_used) < limit {
+                    chosen = Some(cand.clone());
+                    break;
+                }
+            }
+            match chosen {
+                Some(c) => Some(c),
+                // No sibling has headroom: skip the merge.
+                None => return Ok((None, None)),
+            }
+        };
+        // The merge can fail benignly (e.g. queue head not yet drained,
+        // or the target filled concurrently): abort without touching
+        // metadata — the server rolls the source back losslessly.
+        if let Err(e) = self
+            .dataplane
+            .merge_block(&source_loc, &plan.spec, target.as_ref())
+        {
+            return match e {
+                JiffyError::Internal(_) | JiffyError::BlockFull { .. } => Ok((None, None)),
+                other => Err(other),
+            };
+        }
+        let entry = st.jobs.get_mut(&job).expect("checked");
+        let node = entry.hierarchy.resolve_mut(&name).expect("checked");
+        let meta = node.ds.as_mut().expect("checked");
+        meta.commit_merge(block, &plan.spec, target.as_ref())?;
+        node.version += 1;
+        let _ = self.dataplane.reset_block(&source_loc);
+        for r in &source_loc.chain {
+            st.block_owner.remove(&r.block);
+            let _ = st.freelist.release(r.block);
+        }
+        st.counters.merges += 1;
+        Ok((target, Some(plan.spec)))
+    }
+
+    /// One pass of the lease-expiry worker: flush and reclaim every
+    /// prefix whose lease lapsed. Returns the reclaimed prefix names.
+    pub fn run_expiry_once(&self) -> Vec<(JobId, String)> {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let mut expired: Vec<(JobId, String)> = Vec::new();
+        for (job, entry) in &st.jobs {
+            for name in entry.hierarchy.expired(now, self.cfg.lease_duration) {
+                // Only prefixes that still hold memory need reclamation.
+                if entry.hierarchy.get(&name).is_some_and(|n| n.ds.is_some()) {
+                    expired.push((*job, name));
+                }
+            }
+        }
+        for (job, name) in &expired {
+            let _ = self.reclaim_prefix(&mut st, *job, name, true, None);
+        }
+        expired
+    }
+
+    /// Spawns a background thread running [`Controller::run_expiry_once`]
+    /// every `cfg.lease_scan_interval` until the returned handle is
+    /// dropped. Only meaningful with a real-time clock.
+    pub fn start_expiry_worker(self: &Arc<Self>) -> ControllerHandle {
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let ctrl = Arc::clone(self);
+        let interval = self.cfg.lease_scan_interval;
+        let thread = std::thread::Builder::new()
+            .name("jiffy-lease-expiry".into())
+            .spawn(move || {
+                while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    ctrl.run_expiry_once();
+                }
+            })
+            .expect("spawn expiry worker");
+        ControllerHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
+    fn stats_locked(&self, st: &CtrlState) -> ControllerStats {
+        let prefixes: u64 = st.jobs.values().map(|j| j.hierarchy.len() as u64).sum();
+        let metadata_bytes: u64 = st.jobs.values().map(|j| j.hierarchy.metadata_bytes()).sum();
+        ControllerStats {
+            free_blocks: st.freelist.free_count() as u64,
+            total_blocks: st.freelist.total_count() as u64,
+            jobs: st.jobs.len() as u64,
+            prefixes,
+            ops_served: st.counters.ops_served,
+            leases_expired: st.counters.leases_expired,
+            splits: st.counters.splits,
+            merges: st.counters.merges,
+            metadata_bytes,
+        }
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> ControllerStats {
+        let st = self.state.lock();
+        self.stats_locked(&st)
+    }
+}
+
+/// Mirror of `jiffy-ds`'s KV init params for the load path (same wire
+/// layout; see `crate::meta` for the rationale).
+#[derive(Serialize, Deserialize)]
+struct InitKvMirror {
+    ranges: Vec<(u32, u32)>,
+    num_slots: u32,
+}
+
+impl Service for Controller {
+    fn handle(&self, req: Envelope, _session: &SessionHandle) -> Envelope {
+        match req {
+            Envelope::ControlReq { id, req } => Envelope::ControlResp {
+                id,
+                resp: self.dispatch(req),
+            },
+            Envelope::DataReq { id, .. } => Envelope::DataResp {
+                id,
+                resp: Err(JiffyError::Rpc(
+                    "data request sent to the controller".into(),
+                )),
+            },
+            other => Envelope::ControlResp {
+                id: 0,
+                resp: Err(JiffyError::Rpc(format!("unexpected envelope {other:?}"))),
+            },
+        }
+    }
+}
+
+/// Handle keeping the lease-expiry worker alive; stops it on drop.
+pub struct ControllerHandle {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ControllerHandle {
+    /// Stops the worker and waits for it to exit.
+    pub fn stop(&mut self) {
+        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ControllerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_common::clock::ManualClock;
+    use jiffy_persistent::MemObjectStore;
+    use std::time::Duration;
+
+    fn controller() -> (Arc<Controller>, Arc<ManualClock>, Arc<MemObjectStore>) {
+        let (clock, shared) = ManualClock::shared();
+        let store = Arc::new(MemObjectStore::new());
+        let cfg = JiffyConfig::for_testing();
+        let ctrl = Controller::new(cfg, shared, Arc::new(NoopDataPlane), store.clone());
+        (ctrl, clock, store)
+    }
+
+    fn register(ctrl: &Controller) -> JobId {
+        match ctrl
+            .dispatch(ControlRequest::RegisterJob {
+                name: "test".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::JobRegistered { job } => job,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn add_server(ctrl: &Controller, blocks: u32) {
+        ctrl.dispatch(ControlRequest::RegisterServer {
+            addr: "inproc:0".into(),
+            capacity_blocks: blocks,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn job_lifecycle_and_stats() {
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "t1".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 2,
+        })
+        .unwrap();
+        let stats = ctrl.stats();
+        assert_eq!(stats.jobs, 1);
+        assert_eq!(stats.prefixes, 1);
+        assert_eq!(stats.total_blocks, 8);
+        assert_eq!(stats.free_blocks, 6);
+        ctrl.dispatch(ControlRequest::DeregisterJob { job })
+            .unwrap();
+        let stats = ctrl.stats();
+        assert_eq!(stats.jobs, 0);
+        assert_eq!(stats.free_blocks, 8);
+    }
+
+    #[test]
+    fn resolve_returns_partition_views() {
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 2,
+        })
+        .unwrap();
+        match ctrl
+            .dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::Resolved(view) => {
+                assert_eq!(view.ds, Some(DsType::KvStore));
+                match view.partition.unwrap() {
+                    jiffy_proto::PartitionView::Kv { num_slots, slots } => {
+                        assert_eq!(num_slots, 1024);
+                        assert_eq!(slots.len(), 2);
+                        assert_eq!(slots[0].lo, 0);
+                        assert_eq!(slots[1].hi, 1023);
+                    }
+                    other => panic!("{other:?}"),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_job_and_prefix_errors() {
+        let (ctrl, _clock, _) = controller();
+        assert!(matches!(
+            ctrl.dispatch(ControlRequest::ResolvePrefix {
+                job: JobId(9),
+                name: "x".into()
+            }),
+            Err(JiffyError::UnknownJob(9))
+        ));
+        let job = register(&ctrl);
+        assert!(matches!(
+            ctrl.dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "ghost".into()
+            }),
+            Err(JiffyError::PathNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn create_hierarchy_builds_the_dag() {
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 16);
+        let job = register(&ctrl);
+        let nodes = vec![
+            DagNodeSpec {
+                name: "map".into(),
+                parents: vec![],
+                ds: Some(DsType::File),
+                initial_blocks: 1,
+            },
+            DagNodeSpec {
+                name: "reduce".into(),
+                parents: vec!["map".into()],
+                ds: Some(DsType::File),
+                initial_blocks: 1,
+            },
+        ];
+        ctrl.dispatch(ControlRequest::CreateHierarchy { job, nodes })
+            .unwrap();
+        match ctrl.dispatch(ControlRequest::ListPrefixes { job }).unwrap() {
+            ControlResponse::Prefixes(p) => assert_eq!(p, vec!["map", "reduce"]),
+            other => panic!("{other:?}"),
+        }
+        // Dotted path resolution works.
+        assert!(matches!(
+            ctrl.dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "map.reduce".into()
+            }),
+            Ok(ControlResponse::Resolved(_))
+        ));
+    }
+
+    #[test]
+    fn lease_renewal_propagates_and_expiry_reclaims() {
+        let (ctrl, clock, store) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        for (name, parents) in [("a", vec![]), ("b", vec!["a".to_string()])] {
+            ctrl.dispatch(ControlRequest::CreatePrefix {
+                job,
+                name: name.into(),
+                parents,
+                ds: Some(DsType::File),
+                initial_blocks: 1,
+            })
+            .unwrap();
+        }
+        // Renew "a": renews a and its descendant b.
+        clock.advance(Duration::from_millis(500));
+        match ctrl
+            .dispatch(ControlRequest::RenewLease {
+                job,
+                name: "a".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::LeaseRenewed { renewed, .. } => {
+                assert_eq!(renewed.len(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Advance past the lease (1 s for the test config).
+        clock.advance(Duration::from_secs(2));
+        let expired = ctrl.run_expiry_once();
+        assert_eq!(expired.len(), 2);
+        let stats = ctrl.stats();
+        assert_eq!(stats.leases_expired, 2);
+        assert_eq!(stats.free_blocks, 8, "blocks reclaimed");
+        // Data was flushed to the auto path before reclamation.
+        assert!(store.exists(&format!("jiffy-expired/{}/a", job.raw())));
+        assert!(store.exists(&format!("jiffy-expired/{}/b", job.raw())));
+        // A second pass reclaims nothing further.
+        assert!(ctrl.run_expiry_once().is_empty());
+    }
+
+    #[test]
+    fn renewals_prevent_expiry() {
+        let (ctrl, clock, _) = controller();
+        add_server(&ctrl, 4);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "live".into(),
+            parents: vec![],
+            ds: Some(DsType::Queue),
+            initial_blocks: 1,
+        })
+        .unwrap();
+        for _ in 0..5 {
+            clock.advance(Duration::from_millis(800));
+            ctrl.dispatch(ControlRequest::RenewLease {
+                job,
+                name: "live".into(),
+            })
+            .unwrap();
+            assert!(ctrl.run_expiry_once().is_empty());
+        }
+    }
+
+    #[test]
+    fn flush_and_load_round_trip_via_persistent_tier() {
+        let (ctrl, _clock, store) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "t".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 1,
+        })
+        .unwrap();
+        match ctrl
+            .dispatch(ControlRequest::FlushPrefix {
+                job,
+                name: "t".into(),
+                external_path: "s3/ckpt".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::Persisted { .. } => {}
+            other => panic!("{other:?}"),
+        }
+        assert!(store.exists("s3/ckpt"));
+        // Remove and reload.
+        ctrl.dispatch(ControlRequest::RemovePrefix {
+            job,
+            name: "t".into(),
+        })
+        .unwrap();
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "t".into(),
+            parents: vec![],
+            ds: None,
+            initial_blocks: 0,
+        })
+        .unwrap();
+        ctrl.dispatch(ControlRequest::LoadPrefix {
+            job,
+            name: "t".into(),
+            external_path: "s3/ckpt".into(),
+        })
+        .unwrap();
+        match ctrl
+            .dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "t".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::Resolved(view) => {
+                assert_eq!(view.ds, Some(DsType::KvStore));
+                assert!(view.partition.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_allocates_and_commits_split() {
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 4);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 1,
+        })
+        .unwrap();
+        let block = match ctrl
+            .dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::Resolved(v) => v.partition.unwrap().blocks()[0].id(),
+            other => panic!("{other:?}"),
+        };
+        match ctrl
+            .dispatch(ControlRequest::ReportOverload { block, used: 999 })
+            .unwrap()
+        {
+            ControlResponse::SplitTarget { target, spec } => {
+                assert!(target.is_some());
+                assert_eq!(spec, Some(SplitSpec::KvSlots { lo: 512, hi: 1023 }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ctrl.stats().splits, 1);
+        // The view now shows two blocks and a bumped version.
+        match ctrl
+            .dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::Resolved(v) => {
+                assert_eq!(v.partition.unwrap().blocks().len(), 2);
+                assert_eq!(v.version, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn overload_without_free_blocks_returns_no_target() {
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 1);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 1,
+        })
+        .unwrap();
+        let block = BlockId(0);
+        match ctrl
+            .dispatch(ControlRequest::ReportOverload { block, used: 999 })
+            .unwrap()
+        {
+            ControlResponse::SplitTarget { target, spec } => {
+                assert!(target.is_none());
+                assert!(spec.is_none());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn underload_merges_kv_blocks() {
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 4);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 2,
+        })
+        .unwrap();
+        let blocks = match ctrl
+            .dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            })
+            .unwrap()
+        {
+            ControlResponse::Resolved(v) => v
+                .partition
+                .unwrap()
+                .blocks()
+                .iter()
+                .map(|l| l.id())
+                .collect::<Vec<_>>(),
+            other => panic!("{other:?}"),
+        };
+        match ctrl
+            .dispatch(ControlRequest::ReportUnderload {
+                block: blocks[1],
+                used: 1,
+            })
+            .unwrap()
+        {
+            ControlResponse::MergeTarget { target, spec } => {
+                assert_eq!(target.unwrap().id(), blocks[0]);
+                assert_eq!(spec, Some(MergeSpec::KvAbsorb));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(ctrl.stats().merges, 1);
+        assert_eq!(ctrl.stats().free_blocks, 3, "merged block reclaimed");
+    }
+
+    #[test]
+    fn metadata_overhead_matches_the_paper() {
+        // §6.4: 64 B per task + 8 B per block. For 128 MB blocks this is
+        // < 0.0001 % of stored data.
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "t1".into(),
+            parents: vec![],
+            ds: Some(DsType::File),
+            initial_blocks: 4,
+        })
+        .unwrap();
+        let stats = ctrl.stats();
+        assert_eq!(stats.metadata_bytes, 64 + 4 * 8);
+        let data_bytes = 4u64 * 128 * 1024 * 1024;
+        let overhead = stats.metadata_bytes as f64 / data_bytes as f64;
+        assert!(overhead < 0.000_001, "{overhead}");
+    }
+
+    #[test]
+    fn out_of_blocks_on_create_rolls_back() {
+        let (ctrl, _clock, _) = controller();
+        add_server(&ctrl, 2);
+        let job = register(&ctrl);
+        let err = ctrl
+            .dispatch(ControlRequest::CreatePrefix {
+                job,
+                name: "big".into(),
+                parents: vec![],
+                ds: Some(DsType::KvStore),
+                initial_blocks: 5,
+            })
+            .unwrap_err();
+        assert!(matches!(err, JiffyError::OutOfBlocks));
+        // Nothing leaked: blocks free, node gone.
+        assert_eq!(ctrl.stats().free_blocks, 2);
+        assert!(ctrl
+            .dispatch(ControlRequest::ResolvePrefix {
+                job,
+                name: "big".into()
+            })
+            .is_err());
+    }
+}

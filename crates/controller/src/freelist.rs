@@ -1,0 +1,266 @@
+//! The free block list and memory-server membership.
+
+use std::collections::{HashMap, VecDeque};
+
+use jiffy_common::id::IdGen;
+use jiffy_common::{BlockId, JiffyError, Result, ServerId};
+use jiffy_proto::{BlockLocation, Endpoint, Replica};
+
+/// Tracks every registered memory server, every block in the cluster,
+/// and which blocks are currently free.
+///
+/// Assignment of blocks to address prefixes is exactly the paper's
+/// virtual-memory analogy: the data plane's physical blocks are
+/// multiplexed across prefixes at block granularity, while tasks operate
+/// under the illusion of unbounded prefix capacity.
+#[derive(Debug, Default)]
+pub struct FreeList {
+    servers: HashMap<ServerId, Endpoint>,
+    /// Every block's home server (free or not).
+    homes: HashMap<BlockId, ServerId>,
+    free: VecDeque<BlockId>,
+    server_ids: IdGen,
+    block_ids: IdGen,
+}
+
+impl FreeList {
+    /// Creates an empty free list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a memory server contributing `capacity_blocks` blocks;
+    /// returns its ID and the IDs assigned to its blocks.
+    pub fn register_server(
+        &mut self,
+        addr: impl Into<String>,
+        capacity_blocks: u32,
+    ) -> (ServerId, Vec<BlockId>) {
+        let server: ServerId = self.server_ids.next_id();
+        let addr = addr.into();
+        self.servers.insert(server, Endpoint { server, addr });
+        let mut blocks = Vec::with_capacity(capacity_blocks as usize);
+        for _ in 0..capacity_blocks {
+            let id: BlockId = self.block_ids.next_id();
+            self.homes.insert(id, server);
+            self.free.push_back(id);
+            blocks.push(id);
+        }
+        (server, blocks)
+    }
+
+    /// Allocates one free block, preferring round-robin order across
+    /// servers (FIFO over the free list achieves this for equal-size
+    /// servers).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::OutOfBlocks`] when nothing is free.
+    pub fn allocate(&mut self) -> Result<BlockLocation> {
+        let block = self.free.pop_front().ok_or(JiffyError::OutOfBlocks)?;
+        Ok(self.location_of(block))
+    }
+
+    /// Allocates a replication chain of `n` blocks on as many distinct
+    /// servers as possible (head first).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::OutOfBlocks`] if fewer than `n` blocks are free; no
+    /// partial allocation occurs.
+    pub fn allocate_chain(&mut self, n: usize) -> Result<BlockLocation> {
+        if n == 0 {
+            return Err(JiffyError::Internal("chain length must be >= 1".into()));
+        }
+        if self.free.len() < n {
+            return Err(JiffyError::OutOfBlocks);
+        }
+        // Greedy pass preferring distinct servers; fall back to whatever
+        // is free if the cluster has fewer servers than replicas.
+        let mut chosen: Vec<BlockId> = Vec::with_capacity(n);
+        let mut used_servers: Vec<ServerId> = Vec::with_capacity(n);
+        for pass in 0..2 {
+            if chosen.len() == n {
+                break;
+            }
+            let mut i = 0;
+            while i < self.free.len() && chosen.len() < n {
+                let candidate = self.free[i];
+                let home = self.homes[&candidate];
+                let distinct_ok = pass == 1 || !used_servers.contains(&home);
+                if distinct_ok && !chosen.contains(&candidate) {
+                    chosen.push(candidate);
+                    used_servers.push(home);
+                }
+                i += 1;
+            }
+        }
+        debug_assert_eq!(chosen.len(), n);
+        self.free.retain(|b| !chosen.contains(b));
+        let chain = chosen
+            .into_iter()
+            .map(|block| {
+                let ep = &self.servers[&self.homes[&block]];
+                Replica {
+                    block,
+                    server: ep.server,
+                    addr: ep.addr.clone(),
+                }
+            })
+            .collect();
+        Ok(BlockLocation { chain })
+    }
+
+    /// Returns a block to the free pool.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] for blocks the cluster never had;
+    /// [`JiffyError::Internal`] for double-frees.
+    pub fn release(&mut self, block: BlockId) -> Result<()> {
+        if !self.homes.contains_key(&block) {
+            return Err(JiffyError::UnknownBlock(block.raw()));
+        }
+        if self.free.contains(&block) {
+            return Err(JiffyError::Internal(format!("double free of {block}")));
+        }
+        self.free.push_back(block);
+        Ok(())
+    }
+
+    /// Location (single-replica) of any known block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block was never registered.
+    pub fn location_of(&self, block: BlockId) -> BlockLocation {
+        let home = self.homes[&block];
+        let ep = &self.servers[&home];
+        BlockLocation::single(block, ep.server, ep.addr.clone())
+    }
+
+    /// Whether the block is currently free.
+    pub fn is_free(&self, block: BlockId) -> bool {
+        self.free.contains(&block)
+    }
+
+    /// Number of free blocks.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total blocks across all servers.
+    pub fn total_count(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Registered server endpoints.
+    pub fn servers(&self) -> Vec<Endpoint> {
+        let mut v: Vec<Endpoint> = self.servers.values().cloned().collect();
+        v.sort_by_key(|e| e.server);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_allocate_release_cycle() {
+        let mut fl = FreeList::new();
+        let (s1, blocks) = fl.register_server("inproc:0", 4);
+        assert_eq!(blocks.len(), 4);
+        assert_eq!(fl.free_count(), 4);
+        assert_eq!(fl.total_count(), 4);
+
+        let loc = fl.allocate().unwrap();
+        assert_eq!(loc.head().server, s1);
+        assert_eq!(fl.free_count(), 3);
+        assert!(!fl.is_free(loc.id()));
+
+        fl.release(loc.id()).unwrap();
+        assert_eq!(fl.free_count(), 4);
+    }
+
+    #[test]
+    fn exhaustion_yields_out_of_blocks() {
+        let mut fl = FreeList::new();
+        fl.register_server("inproc:0", 2);
+        fl.allocate().unwrap();
+        fl.allocate().unwrap();
+        assert!(matches!(fl.allocate(), Err(JiffyError::OutOfBlocks)));
+    }
+
+    #[test]
+    fn double_free_and_unknown_free_are_rejected() {
+        let mut fl = FreeList::new();
+        let (_, blocks) = fl.register_server("inproc:0", 1);
+        assert!(matches!(
+            fl.release(BlockId(99)),
+            Err(JiffyError::UnknownBlock(99))
+        ));
+        // blocks[0] is free already.
+        assert!(fl.release(blocks[0]).is_err());
+    }
+
+    #[test]
+    fn block_ids_are_unique_across_servers() {
+        let mut fl = FreeList::new();
+        let (_, b1) = fl.register_server("inproc:0", 3);
+        let (_, b2) = fl.register_server("inproc:1", 3);
+        for b in &b1 {
+            assert!(!b2.contains(b));
+        }
+        assert_eq!(fl.total_count(), 6);
+    }
+
+    #[test]
+    fn chains_prefer_distinct_servers() {
+        let mut fl = FreeList::new();
+        let (s1, _) = fl.register_server("inproc:0", 2);
+        let (s2, _) = fl.register_server("inproc:1", 2);
+        let (s3, _) = fl.register_server("inproc:2", 2);
+        let loc = fl.allocate_chain(3).unwrap();
+        let servers: Vec<ServerId> = loc.chain.iter().map(|r| r.server).collect();
+        assert_eq!(servers.len(), 3);
+        for s in [s1, s2, s3] {
+            assert!(servers.contains(&s), "{s} missing from chain");
+        }
+        assert_eq!(fl.free_count(), 3);
+    }
+
+    #[test]
+    fn chains_fall_back_to_shared_servers_when_needed() {
+        let mut fl = FreeList::new();
+        fl.register_server("inproc:0", 3);
+        let loc = fl.allocate_chain(2).unwrap();
+        assert_eq!(loc.chain.len(), 2);
+        assert_ne!(loc.chain[0].block, loc.chain[1].block);
+    }
+
+    #[test]
+    fn chain_allocation_is_all_or_nothing() {
+        let mut fl = FreeList::new();
+        fl.register_server("inproc:0", 1);
+        assert!(matches!(fl.allocate_chain(2), Err(JiffyError::OutOfBlocks)));
+        assert_eq!(fl.free_count(), 1);
+    }
+
+    #[test]
+    fn allocation_round_robins_across_servers() {
+        let mut fl = FreeList::new();
+        fl.register_server("inproc:0", 2);
+        fl.register_server("inproc:1", 2);
+        // FIFO order: s0, s0, s1, s1 registered in that order; releases
+        // go to the back.
+        let a = fl.allocate().unwrap();
+        fl.release(a.id()).unwrap();
+        let b = fl.allocate().unwrap();
+        assert_ne!(
+            a.id(),
+            b.id(),
+            "released block goes to the back of the queue"
+        );
+    }
+}

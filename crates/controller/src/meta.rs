@@ -1,0 +1,730 @@
+//! Data-structure partitioning metadata (the "metadata manager").
+//!
+//! For every prefix with a bound data structure, the controller tracks
+//! how that structure is laid out across blocks, plans splits and merges
+//! when blocks cross their thresholds, and produces the
+//! [`PartitionView`]s clients cache.
+
+use jiffy_common::{BlockId, JiffyError, Result};
+use jiffy_proto::{BlockLocation, DsType, MergeSpec, PartitionView, SlotRange, SplitSpec};
+use serde::{Deserialize, Serialize};
+
+/// A planned split: what the source gives up, and how the new block must
+/// be initialized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPlan {
+    /// Instruction for the source block.
+    pub spec: SplitSpec,
+    /// Wire-encoded init parameters for the new block.
+    pub target_params: Vec<u8>,
+    /// Whether any payload actually moves (KV yes; file/queue no).
+    pub moves_data: bool,
+}
+
+/// A planned merge: where the source's contents could go.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergePlan {
+    /// Instruction for the source block.
+    pub spec: MergeSpec,
+    /// Candidate receiving blocks, in preference order (empty for queue
+    /// unlinks, which move no data). The controller picks the first
+    /// candidate with enough headroom.
+    pub candidates: Vec<BlockLocation>,
+}
+
+/// Partition layout of one data structure across its blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DsMeta {
+    /// Ordered chunk list; chunk `i` covers `[i·chunk, (i+1)·chunk)`.
+    File {
+        /// Chunk capacity in bytes (= block size).
+        chunk_size: u64,
+        /// Chunks in offset order.
+        blocks: Vec<BlockLocation>,
+    },
+    /// Live queue segments, oldest first.
+    Queue {
+        /// Segments in FIFO order.
+        segments: Vec<BlockLocation>,
+        /// Ordinal for the next segment (monotonic across unlinks).
+        next_ordinal: u64,
+    },
+    /// Slot-range → block map.
+    Kv {
+        /// Keyspace size.
+        num_slots: u32,
+        /// Disjoint (lo, hi, block) entries covering `[0, num_slots)`.
+        slots: Vec<(u32, u32, BlockLocation)>,
+    },
+}
+
+/// Serializable skeleton of a [`DsMeta`] (without block locations), used
+/// in flush records so a prefix can be reconstructed on load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DsSkeleton {
+    /// File: number of chunks and chunk size.
+    File {
+        /// Chunk size in bytes.
+        chunk_size: u64,
+        /// Number of chunks.
+        chunks: u64,
+    },
+    /// Queue: number of live segments and the next ordinal.
+    Queue {
+        /// Live segment count.
+        segments: u64,
+        /// Next segment ordinal.
+        next_ordinal: u64,
+    },
+    /// KV: slot ranges in block order.
+    Kv {
+        /// Keyspace size.
+        num_slots: u32,
+        /// Per-block owned ranges (the i-th entry set belongs to the
+        /// i-th flushed block).
+        ranges: Vec<Vec<(u32, u32)>>,
+    },
+}
+
+impl DsMeta {
+    /// Creates empty metadata for a freshly bound structure.
+    pub fn new(ds: DsType, block_size: usize, kv_slots: u32) -> Self {
+        match ds {
+            DsType::File => Self::File {
+                chunk_size: block_size as u64,
+                blocks: Vec::new(),
+            },
+            DsType::Queue => Self::Queue {
+                segments: Vec::new(),
+                next_ordinal: 0,
+            },
+            DsType::KvStore => Self::Kv {
+                num_slots: kv_slots,
+                slots: Vec::new(),
+            },
+        }
+    }
+
+    /// The structure type.
+    pub fn ds_type(&self) -> DsType {
+        match self {
+            Self::File { .. } => DsType::File,
+            Self::Queue { .. } => DsType::Queue,
+            Self::Kv { .. } => DsType::KvStore,
+        }
+    }
+
+    /// Logical block IDs in layout order.
+    pub fn blocks(&self) -> Vec<BlockId> {
+        self.locations().iter().map(BlockLocation::id).collect()
+    }
+
+    /// Block locations in layout order.
+    pub fn locations(&self) -> Vec<BlockLocation> {
+        match self {
+            Self::File { blocks, .. } => blocks.clone(),
+            Self::Queue { segments, .. } => segments.clone(),
+            Self::Kv { slots, .. } => {
+                let mut out: Vec<BlockLocation> = Vec::new();
+                for (_, _, loc) in slots {
+                    if !out.iter().any(|l| l.id() == loc.id()) {
+                        out.push(loc.clone());
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// The client-facing partition view.
+    pub fn view(&self) -> PartitionView {
+        match self {
+            Self::File { chunk_size, blocks } => PartitionView::File {
+                chunk_size: *chunk_size,
+                blocks: blocks.clone(),
+            },
+            Self::Queue { segments, .. } => PartitionView::Queue {
+                segments: segments.clone(),
+                head_index: 0,
+            },
+            Self::Kv { num_slots, slots } => PartitionView::Kv {
+                num_slots: *num_slots,
+                slots: slots
+                    .iter()
+                    .map(|(lo, hi, loc)| SlotRange {
+                        lo: *lo,
+                        hi: *hi,
+                        location: loc.clone(),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Init parameters for the *first* block(s) of the structure: the
+    /// i-th of `total` initial blocks.
+    ///
+    /// # Errors
+    ///
+    /// Codec failures only.
+    pub fn initial_params(&self, i: u32, total: u32) -> Result<Vec<u8>> {
+        match self {
+            Self::File { .. } => jiffy_proto::to_bytes(&InitFile {
+                chunk_index: i as u64,
+            }),
+            Self::Queue { .. } => jiffy_proto::to_bytes(&InitQueue {
+                segment_index: i as u64,
+            }),
+            Self::Kv { num_slots, .. } => {
+                // Evenly partition the keyspace over the initial blocks.
+                let per = num_slots / total;
+                let lo = i * per;
+                let hi = if i == total - 1 {
+                    num_slots - 1
+                } else {
+                    (i + 1) * per - 1
+                };
+                jiffy_proto::to_bytes(&InitKv {
+                    ranges: vec![(lo, hi)],
+                    num_slots: *num_slots,
+                })
+            }
+        }
+    }
+
+    /// Registers the initial blocks after allocation (in the same order
+    /// `initial_params` was called).
+    pub fn install_initial(&mut self, locs: Vec<BlockLocation>) {
+        match self {
+            Self::File { blocks, .. } => *blocks = locs,
+            Self::Queue {
+                segments,
+                next_ordinal,
+            } => {
+                *next_ordinal = locs.len() as u64;
+                *segments = locs;
+            }
+            Self::Kv { num_slots, slots } => {
+                let total = locs.len() as u32;
+                let per = *num_slots / total;
+                *slots = locs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, loc)| {
+                        let i = i as u32;
+                        let lo = i * per;
+                        let hi = if i == total - 1 {
+                            *num_slots - 1
+                        } else {
+                            (i + 1) * per - 1
+                        };
+                        (lo, hi, loc)
+                    })
+                    .collect();
+            }
+        }
+    }
+
+    /// Plans the split of an overloaded block.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] if the block is not part of this
+    /// structure; [`JiffyError::Internal`] if the block cannot split
+    /// (e.g. a KV block owning a single slot).
+    pub fn plan_split(&self, overloaded: BlockId) -> Result<SplitPlan> {
+        match self {
+            Self::File { blocks, .. } => {
+                if !blocks.iter().any(|l| l.id() == overloaded) {
+                    return Err(JiffyError::UnknownBlock(overloaded.raw()));
+                }
+                let chunk_index = blocks.len() as u64;
+                Ok(SplitPlan {
+                    spec: SplitSpec::FileAppend { chunk_index },
+                    target_params: jiffy_proto::to_bytes(&InitFile { chunk_index })?,
+                    moves_data: false,
+                })
+            }
+            Self::Queue {
+                segments,
+                next_ordinal,
+            } => {
+                // Only the tail segment grows; splits elsewhere are stale
+                // signals.
+                let tail = segments
+                    .last()
+                    .ok_or(JiffyError::UnknownBlock(overloaded.raw()))?;
+                if tail.id() != overloaded {
+                    return Err(JiffyError::Internal(format!(
+                        "block {overloaded} is not the queue tail; ignoring split"
+                    )));
+                }
+                Ok(SplitPlan {
+                    spec: SplitSpec::QueueLink,
+                    target_params: jiffy_proto::to_bytes(&InitQueue {
+                        segment_index: *next_ordinal,
+                    })?,
+                    moves_data: false,
+                })
+            }
+            Self::Kv { num_slots, slots } => {
+                let owned: Vec<(u32, u32)> = slots
+                    .iter()
+                    .filter(|(_, _, loc)| loc.id() == overloaded)
+                    .map(|(lo, hi, _)| (*lo, *hi))
+                    .collect();
+                if owned.is_empty() {
+                    return Err(JiffyError::UnknownBlock(overloaded.raw()));
+                }
+                let (lo, hi) = Self::choose_split_range(&owned).ok_or_else(|| {
+                    JiffyError::Internal(format!(
+                        "kv block {overloaded} owns a single slot; cannot split further"
+                    ))
+                })?;
+                Ok(SplitPlan {
+                    spec: SplitSpec::KvSlots { lo, hi },
+                    target_params: jiffy_proto::to_bytes(&InitKv {
+                        ranges: vec![],
+                        num_slots: *num_slots,
+                    })?,
+                    moves_data: true,
+                })
+            }
+        }
+    }
+
+    /// Picks the slot range a splitting KV block gives away: the upper
+    /// half of its largest owned range, or its entire last range when it
+    /// owns several. Returns `None` when every owned range is a single
+    /// slot and there is only one of them.
+    fn choose_split_range(owned: &[(u32, u32)]) -> Option<(u32, u32)> {
+        if owned.len() > 1 {
+            return Some(*owned.last().expect("non-empty"));
+        }
+        let (lo, hi) = owned[0];
+        if lo == hi {
+            return None;
+        }
+        let mid = lo + (hi - lo) / 2;
+        Some((mid + 1, hi))
+    }
+
+    /// Commits a planned split after the data has moved.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::Internal`] on spec/meta mismatch.
+    pub fn commit_split(
+        &mut self,
+        source: BlockId,
+        spec: &SplitSpec,
+        new_block: BlockLocation,
+    ) -> Result<()> {
+        match (self, spec) {
+            (Self::File { blocks, .. }, SplitSpec::FileAppend { .. }) => {
+                blocks.push(new_block);
+                Ok(())
+            }
+            (
+                Self::Queue {
+                    segments,
+                    next_ordinal,
+                },
+                SplitSpec::QueueLink,
+            ) => {
+                segments.push(new_block);
+                *next_ordinal += 1;
+                Ok(())
+            }
+            (Self::Kv { slots, .. }, SplitSpec::KvSlots { lo, hi }) => {
+                // Remove [lo, hi] from the source's entries, then add the
+                // new ownership.
+                let mut updated = Vec::with_capacity(slots.len() + 1);
+                for (a, b, loc) in slots.drain(..) {
+                    if loc.id() != source || b < *lo || a > *hi {
+                        updated.push((a, b, loc));
+                        continue;
+                    }
+                    if a < *lo {
+                        updated.push((a, *lo - 1, loc.clone()));
+                    }
+                    if b > *hi {
+                        updated.push((*hi + 1, b, loc.clone()));
+                    }
+                }
+                updated.push((*lo, *hi, new_block));
+                updated.sort_by_key(|(a, _, _)| *a);
+                *slots = updated;
+                Ok(())
+            }
+            _ => Err(JiffyError::Internal(
+                "split spec does not match data structure".into(),
+            )),
+        }
+    }
+
+    /// Plans the merge of an underloaded block. Returns `Ok(None)` when
+    /// no merge applies (files never merge; single-block structures
+    /// cannot shrink; non-head queue segments wait their turn).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] if the block is not part of this
+    /// structure.
+    pub fn plan_merge(&self, underloaded: BlockId) -> Result<Option<MergePlan>> {
+        match self {
+            Self::File { blocks, .. } => {
+                if !blocks.iter().any(|l| l.id() == underloaded) {
+                    return Err(JiffyError::UnknownBlock(underloaded.raw()));
+                }
+                Ok(None)
+            }
+            Self::Queue { segments, .. } => {
+                let idx = segments
+                    .iter()
+                    .position(|l| l.id() == underloaded)
+                    .ok_or(JiffyError::UnknownBlock(underloaded.raw()))?;
+                // Only a drained head unlinks, and only if a newer
+                // segment exists to keep serving the queue.
+                if idx == 0 && segments.len() > 1 {
+                    Ok(Some(MergePlan {
+                        spec: MergeSpec::QueueUnlink,
+                        candidates: Vec::new(),
+                    }))
+                } else {
+                    Ok(None)
+                }
+            }
+            Self::Kv { slots, .. } => {
+                if !slots.iter().any(|(_, _, loc)| loc.id() == underloaded) {
+                    return Err(JiffyError::UnknownBlock(underloaded.raw()));
+                }
+                // Candidates: every sibling block, slot-adjacent ones
+                // first (coalescing neighbours keeps the map small).
+                let mut candidates: Vec<BlockLocation> = Vec::new();
+                for (_, _, loc) in slots {
+                    if loc.id() != underloaded && !candidates.iter().any(|c| c.id() == loc.id()) {
+                        candidates.push(loc.clone());
+                    }
+                }
+                if candidates.is_empty() {
+                    Ok(None)
+                } else {
+                    Ok(Some(MergePlan {
+                        spec: MergeSpec::KvAbsorb,
+                        candidates,
+                    }))
+                }
+            }
+        }
+    }
+
+    /// Commits a planned merge after the data has moved: the source block
+    /// leaves the layout; for KV, the target takes over its ranges.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::Internal`] on spec/meta mismatch.
+    pub fn commit_merge(
+        &mut self,
+        source: BlockId,
+        spec: &MergeSpec,
+        target: Option<&BlockLocation>,
+    ) -> Result<()> {
+        match (self, spec) {
+            (Self::Queue { segments, .. }, MergeSpec::QueueUnlink) => {
+                segments.retain(|l| l.id() != source);
+                Ok(())
+            }
+            (Self::Kv { slots, .. }, MergeSpec::KvAbsorb) => {
+                let target = target
+                    .ok_or_else(|| JiffyError::Internal("kv merge requires a target".into()))?;
+                for entry in slots.iter_mut() {
+                    if entry.2.id() == source {
+                        entry.2 = target.clone();
+                    }
+                }
+                // Coalesce adjacent ranges of the same block.
+                slots.sort_by_key(|(a, _, _)| *a);
+                let mut merged: Vec<(u32, u32, BlockLocation)> = Vec::with_capacity(slots.len());
+                for (a, b, loc) in slots.drain(..) {
+                    match merged.last_mut() {
+                        Some((_, pb, ploc)) if *pb + 1 == a && ploc.id() == loc.id() => {
+                            *pb = b;
+                        }
+                        _ => merged.push((a, b, loc)),
+                    }
+                }
+                *slots = merged;
+                Ok(())
+            }
+            _ => Err(JiffyError::Internal(
+                "merge spec does not match data structure".into(),
+            )),
+        }
+    }
+
+    /// Serializable layout skeleton (for flush records).
+    pub fn skeleton(&self) -> DsSkeleton {
+        match self {
+            Self::File { chunk_size, blocks } => DsSkeleton::File {
+                chunk_size: *chunk_size,
+                chunks: blocks.len() as u64,
+            },
+            Self::Queue {
+                segments,
+                next_ordinal,
+            } => DsSkeleton::Queue {
+                segments: segments.len() as u64,
+                next_ordinal: *next_ordinal,
+            },
+            Self::Kv { num_slots, slots } => {
+                let locs = self.locations();
+                let ranges = locs
+                    .iter()
+                    .map(|loc| {
+                        slots
+                            .iter()
+                            .filter(|(_, _, l)| l.id() == loc.id())
+                            .map(|(a, b, _)| (*a, *b))
+                            .collect()
+                    })
+                    .collect();
+                DsSkeleton::Kv {
+                    num_slots: *num_slots,
+                    ranges,
+                }
+            }
+        }
+    }
+
+    /// Rebuilds metadata from a skeleton and freshly allocated blocks
+    /// (in the same order the skeleton's blocks were flushed).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::Internal`] if the block count does not match.
+    pub fn from_skeleton(skel: &DsSkeleton, locs: Vec<BlockLocation>) -> Result<Self> {
+        let expected = match skel {
+            DsSkeleton::File { chunks, .. } => *chunks as usize,
+            DsSkeleton::Queue { segments, .. } => *segments as usize,
+            DsSkeleton::Kv { ranges, .. } => ranges.len(),
+        };
+        if locs.len() != expected {
+            return Err(JiffyError::Internal(format!(
+                "skeleton expects {expected} blocks, got {}",
+                locs.len()
+            )));
+        }
+        Ok(match skel {
+            DsSkeleton::File { chunk_size, .. } => Self::File {
+                chunk_size: *chunk_size,
+                blocks: locs,
+            },
+            DsSkeleton::Queue { next_ordinal, .. } => Self::Queue {
+                segments: locs,
+                next_ordinal: *next_ordinal,
+            },
+            DsSkeleton::Kv { num_slots, ranges } => {
+                let mut slots = Vec::new();
+                for (loc, owned) in locs.into_iter().zip(ranges) {
+                    for (a, b) in owned {
+                        slots.push((*a, *b, loc.clone()));
+                    }
+                }
+                slots.sort_by_key(|(a, _, _)| *a);
+                Self::Kv {
+                    num_slots: *num_slots,
+                    slots,
+                }
+            }
+        })
+    }
+}
+
+/// Wire-shape mirrors of `jiffy-ds` init params (kept here to avoid a
+/// dependency cycle; the byte layout is identical by construction — both
+/// sides encode `(u64)` / `(Vec<(u32,u32)>, u32)` tuples with serde).
+#[derive(Serialize, Deserialize)]
+struct InitFile {
+    chunk_index: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct InitQueue {
+    segment_index: u64,
+}
+
+#[derive(Serialize, Deserialize)]
+struct InitKv {
+    ranges: Vec<(u32, u32)>,
+    num_slots: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_common::ServerId;
+
+    fn loc(id: u64) -> BlockLocation {
+        BlockLocation::single(BlockId(id), ServerId(0), "inproc:0")
+    }
+
+    #[test]
+    fn file_meta_grows_by_appending_chunks() {
+        let mut m = DsMeta::new(DsType::File, 1024, 1024);
+        m.install_initial(vec![loc(1)]);
+        let plan = m.plan_split(BlockId(1)).unwrap();
+        assert_eq!(plan.spec, SplitSpec::FileAppend { chunk_index: 1 });
+        assert!(!plan.moves_data);
+        m.commit_split(BlockId(1), &plan.spec, loc(2)).unwrap();
+        assert_eq!(m.blocks(), vec![BlockId(1), BlockId(2)]);
+        // Files never merge.
+        assert_eq!(m.plan_merge(BlockId(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn queue_meta_links_and_unlinks_segments() {
+        let mut m = DsMeta::new(DsType::Queue, 1024, 1024);
+        m.install_initial(vec![loc(1)]);
+        // Split only applies to the tail.
+        let plan = m.plan_split(BlockId(1)).unwrap();
+        assert_eq!(plan.spec, SplitSpec::QueueLink);
+        m.commit_split(BlockId(1), &plan.spec, loc(2)).unwrap();
+        assert_eq!(m.blocks(), vec![BlockId(1), BlockId(2)]);
+        // Old tail can no longer split.
+        assert!(m.plan_split(BlockId(1)).is_err());
+        // Drained head unlinks.
+        let merge = m.plan_merge(BlockId(1)).unwrap().unwrap();
+        assert_eq!(merge.spec, MergeSpec::QueueUnlink);
+        assert!(merge.candidates.is_empty());
+        m.commit_merge(BlockId(1), &merge.spec, None).unwrap();
+        assert_eq!(m.blocks(), vec![BlockId(2)]);
+        // The sole remaining segment must not unlink.
+        assert_eq!(m.plan_merge(BlockId(2)).unwrap(), None);
+    }
+
+    #[test]
+    fn non_head_queue_segments_do_not_unlink() {
+        let mut m = DsMeta::new(DsType::Queue, 1024, 1024);
+        m.install_initial(vec![loc(1), loc(2), loc(3)]);
+        assert_eq!(m.plan_merge(BlockId(2)).unwrap(), None);
+        assert!(m.plan_merge(BlockId(1)).unwrap().is_some());
+    }
+
+    #[test]
+    fn kv_meta_splits_upper_half_of_slots() {
+        let mut m = DsMeta::new(DsType::KvStore, 1024, 1024);
+        m.install_initial(vec![loc(1)]);
+        let plan = m.plan_split(BlockId(1)).unwrap();
+        assert_eq!(plan.spec, SplitSpec::KvSlots { lo: 512, hi: 1023 });
+        assert!(plan.moves_data);
+        m.commit_split(BlockId(1), &plan.spec, loc(2)).unwrap();
+        match &m {
+            DsMeta::Kv { slots, .. } => {
+                assert_eq!(slots.len(), 2);
+                assert_eq!(slots[0], (0, 511, loc(1)));
+                assert_eq!(slots[1], (512, 1023, loc(2)));
+            }
+            _ => unreachable!(),
+        }
+        // Splitting again halves the remaining range.
+        let plan2 = m.plan_split(BlockId(1)).unwrap();
+        assert_eq!(plan2.spec, SplitSpec::KvSlots { lo: 256, hi: 511 });
+    }
+
+    #[test]
+    fn kv_single_slot_block_cannot_split() {
+        let mut m = DsMeta::new(DsType::KvStore, 1024, 2);
+        m.install_initial(vec![loc(1), loc(2)]);
+        // Each block owns exactly one slot.
+        assert!(m.plan_split(BlockId(1)).is_err());
+    }
+
+    #[test]
+    fn kv_merge_reassigns_and_coalesces_ranges() {
+        let mut m = DsMeta::new(DsType::KvStore, 1024, 1024);
+        m.install_initial(vec![loc(1)]);
+        let plan = m.plan_split(BlockId(1)).unwrap();
+        m.commit_split(BlockId(1), &plan.spec, loc(2)).unwrap();
+        // Merge block 2 back into block 1.
+        let merge = m.plan_merge(BlockId(2)).unwrap().unwrap();
+        assert_eq!(merge.spec, MergeSpec::KvAbsorb);
+        assert_eq!(merge.candidates[0].id(), BlockId(1));
+        m.commit_merge(BlockId(2), &merge.spec, Some(&merge.candidates[0]))
+            .unwrap();
+        match &m {
+            DsMeta::Kv { slots, .. } => {
+                assert_eq!(slots.len(), 1, "adjacent ranges coalesce: {slots:?}");
+                assert_eq!(slots[0], (0, 1023, loc(1)));
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(m.blocks(), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn kv_last_block_cannot_merge() {
+        let mut m = DsMeta::new(DsType::KvStore, 1024, 1024);
+        m.install_initial(vec![loc(1)]);
+        assert_eq!(m.plan_merge(BlockId(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_blocks_are_rejected() {
+        let mut m = DsMeta::new(DsType::File, 1024, 1024);
+        m.install_initial(vec![loc(1)]);
+        assert!(m.plan_split(BlockId(99)).is_err());
+        assert!(m.plan_merge(BlockId(99)).is_err());
+    }
+
+    #[test]
+    fn initial_kv_params_cover_the_keyspace() {
+        let m = DsMeta::new(DsType::KvStore, 1024, 1000);
+        // 3 initial blocks over 1000 slots.
+        let mut covered = Vec::new();
+        for i in 0..3 {
+            let bytes = m.initial_params(i, 3).unwrap();
+            let p: (Vec<(u32, u32)>, u32) = jiffy_proto::from_bytes(&bytes).unwrap();
+            covered.extend(p.0);
+        }
+        covered.sort_unstable();
+        assert_eq!(covered, vec![(0, 332), (333, 665), (666, 999)]);
+    }
+
+    #[test]
+    fn skeleton_round_trips_layouts() {
+        let mut m = DsMeta::new(DsType::KvStore, 1024, 1024);
+        m.install_initial(vec![loc(1)]);
+        let plan = m.plan_split(BlockId(1)).unwrap();
+        m.commit_split(BlockId(1), &plan.spec, loc(2)).unwrap();
+        let skel = m.skeleton();
+        let rebuilt = DsMeta::from_skeleton(&skel, vec![loc(10), loc(20)]).unwrap();
+        match rebuilt {
+            DsMeta::Kv { slots, .. } => {
+                assert_eq!(slots.len(), 2);
+                assert_eq!(slots[0].2.id(), BlockId(10));
+                assert_eq!(slots[1].2.id(), BlockId(20));
+            }
+            _ => unreachable!(),
+        }
+        // Block-count mismatch is rejected.
+        assert!(DsMeta::from_skeleton(&skel, vec![loc(10)]).is_err());
+    }
+
+    #[test]
+    fn views_reflect_layout() {
+        let mut m = DsMeta::new(DsType::Queue, 1024, 1024);
+        m.install_initial(vec![loc(1), loc(2)]);
+        match m.view() {
+            PartitionView::Queue {
+                segments,
+                head_index,
+            } => {
+                assert_eq!(segments.len(), 2);
+                assert_eq!(head_index, 0);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

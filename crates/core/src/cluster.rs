@@ -1,0 +1,214 @@
+//! Cluster bootstrap: wire a controller, memory servers, persistent
+//! tier and client fabric together, in-process or over TCP.
+
+use std::sync::Arc;
+
+use jiffy_client::JiffyClient;
+use jiffy_common::clock::{SharedClock, SystemClock};
+use jiffy_common::{JiffyConfig, Result};
+use jiffy_controller::{Controller, ControllerHandle, RpcDataPlane};
+use jiffy_persistent::{MemObjectStore, ObjectStore};
+use jiffy_rpc::tcp::{serve_tcp, TcpServerHandle};
+use jiffy_rpc::Fabric;
+use jiffy_server::MemoryServer;
+
+/// A running Jiffy cluster (controller + memory servers) plus the fabric
+/// to reach it. Dropping the cluster stops its background workers.
+pub struct JiffyCluster {
+    fabric: Fabric,
+    controller: Arc<Controller>,
+    controller_addr: String,
+    servers: Vec<Arc<MemoryServer>>,
+    persistent: Arc<dyn ObjectStore>,
+    _expiry: Option<ControllerHandle>,
+    _tcp_handles: Vec<TcpServerHandle>,
+}
+
+impl JiffyCluster {
+    /// Boots an in-process cluster: `num_servers` memory servers with
+    /// `blocks_per_server` blocks each, a fresh in-memory persistent
+    /// tier, a system clock, and a running lease-expiry worker.
+    ///
+    /// # Errors
+    ///
+    /// Registration failures.
+    pub fn in_process(
+        cfg: JiffyConfig,
+        num_servers: usize,
+        blocks_per_server: u32,
+    ) -> Result<Self> {
+        Self::build(
+            cfg,
+            num_servers,
+            blocks_per_server,
+            SystemClock::shared(),
+            Arc::new(MemObjectStore::new()),
+            true,
+            false,
+        )
+    }
+
+    /// Boots a cluster whose controller and memory servers listen on
+    /// real TCP sockets (ephemeral ports on localhost).
+    ///
+    /// # Errors
+    ///
+    /// Bind or registration failures.
+    pub fn over_tcp(cfg: JiffyConfig, num_servers: usize, blocks_per_server: u32) -> Result<Self> {
+        Self::build(
+            cfg,
+            num_servers,
+            blocks_per_server,
+            SystemClock::shared(),
+            Arc::new(MemObjectStore::new()),
+            true,
+            true,
+        )
+    }
+
+    /// Fully parameterized bootstrap (custom clock, custom persistent
+    /// tier, optional expiry worker, in-proc or TCP transport).
+    ///
+    /// # Errors
+    ///
+    /// Bind or registration failures.
+    pub fn build(
+        cfg: JiffyConfig,
+        num_servers: usize,
+        blocks_per_server: u32,
+        clock: SharedClock,
+        persistent: Arc<dyn ObjectStore>,
+        run_expiry_worker: bool,
+        tcp: bool,
+    ) -> Result<Self> {
+        let fabric = Fabric::new();
+        let controller = Controller::new(
+            cfg.clone(),
+            clock,
+            Arc::new(RpcDataPlane::new(fabric.clone())),
+            persistent.clone(),
+        );
+        let mut tcp_handles = Vec::new();
+        let controller_addr = if tcp {
+            let handle = serve_tcp("127.0.0.1:0", controller.clone())?;
+            let addr = handle.addr().to_string();
+            tcp_handles.push(handle);
+            addr
+        } else {
+            fabric.hub().register(controller.clone())
+        };
+        let mut servers = Vec::new();
+        for _ in 0..num_servers {
+            let server = MemoryServer::new(cfg.clone(), fabric.clone(), controller_addr.clone());
+            let addr = if tcp {
+                let handle = serve_tcp("127.0.0.1:0", server.clone())?;
+                let addr = handle.addr().to_string();
+                tcp_handles.push(handle);
+                addr
+            } else {
+                fabric.hub().register(server.clone())
+            };
+            server.register(&addr, blocks_per_server)?;
+            servers.push(server);
+        }
+        let expiry = run_expiry_worker.then(|| controller.start_expiry_worker());
+        Ok(Self {
+            fabric,
+            controller,
+            controller_addr,
+            servers,
+            persistent,
+            _expiry: expiry,
+            _tcp_handles: tcp_handles,
+        })
+    }
+
+    /// A client connected to this cluster's controller.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn client(&self) -> Result<JiffyClient> {
+        JiffyClient::connect(self.fabric.clone(), &self.controller_addr)
+    }
+
+    /// The shared connection fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The controller (for stats and direct dispatch in tests/benches).
+    pub fn controller(&self) -> &Arc<Controller> {
+        &self.controller
+    }
+
+    /// The controller's transport address.
+    pub fn controller_addr(&self) -> &str {
+        &self.controller_addr
+    }
+
+    /// The memory servers (for usage sampling in experiments).
+    pub fn servers(&self) -> &[Arc<MemoryServer>] {
+        &self.servers
+    }
+
+    /// The persistent tier backing flush/load and expiry.
+    pub fn persistent(&self) -> &Arc<dyn ObjectStore> {
+        &self.persistent
+    }
+
+    /// Total bytes of intermediate data resident in DRAM right now
+    /// (the quantity Fig. 11a / Fig. 14 sample over time).
+    pub fn used_bytes(&self) -> u64 {
+        self.servers.iter().map(|s| s.used_bytes()).sum()
+    }
+
+    /// Blocks currently allocated to data structures, across servers.
+    pub fn allocated_blocks(&self) -> usize {
+        self.servers.iter().map(|s| s.allocated_blocks()).sum()
+    }
+}
+
+impl std::fmt::Debug for JiffyCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JiffyCluster({} servers, controller at {})",
+            self.servers.len(),
+            self.controller_addr
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_process_cluster_serves_kv_traffic() {
+        let cluster = JiffyCluster::in_process(JiffyConfig::for_testing(), 2, 4).unwrap();
+        let job = cluster.client().unwrap().register_job("t").unwrap();
+        let kv = job.open_kv("s", &[], 2).unwrap();
+        for i in 0..100 {
+            kv.put(format!("k{i}").as_bytes(), format!("v{i}").as_bytes())
+                .unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(
+                kv.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(format!("v{i}").into_bytes())
+            );
+        }
+        assert_eq!(kv.count().unwrap(), 100);
+    }
+
+    #[test]
+    fn tcp_cluster_serves_traffic() {
+        let cluster = JiffyCluster::over_tcp(JiffyConfig::for_testing(), 1, 4).unwrap();
+        assert!(cluster.controller_addr().starts_with("tcp:"));
+        let job = cluster.client().unwrap().register_job("t").unwrap();
+        let q = job.open_queue("q", &[]).unwrap();
+        q.enqueue(b"over tcp").unwrap();
+        assert_eq!(q.dequeue().unwrap(), Some(b"over tcp".to_vec()));
+    }
+}

@@ -1,0 +1,46 @@
+//! # Jiffy — elastic far-memory for stateful serverless analytics
+//!
+//! A from-scratch Rust reproduction of *Jiffy: Elastic Far-Memory for
+//! Stateful Serverless Analytics* (EuroSys 2022). Jiffy stores the
+//! intermediate data of serverless analytics jobs in a pool of memory
+//! servers and — unlike job-granularity allocators such as Pocket —
+//! allocates that memory in small fixed-size **blocks**, multiplexing
+//! capacity across concurrent jobs at seconds timescales.
+//!
+//! The three mechanisms from the paper:
+//!
+//! 1. **Hierarchical addressing** (§3.1) — each job's intermediate data
+//!    lives in a DAG-shaped address space mirroring its execution plan;
+//!    prefixes give task-level isolation.
+//! 2. **Lease-based lifetime management** (§3.2) — prefixes stay in
+//!    memory while leased; renewal propagates to direct parents and all
+//!    descendants; expiry flushes to the persistent tier, then reclaims.
+//! 3. **Partition-function shipping** (§3.3) — the built-in File,
+//!    Queue and KV structures repartition *inside* the memory tier when
+//!    blocks cross usage thresholds, off the application's data path.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use jiffy::cluster::JiffyCluster;
+//! use jiffy_common::JiffyConfig;
+//!
+//! // One controller + 2 memory servers with 8 blocks each, in-process.
+//! let cluster = JiffyCluster::in_process(JiffyConfig::for_testing(), 2, 8).unwrap();
+//! let job = cluster.client().unwrap().register_job("quickstart").unwrap();
+//!
+//! let kv = job.open_kv("state", &[], 1).unwrap();
+//! kv.put(b"answer", b"42").unwrap();
+//! assert_eq!(kv.get(b"answer").unwrap(), Some(b"42".to_vec()));
+//!
+//! let q = job.open_queue("events", &[]).unwrap();
+//! q.enqueue(b"hello").unwrap();
+//! assert_eq!(q.dequeue().unwrap(), Some(b"hello".to_vec()));
+//! ```
+
+pub mod cluster;
+
+pub use cluster::JiffyCluster;
+pub use jiffy_client::{FileClient, JiffyClient, JobClient, KvClient, LeaseRenewer, QueueClient};
+pub use jiffy_common::{BlockId, Clock, JiffyConfig, JiffyError, JobId, Result, ServerId};
+pub use jiffy_proto::{DagNodeSpec, DsType, Notification, OpKind};

@@ -1,0 +1,516 @@
+//! The core cuckoo hash table.
+
+use std::collections::hash_map::RandomState;
+use std::collections::VecDeque;
+use std::hash::{BuildHasher, Hash};
+
+/// Slots per bucket (4-way set associative, like libcuckoo's default).
+const SLOTS: usize = 4;
+
+/// Maximum bucket-chain length explored by the BFS eviction search before
+/// the table gives up and grows.
+const MAX_BFS_DEPTH: usize = 5;
+
+/// Upper bound on BFS queue size; derived from `SLOTS^MAX_BFS_DEPTH` but
+/// capped to keep worst-case insert latency bounded.
+const MAX_BFS_NODES: usize = 2048;
+
+#[derive(Debug, Clone)]
+struct Entry<K, V> {
+    key: K,
+    value: V,
+}
+
+type Bucket<K, V> = [Option<Entry<K, V>>; SLOTS];
+
+fn empty_bucket<K, V>() -> Bucket<K, V> {
+    [None, None, None, None]
+}
+
+/// A cuckoo hash map with two hash functions and 4-way buckets.
+///
+/// Every key lives in one of exactly two candidate buckets, so `get`,
+/// `remove` and `contains` probe at most eight slots. `insert` may
+/// relocate existing entries along a BFS-discovered path; if no path of
+/// length ≤ 5 exists the table doubles and rehashes.
+///
+/// # Examples
+///
+/// ```
+/// use jiffy_cuckoo::CuckooMap;
+///
+/// let mut m = CuckooMap::new();
+/// assert_eq!(m.insert("k", 1), None);
+/// assert_eq!(m.insert("k", 2), Some(1));
+/// assert_eq!(m.get(&"k"), Some(&2));
+/// assert_eq!(m.remove(&"k"), Some(2));
+/// assert!(m.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CuckooMap<K, V, S = RandomState> {
+    buckets: Vec<Bucket<K, V>>,
+    len: usize,
+    hasher_a: S,
+    hasher_b: S,
+}
+
+impl<K: Hash + Eq, V> CuckooMap<K, V, RandomState> {
+    /// Creates an empty map with a small initial capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(16)
+    }
+
+    /// Creates an empty map sized for at least `cap` entries without
+    /// growing.
+    pub fn with_capacity(cap: usize) -> Self {
+        // Target a load factor of ~0.8 at `cap` entries.
+        let buckets = ((cap as f64 / (SLOTS as f64 * 0.8)).ceil() as usize)
+            .next_power_of_two()
+            .max(2);
+        Self {
+            buckets: (0..buckets).map(|_| empty_bucket()).collect(),
+            len: 0,
+            hasher_a: RandomState::new(),
+            hasher_b: RandomState::new(),
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> Default for CuckooMap<K, V, RandomState> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
+    /// Creates an empty map using the two provided hasher factories.
+    pub fn with_hashers(hasher_a: S, hasher_b: S) -> Self {
+        Self {
+            buckets: (0..2).map(|_| empty_bucket()).collect(),
+            len: 0,
+            hasher_a,
+            hasher_b,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slot capacity (buckets × 4).
+    pub fn capacity(&self) -> usize {
+        self.buckets.len() * SLOTS
+    }
+
+    /// Current load factor in `[0, 1]`.
+    pub fn load_factor(&self) -> f64 {
+        self.len as f64 / self.capacity() as f64
+    }
+
+    fn index_a(&self, key: &K) -> usize {
+        (self.hasher_a.hash_one(key) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn index_b(&self, key: &K) -> usize {
+        // Mix so that index_b differs from index_a for almost all keys
+        // even with identical hasher seeds.
+        let h = self.hasher_b.hash_one(key);
+        ((h ^ (h >> 32)).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize) & (self.buckets.len() - 1)
+    }
+
+    fn find_in_bucket(bucket: &Bucket<K, V>, key: &K) -> Option<usize> {
+        bucket
+            .iter()
+            .position(|e| e.as_ref().is_some_and(|e| &e.key == key))
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        for idx in [self.index_a(key), self.index_b(key)] {
+            if let Some(slot) = Self::find_in_bucket(&self.buckets[idx], key) {
+                return self.buckets[idx][slot].as_ref().map(|e| &e.value);
+            }
+        }
+        None
+    }
+
+    /// Looks up a key, returning a mutable value reference.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        for idx in [self.index_a(key), self.index_b(key)] {
+            if let Some(slot) = Self::find_in_bucket(&self.buckets[idx], key) {
+                return self.buckets[idx][slot].as_mut().map(|e| &mut e.value);
+            }
+        }
+        None
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Inserts a key-value pair, returning the previous value if the key
+    /// was present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        // Update in place if present.
+        for idx in [self.index_a(&key), self.index_b(&key)] {
+            if let Some(slot) = Self::find_in_bucket(&self.buckets[idx], &key) {
+                let entry = self.buckets[idx][slot].as_mut().unwrap();
+                return Some(std::mem::replace(&mut entry.value, value));
+            }
+        }
+        let mut pending = Entry { key, value };
+        loop {
+            match self.place(pending) {
+                Ok(()) => {
+                    self.len += 1;
+                    return None;
+                }
+                Err(e) => {
+                    self.grow();
+                    pending = e;
+                }
+            }
+        }
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        for idx in [self.index_a(key), self.index_b(key)] {
+            if let Some(slot) = Self::find_in_bucket(&self.buckets[idx], key) {
+                let entry = self.buckets[idx][slot].take().unwrap();
+                self.len -= 1;
+                return Some(entry.value);
+            }
+        }
+        None
+    }
+
+    /// Iterates over all entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.buckets
+            .iter()
+            .flatten()
+            .filter_map(|e| e.as_ref().map(|e| (&e.key, &e.value)))
+    }
+
+    /// Removes and returns all entries, leaving the map empty but with
+    /// its capacity intact.
+    pub fn drain(&mut self) -> Vec<(K, V)> {
+        let mut out = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            for slot in bucket.iter_mut() {
+                if let Some(e) = slot.take() {
+                    out.push((e.key, e.value));
+                }
+            }
+        }
+        self.len = 0;
+        out
+    }
+
+    /// Removes entries for which `pred` returns `true`, returning them.
+    pub fn extract_if(&mut self, mut pred: impl FnMut(&K, &V) -> bool) -> Vec<(K, V)> {
+        let mut out = Vec::new();
+        for bucket in &mut self.buckets {
+            for slot in bucket.iter_mut() {
+                if slot.as_ref().is_some_and(|e| pred(&e.key, &e.value)) {
+                    let e = slot.take().unwrap();
+                    out.push((e.key, e.value));
+                }
+            }
+        }
+        self.len -= out.len();
+        out
+    }
+
+    /// Attempts to place `entry` without growing. On failure returns the
+    /// entry back so the caller can grow and retry.
+    fn place(&mut self, entry: Entry<K, V>) -> Result<(), Entry<K, V>> {
+        let a = self.index_a(&entry.key);
+        let b = self.index_b(&entry.key);
+        for idx in [a, b] {
+            if let Some(slot) = self.buckets[idx].iter().position(Option::is_none) {
+                self.buckets[idx][slot] = Some(entry);
+                return Ok(());
+            }
+        }
+        // Both candidate buckets full: BFS for a chain of relocations
+        // ending in a free slot.
+        match self.find_eviction_path(a, b) {
+            Some(path) => {
+                self.apply_eviction_path(&path);
+                // The first bucket on the path now has a free slot.
+                let (bucket, _) = path[0];
+                let slot = self.buckets[bucket]
+                    .iter()
+                    .position(Option::is_none)
+                    .expect("eviction path must free a slot");
+                self.buckets[bucket][slot] = Some(entry);
+                Ok(())
+            }
+            None => Err(entry),
+        }
+    }
+
+    /// BFS over (bucket, slot) displacement chains starting from the two
+    /// candidate buckets. Returns a path of `(bucket, slot)` hops where
+    /// moving each hop's entry to its alternate bucket frees the chain.
+    fn find_eviction_path(&self, a: usize, b: usize) -> Option<Vec<(usize, usize)>> {
+        #[derive(Clone)]
+        struct Node {
+            bucket: usize,
+            slot: usize,
+            parent: Option<usize>,
+        }
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut queue: VecDeque<(usize, usize)> = VecDeque::new(); // (node idx, depth)
+        for start in [a, b] {
+            for slot in 0..SLOTS {
+                nodes.push(Node {
+                    bucket: start,
+                    slot,
+                    parent: None,
+                });
+                queue.push_back((nodes.len() - 1, 1));
+            }
+        }
+        while let Some((node_idx, depth)) = queue.pop_front() {
+            let (bucket, slot) = {
+                let n = &nodes[node_idx];
+                (n.bucket, n.slot)
+            };
+            let entry = match &self.buckets[bucket][slot] {
+                Some(e) => e,
+                // Shouldn't happen (we only enqueue occupied slots from
+                // full buckets), but harmless.
+                None => continue,
+            };
+            // Where would this entry go if displaced?
+            let alt = {
+                let ia = self.index_a(&entry.key);
+                let ib = self.index_b(&entry.key);
+                if ia == bucket {
+                    ib
+                } else {
+                    ia
+                }
+            };
+            if let Some(_free) = self.buckets[alt].iter().position(Option::is_none) {
+                // Found a terminating bucket with space: reconstruct path.
+                let mut path = Vec::new();
+                let mut cur = Some(node_idx);
+                while let Some(i) = cur {
+                    path.push((nodes[i].bucket, nodes[i].slot));
+                    cur = nodes[i].parent;
+                }
+                path.reverse();
+                return Some(path);
+            }
+            if depth < MAX_BFS_DEPTH && nodes.len() < MAX_BFS_NODES {
+                for next_slot in 0..SLOTS {
+                    nodes.push(Node {
+                        bucket: alt,
+                        slot: next_slot,
+                        parent: Some(node_idx),
+                    });
+                    queue.push_back((nodes.len() - 1, depth + 1));
+                }
+            }
+        }
+        None
+    }
+
+    /// Executes the displacement chain from the end backwards so each
+    /// move lands in a free slot.
+    fn apply_eviction_path(&mut self, path: &[(usize, usize)]) {
+        for &(bucket, slot) in path.iter().rev() {
+            let entry = self.buckets[bucket][slot]
+                .take()
+                .expect("path slots must be occupied");
+            let ia = self.index_a(&entry.key);
+            let ib = self.index_b(&entry.key);
+            let alt = if ia == bucket { ib } else { ia };
+            let free = self.buckets[alt]
+                .iter()
+                .position(Option::is_none)
+                .expect("alternate bucket must have space when applying path");
+            self.buckets[alt][free] = Some(entry);
+        }
+    }
+
+    /// Doubles the bucket array and re-places every entry.
+    fn grow(&mut self) {
+        let new_buckets = self.buckets.len() * 2;
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..new_buckets).map(|_| empty_bucket()).collect(),
+        );
+        let old_len = self.len;
+        self.len = 0;
+        let mut spill: Vec<Entry<K, V>> = Vec::new();
+        for bucket in old {
+            for slot in bucket {
+                if let Some(entry) = slot {
+                    match self.place(entry) {
+                        Ok(()) => self.len += 1,
+                        Err(e) => spill.push(e),
+                    }
+                }
+            }
+        }
+        // Extremely unlikely, but if rehash itself fails, grow again.
+        while let Some(entry) = spill.pop() {
+            match self.place(entry) {
+                Ok(()) => self.len += 1,
+                Err(e) => {
+                    spill.push(e);
+                    self.grow_inner(&mut spill);
+                }
+            }
+        }
+        debug_assert_eq!(self.len, old_len);
+    }
+
+    /// Helper for the pathological re-grow-during-grow case.
+    fn grow_inner(&mut self, spill: &mut Vec<Entry<K, V>>) {
+        let new_buckets = self.buckets.len() * 2;
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..new_buckets).map(|_| empty_bucket()).collect(),
+        );
+        self.len = 0;
+        for bucket in old {
+            for slot in bucket {
+                if let Some(entry) = slot {
+                    match self.place(entry) {
+                        Ok(()) => self.len += 1,
+                        Err(e) => spill.push(e),
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn insert_get_remove_basics() {
+        let mut m = CuckooMap::new();
+        assert_eq!(m.insert(1u64, "one"), None);
+        assert_eq!(m.insert(2, "two"), None);
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&3), None);
+        assert_eq!(m.insert(1, "uno"), Some("one"));
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.remove(&1), Some("uno"));
+        assert_eq!(m.remove(&1), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn survives_many_inserts_with_growth() {
+        let mut m = CuckooMap::with_capacity(4);
+        for i in 0..10_000u64 {
+            assert_eq!(m.insert(i, i * 2), None);
+        }
+        assert_eq!(m.len(), 10_000);
+        for i in 0..10_000u64 {
+            assert_eq!(m.get(&i), Some(&(i * 2)));
+        }
+        // Load factor should be sane after growth.
+        assert!(m.load_factor() > 0.1 && m.load_factor() <= 1.0);
+    }
+
+    #[test]
+    fn get_mut_mutates_in_place() {
+        let mut m = CuckooMap::new();
+        m.insert("k".to_string(), vec![1, 2]);
+        m.get_mut(&"k".to_string()).unwrap().push(3);
+        assert_eq!(m.get(&"k".to_string()), Some(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn drain_empties_but_keeps_capacity() {
+        let mut m = CuckooMap::with_capacity(128);
+        for i in 0..100u32 {
+            m.insert(i, i);
+        }
+        let cap = m.capacity();
+        let mut drained = m.drain();
+        drained.sort_unstable();
+        assert_eq!(drained.len(), 100);
+        assert_eq!(drained[0], (0, 0));
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), cap);
+    }
+
+    #[test]
+    fn extract_if_partitions_entries() {
+        let mut m = CuckooMap::new();
+        for i in 0..100u32 {
+            m.insert(i, ());
+        }
+        let evens = m.extract_if(|k, _| k % 2 == 0);
+        assert_eq!(evens.len(), 50);
+        assert_eq!(m.len(), 50);
+        assert!(m.iter().all(|(k, _)| k % 2 == 1));
+    }
+
+    #[test]
+    fn iter_sees_every_entry_once() {
+        let mut m = CuckooMap::new();
+        for i in 0..500u32 {
+            m.insert(i, i + 1);
+        }
+        let collected: HashMap<u32, u32> = m.iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(collected.len(), 500);
+        for i in 0..500 {
+            assert_eq!(collected[&i], i + 1);
+        }
+    }
+
+    #[test]
+    fn interleaved_insert_remove_matches_model() {
+        let mut m = CuckooMap::new();
+        let mut model = HashMap::new();
+        // Deterministic pseudo-random op sequence.
+        let mut state = 0x12345678u64;
+        for _ in 0..20_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 512;
+            match state % 3 {
+                0 | 1 => {
+                    assert_eq!(m.insert(key, state), model.insert(key, state));
+                }
+                _ => {
+                    assert_eq!(m.remove(&key), model.remove(&key));
+                }
+            }
+            assert_eq!(m.len(), model.len());
+        }
+        for (k, v) in &model {
+            assert_eq!(m.get(k), Some(v));
+        }
+    }
+
+    #[test]
+    fn string_keys_work() {
+        let mut m = CuckooMap::new();
+        for i in 0..1000 {
+            m.insert(format!("key-{i}"), i);
+        }
+        assert_eq!(m.get(&"key-437".to_string()), Some(&437));
+        assert_eq!(m.len(), 1000);
+    }
+}

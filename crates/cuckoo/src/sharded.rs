@@ -1,0 +1,149 @@
+//! Sharded concurrent wrapper over [`CuckooMap`].
+//!
+//! libcuckoo achieves concurrency with fine-grained bucket locks; we get
+//! an equivalent effect by partitioning the key space across independent
+//! shards, each guarded by its own lock. Operations on different shards
+//! never contend.
+
+use std::collections::hash_map::RandomState;
+use std::hash::{BuildHasher, Hash};
+
+use parking_lot::RwLock;
+
+use crate::map::CuckooMap;
+
+/// A thread-safe cuckoo map sharded by key hash.
+#[derive(Debug)]
+pub struct ShardedCuckoo<K, V> {
+    shards: Vec<RwLock<CuckooMap<K, V>>>,
+    router: RandomState,
+}
+
+impl<K: Hash + Eq, V> ShardedCuckoo<K, V> {
+    /// Creates a map with `shards` independent partitions (rounded up to
+    /// a power of two, minimum 1).
+    pub fn new(shards: usize) -> Self {
+        let n = shards.next_power_of_two().max(1);
+        Self {
+            shards: (0..n).map(|_| RwLock::new(CuckooMap::new())).collect(),
+            router: RandomState::new(),
+        }
+    }
+
+    fn shard(&self, key: &K) -> &RwLock<CuckooMap<K, V>> {
+        let idx = (self.router.hash_one(key) as usize) & (self.shards.len() - 1);
+        &self.shards[idx]
+    }
+
+    /// Inserts a pair, returning the previous value for the key.
+    pub fn insert(&self, key: K, value: V) -> Option<V> {
+        self.shard(&key).write().insert(key, value)
+    }
+
+    /// Removes a key, returning its value.
+    pub fn remove(&self, key: &K) -> Option<V> {
+        self.shard(key).write().remove(key)
+    }
+
+    /// Whether the key is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.shard(key).read().contains(key)
+    }
+
+    /// Total entries across shards (racy under concurrent mutation, exact
+    /// when quiescent).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<K: Hash + Eq, V: Clone> ShardedCuckoo<K, V> {
+    /// Looks up a key, cloning the value out.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).read().get(key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_operations() {
+        let m = ShardedCuckoo::new(8);
+        assert_eq!(m.insert(1u64, 10u64), None);
+        assert_eq!(m.get(&1), Some(10));
+        assert!(m.contains(&1));
+        assert_eq!(m.remove(&1), Some(10));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        let m: ShardedCuckoo<u64, u64> = ShardedCuckoo::new(5);
+        assert_eq!(m.shards.len(), 8);
+        let m1: ShardedCuckoo<u64, u64> = ShardedCuckoo::new(0);
+        assert_eq!(m1.shards.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_writers_do_not_lose_entries() {
+        let m = Arc::new(ShardedCuckoo::new(16));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    m.insert(t * 10_000 + i, i);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 8000);
+        for t in 0..8u64 {
+            for i in (0..1000).step_by(97) {
+                assert_eq!(m.get(&(t * 10_000 + i)), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_mixed_workload_is_consistent() {
+        let m = Arc::new(ShardedCuckoo::new(4));
+        for i in 0..1000u64 {
+            m.insert(i, 0u64);
+        }
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = m.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1000u64 {
+                    if i % 2 == 0 {
+                        m.remove(&i);
+                    } else {
+                        m.insert(i, 1);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // All even keys removed, all odd keys present with value 1.
+        for i in 0..1000u64 {
+            if i % 2 == 0 {
+                assert_eq!(m.get(&i), None);
+            } else {
+                assert_eq!(m.get(&i), Some(1));
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Jiffy's built-in data structures (paper §5, Table 2).
+//!
+//! Each structure is implemented as a [`jiffy_block::Partition`]: the
+//! state one block holds, the operators it accepts, and how it splits
+//! into / merges with sibling blocks when the controller rebalances
+//! capacity:
+//!
+//! | structure | `writeOp` | `readOp` | `deleteOp` | repartition |
+//! |---|---|---|---|---|
+//! | [`file::FilePartition`] | `FileWrite` | `FileRead` | — | none (append-only: new chunks are simply linked) |
+//! | [`queue::QueuePartition`] | `Enqueue` | `Dequeue`/`Peek` | via `Dequeue` | none (blocks link/unlink at the ends) |
+//! | [`kv::KvPartition`] | `Put` | `Get`/`Exists` | `Delete` | hash-slot reassignment, half the slots per split |
+//!
+//! The `getBlock` routing operator of the paper's Fig. 6 lives on the
+//! client side (`jiffy-client`); servers validate routing with
+//! structure-local state (file chunk ranges, KV slot ownership) and
+//! answer [`jiffy_common::JiffyError::StaleMetadata`] when a request
+//! reaches a block that no longer owns the addressed data.
+
+pub mod file;
+pub mod kv;
+pub mod params;
+pub mod queue;
+
+pub use file::FilePartition;
+pub use kv::{kv_slot, KvPartition};
+pub use params::{register_builtins, FileParams, KvParams, KvPayload, QueueParams};
+pub use queue::QueuePartition;
+
+/// Bookkeeping overhead charged per stored item, mirroring the paper's
+/// observation that allocated capacity slightly exceeds raw data size due
+/// to per-object metadata (Fig. 11a).
+pub const PER_ITEM_OVERHEAD: usize = 16;

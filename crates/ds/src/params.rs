@@ -1,0 +1,122 @@
+//! Wire-encoded initialization parameters and repartition payloads for
+//! the built-in structures, plus the factory registration entry point.
+
+use jiffy_block::PartitionRegistry;
+use jiffy_common::Result;
+use jiffy_proto::Blob;
+use serde::{Deserialize, Serialize};
+
+/// Init parameters for a file chunk block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileParams {
+    /// Which chunk of the file this block stores (offset = index × chunk
+    /// size).
+    pub chunk_index: u64,
+}
+
+/// Init parameters for a queue segment block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct QueueParams {
+    /// Segment ordinal within the queue's linked list (for debugging).
+    pub segment_index: u64,
+}
+
+/// Init parameters for a KV partition block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvParams {
+    /// Inclusive slot ranges owned by this block.
+    pub ranges: Vec<(u32, u32)>,
+    /// Total slots in the keyspace (must match the controller's view).
+    pub num_slots: u32,
+}
+
+/// Payload moved between KV blocks during a split or merge: the slot
+/// range changing hands and the pairs that live in it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KvPayload {
+    /// First slot transferred (inclusive).
+    pub lo: u32,
+    /// Last slot transferred (inclusive).
+    pub hi: u32,
+    /// The key-value pairs moving.
+    pub pairs: Vec<(Blob, Blob)>,
+}
+
+/// Registers factories for the three built-in structures under their
+/// [`jiffy_proto::DsType`] display names (`file`, `queue`, `kv_store`).
+pub fn register_builtins(registry: &mut PartitionRegistry) {
+    registry.register(
+        "file",
+        Box::new(|capacity, params| {
+            let p: FileParams = if params.is_empty() {
+                FileParams { chunk_index: 0 }
+            } else {
+                jiffy_proto::from_bytes(params)?
+            };
+            Ok(Box::new(crate::file::FilePartition::new(capacity, p.chunk_index)) as _)
+        }),
+    );
+    registry.register(
+        "queue",
+        Box::new(|capacity, params| {
+            let p: QueueParams = if params.is_empty() {
+                QueueParams::default()
+            } else {
+                jiffy_proto::from_bytes(params)?
+            };
+            Ok(Box::new(crate::queue::QueuePartition::new(capacity, p.segment_index)) as _)
+        }),
+    );
+    registry.register(
+        "kv_store",
+        Box::new(|capacity, params| {
+            let p: KvParams = jiffy_proto::from_bytes(params)?;
+            Ok(Box::new(crate::kv::KvPartition::new(capacity, p)?) as _)
+        }),
+    );
+}
+
+/// Encodes init parameters for any of the built-in structures.
+///
+/// # Errors
+///
+/// Codec failures only.
+pub fn encode_params<T: Serialize>(params: &T) -> Result<Vec<u8>> {
+    jiffy_proto::to_bytes(params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_proto::{from_bytes, to_bytes};
+
+    #[test]
+    fn params_round_trip() {
+        let f = FileParams { chunk_index: 7 };
+        assert_eq!(from_bytes::<FileParams>(&to_bytes(&f).unwrap()).unwrap(), f);
+        let k = KvParams {
+            ranges: vec![(0, 511), (768, 1023)],
+            num_slots: 1024,
+        };
+        assert_eq!(from_bytes::<KvParams>(&to_bytes(&k).unwrap()).unwrap(), k);
+    }
+
+    #[test]
+    fn builtins_register_and_instantiate() {
+        let mut reg = PartitionRegistry::new();
+        register_builtins(&mut reg);
+        assert!(reg.contains("file"));
+        assert!(reg.contains("queue"));
+        assert!(reg.contains("kv_store"));
+        assert!(reg.create("file", 1024, &[]).is_ok());
+        assert!(reg.create("queue", 1024, &[]).is_ok());
+        let kv_params = encode_params(&KvParams {
+            ranges: vec![(0, 1023)],
+            num_slots: 1024,
+        })
+        .unwrap();
+        assert!(reg.create("kv_store", 1024, &kv_params).is_ok());
+        // KV requires params.
+        assert!(reg.create("kv_store", 1024, &[]).is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! FIFO queue data structure (paper §5.2).
+//!
+//! A Jiffy queue is a growing linked list of blocks; each block stores a
+//! segment of items. Enqueues go to the tail block, dequeues to the head
+//! block (the client caches both and refreshes from the controller when
+//! a block reports it is exhausted). Segments never exchange data —
+//! scale-up links a fresh tail (`SplitSpec::QueueLink`), scale-down
+//! unlinks a drained head (`MergeSpec::QueueUnlink`) — so repartitioning
+//! is metadata-only, which is why the paper reports near-zero
+//! repartitioning cost for queues (Fig. 11b).
+
+use std::collections::VecDeque;
+
+use jiffy_block::Partition;
+use jiffy_common::{JiffyError, Result};
+use jiffy_proto::{Blob, DsOp, DsResult, DsType, SplitSpec};
+
+use crate::PER_ITEM_OVERHEAD;
+
+/// One segment of a Jiffy FIFO queue.
+pub struct QueuePartition {
+    capacity: usize,
+    segment_index: u64,
+    items: VecDeque<Blob>,
+    used: usize,
+    /// Set when the segment stops accepting enqueues because a newer tail
+    /// segment exists; enqueues then answer `StaleMetadata` so clients
+    /// refresh their cached tail pointer.
+    sealed: bool,
+    /// Set when every item ever stored here has been dequeued and a
+    /// newer head exists; dequeues answer `StaleMetadata`.
+    drained_forward: bool,
+}
+
+impl QueuePartition {
+    /// Creates an empty segment with the given byte capacity.
+    pub fn new(capacity: usize, segment_index: u64) -> Self {
+        Self {
+            capacity,
+            segment_index,
+            items: VecDeque::new(),
+            used: 0,
+            sealed: false,
+            drained_forward: false,
+        }
+    }
+
+    /// Segment ordinal within the queue (head = lowest live ordinal).
+    pub fn segment_index(&self) -> u64 {
+        self.segment_index
+    }
+
+    /// Number of items resident.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the segment holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Marks this segment as no longer the tail: further enqueues are
+    /// redirected via `StaleMetadata`.
+    pub fn seal(&mut self) {
+        self.sealed = true;
+    }
+
+    /// Whether the segment is sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    fn enqueue(&mut self, item: &Blob) -> Result<DsResult> {
+        if self.sealed {
+            return Err(JiffyError::StaleMetadata);
+        }
+        let cost = item.len() + PER_ITEM_OVERHEAD;
+        if self.used + cost > self.capacity {
+            return Err(JiffyError::BlockFull {
+                capacity: self.capacity,
+                requested: cost,
+            });
+        }
+        self.items.push_back(item.clone());
+        self.used += cost;
+        Ok(DsResult::Ok)
+    }
+
+    fn dequeue(&mut self) -> Result<DsResult> {
+        match self.items.pop_front() {
+            Some(item) => {
+                self.used -= item.len() + PER_ITEM_OVERHEAD;
+                Ok(DsResult::MaybeData(Some(item)))
+            }
+            None if self.sealed => {
+                // Sealed and empty: the client should advance to the next
+                // segment.
+                self.drained_forward = true;
+                Err(JiffyError::StaleMetadata)
+            }
+            None => Ok(DsResult::MaybeData(None)),
+        }
+    }
+}
+
+impl Partition for QueuePartition {
+    fn ds_type(&self) -> DsType {
+        DsType::Queue
+    }
+
+    fn execute(&mut self, op: &DsOp) -> Result<DsResult> {
+        match op {
+            DsOp::Enqueue { item } => self.enqueue(item),
+            DsOp::Dequeue => self.dequeue(),
+            DsOp::Peek => Ok(DsResult::MaybeData(self.items.front().cloned())),
+            DsOp::QueueLen => Ok(DsResult::Size(self.items.len() as u64)),
+            other => Err(JiffyError::WrongDataStructure {
+                expected: "queue".into(),
+                found: format!("{other:?}"),
+            }),
+        }
+    }
+
+    fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    fn export(&self) -> Result<Vec<u8>> {
+        let items: Vec<&Blob> = self.items.iter().collect();
+        jiffy_proto::to_bytes(&(self.segment_index, self.sealed, items))
+    }
+
+    fn absorb(&mut self, payload: &[u8]) -> Result<()> {
+        let (segment_index, sealed, items): (u64, bool, Vec<Blob>) =
+            jiffy_proto::from_bytes(payload)?;
+        let total: usize = items.iter().map(|b| b.len() + PER_ITEM_OVERHEAD).sum();
+        if self.used + total > self.capacity {
+            return Err(JiffyError::BlockFull {
+                capacity: self.capacity,
+                requested: total,
+            });
+        }
+        self.segment_index = segment_index;
+        self.sealed = sealed;
+        self.used += total;
+        self.items.extend(items);
+        Ok(())
+    }
+
+    fn split_out(&mut self, spec: &SplitSpec) -> Result<Vec<u8>> {
+        match spec {
+            // Linking a new tail moves no data; this segment simply stops
+            // being the tail.
+            SplitSpec::QueueLink => {
+                self.seal();
+                Ok(Vec::new())
+            }
+            other => Err(JiffyError::Internal(format!(
+                "queue partition cannot split with {other:?}"
+            ))),
+        }
+    }
+
+    fn merge_out(&mut self) -> Result<Vec<Vec<u8>>> {
+        // A queue segment only unlinks once fully drained; there is never
+        // data to move.
+        if !self.items.is_empty() {
+            return Err(JiffyError::Internal(format!(
+                "queue segment {} still holds {} items; cannot unlink",
+                self.segment_index,
+                self.items.len()
+            )));
+        }
+        Ok(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enq(s: &str) -> DsOp {
+        DsOp::Enqueue { item: s.into() }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = QueuePartition::new(1024, 0);
+        for s in ["a", "b", "c"] {
+            q.execute(&enq(s)).unwrap();
+        }
+        assert_eq!(q.execute(&DsOp::QueueLen).unwrap(), DsResult::Size(3));
+        for s in ["a", "b", "c"] {
+            let r = q.execute(&DsOp::Dequeue).unwrap();
+            assert_eq!(r, DsResult::MaybeData(Some(s.into())));
+        }
+        assert_eq!(
+            q.execute(&DsOp::Dequeue).unwrap(),
+            DsResult::MaybeData(None)
+        );
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = QueuePartition::new(1024, 0);
+        q.execute(&enq("x")).unwrap();
+        assert_eq!(
+            q.execute(&DsOp::Peek).unwrap(),
+            DsResult::MaybeData(Some("x".into()))
+        );
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn usage_accounts_payload_plus_overhead() {
+        let mut q = QueuePartition::new(1024, 0);
+        q.execute(&enq("abcd")).unwrap();
+        assert_eq!(q.used_bytes(), 4 + PER_ITEM_OVERHEAD);
+        q.execute(&DsOp::Dequeue).unwrap();
+        assert_eq!(q.used_bytes(), 0);
+    }
+
+    #[test]
+    fn full_segment_rejects_enqueue() {
+        let mut q = QueuePartition::new(PER_ITEM_OVERHEAD + 4, 0);
+        q.execute(&enq("1234")).unwrap();
+        let err = q.execute(&enq("5")).unwrap_err();
+        assert!(matches!(err, JiffyError::BlockFull { .. }));
+    }
+
+    #[test]
+    fn sealed_segment_redirects_enqueues() {
+        let mut q = QueuePartition::new(1024, 0);
+        q.execute(&enq("a")).unwrap();
+        q.split_out(&SplitSpec::QueueLink).unwrap();
+        assert!(q.is_sealed());
+        assert_eq!(q.execute(&enq("b")).unwrap_err(), JiffyError::StaleMetadata);
+        // Dequeues continue to drain resident items.
+        assert_eq!(
+            q.execute(&DsOp::Dequeue).unwrap(),
+            DsResult::MaybeData(Some("a".into()))
+        );
+        // Once empty AND sealed, dequeues redirect too.
+        assert_eq!(
+            q.execute(&DsOp::Dequeue).unwrap_err(),
+            JiffyError::StaleMetadata
+        );
+    }
+
+    #[test]
+    fn empty_unsealed_dequeue_returns_none() {
+        let mut q = QueuePartition::new(1024, 0);
+        assert_eq!(
+            q.execute(&DsOp::Dequeue).unwrap(),
+            DsResult::MaybeData(None)
+        );
+    }
+
+    #[test]
+    fn export_absorb_round_trips_items_and_seal_state() {
+        let mut q = QueuePartition::new(1024, 5);
+        q.execute(&enq("one")).unwrap();
+        q.execute(&enq("two")).unwrap();
+        q.seal();
+        let payload = q.export().unwrap();
+        let mut r = QueuePartition::new(1024, 0);
+        r.absorb(&payload).unwrap();
+        assert_eq!(r.segment_index(), 5);
+        assert!(r.is_sealed());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.used_bytes(), q.used_bytes());
+        assert_eq!(
+            r.execute(&DsOp::Dequeue).unwrap(),
+            DsResult::MaybeData(Some("one".into()))
+        );
+    }
+
+    #[test]
+    fn wrong_ops_are_rejected() {
+        let mut q = QueuePartition::new(1024, 0);
+        assert!(matches!(
+            q.execute(&DsOp::FileSize).unwrap_err(),
+            JiffyError::WrongDataStructure { .. }
+        ));
+    }
+
+    #[test]
+    fn absorb_respects_capacity() {
+        let mut q = QueuePartition::new(1024, 0);
+        q.execute(&enq(&"x".repeat(100))).unwrap();
+        let payload = q.export().unwrap();
+        let mut small = QueuePartition::new(32, 0);
+        assert!(small.absorb(&payload).is_err());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property tests on the data-structure partitions: repartitioning must
+//! never lose, duplicate or corrupt data.
+
+use jiffy_block::Partition;
+use jiffy_ds::{kv_slot, FilePartition, KvParams, KvPartition, QueuePartition};
+use jiffy_proto::{Blob, DsOp, DsResult, SplitSpec};
+use proptest::prelude::*;
+
+const CAP: usize = 1 << 22;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A file chunk reads back exactly what was appended, under arbitrary
+    /// append sizes.
+    #[test]
+    fn file_appends_read_back(chunks in proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 1..256), 1..32))
+    {
+        let mut f = FilePartition::new(CAP, 0);
+        let mut model: Vec<u8> = Vec::new();
+        for c in &chunks {
+            let offset = model.len() as u64;
+            f.execute(&DsOp::FileWrite { offset, data: c.clone().into() }).unwrap();
+            model.extend_from_slice(c);
+        }
+        let got = f.execute(&DsOp::FileRead { offset: 0, len: model.len() as u64 }).unwrap();
+        prop_assert_eq!(got, DsResult::Data(Blob::new(model.clone())));
+        // Random interior reads match the model too.
+        if model.len() > 2 {
+            let mid = model.len() / 2;
+            let got = f.execute(&DsOp::FileRead { offset: mid as u64, len: 2 }).unwrap();
+            prop_assert_eq!(got, DsResult::Data(Blob::new(model[mid..mid + 2].to_vec())));
+        }
+    }
+
+    /// FIFO order is preserved across an arbitrary seal point (segment
+    /// split): items drain from the old segment first, then the new one.
+    #[test]
+    fn queue_order_survives_split(
+        items in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..64),
+        split_at_frac in 0.0f64..1.0)
+    {
+        let split_at = ((items.len() - 1) as f64 * split_at_frac) as usize;
+        let mut seg0 = QueuePartition::new(CAP, 0);
+        let mut seg1 = QueuePartition::new(CAP, 1);
+        for (i, item) in items.iter().enumerate() {
+            if i == split_at {
+                // Controller links a new tail; old tail seals.
+                seg0.split_out(&SplitSpec::QueueLink).unwrap();
+            }
+            let target = if i < split_at { &mut seg0 } else { &mut seg1 };
+            target.execute(&DsOp::Enqueue { item: item.clone().into() }).unwrap();
+        }
+        // Drain: head segment first, advancing on StaleMetadata.
+        let mut drained: Vec<Vec<u8>> = Vec::new();
+        loop {
+            match seg0.execute(&DsOp::Dequeue) {
+                Ok(DsResult::MaybeData(Some(b))) => drained.push(b.into_inner()),
+                Ok(DsResult::MaybeData(None)) => break, // unsealed+empty: fully drained
+                Err(_) => break,                        // sealed+empty: advance
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        loop {
+            match seg1.execute(&DsOp::Dequeue) {
+                Ok(DsResult::MaybeData(Some(b))) => drained.push(b.into_inner()),
+                _ => break,
+            }
+        }
+        prop_assert_eq!(drained, items);
+    }
+
+    /// Splitting a KV partition at an arbitrary slot pivot preserves the
+    /// exact key→value mapping, with each key served by the owning side.
+    #[test]
+    fn kv_split_preserves_mapping(
+        pairs in proptest::collection::hash_map(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            1..128),
+        pivot in 1u32..1023)
+    {
+        let mut left = KvPartition::new(CAP, KvParams { ranges: vec![(0, 1023)], num_slots: 1024 }).unwrap();
+        for (k, v) in &pairs {
+            left.execute(&DsOp::Put { key: k.clone().into(), value: v.clone().into() }).unwrap();
+        }
+        let payload = left.split_out(&SplitSpec::KvSlots { lo: pivot, hi: 1023 }).unwrap();
+        let mut right = KvPartition::new(CAP, KvParams { ranges: vec![], num_slots: 1024 }).unwrap();
+        right.absorb(&payload).unwrap();
+        prop_assert_eq!(left.len() + right.len(), pairs.len());
+        for (k, v) in &pairs {
+            let slot = kv_slot(k, 1024);
+            let holder = if slot < pivot { &mut left } else { &mut right };
+            let got = holder.execute(&DsOp::Get { key: k.clone().into() }).unwrap();
+            prop_assert_eq!(got, DsResult::MaybeData(Some(Blob::new(v.clone()))));
+            // The non-owning side reports stale metadata.
+            let other = if slot < pivot { &mut right } else { &mut left };
+            let stale = other.execute(&DsOp::Get { key: k.clone().into() });
+            prop_assert!(stale.is_err());
+        }
+    }
+
+    /// Merging the split halves back together restores the full mapping.
+    #[test]
+    fn kv_split_then_merge_is_identity(
+        pairs in proptest::collection::hash_map(
+            proptest::collection::vec(any::<u8>(), 1..16),
+            proptest::collection::vec(any::<u8>(), 0..32),
+            1..96),
+        pivot in 1u32..1023)
+    {
+        let mut a = KvPartition::new(CAP, KvParams { ranges: vec![(0, 1023)], num_slots: 1024 }).unwrap();
+        for (k, v) in &pairs {
+            a.execute(&DsOp::Put { key: k.clone().into(), value: v.clone().into() }).unwrap();
+        }
+        let used_before = a.used_bytes();
+        // Split out [pivot, 1023], then immediately merge it back.
+        let payload = a.split_out(&SplitSpec::KvSlots { lo: pivot, hi: 1023 }).unwrap();
+        a.absorb(&payload).unwrap();
+        prop_assert_eq!(a.len(), pairs.len());
+        prop_assert_eq!(a.used_bytes(), used_before);
+        for (k, v) in &pairs {
+            let got = a.execute(&DsOp::Get { key: k.clone().into() }).unwrap();
+            prop_assert_eq!(got, DsResult::MaybeData(Some(Blob::new(v.clone()))));
+        }
+    }
+
+    /// Export/absorb is lossless for all three structures.
+    #[test]
+    fn exports_are_lossless(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut f = FilePartition::new(CAP, 2);
+        if !data.is_empty() {
+            f.execute(&DsOp::FileWrite { offset: 0, data: data.clone().into() }).unwrap();
+        }
+        let mut f2 = FilePartition::new(CAP, 0);
+        f2.absorb(&f.export().unwrap()).unwrap();
+        prop_assert_eq!(f2.used_bytes(), data.len());
+
+        let mut q = QueuePartition::new(CAP, 0);
+        q.execute(&DsOp::Enqueue { item: data.clone().into() }).unwrap();
+        let mut q2 = QueuePartition::new(CAP, 0);
+        q2.absorb(&q.export().unwrap()).unwrap();
+        prop_assert_eq!(q2.execute(&DsOp::Dequeue).unwrap(), DsResult::MaybeData(Some(Blob::new(data.clone()))));
+    }
+}

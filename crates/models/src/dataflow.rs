@@ -1,0 +1,304 @@
+//! Dryad-style dataflow on Jiffy (paper §5.2).
+//!
+//! Programmers describe a DAG whose vertices are computations and whose
+//! edges are data channels — Jiffy **files** (batch: the consumer starts
+//! once the producer finished) or **queues** (streaming: producer and
+//! consumer run concurrently; the consumer detects item availability via
+//! Jiffy notifications). A master process schedules vertices as their
+//! inputs become ready and renews leases.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_client::{FileClient, JobClient, QueueClient};
+use jiffy_common::{JiffyError, Result};
+use jiffy_proto::OpKind;
+
+use crate::records::{self, RecordReader, RecordWriter};
+
+/// Kind of a dataflow channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// A Jiffy file: batch semantics, ready when fully written.
+    File,
+    /// A Jiffy FIFO queue: streaming semantics, ready when non-empty.
+    Queue,
+}
+
+/// Sentinel item marking end-of-stream on queue channels.
+const EOS: &[u8] = b"__jiffy_dataflow_eos__";
+
+/// Handle a vertex uses to read its inputs and write its outputs.
+pub struct VertexCtx {
+    inputs: Vec<ChannelReader>,
+    outputs: Vec<ChannelWriter>,
+}
+
+impl VertexCtx {
+    /// Number of input channels.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Reads the next `(key, value)` item from input `i`, blocking for
+    /// queue channels until data or end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// Channel failures.
+    pub fn read(&mut self, i: usize) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        self.inputs[i].next()
+    }
+
+    /// Writes an item to output `o`.
+    ///
+    /// # Errors
+    ///
+    /// Channel failures.
+    pub fn write(&self, o: usize, key: &[u8], value: &[u8]) -> Result<()> {
+        self.outputs[o].write(key, value)
+    }
+}
+
+enum ChannelReader {
+    File(RecordReader),
+    Queue {
+        queue: QueueClient,
+        listener: jiffy_client::Listener,
+        /// EOS sentinels still expected (one per producer vertex).
+        eos_remaining: usize,
+    },
+}
+
+impl ChannelReader {
+    fn next(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
+        match self {
+            Self::File(r) => r.next_record(),
+            Self::Queue {
+                queue,
+                listener,
+                eos_remaining,
+            } => {
+                if *eos_remaining == 0 {
+                    return Ok(None);
+                }
+                loop {
+                    match queue.dequeue()? {
+                        Some(item) if item == EOS => {
+                            *eos_remaining -= 1;
+                            if *eos_remaining == 0 {
+                                return Ok(None);
+                            }
+                        }
+                        Some(item) => return records::decode_item(&item).map(Some),
+                        None => {
+                            // Queue is ready "as long as some vertex is
+                            // writing to it": wait for an enqueue
+                            // notification rather than spinning.
+                            let _ = listener.get(Duration::from_millis(20));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum ChannelWriter {
+    File(Arc<FileClient>),
+    Queue(Arc<QueueClient>),
+}
+
+impl ChannelWriter {
+    fn write(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        match self {
+            Self::File(f) => RecordWriter::new(f).write(key, value),
+            Self::Queue(q) => q.enqueue(&records::encode_item(key, value)?),
+        }
+    }
+}
+
+type VertexFn = Arc<dyn Fn(&mut VertexCtx) -> Result<()> + Send + Sync>;
+
+struct VertexSpec {
+    name: String,
+    inputs: Vec<String>,
+    outputs: Vec<String>,
+    func: VertexFn,
+}
+
+/// A dataflow graph under construction / execution.
+pub struct Dataflow {
+    channels: HashMap<String, ChannelKind>,
+    vertices: Vec<VertexSpec>,
+}
+
+impl Dataflow {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self {
+            channels: HashMap::new(),
+            vertices: Vec::new(),
+        }
+    }
+
+    /// Declares a channel.
+    pub fn channel(&mut self, name: &str, kind: ChannelKind) -> &mut Self {
+        self.channels.insert(name.to_string(), kind);
+        self
+    }
+
+    /// Declares a vertex reading `inputs` and writing `outputs`.
+    pub fn vertex(
+        &mut self,
+        name: &str,
+        inputs: &[&str],
+        outputs: &[&str],
+        func: impl Fn(&mut VertexCtx) -> Result<()> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.vertices.push(VertexSpec {
+            name: name.to_string(),
+            inputs: inputs.iter().map(|s| s.to_string()).collect(),
+            outputs: outputs.iter().map(|s| s.to_string()).collect(),
+            func: Arc::new(func),
+        });
+        self
+    }
+
+    /// Executes the graph on a Jiffy job. Vertices connected by queues
+    /// run concurrently; a vertex with file inputs starts once every
+    /// producer of those files has finished (Dryad's readiness rule).
+    ///
+    /// # Errors
+    ///
+    /// The first vertex failure, after all vertices stop.
+    pub fn run(&self, job: &JobClient) -> Result<()> {
+        // Create channel prefixes; queue channels carry notifications.
+        for (name, kind) in &self.channels {
+            match kind {
+                ChannelKind::File => {
+                    job.open_file(name, &[])?;
+                }
+                ChannelKind::Queue => {
+                    job.open_queue(name, &[])?;
+                }
+            }
+        }
+        let renewer = job.start_lease_renewer(
+            self.channels.keys().cloned().collect(),
+            Duration::from_millis(200),
+        );
+
+        // Producer bookkeeping: which vertices write each channel.
+        let mut producers: HashMap<&str, Vec<&str>> = HashMap::new();
+        for v in &self.vertices {
+            for o in &v.outputs {
+                producers.entry(o).or_default().push(&v.name);
+            }
+        }
+        // Execute in waves: a vertex is runnable when every *file* input
+        // has all of its producers completed. Queue inputs impose no
+        // ordering (streaming).
+        let mut completed: Vec<String> = Vec::new();
+        let mut remaining: Vec<&VertexSpec> = self.vertices.iter().collect();
+        let mut first_error: Option<JiffyError> = None;
+        while !remaining.is_empty() {
+            let (ready, blocked): (Vec<&VertexSpec>, Vec<&VertexSpec>) =
+                remaining.into_iter().partition(|v| {
+                    v.inputs.iter().all(|ch| {
+                        self.channels[ch] != ChannelKind::File
+                            || producers
+                                .get(ch.as_str())
+                                .map(|ps| ps.iter().all(|p| completed.iter().any(|c| c == p)))
+                                .unwrap_or(true)
+                    })
+                });
+            if ready.is_empty() {
+                return Err(JiffyError::Internal(
+                    "dataflow deadlock: no vertex is runnable (file cycle?)".into(),
+                ));
+            }
+            let mut handles = Vec::new();
+            for v in &ready {
+                let mut ctx = self.make_ctx(job, v)?;
+                let func = v.func.clone();
+                let outputs: Vec<(String, ChannelKind)> = v
+                    .outputs
+                    .iter()
+                    .map(|o| (o.clone(), self.channels[o]))
+                    .collect();
+                let job2 = job.clone();
+                let name = v.name.clone();
+                handles.push(std::thread::spawn(move || -> (String, Result<()>) {
+                    let result = func(&mut ctx).and_then(|()| {
+                        // Close queue outputs with the EOS sentinel so
+                        // downstream consumers terminate.
+                        for (o, kind) in &outputs {
+                            if *kind == ChannelKind::Queue {
+                                let q = job2.open_queue(o, &[])?;
+                                q.enqueue(EOS)?;
+                            }
+                        }
+                        Ok(())
+                    });
+                    (name, result)
+                }));
+            }
+            for h in handles {
+                let (name, result) = h.join().expect("vertex panicked");
+                if let Err(e) = result {
+                    first_error.get_or_insert(e);
+                }
+                completed.push(name);
+            }
+            remaining = blocked;
+        }
+        drop(renewer);
+        match first_error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn make_ctx(&self, job: &JobClient, v: &VertexSpec) -> Result<VertexCtx> {
+        let mut inputs = Vec::with_capacity(v.inputs.len());
+        for ch in &v.inputs {
+            inputs.push(match self.channels[ch] {
+                ChannelKind::File => {
+                    let f = job.open_file(ch, &[])?;
+                    ChannelReader::File(RecordReader::open(&f)?)
+                }
+                ChannelKind::Queue => {
+                    let q = job.open_queue(ch, &[])?;
+                    let listener = q.subscribe(&[OpKind::Enqueue])?;
+                    let eos_remaining = self
+                        .vertices
+                        .iter()
+                        .filter(|p| p.outputs.iter().any(|o| o == ch))
+                        .count()
+                        .max(1);
+                    ChannelReader::Queue {
+                        queue: q,
+                        listener,
+                        eos_remaining,
+                    }
+                }
+            });
+        }
+        let mut outputs = Vec::with_capacity(v.outputs.len());
+        for ch in &v.outputs {
+            outputs.push(match self.channels[ch] {
+                ChannelKind::File => ChannelWriter::File(Arc::new(job.open_file(ch, &[])?)),
+                ChannelKind::Queue => ChannelWriter::Queue(Arc::new(job.open_queue(ch, &[])?)),
+            });
+        }
+        Ok(VertexCtx { inputs, outputs })
+    }
+}
+
+impl Default for Dataflow {
+    fn default() -> Self {
+        Self::new()
+    }
+}

@@ -1,0 +1,26 @@
+//! Distributed programming models on Jiffy (paper §5).
+//!
+//! The paper demonstrates Jiffy's expressiveness by building serverless
+//! incarnations of four classic frameworks on its data structures. This
+//! crate does the same, with "serverless tasks" realized as threads
+//! driving independent Jiffy client handles (each with its own cached
+//! metadata, exactly like separate lambda invocations):
+//!
+//! | model | paper | Jiffy structures used |
+//! |---|---|---|
+//! | [`mapreduce`] | MapReduce (§5.1) | shuffle **files** (many concurrent appenders), master-driven lease renewal |
+//! | [`dataflow`] | Dryad (§5.2) | **files** and **queues** as channels; vertices scheduled on input readiness; queue notifications |
+//! | [`streaming`] | StreamScope (§5.2) | continuous event **queues**, hash-partitioned stages |
+//! | [`piccolo`] | Piccolo (§5.3) | shared **KV-store** tables with user accumulators, checkpoint via flush |
+
+pub mod dataflow;
+pub mod mapreduce;
+pub mod piccolo;
+pub mod records;
+pub mod streaming;
+
+pub use dataflow::{ChannelKind, Dataflow, VertexCtx};
+pub use mapreduce::{MapReduceJob, Mapper, Reducer};
+pub use piccolo::{Accumulator, PiccoloTable};
+pub use records::{RecordReader, RecordWriter};
+pub use streaming::{StreamPipeline, StreamStage};

@@ -1,0 +1,157 @@
+//! MapReduce on Jiffy (paper §5.1).
+//!
+//! Map and reduce tasks run as independent workers (threads standing in
+//! for lambdas), each with its own Jiffy client handles. Intermediate
+//! key-value pairs are exchanged through **shuffle files**: reduce
+//! partition `r` has one shuffle file to which *every* map task appends
+//! the pairs hashing to `r` — relying on Jiffy's atomic appends for
+//! correctness under concurrent writers. A master process creates the
+//! address hierarchy and renews leases while tasks run.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_client::JobClient;
+use jiffy_common::Result;
+use jiffy_ds::kv_slot;
+
+use crate::records::{RecordReader, RecordWriter};
+
+/// User map function: consumes one input record, emits intermediate
+/// pairs.
+pub trait Mapper: Send + Sync {
+    /// Processes one `(key, value)` input, calling `emit` per
+    /// intermediate pair.
+    fn map(&self, key: &[u8], value: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>));
+}
+
+/// User reduce function: merges all values of one intermediate key.
+pub trait Reducer: Send + Sync {
+    /// Reduces the values collected for `key` to one output value.
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>]) -> Vec<u8>;
+}
+
+/// A configured MapReduce job.
+pub struct MapReduceJob<M, R> {
+    mapper: Arc<M>,
+    reducer: Arc<R>,
+    num_reducers: usize,
+    lease_renew_interval: Duration,
+}
+
+impl<M: Mapper + 'static, R: Reducer + 'static> MapReduceJob<M, R> {
+    /// Creates a job with `num_reducers` reduce partitions.
+    pub fn new(mapper: M, reducer: R, num_reducers: usize) -> Self {
+        Self {
+            mapper: Arc::new(mapper),
+            reducer: Arc::new(reducer),
+            num_reducers: num_reducers.max(1),
+            lease_renew_interval: Duration::from_millis(200),
+        }
+    }
+
+    /// Runs the job: `inputs` is pre-partitioned per map task (one inner
+    /// vector per mapper). Returns the reduced output sorted by key.
+    ///
+    /// # Errors
+    ///
+    /// Any Jiffy failure from the underlying tasks.
+    pub fn run(
+        &self,
+        job: &JobClient,
+        inputs: Vec<Vec<(Vec<u8>, Vec<u8>)>>,
+    ) -> Result<BTreeMap<Vec<u8>, Vec<u8>>> {
+        let num_maps = inputs.len();
+        let r = self.num_reducers;
+
+        // Master: build the address hierarchy — one prefix per map task
+        // and one shuffle-file prefix per reduce partition, children of
+        // the map stage so lease renewal propagates (§3.2).
+        job.create_addr_prefix("map-stage", &[])?;
+        let mut shuffle_names = Vec::with_capacity(r);
+        for i in 0..r {
+            let name = format!("shuffle-{i}");
+            job.open_file(&name, &["map-stage"])?;
+            shuffle_names.push(name);
+        }
+        // Master renews the stage lease; propagation covers the shuffle
+        // files (descendants of map-stage).
+        let renewer =
+            job.start_lease_renewer(vec!["map-stage".to_string()], self.lease_renew_interval);
+
+        // Map phase: one worker per input partition.
+        let mut map_handles = Vec::with_capacity(num_maps);
+        for input in inputs {
+            let job = job.clone();
+            let mapper = self.mapper.clone();
+            let shuffle_names = shuffle_names.clone();
+            map_handles.push(std::thread::spawn(move || -> Result<()> {
+                // Each task opens its own shuffle-file handles (own
+                // metadata caches), like a fresh lambda would.
+                let mut shuffles = Vec::with_capacity(shuffle_names.len());
+                for name in &shuffle_names {
+                    shuffles.push(job.open_file(name, &["map-stage"])?);
+                }
+                let r = shuffles.len() as u32;
+                for (k, v) in input {
+                    let mut failed = None;
+                    mapper.map(&k, &v, &mut |ik, iv| {
+                        if failed.is_some() {
+                            return;
+                        }
+                        let part = kv_slot(&ik, r) as usize;
+                        if let Err(e) = RecordWriter::new(&shuffles[part]).write(&ik, &iv) {
+                            failed = Some(e);
+                        }
+                    });
+                    if let Some(e) = failed {
+                        return Err(e);
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in map_handles {
+            h.join().expect("map task panicked")?;
+        }
+
+        // Reduce phase: one worker per shuffle partition.
+        let mut reduce_handles = Vec::with_capacity(r);
+        for name in shuffle_names {
+            let job = job.clone();
+            let reducer = self.reducer.clone();
+            reduce_handles.push(std::thread::spawn(
+                move || -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+                    let file = job.open_file(&name, &["map-stage"])?;
+                    let records = RecordReader::open(&file)?.collect_all()?;
+                    let mut groups: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
+                    for (k, v) in records {
+                        groups.entry(k).or_default().push(v);
+                    }
+                    Ok(groups
+                        .into_iter()
+                        .map(|(k, vs)| {
+                            let out = reducer.reduce(&k, &vs);
+                            (k, out)
+                        })
+                        .collect())
+                },
+            ));
+        }
+        let mut output = BTreeMap::new();
+        for h in reduce_handles {
+            for (k, v) in h.join().expect("reduce task panicked")? {
+                output.insert(k, v);
+            }
+        }
+        drop(renewer);
+        // Intermediate data is no longer needed: release it eagerly
+        // rather than waiting for lease expiry.
+        for i in 0..r {
+            job.remove_addr_prefix(&format!("shuffle-{i}")).ok();
+        }
+        job.remove_addr_prefix("map-stage").ok();
+        Ok(output)
+    }
+}

@@ -1,0 +1,190 @@
+//! Piccolo on Jiffy (paper §5.3).
+//!
+//! Piccolo programs share distributed mutable state through key-value
+//! tables; concurrent updates to one key are resolved by user-defined
+//! *accumulators*. Kernel functions run as parallel tasks; control
+//! functions run on a master that creates tables, launches kernels,
+//! renews leases and checkpoints tables by flushing them to the
+//! persistent tier.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_client::{JobClient, KvClient};
+use jiffy_common::Result;
+
+/// Resolves concurrent updates to one key (Piccolo's accumulator).
+pub trait Accumulator: Send + Sync {
+    /// Merges `update` into the current value (if any), producing the
+    /// stored value.
+    fn accumulate(&self, current: Option<&[u8]>, update: &[u8]) -> Vec<u8>;
+}
+
+/// Sum accumulator over little-endian `f64` values.
+pub struct SumF64;
+
+impl Accumulator for SumF64 {
+    fn accumulate(&self, current: Option<&[u8]>, update: &[u8]) -> Vec<u8> {
+        let cur = current
+            .and_then(|b| b.try_into().ok().map(f64::from_le_bytes))
+            .unwrap_or(0.0);
+        let upd = update
+            .try_into()
+            .ok()
+            .map(f64::from_le_bytes)
+            .unwrap_or(0.0);
+        (cur + upd).to_le_bytes().to_vec()
+    }
+}
+
+/// Overwrite accumulator (last writer wins).
+pub struct Overwrite;
+
+impl Accumulator for Overwrite {
+    fn accumulate(&self, _current: Option<&[u8]>, update: &[u8]) -> Vec<u8> {
+        update.to_vec()
+    }
+}
+
+/// A Piccolo table: a Jiffy KV-store with an accumulator for updates.
+///
+/// Kernels partition the key space among themselves (the Piccolo
+/// convention), so each key has a single writer per superstep and the
+/// read-modify-write `update` is race-free; cross-kernel aggregation
+/// happens between supersteps through `update` on a fresh handle.
+pub struct PiccoloTable<A> {
+    kv: KvClient,
+    name: String,
+    accumulator: Arc<A>,
+}
+
+impl<A: Accumulator> PiccoloTable<A> {
+    /// Creates (or opens) the table `name` on the job.
+    ///
+    /// # Errors
+    ///
+    /// Allocation failures.
+    pub fn create(
+        job: &JobClient,
+        name: &str,
+        accumulator: A,
+        initial_blocks: u32,
+    ) -> Result<Self> {
+        let kv = job.open_kv(name, &[], initial_blocks)?;
+        Ok(Self {
+            kv,
+            name: name.to_string(),
+            accumulator: Arc::new(accumulator),
+        })
+    }
+
+    /// Opens another handle to the same table (for a new kernel task).
+    ///
+    /// # Errors
+    ///
+    /// Resolution failures.
+    pub fn another_handle(&self, job: &JobClient) -> Result<Self> {
+        let kv = job.open_kv(&self.name, &[], 1)?;
+        Ok(Self {
+            kv,
+            name: self.name.clone(),
+            accumulator: self.accumulator.clone(),
+        })
+    }
+
+    /// Applies `update` to `key` through the accumulator.
+    ///
+    /// # Errors
+    ///
+    /// KV failures.
+    pub fn update(&self, key: &[u8], update: &[u8]) -> Result<()> {
+        let current = self.kv.get(key)?;
+        let merged = self.accumulator.accumulate(current.as_deref(), update);
+        self.kv.put(key, &merged)?;
+        Ok(())
+    }
+
+    /// Direct read.
+    ///
+    /// # Errors
+    ///
+    /// KV failures.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.kv.get(key)
+    }
+
+    /// Direct write (bypasses the accumulator).
+    ///
+    /// # Errors
+    ///
+    /// KV failures.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.kv.put(key, value)?;
+        Ok(())
+    }
+
+    /// Number of keys.
+    ///
+    /// # Errors
+    ///
+    /// KV failures.
+    pub fn len(&self) -> Result<u64> {
+        self.kv.count()
+    }
+
+    /// Whether the table is empty.
+    ///
+    /// # Errors
+    ///
+    /// KV failures.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Checkpoints the table to the persistent tier (Piccolo
+    /// checkpointing == Jiffy flush).
+    ///
+    /// # Errors
+    ///
+    /// Flush failures.
+    pub fn checkpoint(&self, job: &JobClient, external_path: &str) -> Result<u64> {
+        job.flush(&self.name, external_path)
+    }
+}
+
+/// Runs `num_kernels` kernel functions in parallel (threads as stand-in
+/// lambdas), with a master lease renewer covering `table_names`. Each
+/// kernel gets its index; the caller's closure builds per-kernel state
+/// (e.g. its own table handles) and runs the kernel body.
+///
+/// # Errors
+///
+/// The first kernel failure.
+pub fn run_kernels<F>(
+    job: &JobClient,
+    table_names: Vec<String>,
+    num_kernels: usize,
+    kernel: F,
+) -> Result<()>
+where
+    F: Fn(usize) -> Result<()> + Send + Sync + 'static,
+{
+    let renewer = job.start_lease_renewer(table_names, Duration::from_millis(200));
+    let kernel = Arc::new(kernel);
+    let mut handles = Vec::with_capacity(num_kernels);
+    for k in 0..num_kernels {
+        let kernel = kernel.clone();
+        handles.push(std::thread::spawn(move || kernel(k)));
+    }
+    let mut first_error = None;
+    for h in handles {
+        if let Err(e) = h.join().expect("kernel panicked") {
+            first_error.get_or_insert(e);
+        }
+    }
+    drop(renewer);
+    match first_error {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}

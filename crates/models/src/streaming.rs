@@ -1,0 +1,249 @@
+//! StreamScope-style streaming dataflow on Jiffy (paper §5.2, §6.5).
+//!
+//! A pipeline of stages connected by continuous event streams (Jiffy
+//! queues). Each stage runs `parallelism` instances; events are routed
+//! between stages by key hash, so all events of one key flow through the
+//! same downstream instance (the invariant keyed operators need). The
+//! streaming word-count evaluation of §6.5 is exactly this shape:
+//! 50 partition tasks → 50 count tasks.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_client::{JobClient, QueueClient};
+use jiffy_common::Result;
+use jiffy_ds::kv_slot;
+use jiffy_proto::OpKind;
+
+use crate::records;
+
+/// Sentinel closing a stream.
+const EOS: &[u8] = b"__jiffy_stream_eos__";
+
+/// One stage: a keyed event transformer.
+pub struct StreamStage {
+    name: String,
+    parallelism: usize,
+    /// `(key, value, emit)`: emit zero or more output events.
+    func: Arc<dyn Fn(&[u8], &[u8], &mut dyn FnMut(Vec<u8>, Vec<u8>)) + Send + Sync>,
+}
+
+impl StreamStage {
+    /// Creates a stage.
+    pub fn new(
+        name: &str,
+        parallelism: usize,
+        func: impl Fn(&[u8], &[u8], &mut dyn FnMut(Vec<u8>, Vec<u8>)) + Send + Sync + 'static,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            parallelism: parallelism.max(1),
+            func: Arc::new(func),
+        }
+    }
+}
+
+/// A linear pipeline of streaming stages.
+pub struct StreamPipeline {
+    stages: Vec<StreamStage>,
+}
+
+/// Handle for feeding events into a running pipeline.
+pub struct StreamInput {
+    queues: Vec<QueueClient>,
+}
+
+impl StreamInput {
+    /// Sends one event; routed to the stage-0 instance owning the key.
+    ///
+    /// # Errors
+    ///
+    /// Queue failures.
+    pub fn send(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let idx = kv_slot(key, self.queues.len() as u32) as usize;
+        self.queues[idx].enqueue(&records::encode_item(key, value)?)
+    }
+
+    /// Closes the stream: every stage-0 instance receives EOS.
+    ///
+    /// # Errors
+    ///
+    /// Queue failures.
+    pub fn close(&self) -> Result<()> {
+        for q in &self.queues {
+            q.enqueue(EOS)?;
+        }
+        Ok(())
+    }
+}
+
+impl StreamPipeline {
+    /// Creates an empty pipeline.
+    pub fn new() -> Self {
+        Self { stages: Vec::new() }
+    }
+
+    /// Appends a stage.
+    pub fn stage(mut self, stage: StreamStage) -> Self {
+        self.stages.push(stage);
+        self
+    }
+
+    /// Queue name for instance `i` of stage `s`'s *input*.
+    fn queue_name(stage: &str, i: usize) -> String {
+        format!("stream-{stage}-{i}")
+    }
+
+    /// Launches the pipeline on `job`. Returns the input handle and a
+    /// join handle resolving to the final stage's collected output
+    /// events once the stream is closed and drained.
+    ///
+    /// # Errors
+    ///
+    /// Setup failures.
+    #[allow(clippy::type_complexity)]
+    pub fn launch(
+        self,
+        job: &JobClient,
+    ) -> Result<(
+        StreamInput,
+        std::thread::JoinHandle<Result<Vec<(Vec<u8>, Vec<u8>)>>>,
+    )> {
+        assert!(!self.stages.is_empty(), "pipeline needs at least one stage");
+        // Create all stage-input queues plus the sink queue.
+        let mut all_names = Vec::new();
+        for stage in &self.stages {
+            for i in 0..stage.parallelism {
+                let name = Self::queue_name(&stage.name, i);
+                job.open_queue(&name, &[])?;
+                all_names.push(name);
+            }
+        }
+        job.open_queue("stream-sink-0", &[])?;
+        all_names.push("stream-sink-0".to_string());
+        let renewer = job.start_lease_renewer(all_names, Duration::from_millis(200));
+
+        // Spawn stage instances, last stage first (consumers before
+        // producers is not required — queues decouple them — but keeps
+        // subscription setup simple).
+        let mut worker_handles = Vec::new();
+        for (s, stage) in self.stages.iter().enumerate() {
+            let next_names: Vec<String> = if s + 1 < self.stages.len() {
+                let next = &self.stages[s + 1];
+                (0..next.parallelism)
+                    .map(|i| Self::queue_name(&next.name, i))
+                    .collect()
+            } else {
+                vec!["stream-sink-0".to_string()]
+            };
+            // Producers feeding *this* stage (for EOS accounting).
+            let upstream = if s == 0 {
+                1 // the external input
+            } else {
+                self.stages[s - 1].parallelism
+            };
+            for i in 0..stage.parallelism {
+                let job = job.clone();
+                let func = stage.func.clone();
+                let my_queue = Self::queue_name(&stage.name, i);
+                let next_names = next_names.clone();
+                worker_handles.push(std::thread::spawn(move || -> Result<()> {
+                    let input = job.open_queue(&my_queue, &[])?;
+                    let listener = input.subscribe(&[OpKind::Enqueue])?;
+                    let mut outputs = Vec::with_capacity(next_names.len());
+                    for n in &next_names {
+                        outputs.push(job.open_queue(n, &[])?);
+                    }
+                    let mut eos_remaining = upstream;
+                    loop {
+                        match input.dequeue()? {
+                            Some(item) if item == EOS => {
+                                eos_remaining -= 1;
+                                if eos_remaining == 0 {
+                                    break;
+                                }
+                            }
+                            Some(item) => {
+                                let (k, v) = records::decode_item(&item)?;
+                                let mut failure = None;
+                                func(&k, &v, &mut |ok, ov| {
+                                    if failure.is_some() {
+                                        return;
+                                    }
+                                    let idx = kv_slot(&ok, outputs.len() as u32) as usize;
+                                    let encoded = match records::encode_item(&ok, &ov) {
+                                        Ok(e) => e,
+                                        Err(e) => {
+                                            failure = Some(e);
+                                            return;
+                                        }
+                                    };
+                                    if let Err(e) = outputs[idx].enqueue(&encoded) {
+                                        failure = Some(e);
+                                    }
+                                });
+                                if let Some(e) = failure {
+                                    return Err(e);
+                                }
+                            }
+                            None => {
+                                let _ = listener.get(Duration::from_millis(10));
+                            }
+                        }
+                    }
+                    // Propagate EOS downstream.
+                    for q in &outputs {
+                        q.enqueue(EOS)?;
+                    }
+                    Ok(())
+                }));
+            }
+        }
+
+        // Input handle: stage-0 queues.
+        let stage0 = &self.stages[0];
+        let mut in_queues = Vec::with_capacity(stage0.parallelism);
+        for i in 0..stage0.parallelism {
+            in_queues.push(job.open_queue(&Self::queue_name(&stage0.name, i), &[])?);
+        }
+        let input = StreamInput { queues: in_queues };
+
+        // Sink collector: drains the sink queue until EOS from every
+        // last-stage instance arrived.
+        let last_parallelism = self.stages.last().expect("non-empty").parallelism;
+        let sink_job = job.clone();
+        let collector = std::thread::spawn(move || -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
+            let sink = sink_job.open_queue("stream-sink-0", &[])?;
+            let listener = sink.subscribe(&[OpKind::Enqueue])?;
+            let mut out = Vec::new();
+            let mut eos_remaining = last_parallelism;
+            loop {
+                match sink.dequeue()? {
+                    Some(item) if item == EOS => {
+                        eos_remaining -= 1;
+                        if eos_remaining == 0 {
+                            break;
+                        }
+                    }
+                    Some(item) => out.push(records::decode_item(&item)?),
+                    None => {
+                        let _ = listener.get(Duration::from_millis(10));
+                    }
+                }
+            }
+            // Wait for all workers, then release the channels.
+            for h in worker_handles {
+                h.join().expect("stream worker panicked")?;
+            }
+            drop(renewer);
+            Ok(out)
+        });
+        Ok((input, collector))
+    }
+}
+
+impl Default for StreamPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}

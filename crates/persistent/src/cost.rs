@@ -1,0 +1,94 @@
+//! Storage-tier access-cost models.
+
+use std::time::Duration;
+
+/// Latency/bandwidth model for one storage tier, one operation direction.
+///
+/// Cost of an access of `n` bytes = `base` + `n / bandwidth`. The same
+/// model serves two purposes:
+///
+/// - the discrete-event simulator *adds* [`CostModel::cost`] to its
+///   virtual clock;
+/// - the end-to-end experiments can *sleep* for it, making a local
+///   in-memory store behave like S3 from the caller's perspective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed per-operation latency (request setup, service time).
+    pub base: Duration,
+    /// Sustained bandwidth in bytes/second (`f64::INFINITY` for
+    /// latency-only models).
+    pub bandwidth_bps: f64,
+}
+
+impl CostModel {
+    /// A zero-cost model (local DRAM).
+    pub const FREE: CostModel = CostModel {
+        base: Duration::ZERO,
+        bandwidth_bps: f64::INFINITY,
+    };
+
+    /// Builds a model from a base latency and a bandwidth in MB/s.
+    pub fn new(base: Duration, bandwidth_mbps: f64) -> Self {
+        Self {
+            base,
+            bandwidth_bps: bandwidth_mbps * 1e6,
+        }
+    }
+
+    /// Time to move `bytes` through this tier.
+    pub fn cost(&self, bytes: u64) -> Duration {
+        if self.bandwidth_bps.is_infinite() {
+            return self.base;
+        }
+        let transfer = Duration::from_secs_f64(bytes as f64 / self.bandwidth_bps);
+        self.base + transfer
+    }
+
+    /// Effective throughput (bytes/sec) for objects of `bytes` size,
+    /// including the per-op base latency — the quantity Fig. 10(b)
+    /// plots as MBPS.
+    pub fn effective_mbps(&self, bytes: u64) -> f64 {
+        let t = self.cost(bytes).as_secs_f64();
+        if t == 0.0 {
+            return f64::INFINITY;
+        }
+        bytes as f64 / t / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_model_costs_nothing() {
+        assert_eq!(CostModel::FREE.cost(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn cost_combines_latency_and_bandwidth() {
+        // 10 ms base + 100 MB/s: 1 MB takes 10 ms + 10 ms.
+        let m = CostModel::new(Duration::from_millis(10), 100.0);
+        let c = m.cost(1_000_000);
+        assert!((c.as_secs_f64() - 0.020).abs() < 1e-9, "{c:?}");
+    }
+
+    #[test]
+    fn latency_dominates_small_objects() {
+        let m = CostModel::new(Duration::from_millis(10), 100.0);
+        let small = m.cost(8);
+        assert!(small >= Duration::from_millis(10));
+        assert!(small < Duration::from_millis(11));
+    }
+
+    #[test]
+    fn effective_throughput_saturates_at_bandwidth() {
+        let m = CostModel::new(Duration::from_millis(1), 100.0);
+        // Huge object: throughput approaches 100 MB/s.
+        let big = m.effective_mbps(1 << 30);
+        assert!(big > 90.0 && big <= 100.0, "{big}");
+        // Tiny object: latency-bound, throughput tiny.
+        let tiny = m.effective_mbps(8);
+        assert!(tiny < 0.01, "{tiny}");
+    }
+}

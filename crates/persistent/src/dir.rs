@@ -1,0 +1,174 @@
+//! On-disk object store (a local directory standing in for S3).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use jiffy_common::{JiffyError, Result};
+
+/// An [`crate::ObjectStore`] backed by files under a root directory.
+///
+/// Object paths map to file paths with `/` as the separator; path
+/// components are sanitized so an object name can never escape the root.
+pub struct DirObjectStore {
+    root: PathBuf,
+}
+
+impl DirObjectStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// IO failures creating the root directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self { root })
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn resolve(&self, path: &str) -> Result<PathBuf> {
+        let mut out = self.root.clone();
+        for comp in path.split('/') {
+            if comp.is_empty() || comp == "." || comp == ".." {
+                return Err(JiffyError::Internal(format!(
+                    "invalid object path component in {path:?}"
+                )));
+            }
+            out.push(comp);
+        }
+        Ok(out)
+    }
+}
+
+impl crate::ObjectStore for DirObjectStore {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        let file = self.resolve(path)?;
+        if let Some(parent) = file.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        // Write-then-rename for atomicity against concurrent readers.
+        let tmp = file.with_extension("tmp-write");
+        fs::write(&tmp, data)?;
+        fs::rename(&tmp, &file)?;
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        let file = self.resolve(path)?;
+        fs::read(&file).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                JiffyError::PersistentObjectMissing(path.to_string())
+            } else {
+                e.into()
+            }
+        })
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        let file = self.resolve(path)?;
+        match fs::remove_file(&file) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.resolve(path).map(|f| f.is_file()).unwrap_or(false)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.is_dir() {
+                    stack.push(p);
+                } else if p.is_file() {
+                    if let Ok(rel) = p.strip_prefix(&self.root) {
+                        let name = rel
+                            .components()
+                            .map(|c| c.as_os_str().to_string_lossy())
+                            .collect::<Vec<_>>()
+                            .join("/");
+                        if name.starts_with(prefix) {
+                            out.push(name);
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ObjectStore;
+
+    fn temp_store(tag: &str) -> DirObjectStore {
+        let dir = std::env::temp_dir().join(format!("jiffy-dirstore-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        DirObjectStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn round_trips_through_disk() {
+        let s = temp_store("rt");
+        s.put("jobs/j1/t1", b"payload").unwrap();
+        assert_eq!(s.get("jobs/j1/t1").unwrap(), b"payload");
+        assert!(s.exists("jobs/j1/t1"));
+        s.delete("jobs/j1/t1").unwrap();
+        assert!(!s.exists("jobs/j1/t1"));
+    }
+
+    #[test]
+    fn missing_object_errors_cleanly() {
+        let s = temp_store("missing");
+        assert!(matches!(
+            s.get("nope").unwrap_err(),
+            JiffyError::PersistentObjectMissing(_)
+        ));
+        s.delete("nope").unwrap();
+    }
+
+    #[test]
+    fn path_traversal_is_rejected() {
+        let s = temp_store("trav");
+        assert!(s.put("../escape", b"x").is_err());
+        assert!(s.put("a//b", b"x").is_err());
+        assert!(s.put("a/./b", b"x").is_err());
+        assert!(!s.exists("../escape"));
+    }
+
+    #[test]
+    fn list_walks_nested_prefixes() {
+        let s = temp_store("list");
+        s.put("j1/t1/b0", b"1").unwrap();
+        s.put("j1/t1/b1", b"2").unwrap();
+        s.put("j1/t2/b0", b"3").unwrap();
+        assert_eq!(
+            s.list("j1/t1"),
+            vec!["j1/t1/b0".to_string(), "j1/t1/b1".to_string()]
+        );
+        assert_eq!(s.list("").len(), 3);
+    }
+
+    #[test]
+    fn overwrite_replaces_contents() {
+        let s = temp_store("ow");
+        s.put("k", b"old").unwrap();
+        s.put("k", b"new").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"new");
+    }
+}

@@ -1,0 +1,58 @@
+//! Persistent-tier substrate.
+//!
+//! Jiffy flushes expiring prefixes to external persistent storage (S3 in
+//! the paper) and loads them back on demand; the baselines spill to SSD
+//! (Pocket) or S3 (ElastiCache). None of those services exist in this
+//! environment, so this crate provides:
+//!
+//! - [`ObjectStore`] — the storage abstraction (put/get/delete/list).
+//! - [`MemObjectStore`] — in-memory store with an optional [`CostModel`]
+//!   that either *reports* access costs (for the discrete-event
+//!   simulator) or *imposes* them with real sleeps (for end-to-end
+//!   latency experiments).
+//! - [`DirObjectStore`] — a real on-disk store for flush/load round
+//!   trips that survive the process.
+//! - [`tiers`] — calibrated cost models for the storage tiers the paper
+//!   measures against (S3, DynamoDB, SSD, remote DRAM); the constants
+//!   and their sources are documented per tier.
+
+pub mod cost;
+pub mod dir;
+pub mod mem;
+pub mod tiers;
+
+pub use cost::CostModel;
+pub use dir::DirObjectStore;
+pub use mem::MemObjectStore;
+
+use jiffy_common::Result;
+
+/// A flat byte-addressed object store (the persistent tier).
+pub trait ObjectStore: Send + Sync {
+    /// Stores `data` under `path`, replacing any existing object.
+    ///
+    /// # Errors
+    ///
+    /// Backend IO failures.
+    fn put(&self, path: &str, data: &[u8]) -> Result<()>;
+
+    /// Fetches the object at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`jiffy_common::JiffyError::PersistentObjectMissing`] when absent.
+    fn get(&self, path: &str) -> Result<Vec<u8>>;
+
+    /// Deletes the object at `path` (idempotent).
+    ///
+    /// # Errors
+    ///
+    /// Backend IO failures.
+    fn delete(&self, path: &str) -> Result<()>;
+
+    /// Whether an object exists at `path`.
+    fn exists(&self, path: &str) -> bool;
+
+    /// Lists object paths under `prefix`, sorted.
+    fn list(&self, prefix: &str) -> Vec<String>;
+}

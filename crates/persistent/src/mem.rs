@@ -1,0 +1,239 @@
+//! In-memory object store with optional imposed access costs.
+
+use std::collections::BTreeMap;
+
+use jiffy_common::{JiffyError, Result};
+use parking_lot::RwLock;
+
+use crate::cost::CostModel;
+use crate::ObjectStore;
+
+/// How a [`MemObjectStore`] applies its [`CostModel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostMode {
+    /// Costs are only reported via [`MemObjectStore::last_cost`] /
+    /// accumulated totals (the simulator adds them to virtual time).
+    Account,
+    /// Operations actually sleep for their modeled cost (end-to-end
+    /// experiments on real threads).
+    Sleep,
+}
+
+/// An in-memory [`ObjectStore`], optionally behaving like a slow tier.
+pub struct MemObjectStore {
+    objects: RwLock<BTreeMap<String, Vec<u8>>>,
+    read_cost: CostModel,
+    write_cost: CostModel,
+    mode: CostMode,
+    accounted: RwLock<AccountedCost>,
+}
+
+/// Accumulated modeled cost of all operations so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AccountedCost {
+    /// Total modeled read time.
+    pub read: std::time::Duration,
+    /// Total modeled write time.
+    pub write: std::time::Duration,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Operations performed.
+    pub ops: u64,
+}
+
+impl MemObjectStore {
+    /// A free (cost-less) store.
+    pub fn new() -> Self {
+        Self::with_costs(CostModel::FREE, CostModel::FREE, CostMode::Account)
+    }
+
+    /// A store whose reads/writes carry the given cost models.
+    pub fn with_costs(read_cost: CostModel, write_cost: CostModel, mode: CostMode) -> Self {
+        Self {
+            objects: RwLock::new(BTreeMap::new()),
+            read_cost,
+            write_cost,
+            mode,
+            accounted: RwLock::new(AccountedCost::default()),
+        }
+    }
+
+    fn charge(&self, bytes: u64, is_read: bool) {
+        let model = if is_read {
+            &self.read_cost
+        } else {
+            &self.write_cost
+        };
+        let cost = model.cost(bytes);
+        {
+            let mut acc = self.accounted.write();
+            acc.ops += 1;
+            if is_read {
+                acc.read += cost;
+                acc.bytes_read += bytes;
+            } else {
+                acc.write += cost;
+                acc.bytes_written += bytes;
+            }
+        }
+        if self.mode == CostMode::Sleep && cost > std::time::Duration::ZERO {
+            std::thread::sleep(cost);
+        }
+    }
+
+    /// Snapshot of accumulated modeled costs.
+    pub fn accounted(&self) -> AccountedCost {
+        *self.accounted.read()
+    }
+
+    /// Number of stored objects.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// Whether the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total bytes stored.
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+impl Default for MemObjectStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ObjectStore for MemObjectStore {
+    fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        self.charge(data.len() as u64, false);
+        self.objects.write().insert(path.to_string(), data.to_vec());
+        Ok(())
+    }
+
+    fn get(&self, path: &str) -> Result<Vec<u8>> {
+        let data = self
+            .objects
+            .read()
+            .get(path)
+            .cloned()
+            .ok_or_else(|| JiffyError::PersistentObjectMissing(path.to_string()))?;
+        self.charge(data.len() as u64, true);
+        Ok(data)
+    }
+
+    fn delete(&self, path: &str) -> Result<()> {
+        self.objects.write().remove(path);
+        Ok(())
+    }
+
+    fn exists(&self, path: &str) -> bool {
+        self.objects.read().contains_key(path)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn put_get_delete_round_trip() {
+        let s = MemObjectStore::new();
+        s.put("a/b", b"hello").unwrap();
+        assert_eq!(s.get("a/b").unwrap(), b"hello");
+        assert!(s.exists("a/b"));
+        s.delete("a/b").unwrap();
+        assert!(!s.exists("a/b"));
+        assert!(matches!(
+            s.get("a/b").unwrap_err(),
+            JiffyError::PersistentObjectMissing(_)
+        ));
+    }
+
+    #[test]
+    fn put_replaces() {
+        let s = MemObjectStore::new();
+        s.put("k", b"v1").unwrap();
+        s.put("k", b"v2").unwrap();
+        assert_eq!(s.get("k").unwrap(), b"v2");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn list_filters_by_prefix_sorted() {
+        let s = MemObjectStore::new();
+        for p in ["job1/t1/b0", "job1/t2/b0", "job2/t1/b0", "job1/t1/b1"] {
+            s.put(p, b"x").unwrap();
+        }
+        assert_eq!(
+            s.list("job1/t1/"),
+            vec!["job1/t1/b0".to_string(), "job1/t1/b1".to_string()]
+        );
+        assert_eq!(s.list("job3/"), Vec::<String>::new());
+        assert_eq!(s.list("").len(), 4);
+    }
+
+    #[test]
+    fn accounting_tracks_cost_and_volume() {
+        let s = MemObjectStore::with_costs(
+            CostModel::new(Duration::from_millis(10), 100.0),
+            CostModel::new(Duration::from_millis(20), 50.0),
+            CostMode::Account,
+        );
+        s.put("k", &[0u8; 1000]).unwrap();
+        s.get("k").unwrap();
+        let acc = s.accounted();
+        assert_eq!(acc.ops, 2);
+        assert_eq!(acc.bytes_written, 1000);
+        assert_eq!(acc.bytes_read, 1000);
+        assert!(acc.write >= Duration::from_millis(20));
+        assert!(acc.read >= Duration::from_millis(10));
+        // Account mode must not sleep: both ops complete instantly, which
+        // we can't assert directly, but costs accumulated without real
+        // delay is implied by the test completing within the harness
+        // timeout.
+    }
+
+    #[test]
+    fn sleep_mode_imposes_latency() {
+        let s = MemObjectStore::with_costs(
+            CostModel::new(Duration::from_millis(15), f64::INFINITY / 1e6),
+            CostModel::FREE,
+            CostMode::Sleep,
+        );
+        s.put("k", b"v").unwrap();
+        let t0 = std::time::Instant::now();
+        s.get("k").unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(15));
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let s = MemObjectStore::new();
+        s.delete("never-existed").unwrap();
+    }
+
+    #[test]
+    fn total_bytes_sums_objects() {
+        let s = MemObjectStore::new();
+        s.put("a", &[0; 10]).unwrap();
+        s.put("b", &[0; 20]).unwrap();
+        assert_eq!(s.total_bytes(), 30);
+    }
+}

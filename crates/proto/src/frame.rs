@@ -1,0 +1,155 @@
+//! Length-prefixed message framing.
+//!
+//! Every RPC message travels as one frame: a `u32` little-endian length
+//! followed by that many payload bytes. Frames larger than
+//! [`MAX_FRAME_LEN`] are rejected on both send and receive so that a
+//! corrupt or adversarial length prefix cannot trigger a giant
+//! allocation.
+
+use std::io::{Read, Write};
+
+use jiffy_common::{JiffyError, Result};
+
+/// Upper bound on a single frame, comfortably above one 128 MB block plus
+/// headers.
+pub const MAX_FRAME_LEN: usize = 192 * 1024 * 1024;
+
+/// Writes `payload` as one frame to `w` and flushes.
+///
+/// # Errors
+///
+/// Fails if the payload exceeds [`MAX_FRAME_LEN`] or on IO error.
+pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(JiffyError::Codec(format!(
+            "frame of {} bytes exceeds MAX_FRAME_LEN",
+            payload.len()
+        )));
+    }
+    let len = (payload.len() as u32).to_le_bytes();
+    w.write_all(&len)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame from `r`, returning its payload.
+///
+/// Returns `Ok(None)` when the stream ends cleanly *between* frames
+/// (i.e. EOF before any length byte); mid-frame EOF is an error.
+///
+/// # Errors
+///
+/// Fails on IO errors, mid-frame EOF, or a length above
+/// [`MAX_FRAME_LEN`].
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        match r.read(&mut len_buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(JiffyError::Rpc("EOF inside frame header".into()));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(JiffyError::Codec(format!(
+            "incoming frame length {len} exceeds MAX_FRAME_LEN"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| JiffyError::Rpc(format!("EOF inside frame body: {e}")))?;
+    Ok(Some(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn round_trips_a_frame() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"hello");
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn round_trips_empty_and_large_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"").unwrap();
+        let big = vec![0xAB; 1 << 20];
+        write_frame(&mut buf, &big).unwrap();
+        let mut cur = Cursor::new(buf);
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut cur).unwrap().unwrap(), big);
+    }
+
+    #[test]
+    fn clean_eof_is_none() {
+        let mut cur = Cursor::new(Vec::<u8>::new());
+        assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    #[test]
+    fn eof_in_header_is_error() {
+        let mut cur = Cursor::new(vec![1u8, 0]);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn eof_in_body_is_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        buf.truncate(buf.len() - 2);
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(b"xx");
+        let mut cur = Cursor::new(buf);
+        assert!(read_frame(&mut cur).is_err());
+    }
+
+    #[test]
+    fn oversized_payload_refused_on_write() {
+        struct NullSink;
+        impl std::io::Write for NullSink {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        // Don't allocate MAX+1 bytes; a zero-length slice with a fake
+        // length is impossible, so simulate with a just-over-limit vec of
+        // zeros only if memory allows. Use a cheap approach: the check is
+        // on `payload.len()`, so an honest oversized buffer is required.
+        let payload = vec![0u8; MAX_FRAME_LEN + 1];
+        assert!(write_frame(&mut NullSink, &payload).is_err());
+    }
+
+    #[test]
+    fn multiple_frames_preserve_order() {
+        let mut buf = Vec::new();
+        for i in 0..10u8 {
+            write_frame(&mut buf, &[i; 3]).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for i in 0..10u8 {
+            assert_eq!(read_frame(&mut cur).unwrap().unwrap(), vec![i; 3]);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Wire protocol for Jiffy.
+//!
+//! The paper implements its RPC layer on Apache Thrift with two
+//! optimizations: asynchronous *framed* IO and thin client wrappers over
+//! the C serialization core (§4.2.2). This crate is the equivalent
+//! substrate built from scratch:
+//!
+//! - [`wire`] — a compact, non-self-describing binary serde format
+//!   (little-endian fixed-width scalars, `u32` length prefixes, enum
+//!   variant indices). Plays the role of Thrift's binary protocol.
+//! - [`frame`] — `u32` length-prefixed framing over any `Read`/`Write`
+//!   pair, with a sanity cap on frame size.
+//! - [`messages`] — every request/response exchanged between clients,
+//!   memory servers and the controller.
+
+pub mod frame;
+pub mod messages;
+pub mod wire;
+
+pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use messages::{
+    Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
+    DataRequest, DataResponse, DsOp, DsResult, DsType, Endpoint, Envelope, MergeSpec, Notification,
+    OpKind, PartitionView, PrefixView, Replica, SlotRange, SplitSpec,
+};
+pub use wire::{from_bytes, to_bytes};

@@ -1,0 +1,1004 @@
+//! Request/response messages exchanged between Jiffy planes.
+//!
+//! Three conversations exist in a Jiffy cluster (paper Fig. 2/7/8):
+//!
+//! 1. **client ↔ controller** ([`ControlRequest`]/[`ControlResponse`]):
+//!    job registration, address-hierarchy manipulation, lease renewal,
+//!    prefix resolution (address translation), flush/load.
+//! 2. **client ↔ memory server** ([`DataRequest`]/[`DataResponse`]):
+//!    data-structure operators on blocks, subscriptions, notifications.
+//! 3. **memory server ↔ controller / memory server ↔ memory server**:
+//!    overload/underload signalling, repartition payload transfer, chain
+//!    replication — carried on the same two enums.
+//!
+//! All types serialize with the [`crate::wire`] codec.
+
+use serde::{Deserialize, Serialize};
+
+use jiffy_common::{BlockId, JiffyError, JobId, ServerId};
+
+/// A byte payload that encodes via `serialize_bytes` (bulk copy) instead
+/// of element-wise `Vec<u8>` encoding — important for block-sized
+/// payloads.
+#[derive(Clone, PartialEq, Eq, Default, Hash)]
+pub struct Blob(pub Vec<u8>);
+
+impl Blob {
+    /// Wraps a byte vector.
+    pub fn new(v: Vec<u8>) -> Self {
+        Self(v)
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Consumes the blob, returning the inner vector.
+    pub fn into_inner(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl std::fmt::Debug for Blob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Blob({} bytes)", self.0.len())
+    }
+}
+
+impl From<Vec<u8>> for Blob {
+    fn from(v: Vec<u8>) -> Self {
+        Self(v)
+    }
+}
+
+impl From<&[u8]> for Blob {
+    fn from(v: &[u8]) -> Self {
+        Self(v.to_vec())
+    }
+}
+
+impl From<&str> for Blob {
+    fn from(v: &str) -> Self {
+        Self(v.as_bytes().to_vec())
+    }
+}
+
+impl std::ops::Deref for Blob {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl Serialize for Blob {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_bytes(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Blob {
+    fn deserialize<D: serde::Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        struct V;
+        impl serde::de::Visitor<'_> for V {
+            type Value = Blob;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a byte buffer")
+            }
+
+            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> Result<Blob, E> {
+                Ok(Blob(v.to_vec()))
+            }
+
+            fn visit_byte_buf<E: serde::de::Error>(self, v: Vec<u8>) -> Result<Blob, E> {
+                Ok(Blob(v))
+            }
+        }
+        d.deserialize_byte_buf(V)
+    }
+}
+
+/// The built-in data-structure types (paper Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DsType {
+    /// Append-only file of fixed-size chunks (§5.1).
+    File,
+    /// FIFO queue as a growing linked list of blocks (§5.2).
+    Queue,
+    /// Hash-slotted key-value store with cuckoo-hashed blocks (§5.3).
+    KvStore,
+}
+
+impl std::fmt::Display for DsType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::File => f.write_str("file"),
+            Self::Queue => f.write_str("queue"),
+            Self::KvStore => f.write_str("kv_store"),
+        }
+    }
+}
+
+/// One endpoint in the cluster (a memory server's identity + address).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Endpoint {
+    /// Memory-server identity.
+    pub server: ServerId,
+    /// Transport address understood by `jiffy-rpc` (e.g. `inproc:3` or
+    /// `tcp:127.0.0.1:9090`).
+    pub addr: String,
+}
+
+/// One replica in a block's replication chain: the physical block on one
+/// server.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Replica {
+    /// Physical block ID on that server.
+    pub block: BlockId,
+    /// Hosting server.
+    pub server: ServerId,
+    /// Server transport address.
+    pub addr: String,
+}
+
+/// Where a logical block lives: its replication chain (head first, tail
+/// last; length 1 without replication). Writes enter at the head and are
+/// forwarded down the chain; reads are served at the tail (chain
+/// replication, van Renesse & Schneider).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BlockLocation {
+    /// The replica chain.
+    pub chain: Vec<Replica>,
+}
+
+impl BlockLocation {
+    /// An unreplicated location.
+    pub fn single(block: BlockId, server: ServerId, addr: impl Into<String>) -> Self {
+        Self {
+            chain: vec![Replica {
+                block,
+                server,
+                addr: addr.into(),
+            }],
+        }
+    }
+
+    /// The logical block identity (the head replica's block ID), used as
+    /// the key in controller metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty, which the controller never produces.
+    pub fn id(&self) -> BlockId {
+        self.head().block
+    }
+
+    /// The chain head (write entry point).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty, which the controller never produces.
+    pub fn head(&self) -> &Replica {
+        self.chain.first().expect("block chain must not be empty")
+    }
+
+    /// The chain tail (read endpoint).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is empty, which the controller never produces.
+    pub fn tail(&self) -> &Replica {
+        self.chain.last().expect("block chain must not be empty")
+    }
+}
+
+/// A contiguous range of KV hash slots owned by one block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRange {
+    /// First slot (inclusive).
+    pub lo: u32,
+    /// Last slot (inclusive).
+    pub hi: u32,
+    /// The block owning these slots.
+    pub location: BlockLocation,
+}
+
+impl SlotRange {
+    /// Whether `slot` falls in this range.
+    pub fn contains(&self, slot: u32) -> bool {
+        self.lo <= slot && slot <= self.hi
+    }
+}
+
+/// Client-cached view of how a data structure is partitioned across
+/// blocks. Stored at the controller's metadata manager; refreshed by
+/// clients on [`JiffyError::StaleMetadata`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PartitionView {
+    /// File: ordered chunk list; chunk `i` covers file offsets
+    /// `[i * chunk_size, (i + 1) * chunk_size)`.
+    File {
+        /// Capacity of each chunk in bytes (= block size).
+        chunk_size: u64,
+        /// Chunk blocks in offset order.
+        blocks: Vec<BlockLocation>,
+    },
+    /// Queue: the live segment list in FIFO order. Dequeues start at
+    /// `head_index` and advance locally as segments drain (a sealed,
+    /// empty segment answers `StaleMetadata`); enqueues go to the last
+    /// segment.
+    Queue {
+        /// Live segments, oldest first.
+        segments: Vec<BlockLocation>,
+        /// Index of the current head segment within `segments`.
+        head_index: u32,
+    },
+    /// KV-store: hash-slot ranges to blocks.
+    Kv {
+        /// Total number of hash slots (paper default 1024).
+        num_slots: u32,
+        /// Disjoint slot ranges covering `[0, num_slots)`.
+        slots: Vec<SlotRange>,
+    },
+}
+
+impl PartitionView {
+    /// All distinct block locations referenced by this view (a KV block
+    /// owning several slot ranges appears once).
+    pub fn blocks(&self) -> Vec<&BlockLocation> {
+        let all: Vec<&BlockLocation> = match self {
+            Self::File { blocks, .. } => blocks.iter().collect(),
+            Self::Queue { segments, .. } => segments.iter().collect(),
+            Self::Kv { slots, .. } => slots.iter().map(|s| &s.location).collect(),
+        };
+        let mut out: Vec<&BlockLocation> = Vec::with_capacity(all.len());
+        for loc in all {
+            if !out.iter().any(|l| l.id() == loc.id()) {
+                out.push(loc);
+            }
+        }
+        out
+    }
+}
+
+/// Everything a client learns when resolving an address prefix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrefixView {
+    /// Node name within the job's hierarchy.
+    pub name: String,
+    /// Data structure bound to this prefix, if any.
+    pub ds: Option<DsType>,
+    /// Partition layout, present iff a data structure is bound.
+    pub partition: Option<PartitionView>,
+    /// Lease duration in microseconds.
+    pub lease_duration_micros: u64,
+    /// Parent node names (a node may have several — the DAG).
+    pub parents: Vec<String>,
+    /// Child node names.
+    pub children: Vec<String>,
+    /// Metadata version; bumps on every repartition so clients can detect
+    /// staleness.
+    pub version: u64,
+}
+
+/// Specification of one node when creating a whole hierarchy from a DAG.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DagNodeSpec {
+    /// Node name (unique within the job).
+    pub name: String,
+    /// Parent node names; empty means the node hangs off the job root.
+    pub parents: Vec<String>,
+    /// Data structure to bind, if any.
+    pub ds: Option<DsType>,
+    /// Blocks to pre-allocate (0 = allocate lazily on first write).
+    pub initial_blocks: u32,
+}
+
+/// Operation kinds that can be subscribed to for notifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// File append/write.
+    Write,
+    /// Queue enqueue.
+    Enqueue,
+    /// Queue dequeue.
+    Dequeue,
+    /// KV put.
+    Put,
+    /// KV delete.
+    Delete,
+}
+
+/// Asynchronous notification pushed to subscribers (paper §4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Notification {
+    /// Block on which the operation happened.
+    pub block: BlockId,
+    /// What happened.
+    pub op: OpKind,
+    /// Size of the payload involved, in bytes.
+    pub size: u64,
+    /// Server-assigned sequence number (per block, monotonically
+    /// increasing).
+    pub seq: u64,
+}
+
+/// How an overloaded block should split its contents into a newly
+/// allocated block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SplitSpec {
+    /// File: the new block becomes chunk `chunk_index`; no data moves
+    /// (files are append-only, §5.1).
+    FileAppend {
+        /// Index of the new chunk in the file's block list.
+        chunk_index: u64,
+    },
+    /// Queue: the new block is linked as the new tail; no data moves.
+    QueueLink,
+    /// KV: move hash slots `[lo, hi]` (inclusive) to the new block.
+    KvSlots {
+        /// First slot to move.
+        lo: u32,
+        /// Last slot to move.
+        hi: u32,
+    },
+}
+
+/// How an underloaded block merges into a sibling.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MergeSpec {
+    /// Queue: the drained head block unlinks itself.
+    QueueUnlink,
+    /// KV: move all resident pairs into the target block, which absorbs
+    /// the source's slot range.
+    KvAbsorb,
+}
+
+/// Requests handled by the controller (control plane, paper §4.2.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlRequest {
+    /// Register a job; returns a fresh [`JobId`] and creates its hierarchy
+    /// root.
+    RegisterJob {
+        /// Human-readable job name (for observability only).
+        name: String,
+    },
+    /// Deregister a job, releasing all its blocks immediately.
+    DeregisterJob {
+        /// Job to remove.
+        job: JobId,
+    },
+    /// Create one address prefix (paper `createAddrPrefix`).
+    CreatePrefix {
+        /// Owning job.
+        job: JobId,
+        /// New node name.
+        name: String,
+        /// Parent node names (empty = child of the job root).
+        parents: Vec<String>,
+        /// Data structure to bind, if any.
+        ds: Option<DsType>,
+        /// Blocks to pre-allocate.
+        initial_blocks: u32,
+    },
+    /// Add an extra parent edge to an existing node (blocks gain an extra
+    /// address, like a hard link).
+    AddParent {
+        /// Owning job.
+        job: JobId,
+        /// Existing node.
+        name: String,
+        /// Additional parent node.
+        parent: String,
+    },
+    /// Create a whole hierarchy from a DAG (paper `createHierarchy`).
+    CreateHierarchy {
+        /// Owning job.
+        job: JobId,
+        /// Topologically-ordered node specs.
+        nodes: Vec<DagNodeSpec>,
+    },
+    /// Remove a prefix and reclaim its blocks (explicit reclamation).
+    RemovePrefix {
+        /// Owning job.
+        job: JobId,
+        /// Node to remove.
+        name: String,
+    },
+    /// Address translation: resolve a prefix to its partition metadata.
+    ResolvePrefix {
+        /// Owning job.
+        job: JobId,
+        /// Node to resolve.
+        name: String,
+    },
+    /// Renew the lease on a prefix; propagates through the DAG (§3.2).
+    RenewLease {
+        /// Owning job.
+        job: JobId,
+        /// Node whose lease is renewed.
+        name: String,
+    },
+    /// Query the configured lease duration for a prefix.
+    GetLeaseDuration {
+        /// Owning job.
+        job: JobId,
+        /// Node to query.
+        name: String,
+    },
+    /// Synchronously flush a prefix's data to the persistent tier.
+    FlushPrefix {
+        /// Owning job.
+        job: JobId,
+        /// Node to flush.
+        name: String,
+        /// External object path (e.g. `s3://bucket/key`).
+        external_path: String,
+    },
+    /// Load a prefix's data back from the persistent tier.
+    LoadPrefix {
+        /// Owning job.
+        job: JobId,
+        /// Node to load into.
+        name: String,
+        /// External object path.
+        external_path: String,
+    },
+    /// A memory server joins the cluster, contributing blocks.
+    RegisterServer {
+        /// Transport address clients should use.
+        addr: String,
+        /// Number of blocks the server hosts.
+        capacity_blocks: u32,
+    },
+    /// Data plane → controller: a block crossed the high threshold
+    /// (paper Fig. 8, step 1).
+    ReportOverload {
+        /// The overloaded block.
+        block: BlockId,
+        /// Bytes currently used in the block.
+        used: u64,
+    },
+    /// Data plane → controller: a block fell below the low threshold.
+    ReportUnderload {
+        /// The underloaded block.
+        block: BlockId,
+        /// Bytes currently used in the block.
+        used: u64,
+    },
+    /// Data plane → controller: a repartition finished; commit the new
+    /// partition map version.
+    CommitRepartition {
+        /// Source block of the split/merge.
+        block: BlockId,
+        /// Whether the new layout should be committed (false aborts, e.g.
+        /// if the split raced with a delete).
+        commit: bool,
+    },
+    /// Controller statistics snapshot (free blocks, jobs, ops served).
+    GetStats,
+    /// List all prefixes of a job (debugging/tests).
+    ListPrefixes {
+        /// Job to list.
+        job: JobId,
+    },
+}
+
+/// Controller statistics snapshot.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ControllerStats {
+    /// Blocks not currently allocated to any prefix.
+    pub free_blocks: u64,
+    /// Total blocks registered across all memory servers.
+    pub total_blocks: u64,
+    /// Registered jobs.
+    pub jobs: u64,
+    /// Total address-hierarchy nodes across jobs.
+    pub prefixes: u64,
+    /// Control operations served since start.
+    pub ops_served: u64,
+    /// Leases expired (prefixes reclaimed) since start.
+    pub leases_expired: u64,
+    /// Splits initiated since start.
+    pub splits: u64,
+    /// Merges initiated since start.
+    pub merges: u64,
+    /// Approximate metadata bytes held by the controller.
+    pub metadata_bytes: u64,
+}
+
+/// Responses from the controller.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ControlResponse {
+    /// Generic success.
+    Ack,
+    /// Job registered.
+    JobRegistered {
+        /// The new job's ID.
+        job: JobId,
+    },
+    /// Prefix created (also returned per-node by `CreateHierarchy`).
+    PrefixCreated {
+        /// Name of the created node.
+        name: String,
+    },
+    /// Result of `ResolvePrefix`.
+    Resolved(PrefixView),
+    /// Result of `RenewLease`: which prefixes were renewed (the requested
+    /// one, its ancestors and its descendants).
+    LeaseRenewed {
+        /// All node names whose lease timestamps were refreshed.
+        renewed: Vec<String>,
+        /// Lease duration in microseconds.
+        lease_duration_micros: u64,
+    },
+    /// Result of `GetLeaseDuration`.
+    LeaseDuration {
+        /// Lease duration in microseconds.
+        micros: u64,
+    },
+    /// Result of `RegisterServer`.
+    ServerRegistered {
+        /// Assigned server ID.
+        server: ServerId,
+        /// Block IDs the server will host.
+        blocks: Vec<BlockId>,
+    },
+    /// Result of `ReportOverload`: where to split to (paper Fig. 8,
+    /// steps 2–3). `None` when no free block is available — the block
+    /// must keep serving and spill will be handled by the tier above.
+    SplitTarget {
+        /// Newly allocated block, if any.
+        target: Option<BlockLocation>,
+        /// How to split, if a target was allocated.
+        spec: Option<SplitSpec>,
+    },
+    /// Result of `ReportUnderload`. `None` when no merge is advisable.
+    MergeTarget {
+        /// Sibling block to merge into, if any.
+        target: Option<BlockLocation>,
+        /// How to merge, if a target was chosen.
+        spec: Option<MergeSpec>,
+    },
+    /// Result of `FlushPrefix`/`LoadPrefix`.
+    Persisted {
+        /// Bytes moved.
+        bytes: u64,
+    },
+    /// Result of `GetStats`.
+    Stats(ControllerStats),
+    /// Result of `ListPrefixes`.
+    Prefixes(Vec<String>),
+}
+
+/// Data-structure operations executed on a block (paper Fig. 6: the
+/// internal block API — `writeOp`, `readOp`, `deleteOp` per structure).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DsOp {
+    /// File write at an absolute offset (append-only semantics are
+    /// enforced at the file level; the block validates its chunk range).
+    FileWrite {
+        /// Offset *within this chunk*.
+        offset: u64,
+        /// Data to write.
+        data: Blob,
+    },
+    /// File append at the current end of this chunk (serialized by the
+    /// block, so concurrent appenders from different tasks interleave
+    /// whole items — the shuffle-file write mode of §5.1). Fails with
+    /// `BlockFull` without partial effect when the chunk cannot hold the
+    /// payload.
+    FileAppend {
+        /// Data to append.
+        data: Blob,
+    },
+    /// File read of `len` bytes at a chunk-relative offset.
+    FileRead {
+        /// Offset within this chunk.
+        offset: u64,
+        /// Bytes to read.
+        len: u64,
+    },
+    /// Current size of the chunk in bytes.
+    FileSize,
+    /// Queue enqueue at the tail block.
+    Enqueue {
+        /// Item payload.
+        item: Blob,
+    },
+    /// Queue dequeue at the head block.
+    Dequeue,
+    /// Read the head item without removing it.
+    Peek,
+    /// Number of items resident in this queue segment.
+    QueueLen,
+    /// KV put.
+    Put {
+        /// Key bytes.
+        key: Blob,
+        /// Value bytes.
+        value: Blob,
+    },
+    /// KV get.
+    Get {
+        /// Key bytes.
+        key: Blob,
+    },
+    /// KV delete.
+    Delete {
+        /// Key bytes.
+        key: Blob,
+    },
+    /// KV existence check.
+    Exists {
+        /// Key bytes.
+        key: Blob,
+    },
+    /// Number of pairs resident in this KV partition block.
+    KvCount,
+    /// Escape hatch for custom data structures registered on the server.
+    Custom {
+        /// Registered structure name.
+        ds: String,
+        /// Operator name.
+        op: String,
+        /// Opaque operator payload.
+        payload: Blob,
+    },
+}
+
+impl DsOp {
+    /// The subscription kind this op triggers, if it is a mutation.
+    pub fn kind(&self) -> Option<OpKind> {
+        match self {
+            Self::FileWrite { .. } | Self::FileAppend { .. } => Some(OpKind::Write),
+            Self::Enqueue { .. } => Some(OpKind::Enqueue),
+            Self::Dequeue => Some(OpKind::Dequeue),
+            Self::Put { .. } => Some(OpKind::Put),
+            Self::Delete { .. } => Some(OpKind::Delete),
+            _ => None,
+        }
+    }
+}
+
+/// Result of a [`DsOp`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DsResult {
+    /// Operation succeeded with nothing to return.
+    Ok,
+    /// Bytes read / peeked / got.
+    Data(Blob),
+    /// Optional payload (dequeue/get on empty/missing returns `None`).
+    MaybeData(Option<Blob>),
+    /// A size or count.
+    Size(u64),
+    /// A boolean (e.g. `Exists`).
+    Bool(bool),
+    /// Previous value replaced by a `Put`, if any.
+    Replaced(Option<Blob>),
+}
+
+/// Requests handled by a memory server (data plane, paper §4.2.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataRequest {
+    /// Execute a data-structure operator on a block.
+    Op {
+        /// Target block.
+        block: BlockId,
+        /// The operator.
+        op: DsOp,
+    },
+    /// Subscribe the requesting session to notifications on a block.
+    Subscribe {
+        /// Target block.
+        block: BlockId,
+        /// Operation kinds of interest.
+        ops: Vec<OpKind>,
+    },
+    /// Remove subscriptions for the requesting session.
+    Unsubscribe {
+        /// Target block.
+        block: BlockId,
+        /// Operation kinds to remove.
+        ops: Vec<OpKind>,
+    },
+    /// Usage query (bytes used / capacity).
+    Usage {
+        /// Target block.
+        block: BlockId,
+    },
+    /// Server→server: install a repartition payload into a block
+    /// (paper Fig. 8, step 4).
+    ImportPayload {
+        /// Receiving block.
+        block: BlockId,
+        /// Serialized partition content (data-structure specific).
+        payload: Blob,
+    },
+    /// Server→server (and client→head): chain replication — apply `op`
+    /// to this replica's block and forward down the remaining chain.
+    /// The op is acknowledged only once the tail has applied it.
+    Replicate {
+        /// Target block on this replica.
+        block: BlockId,
+        /// The mutation to apply.
+        op: DsOp,
+        /// The remaining downstream replicas, in chain order.
+        downstream: Vec<Replica>,
+    },
+    /// Controller→server: split part of `block`'s contents out according
+    /// to `spec`, delivering the extracted payload to `target` (paper
+    /// Fig. 8, step 4). `target` is `None` for metadata-only splits
+    /// (file-append, queue-link) where no data moves.
+    SplitBlock {
+        /// Source (overloaded) block.
+        block: BlockId,
+        /// What to extract.
+        spec: SplitSpec,
+        /// Where to send the extracted payload.
+        target: Option<BlockLocation>,
+    },
+    /// Controller→server: move all of `block`'s contents into `target`
+    /// (scale-down merge). `target` is `None` for queue-segment unlinks,
+    /// which require the segment to already be drained.
+    MergeBlock {
+        /// Source (underloaded) block.
+        block: BlockId,
+        /// How to merge.
+        spec: MergeSpec,
+        /// Receiving sibling block.
+        target: Option<BlockLocation>,
+    },
+    /// Controller→server: initialize a block as a partition of the
+    /// named data structure (a built-in `DsType` display name, or a
+    /// custom structure registered on the server).
+    InitBlock {
+        /// Target block.
+        block: BlockId,
+        /// Registered structure name (`file`, `queue`, `kv_store`, or a
+        /// custom name).
+        ds: String,
+        /// Structure-specific parameters (e.g. KV slot range), wire-coded.
+        params: Blob,
+    },
+    /// Controller→server: reset a block to the free state, dropping data.
+    ResetBlock {
+        /// Target block.
+        block: BlockId,
+    },
+    /// Controller→server: serialize the block's contents for flushing to
+    /// the persistent tier.
+    ExportBlock {
+        /// Target block.
+        block: BlockId,
+    },
+    /// Health check / round-trip measurement.
+    Ping,
+}
+
+/// Responses from a memory server.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DataResponse {
+    /// Result of `Op` (and of `Replicate` at the chain head).
+    OpResult(DsResult),
+    /// Generic success.
+    Ack,
+    /// Result of `Usage`.
+    Usage {
+        /// Bytes used.
+        used: u64,
+        /// Block capacity in bytes.
+        capacity: u64,
+    },
+    /// Result of `ExportBlock`.
+    Exported {
+        /// Serialized block contents.
+        payload: Blob,
+    },
+    /// Reply to `Ping`.
+    Pong,
+}
+
+/// Top-level envelope multiplexing concurrent requests on one connection.
+///
+/// `id` correlates a response with its request; server pushes
+/// (notifications) use the reserved id 0 and the `Push` variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Envelope {
+    /// A control-plane request.
+    ControlReq {
+        /// Correlation id (client-assigned, non-zero).
+        id: u64,
+        /// The request.
+        req: ControlRequest,
+    },
+    /// A control-plane response.
+    ControlResp {
+        /// Correlation id echoed from the request.
+        id: u64,
+        /// The outcome.
+        resp: Result<ControlResponse, JiffyError>,
+    },
+    /// A data-plane request.
+    DataReq {
+        /// Correlation id (client-assigned, non-zero).
+        id: u64,
+        /// The request.
+        req: DataRequest,
+    },
+    /// A data-plane response.
+    DataResp {
+        /// Correlation id echoed from the request.
+        id: u64,
+        /// The outcome.
+        resp: Result<DataResponse, JiffyError>,
+    },
+    /// Server-initiated notification push.
+    Push(Notification),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{from_bytes, to_bytes};
+
+    fn rt(e: Envelope) {
+        let bytes = to_bytes(&e).unwrap();
+        let back: Envelope = from_bytes(&bytes).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        rt(Envelope::ControlReq {
+            id: 1,
+            req: ControlRequest::RegisterJob {
+                name: "wordcount".into(),
+            },
+        });
+        rt(Envelope::ControlResp {
+            id: 1,
+            resp: Ok(ControlResponse::JobRegistered { job: JobId(7) }),
+        });
+        rt(Envelope::ControlReq {
+            id: 2,
+            req: ControlRequest::CreateHierarchy {
+                job: JobId(7),
+                nodes: vec![DagNodeSpec {
+                    name: "t1".into(),
+                    parents: vec![],
+                    ds: Some(DsType::KvStore),
+                    initial_blocks: 2,
+                }],
+            },
+        });
+        rt(Envelope::ControlResp {
+            id: 3,
+            resp: Err(JiffyError::PathNotFound("t9".into())),
+        });
+    }
+
+    #[test]
+    fn data_messages_round_trip() {
+        rt(Envelope::DataReq {
+            id: 4,
+            req: DataRequest::Op {
+                block: BlockId(3),
+                op: DsOp::Put {
+                    key: "k".into(),
+                    value: vec![0u8; 1024].into(),
+                },
+            },
+        });
+        rt(Envelope::DataResp {
+            id: 4,
+            resp: Ok(DataResponse::OpResult(DsResult::MaybeData(Some(
+                "v".into(),
+            )))),
+        });
+        rt(Envelope::Push(Notification {
+            block: BlockId(3),
+            op: OpKind::Put,
+            size: 1024,
+            seq: 99,
+        }));
+    }
+
+    #[test]
+    fn resolved_view_round_trips() {
+        let view = PrefixView {
+            name: "t4.t6".into(),
+            ds: Some(DsType::KvStore),
+            partition: Some(PartitionView::Kv {
+                num_slots: 1024,
+                slots: vec![SlotRange {
+                    lo: 0,
+                    hi: 1023,
+                    location: BlockLocation::single(BlockId(0), ServerId(0), "inproc:0"),
+                }],
+            }),
+            lease_duration_micros: 1_000_000,
+            parents: vec!["t4".into()],
+            children: vec!["t7".into()],
+            version: 3,
+        };
+        rt(Envelope::ControlResp {
+            id: 9,
+            resp: Ok(ControlResponse::Resolved(view)),
+        });
+    }
+
+    #[test]
+    fn blob_encodes_compactly() {
+        let blob = Blob(vec![7u8; 100]);
+        let bytes = to_bytes(&blob).unwrap();
+        // 4-byte length prefix + raw payload.
+        assert_eq!(bytes.len(), 104);
+    }
+
+    #[test]
+    fn partition_view_lists_queue_segments() {
+        let loc = BlockLocation::single(BlockId(1), ServerId(0), "inproc:0");
+        let v = PartitionView::Queue {
+            segments: vec![loc.clone()],
+            head_index: 0,
+        };
+        assert_eq!(v.blocks().len(), 1);
+        let v2 = PartitionView::Queue {
+            segments: vec![
+                loc.clone(),
+                BlockLocation::single(BlockId(2), ServerId(0), "inproc:0"),
+            ],
+            head_index: 1,
+        };
+        assert_eq!(v2.blocks().len(), 2);
+        rt(Envelope::ControlResp {
+            id: 11,
+            resp: Ok(ControlResponse::Resolved(PrefixView {
+                name: "q".into(),
+                ds: Some(DsType::Queue),
+                partition: Some(v2),
+                lease_duration_micros: 1_000_000,
+                parents: vec![],
+                children: vec![],
+                version: 1,
+            })),
+        });
+    }
+
+    #[test]
+    fn slot_range_contains_is_inclusive() {
+        let loc = BlockLocation::single(BlockId(1), ServerId(0), "x");
+        let r = SlotRange {
+            lo: 10,
+            hi: 20,
+            location: loc,
+        };
+        assert!(r.contains(10));
+        assert!(r.contains(20));
+        assert!(!r.contains(9));
+        assert!(!r.contains(21));
+    }
+
+    #[test]
+    fn ds_op_kinds_classify_mutations() {
+        assert_eq!(
+            DsOp::FileWrite {
+                offset: 0,
+                data: "x".into()
+            }
+            .kind(),
+            Some(OpKind::Write)
+        );
+        assert_eq!(DsOp::Dequeue.kind(), Some(OpKind::Dequeue));
+        assert_eq!(DsOp::FileRead { offset: 0, len: 1 }.kind(), None);
+        assert_eq!(DsOp::Get { key: "k".into() }.kind(), None);
+    }
+}

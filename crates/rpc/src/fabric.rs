@@ -1,0 +1,213 @@
+//! Unified connector, connection pooling and latency injection.
+//!
+//! Every Jiffy address is a string: `inproc:N` (in-process hub) or
+//! `tcp:host:port`. The [`Fabric`] resolves either kind, caches one
+//! connection per address (connections multiplex concurrent requests,
+//! so one per address suffices), and can wrap connections in a
+//! [`LatencyInjector`] to emulate datacenter RTTs in experiments run on a
+//! single machine.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_common::Result;
+use jiffy_proto::Envelope;
+use parking_lot::Mutex;
+
+use crate::inproc::InprocHub;
+use crate::service::{ClientConn, Connection, PushCallback};
+use crate::tcp;
+
+/// Connection factory + pool over both transports.
+#[derive(Clone)]
+pub struct Fabric {
+    hub: Arc<InprocHub>,
+    pool: Arc<Mutex<HashMap<String, ClientConn>>>,
+    injected_rtt: Option<Duration>,
+}
+
+impl Fabric {
+    /// Creates a fabric with a fresh in-process hub.
+    pub fn new() -> Self {
+        Self::with_hub(InprocHub::new())
+    }
+
+    /// Creates a fabric around an existing hub (so services registered by
+    /// a cluster bootstrap are reachable).
+    pub fn with_hub(hub: Arc<InprocHub>) -> Self {
+        Self {
+            hub,
+            pool: Arc::new(Mutex::new(HashMap::new())),
+            injected_rtt: None,
+        }
+    }
+
+    /// Returns a copy of this fabric whose *new* connections add `rtt` of
+    /// artificial round-trip delay to every call (half on send, half on
+    /// receive conceptually; implemented as one sleep per call).
+    pub fn with_injected_rtt(mut self, rtt: Duration) -> Self {
+        self.injected_rtt = Some(rtt);
+        self.pool = Arc::new(Mutex::new(HashMap::new()));
+        self
+    }
+
+    /// The in-process hub backing `inproc:` addresses.
+    pub fn hub(&self) -> &Arc<InprocHub> {
+        &self.hub
+    }
+
+    /// Returns a pooled connection to `addr`, dialing on first use.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the address is malformed or unreachable.
+    pub fn connect(&self, addr: &str) -> Result<ClientConn> {
+        if let Some(conn) = self.pool.lock().get(addr) {
+            return Ok(conn.clone());
+        }
+        let conn = self.dial(addr)?;
+        let mut pool = self.pool.lock();
+        // Double-checked: another thread may have dialed concurrently.
+        Ok(pool.entry(addr.to_string()).or_insert(conn).clone())
+    }
+
+    /// Dials a fresh, unpooled connection (used where per-session push
+    /// callbacks must not be shared, e.g. notification listeners).
+    pub fn dial(&self, addr: &str) -> Result<ClientConn> {
+        let conn = if addr.starts_with("inproc:") {
+            self.hub.connect(addr)?
+        } else {
+            tcp::connect_tcp(addr)?
+        };
+        Ok(match self.injected_rtt {
+            Some(rtt) => ClientConn(Arc::new(LatencyInjector { inner: conn, rtt })),
+            None => conn,
+        })
+    }
+
+    /// Drops the pooled connection for `addr` (e.g. after an RPC error,
+    /// to force a re-dial on next use).
+    pub fn evict(&self, addr: &str) {
+        if let Some(conn) = self.pool.lock().remove(addr) {
+            conn.close();
+        }
+    }
+
+    /// Closes every pooled connection.
+    pub fn close_all(&self) {
+        for (_, conn) in self.pool.lock().drain() {
+            conn.close();
+        }
+    }
+}
+
+impl Default for Fabric {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Fabric(rtt={:?})", self.injected_rtt)
+    }
+}
+
+/// Wraps a connection, adding a fixed delay to every call — used to give
+/// in-process experiments datacenter-like round-trip times.
+pub struct LatencyInjector {
+    inner: ClientConn,
+    rtt: Duration,
+}
+
+impl Connection for LatencyInjector {
+    fn call(&self, req: Envelope) -> Result<Envelope> {
+        std::thread::sleep(self.rtt);
+        self.inner.call(req)
+    }
+
+    fn set_push_callback(&self, cb: PushCallback) {
+        self.inner.set_push_callback(cb);
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Service, SessionHandle};
+    use jiffy_proto::{DataRequest, DataResponse};
+
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
+            match req {
+                Envelope::DataReq { id, .. } => Envelope::DataResp {
+                    id,
+                    resp: Ok(DataResponse::Pong),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_connections_are_shared() {
+        let fabric = Fabric::new();
+        let addr = fabric.hub().register(Arc::new(Echo));
+        let a = fabric.connect(&addr).unwrap();
+        let b = fabric.connect(&addr).unwrap();
+        // Both are handles onto the same underlying connection.
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        a.call(Envelope::DataReq {
+            id: 1,
+            req: DataRequest::Ping,
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn dial_returns_distinct_connections() {
+        let fabric = Fabric::new();
+        let addr = fabric.hub().register(Arc::new(Echo));
+        let a = fabric.dial(&addr).unwrap();
+        let b = fabric.dial(&addr).unwrap();
+        assert!(!Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn evict_forces_redial() {
+        let fabric = Fabric::new();
+        let addr = fabric.hub().register(Arc::new(Echo));
+        let a = fabric.connect(&addr).unwrap();
+        fabric.evict(&addr);
+        let b = fabric.connect(&addr).unwrap();
+        assert!(!Arc::ptr_eq(&a.0, &b.0));
+    }
+
+    #[test]
+    fn injected_rtt_delays_calls() {
+        let fabric = Fabric::new();
+        let addr = fabric.hub().register(Arc::new(Echo));
+        let delayed = fabric.clone().with_injected_rtt(Duration::from_millis(20));
+        let conn = delayed.connect(&addr).unwrap();
+        let t0 = std::time::Instant::now();
+        conn.call(Envelope::DataReq {
+            id: 1,
+            req: DataRequest::Ping,
+        })
+        .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn unknown_scheme_errors() {
+        let fabric = Fabric::new();
+        assert!(fabric.connect("carrier-pigeon:42").is_err());
+    }
+}

@@ -1,0 +1,263 @@
+//! In-process transport.
+//!
+//! Services register with an [`InprocHub`] and get an `inproc:N` address;
+//! connections dispatch requests as direct function calls on the caller's
+//! thread. This transport carries the test suite, the discrete-event
+//! simulator and single-process cluster deployments; it exercises exactly
+//! the same [`Service`] code as TCP.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jiffy_common::{JiffyError, Result};
+use jiffy_proto::Envelope;
+use parking_lot::RwLock;
+
+use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, SessionHandle};
+
+/// Registry of in-process services.
+#[derive(Default)]
+pub struct InprocHub {
+    services: RwLock<HashMap<u64, Arc<dyn Service>>>,
+    next: std::sync::atomic::AtomicU64,
+}
+
+impl InprocHub {
+    /// Creates an empty hub.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Registers a service and returns its `inproc:N` address.
+    pub fn register(&self, service: Arc<dyn Service>) -> String {
+        let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.services.write().insert(id, service);
+        format!("inproc:{id}")
+    }
+
+    /// Removes a service (subsequent connects fail; existing connections
+    /// error on their next call).
+    pub fn deregister(&self, addr: &str) {
+        if let Some(id) = Self::parse(addr) {
+            self.services.write().remove(&id);
+        }
+    }
+
+    /// Connects to a registered service.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JiffyError::Rpc`] if the address is malformed or no
+    /// service is registered under it.
+    pub fn connect(self: &Arc<Self>, addr: &str) -> Result<ClientConn> {
+        let id = Self::parse(addr)
+            .ok_or_else(|| JiffyError::Rpc(format!("bad inproc address: {addr}")))?;
+        if !self.services.read().contains_key(&id) {
+            return Err(JiffyError::Rpc(format!("no service at {addr}")));
+        }
+        let push = PushSlot::new();
+        let push_for_session = push.clone();
+        let session = SessionHandle::new(Arc::new(move |n| push_for_session.deliver(n)));
+        Ok(ClientConn(Arc::new(InprocConn {
+            hub: Arc::clone(self),
+            id,
+            session,
+            push,
+            closed: std::sync::atomic::AtomicBool::new(false),
+        })))
+    }
+
+    fn parse(addr: &str) -> Option<u64> {
+        addr.strip_prefix("inproc:")?.parse().ok()
+    }
+
+    fn service(&self, id: u64) -> Option<Arc<dyn Service>> {
+        self.services.read().get(&id).cloned()
+    }
+}
+
+struct InprocConn {
+    hub: Arc<InprocHub>,
+    id: u64,
+    session: SessionHandle,
+    push: PushSlot,
+    closed: std::sync::atomic::AtomicBool,
+}
+
+impl Connection for InprocConn {
+    fn call(&self, req: Envelope) -> Result<Envelope> {
+        if self.closed.load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(JiffyError::Rpc("connection closed".into()));
+        }
+        let svc = self
+            .hub
+            .service(self.id)
+            .ok_or_else(|| JiffyError::Rpc(format!("service inproc:{} gone", self.id)))?;
+        Ok(svc.handle(req, &self.session))
+    }
+
+    fn set_push_callback(&self, cb: PushCallback) {
+        self.push.set(cb);
+    }
+
+    fn close(&self) {
+        if !self.closed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+            if let Some(svc) = self.hub.service(self.id) {
+                svc.on_disconnect(&self.session);
+            }
+        }
+    }
+}
+
+impl Drop for InprocConn {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_common::BlockId;
+    use jiffy_proto::{DataRequest, DataResponse, Notification, OpKind};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Echo service that answers pings and can push a notification back
+    /// to whoever sent the last request.
+    struct Echo {
+        disconnects: AtomicUsize,
+    }
+
+    impl Service for Echo {
+        fn handle(&self, req: Envelope, session: &SessionHandle) -> Envelope {
+            match req {
+                Envelope::DataReq {
+                    id,
+                    req: DataRequest::Ping,
+                } => {
+                    session.push(Notification {
+                        block: BlockId(1),
+                        op: OpKind::Write,
+                        size: 0,
+                        seq: id,
+                    });
+                    Envelope::DataResp {
+                        id,
+                        resp: Ok(DataResponse::Pong),
+                    }
+                }
+                Envelope::DataReq { id, .. } => Envelope::DataResp {
+                    id,
+                    resp: Err(JiffyError::Internal("unexpected".into())),
+                },
+                _ => Envelope::DataResp {
+                    id: 0,
+                    resp: Err(JiffyError::Internal("bad envelope".into())),
+                },
+            }
+        }
+
+        fn on_disconnect(&self, _session: &SessionHandle) {
+            self.disconnects.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn call_round_trips() {
+        let hub = InprocHub::new();
+        let addr = hub.register(Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        }));
+        assert!(addr.starts_with("inproc:"));
+        let conn = hub.connect(&addr).unwrap();
+        let resp = conn
+            .call(Envelope::DataReq {
+                id: 5,
+                req: DataRequest::Ping,
+            })
+            .unwrap();
+        assert_eq!(
+            resp,
+            Envelope::DataResp {
+                id: 5,
+                resp: Ok(DataResponse::Pong)
+            }
+        );
+    }
+
+    #[test]
+    fn pushes_reach_the_callback() {
+        let hub = InprocHub::new();
+        let addr = hub.register(Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        }));
+        let conn = hub.connect(&addr).unwrap();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = seen.clone();
+        conn.set_push_callback(Arc::new(move |n| {
+            assert_eq!(n.seq, 9);
+            seen2.fetch_add(1, Ordering::SeqCst);
+        }));
+        conn.call(Envelope::DataReq {
+            id: 9,
+            req: DataRequest::Ping,
+        })
+        .unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn connect_to_missing_service_fails() {
+        let hub = InprocHub::new();
+        assert!(hub.connect("inproc:99").is_err());
+        assert!(hub.connect("tcp:1.2.3.4:1").is_err());
+        assert!(hub.connect("inproc:nonsense").is_err());
+    }
+
+    #[test]
+    fn close_notifies_service_once() {
+        let hub = InprocHub::new();
+        let svc = Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        });
+        let addr = hub.register(svc.clone());
+        let conn = hub.connect(&addr).unwrap();
+        conn.close();
+        conn.close();
+        drop(conn);
+        assert_eq!(svc.disconnects.load(Ordering::SeqCst), 1);
+        // A closed connection refuses calls.
+    }
+
+    #[test]
+    fn calls_after_close_fail() {
+        let hub = InprocHub::new();
+        let addr = hub.register(Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        }));
+        let conn = hub.connect(&addr).unwrap();
+        conn.close();
+        assert!(conn
+            .call(Envelope::DataReq {
+                id: 1,
+                req: DataRequest::Ping
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn deregister_breaks_existing_connections() {
+        let hub = InprocHub::new();
+        let addr = hub.register(Arc::new(Echo {
+            disconnects: AtomicUsize::new(0),
+        }));
+        let conn = hub.connect(&addr).unwrap();
+        hub.deregister(&addr);
+        assert!(conn
+            .call(Envelope::DataReq {
+                id: 1,
+                req: DataRequest::Ping
+            })
+            .is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! RPC layer for Jiffy.
+//!
+//! The paper builds its data plane on Apache Thrift with asynchronous
+//! framed IO so that many client sessions multiplex over non-blocking
+//! connections (§4.2.2). This crate provides the equivalent:
+//!
+//! - [`service`] — the [`Service`] trait implemented by the controller
+//!   and the memory servers, plus per-session push handles used by the
+//!   notification subsystem.
+//! - [`inproc`] — a zero-copy in-process transport (used by tests, the
+//!   simulator and single-process deployments).
+//! - [`tcp`] — a framed TCP transport with a per-connection demultiplexer
+//!   thread, allowing concurrent in-flight requests per connection.
+//! - [`fabric`] — unified addressing (`inproc:N` / `tcp:host:port`),
+//!   connection pooling and an optional latency injector for experiments.
+//!
+//! [`Service`]: service::Service
+
+pub mod fabric;
+pub mod inproc;
+pub mod service;
+pub mod tcp;
+
+pub use fabric::{Fabric, LatencyInjector};
+pub use inproc::InprocHub;
+pub use service::{ClientConn, PushCallback, Service, SessionHandle};
+pub use tcp::TcpServerHandle;

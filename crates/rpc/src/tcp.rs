@@ -1,0 +1,395 @@
+//! Framed TCP transport.
+//!
+//! Mirrors the paper's Thrift deployment: every connection carries
+//! length-prefixed frames (see [`jiffy_proto::frame`]); a per-connection
+//! demultiplexer on the client side lets many threads keep requests in
+//! flight concurrently, and the server can push notifications on the same
+//! connection at any time (envelope variant [`Envelope::Push`]).
+
+use std::collections::HashMap;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Sender};
+use jiffy_common::{JiffyError, Result};
+use jiffy_proto::{frame, from_bytes, to_bytes, Envelope};
+use parking_lot::Mutex;
+
+use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, SessionHandle};
+
+/// Handle to a running TCP server; dropping it (or calling
+/// [`TcpServerHandle::shutdown`]) stops the accept loop.
+pub struct TcpServerHandle {
+    addr: String,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TcpServerHandle {
+    /// The address clients should dial, in Jiffy `tcp:host:port` form.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Stops accepting new connections. Existing connections live until
+    /// their peers disconnect.
+    pub fn shutdown(&mut self) {
+        if !self.stop.swap(true, Ordering::SeqCst) {
+            // Unblock the accept loop with a throwaway connection.
+            if let Some(hostport) = self.addr.strip_prefix("tcp:") {
+                let _ = TcpStream::connect(hostport);
+            }
+            if let Some(t) = self.accept_thread.take() {
+                let _ = t.join();
+            }
+        }
+    }
+}
+
+impl Drop for TcpServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Starts a TCP server for `service` on `bind` (e.g. `127.0.0.1:0` for an
+/// ephemeral port) and returns its handle.
+///
+/// # Errors
+///
+/// Fails if the listener cannot bind.
+pub fn serve_tcp(bind: &str, service: Arc<dyn Service>) -> Result<TcpServerHandle> {
+    let listener = TcpListener::bind(bind)?;
+    let local = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop2 = stop.clone();
+    let accept_thread = std::thread::Builder::new()
+        .name(format!("jiffy-tcp-accept-{local}"))
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(s) => {
+                        let svc = service.clone();
+                        let _ = std::thread::Builder::new()
+                            .name("jiffy-tcp-session".into())
+                            .spawn(move || session_loop(s, svc));
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })
+        .map_err(|e| JiffyError::Rpc(format!("spawn accept thread: {e}")))?;
+    Ok(TcpServerHandle {
+        addr: format!("tcp:{local}"),
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+/// Serves one accepted connection until EOF or a transport error.
+fn session_loop(stream: TcpStream, service: Arc<dyn Service>) {
+    let _ = stream.set_nodelay(true);
+    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    }));
+    let push_writer = writer.clone();
+    let session = SessionHandle::new(Arc::new(move |n| {
+        if let Ok(bytes) = to_bytes(&Envelope::Push(n)) {
+            let mut w = push_writer.lock();
+            let _ = frame::write_frame(&mut *w, &bytes);
+        }
+    }));
+    let mut reader = stream;
+    loop {
+        let payload = match frame::read_frame(&mut reader) {
+            Ok(Some(p)) => p,
+            Ok(None) | Err(_) => break,
+        };
+        let env: Envelope = match from_bytes(&payload) {
+            Ok(e) => e,
+            Err(_) => break,
+        };
+        let resp = service.handle(env, &session);
+        let bytes = match to_bytes(&resp) {
+            Ok(b) => b,
+            Err(_) => break,
+        };
+        let mut w = writer.lock();
+        if frame::write_frame(&mut *w, &bytes).is_err() {
+            break;
+        }
+    }
+    service.on_disconnect(&session);
+}
+
+/// Dials a Jiffy TCP address (`tcp:host:port`).
+///
+/// # Errors
+///
+/// Fails on malformed addresses or connection errors.
+pub fn connect_tcp(addr: &str) -> Result<ClientConn> {
+    let hostport = addr
+        .strip_prefix("tcp:")
+        .ok_or_else(|| JiffyError::Rpc(format!("bad tcp address: {addr}")))?;
+    let stream = TcpStream::connect(hostport)?;
+    let _ = stream.set_nodelay(true);
+    let conn = TcpConn::start(stream)?;
+    Ok(ClientConn(Arc::new(conn)))
+}
+
+type Waiters = Arc<Mutex<HashMap<u64, Sender<Result<Envelope>>>>>;
+
+struct TcpConn {
+    writer: Mutex<TcpStream>,
+    waiters: Waiters,
+    push: PushSlot,
+    next_id: AtomicU64,
+    closed: Arc<AtomicBool>,
+    stream_for_close: TcpStream,
+}
+
+impl TcpConn {
+    fn start(stream: TcpStream) -> Result<Self> {
+        let writer = stream.try_clone()?;
+        let stream_for_close = stream.try_clone()?;
+        let waiters: Waiters = Arc::new(Mutex::new(HashMap::new()));
+        let push = PushSlot::new();
+        let closed = Arc::new(AtomicBool::new(false));
+        let w2 = waiters.clone();
+        let p2 = push.clone();
+        let c2 = closed.clone();
+        let mut reader = stream;
+        std::thread::Builder::new()
+            .name("jiffy-tcp-demux".into())
+            .spawn(move || {
+                loop {
+                    let payload = match frame::read_frame(&mut reader) {
+                        Ok(Some(p)) => p,
+                        Ok(None) | Err(_) => break,
+                    };
+                    match from_bytes::<Envelope>(&payload) {
+                        Ok(Envelope::Push(n)) => p2.deliver(n),
+                        Ok(env) => {
+                            let id = match &env {
+                                Envelope::ControlResp { id, .. }
+                                | Envelope::DataResp { id, .. } => *id,
+                                _ => continue,
+                            };
+                            if let Some(tx) = w2.lock().remove(&id) {
+                                let _ = tx.send(Ok(env));
+                            }
+                        }
+                        Err(_) => break,
+                    }
+                }
+                // Connection is dead: fail every pending call by dropping
+                // its sender, and refuse future calls.
+                c2.store(true, Ordering::SeqCst);
+                w2.lock().clear();
+            })
+            .map_err(|e| JiffyError::Rpc(format!("spawn demux thread: {e}")))?;
+        Ok(Self {
+            writer: Mutex::new(writer),
+            waiters,
+            push,
+            next_id: AtomicU64::new(1),
+            closed,
+            stream_for_close,
+        })
+    }
+}
+
+impl Connection for TcpConn {
+    fn call(&self, req: Envelope) -> Result<Envelope> {
+        if self.closed.load(Ordering::SeqCst) {
+            return Err(JiffyError::Rpc("connection closed".into()));
+        }
+        // Re-stamp the envelope with a connection-unique correlation id.
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let req = match req {
+            Envelope::ControlReq { req, .. } => Envelope::ControlReq { id, req },
+            Envelope::DataReq { req, .. } => Envelope::DataReq { id, req },
+            other => other,
+        };
+        let (tx, rx) = bounded(1);
+        self.waiters.lock().insert(id, tx);
+        let bytes = to_bytes(&req)?;
+        {
+            let mut w = self.writer.lock();
+            if let Err(e) = frame::write_frame(&mut *w, &bytes) {
+                self.waiters.lock().remove(&id);
+                return Err(e);
+            }
+        }
+        rx.recv()
+            .map_err(|_| JiffyError::Rpc("connection dropped while awaiting response".into()))?
+    }
+
+    fn set_push_callback(&self, cb: PushCallback) {
+        self.push.set(cb);
+    }
+
+    fn close(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            let _ = self.stream_for_close.shutdown(std::net::Shutdown::Both);
+            // Wake all pending waiters with an error by dropping senders.
+            self.waiters.lock().clear();
+        }
+    }
+}
+
+impl Drop for TcpConn {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_common::BlockId;
+    use jiffy_proto::{DataRequest, DataResponse, Notification, OpKind};
+    use std::sync::atomic::AtomicUsize;
+
+    struct Echo;
+
+    impl Service for Echo {
+        fn handle(&self, req: Envelope, session: &SessionHandle) -> Envelope {
+            match req {
+                Envelope::DataReq {
+                    id,
+                    req: DataRequest::Ping,
+                } => {
+                    session.push(Notification {
+                        block: BlockId(0),
+                        op: OpKind::Write,
+                        size: 0,
+                        seq: id,
+                    });
+                    Envelope::DataResp {
+                        id,
+                        resp: Ok(DataResponse::Pong),
+                    }
+                }
+                Envelope::DataReq { id, req } => Envelope::DataResp {
+                    id,
+                    resp: Err(JiffyError::Internal(format!("unexpected {req:?}"))),
+                },
+                _ => Envelope::DataResp {
+                    id: 0,
+                    resp: Err(JiffyError::Internal("bad envelope".into())),
+                },
+            }
+        }
+    }
+
+    #[test]
+    fn tcp_round_trip_and_push() {
+        let mut server = serve_tcp("127.0.0.1:0", Arc::new(Echo)).unwrap();
+        let conn = connect_tcp(server.addr()).unwrap();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let seen2 = seen.clone();
+        conn.set_push_callback(Arc::new(move |_| {
+            seen2.fetch_add(1, Ordering::SeqCst);
+        }));
+        for _ in 0..10 {
+            let resp = conn
+                .call(Envelope::DataReq {
+                    id: 0,
+                    req: DataRequest::Ping,
+                })
+                .unwrap();
+            assert!(matches!(
+                resp,
+                Envelope::DataResp {
+                    resp: Ok(DataResponse::Pong),
+                    ..
+                }
+            ));
+        }
+        // Pushes arrive asynchronously; poll briefly.
+        for _ in 0..100 {
+            if seen.load(Ordering::SeqCst) == 10 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 10);
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_calls_multiplex_on_one_connection() {
+        let server = serve_tcp("127.0.0.1:0", Arc::new(Echo)).unwrap();
+        let conn = connect_tcp(server.addr()).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = conn.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let resp = c
+                        .call(Envelope::DataReq {
+                            id: 0,
+                            req: DataRequest::Ping,
+                        })
+                        .unwrap();
+                    assert!(matches!(
+                        resp,
+                        Envelope::DataResp {
+                            resp: Ok(DataResponse::Pong),
+                            ..
+                        }
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn bad_address_is_rejected() {
+        assert!(connect_tcp("inproc:1").is_err());
+        assert!(connect_tcp("tcp:").is_err());
+    }
+
+    #[test]
+    fn call_after_close_fails() {
+        let server = serve_tcp("127.0.0.1:0", Arc::new(Echo)).unwrap();
+        let conn = connect_tcp(server.addr()).unwrap();
+        conn.close();
+        assert!(conn
+            .call(Envelope::DataReq {
+                id: 0,
+                req: DataRequest::Ping
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn server_shutdown_refuses_new_connections() {
+        let mut server = serve_tcp("127.0.0.1:0", Arc::new(Echo)).unwrap();
+        let addr = server.addr().to_string();
+        server.shutdown();
+        // The listener is gone; dialing should now fail (or the accepted
+        // socket is immediately closed, failing the first call).
+        match connect_tcp(&addr) {
+            Err(_) => {}
+            Ok(conn) => {
+                assert!(conn
+                    .call(Envelope::DataReq {
+                        id: 0,
+                        req: DataRequest::Ping
+                    })
+                    .is_err());
+            }
+        }
+    }
+}

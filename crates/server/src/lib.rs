@@ -1,0 +1,26 @@
+//! Jiffy memory server (data plane, paper §4.2.2).
+//!
+//! Each memory server partitions its DRAM into fixed-size blocks and,
+//! per block, maintains: the data-structure operator implementation
+//! (via [`jiffy_block::Partition`]) and a subscription map from
+//! operation kinds to client sessions awaiting notifications. It serves
+//! three kinds of traffic:
+//!
+//! - **client ops** — `writeOp`/`readOp`/`deleteOp` routed by clients
+//!   via `getBlock` semantics, plus subscriptions;
+//! - **controller orders** — block init/reset/export and the
+//!   split/merge legs of elastic scaling (Fig. 8), reported back through
+//!   overload/underload signals raised by the blocks themselves;
+//! - **peer transfers** — repartition payload imports and chain
+//!   replication forwarding.
+//!
+//! Threshold signalling is asynchronous: ops never wait on the
+//! controller; a background worker drains crossing events and reports
+//! them, which is what keeps op latency flat during repartitioning
+//! (paper Fig. 11b).
+
+pub mod server;
+pub mod subs;
+
+pub use server::{MemoryServer, ServerStats};
+pub use subs::SubscriptionMap;

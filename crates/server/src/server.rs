@@ -1,0 +1,837 @@
+//! The memory server service.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Sender};
+use jiffy_block::{Block, BlockStore, PartitionRegistry, ThresholdEvent};
+use jiffy_common::{BlockId, JiffyConfig, JiffyError, Result, ServerId};
+use jiffy_proto::{
+    ControlRequest, ControlResponse, DataRequest, DataResponse, DsOp, DsResult, Envelope,
+    MergeSpec, SplitSpec,
+};
+use jiffy_rpc::{Fabric, Service, SessionHandle};
+use parking_lot::Mutex;
+
+use crate::subs::SubscriptionMap;
+
+/// Operational counters for one memory server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Data-structure operations executed.
+    pub ops: u64,
+    /// Notifications fanned out.
+    pub notifications: u64,
+    /// Split legs executed (as the source block).
+    pub splits: u64,
+    /// Merge legs executed (as the source block).
+    pub merges: u64,
+    /// Repartition payloads imported (as the target block).
+    pub imports: u64,
+}
+
+#[derive(Default)]
+struct StatCells {
+    ops: AtomicU64,
+    notifications: AtomicU64,
+    splits: AtomicU64,
+    merges: AtomicU64,
+    imports: AtomicU64,
+}
+
+/// One Jiffy memory server.
+///
+/// Constructed detached; [`MemoryServer::register`] introduces it to the
+/// controller (which assigns its server ID and block IDs) once a
+/// transport address is known.
+pub struct MemoryServer {
+    cfg: JiffyConfig,
+    store: BlockStore,
+    registry: parking_lot::RwLock<PartitionRegistry>,
+    subs: SubscriptionMap,
+    fabric: Fabric,
+    controller_addr: String,
+    identity: Mutex<Option<(ServerId, String)>>,
+    event_tx: Sender<(BlockId, ThresholdEvent)>,
+    stats: StatCells,
+}
+
+impl MemoryServer {
+    /// Creates a memory server and starts its threshold-report worker.
+    pub fn new(cfg: JiffyConfig, fabric: Fabric, controller_addr: impl Into<String>) -> Arc<Self> {
+        let mut registry = PartitionRegistry::new();
+        jiffy_ds::register_builtins(&mut registry);
+        let (event_tx, event_rx) = unbounded::<(BlockId, ThresholdEvent)>();
+        let server = Arc::new(Self {
+            cfg,
+            store: BlockStore::new(),
+            registry: parking_lot::RwLock::new(registry),
+            subs: SubscriptionMap::new(),
+            fabric,
+            controller_addr: controller_addr.into(),
+            identity: Mutex::new(None),
+            event_tx,
+            stats: StatCells::default(),
+        });
+        // Asynchronous threshold reporting: ops never block on the
+        // controller (paper §3.3 — repartitioning is asynchronous).
+        let worker = Arc::downgrade(&server);
+        std::thread::Builder::new()
+            .name("jiffy-threshold-report".into())
+            .spawn(move || {
+                while let Ok((block, event)) = event_rx.recv() {
+                    let Some(server) = worker.upgrade() else {
+                        break;
+                    };
+                    server.report_threshold(block, event);
+                }
+            })
+            .expect("spawn threshold worker");
+        server
+    }
+
+    /// Registers a custom data structure factory (paper Table 2's
+    /// "custom data structures" row). Call before blocks of that type
+    /// are initialized; applications register the same factory on every
+    /// server.
+    pub fn register_custom_ds(&self, name: &str, factory: jiffy_block::PartitionFactory) {
+        self.registry.write().register(name, factory);
+    }
+
+    /// Registers this server with the controller under the given
+    /// transport address, creating `capacity_blocks` blocks.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures or an unexpected controller reply.
+    pub fn register(&self, addr: &str, capacity_blocks: u32) -> Result<ServerId> {
+        let conn = self.fabric.connect(&self.controller_addr)?;
+        let resp = conn.call(Envelope::ControlReq {
+            id: 0,
+            req: ControlRequest::RegisterServer {
+                addr: addr.to_string(),
+                capacity_blocks,
+            },
+        })?;
+        let (server_id, blocks) = match resp {
+            Envelope::ControlResp {
+                resp: Ok(ControlResponse::ServerRegistered { server, blocks }),
+                ..
+            } => (server, blocks),
+            Envelope::ControlResp { resp: Err(e), .. } => return Err(e),
+            other => {
+                return Err(JiffyError::Rpc(format!(
+                    "unexpected register reply: {other:?}"
+                )))
+            }
+        };
+        for id in blocks {
+            self.store.add(Block::new(
+                id,
+                self.cfg.block_size,
+                self.cfg.low_watermark(),
+                self.cfg.high_watermark(),
+            ))?;
+        }
+        *self.identity.lock() = Some((server_id, addr.to_string()));
+        Ok(server_id)
+    }
+
+    /// The controller-assigned identity, if registered.
+    pub fn identity(&self) -> Option<(ServerId, String)> {
+        self.identity.lock().clone()
+    }
+
+    /// Bytes used across all hosted blocks (Fig. 11a sampling).
+    pub fn used_bytes(&self) -> u64 {
+        self.store.total_used_bytes()
+    }
+
+    /// Number of blocks currently allocated to data structures.
+    pub fn allocated_blocks(&self) -> usize {
+        self.store.allocated_count()
+    }
+
+    /// Operational counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            ops: self.stats.ops.load(Ordering::Relaxed),
+            notifications: self.stats.notifications.load(Ordering::Relaxed),
+            splits: self.stats.splits.load(Ordering::Relaxed),
+            merges: self.stats.merges.load(Ordering::Relaxed),
+            imports: self.stats.imports.load(Ordering::Relaxed),
+        }
+    }
+
+    fn report_threshold(&self, block: BlockId, event: ThresholdEvent) {
+        let req = match event {
+            ThresholdEvent::Overloaded { used } => ControlRequest::ReportOverload { block, used },
+            ThresholdEvent::Underloaded { used } => ControlRequest::ReportUnderload { block, used },
+        };
+        if let Ok(conn) = self.fabric.connect(&self.controller_addr) {
+            let _ = conn.call(Envelope::ControlReq { id: 0, req });
+        }
+    }
+
+    fn execute_op(&self, block_id: BlockId, op: &DsOp) -> Result<DsResult> {
+        let block = self.store.get(block_id)?;
+        let (result, notification, event) = {
+            let mut guard = block.lock();
+            guard.execute(op)?
+        };
+        self.stats.ops.fetch_add(1, Ordering::Relaxed);
+        if let Some(n) = notification {
+            let fanned = self.subs.publish(&n);
+            self.stats
+                .notifications
+                .fetch_add(fanned as u64, Ordering::Relaxed);
+        }
+        if let Some(e) = event {
+            let _ = self.event_tx.send((block_id, e));
+        }
+        Ok(result)
+    }
+
+    fn init_block(&self, block_id: BlockId, ds: &str, params: &[u8]) -> Result<()> {
+        let partition = self
+            .registry
+            .read()
+            .create(ds, self.cfg.block_size, params)?;
+        let block = self.store.get(block_id)?;
+        let mut guard = block.lock();
+        if guard.is_allocated() {
+            // Idempotent re-init: the controller resets before reuse, but
+            // a crash between reset and init must not wedge the block.
+            guard.reset();
+        }
+        guard.install(partition)
+    }
+
+    fn split_block(
+        &self,
+        block_id: BlockId,
+        spec: &SplitSpec,
+        target: Option<&jiffy_proto::BlockLocation>,
+    ) -> Result<()> {
+        let block = self.store.get(block_id)?;
+        let payload = {
+            let mut guard = block.lock();
+            guard.set_repartition_in_flight(true);
+            let r = guard.partition_mut()?.split_out(spec);
+            match r {
+                Ok(p) => p,
+                Err(e) => {
+                    guard.set_repartition_in_flight(false);
+                    return Err(e);
+                }
+            }
+        };
+        // Ship the payload while the block keeps serving ops (async
+        // repartitioning: the block lock is NOT held during the
+        // transfer).
+        let data_moved = !payload.is_empty();
+        let result = match (target, data_moved) {
+            (Some(t), true) => self.ship_payload(t, &payload),
+            _ => Ok(()),
+        };
+        let mut guard = block.lock();
+        guard.finish_repartition(data_moved);
+        if data_moved {
+            if let Some(e) = guard.check_thresholds() {
+                let _ = self.event_tx.send((block_id, e));
+            }
+        }
+        self.stats.splits.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    fn merge_block(
+        &self,
+        block_id: BlockId,
+        spec: &MergeSpec,
+        target: Option<&jiffy_proto::BlockLocation>,
+    ) -> Result<()> {
+        let block = self.store.get(block_id)?;
+        let payloads = {
+            let mut guard = block.lock();
+            guard.set_repartition_in_flight(true);
+            let r = guard.partition_mut()?.merge_out();
+            match r {
+                Ok(p) => p,
+                Err(e) => {
+                    guard.set_repartition_in_flight(false);
+                    return Err(e);
+                }
+            }
+        };
+        let mut result = Ok(());
+        let mut shipped = 0;
+        if let Some(t) = target {
+            for p in &payloads {
+                match self.ship_payload(t, p) {
+                    Ok(()) => shipped += 1,
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                }
+            }
+        } else if !payloads.is_empty() && payloads.iter().any(|p| !p.is_empty()) {
+            result = Err(JiffyError::Internal(format!(
+                "merge of {block_id} produced payloads but no target (spec {spec:?})"
+            )));
+        }
+        if result.is_err() {
+            // Transactional abort: merge payloads are atomic (a KV merge
+            // produces exactly one all-ranges payload, and absorption is
+            // all-or-nothing), so on failure nothing reached the target
+            // and re-absorbing restores the source losslessly.
+            let mut guard = block.lock();
+            if let Ok(partition) = guard.partition_mut() {
+                for p in payloads.iter().skip(shipped) {
+                    let _ = partition.absorb(p);
+                }
+            }
+        }
+        let mut guard = block.lock();
+        guard.set_repartition_in_flight(false);
+        self.stats.merges.fetch_add(1, Ordering::Relaxed);
+        result
+    }
+
+    fn ship_payload(&self, target: &jiffy_proto::BlockLocation, payload: &[u8]) -> Result<()> {
+        let head = target.head();
+        // Local-target fast path (same server): skip the transport.
+        if let Some((_, my_addr)) = self.identity() {
+            if head.addr == my_addr {
+                return self.import_payload(head.block, payload);
+            }
+        }
+        let conn = self.fabric.connect(&head.addr)?;
+        match conn.call(Envelope::DataReq {
+            id: 0,
+            req: DataRequest::ImportPayload {
+                block: head.block,
+                payload: payload.into(),
+            },
+        })? {
+            Envelope::DataResp { resp: Ok(_), .. } => Ok(()),
+            Envelope::DataResp { resp: Err(e), .. } => Err(e),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    fn import_payload(&self, block_id: BlockId, payload: &[u8]) -> Result<()> {
+        let block = self.store.get(block_id)?;
+        let event = {
+            let mut guard = block.lock();
+            guard.partition_mut()?.absorb(payload)?;
+            guard.check_thresholds()
+        };
+        if let Some(e) = event {
+            let _ = self.event_tx.send((block_id, e));
+        }
+        self.stats.imports.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn replicate(
+        &self,
+        block_id: BlockId,
+        op: &DsOp,
+        downstream: &[jiffy_proto::Replica],
+    ) -> Result<DsResult> {
+        let result = self.execute_op(block_id, op)?;
+        // Forward down the chain before acknowledging (chain
+        // replication: a write is durable once the tail has it).
+        if let Some((next, rest)) = downstream.split_first() {
+            let conn = self.fabric.connect(&next.addr)?;
+            match conn.call(Envelope::DataReq {
+                id: 0,
+                req: DataRequest::Replicate {
+                    block: next.block,
+                    op: op.clone(),
+                    downstream: rest.to_vec(),
+                },
+            })? {
+                Envelope::DataResp { resp: Ok(_), .. } => {}
+                Envelope::DataResp { resp: Err(e), .. } => return Err(e),
+                other => return Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+            }
+        }
+        Ok(result)
+    }
+
+    fn dispatch(&self, req: DataRequest, session: &SessionHandle) -> Result<DataResponse> {
+        match req {
+            DataRequest::Op { block, op } => {
+                Ok(DataResponse::OpResult(self.execute_op(block, &op)?))
+            }
+            DataRequest::Subscribe { block, ops } => {
+                // Validate the block exists so clients learn of typos.
+                self.store.get(block)?;
+                self.subs.subscribe(block, &ops, session);
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::Unsubscribe { block, ops } => {
+                self.subs.unsubscribe(block, &ops, session);
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::Usage { block } => {
+                let b = self.store.get(block)?;
+                let guard = b.lock();
+                Ok(DataResponse::Usage {
+                    used: guard.used_bytes() as u64,
+                    capacity: guard.capacity() as u64,
+                })
+            }
+            DataRequest::ImportPayload { block, payload } => {
+                self.import_payload(block, &payload)?;
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::Replicate {
+                block,
+                op,
+                downstream,
+            } => Ok(DataResponse::OpResult(self.replicate(
+                block,
+                &op,
+                &downstream,
+            )?)),
+            DataRequest::SplitBlock {
+                block,
+                spec,
+                target,
+            } => {
+                self.split_block(block, &spec, target.as_ref())?;
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::MergeBlock {
+                block,
+                spec,
+                target,
+            } => {
+                self.merge_block(block, &spec, target.as_ref())?;
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::InitBlock { block, ds, params } => {
+                self.init_block(block, &ds, &params)?;
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::ResetBlock { block } => {
+                let b = self.store.get(block)?;
+                b.lock().reset();
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::ExportBlock { block } => {
+                let b = self.store.get(block)?;
+                let guard = b.lock();
+                let payload = guard.partition_ref()?.export()?;
+                Ok(DataResponse::Exported {
+                    payload: payload.into(),
+                })
+            }
+            DataRequest::Ping => Ok(DataResponse::Pong),
+        }
+    }
+}
+
+impl Service for MemoryServer {
+    fn handle(&self, req: Envelope, session: &SessionHandle) -> Envelope {
+        match req {
+            Envelope::DataReq { id, req } => Envelope::DataResp {
+                id,
+                resp: self.dispatch(req, session),
+            },
+            Envelope::ControlReq { id, .. } => Envelope::ControlResp {
+                id,
+                resp: Err(JiffyError::Rpc(
+                    "control request sent to a memory server".into(),
+                )),
+            },
+            other => Envelope::DataResp {
+                id: 0,
+                resp: Err(JiffyError::Rpc(format!("unexpected envelope {other:?}"))),
+            },
+        }
+    }
+
+    fn on_disconnect(&self, session: &SessionHandle) {
+        self.subs.drop_session(session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_common::clock::SystemClock;
+    use jiffy_controller::{Controller, RpcDataPlane};
+    use jiffy_persistent::MemObjectStore;
+    use jiffy_proto::DsType;
+
+    /// Boots a single-process cluster: controller + `n` memory servers,
+    /// all on the in-proc transport.
+    fn cluster(n: usize, blocks_each: u32) -> (Fabric, String, Vec<Arc<MemoryServer>>) {
+        let fabric = Fabric::new();
+        let cfg = JiffyConfig::for_testing();
+        let controller = Controller::new(
+            cfg.clone(),
+            SystemClock::shared(),
+            Arc::new(RpcDataPlane::new(fabric.clone())),
+            Arc::new(MemObjectStore::new()),
+        );
+        let controller_addr = fabric.hub().register(controller);
+        let mut servers = Vec::new();
+        for _ in 0..n {
+            let server = MemoryServer::new(cfg.clone(), fabric.clone(), controller_addr.clone());
+            let addr = fabric.hub().register(server.clone());
+            server.register(&addr, blocks_each).unwrap();
+            servers.push(server);
+        }
+        (fabric, controller_addr, servers)
+    }
+
+    fn control(fabric: &Fabric, addr: &str, req: ControlRequest) -> ControlResponse {
+        let conn = fabric.connect(addr).unwrap();
+        match conn.call(Envelope::ControlReq { id: 0, req }).unwrap() {
+            Envelope::ControlResp { resp, .. } => resp.unwrap(),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    fn data(fabric: &Fabric, addr: &str, req: DataRequest) -> Result<DataResponse> {
+        let conn = fabric.connect(addr).unwrap();
+        match conn.call(Envelope::DataReq { id: 0, req }).unwrap() {
+            Envelope::DataResp { resp, .. } => resp,
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn end_to_end_kv_put_get_through_real_planes() {
+        let (fabric, ctrl_addr, _servers) = cluster(2, 4);
+        let job = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::RegisterJob { name: "e2e".into() },
+        ) {
+            ControlResponse::JobRegistered { job } => job,
+            other => panic!("{other:?}"),
+        };
+        control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::CreatePrefix {
+                job,
+                name: "kv".into(),
+                parents: vec![],
+                ds: Some(DsType::KvStore),
+                initial_blocks: 1,
+            },
+        );
+        let view = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            },
+        ) {
+            ControlResponse::Resolved(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let loc = view.partition.unwrap().blocks()[0].clone();
+        let put = data(
+            &fabric,
+            &loc.head().addr,
+            DataRequest::Op {
+                block: loc.id(),
+                op: DsOp::Put {
+                    key: "k".into(),
+                    value: "v".into(),
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(put, DataResponse::OpResult(DsResult::Replaced(None)));
+        let get = data(
+            &fabric,
+            &loc.head().addr,
+            DataRequest::Op {
+                block: loc.id(),
+                op: DsOp::Get { key: "k".into() },
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            get,
+            DataResponse::OpResult(DsResult::MaybeData(Some("v".into())))
+        );
+    }
+
+    #[test]
+    fn overload_triggers_split_and_data_remains_reachable() {
+        let (fabric, ctrl_addr, servers) = cluster(1, 4);
+        let job = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::RegisterJob {
+                name: "split".into(),
+            },
+        ) {
+            ControlResponse::JobRegistered { job } => job,
+            other => panic!("{other:?}"),
+        };
+        control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::CreatePrefix {
+                job,
+                name: "kv".into(),
+                parents: vec![],
+                ds: Some(DsType::KvStore),
+                initial_blocks: 1,
+            },
+        );
+        let view = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            },
+        ) {
+            ControlResponse::Resolved(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let loc = view.partition.unwrap().blocks()[0].clone();
+        // Fill past the high watermark (64 KB test blocks, 95 %): write
+        // ~62 KB of values.
+        let addr = loc.head().addr.clone();
+        for i in 0..62 {
+            data(
+                &fabric,
+                &addr,
+                DataRequest::Op {
+                    block: loc.id(),
+                    op: DsOp::Put {
+                        key: format!("key-{i}").as_str().into(),
+                        value: vec![0u8; 1000].into(),
+                    },
+                },
+            )
+            .unwrap();
+        }
+        // The threshold report is asynchronous; wait for the split.
+        for _ in 0..200 {
+            if servers[0].stats().splits > 0 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert!(servers[0].stats().splits > 0, "split should have fired");
+        // The view now has 2 blocks; every key must be readable from the
+        // block its slot maps to.
+        let view = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            },
+        ) {
+            ControlResponse::Resolved(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let partition = view.partition.unwrap();
+        let slots = match &partition {
+            jiffy_proto::PartitionView::Kv { slots, .. } => slots.clone(),
+            other => panic!("{other:?}"),
+        };
+        assert!(slots.len() >= 2);
+        for i in 0..62 {
+            let key = format!("key-{i}");
+            let slot = jiffy_ds::kv_slot(key.as_bytes(), 1024);
+            let owner = slots
+                .iter()
+                .find(|s| s.contains(slot))
+                .unwrap_or_else(|| panic!("slot {slot} unowned"));
+            let got = data(
+                &fabric,
+                &owner.location.head().addr,
+                DataRequest::Op {
+                    block: owner.location.id(),
+                    op: DsOp::Get {
+                        key: key.as_str().into(),
+                    },
+                },
+            )
+            .unwrap();
+            match got {
+                DataResponse::OpResult(DsResult::MaybeData(Some(v))) => {
+                    assert_eq!(v.len(), 1000);
+                }
+                other => panic!("key-{i}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn notifications_fan_out_to_subscribers() {
+        let (fabric, ctrl_addr, _servers) = cluster(1, 2);
+        let job = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::RegisterJob {
+                name: "notif".into(),
+            },
+        ) {
+            ControlResponse::JobRegistered { job } => job,
+            other => panic!("{other:?}"),
+        };
+        control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::CreatePrefix {
+                job,
+                name: "q".into(),
+                parents: vec![],
+                ds: Some(DsType::Queue),
+                initial_blocks: 1,
+            },
+        );
+        let view = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::ResolvePrefix {
+                job,
+                name: "q".into(),
+            },
+        ) {
+            ControlResponse::Resolved(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let loc = view.partition.unwrap().blocks()[0].clone();
+        // Dedicated (unpooled) connection for the subscriber.
+        let sub_conn = fabric.dial(&loc.head().addr).unwrap();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        sub_conn.set_push_callback(Arc::new(move |n| {
+            assert_eq!(n.op, jiffy_proto::OpKind::Enqueue);
+            seen2.fetch_add(1, Ordering::SeqCst);
+        }));
+        sub_conn
+            .call(Envelope::DataReq {
+                id: 0,
+                req: DataRequest::Subscribe {
+                    block: loc.id(),
+                    ops: vec![jiffy_proto::OpKind::Enqueue],
+                },
+            })
+            .unwrap();
+        for _ in 0..3 {
+            data(
+                &fabric,
+                &loc.head().addr,
+                DataRequest::Op {
+                    block: loc.id(),
+                    op: DsOp::Enqueue { item: "x".into() },
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
+        // Disconnect clears the subscription.
+        sub_conn.close();
+        data(
+            &fabric,
+            &loc.head().addr,
+            DataRequest::Op {
+                block: loc.id(),
+                op: DsOp::Enqueue { item: "y".into() },
+            },
+        )
+        .unwrap();
+        assert_eq!(seen.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn replication_chain_forwards_writes() {
+        // Two servers; write through a manual 2-replica chain.
+        let (fabric, ctrl_addr, _servers) = cluster(2, 2);
+        // Build the chain by hand: allocate two blocks via two prefixes
+        // is awkward; instead drive InitBlock directly on both servers.
+        let job = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::RegisterJob {
+                name: "chain".into(),
+            },
+        ) {
+            ControlResponse::JobRegistered { job } => job,
+            other => panic!("{other:?}"),
+        };
+        let _ = job;
+        // Server addresses from registration order: inproc ids are
+        // opaque, so fetch via stats path — simpler: init block 0 on
+        // server 0 and block 2 on server 1 (2 blocks per server).
+        let servers = match control(&fabric, &ctrl_addr, ControlRequest::GetStats) {
+            ControlResponse::Stats(s) => s,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(servers.total_blocks, 4);
+        let params = jiffy_proto::to_bytes(&jiffy_ds::KvParams {
+            ranges: vec![(0, 1023)],
+            num_slots: 1024,
+        })
+        .unwrap();
+        // The first two block IDs live on the first server, the next two
+        // on the second (registration order).
+        let addr0 = "inproc:1"; // controller is inproc:0
+        let addr1 = "inproc:2";
+        for (addr, block) in [(addr0, BlockId(0)), (addr1, BlockId(2))] {
+            data(
+                &fabric,
+                addr,
+                DataRequest::InitBlock {
+                    block,
+                    ds: DsType::KvStore.to_string(),
+                    params: params.clone().into(),
+                },
+            )
+            .unwrap();
+        }
+        // Replicated write: head = server0/block0, tail = server1/block2.
+        data(
+            &fabric,
+            addr0,
+            DataRequest::Replicate {
+                block: BlockId(0),
+                op: DsOp::Put {
+                    key: "k".into(),
+                    value: "v".into(),
+                },
+                downstream: vec![jiffy_proto::Replica {
+                    block: BlockId(2),
+                    server: ServerId(1),
+                    addr: addr1.to_string(),
+                }],
+            },
+        )
+        .unwrap();
+        // Read at the tail.
+        let got = data(
+            &fabric,
+            addr1,
+            DataRequest::Op {
+                block: BlockId(2),
+                op: DsOp::Get { key: "k".into() },
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            got,
+            DataResponse::OpResult(DsResult::MaybeData(Some("v".into())))
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The per-server subscription map (paper §4.2.2): data-structure
+//! operations → client sessions to notify.
+
+use std::collections::HashMap;
+
+use jiffy_common::BlockId;
+use jiffy_proto::{Notification, OpKind};
+use jiffy_rpc::SessionHandle;
+use parking_lot::Mutex;
+
+/// Maps `(block, op-kind)` to the sessions subscribed to it.
+#[derive(Default)]
+pub struct SubscriptionMap {
+    subs: Mutex<HashMap<(BlockId, OpKind), Vec<SessionHandle>>>,
+}
+
+impl SubscriptionMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes `session` to `ops` on `block`.
+    pub fn subscribe(&self, block: BlockId, ops: &[OpKind], session: &SessionHandle) {
+        let mut map = self.subs.lock();
+        for &op in ops {
+            let entry = map.entry((block, op)).or_default();
+            if !entry.iter().any(|s| s == session) {
+                entry.push(session.clone());
+            }
+        }
+    }
+
+    /// Removes `session`'s subscriptions for `ops` on `block`.
+    pub fn unsubscribe(&self, block: BlockId, ops: &[OpKind], session: &SessionHandle) {
+        let mut map = self.subs.lock();
+        for &op in ops {
+            if let Some(entry) = map.get_mut(&(block, op)) {
+                entry.retain(|s| s != session);
+                if entry.is_empty() {
+                    map.remove(&(block, op));
+                }
+            }
+        }
+    }
+
+    /// Removes every subscription held by `session` (disconnect path).
+    pub fn drop_session(&self, session: &SessionHandle) {
+        let mut map = self.subs.lock();
+        map.retain(|_, entry| {
+            entry.retain(|s| s != session);
+            !entry.is_empty()
+        });
+    }
+
+    /// Pushes `n` to every subscriber of `(n.block, n.op)`; returns how
+    /// many sessions were notified.
+    pub fn publish(&self, n: &Notification) -> usize {
+        let sessions: Vec<SessionHandle> = {
+            let map = self.subs.lock();
+            map.get(&(n.block, n.op)).cloned().unwrap_or_default()
+        };
+        for s in &sessions {
+            s.push(n.clone());
+        }
+        sessions.len()
+    }
+
+    /// Total live subscription entries (for tests/metrics).
+    pub fn len(&self) -> usize {
+        self.subs.lock().values().map(Vec::len).sum()
+    }
+
+    /// Whether no subscriptions exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn session(counter: Arc<AtomicUsize>) -> SessionHandle {
+        SessionHandle::new(Arc::new(move |_| {
+            counter.fetch_add(1, Ordering::SeqCst);
+        }))
+    }
+
+    fn notif(block: u64, op: OpKind) -> Notification {
+        Notification {
+            block: BlockId(block),
+            op,
+            size: 0,
+            seq: 1,
+        }
+    }
+
+    #[test]
+    fn publish_reaches_matching_subscribers_only() {
+        let subs = SubscriptionMap::new();
+        let c1 = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::new(AtomicUsize::new(0));
+        let s1 = session(c1.clone());
+        let s2 = session(c2.clone());
+        subs.subscribe(BlockId(1), &[OpKind::Enqueue], &s1);
+        subs.subscribe(BlockId(1), &[OpKind::Dequeue], &s2);
+        assert_eq!(subs.publish(&notif(1, OpKind::Enqueue)), 1);
+        assert_eq!(subs.publish(&notif(2, OpKind::Enqueue)), 0);
+        assert_eq!(c1.load(Ordering::SeqCst), 1);
+        assert_eq!(c2.load(Ordering::SeqCst), 0);
+    }
+
+    #[test]
+    fn duplicate_subscriptions_are_idempotent() {
+        let subs = SubscriptionMap::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let s = session(c.clone());
+        subs.subscribe(BlockId(1), &[OpKind::Put], &s);
+        subs.subscribe(BlockId(1), &[OpKind::Put], &s);
+        assert_eq!(subs.len(), 1);
+        subs.publish(&notif(1, OpKind::Put));
+        assert_eq!(c.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn unsubscribe_removes_exactly_the_given_kinds() {
+        let subs = SubscriptionMap::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let s = session(c.clone());
+        subs.subscribe(BlockId(1), &[OpKind::Put, OpKind::Delete], &s);
+        subs.unsubscribe(BlockId(1), &[OpKind::Put], &s);
+        assert_eq!(subs.publish(&notif(1, OpKind::Put)), 0);
+        assert_eq!(subs.publish(&notif(1, OpKind::Delete)), 1);
+    }
+
+    #[test]
+    fn drop_session_clears_everything() {
+        let subs = SubscriptionMap::new();
+        let c = Arc::new(AtomicUsize::new(0));
+        let s = session(c.clone());
+        subs.subscribe(BlockId(1), &[OpKind::Put], &s);
+        subs.subscribe(BlockId(2), &[OpKind::Enqueue, OpKind::Dequeue], &s);
+        assert_eq!(subs.len(), 3);
+        subs.drop_session(&s);
+        assert!(subs.is_empty());
+    }
+}

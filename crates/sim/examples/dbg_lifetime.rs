@@ -1,0 +1,17 @@
+//! Debug driver for the lifetime experiment.
+use jiffy::DsType;
+use jiffy_sim::lifetime::{run, LifetimeConfig};
+
+fn main() {
+    let cfg = LifetimeConfig {
+        ds: DsType::File,
+        ticks: 24,
+        blocks: 1024,
+        target_peak_bytes: 512 * 1024,
+        ..LifetimeConfig::default()
+    };
+    match run(&cfg) {
+        Ok(out) => println!("ok: {} samples, splits {}", out.samples.len(), out.splits),
+        Err(e) => println!("ERR: {e}"),
+    }
+}

@@ -1,0 +1,24 @@
+//! Evaluation engines for the Jiffy reproduction.
+//!
+//! Two ways of replaying the Snowflake-calibrated trace:
+//!
+//! - [`cluster`] — a **discrete-event simulator**: jobs, stages and
+//!   storage-tier transfer times advance a virtual clock; the compared
+//!   systems differ only in their [`jiffy_baselines::AllocationPolicy`].
+//!   Regenerates Fig. 9 (job slowdown and resource utilization under
+//!   constrained capacity). Five hours of trace replay in seconds.
+//! - [`lifetime`] — a **virtual-time driver for the real system**: an
+//!   in-process Jiffy cluster runs under a [`ManualClock`]; the driver
+//!   creates prefixes, writes/consumes intermediate data, renews leases
+//!   and ticks the expiry worker, sampling used-vs-allocated bytes.
+//!   Regenerates Fig. 11(a) and the Fig. 14 sensitivity sweeps against
+//!   the *production code paths* (allocator, splits, leases), not a
+//!   model.
+//!
+//! [`ManualClock`]: jiffy_common::clock::ManualClock
+
+pub mod cluster;
+pub mod lifetime;
+
+pub use cluster::{ClusterSim, SimOutcome, SystemKind};
+pub use lifetime::{LifetimeConfig, LifetimeOutcome, LifetimeSample};

@@ -1,0 +1,36 @@
+//! Calibration helper: prints the aggregate demand statistics that
+//! drive Fig. 9 (avg/peak of the aggregate timeline) plus the Fig. 1
+//! per-tenant stats.
+use jiffy_workloads::{SnowflakeConfig, Trace};
+use std::time::Duration;
+
+fn main() {
+    let cfg = SnowflakeConfig::default();
+    let trace = Trace::generate(&cfg);
+    let step = Duration::from_secs(5);
+    let tl = trace.demand_timeline(step);
+    let peak = tl.iter().map(|(_, b)| *b).max().unwrap() as f64;
+    let avg = tl.iter().map(|(_, b)| *b as f64).sum::<f64>() / tl.len() as f64;
+    println!(
+        "aggregate: avg {:.1} GB, peak {:.1} GB, avg/peak {:.3}",
+        avg / 1e9,
+        peak / 1e9,
+        avg / peak
+    );
+    println!(
+        "per-tenant util {:.3}, agg-vs-sum-peaks {:.3}",
+        trace.mean_tenant_utilization(Duration::from_secs(60)),
+        trace.utilization_vs_peak_provisioning(Duration::from_secs(60))
+    );
+    let mut ratios: Vec<f64> = (0..trace.tenants)
+        .map(|t| trace.tenant_peak_to_avg(Duration::from_secs(60), t))
+        .filter(|r| *r > 0.0)
+        .collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "tenant peak/avg min/med/max = {:.1}/{:.1}/{:.1}",
+        ratios[0],
+        ratios[ratios.len() / 2],
+        ratios[ratios.len() - 1]
+    );
+}

@@ -1,0 +1,27 @@
+//! Synthetic workloads for the Jiffy evaluation.
+//!
+//! The paper's experiments are driven by a production trace from
+//! Snowflake (>2000 tenants, 14 days) that is not available here. This
+//! crate generates traces *calibrated to the statistics the paper
+//! reports about that dataset*:
+//!
+//! - per-tenant peak-to-average intermediate-data ratios spanning up to
+//!   two orders of magnitude within minutes (Fig. 1a);
+//! - average utilization around 19 % when every tenant provisions for
+//!   its own peak (Fig. 1b);
+//! - per-job intermediate data sizes spanning several orders of
+//!   magnitude (§2.1 cites 0.8 MB–66 GB across TPC-DS stages);
+//! - multi-stage jobs whose intermediate usage rises and falls as
+//!   stages execute.
+//!
+//! The Fig. 1 harness (`fig01_snowflake`) regenerates the paper's
+//! motivating plots from these traces and doubles as the calibration
+//! check.
+
+pub mod snowflake;
+pub mod text;
+pub mod zipf;
+
+pub use snowflake::{JobSpec, SnowflakeConfig, StageSpec, Trace};
+pub use text::SentenceGen;
+pub use zipf::Zipf;

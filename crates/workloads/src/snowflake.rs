@@ -1,0 +1,540 @@
+//! Snowflake-calibrated multi-tenant job trace generator.
+//!
+//! Generates the statistical shape of the paper's production dataset
+//! (see crate docs): heterogeneous tenants issuing multi-stage jobs
+//! whose intermediate data sizes are heavy-tailed, so instantaneous
+//! demand swings across orders of magnitude while the long-run average
+//! sits far below per-tenant peaks.
+
+use std::time::Duration;
+
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Effective processing bandwidth for stage compute times. Analytics
+/// stages scan far more persistent input than they materialize as
+/// intermediate output, so compute time per intermediate byte is much
+/// larger than memory bandwidth would suggest (~200 MB/s of
+/// intermediate output per core-second, plus a fixed per-stage setup
+/// cost) — calibrated so the median job runs seconds to tens of
+/// seconds, like the paper's SQL queries.
+const COMPUTE_BPS: f64 = 200.0e6;
+
+/// Fixed per-stage setup time (scheduling + scan startup).
+const STAGE_BASE: f64 = 0.5;
+
+/// Generator parameters with defaults matching the §6.1 setup (scaled
+/// bytes so simulations fit one machine; shapes, not magnitudes, drive
+/// every result).
+#[derive(Debug, Clone)]
+pub struct SnowflakeConfig {
+    /// Number of tenants (paper: 100 randomly chosen tenants).
+    pub tenants: u32,
+    /// Trace window (paper: 5 hours).
+    pub window: Duration,
+    /// Mean jobs per tenant per hour (paper: ~50 000 jobs over the
+    /// window → ~100 jobs/tenant/hour).
+    pub jobs_per_tenant_hour: f64,
+    /// Median intermediate bytes of a median tenant's job.
+    pub median_job_bytes: f64,
+    /// Log-normal sigma of job sizes *within* a tenant (heavy tail).
+    pub job_sigma: f64,
+    /// Log-normal sigma of median job size *across* tenants.
+    pub tenant_sigma: f64,
+    /// RNG seed (traces are fully deterministic given the config).
+    pub seed: u64,
+    /// Fixed per-stage setup time in seconds.
+    pub stage_base_secs: f64,
+    /// Intermediate-output bytes produced per second of stage compute.
+    pub compute_bps: f64,
+}
+
+impl Default for SnowflakeConfig {
+    fn default() -> Self {
+        Self {
+            tenants: 100,
+            window: Duration::from_secs(5 * 3600),
+            jobs_per_tenant_hour: 100.0,
+            median_job_bytes: 512.0 * 1024.0 * 1024.0,
+            job_sigma: 1.6,
+            tenant_sigma: 1.2,
+            seed: 0xC0FFEE,
+            stage_base_secs: STAGE_BASE,
+            compute_bps: COMPUTE_BPS,
+        }
+    }
+}
+
+impl SnowflakeConfig {
+    /// A small config for tests and quick runs (4 tenants, 1 hour —
+    /// the Fig. 1 setting).
+    pub fn small() -> Self {
+        Self {
+            tenants: 4,
+            window: Duration::from_secs(3600),
+            jobs_per_tenant_hour: 60.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// One stage of a job: compute, then write intermediate output (stage
+/// `i > 0` first reads stage `i-1`'s output from far memory).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageSpec {
+    /// Pure compute time of the stage.
+    pub compute: Duration,
+    /// Intermediate bytes this stage writes.
+    pub write_bytes: u64,
+}
+
+/// One analytics job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Trace-unique job id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: u32,
+    /// Arrival offset from trace start.
+    pub arrival: Duration,
+    /// Stages in execution order.
+    pub stages: Vec<StageSpec>,
+}
+
+impl JobSpec {
+    /// Peak intermediate bytes the job holds at once (a stage's output
+    /// lives until the next stage finishes, so the peak is the largest
+    /// sum of two consecutive stage outputs).
+    pub fn peak_bytes(&self) -> u64 {
+        let w: Vec<u64> = self.stages.iter().map(|s| s.write_bytes).collect();
+        if w.is_empty() {
+            return 0;
+        }
+        let mut peak = *w.iter().max().expect("non-empty");
+        for pair in w.windows(2) {
+            peak = peak.max(pair[0] + pair[1]);
+        }
+        peak
+    }
+
+    /// Total intermediate bytes written over the job's lifetime.
+    pub fn total_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.write_bytes).sum()
+    }
+
+    /// Nominal (unconstrained, DRAM-speed) duration of the job.
+    pub fn nominal_duration(&self) -> Duration {
+        let mut total = Duration::ZERO;
+        let mut prev_bytes = 0u64;
+        for s in &self.stages {
+            total += s.compute + nominal_io(prev_bytes) + nominal_io(s.write_bytes);
+            prev_bytes = s.write_bytes;
+        }
+        total
+    }
+}
+
+/// Nominal time to move `bytes` through the DRAM tier: shuffled as
+/// 256 KB objects (the paper's serverless tasks exchange many small
+/// objects, which is why per-op latency matters — Fig. 10), at the
+/// remote-DRAM tier's ~150 µs/op and ~1.1 GB/s.
+pub fn nominal_io(bytes: u64) -> Duration {
+    let ops = bytes.div_ceil(64 * 1024).max(1);
+    Duration::from_secs_f64(bytes as f64 / 1.1e9) + Duration::from_micros(150) * ops as u32
+}
+
+/// A generated trace.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Jobs sorted by arrival.
+    pub jobs: Vec<JobSpec>,
+    /// The trace window.
+    pub window: Duration,
+    /// Number of tenants.
+    pub tenants: u32,
+}
+
+/// Shared cluster-wide activity profile: tenant workloads are
+/// correlated in time (business hours, batch windows), which is what
+/// makes the *aggregate* demand bursty even with many tenants — the
+/// property Fig. 9 exploits (average aggregate demand far below peak).
+/// The window is divided into 5-minute slots, each quiet (x0.3), busy
+/// (x3) or spiking (x8).
+struct ActivityProfile {
+    slots: Vec<f64>,
+    slot_secs: f64,
+    max: f64,
+}
+
+impl ActivityProfile {
+    fn generate<R: Rng>(rng: &mut R, window: Duration) -> Self {
+        let slot_secs = 300.0;
+        let n = (window.as_secs_f64() / slot_secs).ceil() as usize + 1;
+        let slots: Vec<f64> = (0..n)
+            .map(|_| {
+                let u: f64 = rng.random();
+                if u < 0.70 {
+                    0.3
+                } else if u < 0.95 {
+                    3.0
+                } else {
+                    8.0
+                }
+            })
+            .collect();
+        Self {
+            slots,
+            slot_secs,
+            max: 8.0,
+        }
+    }
+
+    fn intensity(&self, t: f64) -> f64 {
+        let i = (t / self.slot_secs) as usize;
+        self.slots.get(i).copied().unwrap_or(0.3)
+    }
+}
+
+impl Trace {
+    /// Generates a deterministic trace from the config.
+    pub fn generate(cfg: &SnowflakeConfig) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+        let profile = ActivityProfile::generate(&mut rng, cfg.window);
+        let mut jobs = Vec::new();
+        let mut id = 0u64;
+        for tenant in 0..cfg.tenants {
+            // Tenant archetypes (the Snowflake population mixes steady
+            // dashboard/ETL tenants with bursty ad-hoc ones — Fig. 1a
+            // shows both kinds): the archetype sets how heavy the
+            // tenant's job-size tail is and how often bursts occur.
+            let archetype: f64 = rng.random();
+            let (burst_prob, burst_sigma, burst_scale, steady_sigma) = if archetype < 0.5 {
+                // Steady tenant: narrow sizes, rare mild bursts.
+                (0.05, 0.8, 2.0, 0.4)
+            } else if archetype < 0.85 {
+                // Mixed tenant.
+                (0.15, cfg.job_sigma * 0.7, 4.0, 0.6)
+            } else {
+                // Bursty tenant: the Fig. 1a spikes.
+                (0.25, cfg.job_sigma, 8.0, 0.8)
+            };
+            // Tenant-level heterogeneity: arrival rate and job-size
+            // median both log-normal across tenants.
+            let rate_factor = lognormal(&mut rng, 0.0, 0.8);
+            let size_median = cfg.median_job_bytes * lognormal(&mut rng, 0.0, cfg.tenant_sigma);
+            let rate_per_sec = cfg.jobs_per_tenant_hour * rate_factor / 3600.0;
+            let mut t = 0.0f64;
+            loop {
+                // Non-homogeneous Poisson arrivals via thinning against
+                // the shared activity profile.
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                t += -u.ln() / (rate_per_sec * profile.max);
+                if t >= cfg.window.as_secs_f64() {
+                    break;
+                }
+                if rng.random::<f64>() >= profile.intensity(t) / profile.max {
+                    continue;
+                }
+                // Mixture: a steady floor of routine queries plus
+                // heavy-tailed bursts (production tenants run dashboards
+                // and ETL alongside occasional giant ad-hoc queries).
+                let total_bytes = if rng.random::<f64>() < burst_prob {
+                    size_median * burst_scale * lognormal(&mut rng, 0.0, burst_sigma)
+                } else {
+                    size_median * lognormal(&mut rng, 0.0, steady_sigma)
+                };
+                let total_bytes = total_bytes.clamp(64.0 * 1024.0, 64.0 * 1024.0 * 1024.0 * 1024.0);
+                let stages = make_stages(&mut rng, total_bytes, cfg);
+                jobs.push(JobSpec {
+                    id,
+                    tenant,
+                    arrival: Duration::from_secs_f64(t),
+                    stages,
+                });
+                id += 1;
+            }
+        }
+        jobs.sort_by_key(|j| j.arrival);
+        Self {
+            jobs,
+            window: cfg.window,
+            tenants: cfg.tenants,
+        }
+    }
+
+    /// Aggregate nominal (unconstrained) demand timeline sampled every
+    /// `step`: how many intermediate bytes are live across all jobs.
+    pub fn demand_timeline(&self, step: Duration) -> Vec<(Duration, u64)> {
+        self.tenant_timeline(step, None)
+    }
+
+    /// Like [`Trace::demand_timeline`] but for one tenant.
+    pub fn tenant_demand_timeline(&self, step: Duration, tenant: u32) -> Vec<(Duration, u64)> {
+        self.tenant_timeline(step, Some(tenant))
+    }
+
+    fn tenant_timeline(&self, step: Duration, tenant: Option<u32>) -> Vec<(Duration, u64)> {
+        // Build +bytes/-bytes events from nominal stage timing: a
+        // stage's output space is acquired when the stage *starts*
+        // writing and freed when the *next* stage finishes reading it
+        // (the last stage's output is freed at job end) — matching the
+        // far-memory system's actual allocation lifetime.
+        let mut events: Vec<(f64, i64)> = Vec::new();
+        for job in &self.jobs {
+            if tenant.is_some_and(|t| job.tenant != t) {
+                continue;
+            }
+            let mut t = job.arrival.as_secs_f64();
+            let mut prev: Option<u64> = None; // bytes of the previous output
+            for s in &job.stages {
+                let start = t;
+                let read_prev = prev.unwrap_or(0);
+                t += s.compute.as_secs_f64()
+                    + nominal_io(read_prev).as_secs_f64()
+                    + nominal_io(s.write_bytes).as_secs_f64();
+                // Previous stage output freed once this stage completes.
+                if let Some(bytes) = prev.take() {
+                    events.push((t, -(bytes as i64)));
+                }
+                events.push((start, s.write_bytes as i64));
+                prev = Some(s.write_bytes);
+            }
+            if let Some(bytes) = prev {
+                // Job deregisters right after its last stage.
+                events.push((t, -(bytes as i64)));
+            }
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN"));
+        let mut out = Vec::new();
+        let mut live: i64 = 0;
+        let mut cursor = 0usize;
+        let mut t = 0.0;
+        let end = self.window.as_secs_f64();
+        let step_s = step.as_secs_f64();
+        while t <= end {
+            while cursor < events.len() && events[cursor].0 <= t {
+                live += events[cursor].1;
+                cursor += 1;
+            }
+            out.push((Duration::from_secs_f64(t), live.max(0) as u64));
+            t += step_s;
+        }
+        out
+    }
+
+    /// Mean over tenants of (tenant average demand / tenant peak
+    /// demand) — the "across all tenants, the average utilization is
+    /// 19 %" statistic of Fig. 1(b).
+    pub fn mean_tenant_utilization(&self, step: Duration) -> f64 {
+        let mut ratios = Vec::new();
+        for tenant in 0..self.tenants {
+            let tl = self.tenant_demand_timeline(step, tenant);
+            let peak = tl.iter().map(|(_, b)| *b).max().unwrap_or(0) as f64;
+            if peak == 0.0 {
+                continue;
+            }
+            let avg = tl.iter().map(|(_, b)| *b as f64).sum::<f64>() / tl.len() as f64;
+            ratios.push(avg / peak);
+        }
+        if ratios.is_empty() {
+            return 0.0;
+        }
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+
+    /// Fig. 1(b)'s wasted-capacity statistic: average aggregate demand
+    /// divided by the sum of per-tenant peaks (the capacity a
+    /// provision-for-peak system would reserve). The paper reports this
+    /// as "< 10 %".
+    pub fn utilization_vs_peak_provisioning(&self, step: Duration) -> f64 {
+        let mut tenant_peaks = 0u64;
+        for tenant in 0..self.tenants {
+            let peak = self
+                .tenant_demand_timeline(step, tenant)
+                .iter()
+                .map(|(_, b)| *b)
+                .max()
+                .unwrap_or(0);
+            tenant_peaks += peak;
+        }
+        if tenant_peaks == 0 {
+            return 0.0;
+        }
+        let timeline = self.demand_timeline(step);
+        let avg: f64 = timeline.iter().map(|(_, b)| *b as f64).sum::<f64>() / timeline.len() as f64;
+        avg / tenant_peaks as f64
+    }
+
+    /// Aggregate peak of the nominal demand timeline (the "100 %
+    /// capacity" reference of Fig. 9).
+    pub fn peak_demand(&self, step: Duration) -> u64 {
+        self.demand_timeline(step)
+            .iter()
+            .map(|(_, b)| *b)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Peak-to-average demand ratio for one tenant (Fig. 1a).
+    pub fn tenant_peak_to_avg(&self, step: Duration, tenant: u32) -> f64 {
+        let tl = self.tenant_demand_timeline(step, tenant);
+        let peak = tl.iter().map(|(_, b)| *b).max().unwrap_or(0) as f64;
+        let avg = tl.iter().map(|(_, b)| *b as f64).sum::<f64>() / tl.len() as f64;
+        if avg == 0.0 {
+            0.0
+        } else {
+            peak / avg
+        }
+    }
+}
+
+/// Splits a job's total intermediate bytes across 2–8 stages with one
+/// dominant stage (matching the paper's TPC-DS observation that stage
+/// outputs within one query span orders of magnitude).
+fn make_stages<R: Rng>(rng: &mut R, total_bytes: f64, cfg: &SnowflakeConfig) -> Vec<StageSpec> {
+    let n = rng.random_range(2..=8usize);
+    let mut weights: Vec<f64> = (0..n).map(|_| lognormal(rng, 0.0, 1.5)).collect();
+    let sum: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= sum;
+    }
+    weights
+        .into_iter()
+        .map(|w| {
+            let bytes = (total_bytes * w) as u64;
+            StageSpec {
+                compute: Duration::from_secs_f64(
+                    bytes as f64 / cfg.compute_bps + cfg.stage_base_secs,
+                ),
+                write_bytes: bytes.max(1024),
+            }
+        })
+        .collect()
+}
+
+fn lognormal<R: Rng>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    // Box-Muller.
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_deterministic() {
+        let cfg = SnowflakeConfig::small();
+        let a = Trace::generate(&cfg);
+        let b = Trace::generate(&cfg);
+        assert_eq!(a.jobs, b.jobs);
+        assert!(!a.jobs.is_empty());
+    }
+
+    #[test]
+    fn jobs_fall_inside_the_window_and_are_sorted() {
+        let trace = Trace::generate(&SnowflakeConfig::small());
+        let mut prev = Duration::ZERO;
+        for j in &trace.jobs {
+            assert!(j.arrival <= trace.window);
+            assert!(j.arrival >= prev);
+            prev = j.arrival;
+            assert!(j.stages.len() >= 2 && j.stages.len() <= 8);
+            assert!(j.total_bytes() > 0);
+            assert!(j.peak_bytes() <= j.total_bytes());
+        }
+    }
+
+    #[test]
+    fn job_sizes_are_heavy_tailed() {
+        let trace = Trace::generate(&SnowflakeConfig::default());
+        let mut sizes: Vec<u64> = trace.jobs.iter().map(JobSpec::total_bytes).collect();
+        sizes.sort_unstable();
+        let p10 = sizes[sizes.len() / 10];
+        let p99 = sizes[sizes.len() * 99 / 100];
+        // Orders of magnitude between the small and large jobs.
+        assert!(p99 as f64 / p10 as f64 > 100.0, "p10={p10} p99={p99}");
+    }
+
+    #[test]
+    fn utilization_matches_the_snowflake_figures() {
+        // Fig. 1(b): per-tenant mean utilization well below peak
+        // provisioning (paper: 19 % across >2000 tenants; our synthetic
+        // IO-bound jobs land lower — see EXPERIMENTS.md), aggregate
+        // utilization vs summed peaks < ~20 %.
+        let trace = Trace::generate(&SnowflakeConfig::default());
+        let per_tenant = trace.mean_tenant_utilization(Duration::from_secs(60));
+        assert!(
+            (0.02..=0.35).contains(&per_tenant),
+            "mean per-tenant utilization = {per_tenant:.3}"
+        );
+        let aggregate = trace.utilization_vs_peak_provisioning(Duration::from_secs(60));
+        assert!(
+            aggregate < 0.30 && aggregate > 0.01,
+            "aggregate utilization vs peak provisioning = {aggregate:.3}"
+        );
+        // The Fig. 9 precondition: aggregate average demand is a small
+        // fraction of the aggregate peak (the paper's multiplexing
+        // opportunity).
+        let tl = trace.demand_timeline(Duration::from_secs(5));
+        let peak = tl.iter().map(|(_, b)| *b).max().unwrap() as f64;
+        let avg = tl.iter().map(|(_, b)| *b as f64).sum::<f64>() / tl.len() as f64;
+        assert!(
+            (0.05..=0.40).contains(&(avg / peak)),
+            "aggregate avg/peak = {:.3}",
+            avg / peak
+        );
+    }
+
+    #[test]
+    fn tenant_peak_to_avg_spans_an_order_of_magnitude() {
+        let trace = Trace::generate(&SnowflakeConfig::default());
+        let mut ratios: Vec<f64> = (0..trace.tenants)
+            .map(|t| trace.tenant_peak_to_avg(Duration::from_secs(60), t))
+            .filter(|r| *r > 0.0)
+            .collect();
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let max = ratios.last().copied().unwrap_or(0.0);
+        assert!(max > 10.0, "max peak/avg = {max:.1}");
+    }
+
+    #[test]
+    fn demand_timeline_is_nonnegative_and_bounded() {
+        let trace = Trace::generate(&SnowflakeConfig::small());
+        let tl = trace.demand_timeline(Duration::from_secs(30));
+        assert!(!tl.is_empty());
+        let total: u64 = trace.jobs.iter().map(JobSpec::total_bytes).sum();
+        for (_, b) in &tl {
+            assert!(*b <= total);
+        }
+        // Demand should actually rise above zero at some point.
+        assert!(tl.iter().any(|(_, b)| *b > 0));
+    }
+
+    #[test]
+    fn peak_bytes_accounts_for_consecutive_stages() {
+        let job = JobSpec {
+            id: 0,
+            tenant: 0,
+            arrival: Duration::ZERO,
+            stages: vec![
+                StageSpec {
+                    compute: Duration::ZERO,
+                    write_bytes: 100,
+                },
+                StageSpec {
+                    compute: Duration::ZERO,
+                    write_bytes: 50,
+                },
+                StageSpec {
+                    compute: Duration::ZERO,
+                    write_bytes: 10,
+                },
+            ],
+        };
+        // Stage 0 output (100) is still live while stage 1 writes (50).
+        assert_eq!(job.peak_bytes(), 150);
+        assert_eq!(job.total_bytes(), 160);
+    }
+}

@@ -1,0 +1,102 @@
+//! Synthetic text streams (Wikipedia-sentence stand-in for the §6.5
+//! streaming word-count workload).
+
+use rand::{RngExt, SeedableRng};
+
+use crate::zipf::Zipf;
+
+/// Generates sentences whose word frequencies follow a Zipf law over a
+/// synthetic vocabulary, like natural-language corpora do.
+pub struct SentenceGen {
+    vocab: Vec<String>,
+    zipf: Zipf,
+    rng: rand::rngs::StdRng,
+    min_words: usize,
+    max_words: usize,
+}
+
+impl SentenceGen {
+    /// Creates a generator over `vocab_size` words with Zipf exponent
+    /// `alpha` (natural language: ~1.0).
+    pub fn new(vocab_size: usize, alpha: f64, seed: u64) -> Self {
+        let vocab = (0..vocab_size).map(synth_word).collect();
+        Self {
+            vocab,
+            zipf: Zipf::new(vocab_size, alpha),
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+            min_words: 4,
+            max_words: 14,
+        }
+    }
+
+    /// Next sentence.
+    pub fn sentence(&mut self) -> String {
+        let n = self.rng.random_range(self.min_words..=self.max_words);
+        let words: Vec<&str> = (0..n)
+            .map(|_| self.vocab[self.zipf.sample(&mut self.rng)].as_str())
+            .collect();
+        words.join(" ")
+    }
+
+    /// Next batch of sentences (the paper streams 64-sentence batches).
+    pub fn batch(&mut self, sentences: usize) -> Vec<String> {
+        (0..sentences).map(|_| self.sentence()).collect()
+    }
+}
+
+/// Deterministic pronounceable pseudo-word for rank `i`.
+fn synth_word(i: usize) -> String {
+    const CONS: &[u8] = b"bcdfghjklmnprstvwz";
+    const VOWEL: &[u8] = b"aeiou";
+    let mut n = i + 1;
+    let mut out = String::new();
+    while n > 0 {
+        out.push(CONS[n % CONS.len()] as char);
+        out.push(VOWEL[(n / CONS.len()) % VOWEL.len()] as char);
+        n /= CONS.len() * VOWEL.len();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sentences_are_nonempty_and_bounded() {
+        let mut g = SentenceGen::new(1000, 1.0, 7);
+        for _ in 0..100 {
+            let s = g.sentence();
+            let words = s.split_whitespace().count();
+            assert!((4..=14).contains(&words), "{s}");
+        }
+    }
+
+    #[test]
+    fn word_frequencies_are_skewed() {
+        let mut g = SentenceGen::new(500, 1.1, 9);
+        let mut freq: HashMap<String, u32> = HashMap::new();
+        for _ in 0..2000 {
+            for w in g.sentence().split_whitespace() {
+                *freq.entry(w.to_string()).or_insert(0) += 1;
+            }
+        }
+        let mut counts: Vec<u32> = freq.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(counts[0] as f64 / counts[counts.len() / 2] as f64 > 10.0);
+    }
+
+    #[test]
+    fn words_are_unique_per_rank() {
+        let words: Vec<String> = (0..10_000).map(synth_word).collect();
+        let set: std::collections::HashSet<&String> = words.iter().collect();
+        assert_eq!(set.len(), words.len());
+    }
+
+    #[test]
+    fn batches_have_requested_size() {
+        let mut g = SentenceGen::new(100, 1.0, 3);
+        assert_eq!(g.batch(64).len(), 64);
+    }
+}

@@ -1,0 +1,102 @@
+//! Zipf-distributed sampling (used for KV key skew, §6.3, and word
+//! frequencies in the text generator).
+
+use rand::RngExt;
+
+/// A Zipf(α) sampler over ranks `0..n` via inverse-CDF binary search.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` ranks with exponent `alpha`
+    /// (`alpha = 0` is uniform; `~1.0` is classic Zipf).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler is degenerate (single rank).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n` (rank 0 is the most popular).
+    pub fn sample<R: rand::Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN in cdf"))
+        {
+            Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_range() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_orders_frequencies() {
+        let z = Zipf::new(50, 1.2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut counts = vec![0u32; 50];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 dominates; tail ranks are rare.
+        assert!(counts[0] > counts[10] && counts[10] > counts[40]);
+        assert!(counts[0] as f64 / counts[49].max(1) as f64 > 20.0);
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(10, 0.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1500.0, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Elastic scaling demo: watch Jiffy allocate and reclaim blocks as a
+//! job's intermediate data grows and shrinks — the behaviour behind
+//! paper Fig. 11(a). Prints an allocated-vs-used timeline.
+//!
+//! Run with: `cargo run -p jiffy --example elastic_scaling_demo`
+
+use std::time::Duration;
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+
+fn bar(bytes: u64, scale: u64) -> String {
+    let width = (bytes * 40 / scale.max(1)) as usize;
+    "█".repeat(width.min(60))
+}
+
+fn main() -> jiffy::Result<()> {
+    // 16 KB blocks, short leases: elasticity visible within seconds.
+    let cfg = JiffyConfig::for_testing()
+        .with_block_size(16 * 1024)
+        .with_lease_duration(Duration::from_millis(500));
+    let block_size = cfg.block_size as u64;
+    let cluster = JiffyCluster::in_process(cfg, 2, 64)?;
+    let job = cluster.client()?.register_job("breathing")?;
+    let kv = job.open_kv("intermediate", &[], 1)?;
+    let renewer = job.start_lease_renewer(vec!["intermediate".into()], Duration::from_millis(100));
+
+    let sample = |phase: &str, cluster: &JiffyCluster| {
+        let used = cluster.used_bytes();
+        let allocated = cluster.allocated_blocks() as u64 * block_size;
+        println!(
+            "{phase:<22} used {:>7} B  allocated {:>7} B ({:>2} blocks)  {}",
+            used,
+            allocated,
+            cluster.allocated_blocks(),
+            bar(allocated, 512 * 1024)
+        );
+    };
+
+    println!("--- growth phase: task writes intermediate data ---");
+    for wave in 0..6 {
+        for i in 0..120 {
+            kv.put(
+                format!("w{wave}-k{i}").as_bytes(),
+                vec![7u8; 256].as_slice(),
+            )?;
+        }
+        std::thread::sleep(Duration::from_millis(30)); // let splits land
+        sample(&format!("after wave {wave}"), &cluster);
+    }
+
+    println!("--- shrink phase: downstream consumed the data ---");
+    for wave in 0..6 {
+        for i in 0..120 {
+            kv.delete(format!("w{wave}-k{i}").as_bytes())?;
+        }
+        std::thread::sleep(Duration::from_millis(60)); // let merges land
+        sample(&format!("after consuming {wave}"), &cluster);
+    }
+
+    println!("--- lease expiry: the task stops renewing ---");
+    drop(renewer);
+    std::thread::sleep(Duration::from_millis(1200));
+    sample("after lease expiry", &cluster);
+
+    let stats = cluster.client()?.stats()?;
+    println!(
+        "\nsplits: {}, merges: {}, leases expired: {}, metadata bytes: {}",
+        stats.splits, stats.merges, stats.leases_expired, stats.metadata_bytes
+    );
+    println!(
+        "free blocks: {}/{} — capacity returned for other jobs to use",
+        stats.free_blocks, stats.total_blocks
+    );
+    Ok(())
+}

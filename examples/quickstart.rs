@@ -1,0 +1,60 @@
+//! Quickstart: boot an in-process Jiffy cluster, register a job, and use
+//! all three built-in data structures through the Table-1 API.
+//!
+//! Run with: `cargo run -p jiffy --example quickstart`
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+
+fn main() -> jiffy::Result<()> {
+    // A cluster with 2 memory servers, 16 blocks each. The default
+    // production block size is 128 MB; we use 64 KB here so the demo's
+    // elastic behaviour is visible with kilobytes of data.
+    let cfg = JiffyConfig::for_testing();
+    let cluster = JiffyCluster::in_process(cfg, 2, 16)?;
+    println!("cluster up: {cluster:?}");
+
+    // connect() + register the job (paper Fig. 2, step 1).
+    let client = cluster.client()?;
+    let job = client.register_job("quickstart")?;
+    println!("registered {:?}", job.id());
+
+    // A key-value store for shared state (§5.3).
+    let kv = job.open_kv("state", &[], 1)?;
+    kv.put(b"answer", b"42")?;
+    println!("kv get(answer) = {:?}", kv.get(b"answer")?);
+
+    // A FIFO queue for task-to-task messaging (§5.2).
+    let queue = job.open_queue("events", &[])?;
+    for i in 0..5 {
+        queue.enqueue(format!("event-{i}").as_bytes())?;
+    }
+    while let Some(item) = queue.dequeue()? {
+        println!("dequeued {}", String::from_utf8_lossy(&item));
+    }
+
+    // A file for bulk intermediate data (§5.1).
+    let file = job.open_file("scratch", &[])?;
+    file.append(b"hello far memory\n")?;
+    file.append(b"stored across fixed-size blocks\n")?;
+    print!("{}", String::from_utf8_lossy(&file.read_all()?));
+
+    // Address hierarchy: create a downstream task prefix whose lease
+    // renewal also covers `state` (its parent, paper §3.2).
+    job.create_addr_prefix("consumer", &["state"])?;
+    let renewed = job.renew_lease("consumer")?;
+    println!("renewing `consumer` also renewed: {renewed:?}");
+
+    // Checkpoint the KV store to the persistent tier and show stats.
+    let bytes = job.flush("state", "s3://demo/ckpt")?;
+    println!("flushed {bytes} bytes to the persistent tier");
+    let stats = client.stats()?;
+    println!(
+        "cluster stats: {}/{} blocks free, {} splits, {} merges",
+        stats.free_blocks, stats.total_blocks, stats.splits, stats.merges
+    );
+
+    job.deregister()?;
+    println!("job deregistered; all capacity returned");
+    Ok(())
+}

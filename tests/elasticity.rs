@@ -1,0 +1,186 @@
+//! Fine-grained elasticity (§3.3): structures grow block by block under
+//! load and shrink as data drains, with no loss and no client
+//! involvement in repartitioning.
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+
+fn cfg() -> JiffyConfig {
+    JiffyConfig::for_testing().with_block_size(16 * 1024)
+}
+
+#[test]
+fn kv_grows_under_load_and_shrinks_after_deletes() {
+    let cluster = JiffyCluster::in_process(cfg(), 2, 64).unwrap();
+    let job = cluster.client().unwrap().register_job("breathe").unwrap();
+    let kv = job.open_kv("state", &[], 1).unwrap();
+
+    // Grow: ~200 KB into 16 KB blocks.
+    let n = 800usize;
+    for i in 0..n {
+        kv.put(format!("key-{i}").as_bytes(), vec![3u8; 240].as_slice())
+            .unwrap();
+    }
+    let grown = cluster.allocated_blocks();
+    assert!(grown >= 10, "expected >= 10 blocks allocated, got {grown}");
+    let splits_after_growth = cluster.controller().stats().splits;
+    assert!(splits_after_growth >= 9);
+
+    // Shrink: delete 95 % of the data; underload reports should trigger
+    // merges that release blocks back to the pool.
+    for i in 0..n {
+        if i % 20 != 0 {
+            kv.delete(format!("key-{i}").as_bytes()).unwrap();
+        }
+    }
+    // Merges are asynchronous (threshold worker): wait for convergence.
+    let mut shrunk = grown;
+    for _ in 0..400 {
+        shrunk = cluster.allocated_blocks();
+        if shrunk <= grown / 2 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        shrunk < grown,
+        "blocks should be reclaimed: {grown} -> {shrunk}"
+    );
+    assert!(cluster.controller().stats().merges >= 1);
+
+    // Surviving keys still intact after all the merging.
+    for i in (0..n).step_by(20) {
+        assert_eq!(
+            kv.get(format!("key-{i}").as_bytes()).unwrap(),
+            Some(vec![3u8; 240]),
+            "key-{i}"
+        );
+    }
+    assert_eq!(kv.count().unwrap(), (n / 20) as u64);
+}
+
+#[test]
+fn queue_segments_unlink_as_the_consumer_drains() {
+    let cluster = JiffyCluster::in_process(cfg(), 1, 32).unwrap();
+    let job = cluster.client().unwrap().register_job("drain").unwrap();
+    let q = job.open_queue("work", &[]).unwrap();
+
+    // Fill several segments.
+    for i in 0..600u32 {
+        q.enqueue(format!("{i:05}{}", "p".repeat(90)).as_bytes())
+            .unwrap();
+    }
+    let filled = cluster.allocated_blocks();
+    assert!(filled >= 3, "queue should span segments, got {filled}");
+
+    // Drain everything.
+    let mut count = 0u32;
+    while let Some(item) = q.dequeue().unwrap() {
+        let idx: u32 = std::str::from_utf8(&item[..5]).unwrap().parse().unwrap();
+        assert_eq!(idx, count);
+        count += 1;
+    }
+    assert_eq!(count, 600);
+
+    // Drained segments unlink asynchronously.
+    let mut remaining = filled;
+    for _ in 0..400 {
+        remaining = cluster.allocated_blocks();
+        if remaining <= 2 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    assert!(
+        remaining < filled,
+        "drained segments should unlink: {filled} -> {remaining}"
+    );
+
+    // The queue keeps working after shrink.
+    q.enqueue(b"still alive").unwrap();
+    assert_eq!(q.dequeue().unwrap(), Some(b"still alive".to_vec()));
+}
+
+#[test]
+fn file_grows_chunk_by_chunk() {
+    let cluster = JiffyCluster::in_process(cfg(), 1, 16).unwrap();
+    let job = cluster.client().unwrap().register_job("grow").unwrap();
+    let f = job.open_file("log", &[]).unwrap();
+    // 100 KB into 16 KB chunks -> at least 7 chunks.
+    let payload = vec![0xAB; 1000];
+    for _ in 0..100 {
+        f.append(&payload).unwrap();
+    }
+    assert_eq!(f.size().unwrap(), 100_000);
+    assert!(cluster.allocated_blocks() >= 7);
+    let all = f.read_all().unwrap();
+    assert_eq!(all.len(), 100_000);
+    assert!(all.iter().all(|&b| b == 0xAB));
+}
+
+#[test]
+fn concurrent_clients_on_one_store_stay_consistent_through_splits() {
+    let cluster = JiffyCluster::in_process(cfg(), 2, 64).unwrap();
+    let client = cluster.client().unwrap();
+    let job = client.register_job("concurrent").unwrap();
+    let _ = job.open_kv("shared", &[], 1).unwrap();
+
+    let mut handles = Vec::new();
+    for t in 0..4u32 {
+        let job = job.clone();
+        handles.push(std::thread::spawn(move || {
+            // Each thread opens its own handle (own metadata cache) —
+            // caches go stale independently during splits.
+            let kv = job.open_kv("shared", &[], 1).unwrap();
+            for i in 0..250u32 {
+                let key = format!("t{t}-k{i}");
+                kv.put(key.as_bytes(), vec![5u8; 220].as_slice()).unwrap();
+            }
+            for i in 0..250u32 {
+                let key = format!("t{t}-k{i}");
+                assert_eq!(kv.get(key.as_bytes()).unwrap(), Some(vec![5u8; 220]));
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let kv = job.open_kv("shared", &[], 1).unwrap();
+    assert_eq!(kv.count().unwrap(), 1000);
+    assert!(cluster.controller().stats().splits >= 10);
+}
+
+#[test]
+fn capacity_exhaustion_is_reported_cleanly() {
+    // 4 blocks of 16 KB = 64 KB total; try to store ~200 KB.
+    let cluster = JiffyCluster::in_process(cfg(), 1, 4).unwrap();
+    let job = cluster.client().unwrap().register_job("overflow").unwrap();
+    let kv = job.open_kv("too-big", &[], 1).unwrap();
+    let mut stored = 0;
+    let mut failed = false;
+    for i in 0..800 {
+        match kv.put(format!("key-{i}").as_bytes(), vec![9u8; 240].as_slice()) {
+            Ok(_) => stored += 1,
+            Err(e) => {
+                // Clean capacity error, not a hang or corruption.
+                assert!(
+                    matches!(
+                        e,
+                        jiffy::JiffyError::BlockFull { .. }
+                            | jiffy::JiffyError::StaleMetadata
+                            | jiffy::JiffyError::OutOfBlocks
+                    ),
+                    "unexpected error {e:?}"
+                );
+                failed = true;
+                break;
+            }
+        }
+    }
+    assert!(failed, "64 KB cluster cannot hold 200 KB");
+    assert!(stored >= 150, "most of the capacity was usable: {stored}");
+    // Everything stored remains readable.
+    for i in 0..stored.min(100) {
+        assert!(kv.get(format!("key-{i}").as_bytes()).unwrap().is_some());
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end integration: full clusters (control plane + data plane +
+//! client library) over both transports, exercising all three data
+//! structures the way analytics jobs do.
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+
+fn small_blocks() -> JiffyConfig {
+    // 16 KB blocks so splits happen with modest data volumes.
+    JiffyConfig::for_testing().with_block_size(16 * 1024)
+}
+
+#[test]
+fn shuffle_files_support_many_writers_one_reader() {
+    // The MR shuffle pattern of §5.1: several "map tasks" append records
+    // to the same shuffle file; a "reduce task" scans it.
+    let cluster = JiffyCluster::in_process(small_blocks(), 2, 32).unwrap();
+    let job = cluster.client().unwrap().register_job("shuffle").unwrap();
+    let file = std::sync::Arc::new(job.open_file("shuffle-0", &[]).unwrap());
+
+    let mut writers = Vec::new();
+    for w in 0..4 {
+        let f = file.clone();
+        writers.push(std::thread::spawn(move || {
+            for i in 0..50 {
+                let record = format!("writer{w}:record{i};");
+                f.append(record.as_bytes()).unwrap();
+            }
+        }));
+    }
+    for t in writers {
+        t.join().unwrap();
+    }
+
+    let contents = String::from_utf8(file.read_all().unwrap()).unwrap();
+    let records: Vec<&str> = contents.split(';').filter(|s| !s.is_empty()).collect();
+    assert_eq!(records.len(), 200);
+    // Every record arrived exactly once and intact.
+    for w in 0..4 {
+        for i in 0..50 {
+            let needle = format!("writer{w}:record{i}");
+            assert_eq!(
+                records.iter().filter(|r| **r == needle).count(),
+                1,
+                "{needle}"
+            );
+        }
+    }
+    // The file outgrew one block (200 records x ~17 B > 16 KB high
+    // watermark is not guaranteed, so check size only).
+    assert_eq!(file.size().unwrap() as usize, contents.len());
+}
+
+#[test]
+fn queue_pipeline_preserves_fifo_across_segments() {
+    let cluster = JiffyCluster::in_process(small_blocks(), 2, 32).unwrap();
+    let job = cluster.client().unwrap().register_job("pipeline").unwrap();
+    let q = job.open_queue("channel", &[]).unwrap();
+
+    // Enough items to force several tail links (16 KB segments, ~116 B
+    // per item incl. overhead).
+    let n = 1000;
+    for i in 0..n {
+        let item = format!("{i:06}-{}", "x".repeat(100));
+        q.enqueue(item.as_bytes()).unwrap();
+    }
+    assert_eq!(q.len().unwrap(), n);
+    for i in 0..n {
+        let item = q.dequeue().unwrap().expect("item present");
+        let got: u64 = std::str::from_utf8(&item.split_at(6).0)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert_eq!(got, i, "FIFO order violated");
+    }
+    assert_eq!(q.dequeue().unwrap(), None);
+    // The structure grew beyond one segment while full.
+    assert!(cluster.controller().stats().splits >= 1);
+}
+
+#[test]
+fn kv_store_survives_heavy_split_activity() {
+    let cluster = JiffyCluster::in_process(small_blocks(), 2, 64).unwrap();
+    let job = cluster.client().unwrap().register_job("kv-heavy").unwrap();
+    let kv = job.open_kv("state", &[], 1).unwrap();
+
+    // ~300 KB of pairs into 16 KB blocks: forces a cascade of splits.
+    let n = 1000;
+    for i in 0..n {
+        kv.put(
+            format!("key-{i}").as_bytes(),
+            format!("value-{}", "y".repeat(250 + i % 7)).as_bytes(),
+        )
+        .unwrap();
+    }
+    let stats = cluster.controller().stats();
+    assert!(
+        stats.splits >= 5,
+        "expected many splits, got {}",
+        stats.splits
+    );
+    // Every key readable, every value intact.
+    for i in 0..n {
+        let v = kv.get(format!("key-{i}").as_bytes()).unwrap().unwrap();
+        assert_eq!(v.len(), 6 + 250 + i % 7);
+    }
+    assert_eq!(kv.count().unwrap(), n as u64);
+    // Overwrites and deletes still route correctly after the splits.
+    kv.put(b"key-0", b"fresh").unwrap();
+    assert_eq!(kv.get(b"key-0").unwrap(), Some(b"fresh".to_vec()));
+    assert_eq!(kv.delete(b"key-1").unwrap().map(|v| v.len()), Some(257));
+    assert_eq!(kv.get(b"key-1").unwrap(), None);
+}
+
+#[test]
+fn tcp_cluster_runs_the_same_workload() {
+    let cluster = JiffyCluster::over_tcp(small_blocks(), 2, 16).unwrap();
+    let job = cluster.client().unwrap().register_job("tcp").unwrap();
+    let kv = job.open_kv("state", &[], 1).unwrap();
+    for i in 0..200 {
+        kv.put(format!("k{i}").as_bytes(), vec![7u8; 200].as_slice())
+            .unwrap();
+    }
+    for i in 0..200 {
+        assert_eq!(
+            kv.get(format!("k{i}").as_bytes()).unwrap(),
+            Some(vec![7u8; 200])
+        );
+    }
+    let q = job.open_queue("q", &[]).unwrap();
+    q.enqueue(b"tcp works").unwrap();
+    assert_eq!(q.dequeue().unwrap(), Some(b"tcp works".to_vec()));
+}
+
+#[test]
+fn flush_and_load_round_trip_preserves_kv_contents() {
+    let cluster = JiffyCluster::in_process(small_blocks(), 1, 16).unwrap();
+    let job = cluster.client().unwrap().register_job("ckpt").unwrap();
+    let kv = job.open_kv("model", &[], 1).unwrap();
+    for i in 0..100 {
+        kv.put(format!("w{i}").as_bytes(), format!("{}", i * i).as_bytes())
+            .unwrap();
+    }
+    let bytes = job.flush("model", "s3://bucket/model-ckpt").unwrap();
+    assert!(bytes > 0);
+
+    // Drop the prefix entirely, recreate it bare, load the checkpoint.
+    job.remove_addr_prefix("model").unwrap();
+    job.create_addr_prefix("model", &[]).unwrap();
+    job.load("model", "s3://bucket/model-ckpt").unwrap();
+
+    let kv = job.open_kv("model", &[], 1).unwrap();
+    for i in 0..100 {
+        assert_eq!(
+            kv.get(format!("w{i}").as_bytes()).unwrap(),
+            Some(format!("{}", i * i).into_bytes()),
+            "w{i}"
+        );
+    }
+}
+
+#[test]
+fn hierarchy_addresses_resolve_via_multiple_paths() {
+    let cluster = JiffyCluster::in_process(small_blocks(), 1, 16).unwrap();
+    let job = cluster.client().unwrap().register_job("dag").unwrap();
+    // Fig. 3's diamond: t1, t2 -> t5 -> t7; t3 -> t7.
+    job.create_addr_prefix("t1", &[]).unwrap();
+    job.create_addr_prefix("t2", &[]).unwrap();
+    job.create_addr_prefix("t3", &[]).unwrap();
+    job.create_addr_prefix("t5", &["t1", "t2"]).unwrap();
+    let _kv = job.open_kv("t7", &["t5"], 1).unwrap();
+    job.add_parent("t7", "t3").unwrap();
+
+    for path in ["t7", "t5.t7", "t1.t5.t7", "t2.t5.t7", "t3.t7"] {
+        let view = job.resolve(path).unwrap();
+        assert_eq!(view.name, "t7", "path {path}");
+        assert!(view.partition.is_some());
+    }
+    assert!(job.resolve("t1.t7").is_err(), "no such edge");
+
+    let renewed = job.renew_lease("t5.t7").unwrap();
+    // t7 + direct parents (t5, t3) + no descendants.
+    let mut renewed_sorted = renewed.clone();
+    renewed_sorted.sort();
+    assert_eq!(renewed_sorted, vec!["t3", "t5", "t7"]);
+}
+
+#[test]
+fn deregister_releases_all_capacity() {
+    let cluster = JiffyCluster::in_process(small_blocks(), 1, 16).unwrap();
+    let client = cluster.client().unwrap();
+    let job = client.register_job("ephemeral").unwrap();
+    let kv = job.open_kv("s", &[], 2).unwrap();
+    for i in 0..200 {
+        kv.put(format!("k{i}").as_bytes(), vec![1u8; 300].as_slice())
+            .unwrap();
+    }
+    let before = client.stats().unwrap();
+    assert!(before.free_blocks < 16);
+    job.deregister().unwrap();
+    let after = client.stats().unwrap();
+    assert_eq!(after.free_blocks, 16);
+    assert_eq!(cluster.used_bytes(), 0);
+}

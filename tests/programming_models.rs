@@ -1,0 +1,318 @@
+//! The four programming models of paper §5, end-to-end on a real
+//! in-process cluster: MapReduce word count, a Dryad-style mixed
+//! file/queue dataflow, a StreamScope-style keyed streaming pipeline,
+//! and a Piccolo PageRank-flavored kernel program.
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+use jiffy_models::piccolo::{run_kernels, SumF64};
+use jiffy_models::{
+    ChannelKind, Dataflow, MapReduceJob, Mapper, PiccoloTable, Reducer, StreamPipeline, StreamStage,
+};
+
+fn cluster() -> JiffyCluster {
+    JiffyCluster::in_process(JiffyConfig::for_testing().with_block_size(32 * 1024), 2, 64).unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce (§5.1)
+// ---------------------------------------------------------------------------
+
+struct TokenizeMapper;
+
+impl Mapper for TokenizeMapper {
+    fn map(&self, _key: &[u8], value: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        for word in String::from_utf8_lossy(value).split_whitespace() {
+            emit(word.as_bytes().to_vec(), b"1".to_vec());
+        }
+    }
+}
+
+struct CountReducer;
+
+impl Reducer for CountReducer {
+    fn reduce(&self, _key: &[u8], values: &[Vec<u8>]) -> Vec<u8> {
+        values.len().to_string().into_bytes()
+    }
+}
+
+#[test]
+fn mapreduce_word_count_is_exact() {
+    let cluster = cluster();
+    let job = cluster.client().unwrap().register_job("mr-wc").unwrap();
+    // 4 map partitions of a tiny corpus with known counts.
+    let lines = [
+        "the quick brown fox",
+        "the lazy dog and the quick cat",
+        "brown dog quick fox",
+        "the end",
+    ];
+    let inputs: Vec<Vec<(Vec<u8>, Vec<u8>)>> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| vec![(i.to_string().into_bytes(), l.as_bytes().to_vec())])
+        .collect();
+    let mr = MapReduceJob::new(TokenizeMapper, CountReducer, 3);
+    let out = mr.run(&job, inputs).unwrap();
+    let count = |w: &str| -> u32 {
+        String::from_utf8(out[w.as_bytes()].clone())
+            .unwrap()
+            .parse()
+            .unwrap()
+    };
+    assert_eq!(count("the"), 4);
+    assert_eq!(count("quick"), 3);
+    assert_eq!(count("brown"), 2);
+    assert_eq!(count("dog"), 2);
+    assert_eq!(count("fox"), 2);
+    assert_eq!(count("end"), 1);
+    assert_eq!(out.len(), 9, "distinct words: {out:?}");
+    // Intermediate shuffle state was released after the job.
+    let stats = cluster.controller().stats();
+    assert_eq!(
+        stats.total_blocks,
+        stats.free_blocks + cluster.allocated_blocks() as u64
+    );
+}
+
+#[test]
+fn mapreduce_scales_to_many_tasks() {
+    let cluster = cluster();
+    let job = cluster.client().unwrap().register_job("mr-big").unwrap();
+    // 8 mappers, 400 lines, Zipf-ish word mix.
+    let words = [
+        "alpha", "beta", "gamma", "delta", "alpha", "alpha", "beta", "x",
+    ];
+    let inputs: Vec<Vec<(Vec<u8>, Vec<u8>)>> = (0..8)
+        .map(|m| {
+            (0..50)
+                .map(|i| {
+                    let line = format!(
+                        "{} {} {}",
+                        words[(m + i) % words.len()],
+                        words[(m * 3 + i) % words.len()],
+                        words[(m + i * 7) % words.len()]
+                    );
+                    ((m * 100 + i).to_string().into_bytes(), line.into_bytes())
+                })
+                .collect()
+        })
+        .collect();
+    let mr = MapReduceJob::new(TokenizeMapper, CountReducer, 5);
+    let out = mr.run(&job, inputs).unwrap();
+    // 3 words per line × 400 lines = 1200 total tokens.
+    let total: u32 = out
+        .values()
+        .map(|v| {
+            String::from_utf8(v.clone())
+                .unwrap()
+                .parse::<u32>()
+                .unwrap()
+        })
+        .sum();
+    assert_eq!(total, 1200);
+}
+
+// ---------------------------------------------------------------------------
+// Dryad dataflow (§5.2)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dataflow_mixes_file_and_queue_channels() {
+    let cluster = cluster();
+    let job = cluster.client().unwrap().register_job("dryad").unwrap();
+    let mut g = Dataflow::new();
+    g.channel("raw", ChannelKind::Queue)
+        .channel("squares", ChannelKind::Queue)
+        .channel("report", ChannelKind::File);
+    // source -> square (streaming) -> sink (writes a batch file).
+    g.vertex("source", &[], &["raw"], |ctx| {
+        for i in 0..100u64 {
+            ctx.write(0, &i.to_le_bytes(), &i.to_le_bytes())?;
+        }
+        Ok(())
+    });
+    g.vertex("square", &["raw"], &["squares"], |ctx| {
+        while let Some((k, v)) = ctx.read(0)? {
+            let n = u64::from_le_bytes(v.try_into().unwrap());
+            ctx.write(0, &k, &(n * n).to_le_bytes())?;
+        }
+        Ok(())
+    });
+    g.vertex("sink", &["squares"], &["report"], |ctx| {
+        let mut sum = 0u64;
+        while let Some((_k, v)) = ctx.read(0)? {
+            sum += u64::from_le_bytes(v.try_into().unwrap());
+        }
+        ctx.write(0, b"sum-of-squares", &sum.to_le_bytes())?;
+        Ok(())
+    });
+    g.run(&job).unwrap();
+
+    // Validate the batch output: sum i^2 for i in 0..100 = 328350.
+    let report = job.open_file("report", &[]).unwrap();
+    let records = jiffy_models::RecordReader::open(&report)
+        .unwrap()
+        .collect_all()
+        .unwrap();
+    assert_eq!(records.len(), 1);
+    assert_eq!(records[0].0, b"sum-of-squares");
+    assert_eq!(
+        u64::from_le_bytes(records[0].1.clone().try_into().unwrap()),
+        328_350
+    );
+}
+
+#[test]
+fn dataflow_diamond_with_file_barriers() {
+    let cluster = cluster();
+    let job = cluster.client().unwrap().register_job("diamond").unwrap();
+    let mut g = Dataflow::new();
+    for ch in ["left", "right", "merged"] {
+        g.channel(ch, ChannelKind::File);
+    }
+    g.vertex("producer-l", &[], &["left"], |ctx| {
+        for i in 0..10u32 {
+            ctx.write(0, format!("l{i}").as_bytes(), b"1")?;
+        }
+        Ok(())
+    });
+    g.vertex("producer-r", &[], &["right"], |ctx| {
+        for i in 0..15u32 {
+            ctx.write(0, format!("r{i}").as_bytes(), b"1")?;
+        }
+        Ok(())
+    });
+    g.vertex("merge", &["left", "right"], &["merged"], |ctx| {
+        let mut n = 0u32;
+        for i in 0..2 {
+            while let Some(_) = ctx.read(i)? {
+                n += 1;
+            }
+        }
+        ctx.write(0, b"total", n.to_string().as_bytes())?;
+        Ok(())
+    });
+    g.run(&job).unwrap();
+    let merged = job.open_file("merged", &[]).unwrap();
+    let records = jiffy_models::RecordReader::open(&merged)
+        .unwrap()
+        .collect_all()
+        .unwrap();
+    assert_eq!(records[0].1, b"25");
+}
+
+// ---------------------------------------------------------------------------
+// StreamScope streaming (§5.2, §6.5)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn streaming_word_count_pipeline() {
+    let cluster = cluster();
+    let job = cluster.client().unwrap().register_job("stream-wc").unwrap();
+    // partition stage (split sentences into words) -> count stage.
+    let pipeline = StreamPipeline::new()
+        .stage(StreamStage::new("partition", 4, |_k, v, emit| {
+            for w in String::from_utf8_lossy(v).split_whitespace() {
+                emit(w.as_bytes().to_vec(), b"1".to_vec());
+            }
+        }))
+        .stage(StreamStage::new("count", 4, {
+            // Keyed running count per instance (keys are hash-pinned to
+            // one instance, so a local map is correct).
+            let counts = std::sync::Mutex::new(std::collections::HashMap::<Vec<u8>, u64>::new());
+            move |k, _v, emit| {
+                let mut c = counts.lock().unwrap();
+                let n = c.entry(k.to_vec()).or_insert(0);
+                *n += 1;
+                emit(k.to_vec(), n.to_string().into_bytes());
+            }
+        }));
+    let (input, collector) = pipeline.launch(&job).unwrap();
+    for i in 0..50 {
+        input
+            .send(
+                format!("s{i}").as_bytes(),
+                b"jiffy makes serverless analytics jiffy fast",
+            )
+            .unwrap();
+    }
+    input.close().unwrap();
+    let out = collector.join().unwrap().unwrap();
+    // 6 words per sentence x 50 sentences = 300 events at the sink.
+    assert_eq!(out.len(), 300);
+    // The final count event for "jiffy" must be 100 (2 per sentence).
+    let max_jiffy = out
+        .iter()
+        .filter(|(k, _)| k == b"jiffy")
+        .map(|(_, v)| {
+            String::from_utf8(v.clone())
+                .unwrap()
+                .parse::<u64>()
+                .unwrap()
+        })
+        .max()
+        .unwrap();
+    assert_eq!(max_jiffy, 100);
+}
+
+// ---------------------------------------------------------------------------
+// Piccolo (§5.3)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn piccolo_kernels_share_state_through_tables() {
+    let cluster = cluster();
+    let client = cluster.client().unwrap();
+    let job = client.register_job("piccolo").unwrap();
+
+    // A rank table over 64 "pages"; 4 kernels each own 16 pages and push
+    // rank contributions to *any* page (cross-kernel shared state).
+    let table = PiccoloTable::create(&job, "ranks", SumF64, 2).unwrap();
+    for page in 0..64u32 {
+        table
+            .put(page.to_string().as_bytes(), &1.0f64.to_le_bytes())
+            .unwrap();
+    }
+    let job2 = job.clone();
+    run_kernels(&job, vec!["ranks".to_string()], 4, move |k| {
+        let table = PiccoloTable::create(&job2, "ranks", SumF64, 1)?;
+        // Kernel k owns pages [16k, 16k+16); each page donates 0.25 to
+        // the page (p * 7) % 64 — single-writer per *target* key is NOT
+        // guaranteed, so route updates through per-kernel partitioning:
+        // each kernel updates only targets in its own partition after a
+        // local aggregation step (the Piccolo discipline).
+        let mut local: std::collections::HashMap<u32, f64> = std::collections::HashMap::new();
+        for p in (16 * k as u32)..(16 * k as u32 + 16) {
+            let target = (p * 7) % 64;
+            *local.entry(target).or_insert(0.0) += 0.25;
+        }
+        // Apply aggregated contributions; (p*7)%64 maps each kernel's
+        // pages to 16 distinct targets, but different kernels may hit
+        // the same target — serialize via per-key retry-free accumulate:
+        // acceptable here because each target (p*7)%64 for p in one
+        // kernel's range is unique *across kernels* (7 is coprime to 64).
+        for (target, delta) in local {
+            table.update(target.to_string().as_bytes(), &delta.to_le_bytes())?;
+        }
+        Ok(())
+    })
+    .unwrap();
+
+    // Every page got exactly one 0.25 contribution: rank = 1.25.
+    for page in 0..64u32 {
+        let v = table.get(page.to_string().as_bytes()).unwrap().unwrap();
+        let rank = f64::from_le_bytes(v.try_into().unwrap());
+        assert!((rank - 1.25).abs() < 1e-9, "page {page}: {rank}");
+    }
+
+    // Checkpoint, clobber, restore.
+    table.checkpoint(&job, "ckpt/ranks").unwrap();
+    table.put(b"0", &99.0f64.to_le_bytes()).unwrap();
+    job.remove_addr_prefix("ranks").unwrap();
+    job.create_addr_prefix("ranks", &[]).unwrap();
+    job.load("ranks", "ckpt/ranks").unwrap();
+    let restored = PiccoloTable::create(&job, "ranks", SumF64, 1).unwrap();
+    let v = restored.get(b"0").unwrap().unwrap();
+    assert!((f64::from_le_bytes(v.try_into().unwrap()) - 1.25).abs() < 1e-9);
+}
