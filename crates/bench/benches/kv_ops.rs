@@ -7,11 +7,15 @@ use jiffy::cluster::JiffyCluster;
 use jiffy::JiffyConfig;
 
 fn bench_kv(c: &mut Criterion) {
-    let cluster =
-        JiffyCluster::in_process(JiffyConfig::default()
+    let cluster = JiffyCluster::in_process(
+        JiffyConfig::default()
             .with_block_size(8 << 20)
             // Hour-long leases: criterion's warmups must not race expiry.
-            .with_lease_duration(std::time::Duration::from_secs(3600)), 2, 16).unwrap();
+            .with_lease_duration(std::time::Duration::from_secs(3600)),
+        2,
+        16,
+    )
+    .unwrap();
     let job = cluster.client().unwrap().register_job("bench").unwrap();
     let kv = job.open_kv("kv", &[], 2).unwrap();
 

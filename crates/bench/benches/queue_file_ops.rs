@@ -6,11 +6,15 @@ use jiffy::cluster::JiffyCluster;
 use jiffy::JiffyConfig;
 
 fn bench_queue_file(c: &mut Criterion) {
-    let cluster =
-        JiffyCluster::in_process(JiffyConfig::default()
+    let cluster = JiffyCluster::in_process(
+        JiffyConfig::default()
             .with_block_size(8 << 20)
             // Hour-long leases: criterion's warmups must not race expiry.
-            .with_lease_duration(std::time::Duration::from_secs(3600)), 2, 64).unwrap();
+            .with_lease_duration(std::time::Duration::from_secs(3600)),
+        2,
+        64,
+    )
+    .unwrap();
     let job = cluster.client().unwrap().register_job("bench").unwrap();
 
     let mut group = c.benchmark_group("queue_file_ops");
@@ -37,7 +41,7 @@ fn bench_queue_file(c: &mut Criterion) {
         b.iter(|| {
             let n = count.get() + 1;
             count.set(n);
-            if n % 200_000 == 0 {
+            if n.is_multiple_of(200_000) {
                 let g = generation.get() + 1;
                 generation.set(g);
                 *file.borrow_mut() = job.open_file(&format!("f-{g}"), &[]).unwrap();

@@ -15,8 +15,8 @@ fn main() {
 
     println!("=== Fig. 1(a): per-tenant intermediate data, normalized by mean ===");
     println!(
-        "{:<10} {}",
-        "t (min)", "tenant#1   tenant#2   tenant#3   tenant#4"
+        "{:<10} tenant#1   tenant#2   tenant#3   tenant#4",
+        "t (min)"
     );
     let timelines: Vec<Vec<(Duration, u64)>> = (0..4)
         .map(|t| trace.tenant_demand_timeline(step, t))
@@ -26,12 +26,12 @@ fn main() {
         .map(|tl| tl.iter().map(|(_, b)| *b as f64).sum::<f64>() / tl.len() as f64)
         .collect();
     for i in 0..timelines[0].len() {
-        print!("{:<10}", i);
-        for t in 0..4 {
-            let norm = if means[t] == 0.0 {
+        print!("{i:<10}");
+        for (timeline, mean) in timelines.iter().zip(&means) {
+            let norm = if *mean == 0.0 {
                 0.0
             } else {
-                timelines[t][i].1 as f64 / means[t]
+                timeline[i].1 as f64 / mean
             };
             print!(" {norm:<10.3}");
         }

@@ -34,10 +34,13 @@ fn encode_chunk(seed: u64) -> u64 {
     h
 }
 
+/// Per-(sender, receiver) mailboxes on the central board.
+type Board = HashMap<(usize, usize), VecDeque<Vec<u8>>>;
+
 /// The rendezvous baseline: a central in-memory message board; senders
 /// post, receivers poll every `POLL_INTERVAL`.
 struct Rendezvous {
-    board: Mutex<HashMap<(usize, usize), VecDeque<Vec<u8>>>>,
+    board: Mutex<Board>,
 }
 
 impl Rendezvous {

@@ -21,7 +21,7 @@ fn base_config() -> LifetimeConfig {
         ticks: 60,
         tick: Duration::from_secs(60),
         target_peak_bytes: 2 << 20,
-        seed: 0xF16_14,
+        seed: 0x000F_1614,
     }
 }
 

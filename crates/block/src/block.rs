@@ -146,11 +146,7 @@ impl Block {
     /// clear both latches so a still-hot block can split again.
     pub fn finish_repartition(&mut self, data_moved: bool) {
         self.repartition_in_flight = false;
-        if data_moved {
-            self.high_signaled = false;
-        } else {
-            self.high_signaled = true;
-        }
+        self.high_signaled = !data_moved;
         self.low_signaled = false;
     }
 

@@ -12,6 +12,7 @@ use parking_lot::RwLock;
 
 use crate::job::JobClient;
 use crate::listener::Listener;
+use crate::rid::next_request_id;
 
 /// Retries before a routing problem is reported to the caller. Splits
 /// complete in milliseconds; 100 retries with backoff spans seconds.
@@ -81,14 +82,35 @@ impl DsCore {
         } else {
             &loc.tail().addr
         };
-        let conn = fabric.connect(addr)?;
-        match conn.call(Envelope::DataReq { id: 0, req })? {
-            Envelope::DataResp { resp, .. } => match resp? {
-                DataResponse::OpResult(r) => Ok(r),
-                other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        // One id for the whole operation: transport-level retries resend
+        // the identical envelope, so a server that already executed it
+        // (lost reply) answers from its replay cache instead of applying
+        // the op twice.
+        let id = next_request_id();
+        self.job.client().retry_policy().run(
+            |_| {
+                let conn = fabric.connect(addr)?;
+                match conn.call(Envelope::DataReq {
+                    id,
+                    req: req.clone(),
+                })? {
+                    Envelope::DataResp { resp, .. } => match resp? {
+                        DataResponse::OpResult(r) => Ok(r),
+                        other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+                    },
+                    other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
+                }
             },
-            other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
-        }
+            |e| {
+                // Evict only when the connection itself broke: a timeout
+                // or injected unavailability leaves the session (and the
+                // server's per-session replay cache) intact, and retrying
+                // on the same session is what makes same-id dedup work.
+                if matches!(e, JiffyError::Rpc(_)) {
+                    fabric.evict(addr);
+                }
+            },
+        )
     }
 
     /// Asks the controller to grow the structure at `block` (the
@@ -518,6 +540,15 @@ impl QueueClient {
             }
         }
         Ok(total)
+    }
+
+    /// Whether the queue currently holds no items.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
     }
 
     /// Subscribes to notifications (e.g. [`OpKind::Enqueue`] to learn

@@ -5,17 +5,18 @@ use std::time::Duration;
 
 use jiffy_common::{JiffyError, JobId, Result};
 use jiffy_proto::{ControlRequest, ControlResponse, DagNodeSpec, DsType, Envelope, PrefixView};
-use jiffy_rpc::{ClientConn, Fabric};
+use jiffy_rpc::{Fabric, RetryPolicy};
 
 use crate::ds::{FileClient, KvClient, QueueClient};
 use crate::lease::LeaseRenewer;
+use crate::rid::next_request_id;
 
 /// A connection to a Jiffy cluster's controller.
 #[derive(Clone)]
 pub struct JiffyClient {
     fabric: Fabric,
     controller_addr: String,
-    conn: ClientConn,
+    retry: RetryPolicy,
 }
 
 impl JiffyClient {
@@ -25,12 +26,22 @@ impl JiffyClient {
     ///
     /// Transport failures.
     pub fn connect(fabric: Fabric, jiffy_address: &str) -> Result<Self> {
-        let conn = fabric.connect(jiffy_address)?;
+        // Dial eagerly so an unreachable controller fails here, not on
+        // the first request; the connection stays pooled in the fabric.
+        fabric.connect(jiffy_address)?;
         Ok(Self {
             fabric,
             controller_addr: jiffy_address.to_string(),
-            conn,
+            retry: RetryPolicy::default(),
         })
+    }
+
+    /// Replaces the transport retry policy (e.g. `RetryPolicy::no_retries()`
+    /// to surface every transport fault to the caller).
+    #[must_use]
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The fabric used for data-plane connections.
@@ -43,18 +54,45 @@ impl JiffyClient {
         &self.controller_addr
     }
 
+    /// The transport retry policy applied to control and data requests.
+    pub fn retry_policy(&self) -> &RetryPolicy {
+        &self.retry
+    }
+
     /// Issues one control request.
+    ///
+    /// The request is stamped with a process-unique id and transport
+    /// faults (timeout / unavailable / broken connection) are retried
+    /// with exponential backoff, reusing the id so the controller's
+    /// replay cache suppresses re-execution. Controller-side errors are
+    /// returned as-is.
     ///
     /// # Errors
     ///
-    /// Transport failures or controller-side errors.
+    /// Transport failures (after retries) or controller-side errors.
     pub fn control(&self, req: ControlRequest) -> Result<ControlResponse> {
-        match self.conn.call(Envelope::ControlReq { id: 0, req })? {
-            Envelope::ControlResp { resp, .. } => resp,
-            other => Err(JiffyError::Rpc(format!(
-                "unexpected controller reply: {other:?}"
-            ))),
-        }
+        let id = next_request_id();
+        self.retry.run(
+            |_| {
+                let conn = self.fabric.connect(&self.controller_addr)?;
+                match conn.call(Envelope::ControlReq {
+                    id,
+                    req: req.clone(),
+                })? {
+                    Envelope::ControlResp { resp, .. } => resp,
+                    other => Err(JiffyError::Rpc(format!(
+                        "unexpected controller reply: {other:?}"
+                    ))),
+                }
+            },
+            |e| {
+                // Re-dial only on broken connections; timeouts keep the
+                // session (and its server-side replay cache) alive.
+                if matches!(e, JiffyError::Rpc(_)) {
+                    self.fabric.evict(&self.controller_addr);
+                }
+            },
+        )
     }
 
     /// Registers a job, returning its scoped handle.

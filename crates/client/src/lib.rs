@@ -23,6 +23,7 @@ pub mod ds;
 pub mod job;
 pub mod lease;
 pub mod listener;
+pub mod rid;
 
 pub use ds::{FileClient, KvClient, QueueClient};
 pub use job::{JiffyClient, JobClient};

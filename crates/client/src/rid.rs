@@ -1,0 +1,35 @@
+//! Client-side request-id allocation.
+//!
+//! Every control and data request carries a non-zero correlation id. Ids
+//! must stay unique across *retries of different requests* on the same
+//! connection, because the server's replay cache (see
+//! [`jiffy_rpc::Deduplicated`]) treats a repeated id as "same request —
+//! replay the cached response". A process-wide counter guarantees that; a
+//! retry of one request deliberately reuses its id.
+//!
+//! The counter starts at `1 << 32` so client-stamped ids can never
+//! collide with the per-connection auto-ids that [`jiffy_rpc::tcp`]
+//! assigns to unstamped (id = 0) requests, which count up from 1.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static NEXT: AtomicU64 = AtomicU64::new(1 << 32);
+
+/// Returns a fresh process-unique request id.
+pub fn next_request_id() -> u64 {
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique_and_above_the_connection_range() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert_ne!(a, b);
+        assert!(a >= 1 << 32);
+        assert!(b >= 1 << 32);
+    }
+}

@@ -68,6 +68,16 @@ pub enum JiffyError {
     /// Failure in the RPC/transport layer (connection reset, codec error,
     /// unexpected response variant, ...).
     Rpc(String),
+    /// An RPC did not complete within its deadline. The request may or
+    /// may not have executed — callers must retry with the same request
+    /// id so the server's replay cache can deduplicate.
+    Timeout {
+        /// The deadline that elapsed, in milliseconds.
+        after_ms: u64,
+    },
+    /// The peer is unreachable (connection refused, network partition,
+    /// injected fault). Transient by definition: retry after backoff.
+    Unavailable(String),
     /// Wire-format decode failure.
     Codec(String),
     /// The cluster or a component was asked to do something while shutting
@@ -110,6 +120,8 @@ impl fmt::Display for JiffyError {
                 write!(f, "persistent object missing: {p}")
             }
             Self::Rpc(msg) => write!(f, "rpc error: {msg}"),
+            Self::Timeout { after_ms } => write!(f, "rpc timed out after {after_ms} ms"),
+            Self::Unavailable(peer) => write!(f, "peer unavailable: {peer}"),
             Self::Codec(msg) => write!(f, "codec error: {msg}"),
             Self::ShuttingDown => write!(f, "component is shutting down"),
             Self::Internal(msg) => write!(f, "internal error: {msg}"),
@@ -125,11 +137,50 @@ impl From<io::Error> for JiffyError {
     }
 }
 
+/// Coarse classification of a [`JiffyError`]: whether retrying the same
+/// operation can ever succeed without outside intervention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Transient: the operation may succeed if retried, possibly after a
+    /// backoff and/or a metadata refresh.
+    Retryable,
+    /// Permanent: retrying the identical operation will keep failing.
+    Fatal,
+}
+
 impl JiffyError {
     /// Returns `true` if the error is transient and the operation may
     /// succeed if retried (possibly after refreshing cached metadata).
     pub fn is_retryable(&self) -> bool {
-        matches!(self, Self::StaleMetadata | Self::QueueFull | Self::Rpc(_))
+        matches!(
+            self,
+            Self::StaleMetadata
+                | Self::QueueFull
+                | Self::Rpc(_)
+                | Self::Timeout { .. }
+                | Self::Unavailable(_)
+        )
+    }
+
+    /// Returns `true` for transport-level faults (the request may have
+    /// executed even though no response arrived), as opposed to errors
+    /// the *server* returned. Transport faults are safe to retry with
+    /// the same request id: the server's replay cache deduplicates.
+    pub fn is_transport(&self) -> bool {
+        matches!(
+            self,
+            Self::Rpc(_) | Self::Timeout { .. } | Self::Unavailable(_)
+        )
+    }
+
+    /// Classifies the error as [`ErrorClass::Retryable`] or
+    /// [`ErrorClass::Fatal`].
+    pub fn class(&self) -> ErrorClass {
+        if self.is_retryable() {
+            ErrorClass::Retryable
+        } else {
+            ErrorClass::Fatal
+        }
     }
 }
 
@@ -162,7 +213,37 @@ mod tests {
         assert!(JiffyError::StaleMetadata.is_retryable());
         assert!(JiffyError::QueueFull.is_retryable());
         assert!(JiffyError::Rpc("reset".into()).is_retryable());
+        assert!(JiffyError::Timeout { after_ms: 500 }.is_retryable());
+        assert!(JiffyError::Unavailable("srv-3".into()).is_retryable());
         assert!(!JiffyError::OutOfBlocks.is_retryable());
         assert!(!JiffyError::PathNotFound("x".into()).is_retryable());
+    }
+
+    #[test]
+    fn transport_vs_server_errors() {
+        // Transport faults: the op may have executed; same-id retry is safe.
+        assert!(JiffyError::Timeout { after_ms: 1 }.is_transport());
+        assert!(JiffyError::Unavailable("x".into()).is_transport());
+        assert!(JiffyError::Rpc("reset".into()).is_transport());
+        // Server-returned errors are definitive: the op did NOT apply.
+        assert!(!JiffyError::StaleMetadata.is_transport());
+        assert!(!JiffyError::QueueFull.is_transport());
+        assert!(!JiffyError::OutOfBlocks.is_transport());
+    }
+
+    #[test]
+    fn class_matches_retryability() {
+        assert_eq!(
+            JiffyError::Unavailable("x".into()).class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(
+            JiffyError::Timeout { after_ms: 9 }.class(),
+            ErrorClass::Retryable
+        );
+        assert_eq!(
+            JiffyError::PermissionDenied("p".into()).class(),
+            ErrorClass::Fatal
+        );
     }
 }

@@ -9,7 +9,7 @@ use jiffy_common::{JiffyConfig, Result};
 use jiffy_controller::{Controller, ControllerHandle, RpcDataPlane};
 use jiffy_persistent::{MemObjectStore, ObjectStore};
 use jiffy_rpc::tcp::{serve_tcp, TcpServerHandle};
-use jiffy_rpc::Fabric;
+use jiffy_rpc::{Deduplicated, Fabric};
 use jiffy_server::MemoryServer;
 
 /// A running Jiffy cluster (controller + memory servers) plus the fabric
@@ -89,24 +89,29 @@ impl JiffyCluster {
             persistent.clone(),
         );
         let mut tcp_handles = Vec::new();
+        // Services are registered behind a replay cache so that clients
+        // retrying a timed-out request (same request id) never execute a
+        // mutation twice.
+        let controller_svc = Deduplicated::shared(controller.clone());
         let controller_addr = if tcp {
-            let handle = serve_tcp("127.0.0.1:0", controller.clone())?;
+            let handle = serve_tcp("127.0.0.1:0", controller_svc)?;
             let addr = handle.addr().to_string();
             tcp_handles.push(handle);
             addr
         } else {
-            fabric.hub().register(controller.clone())
+            fabric.hub().register(controller_svc)
         };
         let mut servers = Vec::new();
         for _ in 0..num_servers {
             let server = MemoryServer::new(cfg.clone(), fabric.clone(), controller_addr.clone());
+            let server_svc = Deduplicated::shared(server.clone());
             let addr = if tcp {
-                let handle = serve_tcp("127.0.0.1:0", server.clone())?;
+                let handle = serve_tcp("127.0.0.1:0", server_svc)?;
                 let addr = handle.addr().to_string();
                 tcp_handles.push(handle);
                 addr
             } else {
-                fabric.hub().register(server.clone())
+                fabric.hub().register(server_svc)
             };
             server.register(&addr, blocks_per_server)?;
             servers.push(server);

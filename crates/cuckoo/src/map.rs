@@ -356,12 +356,10 @@ impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
         self.len = 0;
         let mut spill: Vec<Entry<K, V>> = Vec::new();
         for bucket in old {
-            for slot in bucket {
-                if let Some(entry) = slot {
-                    match self.place(entry) {
-                        Ok(()) => self.len += 1,
-                        Err(e) => spill.push(e),
-                    }
+            for entry in bucket.into_iter().flatten() {
+                match self.place(entry) {
+                    Ok(()) => self.len += 1,
+                    Err(e) => spill.push(e),
                 }
             }
         }
@@ -387,12 +385,10 @@ impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
         );
         self.len = 0;
         for bucket in old {
-            for slot in bucket {
-                if let Some(entry) = slot {
-                    match self.place(entry) {
-                        Ok(()) => self.len += 1,
-                        Err(e) => spill.push(e),
-                    }
+            for entry in bucket.into_iter().flatten() {
+                match self.place(entry) {
+                    Ok(()) => self.len += 1,
+                    Err(e) => spill.push(e),
                 }
             }
         }

@@ -62,11 +62,8 @@ proptest! {
                 other => panic!("unexpected {other:?}"),
             }
         }
-        loop {
-            match seg1.execute(&DsOp::Dequeue) {
-                Ok(DsResult::MaybeData(Some(b))) => drained.push(b.into_inner()),
-                _ => break,
-            }
+        while let Ok(DsResult::MaybeData(Some(b))) = seg1.execute(&DsOp::Dequeue) {
+            drained.push(b.into_inner());
         }
         prop_assert_eq!(drained, items);
     }

@@ -1,0 +1,575 @@
+//! Operation history and invariant checking.
+//!
+//! Every workload operation is recorded as an [`Event`]: what was asked,
+//! what came back, and when. The checkers in this module replay a
+//! history against a model of each data structure and report violations:
+//!
+//! - **KV** — a get (and the previous-value observation of every put and
+//!   delete) must return a value consistent with the last *acknowledged*
+//!   write, allowing any suffix of *maybe-applied* (timed-out) writes.
+//!   No acked write may be lost.
+//! - **File** — every acknowledged append appears in the file exactly
+//!   once (retries must not double-append), per-writer records appear in
+//!   issue order, and nothing appears that was never issued.
+//! - **Queue** — dequeued sequence numbers per queue are strictly
+//!   increasing (FIFO), every acknowledged enqueue is dequeued exactly
+//!   once (up to items consumed by timed-out dequeues), and no item is
+//!   observed twice.
+//!
+//! Key spaces and queues are partitioned per worker, so the per-object
+//! op order is total even in the threaded stress mode and the checks
+//! stay exact.
+
+use std::collections::HashMap;
+
+/// One generated operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkOp {
+    /// KV put of `value` under `key`.
+    KvPut {
+        /// Target key.
+        key: String,
+        /// Stored value.
+        value: String,
+    },
+    /// KV lookup.
+    KvGet {
+        /// Target key.
+        key: String,
+    },
+    /// KV delete.
+    KvDelete {
+        /// Target key.
+        key: String,
+    },
+    /// Append one tagged record to the shared file.
+    FileAppend {
+        /// Encoded record (`w<worker>:<seq>;`-framed).
+        record: String,
+    },
+    /// Enqueue one tagged item to the worker's queue.
+    Enqueue {
+        /// Encoded item (`<worker>:<seq>`).
+        item: String,
+    },
+    /// Dequeue from the worker's queue.
+    Dequeue,
+}
+
+/// How one operation concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// The server acknowledged the op. The payload is the observation it
+    /// returned: a get's value, a put/delete's previous value, a
+    /// dequeue's item (`None` = absent/empty).
+    Acked(Option<String>),
+    /// Transport fault after all retries: the op *may or may not* have
+    /// executed. Carries the final error text.
+    Maybe(String),
+    /// Definitive server-side rejection: the op did not execute.
+    Rejected(String),
+}
+
+/// One operation instance in the history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Issuing worker.
+    pub worker: usize,
+    /// Per-worker issue index.
+    pub seq: u64,
+    /// The operation.
+    pub op: WorkOp,
+    /// How it concluded.
+    pub outcome: Outcome,
+    /// Microseconds since run start at invocation.
+    pub start_us: u64,
+    /// Microseconds since run start at completion.
+    pub end_us: u64,
+}
+
+/// A completed run's recorded operations plus the final state read back
+/// after fault injection was disabled.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// All operations, per-worker issue order preserved within a worker.
+    pub events: Vec<Event>,
+    /// Final KV value per key (read with injection off).
+    pub final_kv: HashMap<String, Option<String>>,
+    /// Final file contents (read with injection off).
+    pub final_file: Vec<u8>,
+    /// Items drained from each worker's queue after the run, in order.
+    pub final_queues: HashMap<usize, Vec<String>>,
+}
+
+impl History {
+    /// The timing-free projection used to compare runs for determinism.
+    pub fn semantic(&self) -> Vec<(usize, u64, WorkOp, Outcome)> {
+        self.events
+            .iter()
+            .map(|e| (e.worker, e.seq, e.op.clone(), e.outcome.clone()))
+            .collect()
+    }
+
+    /// Runs every invariant check, returning all violations found.
+    pub fn check(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        violations.extend(self.check_kv());
+        violations.extend(self.check_file());
+        violations.extend(self.check_queues());
+        violations
+    }
+
+    /// KV: per key, the set of states the object can legally be in is
+    /// `{last acked write}` extended by any maybe-applied later writes;
+    /// every acked observation must fall inside it.
+    fn check_kv(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        // Per-key ordered op streams (keys are worker-disjoint, so the
+        // per-worker order is the per-key order).
+        let mut per_key: HashMap<&str, Vec<&Event>> = HashMap::new();
+        for e in &self.events {
+            match &e.op {
+                WorkOp::KvPut { key, .. } | WorkOp::KvGet { key } | WorkOp::KvDelete { key } => {
+                    per_key.entry(key).or_default().push(e);
+                }
+                _ => {}
+            }
+        }
+        for (key, ops) in &per_key {
+            // The set of values the key may currently hold.
+            let mut possible: Vec<Option<String>> = vec![None];
+            for e in ops {
+                let observed = match &e.outcome {
+                    Outcome::Acked(v) => Some(v.clone()),
+                    _ => None,
+                };
+                // Reads (gets and the previous-value half of writes)
+                // must observe one of the possible states, and collapse
+                // the uncertainty when they do.
+                if let Some(seen) = &observed {
+                    if !possible.contains(seen) {
+                        violations.push(format!(
+                            "kv key {key}: worker {} op {} ({:?}) observed {:?}, \
+                             but possible states were {:?} — an acked write was lost \
+                             or a stale value resurfaced",
+                            e.worker, e.seq, e.op, seen, possible
+                        ));
+                        // Resynchronize so one fault yields one report.
+                        possible = vec![seen.clone()];
+                    } else {
+                        possible = vec![seen.clone()];
+                    }
+                }
+                // Apply the write's effect.
+                let new_state = match &e.op {
+                    WorkOp::KvPut { value, .. } => Some(Some(value.clone())),
+                    WorkOp::KvDelete { .. } => Some(None),
+                    _ => None,
+                };
+                if let Some(state) = new_state {
+                    match e.outcome {
+                        Outcome::Acked(_) => possible = vec![state],
+                        Outcome::Maybe(_) => {
+                            if !possible.contains(&state) {
+                                possible.push(state);
+                            }
+                        }
+                        Outcome::Rejected(_) => {}
+                    }
+                }
+            }
+            if let Some(fin) = self.final_kv.get(*key) {
+                if !possible.contains(fin) {
+                    violations.push(format!(
+                        "kv key {key}: final value {fin:?} not among possible states {possible:?}"
+                    ));
+                }
+            }
+        }
+        violations
+    }
+
+    /// File: exactly-once, in-order, no phantom records.
+    fn check_file(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut issued: HashMap<(usize, u64), &Outcome> = HashMap::new();
+        for e in &self.events {
+            if let WorkOp::FileAppend { record } = &e.op {
+                match parse_tag(record.trim_end_matches(';')) {
+                    Some(tag) => {
+                        issued.insert(tag, &e.outcome);
+                    }
+                    None => violations.push(format!("file: unparseable issued record {record:?}")),
+                }
+            }
+        }
+        if issued.is_empty() && self.final_file.is_empty() {
+            return violations;
+        }
+        let contents = String::from_utf8_lossy(&self.final_file);
+        let mut seen: HashMap<(usize, u64), u32> = HashMap::new();
+        let mut last_seq_per_worker: HashMap<usize, u64> = HashMap::new();
+        for rec in contents.split(';').filter(|r| !r.is_empty()) {
+            let Some(tag) = parse_tag(rec) else {
+                violations.push(format!("file: unparseable record {rec:?} in file"));
+                continue;
+            };
+            *seen.entry(tag).or_insert(0) += 1;
+            if !issued.contains_key(&tag) {
+                violations.push(format!("file: record {tag:?} appears but was never issued"));
+            }
+            if let Some(prev) = last_seq_per_worker.get(&tag.0) {
+                if tag.1 <= *prev {
+                    violations.push(format!(
+                        "file: worker {} records out of order (seq {} after {})",
+                        tag.0, tag.1, prev
+                    ));
+                }
+            }
+            last_seq_per_worker.insert(tag.0, tag.1);
+        }
+        for (tag, count) in &seen {
+            if *count > 1 {
+                violations.push(format!(
+                    "file: record {tag:?} appears {count} times — a retried append \
+                     was applied more than once"
+                ));
+            }
+        }
+        for (tag, outcome) in &issued {
+            if matches!(outcome, Outcome::Acked(_)) && !seen.contains_key(tag) {
+                violations.push(format!(
+                    "file: acked append {tag:?} is missing from the file"
+                ));
+            }
+        }
+        violations
+    }
+
+    /// Queue: FIFO per queue, exactly-once up to timed-out dequeues.
+    fn check_queues(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut workers: Vec<usize> = Vec::new();
+        for e in &self.events {
+            if matches!(e.op, WorkOp::Enqueue { .. } | WorkOp::Dequeue)
+                && !workers.contains(&e.worker)
+            {
+                workers.push(e.worker);
+            }
+        }
+        for w in workers {
+            let enqueues: Vec<&Event> = self
+                .events
+                .iter()
+                .filter(|e| e.worker == w && matches!(e.op, WorkOp::Enqueue { .. }))
+                .collect();
+            // Items observed leaving the queue, in removal order: acked
+            // dequeues during the run, then the final drain.
+            let mut observed: Vec<String> = self
+                .events
+                .iter()
+                .filter(|e| e.worker == w && matches!(e.op, WorkOp::Dequeue))
+                .filter_map(|e| match &e.outcome {
+                    Outcome::Acked(Some(item)) => Some(item.clone()),
+                    _ => None,
+                })
+                .collect();
+            let maybe_dequeues = self
+                .events
+                .iter()
+                .filter(|e| e.worker == w && matches!(e.op, WorkOp::Dequeue))
+                .filter(|e| matches!(e.outcome, Outcome::Maybe(_)))
+                .count();
+            if let Some(drained) = self.final_queues.get(&w) {
+                observed.extend(drained.iter().cloned());
+            }
+
+            let mut issued: HashMap<(usize, u64), &Outcome> = HashMap::new();
+            for e in &enqueues {
+                if let WorkOp::Enqueue { item } = &e.op {
+                    match parse_tag(item) {
+                        Some(tag) => {
+                            issued.insert(tag, &e.outcome);
+                        }
+                        None => {
+                            violations.push(format!("queue {w}: unparseable issued item {item:?}"))
+                        }
+                    }
+                }
+            }
+            let mut seen: HashMap<(usize, u64), u32> = HashMap::new();
+            let mut last_seq: Option<u64> = None;
+            for item in &observed {
+                let Some(tag) = parse_tag(item) else {
+                    violations.push(format!("queue {w}: unparseable dequeued item {item:?}"));
+                    continue;
+                };
+                *seen.entry(tag).or_insert(0) += 1;
+                if !issued.contains_key(&tag) {
+                    violations.push(format!(
+                        "queue {w}: dequeued item {tag:?} was never enqueued"
+                    ));
+                }
+                if let Some(prev) = last_seq {
+                    if tag.1 <= prev {
+                        violations.push(format!(
+                            "queue {w}: FIFO violated (seq {} dequeued after {})",
+                            tag.1, prev
+                        ));
+                    }
+                }
+                last_seq = Some(tag.1);
+            }
+            for (tag, count) in &seen {
+                if *count > 1 {
+                    violations.push(format!(
+                        "queue {w}: item {tag:?} dequeued {count} times — a retried op \
+                         was applied more than once"
+                    ));
+                }
+            }
+            let missing_acked = issued
+                .iter()
+                .filter(|(tag, outcome)| {
+                    matches!(outcome, Outcome::Acked(_)) && !seen.contains_key(*tag)
+                })
+                .count();
+            if missing_acked > maybe_dequeues {
+                violations.push(format!(
+                    "queue {w}: {missing_acked} acked enqueues never surfaced but only \
+                     {maybe_dequeues} dequeues timed out — acked items were lost"
+                ));
+            }
+        }
+        violations
+    }
+}
+
+/// Parses a `<worker>:<seq>` tag prefix (payload after a second `:` is
+/// ignored).
+fn parse_tag(s: &str) -> Option<(usize, u64)> {
+    let mut parts = s.splitn(3, ':');
+    let worker = parts.next()?.strip_prefix('w')?.parse().ok()?;
+    let seq = parts.next()?.parse().ok()?;
+    Some((worker, seq))
+}
+
+/// Encodes the `(worker, seq)` tag all harness payloads carry.
+pub fn tag(worker: usize, seq: u64) -> String {
+    format!("w{worker}:{seq}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acked_put(worker: usize, seq: u64, key: &str, value: &str, prev: Option<&str>) -> Event {
+        Event {
+            worker,
+            seq,
+            op: WorkOp::KvPut {
+                key: key.into(),
+                value: value.into(),
+            },
+            outcome: Outcome::Acked(prev.map(String::from)),
+            start_us: seq,
+            end_us: seq + 1,
+        }
+    }
+
+    #[test]
+    fn kv_lost_acked_write_is_detected() {
+        let mut h = History {
+            events: vec![acked_put(0, 0, "k", "v1", None)],
+            ..History::default()
+        };
+        h.final_kv.insert("k".into(), None); // v1 vanished
+        let v = h.check();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("final value"));
+    }
+
+    #[test]
+    fn kv_maybe_write_keeps_both_states_legal() {
+        let mut h = History {
+            events: vec![
+                acked_put(0, 0, "k", "v1", None),
+                Event {
+                    worker: 0,
+                    seq: 1,
+                    op: WorkOp::KvPut {
+                        key: "k".into(),
+                        value: "v2".into(),
+                    },
+                    outcome: Outcome::Maybe("timeout".into()),
+                    start_us: 2,
+                    end_us: 3,
+                },
+            ],
+            ..History::default()
+        };
+        h.final_kv.insert("k".into(), Some("v1".into()));
+        assert!(h.check().is_empty());
+        h.final_kv.insert("k".into(), Some("v2".into()));
+        assert!(h.check().is_empty());
+        h.final_kv.insert("k".into(), Some("v3".into()));
+        assert_eq!(h.check().len(), 1);
+    }
+
+    #[test]
+    fn kv_stale_observation_is_detected() {
+        let h = History {
+            events: vec![
+                acked_put(0, 0, "k", "v1", None),
+                acked_put(0, 1, "k", "v2", Some("v1")),
+                Event {
+                    worker: 0,
+                    seq: 2,
+                    op: WorkOp::KvGet { key: "k".into() },
+                    outcome: Outcome::Acked(Some("v1".into())), // stale!
+                    start_us: 4,
+                    end_us: 5,
+                },
+            ],
+            ..History::default()
+        };
+        let v = h.check();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("observed"));
+    }
+
+    #[test]
+    fn file_double_and_missing_appends_are_detected() {
+        let ev = |seq, outcome| Event {
+            worker: 0,
+            seq,
+            op: WorkOp::FileAppend {
+                record: format!("{};", tag(0, seq)),
+            },
+            outcome,
+            start_us: seq,
+            end_us: seq + 1,
+        };
+        // Acked append 0 appears twice, acked append 1 missing.
+        let h = History {
+            events: vec![ev(0, Outcome::Acked(None)), ev(1, Outcome::Acked(None))],
+            final_file: b"w0:0;w0:0;".to_vec(),
+            ..History::default()
+        };
+        let v = h.check();
+        assert!(v.iter().any(|m| m.contains("2 times")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("missing")), "{v:?}");
+    }
+
+    #[test]
+    fn file_order_violation_is_detected() {
+        let ev = |seq| Event {
+            worker: 0,
+            seq,
+            op: WorkOp::FileAppend {
+                record: format!("{};", tag(0, seq)),
+            },
+            outcome: Outcome::Acked(None),
+            start_us: seq,
+            end_us: seq + 1,
+        };
+        let h = History {
+            events: vec![ev(0), ev(1)],
+            final_file: b"w0:1;w0:0;".to_vec(),
+            ..History::default()
+        };
+        assert!(h.check().iter().any(|m| m.contains("out of order")));
+    }
+
+    #[test]
+    fn queue_duplicate_and_fifo_violations_are_detected() {
+        let enq = |seq| Event {
+            worker: 0,
+            seq,
+            op: WorkOp::Enqueue { item: tag(0, seq) },
+            outcome: Outcome::Acked(None),
+            start_us: seq,
+            end_us: seq + 1,
+        };
+        let mut h = History {
+            events: vec![enq(0), enq(1)],
+            ..History::default()
+        };
+        // Dequeued out of order, and item 1 twice.
+        h.final_queues
+            .insert(0, vec![tag(0, 1), tag(0, 0), tag(0, 1)]);
+        let v = h.check();
+        assert!(v.iter().any(|m| m.contains("FIFO")), "{v:?}");
+        assert!(v.iter().any(|m| m.contains("2 times")), "{v:?}");
+    }
+
+    #[test]
+    fn queue_lost_acked_item_is_detected() {
+        let h = History {
+            events: vec![Event {
+                worker: 0,
+                seq: 0,
+                op: WorkOp::Enqueue { item: tag(0, 0) },
+                outcome: Outcome::Acked(None),
+                start_us: 0,
+                end_us: 1,
+            }],
+            ..History::default()
+        };
+        // No dequeues at all, final drain empty: the acked item vanished.
+        let v = h.check();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("lost"));
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let mut h = History {
+            events: vec![
+                acked_put(0, 0, "k", "v1", None),
+                Event {
+                    worker: 0,
+                    seq: 1,
+                    op: WorkOp::KvGet { key: "k".into() },
+                    outcome: Outcome::Acked(Some("v1".into())),
+                    start_us: 2,
+                    end_us: 3,
+                },
+            ],
+            final_file: b"w0:7;w1:3;w0:9;".to_vec(),
+            ..History::default()
+        };
+        h.final_kv.insert("k".into(), Some("v1".into()));
+        h.events.push(Event {
+            worker: 0,
+            seq: 2,
+            op: WorkOp::FileAppend {
+                record: "w0:7;".into(),
+            },
+            outcome: Outcome::Acked(None),
+            start_us: 4,
+            end_us: 5,
+        });
+        h.events.push(Event {
+            worker: 1,
+            seq: 3,
+            op: WorkOp::FileAppend {
+                record: "w1:3;".into(),
+            },
+            outcome: Outcome::Acked(None),
+            start_us: 5,
+            end_us: 6,
+        });
+        h.events.push(Event {
+            worker: 0,
+            seq: 9,
+            op: WorkOp::FileAppend {
+                record: "w0:9;".into(),
+            },
+            outcome: Outcome::Maybe("timeout".into()),
+            start_us: 6,
+            end_us: 7,
+        });
+        assert_eq!(h.check(), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,296 @@
+//! Drives seeded workloads against an in-process cluster under chaos.
+//!
+//! One run: boot a cluster, wrap a *client* fabric in a seeded
+//! [`FaultInjector`], execute generated operations (single worker =
+//! deterministic interleaving; several workers = threaded stress mode),
+//! then disable injection, read back the final state over the now-clean
+//! transport and check every invariant in [`crate::history`].
+//!
+//! The server-side fabric (replication, split orchestration) is left
+//! un-injected so the fault schedule is a pure function of the client's
+//! call sequence — which is what makes a single-worker run replayable
+//! from its seed alone.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jiffy::{JiffyClient, JiffyCluster};
+use jiffy_client::{FileClient, KvClient, QueueClient};
+use jiffy_common::clock::SystemClock;
+use jiffy_common::{JiffyConfig, Result};
+use jiffy_persistent::MemObjectStore;
+use jiffy_rpc::{FaultInjector, FaultRule, FaultStats};
+
+use crate::gen::{generate_ops, WorkloadMix};
+use crate::history::{Event, History, Outcome, WorkOp};
+
+/// Parameters of one chaos run.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Seed for both the operation generator and the fault injector.
+    pub seed: u64,
+    /// Concurrent workers. `1` = deterministic interleaving; more =
+    /// threaded stress mode (still checkable, not bit-replayable).
+    pub workers: usize,
+    /// Operations issued per worker.
+    pub ops_per_worker: usize,
+    /// Size of each worker's private KV key space.
+    pub keys_per_worker: usize,
+    /// Fault rule applied to every address during the workload phase.
+    pub rule: FaultRule,
+    /// Which data structures to exercise.
+    pub mix: WorkloadMix,
+    /// Memory servers in the cluster.
+    pub num_servers: usize,
+    /// Blocks per memory server.
+    pub blocks_per_server: u32,
+}
+
+impl Default for HarnessConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x1a55,
+            workers: 1,
+            ops_per_worker: 200,
+            keys_per_worker: 4,
+            rule: FaultRule::none()
+                .with_drop(0.03)
+                .with_delay(
+                    0.05,
+                    std::time::Duration::ZERO,
+                    std::time::Duration::from_micros(500),
+                )
+                .with_duplicate(0.03)
+                .with_error(0.03),
+            mix: WorkloadMix::all(),
+            num_servers: 2,
+            blocks_per_server: 32,
+        }
+    }
+}
+
+/// Everything a run produced: the history, the injector's counters and
+/// any invariant violations.
+#[derive(Debug)]
+pub struct RunReport {
+    /// The seed that reproduces this run (single-worker mode).
+    pub seed: u64,
+    /// The recorded history including final-state reads.
+    pub history: History,
+    /// Fault counters from the injector.
+    pub fault_stats: FaultStats,
+    /// Invariant violations, empty when the run was correct.
+    pub violations: Vec<String>,
+}
+
+impl RunReport {
+    /// Panics with the seed and every violation if any invariant failed.
+    pub fn assert_ok(&self) {
+        assert!(
+            self.violations.is_empty(),
+            "chaos invariants violated (reproduce with seed {:#x}):\n{}",
+            self.seed,
+            self.violations.join("\n")
+        );
+    }
+}
+
+struct Handles {
+    kv: Option<Arc<KvClient>>,
+    file: Option<Arc<FileClient>>,
+    queues: Vec<Arc<QueueClient>>,
+}
+
+/// Executes one chaos run.
+///
+/// # Errors
+///
+/// Cluster bootstrap or setup failures (the workload phase itself never
+/// errors: every op outcome is recorded in the history instead).
+pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
+    // Long leases + no expiry worker + splits disabled by thresholds:
+    // background reclamation would make the injector's draw sequence
+    // depend on wall-clock timing and break seed replay.
+    let cluster_cfg = JiffyConfig::for_testing()
+        .with_lease_duration(std::time::Duration::from_secs(600))
+        .with_thresholds(0.0, 1.0);
+    let cluster = JiffyCluster::build(
+        cluster_cfg,
+        cfg.num_servers,
+        cfg.blocks_per_server,
+        SystemClock::shared(),
+        Arc::new(MemObjectStore::new()),
+        false,
+        false,
+    )?;
+    let injector = Arc::new(FaultInjector::new(cfg.seed));
+    injector.set_default_rule(cfg.rule.clone());
+    // Setup runs clean; only the workload phase sees faults.
+    injector.set_enabled(false);
+    let chaos_fabric = cluster
+        .fabric()
+        .clone()
+        .with_fault_injection(injector.clone());
+    let client = JiffyClient::connect(chaos_fabric, cluster.controller_addr())?;
+    let job = client.register_job("chaos")?;
+
+    let handles = Handles {
+        kv: if cfg.mix.kv {
+            Some(Arc::new(job.open_kv("kv", &[], 2)?))
+        } else {
+            None
+        },
+        file: if cfg.mix.file {
+            Some(Arc::new(job.open_file("shuffle", &[])?))
+        } else {
+            None
+        },
+        queues: if cfg.mix.queue {
+            (0..cfg.workers)
+                .map(|w| job.open_queue(&format!("q{w}"), &[]).map(Arc::new))
+                .collect::<Result<_>>()?
+        } else {
+            Vec::new()
+        },
+    };
+
+    injector.set_enabled(true);
+    let epoch = Instant::now();
+    let mut events: Vec<Event> = Vec::new();
+    if cfg.workers <= 1 {
+        events.extend(run_worker(0, cfg, &handles, epoch));
+    } else {
+        let mut joins = Vec::new();
+        for w in 0..cfg.workers {
+            let cfg = cfg.clone();
+            let kv = handles.kv.clone();
+            let file = handles.file.clone();
+            let queue = handles.queues.get(w).cloned();
+            joins.push(std::thread::spawn(move || {
+                let handles = Handles {
+                    kv,
+                    file,
+                    queues: queue.into_iter().collect(),
+                };
+                run_worker(w, &cfg, &handles, epoch)
+            }));
+        }
+        for j in joins {
+            events.extend(j.join().expect("worker thread panicked"));
+        }
+    }
+    injector.set_enabled(false);
+
+    // Final-state reads over the clean transport.
+    let mut history = History {
+        events,
+        ..History::default()
+    };
+    if let Some(kv) = &handles.kv {
+        for w in 0..cfg.workers {
+            for k in 0..cfg.keys_per_worker {
+                let key = format!("w{w}-k{k}");
+                let value = kv.get(key.as_bytes())?.map(lossy);
+                history.final_kv.insert(key, value);
+            }
+        }
+    }
+    if let Some(file) = &handles.file {
+        history.final_file = file.read_all()?;
+    }
+    for (w, queue) in handles.queues.iter().enumerate() {
+        let mut drained = Vec::new();
+        while let Some(item) = queue.dequeue()? {
+            drained.push(lossy(item));
+        }
+        history.final_queues.insert(w, drained);
+    }
+
+    let violations = history.check();
+    Ok(RunReport {
+        seed: cfg.seed,
+        history,
+        fault_stats: injector.stats(),
+        violations,
+    })
+}
+
+fn run_worker(worker: usize, cfg: &HarnessConfig, handles: &Handles, epoch: Instant) -> Vec<Event> {
+    let mix = WorkloadMix {
+        // A worker without a queue handle (stress-mode partitioning
+        // failure) simply skips queue ops; generation stays aligned.
+        queue: cfg.mix.queue && !handles.queues.is_empty(),
+        ..cfg.mix
+    };
+    let ops = generate_ops(
+        cfg.seed,
+        worker,
+        cfg.ops_per_worker,
+        cfg.keys_per_worker,
+        mix,
+    );
+    let queue = handles.queues.first();
+    let mut events = Vec::with_capacity(ops.len());
+    for (seq, op) in ops.into_iter().enumerate() {
+        let seq = seq as u64;
+        let start_us = epoch.elapsed().as_micros() as u64;
+        let outcome = match &op {
+            WorkOp::KvPut { key, value } => outcome_of(
+                handles
+                    .kv
+                    .as_ref()
+                    .expect("kv op without kv handle")
+                    .put(key.as_bytes(), value.as_bytes()),
+                |prev| prev.map(lossy),
+            ),
+            WorkOp::KvGet { key } => outcome_of(
+                handles.kv.as_ref().expect("kv handle").get(key.as_bytes()),
+                |v| v.map(lossy),
+            ),
+            WorkOp::KvDelete { key } => outcome_of(
+                handles
+                    .kv
+                    .as_ref()
+                    .expect("kv handle")
+                    .delete(key.as_bytes()),
+                |prev| prev.map(lossy),
+            ),
+            WorkOp::FileAppend { record } => outcome_of(
+                handles
+                    .file
+                    .as_ref()
+                    .expect("file handle")
+                    .append(record.as_bytes()),
+                |()| None,
+            ),
+            WorkOp::Enqueue { item } => outcome_of(
+                queue.expect("queue handle").enqueue(item.as_bytes()),
+                |()| None,
+            ),
+            WorkOp::Dequeue => outcome_of(queue.expect("queue handle").dequeue(), |item| {
+                item.map(lossy)
+            }),
+        };
+        events.push(Event {
+            worker,
+            seq,
+            op,
+            outcome,
+            start_us,
+            end_us: epoch.elapsed().as_micros() as u64,
+        });
+    }
+    events
+}
+
+fn outcome_of<T>(res: Result<T>, observation: impl FnOnce(T) -> Option<String>) -> Outcome {
+    match res {
+        Ok(v) => Outcome::Acked(observation(v)),
+        Err(e) if e.is_transport() => Outcome::Maybe(e.to_string()),
+        Err(e) => Outcome::Rejected(e.to_string()),
+    }
+}
+
+fn lossy(bytes: Vec<u8>) -> String {
+    String::from_utf8_lossy(&bytes).into_owned()
+}

@@ -62,24 +62,27 @@ impl VertexCtx {
 }
 
 enum ChannelReader {
-    File(RecordReader),
-    Queue {
-        queue: QueueClient,
-        listener: jiffy_client::Listener,
-        /// EOS sentinels still expected (one per producer vertex).
-        eos_remaining: usize,
-    },
+    File(Box<RecordReader>),
+    Queue(Box<QueueReader>),
+}
+
+struct QueueReader {
+    queue: QueueClient,
+    listener: jiffy_client::Listener,
+    /// EOS sentinels still expected (one per producer vertex).
+    eos_remaining: usize,
 }
 
 impl ChannelReader {
     fn next(&mut self) -> Result<Option<(Vec<u8>, Vec<u8>)>> {
         match self {
             Self::File(r) => r.next_record(),
-            Self::Queue {
-                queue,
-                listener,
-                eos_remaining,
-            } => {
+            Self::Queue(q) => {
+                let QueueReader {
+                    queue,
+                    listener,
+                    eos_remaining,
+                } = q.as_mut();
                 if *eos_remaining == 0 {
                     return Ok(None);
                 }
@@ -267,7 +270,7 @@ impl Dataflow {
             inputs.push(match self.channels[ch] {
                 ChannelKind::File => {
                     let f = job.open_file(ch, &[])?;
-                    ChannelReader::File(RecordReader::open(&f)?)
+                    ChannelReader::File(Box::new(RecordReader::open(&f)?))
                 }
                 ChannelKind::Queue => {
                     let q = job.open_queue(ch, &[])?;
@@ -278,11 +281,11 @@ impl Dataflow {
                         .filter(|p| p.outputs.iter().any(|o| o == ch))
                         .count()
                         .max(1);
-                    ChannelReader::Queue {
+                    ChannelReader::Queue(Box::new(QueueReader {
                         queue: q,
                         listener,
                         eos_remaining,
-                    }
+                    }))
                 }
             });
         }

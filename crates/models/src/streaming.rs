@@ -20,12 +20,15 @@ use crate::records;
 /// Sentinel closing a stream.
 const EOS: &[u8] = b"__jiffy_stream_eos__";
 
+/// `(key, value, emit)`: a stage's transform over one event.
+type StageFn = Arc<dyn Fn(&[u8], &[u8], &mut dyn FnMut(Vec<u8>, Vec<u8>)) + Send + Sync>;
+
 /// One stage: a keyed event transformer.
 pub struct StreamStage {
     name: String,
     parallelism: usize,
     /// `(key, value, emit)`: emit zero or more output events.
-    func: Arc<dyn Fn(&[u8], &[u8], &mut dyn FnMut(Vec<u8>, Vec<u8>)) + Send + Sync>,
+    func: StageFn,
 }
 
 impl StreamStage {

@@ -1,7 +1,13 @@
 //! Property-based tests: the wire codec round-trips arbitrary values and
-//! never panics on arbitrary input bytes.
+//! never panics on arbitrary input bytes, and the frame layer survives
+//! truncation and corruption with clean errors.
 
+use std::io::Cursor;
+
+use jiffy_common::BlockId;
+use jiffy_proto::frame::{read_frame, write_frame};
 use jiffy_proto::wire::{from_bytes, to_bytes};
+use jiffy_proto::{Blob, ControlRequest, DataRequest, DataResponse, DsOp, DsResult, Envelope};
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -25,6 +31,48 @@ fn tree_strategy() -> impl Strategy<Value = TreeOp> {
         (proptest::collection::vec(inner, 0..4), any::<Option<i32>>())
             .prop_map(|(children, tag)| TreeOp::Rec { children, tag })
     })
+}
+
+/// Real protocol envelopes covering both planes, success and error
+/// responses, and binary payloads.
+fn envelope_strategy() -> impl Strategy<Value = Envelope> {
+    prop_oneof![
+        (1u64..u64::MAX, ".{0,12}").prop_map(|(id, name)| Envelope::ControlReq {
+            id,
+            req: ControlRequest::RegisterJob { name },
+        }),
+        (
+            1u64..u64::MAX,
+            any::<u64>(),
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(id, block, data)| Envelope::DataReq {
+                id,
+                req: DataRequest::Op {
+                    block: BlockId(block),
+                    op: DsOp::FileWrite {
+                        offset: 0,
+                        data: Blob(data),
+                    },
+                },
+            }),
+        (
+            1u64..u64::MAX,
+            proptest::collection::vec(any::<u8>(), 0..128)
+        )
+            .prop_map(|(id, data)| {
+                Envelope::DataResp {
+                    id,
+                    resp: Ok(DataResponse::OpResult(DsResult::MaybeData(Some(Blob(
+                        data,
+                    ))))),
+                }
+            }),
+        (1u64..u64::MAX, ".{0,24}").prop_map(|(id, msg)| Envelope::DataResp {
+            id,
+            resp: Err(jiffy_common::JiffyError::Unavailable(msg)),
+        }),
+    ]
 }
 
 proptest! {
@@ -70,6 +118,80 @@ proptest! {
         let _ = from_bytes::<String>(&bytes);
         let _ = from_bytes::<Vec<u64>>(&bytes);
         let _ = from_bytes::<jiffy_proto::Envelope>(&bytes);
+    }
+
+    #[test]
+    fn framed_envelopes_round_trip(envelopes in proptest::collection::vec(envelope_strategy(), 0..8)) {
+        let mut buf = Vec::new();
+        for env in &envelopes {
+            write_frame(&mut buf, &to_bytes(env).unwrap()).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for env in &envelopes {
+            let payload = read_frame(&mut cur).unwrap().expect("frame present");
+            let back: Envelope = from_bytes(&payload).unwrap();
+            prop_assert_eq!(env, &back);
+        }
+        prop_assert!(read_frame(&mut cur).unwrap().is_none(), "stream must end cleanly");
+    }
+
+    #[test]
+    fn truncated_frame_stream_errors_cleanly(
+        envelopes in proptest::collection::vec(envelope_strategy(), 1..6),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let mut buf = Vec::new();
+        let mut boundaries = Vec::new();
+        for env in &envelopes {
+            write_frame(&mut buf, &to_bytes(env).unwrap()).unwrap();
+            boundaries.push(buf.len());
+        }
+        let cut = ((buf.len() - 1) as f64 * cut_frac) as usize;
+        buf.truncate(cut);
+        let mut cur = Cursor::new(&buf);
+        // Complete prefix frames still decode to the original envelopes;
+        // the read at the truncation point is either a clean end-of-stream
+        // (cut exactly between frames) or an error — never a panic and
+        // never a mangled success.
+        let whole = boundaries.iter().filter(|&&b| b <= cut).count();
+        for env in &envelopes[..whole] {
+            let payload = read_frame(&mut cur).unwrap().expect("complete frame");
+            let back: Envelope = from_bytes(&payload).unwrap();
+            prop_assert_eq!(env, &back);
+        }
+        match read_frame(&mut cur) {
+            Ok(None) => prop_assert!(boundaries.contains(&cut) || cut == 0),
+            Ok(Some(_)) => prop_assert!(false, "truncated frame decoded as complete"),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn corrupted_frame_stream_never_panics(
+        envelopes in proptest::collection::vec(envelope_strategy(), 1..6),
+        flip_frac in 0.0f64..1.0,
+        flip_mask in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        for env in &envelopes {
+            write_frame(&mut buf, &to_bytes(env).unwrap()).unwrap();
+        }
+        let idx = ((buf.len() - 1) as f64 * flip_frac) as usize;
+        buf[idx] ^= flip_mask;
+        // Any mix of Ok/Err is acceptable; the property is no panic and
+        // no runaway allocation from a corrupt length prefix.
+        let mut cur = Cursor::new(&buf);
+        while let Ok(Some(payload)) = read_frame(&mut cur) {
+            let _ = from_bytes::<Envelope>(&payload);
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_as_frame_stream_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let mut cur = Cursor::new(&bytes);
+        while let Ok(Some(payload)) = read_frame(&mut cur) {
+            let _ = from_bytes::<Envelope>(&payload);
+        }
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Server-side request deduplication (replay cache).
+//!
+//! Under lossy transports a client cannot tell a lost *request* from a
+//! lost *reply*: both surface as a timeout. Retrying is only safe if the
+//! server suppresses re-execution of requests it already handled. The
+//! [`Deduplicated`] wrapper gives any [`Service`] that property: it
+//! remembers the response to each `(session, request id)` pair and
+//! replays the cached response when the same id arrives again, instead of
+//! re-invoking the inner service.
+//!
+//! Request ids of `0` (unstamped requests and push traffic) bypass the
+//! cache. The cache is bounded per session ([`DEDUP_CACHE_PER_SESSION`]
+//! most-recent entries, FIFO eviction) and dropped when the session
+//! disconnects — so deduplication holds across retries on one connection,
+//! which is exactly the window in which a client reuses a request id.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use jiffy_proto::Envelope;
+use parking_lot::Mutex;
+
+use crate::service::{Service, SessionHandle};
+
+/// Responses remembered per session before FIFO eviction.
+pub const DEDUP_CACHE_PER_SESSION: usize = 128;
+
+#[derive(Default)]
+struct SessionCache {
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<u64>,
+    /// Request id -> response envelope.
+    responses: HashMap<u64, Envelope>,
+}
+
+impl SessionCache {
+    fn insert(&mut self, id: u64, resp: Envelope) {
+        if self.responses.insert(id, resp).is_none() {
+            self.order.push_back(id);
+            if self.order.len() > DEDUP_CACHE_PER_SESSION {
+                if let Some(old) = self.order.pop_front() {
+                    self.responses.remove(&old);
+                }
+            }
+        }
+    }
+}
+
+/// Wraps a [`Service`], replaying cached responses for repeated request
+/// ids so retried mutations execute exactly once per session.
+pub struct Deduplicated<S: Service> {
+    inner: S,
+    sessions: Mutex<HashMap<u64, SessionCache>>,
+    replays: std::sync::atomic::AtomicU64,
+}
+
+impl<S: Service> Deduplicated<S> {
+    /// Wraps `inner` with a replay cache.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            sessions: Mutex::new(HashMap::new()),
+            replays: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Convenience: wraps and Arcs in one step.
+    pub fn shared(inner: S) -> Arc<Self> {
+        Arc::new(Self::new(inner))
+    }
+
+    /// The wrapped service.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of requests answered from the replay cache.
+    pub fn replays(&self) -> u64 {
+        self.replays.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    fn request_id(req: &Envelope) -> Option<u64> {
+        match req {
+            Envelope::ControlReq { id, .. } | Envelope::DataReq { id, .. } if *id != 0 => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+impl<S: Service> Service for Deduplicated<S> {
+    fn handle(&self, req: Envelope, session: &SessionHandle) -> Envelope {
+        let Some(id) = Self::request_id(&req) else {
+            return self.inner.handle(req, session);
+        };
+        if let Some(cache) = self.sessions.lock().get(&session.id()) {
+            if let Some(resp) = cache.responses.get(&id) {
+                self.replays
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                return resp.clone();
+            }
+        }
+        // Not holding the lock during the inner call: concurrent in-flight
+        // duplicates may both execute (same race exists on a real network);
+        // the cache closes the much wider retry-after-timeout window.
+        let resp = self.inner.handle(req, session);
+        self.sessions
+            .lock()
+            .entry(session.id())
+            .or_default()
+            .insert(id, resp.clone());
+        resp
+    }
+
+    fn on_disconnect(&self, session: &SessionHandle) {
+        self.sessions.lock().remove(&session.id());
+        self.inner.on_disconnect(session);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jiffy_proto::{DataRequest, DataResponse, DsResult};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// Returns a fresh counter value per executed request, so replayed
+    /// responses are distinguishable from re-executions.
+    struct Stamping {
+        executed: AtomicUsize,
+    }
+
+    impl Service for Stamping {
+        fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
+            let n = self.executed.fetch_add(1, Ordering::SeqCst) as u64;
+            match req {
+                Envelope::DataReq { id, .. } => Envelope::DataResp {
+                    id,
+                    resp: Ok(DataResponse::OpResult(DsResult::Size(n))),
+                },
+                Envelope::ControlReq { id, .. } => Envelope::DataResp {
+                    id,
+                    resp: Ok(DataResponse::OpResult(DsResult::Size(n))),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn svc() -> Deduplicated<Stamping> {
+        Deduplicated::new(Stamping {
+            executed: AtomicUsize::new(0),
+        })
+    }
+
+    fn session() -> SessionHandle {
+        SessionHandle::new(Arc::new(|_| {}))
+    }
+
+    fn req(id: u64) -> Envelope {
+        Envelope::DataReq {
+            id,
+            req: DataRequest::Ping,
+        }
+    }
+
+    #[test]
+    fn repeated_id_replays_cached_response() {
+        let d = svc();
+        let s = session();
+        let first = d.handle(req(7), &s);
+        let second = d.handle(req(7), &s);
+        assert_eq!(first, second);
+        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 1);
+        assert_eq!(d.replays(), 1);
+    }
+
+    #[test]
+    fn id_zero_bypasses_cache() {
+        let d = svc();
+        let s = session();
+        let a = d.handle(req(0), &s);
+        let b = d.handle(req(0), &s);
+        assert_ne!(a, b);
+        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn sessions_are_isolated() {
+        let d = svc();
+        let (s1, s2) = (session(), session());
+        let a = d.handle(req(7), &s1);
+        let b = d.handle(req(7), &s2);
+        assert_ne!(a, b);
+        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn disconnect_drops_the_session_cache() {
+        let d = svc();
+        let s = session();
+        let a = d.handle(req(7), &s);
+        d.on_disconnect(&s);
+        let b = d.handle(req(7), &s);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn cache_is_bounded_fifo() {
+        let d = svc();
+        let s = session();
+        let first = d.handle(req(1), &s);
+        // Push enough distinct ids to evict id 1.
+        for id in 2..(DEDUP_CACHE_PER_SESSION as u64 + 2) {
+            d.handle(req(id), &s);
+        }
+        let again = d.handle(req(1), &s);
+        assert_ne!(first, again); // re-executed after eviction
+                                  // But recent ids are still cached.
+        let recent = DEDUP_CACHE_PER_SESSION as u64 + 1;
+        assert_eq!(d.handle(req(recent), &s), d.handle(req(recent), &s));
+    }
+
+    #[test]
+    fn control_requests_are_deduplicated_too() {
+        let d = svc();
+        let s = session();
+        let req = |id| Envelope::ControlReq {
+            id,
+            req: jiffy_proto::ControlRequest::RegisterJob { name: "t".into() },
+        };
+        let a = d.handle(req(9), &s);
+        let b = d.handle(req(9), &s);
+        assert_eq!(a, b);
+        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 1);
+    }
+}

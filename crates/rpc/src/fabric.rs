@@ -15,6 +15,7 @@ use jiffy_common::Result;
 use jiffy_proto::Envelope;
 use parking_lot::Mutex;
 
+use crate::fault::{ChaosConn, FaultInjector};
 use crate::inproc::InprocHub;
 use crate::service::{ClientConn, Connection, PushCallback};
 use crate::tcp;
@@ -25,6 +26,7 @@ pub struct Fabric {
     hub: Arc<InprocHub>,
     pool: Arc<Mutex<HashMap<String, ClientConn>>>,
     injected_rtt: Option<Duration>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Fabric {
@@ -40,6 +42,7 @@ impl Fabric {
             hub,
             pool: Arc::new(Mutex::new(HashMap::new())),
             injected_rtt: None,
+            injector: None,
         }
     }
 
@@ -50,6 +53,21 @@ impl Fabric {
         self.injected_rtt = Some(rtt);
         self.pool = Arc::new(Mutex::new(HashMap::new()));
         self
+    }
+
+    /// Returns a copy of this fabric whose *new* connections are wrapped
+    /// in a [`ChaosConn`] driven by `injector`. The fast path of a fabric
+    /// without an injector is untouched: the wrapper only exists on
+    /// connections dialed through a fabric configured this way.
+    pub fn with_fault_injection(mut self, injector: Arc<FaultInjector>) -> Self {
+        self.injector = Some(injector);
+        self.pool = Arc::new(Mutex::new(HashMap::new()));
+        self
+    }
+
+    /// The fault injector driving this fabric's connections, if any.
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
     }
 
     /// The in-process hub backing `inproc:` addresses.
@@ -75,11 +93,14 @@ impl Fabric {
     /// Dials a fresh, unpooled connection (used where per-session push
     /// callbacks must not be shared, e.g. notification listeners).
     pub fn dial(&self, addr: &str) -> Result<ClientConn> {
-        let conn = if addr.starts_with("inproc:") {
+        let mut conn = if addr.starts_with("inproc:") {
             self.hub.connect(addr)?
         } else {
             tcp::connect_tcp(addr)?
         };
+        if let Some(injector) = &self.injector {
+            conn = ClientConn(Arc::new(ChaosConn::new(conn, addr, injector.clone())));
+        }
         Ok(match self.injected_rtt {
             Some(rtt) => ClientConn(Arc::new(LatencyInjector { inner: conn, rtt })),
             None => conn,

@@ -1,0 +1,600 @@
+//! Deterministic fault injection for the RPC fabric.
+//!
+//! A [`FaultInjector`] holds a seeded RNG plus per-address [`FaultRule`]s
+//! and decides, for every outgoing call, whether to deliver it cleanly,
+//! delay it, drop it (before or after delivery — the latter exercises
+//! retry deduplication, since the server *did* execute the op), duplicate
+//! it, fail it with a transient error, or reject it outright because the
+//! peer is partitioned. Wrapping connections in [`ChaosConn`] (see
+//! [`Fabric::with_fault_injection`]) applies those decisions on the data
+//! path.
+//!
+//! Everything is driven by one seeded [`SmallRng`], so a chaos run is
+//! reproducible: same seed + same call sequence = same fault schedule.
+//! Injection can be toggled at runtime with [`FaultInjector::set_enabled`]
+//! and each class of injected fault is counted in [`FaultStats`].
+//!
+//! [`Fabric::with_fault_injection`]: crate::fabric::Fabric::with_fault_injection
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use jiffy_common::{JiffyError, Result};
+use jiffy_proto::Envelope;
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::service::{ClientConn, Connection, PushCallback};
+
+/// Deadline reported by injected [`JiffyError::Timeout`]s. Injected drops
+/// fail immediately rather than actually waiting this long, so chaos runs
+/// stay fast; the value only labels the error.
+pub const INJECTED_TIMEOUT_MS: u64 = 100;
+
+/// Per-address fault probabilities. All probabilities are independent
+/// draws in `[0, 1]`; `drop_prob`, `error_prob` and `duplicate_prob` are
+/// mutually exclusive outcomes sampled from a single draw (in that
+/// priority order), while a delay may accompany any outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Probability the message is lost. Half of drops happen before
+    /// delivery (request lost), half after (reply lost — the server
+    /// executed the op). Both surface as [`JiffyError::Timeout`].
+    pub drop_prob: f64,
+    /// Probability the call is delayed by a uniform draw from
+    /// `[delay_min, delay_max]`.
+    pub delay_prob: f64,
+    /// Minimum injected delay.
+    pub delay_min: Duration,
+    /// Maximum injected delay.
+    pub delay_max: Duration,
+    /// Probability the request is delivered twice (the duplicate's
+    /// response is discarded). Exercises server-side idempotency.
+    pub duplicate_prob: f64,
+    /// Probability the call fails with [`JiffyError::Unavailable`]
+    /// without being delivered.
+    pub error_prob: f64,
+    /// When set, every call to this address fails with
+    /// [`JiffyError::Unavailable`] — a full network partition.
+    pub partitioned: bool,
+}
+
+impl FaultRule {
+    /// A rule that injects nothing.
+    pub fn none() -> Self {
+        Self {
+            drop_prob: 0.0,
+            delay_prob: 0.0,
+            delay_min: Duration::ZERO,
+            delay_max: Duration::ZERO,
+            duplicate_prob: 0.0,
+            error_prob: 0.0,
+            partitioned: false,
+        }
+    }
+
+    /// Sets the message-loss probability.
+    #[must_use]
+    pub fn with_drop(mut self, p: f64) -> Self {
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the delay probability and bounds.
+    #[must_use]
+    pub fn with_delay(mut self, p: f64, min: Duration, max: Duration) -> Self {
+        self.delay_prob = p;
+        self.delay_min = min;
+        self.delay_max = max;
+        self
+    }
+
+    /// Sets the duplicate-delivery probability.
+    #[must_use]
+    pub fn with_duplicate(mut self, p: f64) -> Self {
+        self.duplicate_prob = p;
+        self
+    }
+
+    /// Sets the transient-error probability.
+    #[must_use]
+    pub fn with_error(mut self, p: f64) -> Self {
+        self.error_prob = p;
+        self
+    }
+
+    /// Marks the address fully partitioned.
+    #[must_use]
+    pub fn with_partition(mut self, partitioned: bool) -> Self {
+        self.partitioned = partitioned;
+        self
+    }
+}
+
+impl Default for FaultRule {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// What the injector decided to do with one call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Deliver normally.
+    Deliver,
+    /// Lose the message. `before_delivery` distinguishes a lost request
+    /// (server never saw it) from a lost reply (server executed the op).
+    Drop {
+        /// `true`: request lost. `false`: delivered, reply lost.
+        before_delivery: bool,
+    },
+    /// Deliver the request twice; return the second response.
+    Duplicate,
+    /// Fail with a transient [`JiffyError::Unavailable`], undelivered.
+    TransientError,
+    /// The address is partitioned; fail without delivery.
+    Partitioned,
+}
+
+/// A decision for one call: an optional artificial delay plus the action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Sleep this long before acting (applies to every action).
+    pub delay: Option<Duration>,
+    /// What to do with the message.
+    pub action: FaultAction,
+}
+
+impl FaultDecision {
+    const DELIVER: Self = Self {
+        delay: None,
+        action: FaultAction::Deliver,
+    };
+}
+
+/// Counters of injected faults, snapshot via [`FaultInjector::stats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Calls delivered unmodified (possibly delayed).
+    pub delivered: u64,
+    /// Requests lost before reaching the peer.
+    pub dropped_requests: u64,
+    /// Replies lost after the peer executed the request.
+    pub dropped_replies: u64,
+    /// Calls that had an artificial delay injected.
+    pub delayed: u64,
+    /// Requests delivered twice.
+    pub duplicated: u64,
+    /// Calls failed with an injected transient error.
+    pub transient_errors: u64,
+    /// Calls rejected because the address was partitioned.
+    pub partition_rejections: u64,
+}
+
+impl FaultStats {
+    /// Total number of calls that experienced any injected fault.
+    pub fn total_faults(&self) -> u64 {
+        self.dropped_requests
+            + self.dropped_replies
+            + self.delayed
+            + self.duplicated
+            + self.transient_errors
+            + self.partition_rejections
+    }
+}
+
+/// Seeded, runtime-togglable fault source shared by all [`ChaosConn`]s of
+/// a fabric.
+pub struct FaultInjector {
+    enabled: AtomicBool,
+    rng: Mutex<SmallRng>,
+    default_rule: Mutex<FaultRule>,
+    per_addr: Mutex<HashMap<String, FaultRule>>,
+    delivered: AtomicU64,
+    dropped_requests: AtomicU64,
+    dropped_replies: AtomicU64,
+    delayed: AtomicU64,
+    duplicated: AtomicU64,
+    transient_errors: AtomicU64,
+    partition_rejections: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Creates an injector (enabled, no rules) whose fault schedule is a
+    /// pure function of `seed` and the call sequence.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            enabled: AtomicBool::new(true),
+            rng: Mutex::new(SmallRng::seed_from_u64(seed)),
+            default_rule: Mutex::new(FaultRule::none()),
+            per_addr: Mutex::new(HashMap::new()),
+            delivered: AtomicU64::new(0),
+            dropped_requests: AtomicU64::new(0),
+            dropped_replies: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            transient_errors: AtomicU64::new(0),
+            partition_rejections: AtomicU64::new(0),
+        }
+    }
+
+    /// Turns injection on or off at runtime. Disabled, every decision is
+    /// `Deliver` and the RNG is not advanced.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether injection is currently active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Sets the rule applied to addresses without a specific rule.
+    pub fn set_default_rule(&self, rule: FaultRule) {
+        *self.default_rule.lock() = rule;
+    }
+
+    /// Sets the rule for one address, overriding the default.
+    pub fn set_rule(&self, addr: &str, rule: FaultRule) {
+        self.per_addr.lock().insert(addr.to_string(), rule);
+    }
+
+    /// Removes the per-address rule, reverting `addr` to the default.
+    pub fn clear_rule(&self, addr: &str) {
+        self.per_addr.lock().remove(addr);
+    }
+
+    /// Fully partitions `addr`: every call fails with `Unavailable`.
+    /// Other fields of an existing per-address rule are preserved.
+    pub fn partition(&self, addr: &str) {
+        let mut rules = self.per_addr.lock();
+        let rule = rules
+            .entry(addr.to_string())
+            .or_insert_with(|| self.default_rule.lock().clone());
+        rule.partitioned = true;
+    }
+
+    /// Heals a partition created by [`partition`](Self::partition).
+    pub fn heal(&self, addr: &str) {
+        if let Some(rule) = self.per_addr.lock().get_mut(addr) {
+            rule.partitioned = false;
+        }
+    }
+
+    /// Snapshot of the fault counters.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped_requests: self.dropped_requests.load(Ordering::Relaxed),
+            dropped_replies: self.dropped_replies.load(Ordering::Relaxed),
+            delayed: self.delayed.load(Ordering::Relaxed),
+            duplicated: self.duplicated.load(Ordering::Relaxed),
+            transient_errors: self.transient_errors.load(Ordering::Relaxed),
+            partition_rejections: self.partition_rejections.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Decides the fate of one call to `addr`, advancing the RNG and the
+    /// counters. Public so transports other than [`ChaosConn`] (e.g. the
+    /// simulator) can consult the same schedule.
+    pub fn decide(&self, addr: &str) -> FaultDecision {
+        if !self.is_enabled() {
+            return FaultDecision::DELIVER;
+        }
+        let rule = match self.per_addr.lock().get(addr) {
+            Some(r) => r.clone(),
+            None => self.default_rule.lock().clone(),
+        };
+        if rule.partitioned {
+            self.partition_rejections.fetch_add(1, Ordering::Relaxed);
+            return FaultDecision {
+                delay: None,
+                action: FaultAction::Partitioned,
+            };
+        }
+
+        let mut rng = self.rng.lock();
+        let delay = if rule.delay_prob > 0.0 && rng.random_bool(rule.delay_prob) {
+            let span = rule.delay_max.saturating_sub(rule.delay_min);
+            let jitter = if span.is_zero() {
+                Duration::ZERO
+            } else {
+                Duration::from_nanos(rng.random_range(0..=span.as_nanos() as u64))
+            };
+            Some(rule.delay_min + jitter)
+        } else {
+            None
+        };
+
+        // One draw decides the (mutually exclusive) outcome so the
+        // probabilities compose predictably.
+        let r: f64 = rng.random();
+        let action = if r < rule.drop_prob {
+            FaultAction::Drop {
+                before_delivery: rng.random(),
+            }
+        } else if r < rule.drop_prob + rule.error_prob {
+            FaultAction::TransientError
+        } else if r < rule.drop_prob + rule.error_prob + rule.duplicate_prob {
+            FaultAction::Duplicate
+        } else {
+            FaultAction::Deliver
+        };
+        drop(rng);
+
+        if delay.is_some() {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+        }
+        match action {
+            FaultAction::Deliver => {
+                self.delivered.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Drop {
+                before_delivery: true,
+            } => {
+                self.dropped_requests.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Drop {
+                before_delivery: false,
+            } => {
+                self.dropped_replies.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Duplicate => {
+                self.duplicated.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::TransientError => {
+                self.transient_errors.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultAction::Partitioned => unreachable!("handled above"),
+        }
+        FaultDecision { delay, action }
+    }
+}
+
+impl std::fmt::Debug for FaultInjector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultInjector")
+            .field("enabled", &self.is_enabled())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+/// Connection wrapper that applies a [`FaultInjector`]'s decisions.
+pub struct ChaosConn {
+    inner: ClientConn,
+    addr: String,
+    injector: Arc<FaultInjector>,
+}
+
+impl ChaosConn {
+    /// Wraps `inner` (a connection to `addr`) under `injector`.
+    pub fn new(inner: ClientConn, addr: impl Into<String>, injector: Arc<FaultInjector>) -> Self {
+        Self {
+            inner,
+            addr: addr.into(),
+            injector,
+        }
+    }
+}
+
+impl Connection for ChaosConn {
+    fn call(&self, req: Envelope) -> Result<Envelope> {
+        let decision = self.injector.decide(&self.addr);
+        if let Some(delay) = decision.delay {
+            std::thread::sleep(delay);
+        }
+        match decision.action {
+            FaultAction::Deliver => self.inner.call(req),
+            FaultAction::Partitioned => Err(JiffyError::Unavailable(format!(
+                "{} (partitioned)",
+                self.addr
+            ))),
+            FaultAction::TransientError => Err(JiffyError::Unavailable(format!(
+                "{} (injected transient error)",
+                self.addr
+            ))),
+            FaultAction::Drop {
+                before_delivery: true,
+            } => Err(JiffyError::Timeout {
+                after_ms: INJECTED_TIMEOUT_MS,
+            }),
+            FaultAction::Drop {
+                before_delivery: false,
+            } => {
+                // The server executes the request but the reply is lost.
+                // This is the case that distinguishes at-least-once from
+                // exactly-once: a naive retry re-executes the op.
+                let _ = self.inner.call(req);
+                Err(JiffyError::Timeout {
+                    after_ms: INJECTED_TIMEOUT_MS,
+                })
+            }
+            FaultAction::Duplicate => {
+                let _ = self.inner.call(req.clone());
+                self.inner.call(req)
+            }
+        }
+    }
+
+    fn set_push_callback(&self, cb: PushCallback) {
+        self.inner.set_push_callback(cb);
+    }
+
+    fn close(&self) {
+        self.inner.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Service, SessionHandle};
+    use jiffy_proto::{DataRequest, DataResponse};
+    use std::sync::atomic::AtomicUsize;
+
+    struct Counting {
+        calls: AtomicUsize,
+    }
+
+    impl Counting {
+        fn new() -> Arc<Self> {
+            Arc::new(Self {
+                calls: AtomicUsize::new(0),
+            })
+        }
+    }
+
+    impl Service for Counting {
+        fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            match req {
+                Envelope::DataReq { id, .. } => Envelope::DataResp {
+                    id,
+                    resp: Ok(DataResponse::Pong),
+                },
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    fn ping(id: u64) -> Envelope {
+        Envelope::DataReq {
+            id,
+            req: DataRequest::Ping,
+        }
+    }
+
+    fn chaos_pair(
+        rule: FaultRule,
+        seed: u64,
+    ) -> (Arc<Counting>, ChaosConn, Arc<FaultInjector>, String) {
+        let hub = crate::inproc::InprocHub::new();
+        let svc = Counting::new();
+        let addr = hub.register(svc.clone());
+        let injector = Arc::new(FaultInjector::new(seed));
+        injector.set_default_rule(rule);
+        let conn = ChaosConn::new(hub.connect(&addr).unwrap(), addr.clone(), injector.clone());
+        (svc, conn, injector, addr)
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let rule = FaultRule::none()
+            .with_drop(0.3)
+            .with_error(0.2)
+            .with_duplicate(0.1)
+            .with_delay(0.5, Duration::ZERO, Duration::from_micros(10));
+        let schedule = |seed: u64| -> Vec<FaultDecision> {
+            let inj = FaultInjector::new(seed);
+            inj.set_default_rule(rule.clone());
+            (0..200).map(|_| inj.decide("inproc:1")).collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43));
+    }
+
+    #[test]
+    fn disabled_injector_is_transparent() {
+        let (svc, conn, injector, _) = chaos_pair(FaultRule::none().with_drop(1.0), 7);
+        injector.set_enabled(false);
+        for i in 1..=10 {
+            conn.call(ping(i)).unwrap();
+        }
+        assert_eq!(svc.calls.load(Ordering::SeqCst), 10);
+        assert_eq!(injector.stats().total_faults(), 0);
+    }
+
+    #[test]
+    fn certain_drop_times_out() {
+        let (svc, conn, injector, _) = chaos_pair(FaultRule::none().with_drop(1.0), 7);
+        let mut lost_requests = 0;
+        for i in 1..=20 {
+            match conn.call(ping(i)) {
+                Err(JiffyError::Timeout { .. }) => {}
+                other => panic!("expected timeout, got {other:?}"),
+            }
+            lost_requests += 1;
+        }
+        let stats = injector.stats();
+        assert_eq!(
+            stats.dropped_requests + stats.dropped_replies,
+            lost_requests
+        );
+        // Reply-drops still executed on the server.
+        assert_eq!(
+            svc.calls.load(Ordering::SeqCst) as u64,
+            stats.dropped_replies
+        );
+    }
+
+    #[test]
+    fn partition_rejects_without_delivery() {
+        let (svc, conn, injector, addr) = chaos_pair(FaultRule::none(), 7);
+        injector.partition(&addr);
+        match conn.call(ping(1)) {
+            Err(JiffyError::Unavailable(msg)) => assert!(msg.contains("partitioned")),
+            other => panic!("expected unavailable, got {other:?}"),
+        }
+        assert_eq!(svc.calls.load(Ordering::SeqCst), 0);
+        injector.heal(&addr);
+        conn.call(ping(2)).unwrap();
+        assert_eq!(svc.calls.load(Ordering::SeqCst), 1);
+        assert_eq!(injector.stats().partition_rejections, 1);
+    }
+
+    #[test]
+    fn duplicate_delivers_twice() {
+        let (svc, conn, _injector, _) = chaos_pair(FaultRule::none().with_duplicate(1.0), 7);
+        conn.call(ping(1)).unwrap();
+        assert_eq!(svc.calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn transient_error_is_unavailable_and_undelivered() {
+        let (svc, conn, injector, _) = chaos_pair(FaultRule::none().with_error(1.0), 7);
+        match conn.call(ping(1)) {
+            Err(JiffyError::Unavailable(msg)) => assert!(msg.contains("transient")),
+            other => panic!("expected unavailable, got {other:?}"),
+        }
+        assert_eq!(svc.calls.load(Ordering::SeqCst), 0);
+        assert_eq!(injector.stats().transient_errors, 1);
+    }
+
+    #[test]
+    fn per_addr_rule_overrides_default() {
+        let injector = FaultInjector::new(1);
+        injector.set_default_rule(FaultRule::none().with_drop(1.0));
+        injector.set_rule("inproc:2", FaultRule::none());
+        for _ in 0..10 {
+            assert_eq!(injector.decide("inproc:2").action, FaultAction::Deliver);
+            assert!(matches!(
+                injector.decide("inproc:1").action,
+                FaultAction::Drop { .. }
+            ));
+        }
+        injector.clear_rule("inproc:2");
+        assert!(matches!(
+            injector.decide("inproc:2").action,
+            FaultAction::Drop { .. }
+        ));
+    }
+
+    #[test]
+    fn delay_is_bounded_by_rule() {
+        let injector = FaultInjector::new(3);
+        injector.set_default_rule(FaultRule::none().with_delay(
+            1.0,
+            Duration::from_millis(1),
+            Duration::from_millis(5),
+        ));
+        for _ in 0..50 {
+            let d = injector.decide("inproc:1").delay.expect("delay expected");
+            assert!(d >= Duration::from_millis(1) && d <= Duration::from_millis(5));
+        }
+        assert_eq!(injector.stats().delayed, 50);
+    }
+}

@@ -13,15 +13,28 @@
 //!   thread, allowing concurrent in-flight requests per connection.
 //! - [`fabric`] — unified addressing (`inproc:N` / `tcp:host:port`),
 //!   connection pooling and an optional latency injector for experiments.
+//! - [`fault`] — seeded, deterministic fault injection ([`FaultInjector`]
+//!   / [`ChaosConn`]): per-address drop, delay, duplicate, transient
+//!   error and partition rules, togglable at runtime.
+//! - [`retry`] — exponential-backoff [`RetryPolicy`] for transport-level
+//!   faults.
+//! - [`dedup`] — server-side replay cache ([`Deduplicated`]) making
+//!   same-id retries execute exactly once per session.
 //!
 //! [`Service`]: service::Service
 
+pub mod dedup;
 pub mod fabric;
+pub mod fault;
 pub mod inproc;
+pub mod retry;
 pub mod service;
 pub mod tcp;
 
+pub use dedup::Deduplicated;
 pub use fabric::{Fabric, LatencyInjector};
+pub use fault::{ChaosConn, FaultInjector, FaultRule, FaultStats};
 pub use inproc::InprocHub;
+pub use retry::RetryPolicy;
 pub use service::{ClientConn, PushCallback, Service, SessionHandle};
 pub use tcp::TcpServerHandle;

@@ -78,6 +78,16 @@ pub trait Service: Send + Sync + 'static {
     fn on_disconnect(&self, _session: &SessionHandle) {}
 }
 
+impl<T: Service + ?Sized> Service for Arc<T> {
+    fn handle(&self, req: Envelope, session: &SessionHandle) -> Envelope {
+        (**self).handle(req, session)
+    }
+
+    fn on_disconnect(&self, session: &SessionHandle) {
+        (**self).on_disconnect(session);
+    }
+}
+
 /// Transport-agnostic client connection.
 ///
 /// Implementations must allow concurrent `call`s from multiple threads.

@@ -12,12 +12,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Sender};
+use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use jiffy_common::{JiffyError, Result};
 use jiffy_proto::{frame, from_bytes, to_bytes, Envelope};
 use parking_lot::Mutex;
 
 use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, SessionHandle};
+
+/// Deadline for one TCP request/response round trip. A reply that does
+/// not arrive in time fails the call with [`JiffyError::Timeout`] instead
+/// of blocking forever (a dropped reply used to hang the caller); the
+/// waiter is removed so a late reply is discarded by the demux thread.
+pub const CALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
 
 /// Handle to a running TCP server; dropping it (or calling
 /// [`TcpServerHandle::shutdown`]) stops the accept loop.
@@ -106,11 +112,7 @@ fn session_loop(stream: TcpStream, service: Arc<dyn Service>) {
         }
     }));
     let mut reader = stream;
-    loop {
-        let payload = match frame::read_frame(&mut reader) {
-            Ok(Some(p)) => p,
-            Ok(None) | Err(_) => break,
-        };
+    while let Ok(Some(payload)) = frame::read_frame(&mut reader) {
         let env: Envelope = match from_bytes(&payload) {
             Ok(e) => e,
             Err(_) => break,
@@ -168,11 +170,7 @@ impl TcpConn {
         std::thread::Builder::new()
             .name("jiffy-tcp-demux".into())
             .spawn(move || {
-                loop {
-                    let payload = match frame::read_frame(&mut reader) {
-                        Ok(Some(p)) => p,
-                        Ok(None) | Err(_) => break,
-                    };
+                while let Ok(Some(payload)) = frame::read_frame(&mut reader) {
                     match from_bytes::<Envelope>(&payload) {
                         Ok(Envelope::Push(n)) => p2.deliver(n),
                         Ok(env) => {
@@ -210,12 +208,25 @@ impl Connection for TcpConn {
         if self.closed.load(Ordering::SeqCst) {
             return Err(JiffyError::Rpc("connection closed".into()));
         }
-        // Re-stamp the envelope with a connection-unique correlation id.
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let req = match req {
-            Envelope::ControlReq { req, .. } => Envelope::ControlReq { id, req },
-            Envelope::DataReq { req, .. } => Envelope::DataReq { id, req },
-            other => other,
+        // Correlation id: callers that stamped a non-zero id keep it (so a
+        // retry can reuse the id and hit the server's replay cache);
+        // unstamped requests get a connection-unique id.
+        let (id, req) = match req {
+            Envelope::ControlReq { id: 0, req } => {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                (id, Envelope::ControlReq { id, req })
+            }
+            Envelope::DataReq { id: 0, req } => {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                (id, Envelope::DataReq { id, req })
+            }
+            Envelope::ControlReq { id, req } => (id, Envelope::ControlReq { id, req }),
+            Envelope::DataReq { id, req } => (id, Envelope::DataReq { id, req }),
+            other => {
+                return Err(JiffyError::Rpc(format!(
+                    "cannot call with non-request envelope {other:?}"
+                )))
+            }
         };
         let (tx, rx) = bounded(1);
         self.waiters.lock().insert(id, tx);
@@ -227,8 +238,19 @@ impl Connection for TcpConn {
                 return Err(e);
             }
         }
-        rx.recv()
-            .map_err(|_| JiffyError::Rpc("connection dropped while awaiting response".into()))?
+        match rx.recv_timeout(CALL_TIMEOUT) {
+            Ok(resp) => resp,
+            Err(RecvTimeoutError::Timeout) => {
+                // Unregister so the demux thread discards the late reply.
+                self.waiters.lock().remove(&id);
+                Err(JiffyError::Timeout {
+                    after_ms: CALL_TIMEOUT.as_millis() as u64,
+                })
+            }
+            Err(RecvTimeoutError::Disconnected) => Err(JiffyError::Rpc(
+                "connection dropped while awaiting response".into(),
+            )),
+        }
     }
 
     fn set_push_callback(&self, cb: PushCallback) {

@@ -604,23 +604,59 @@ mod tests {
             ControlResponse::Resolved(v) => v,
             other => panic!("{other:?}"),
         };
-        let loc = view.partition.unwrap().blocks()[0].clone();
+        assert!(view.partition.is_some());
         // Fill past the high watermark (64 KB test blocks, 95 %): write
-        // ~62 KB of values.
-        let addr = loc.head().addr.clone();
+        // ~62 KB of values. The threshold report is asynchronous, so a
+        // split can land mid-loop; route every put by slot from a fresh
+        // resolve and retry on StaleMetadata, exactly as a real client
+        // would.
         for i in 0..62 {
-            data(
-                &fabric,
-                &addr,
-                DataRequest::Op {
-                    block: loc.id(),
-                    op: DsOp::Put {
-                        key: format!("key-{i}").as_str().into(),
-                        value: vec![0u8; 1000].into(),
+            let key = format!("key-{i}");
+            let slot = jiffy_ds::kv_slot(key.as_bytes(), 1024);
+            let mut done = false;
+            for _ in 0..20 {
+                let view = match control(
+                    &fabric,
+                    &ctrl_addr,
+                    ControlRequest::ResolvePrefix {
+                        job,
+                        name: "kv".into(),
                     },
-                },
-            )
-            .unwrap();
+                ) {
+                    ControlResponse::Resolved(v) => v,
+                    other => panic!("{other:?}"),
+                };
+                let location = match &view.partition.unwrap() {
+                    jiffy_proto::PartitionView::Kv { slots, .. } => slots
+                        .iter()
+                        .find(|s| s.contains(slot))
+                        .unwrap_or_else(|| panic!("slot {slot} unowned"))
+                        .location
+                        .clone(),
+                    other => panic!("{other:?}"),
+                };
+                match data(
+                    &fabric,
+                    &location.head().addr,
+                    DataRequest::Op {
+                        block: location.id(),
+                        op: DsOp::Put {
+                            key: key.as_str().into(),
+                            value: vec![0u8; 1000].into(),
+                        },
+                    },
+                ) {
+                    Ok(_) => {
+                        done = true;
+                        break;
+                    }
+                    Err(JiffyError::StaleMetadata) => {
+                        std::thread::sleep(std::time::Duration::from_millis(2));
+                    }
+                    Err(other) => panic!("put {key}: {other:?}"),
+                }
+            }
+            assert!(done, "put {key} kept hitting stale metadata");
         }
         // The threshold report is asynchronous; wait for the split.
         for _ in 0..200 {

@@ -71,7 +71,7 @@ mod tests {
     fn skew_orders_frequencies() {
         let z = Zipf::new(50, 1.2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
-        let mut counts = vec![0u32; 50];
+        let mut counts = [0u32; 50];
         for _ in 0..100_000 {
             counts[z.sample(&mut rng)] += 1;
         }

@@ -84,7 +84,7 @@ fn main() -> jiffy::Result<()> {
         total_words as f64 / elapsed.as_secs_f64()
     );
     let mut finals: Vec<(Vec<u8>, u64)> = finals.into_iter().collect();
-    finals.sort_by(|a, b| b.1.cmp(&a.1));
+    finals.sort_by_key(|e| std::cmp::Reverse(e.1));
     println!("final word counts:");
     for (word, count) in &finals {
         println!("  {:>5}  {}", count, String::from_utf8_lossy(word));

@@ -1,0 +1,132 @@
+//! Tier-1 chaos smoke tests: every data structure holds its invariants
+//! under light transport faults, and a partitioned memory server degrades
+//! into lease-driven reclamation instead of a hang.
+//!
+//! The heavy property-based campaigns live in `crates/harness`; these
+//! tests pin the end-to-end behaviour into the main suite with small,
+//! fast configurations.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::{JiffyClient, JiffyConfig};
+use jiffy_common::clock::ManualClock;
+use jiffy_harness::{run, HarnessConfig, WorkloadMix};
+use jiffy_persistent::MemObjectStore;
+use jiffy_rpc::{FaultInjector, FaultRule};
+
+/// 1% drop plus up-to-5ms delay jitter on every client call.
+fn light_chaos() -> FaultRule {
+    FaultRule::none()
+        .with_drop(0.01)
+        .with_delay(0.20, Duration::ZERO, Duration::from_millis(5))
+}
+
+fn smoke(seed: u64, mix: WorkloadMix) {
+    let cfg = HarnessConfig {
+        seed,
+        ops_per_worker: 100,
+        rule: light_chaos(),
+        mix,
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn kv_survives_light_chaos() {
+    smoke(0xC4A0_5001, WorkloadMix::kv_only());
+}
+
+#[test]
+fn file_survives_light_chaos() {
+    smoke(0xC4A0_5002, WorkloadMix::file_only());
+}
+
+#[test]
+fn queue_survives_light_chaos() {
+    smoke(0xC4A0_5003, WorkloadMix::queue_only());
+}
+
+#[test]
+fn all_structures_survive_light_chaos_together() {
+    smoke(0xC4A0_5004, WorkloadMix::all());
+}
+
+#[test]
+fn partitioned_server_causes_lease_reclaim_not_hang() {
+    // A task's memory server becomes unreachable. The client must fail
+    // fast (bounded retries, not an infinite hang), and once the job's
+    // lease lapses the controller must reclaim the unreachable prefix's
+    // blocks through its *own* (healthy) fabric.
+    let (clock, shared) = ManualClock::shared();
+    let store = Arc::new(MemObjectStore::new());
+    let cluster = JiffyCluster::build(
+        JiffyConfig::for_testing(),
+        2,
+        8,
+        shared,
+        store,
+        false,
+        false,
+    )
+    .unwrap();
+
+    // Chaos fabric for the client only; the controller keeps the clean
+    // cluster fabric for flush/reclaim traffic.
+    let injector = Arc::new(FaultInjector::new(0xDEAD));
+    let chaos_fabric = cluster
+        .fabric()
+        .clone()
+        .with_fault_injection(injector.clone());
+    let client = JiffyClient::connect(chaos_fabric, cluster.controller_addr()).unwrap();
+    let job = client.register_job("partitioned").unwrap();
+    let kv = job.open_kv("state", &[], 2).unwrap();
+    kv.put(b"k", b"v").unwrap();
+    let free_before = client.stats().unwrap().free_blocks;
+
+    // Partition every server that holds a block of the structure.
+    let view = job.resolve("state").unwrap();
+    let mut partitioned = Vec::new();
+    for loc in view.partition.unwrap().blocks() {
+        for replica in &loc.chain {
+            if !partitioned.contains(&replica.addr) {
+                partitioned.push(replica.addr.clone());
+            }
+        }
+    }
+    for addr in &partitioned {
+        injector.partition(addr);
+    }
+
+    // Data ops fail within bounded time instead of hanging.
+    let started = Instant::now();
+    let err = kv.get(b"k").unwrap_err();
+    assert!(err.is_transport(), "expected transport error, got {err:?}");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "retries must be bounded"
+    );
+
+    // The job stops renewing; expiry reclaims the blocks over the
+    // controller's healthy fabric.
+    clock.advance(Duration::from_secs(5));
+    cluster.controller().run_expiry_once();
+    let free_after = client.stats().unwrap().free_blocks;
+    assert!(
+        free_after > free_before,
+        "partitioned prefix must be reclaimed ({free_before} -> {free_after})"
+    );
+
+    // The injector saw the partition (ops were actually rejected there).
+    assert!(injector.stats().partition_rejections > 0);
+
+    // Healing the partition restores service for a fresh structure.
+    for addr in &partitioned {
+        injector.heal(addr);
+    }
+    let kv2 = job.open_kv("state2", &[], 1).unwrap();
+    kv2.put(b"x", b"y").unwrap();
+    assert_eq!(kv2.get(b"x").unwrap(), Some(b"y".to_vec()));
+}

@@ -67,7 +67,7 @@ fn queue_pipeline_preserves_fifo_across_segments() {
     assert_eq!(q.len().unwrap(), n);
     for i in 0..n {
         let item = q.dequeue().unwrap().expect("item present");
-        let got: u64 = std::str::from_utf8(&item.split_at(6).0)
+        let got: u64 = std::str::from_utf8(item.split_at(6).0)
             .unwrap()
             .parse()
             .unwrap();

@@ -186,7 +186,7 @@ fn dataflow_diamond_with_file_barriers() {
     g.vertex("merge", &["left", "right"], &["merged"], |ctx| {
         let mut n = 0u32;
         for i in 0..2 {
-            while let Some(_) = ctx.read(i)? {
+            while ctx.read(i)?.is_some() {
                 n += 1;
             }
         }

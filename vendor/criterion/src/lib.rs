@@ -1,0 +1,157 @@
+//! Minimal in-repo stand-in for the `criterion` crate.
+//!
+//! Supports the API surface the workspace benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `measurement_time` /
+//! `throughput`, `bench_function`, `Bencher::iter`, `black_box`, and
+//! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
+//! timed over a bounded number of iterations and the mean per-iteration
+//! wall-clock time is printed — no warm-up, statistics, or reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_bench(&name.into(), 10, Duration::from_secs(1), None, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let full = format!("{}/{}", self.name, name.into());
+        run_bench(
+            &full,
+            self.sample_size,
+            self.measurement_time,
+            self.throughput,
+            f,
+        );
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: run one iteration to size the batch so the whole
+    // benchmark stays within roughly `measurement_time`.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.max(Duration::from_nanos(1));
+    let budget = measurement_time.max(Duration::from_millis(10));
+    let iters = (budget.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, 1_000_000) as u64
+        / sample_size.max(1) as u64;
+    let iters = iters.max(1);
+
+    let mut total = Duration::ZERO;
+    let mut total_iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        total_iters += iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / total_iters.max(1) as f64;
+    match throughput {
+        Some(Throughput::Bytes(bytes)) => {
+            let gib_s = (bytes as f64 / (mean_ns / 1e9)) / (1024.0 * 1024.0 * 1024.0);
+            println!("{name}: {mean_ns:.1} ns/iter ({gib_s:.3} GiB/s)");
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (mean_ns / 1e9);
+            println!("{name}: {mean_ns:.1} ns/iter ({elem_s:.0} elem/s)");
+        }
+        None => println!("{name}: {mean_ns:.1} ns/iter"),
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

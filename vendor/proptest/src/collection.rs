@@ -1,0 +1,136 @@
+//! Collection strategies: `vec`, `btree_map`, `hash_map`, `hash_set`.
+//!
+//! Sizes are `Range<usize>` (half-open, like upstream). For keyed
+//! collections the generator draws extra candidates to compensate for
+//! duplicate keys, giving up after a bounded number of attempts so a
+//! small keyspace cannot loop forever.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::Hash;
+use std::ops::Range;
+
+use crate::{Strategy, TestRng};
+use rand::RngExt;
+
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+pub struct BTreeMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    BTreeMapStrategy { keys, values, size }
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let mut map = BTreeMap::new();
+        let target = rng.random_range(self.size.clone());
+        let budget = 100 + target * 200;
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < budget {
+            let k = self.keys.generate(rng);
+            let v = self.values.generate(rng);
+            map.insert(k, v);
+            attempts += 1;
+        }
+        map
+    }
+}
+
+pub struct HashMapStrategy<K, V> {
+    keys: K,
+    values: V,
+    size: Range<usize>,
+}
+
+pub fn hash_map<K, V>(keys: K, values: V, size: Range<usize>) -> HashMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Hash + Eq,
+{
+    HashMapStrategy { keys, values, size }
+}
+
+impl<K, V> Strategy for HashMapStrategy<K, V>
+where
+    K: Strategy,
+    V: Strategy,
+    K::Value: Hash + Eq,
+{
+    type Value = HashMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let mut map = HashMap::new();
+        let target = rng.random_range(self.size.clone());
+        let budget = 100 + target * 200;
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < budget {
+            let k = self.keys.generate(rng);
+            let v = self.values.generate(rng);
+            map.insert(k, v);
+            attempts += 1;
+        }
+        map
+    }
+}
+
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+pub fn hash_set<S>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy { element, size }
+}
+
+impl<S> Strategy for HashSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let mut set = HashSet::new();
+        let target = rng.random_range(self.size.clone());
+        let budget = 100 + target * 200;
+        let mut attempts = 0usize;
+        while set.len() < target && attempts < budget {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        set
+    }
+}

@@ -1,0 +1,609 @@
+//! Minimal in-repo stand-in for the `proptest` crate.
+//!
+//! Provides the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map` / `boxed` / `prop_recursive`, [`any`] for scalars and
+//! small tuples, regex-ish `".{A,B}"` string strategies, integer/float
+//! range strategies, the [`collection`] module, `prop_oneof!`,
+//! `proptest!`, `prop_assert!` and `prop_assert_eq!`.
+//!
+//! Differences from upstream proptest, by design:
+//! - **No shrinking.** A failing case panics with the deterministic
+//!   per-case seed; rerun with `PROPTEST_SEED=<seed>` to reproduce that
+//!   exact input.
+//! - Strategies are plain seeded generators (`generate(&mut TestRng)`),
+//!   not value trees.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+pub mod collection;
+
+// ---------------------------------------------------------------------------
+// RNG + config + case errors
+// ---------------------------------------------------------------------------
+
+/// Deterministic RNG handed to strategies. Wraps the vendored `StdRng`.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl rand::Rng for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite fast on small
+        // machines while still exploring a meaningful input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+#[derive(Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    /// Input rejected (e.g. a precondition failed); the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A seeded generator of values of type `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Recursive strategy: after `depth` wrapping steps the innermost
+    /// level bottoms out at `self` (the leaf strategy). The size-control
+    /// parameters of upstream proptest are accepted but unused — depth
+    /// alone bounds the structures here.
+    fn prop_recursive<F, R>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+        R: Strategy<Value = Self::Value> + 'static,
+    {
+        let leaf = self.boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = Union::new(vec![leaf.clone(), f(strat).boxed()]).boxed();
+        }
+        strat
+    }
+}
+
+/// Type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "Union requires at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Strategy backed by a plain function pointer (used for scalars).
+pub struct FnStrategy<T>(pub fn(&mut TestRng) -> T);
+
+impl<T> Strategy for FnStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+// Tuples of strategies are strategies over tuples of values.
+macro_rules! tuple_strategy {
+    ($(($($S:ident . $idx:tt),+))+) => {$(
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5, S6.6, S7.7)
+}
+
+// Integer / float ranges are strategies.
+macro_rules! range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )+};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// `&'static str` patterns of the form `".{A,B}"` generate strings of
+/// `A..=B` characters (mostly printable ASCII with occasional multibyte
+/// characters). Any other pattern is treated as a literal string.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_dot_repeat(self) {
+            Some((lo, hi)) => {
+                let len = rng.random_range(lo..=hi);
+                let mut s = String::with_capacity(len);
+                for _ in 0..len {
+                    s.push(random_char(rng));
+                }
+                s
+            }
+            None => (*self).to_string(),
+        }
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let body = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = body.split_once(',')?;
+    let lo: usize = lo.trim().parse().ok()?;
+    let hi: usize = hi.trim().parse().ok()?;
+    (lo <= hi).then_some((lo, hi))
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    const EXOTIC: &[char] = &['é', 'λ', '中', '🦀', '\u{1F680}', 'ß', '→'];
+    if rng.random_bool(0.06) {
+        EXOTIC[rng.random_range(0..EXOTIC.len())]
+    } else {
+        char::from(rng.random_range(0x20u8..0x7f))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary / any
+// ---------------------------------------------------------------------------
+
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arb_scalar {
+    ($($t:ty => $gen:expr),+ $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = FnStrategy<$t>;
+            fn arbitrary() -> Self::Strategy {
+                FnStrategy($gen)
+            }
+        }
+    )+};
+}
+
+arb_scalar! {
+    bool => |rng| rng.random(),
+    u8 => |rng| rng.random(),
+    u16 => |rng| rng.random(),
+    u32 => |rng| rng.random(),
+    u64 => |rng| rng.random(),
+    usize => |rng| rng.random(),
+    i8 => |rng| rng.random::<u8>() as i8,
+    i16 => |rng| rng.random::<u16>() as i16,
+    i32 => |rng| rng.random(),
+    i64 => |rng| rng.random(),
+    isize => |rng| rng.random::<u64>() as isize,
+    u128 => |rng| (u128::from(rng.random::<u64>()) << 64) | u128::from(rng.random::<u64>()),
+    i128 => |rng| ((u128::from(rng.random::<u64>()) << 64) | u128::from(rng.random::<u64>())) as i128,
+    // Any non-NaN bit pattern (NaN breaks round-trip equality checks).
+    f64 => |rng| loop {
+        let v = f64::from_bits(rng.random::<u64>());
+        if !v.is_nan() {
+            return v;
+        }
+    },
+    f32 => |rng| loop {
+        let v = f32::from_bits(rng.random::<u32>());
+        if !v.is_nan() {
+            return v;
+        }
+    },
+    char => |rng| {
+        if rng.random_bool(0.85) {
+            char::from(rng.random_range(0x20u8..0x7f))
+        } else {
+            // Unpaired surrogates map to None; substitute the
+            // replacement character to stay a valid char.
+            char::from_u32(rng.random_range(0u32..=0x10FFFF)).unwrap_or('\u{FFFD}')
+        }
+    },
+}
+
+impl Arbitrary for String {
+    type Strategy = &'static str;
+    fn arbitrary() -> Self::Strategy {
+        ".{0,64}"
+    }
+}
+
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.random_bool(0.75) {
+            Some(self.0.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    type Strategy = OptionStrategy<T::Strategy>;
+    fn arbitrary() -> Self::Strategy {
+        OptionStrategy(T::arbitrary())
+    }
+}
+
+macro_rules! arb_tuple {
+    ($(($($T:ident),+))+) => {$(
+        impl<$($T: Arbitrary),+> Arbitrary for ($($T,)+) {
+            type Strategy = ($($T::Strategy,)+);
+            fn arbitrary() -> Self::Strategy {
+                ($($T::arbitrary(),)+)
+            }
+        }
+    )+};
+}
+
+arb_tuple! {
+    (T0)
+    (T0, T1)
+    (T0, T1, T2)
+    (T0, T1, T2, T3)
+    (T0, T1, T2, T3, T4)
+    (T0, T1, T2, T3, T4, T5)
+    (T0, T1, T2, T3, T4, T5, T6)
+    (T0, T1, T2, T3, T4, T5, T6, T7)
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn render_input(dbg: &str) -> String {
+    const LIMIT: usize = 1024;
+    if dbg.len() > LIMIT {
+        let mut cut = LIMIT;
+        while !dbg.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}… ({} bytes elided)", &dbg[..cut], dbg.len() - cut)
+    } else {
+        dbg.to_string()
+    }
+}
+
+/// Drives one `proptest!` test: `config.cases` deterministic cases, each
+/// with its own seed derived from the test name (or `PROPTEST_SEED` to
+/// replay a single reported case).
+pub fn run_test<S, F>(config: &ProptestConfig, name: &str, strategy: &S, test: F)
+where
+    S: Strategy,
+    S::Value: std::fmt::Debug,
+    F: Fn(S::Value) -> TestCaseResult,
+{
+    let (base, cases) = match std::env::var("PROPTEST_SEED").ok().and_then(|s| {
+        let s = s.trim();
+        s.strip_prefix("0x")
+            .map_or_else(|| s.parse().ok(), |hex| u64::from_str_radix(hex, 16).ok())
+    }) {
+        Some(seed) => (seed, 1),
+        None => (fnv1a(name), config.cases),
+    };
+    for case in 0..cases {
+        let seed = base.wrapping_add(u64::from(case).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut rng = TestRng::from_seed(seed);
+        let value = strategy.generate(&mut rng);
+        let rendered = render_input(&format!("{value:?}"));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(value)));
+        match outcome {
+            Ok(Ok(())) | Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => panic!(
+                "[{name}] case {case}/{cases} failed: {msg}\n\
+                 reproduce with: PROPTEST_SEED={seed:#x}\n\
+                 input: {rendered}"
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "[{name}] case {case}/{cases} panicked\n\
+                     reproduce with: PROPTEST_SEED={seed:#x}\n\
+                     input: {rendered}"
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left == __right,
+            "assertion failed: `left == right`\n  left: `{:?}`\n right: `{:?}`",
+            __left,
+            __right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let __left = $left;
+        let __right = $right;
+        $crate::prop_assert!(
+            __left != __right,
+            "assertion failed: `left != right`\n  both: `{:?}`",
+            __left
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    // Internal: no tests left.
+    (@cfg ($cfg:expr)) => {};
+    // Internal: expand one test fn, recurse on the rest.
+    (@cfg ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::run_test(&__config, stringify!($name), &__strategy, |__values| {
+                let ($($pat,)+) = __values;
+                $body
+                ::std::result::Result::Ok(())
+            });
+        }
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Entry with explicit config.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    // Entry with default config.
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult, TestRng,
+        Union,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        let strat = crate::collection::vec(any::<u64>(), 0..32);
+        let a: Vec<u64> = strat.generate(&mut TestRng::from_seed(42));
+        let b: Vec<u64> = strat.generate(&mut TestRng::from_seed(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..200 {
+            let s = ".{2,5}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!((2..=5).contains(&n), "len {n} out of bounds: {s:?}");
+        }
+    }
+
+    #[test]
+    fn f64_arbitrary_never_nan() {
+        let mut rng = TestRng::from_seed(9);
+        for _ in 0..10_000 {
+            assert!(!any::<f64>().generate(&mut rng).is_nan());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_round_trip(x in any::<u32>(), v in crate::collection::vec(0u8..9, 0..8)) {
+            prop_assert!(u64::from(x) <= u64::from(u32::MAX));
+            prop_assert!(v.iter().all(|&b| b < 9));
+        }
+    }
+}

@@ -1,0 +1,782 @@
+//! Deserialization half of the serde data model.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Display;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+use std::time::Duration;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// Builds an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A sequence or tuple had too few elements.
+    fn invalid_length(len: usize, expected: &dyn Display) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    /// An enum carried an out-of-range variant index.
+    fn unknown_variant(index: u32, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!(
+            "unknown variant index {index}, expected one of {} variants",
+            expected.len()
+        ))
+    }
+}
+
+/// A value that can be read from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Reads one value from `deserializer`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever error the deserializer reports.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Stateful construction of a value (the seed form of [`Deserialize`]).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The type produced.
+    type Value;
+
+    /// Reads one value from `deserializer` using this seed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates whatever error the deserializer reports.
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format that can produce the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type of the format.
+    type Error: Error;
+
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    /// Whether the format is human readable (binary formats return false).
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Receives values from a [`Deserializer`]; every method not overridden
+/// reports a type mismatch.
+pub trait Visitor<'de>: Sized {
+    /// The value this visitor builds.
+    type Value;
+
+    /// Writes "what this visitor expects" into a formatter (used in error
+    /// messages).
+    fn expecting(&self, formatter: &mut std::fmt::Formatter<'_>) -> std::fmt::Result;
+
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected bool {v}")))
+    }
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v.into())
+    }
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v.into())
+    }
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v.into())
+    }
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected integer {v}")))
+    }
+    fn visit_i128<E: Error>(self, v: i128) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected i128 {v}")))
+    }
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v.into())
+    }
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v.into())
+    }
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v.into())
+    }
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected unsigned integer {v}")))
+    }
+    fn visit_u128<E: Error>(self, v: u128) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected u128 {v}")))
+    }
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v.into())
+    }
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected float {v}")))
+    }
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected char {v:?}")))
+    }
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected string {v:?}")))
+    }
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected {} raw bytes", v.len())))
+    }
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom("unexpected some"))
+    }
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unit"))
+    }
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom("unexpected newtype struct"))
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::custom("unexpected sequence"))
+    }
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::custom("unexpected map"))
+    }
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::custom("unexpected enum"))
+    }
+}
+
+/// Element-by-element access to a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    type Error: Error;
+
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_element_seed(PhantomData)
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Entry-by-entry access to a map being deserialized.
+pub trait MapAccess<'de> {
+    type Error: Error;
+
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    fn next_value_seed<V: DeserializeSeed<'de>>(&mut self, seed: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_key_seed(PhantomData)
+    }
+
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error>
+    where
+        Self: Sized,
+    {
+        self.next_value_seed(PhantomData)
+    }
+
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error>
+    where
+        Self: Sized,
+    {
+        match self.next_key()? {
+            Some(k) => Ok(Some((k, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    type Error: Error;
+    /// Accessor for the variant payload once the tag is known.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of one enum variant.
+pub trait VariantAccess<'de>: Sized {
+    type Error: Error;
+
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(self, seed: T)
+        -> Result<T::Value, Self::Error>;
+
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    fn tuple_variant<V: Visitor<'de>>(self, len: usize, visitor: V)
+        -> Result<V::Value, Self::Error>;
+
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+/// Conversion of a plain value into a [`Deserializer`] (used by formats
+/// to feed enum variant indices to identifier seeds).
+pub trait IntoDeserializer<'de, E: Error = value::Error> {
+    /// The deserializer produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+
+    /// Wraps the value in its deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Plain-value deserializers and a default error type.
+pub mod value {
+    use super::{Deserializer, IntoDeserializer, Visitor};
+    use std::fmt;
+    use std::marker::PhantomData;
+
+    /// Default error type for plain-value deserializers.
+    #[derive(Debug)]
+    pub struct Error {
+        msg: String,
+    }
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.msg)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    impl super::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Self {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    impl crate::ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Self {
+                msg: msg.to_string(),
+            }
+        }
+    }
+
+    /// Deserializer over a single `u32` (an enum variant index).
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<'de, E: super::Error> IntoDeserializer<'de, E> for u32 {
+        type Deserializer = U32Deserializer<E>;
+
+        fn into_deserializer(self) -> U32Deserializer<E> {
+            U32Deserializer {
+                value: self,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    macro_rules! forward_to_u32 {
+        ($($method:ident)*) => {$(
+            fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                visitor.visit_u32(self.value)
+            }
+        )*};
+    }
+
+    impl<'de, E: super::Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_u32! {
+            deserialize_any deserialize_bool
+            deserialize_i8 deserialize_i16 deserialize_i32 deserialize_i64 deserialize_i128
+            deserialize_u8 deserialize_u16 deserialize_u32 deserialize_u64 deserialize_u128
+            deserialize_f32 deserialize_f64 deserialize_char
+            deserialize_str deserialize_string deserialize_bytes deserialize_byte_buf
+            deserialize_option deserialize_unit deserialize_seq deserialize_map
+            deserialize_identifier deserialize_ignored_any
+        }
+
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls for std types
+// ---------------------------------------------------------------------------
+
+macro_rules! de_scalar {
+    ($($ty:ty, $deserialize:ident, $visit:ident, $expect:literal);* $(;)?) => {$(
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl Visitor<'_> for V {
+                    type Value = $ty;
+
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str($expect)
+                    }
+
+                    fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                        Ok(v)
+                    }
+                }
+                deserializer.$deserialize(V)
+            }
+        }
+    )*};
+}
+
+de_scalar! {
+    bool, deserialize_bool, visit_bool, "a bool";
+    i8, deserialize_i8, visit_i8, "an i8";
+    i16, deserialize_i16, visit_i16, "an i16";
+    i32, deserialize_i32, visit_i32, "an i32";
+    i64, deserialize_i64, visit_i64, "an i64";
+    i128, deserialize_i128, visit_i128, "an i128";
+    u8, deserialize_u8, visit_u8, "a u8";
+    u16, deserialize_u16, visit_u16, "a u16";
+    u32, deserialize_u32, visit_u32, "a u32";
+    u64, deserialize_u64, visit_u64, "a u64";
+    u128, deserialize_u128, visit_u128, "a u128";
+    f32, deserialize_f32, visit_f32, "an f32";
+    f64, deserialize_f64, visit_f64, "an f64";
+    char, deserialize_char, visit_char, "a char";
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = u64::deserialize(deserializer)?;
+        v.try_into()
+            .map_err(|_| Error::custom(format_args!("u64 {v} out of usize range")))
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = i64::deserialize(deserializer)?;
+        v.try_into()
+            .map_err(|_| Error::custom(format_args!("i64 {v} out of isize range")))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl Visitor<'_> for V {
+            type Value = String;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a string")
+            }
+
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(V)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl Visitor<'_> for V {
+            type Value = ();
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("unit")
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(V)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("an option")
+            }
+
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+
+            fn visit_some<D: Deserializer<'de>>(self, d: D) -> Result<Option<T>, D::Error> {
+                T::deserialize(d).map(Some)
+            }
+
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Vec<T>;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a sequence")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                // Cap the pre-allocation: a corrupt length prefix must not
+                // OOM before element decoding fails.
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(v) = seq.next_element_seed(PhantomData)? {
+                    out.push(v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_seq(V(PhantomData))
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V>(PhantomData<(K, V)>);
+        impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Visitor<'de> for Vis<K, V> {
+            type Value = BTreeMap<K, V>;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a map")
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = BTreeMap::new();
+                while let Some(k) = map.next_key_seed(PhantomData)? {
+                    let v = map.next_value_seed(PhantomData)?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+impl<'de, K, V, H> Deserialize<'de> for HashMap<K, V, H>
+where
+    K: Deserialize<'de> + Eq + Hash,
+    V: Deserialize<'de>,
+    H: BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct Vis<K, V, H>(PhantomData<(K, V, H)>);
+        impl<'de, K, V, H> Visitor<'de> for Vis<K, V, H>
+        where
+            K: Deserialize<'de> + Eq + Hash,
+            V: Deserialize<'de>,
+            H: BuildHasher + Default,
+        {
+            type Value = HashMap<K, V, H>;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a map")
+            }
+
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut out = HashMap::with_hasher(H::default());
+                while let Some(k) = map.next_key_seed(PhantomData)? {
+                    let v = map.next_value_seed(PhantomData)?;
+                    out.insert(k, v);
+                }
+                Ok(out)
+            }
+        }
+        deserializer.deserialize_map(Vis(PhantomData))
+    }
+}
+
+/// `Result` deserializes as a two-variant enum: `Ok` = 0, `Err` = 1.
+impl<'de, T: Deserialize<'de>, E2: Deserialize<'de>> Deserialize<'de> for Result<T, E2> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, E2>(PhantomData<(T, E2)>);
+        impl<'de, T: Deserialize<'de>, E2: Deserialize<'de>> Visitor<'de> for V<T, E2> {
+            type Value = Result<T, E2>;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a Result")
+            }
+
+            fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+                let (idx, variant): (u32, _) = data.variant()?;
+                match idx {
+                    0 => variant.newtype_variant().map(Ok),
+                    1 => variant.newtype_variant().map(Err),
+                    other => Err(Error::unknown_variant(other, &["Ok", "Err"])),
+                }
+            }
+        }
+        deserializer.deserialize_enum("Result", &["Ok", "Err"], V(PhantomData))
+    }
+}
+
+impl<'de> Deserialize<'de> for Duration {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = Duration;
+
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("a Duration")
+            }
+
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Duration, A::Error> {
+                let secs: u64 = seq
+                    .next_element_seed(PhantomData)?
+                    .ok_or_else(|| Error::invalid_length(0, &"2"))?;
+                let nanos: u32 = seq
+                    .next_element_seed(PhantomData)?
+                    .ok_or_else(|| Error::invalid_length(1, &"2"))?;
+                Ok(Duration::new(secs, nanos))
+            }
+        }
+        deserializer.deserialize_struct("Duration", &["secs", "nanos"], V)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:expr => $($name:ident),+))*) => {$(
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                struct V<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for V<$($name),+> {
+                    type Value = ($($name,)+);
+
+                    fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                        f.write_str(concat!("a tuple of length ", stringify!($len)))
+                    }
+
+                    #[allow(non_snake_case)]
+                    fn visit_seq<__A: SeqAccess<'de>>(
+                        self,
+                        mut seq: __A,
+                    ) -> Result<Self::Value, __A::Error> {
+                        let mut taken = 0usize;
+                        $(
+                            let $name: $name = match seq.next_element_seed(PhantomData)? {
+                                Some(v) => { taken += 1; v }
+                                None => return Err(Error::invalid_length(taken, &stringify!($len))),
+                            };
+                        )+
+                        let _ = taken;
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(PhantomData))
+            }
+        }
+    )*};
+}
+
+de_tuple! {
+    (1 => A)
+    (2 => A, B)
+    (3 => A, B, C)
+    (4 => A, B, C, D)
+    (5 => A, B, C, D, E)
+    (6 => A, B, C, D, E, F)
+    (7 => A, B, C, D, E, F, G)
+    (8 => A, B, C, D, E, F, G, H)
+    (9 => A, B, C, D, E, F, G, H, I)
+    (10 => A, B, C, D, E, F, G, H, I, J)
+    (11 => A, B, C, D, E, F, G, H, I, J, K)
+    (12 => A, B, C, D, E, F, G, H, I, J, K, L)
+}

@@ -1,0 +1,20 @@
+//! Minimal in-repo stand-in for the `serde` crate.
+//!
+//! Implements the serde **data model** — the [`ser`] and [`de`] trait
+//! families — together with `Serialize`/`Deserialize` impls for the std
+//! types this workspace puts on the wire (scalars, strings, `Vec`,
+//! `Option`, `Box`, tuples, maps, `Result`, `Duration`). The derive
+//! macros are re-exported from the companion `serde_derive` crate.
+//!
+//! Formats in this workspace (`jiffy-proto::wire`) implement
+//! `Serializer`/`Deserializer` against these traits exactly as they
+//! would against upstream serde; the subset here is the full surface
+//! those implementations touch.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,536 @@
+//! Minimal in-repo stand-in for the `serde_derive` crate.
+//!
+//! Derives `Serialize`/`Deserialize` for the shapes this workspace uses:
+//! unit/tuple/named structs and enums with unit/newtype/tuple/struct
+//! variants. Generic type parameters, `where` clauses and field
+//! attributes are not supported (nothing in the workspace needs them);
+//! unsupported input produces a `compile_error!` at the derive site.
+//!
+//! The implementation parses the raw `proc_macro::TokenStream` by hand
+//! (no `syn`/`quote` available offline): attributes are skipped, field
+//! *names* and counts are collected (field *types* are never needed —
+//! the generated code lets inference recover them from the struct or
+//! variant constructor), and the output impl is assembled as a string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+enum Fields {
+    Unit,
+    /// Tuple struct/variant with this many fields.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Item) -> String) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => gen(&item),
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skips any number of leading `#[...]` attributes (doc comments arrive
+/// in this form too).
+fn skip_attrs(it: &mut Tokens) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        it.next(); // the bracketed attribute body
+    }
+}
+
+/// Skips `pub` / `pub(...)` visibility.
+fn skip_vis(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    skip_attrs(&mut it);
+    skip_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive (vendored) does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive serde traits for `{other}` items")),
+    }
+}
+
+/// Collects field names from a named-field body, skipping types. Commas
+/// inside generic arguments are ignored by tracking `<`/`>` depth.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut names = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        skip_vis(&mut it);
+        match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => {
+                names.push(id.to_string());
+                match it.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field name, got {other:?}")),
+                }
+                let mut angle = 0i64;
+                for tt in it.by_ref() {
+                    if let TokenTree::Punct(p) = &tt {
+                        match p.as_char() {
+                            '<' => angle += 1,
+                            '>' => angle -= 1,
+                            ',' if angle == 0 => break,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        }
+    }
+    Ok(names)
+}
+
+/// Counts top-level comma-separated fields in a tuple body, ignoring
+/// commas nested inside generic arguments.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut angle = 0i64;
+    let mut count = 0;
+    let mut pending = false;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    if pending {
+                        count += 1;
+                        pending = false;
+                    }
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut it);
+        let name = match it.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+        };
+        let fields = if let Some(TokenTree::Group(g)) = it.peek() {
+            let delim = g.delimiter();
+            let body = g.stream();
+            it.next();
+            match delim {
+                Delimiter::Brace => Fields::Named(parse_named_fields(body)?),
+                Delimiter::Parenthesis => Fields::Tuple(count_top_level_fields(body)),
+                _ => return Err(format!("unexpected delimiter after variant `{name}`")),
+            }
+        } else {
+            Fields::Unit
+        };
+        variants.push((name, fields));
+        match it.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                return Err("explicit enum discriminants are not supported".to_string());
+            }
+            Some(other) => return Err(format!("expected `,` between variants, got {other}")),
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Serialize codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, ser_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, __serializer: __S) \
+                 -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn ser_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("serde::Serializer::serialize_unit_struct(__serializer, \"{name}\")"),
+        Fields::Tuple(1) => format!(
+            "serde::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+        ),
+        Fields::Tuple(n) => {
+            let mut s = format!(
+                "let mut __st = serde::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "serde::ser::SerializeTupleStruct::serialize_field(&mut __st, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("serde::ser::SerializeTupleStruct::end(__st)");
+            s
+        }
+        Fields::Named(fs) => {
+            let n = fs.len();
+            let mut s = format!(
+                "let mut __st = serde::Serializer::serialize_struct(__serializer, \"{name}\", {n}usize)?;\n"
+            );
+            for f in fs {
+                s.push_str(&format!(
+                    "serde::ser::SerializeStruct::serialize_field(&mut __st, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("serde::ser::SerializeStruct::end(__st)");
+            s
+        }
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (i, (vname, fields)) in variants.iter().enumerate() {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{name}::{vname} => serde::Serializer::serialize_unit_variant(\
+                     __serializer, \"{name}\", {i}u32, \"{vname}\"),\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => serde::Serializer::serialize_newtype_variant(\
+                     __serializer, \"{name}\", {i}u32, \"{vname}\", __f0),\n"
+            )),
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|j| format!("__f{j}")).collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => {{\n\
+                         let mut __st = serde::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {i}u32, \"{vname}\", {n}usize)?;\n",
+                    binds.join(", ")
+                ));
+                for b in &binds {
+                    arms.push_str(&format!(
+                        "serde::ser::SerializeTupleVariant::serialize_field(&mut __st, {b})?;\n"
+                    ));
+                }
+                arms.push_str("serde::ser::SerializeTupleVariant::end(__st)\n},\n");
+            }
+            Fields::Named(fs) => {
+                let binds: Vec<String> = fs
+                    .iter()
+                    .enumerate()
+                    .map(|(j, f)| format!("{f}: __f{j}"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\n\
+                         let mut __st = serde::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {i}u32, \"{vname}\", {}usize)?;\n",
+                    binds.join(", "),
+                    fs.len()
+                ));
+                for (j, f) in fs.iter().enumerate() {
+                    arms.push_str(&format!(
+                        "serde::ser::SerializeStructVariant::serialize_field(&mut __st, \"{f}\", __f{j})?;\n"
+                    ));
+                }
+                arms.push_str("serde::ser::SerializeStructVariant::end(__st)\n},\n");
+            }
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize codegen
+// ---------------------------------------------------------------------------
+
+/// Emits `let __f{i} = ...next_element()...;` lines followed by the
+/// given constructor expression, for use inside a `visit_seq` body.
+fn de_seq_elements(ctor: &str, count: usize, expected: &str) -> String {
+    let mut s = String::new();
+    for i in 0..count {
+        s.push_str(&format!(
+            "let __f{i} = match serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 std::option::Option::Some(__v) => __v,\n\
+                 std::option::Option::None => return std::result::Result::Err(\
+                     serde::de::Error::invalid_length({i}usize, &\"{expected}\")),\n\
+             }};\n"
+        ));
+    }
+    s.push_str(&format!("std::result::Result::Ok({ctor})"));
+    s
+}
+
+/// Emits a complete visitor struct named `{vis_name}` whose `visit_seq`
+/// deserializes `count` fields and finishes with `ctor`.
+fn de_seq_visitor(vis_name: &str, value_ty: &str, ctor: &str, count: usize, expected: &str) -> String {
+    format!(
+        "struct {vis_name};\n\
+         impl<'de> serde::de::Visitor<'de> for {vis_name} {{\n\
+             type Value = {value_ty};\n\
+             fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                 __f.write_str(\"{expected}\")\n\
+             }}\n\
+             fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                 -> std::result::Result<{value_ty}, __A::Error> {{\n\
+                 {}\n\
+             }}\n\
+         }}\n",
+        de_seq_elements(ctor, count, expected)
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!(
+            "struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                     __f.write_str(\"unit struct {name}\")\n\
+                 }}\n\
+                 fn visit_unit<__E: serde::de::Error>(self) -> std::result::Result<{name}, __E> {{\n\
+                     std::result::Result::Ok({name})\n\
+                 }}\n\
+             }}\n\
+             serde::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+        ),
+        Fields::Tuple(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                     __f.write_str(\"newtype struct {name}\")\n\
+                 }}\n\
+                 fn visit_newtype_struct<__E: serde::Deserializer<'de>>(self, __d: __E) \
+                     -> std::result::Result<{name}, __E::Error> {{\n\
+                     std::result::Result::Ok({name}(serde::Deserialize::deserialize(__d)?))\n\
+                 }}\n\
+                 fn visit_seq<__A: serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+                     -> std::result::Result<{name}, __A::Error> {{\n\
+                     {}\n\
+                 }}\n\
+             }}\n\
+             serde::Deserializer::deserialize_newtype_struct(__deserializer, \"{name}\", __Visitor)",
+            de_seq_elements(&format!("{name}(__f0)"), 1, &format!("newtype struct {name}"))
+        ),
+        Fields::Tuple(n) => {
+            let ctor = format!(
+                "{name}({})",
+                (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ")
+            );
+            format!(
+                "{}\n\
+                 serde::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {n}usize, __Visitor)",
+                de_seq_visitor("__Visitor", name, &ctor, *n, &format!("tuple struct {name}"))
+            )
+        }
+        Fields::Named(fs) => {
+            let ctor = format!(
+                "{name} {{ {} }}",
+                fs.iter()
+                    .enumerate()
+                    .map(|(i, f)| format!("{f}: __f{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            let field_list = fs
+                .iter()
+                .map(|f| format!("\"{f}\""))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{}\n\
+                 serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{field_list}], __Visitor)",
+                de_seq_visitor("__Visitor", name, &ctor, fs.len(), &format!("struct {name}"))
+            )
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (i, (vname, fields)) in variants.iter().enumerate() {
+        match fields {
+            Fields::Unit => arms.push_str(&format!(
+                "{i}u32 => {{\n\
+                     serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                     std::result::Result::Ok({name}::{vname})\n\
+                 }},\n"
+            )),
+            Fields::Tuple(1) => arms.push_str(&format!(
+                "{i}u32 => std::result::Result::Ok({name}::{vname}(\
+                     serde::de::VariantAccess::newtype_variant(__variant)?)),\n"
+            )),
+            Fields::Tuple(n) => {
+                let ctor = format!(
+                    "{name}::{vname}({})",
+                    (0..*n).map(|j| format!("__f{j}")).collect::<Vec<_>>().join(", ")
+                );
+                arms.push_str(&format!(
+                    "{i}u32 => {{\n\
+                         {}\n\
+                         serde::de::VariantAccess::tuple_variant(__variant, {n}usize, __V{i})\n\
+                     }},\n",
+                    de_seq_visitor(
+                        &format!("__V{i}"),
+                        name,
+                        &ctor,
+                        *n,
+                        &format!("tuple variant {name}::{vname}")
+                    )
+                ));
+            }
+            Fields::Named(fs) => {
+                let ctor = format!(
+                    "{name}::{vname} {{ {} }}",
+                    fs.iter()
+                        .enumerate()
+                        .map(|(j, f)| format!("{f}: __f{j}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                let field_list = fs
+                    .iter()
+                    .map(|f| format!("\"{f}\""))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                arms.push_str(&format!(
+                    "{i}u32 => {{\n\
+                         {}\n\
+                         serde::de::VariantAccess::struct_variant(__variant, &[{field_list}], __V{i})\n\
+                     }},\n",
+                    de_seq_visitor(
+                        &format!("__V{i}"),
+                        name,
+                        &ctor,
+                        fs.len(),
+                        &format!("struct variant {name}::{vname}")
+                    )
+                ));
+            }
+        }
+    }
+    let variant_list = variants
+        .iter()
+        .map(|(v, _)| format!("\"{v}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+             }}\n\
+             fn visit_enum<__A: serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> std::result::Result<{name}, __A::Error> {{\n\
+                 let (__idx, __variant): (u32, __A::Variant) = \
+                     serde::de::EnumAccess::variant(__data)?;\n\
+                 match __idx {{\n\
+                     {arms}\
+                     __other => std::result::Result::Err(\
+                         serde::de::Error::unknown_variant(__other, &[{variant_list}])),\n\
+                 }}\n\
+             }}\n\
+         }}\n\
+         serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{variant_list}], __Visitor)"
+    )
+}
