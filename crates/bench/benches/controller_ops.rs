@@ -8,7 +8,7 @@ use jiffy_common::JiffyConfig;
 use jiffy_controller::{Controller, NoopDataPlane};
 use jiffy_persistent::MemObjectStore;
 use jiffy_proto::{ControlRequest, ControlResponse};
-use std::sync::Arc;
+use jiffy_sync::Arc;
 
 fn bench_controller(c: &mut Criterion) {
     let ctrl = Controller::new(
@@ -16,7 +16,8 @@ fn bench_controller(c: &mut Criterion) {
         SystemClock::shared(),
         Arc::new(NoopDataPlane),
         Arc::new(MemObjectStore::new()),
-    );
+    )
+    .unwrap();
     ctrl.dispatch(ControlRequest::RegisterServer {
         addr: "inproc:0".into(),
         capacity_blocks: 1024,

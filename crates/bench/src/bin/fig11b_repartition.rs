@@ -6,8 +6,8 @@
 //!
 //! Run: `cargo run --release -p jiffy-bench --bin fig11b_repartition`
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use jiffy_sync::atomic::{AtomicBool, Ordering};
+use jiffy_sync::Arc;
 use std::time::{Duration, Instant};
 
 use jiffy::cluster::JiffyCluster;

@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release -p jiffy-bench --bin fig12_controller`
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::{Duration, Instant};
 
 use jiffy_common::clock::SystemClock;
@@ -22,6 +22,7 @@ fn new_shard() -> Arc<Controller> {
         Arc::new(NoopDataPlane),
         Arc::new(MemObjectStore::new()),
     )
+    .unwrap()
 }
 
 /// Registers a job with a small hierarchy and returns its id.
@@ -82,7 +83,7 @@ fn main() {
     for clients in [1usize, 2, 4, 8, 16, 32, 64] {
         let ctrl = new_shard();
         let job = setup_job(&ctrl);
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(jiffy_sync::atomic::AtomicBool::new(false));
         let mut handles = Vec::new();
         for c in 0..clients {
             let ctrl = ctrl.clone();
@@ -91,7 +92,7 @@ fn main() {
                 let mut ops = 0u64;
                 let mut lat = Duration::ZERO;
                 let mut i = c as u64;
-                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                while !stop.load(jiffy_sync::atomic::Ordering::Relaxed) {
                     let t0 = Instant::now();
                     one_op(&ctrl, job, i);
                     lat += t0.elapsed();
@@ -102,7 +103,7 @@ fn main() {
             }));
         }
         std::thread::sleep(Duration::from_millis(800));
-        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        stop.store(true, jiffy_sync::atomic::Ordering::Relaxed);
         let (mut total_ops, mut total_lat) = (0u64, Duration::ZERO);
         for h in handles {
             let (ops, lat) = h.join().unwrap();
@@ -127,7 +128,7 @@ fn main() {
         let server = jiffy_rpc::tcp::serve_tcp("127.0.0.1:0", ctrl.clone()).unwrap();
         let addr = server.addr().to_string();
         for clients in [1usize, 4, 16] {
-            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let stop = Arc::new(jiffy_sync::atomic::AtomicBool::new(false));
             let mut handles = Vec::new();
             for c in 0..clients {
                 let addr = addr.clone();
@@ -137,7 +138,7 @@ fn main() {
                     let mut ops = 0u64;
                     let mut lat = Duration::ZERO;
                     let mut i = c as u64;
-                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    while !stop.load(jiffy_sync::atomic::Ordering::Relaxed) {
                         let req = jiffy_proto::Envelope::ControlReq {
                             id: 0,
                             req: ControlRequest::RenewLease {
@@ -156,7 +157,7 @@ fn main() {
                 }));
             }
             std::thread::sleep(Duration::from_millis(800));
-            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            stop.store(true, jiffy_sync::atomic::Ordering::Relaxed);
             let (mut total_ops, mut total_lat) = (0u64, Duration::ZERO);
             for h in handles {
                 let (ops, lat) = h.join().unwrap();

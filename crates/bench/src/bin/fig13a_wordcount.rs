@@ -6,9 +6,9 @@
 //!
 //! Run: `cargo run --release -p jiffy-bench --bin fig13a_wordcount`
 
+use jiffy_sync::atomic::{AtomicBool, Ordering};
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jiffy::cluster::JiffyCluster;

@@ -6,13 +6,13 @@
 //!
 //! Run: `cargo run --release -p jiffy-bench --bin fig13b_excamera`
 
+use jiffy_sync::Arc;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jiffy::cluster::JiffyCluster;
 use jiffy::JiffyConfig;
-use parking_lot::{Condvar, Mutex};
+use jiffy_sync::{Condvar, Mutex};
 
 /// Encode tasks (the paper plots 15 task IDs).
 const TASKS: usize = 15;
@@ -71,7 +71,7 @@ fn run_rendezvous() -> Vec<(Duration, Duration)> {
     let rv = Arc::new(Rendezvous {
         board: Mutex::new(HashMap::new()),
     });
-    let barrier = Arc::new(std::sync::Barrier::new(TASKS));
+    let barrier = Arc::new(jiffy_sync::Barrier::new(TASKS));
     let mut handles = Vec::new();
     for t in 0..TASKS {
         let rv = rv.clone();

@@ -1,10 +1,10 @@
 //! The per-memory-server block store.
 
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use jiffy_common::{BlockId, JiffyError, Result};
-use parking_lot::{Mutex, RwLock};
+use jiffy_sync::{Mutex, RwLock};
 
 use crate::block::Block;
 

@@ -1,6 +1,6 @@
 //! Typed data-structure handles with client-side `getBlock` routing.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::Duration;
 
 use jiffy_common::{JiffyError, Result};
@@ -8,7 +8,7 @@ use jiffy_proto::{
     Blob, BlockLocation, ControlRequest, DataRequest, DataResponse, DsOp, DsResult, Envelope,
     OpKind, PartitionView,
 };
-use parking_lot::RwLock;
+use jiffy_sync::RwLock;
 
 use crate::job::JobClient;
 use crate::listener::Listener;
@@ -385,7 +385,7 @@ pub struct QueueClient {
     core: DsCore,
     /// Local dequeue cursor into the cached segment list; advances when
     /// a sealed segment drains (`StaleMetadata` from the server).
-    head_cursor: parking_lot::Mutex<usize>,
+    head_cursor: jiffy_sync::Mutex<usize>,
     /// Client-side bound on queue length in items (paper
     /// `maxQueueLength`); `None` = unbounded.
     max_len: Option<u64>,
@@ -395,7 +395,7 @@ impl QueueClient {
     pub(crate) fn open(job: Arc<JobClient>, name: &str) -> Result<Self> {
         Ok(Self {
             core: DsCore::open(job, name)?,
-            head_cursor: parking_lot::Mutex::new(0),
+            head_cursor: jiffy_sync::Mutex::new(0),
             max_len: None,
         })
     }

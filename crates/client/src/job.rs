@@ -1,6 +1,6 @@
 //! Connection and job-scope handles.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::Duration;
 
 use jiffy_common::{JiffyError, JobId, Result};

@@ -6,11 +6,11 @@
 //! stopped or dropped. Thanks to DAG propagation (§3.2) one renewal per
 //! running task suffices to keep its inputs and consumers alive.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use jiffy_sync::Arc;
 use std::time::Duration;
 
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 
 use crate::job::JobClient;
 

@@ -58,7 +58,7 @@ impl Listener {
             // Dedicated connection: pushes are per-connection.
             let conn = self.fabric.dial(&tail.addr)?;
             let tx = self.tx.clone();
-            conn.set_push_callback(std::sync::Arc::new(move |n| {
+            conn.set_push_callback(jiffy_sync::Arc::new(move |n| {
                 let _ = tx.send(n);
             }));
             conn.call(Envelope::DataReq {

@@ -11,7 +11,7 @@
 //! collide with the per-connection auto-ids that [`jiffy_rpc::tcp`]
 //! assigns to unstamped (id = 0) requests, which count up from 1.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use jiffy_sync::atomic::{AtomicU64, Ordering};
 
 static NEXT: AtomicU64 = AtomicU64::new(1 << 32);
 

@@ -8,8 +8,8 @@
 //! replay in milliseconds while exercising the very same lease-expiry and
 //! allocation code paths.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use jiffy_sync::atomic::{AtomicU64, Ordering};
+use jiffy_sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A monotonic source of time, measured as a [`Duration`] since an

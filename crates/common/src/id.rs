@@ -5,8 +5,8 @@
 //! servers (which host blocks). Using newtypes rather than bare integers
 //! prevents an entire class of cross-plane mix-ups at compile time.
 
+use jiffy_sync::atomic::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
@@ -131,7 +131,7 @@ mod tests {
 
     #[test]
     fn idgen_is_thread_safe() {
-        let g = std::sync::Arc::new(IdGen::new());
+        let g = jiffy_sync::Arc::new(IdGen::new());
         let mut handles = Vec::new();
         for _ in 0..4 {
             let g = g.clone();

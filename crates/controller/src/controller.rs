@@ -1,7 +1,7 @@
 //! The Jiffy controller service (paper Fig. 7).
 
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use jiffy_common::clock::SharedClock;
 use jiffy_common::id::IdGen;
@@ -12,7 +12,7 @@ use jiffy_proto::{
     DataRequest, DataResponse, DsType, Envelope, MergeSpec, PrefixView, SplitSpec,
 };
 use jiffy_rpc::{Fabric, Service, SessionHandle};
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::freelist::FreeList;
@@ -295,14 +295,18 @@ pub struct Controller {
 
 impl Controller {
     /// Creates a controller.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JiffyConfig::validate`] failures.
     pub fn new(
         cfg: JiffyConfig,
         clock: SharedClock,
         dataplane: Arc<dyn DataPlane>,
         persistent: Arc<dyn ObjectStore>,
-    ) -> Arc<Self> {
-        cfg.validate().expect("invalid JiffyConfig");
-        Arc::new(Self {
+    ) -> Result<Arc<Self>> {
+        cfg.validate()?;
+        Ok(Arc::new(Self {
             cfg,
             clock,
             state: Mutex::new(CtrlState {
@@ -314,7 +318,7 @@ impl Controller {
             dataplane,
             persistent,
             job_ids: IdGen::new(),
-        })
+        }))
     }
 
     /// The configuration this controller runs with.
@@ -515,8 +519,16 @@ impl Controller {
                 locs.push(loc);
             }
             meta.install_initial(locs);
-            let entry = st.jobs.get_mut(&job).expect("checked above");
-            let node = entry.hierarchy.get_mut(name).expect("just created");
+            #[allow(clippy::expect_used)] // invariant documented in the message
+            let entry = st
+                .jobs
+                .get_mut(&job)
+                .expect("invariant: job presence verified above under the same state lock");
+            #[allow(clippy::expect_used)] // invariant documented in the message
+            let node = entry
+                .hierarchy
+                .get_mut(name)
+                .expect("invariant: node inserted above under the same state lock");
             node.ds = Some(meta);
         }
         Ok(())
@@ -558,13 +570,14 @@ impl Controller {
         };
         self.persistent
             .put(external_path, &jiffy_proto::to_bytes(&record)?)?;
+        #[allow(clippy::expect_used)] // invariant documented in the message
         let node = st
             .jobs
             .get_mut(&job)
-            .expect("checked")
+            .expect("invariant: job resolved above under the same state lock")
             .hierarchy
             .resolve_mut(name)
-            .expect("checked");
+            .expect("invariant: prefix resolved above under the same state lock");
         node.flushed_to = Some(external_path.to_string());
         if reclaim {
             node.ds = None;
@@ -623,8 +636,16 @@ impl Controller {
             bytes += payload.len() as u64;
             st.block_owner.insert(loc.id(), (job, name.to_string()));
         }
-        let entry = st.jobs.get_mut(&job).expect("checked");
-        let node = entry.hierarchy.resolve_mut(name).expect("checked");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let entry = st
+            .jobs
+            .get_mut(&job)
+            .expect("invariant: job resolved above under the same state lock");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let node = entry
+            .hierarchy
+            .resolve_mut(name)
+            .expect("invariant: prefix resolved above under the same state lock");
         node.ds = Some(meta);
         node.version += 1;
         node.flushed_to = Some(external_path.to_string());
@@ -702,9 +723,21 @@ impl Controller {
         self.dataplane
             .split_block(&source_loc, &plan.spec, plan.moves_data.then_some(&new_loc))?;
         // Commit the layout.
-        let entry = st.jobs.get_mut(&job).expect("checked");
-        let node = entry.hierarchy.resolve_mut(&name).expect("checked");
-        let meta = node.ds.as_mut().expect("checked");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let entry = st
+            .jobs
+            .get_mut(&job)
+            .expect("invariant: job resolved above under the same state lock");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let node = entry
+            .hierarchy
+            .resolve_mut(&name)
+            .expect("invariant: prefix resolved above under the same state lock");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let meta = node
+            .ds
+            .as_mut()
+            .expect("invariant: ds presence verified when planning the split");
         meta.commit_split(block, &plan.spec, new_loc.clone())?;
         node.version += 1;
         st.block_owner.insert(new_loc.id(), (job, name));
@@ -764,9 +797,21 @@ impl Controller {
                 other => Err(other),
             };
         }
-        let entry = st.jobs.get_mut(&job).expect("checked");
-        let node = entry.hierarchy.resolve_mut(&name).expect("checked");
-        let meta = node.ds.as_mut().expect("checked");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let entry = st
+            .jobs
+            .get_mut(&job)
+            .expect("invariant: job resolved above under the same state lock");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let node = entry
+            .hierarchy
+            .resolve_mut(&name)
+            .expect("invariant: prefix resolved above under the same state lock");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let meta = node
+            .ds
+            .as_mut()
+            .expect("invariant: ds presence verified when planning the merge");
         meta.commit_merge(block, &plan.spec, target.as_ref())?;
         node.version += 1;
         let _ = self.dataplane.reset_block(&source_loc);
@@ -802,19 +847,20 @@ impl Controller {
     /// every `cfg.lease_scan_interval` until the returned handle is
     /// dropped. Only meaningful with a real-time clock.
     pub fn start_expiry_worker(self: &Arc<Self>) -> ControllerHandle {
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(jiffy_sync::atomic::AtomicBool::new(false));
         let stop2 = stop.clone();
         let ctrl = Arc::clone(self);
         let interval = self.cfg.lease_scan_interval;
+        #[allow(clippy::expect_used)] // invariant documented in the message
         let thread = std::thread::Builder::new()
             .name("jiffy-lease-expiry".into())
             .spawn(move || {
-                while !stop2.load(std::sync::atomic::Ordering::SeqCst) {
+                while !stop2.load(jiffy_sync::atomic::Ordering::SeqCst) {
                     std::thread::sleep(interval);
                     ctrl.run_expiry_once();
                 }
             })
-            .expect("spawn expiry worker");
+            .expect("invariant: thread spawn fails only on OS resource exhaustion");
         ControllerHandle {
             stop,
             thread: Some(thread),
@@ -875,14 +921,14 @@ impl Service for Controller {
 
 /// Handle keeping the lease-expiry worker alive; stops it on drop.
 pub struct ControllerHandle {
-    stop: Arc<std::sync::atomic::AtomicBool>,
+    stop: Arc<jiffy_sync::atomic::AtomicBool>,
     thread: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ControllerHandle {
     /// Stops the worker and waits for it to exit.
     pub fn stop(&mut self) {
-        self.stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        self.stop.store(true, jiffy_sync::atomic::Ordering::SeqCst);
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
@@ -906,7 +952,7 @@ mod tests {
         let (clock, shared) = ManualClock::shared();
         let store = Arc::new(MemObjectStore::new());
         let cfg = JiffyConfig::for_testing();
-        let ctrl = Controller::new(cfg, shared, Arc::new(NoopDataPlane), store.clone());
+        let ctrl = Controller::new(cfg, shared, Arc::new(NoopDataPlane), store.clone()).unwrap();
         (ctrl, clock, store)
     }
 

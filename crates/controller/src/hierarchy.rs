@@ -120,9 +120,10 @@ impl AddressHierarchy {
         node.parents = parents.to_vec();
         self.nodes.insert(name.to_string(), node);
         for p in parents {
+            #[allow(clippy::expect_used)] // invariant documented in the message
             self.nodes
                 .get_mut(p)
-                .expect("parent existence checked above")
+                .expect("invariant: parent existence checked above")
                 .children
                 .push(name.to_string());
         }
@@ -154,14 +155,16 @@ impl AddressHierarchy {
                 "edge {parent} -> {name} would create a cycle"
             )));
         }
+        #[allow(clippy::expect_used)] // invariant documented in the message
         self.nodes
             .get_mut(name)
-            .unwrap()
+            .expect("invariant: presence checked at function entry")
             .parents
             .push(parent.to_string());
+        #[allow(clippy::expect_used)] // invariant documented in the message
         self.nodes
             .get_mut(parent)
-            .unwrap()
+            .expect("invariant: presence checked at function entry")
             .children
             .push(name.to_string());
         Ok(())
@@ -210,7 +213,11 @@ impl AddressHierarchy {
     /// Same as [`AddressHierarchy::resolve`].
     pub fn resolve_mut(&mut self, path: &str) -> Result<&mut Node> {
         let name = self.resolve_name(path)?;
-        Ok(self.nodes.get_mut(&name).expect("checked by resolve_name"))
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        Ok(self
+            .nodes
+            .get_mut(&name)
+            .expect("invariant: resolve_name verified the node exists"))
     }
 
     fn resolve_name(&self, path: &str) -> Result<String> {
@@ -230,7 +237,10 @@ impl AddressHierarchy {
                 )));
             }
         }
-        let last = *parts.last().expect("non-empty");
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let last = *parts
+            .last()
+            .expect("invariant: parts verified non-empty above");
         if !self.nodes.contains_key(last) {
             return Err(JiffyError::PathNotFound(path.to_string()));
         }

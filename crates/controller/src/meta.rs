@@ -299,7 +299,8 @@ impl DsMeta {
     /// slot and there is only one of them.
     fn choose_split_range(owned: &[(u32, u32)]) -> Option<(u32, u32)> {
         if owned.len() > 1 {
-            return Some(*owned.last().expect("non-empty"));
+            #[allow(clippy::expect_used)] // invariant documented in the message
+            return Some(*owned.last().expect("invariant: len > 1 checked above"));
         }
         let (lo, hi) = owned[0];
         if lo == hi {

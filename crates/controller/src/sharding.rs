@@ -6,7 +6,7 @@
 //! share nothing, which is exactly why the paper observes near-linear
 //! throughput scaling.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 
 use jiffy_common::{JiffyError, JobId};
 use jiffy_proto::{ControlRequest, ControlResponse, Envelope};
@@ -141,12 +141,15 @@ mod tests {
     fn shards(n: usize) -> ShardedController {
         let mut v = Vec::new();
         for _ in 0..n {
-            v.push(Controller::new(
-                JiffyConfig::for_testing(),
-                SystemClock::shared(),
-                Arc::new(NoopDataPlane),
-                Arc::new(MemObjectStore::new()),
-            ));
+            v.push(
+                Controller::new(
+                    JiffyConfig::for_testing(),
+                    SystemClock::shared(),
+                    Arc::new(NoopDataPlane),
+                    Arc::new(MemObjectStore::new()),
+                )
+                .unwrap(),
+            );
         }
         ShardedController::new(v)
     }

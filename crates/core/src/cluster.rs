@@ -1,7 +1,7 @@
 //! Cluster bootstrap: wire a controller, memory servers, persistent
 //! tier and client fabric together, in-process or over TCP.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 
 use jiffy_client::JiffyClient;
 use jiffy_common::clock::{SharedClock, SystemClock};
@@ -87,7 +87,7 @@ impl JiffyCluster {
             clock,
             Arc::new(RpcDataPlane::new(fabric.clone())),
             persistent.clone(),
-        );
+        )?;
         let mut tcp_handles = Vec::new();
         // Services are registered behind a replay cache so that clients
         // retrying a timed-out request (same request id) never execute a

@@ -161,7 +161,10 @@ impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
         // Update in place if present.
         for idx in [self.index_a(&key), self.index_b(&key)] {
             if let Some(slot) = Self::find_in_bucket(&self.buckets[idx], &key) {
-                let entry = self.buckets[idx][slot].as_mut().unwrap();
+                #[allow(clippy::expect_used)] // invariant documented in the message
+                let entry = self.buckets[idx][slot]
+                    .as_mut()
+                    .expect("invariant: find_in_bucket returned an occupied slot");
                 return Some(std::mem::replace(&mut entry.value, value));
             }
         }
@@ -184,7 +187,10 @@ impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
     pub fn remove(&mut self, key: &K) -> Option<V> {
         for idx in [self.index_a(key), self.index_b(key)] {
             if let Some(slot) = Self::find_in_bucket(&self.buckets[idx], key) {
-                let entry = self.buckets[idx][slot].take().unwrap();
+                #[allow(clippy::expect_used)] // invariant documented in the message
+                let entry = self.buckets[idx][slot]
+                    .take()
+                    .expect("invariant: find_in_bucket returned an occupied slot");
                 self.len -= 1;
                 return Some(entry.value);
             }
@@ -221,7 +227,8 @@ impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
         for bucket in &mut self.buckets {
             for slot in bucket.iter_mut() {
                 if slot.as_ref().is_some_and(|e| pred(&e.key, &e.value)) {
-                    let e = slot.take().unwrap();
+                    #[allow(clippy::expect_used)] // invariant documented in the message
+                    let e = slot.take().expect("invariant: is_some_and guard above");
                     out.push((e.key, e.value));
                 }
             }
@@ -248,10 +255,11 @@ impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
                 self.apply_eviction_path(&path);
                 // The first bucket on the path now has a free slot.
                 let (bucket, _) = path[0];
+                #[allow(clippy::expect_used)] // invariant documented in the message
                 let slot = self.buckets[bucket]
                     .iter()
                     .position(Option::is_none)
-                    .expect("eviction path must free a slot");
+                    .expect("invariant: apply_eviction_path vacated a slot in path[0]");
                 self.buckets[bucket][slot] = Some(entry);
                 Ok(())
             }
@@ -331,16 +339,18 @@ impl<K: Hash + Eq, V, S: BuildHasher + Clone> CuckooMap<K, V, S> {
     /// move lands in a free slot.
     fn apply_eviction_path(&mut self, path: &[(usize, usize)]) {
         for &(bucket, slot) in path.iter().rev() {
+            #[allow(clippy::expect_used)] // invariant documented in the message
             let entry = self.buckets[bucket][slot]
                 .take()
-                .expect("path slots must be occupied");
+                .expect("invariant: the BFS only records occupied slots");
             let ia = self.index_a(&entry.key);
             let ib = self.index_b(&entry.key);
             let alt = if ia == bucket { ib } else { ia };
+            #[allow(clippy::expect_used)] // invariant documented in the message
             let free = self.buckets[alt]
                 .iter()
                 .position(Option::is_none)
-                .expect("alternate bucket must have space when applying path");
+                .expect("invariant: later hops already vacated the alternate bucket");
             self.buckets[alt][free] = Some(entry);
         }
     }

@@ -8,25 +8,37 @@
 use std::collections::hash_map::RandomState;
 use std::hash::{BuildHasher, Hash};
 
-use parking_lot::RwLock;
+use jiffy_sync::RwLock;
 
 use crate::map::CuckooMap;
 
 /// A thread-safe cuckoo map sharded by key hash.
+///
+/// The router hasher is pluggable (defaults to [`RandomState`]) so
+/// deterministic tests — the loom models in `tests/loom_sharded.rs`
+/// especially — can pin which shard each key lands in.
 #[derive(Debug)]
-pub struct ShardedCuckoo<K, V> {
+pub struct ShardedCuckoo<K, V, S = RandomState> {
     shards: Vec<RwLock<CuckooMap<K, V>>>,
-    router: RandomState,
+    router: S,
 }
 
 impl<K: Hash + Eq, V> ShardedCuckoo<K, V> {
     /// Creates a map with `shards` independent partitions (rounded up to
     /// a power of two, minimum 1).
     pub fn new(shards: usize) -> Self {
+        Self::with_router(shards, RandomState::new())
+    }
+}
+
+impl<K: Hash + Eq, V, S: BuildHasher> ShardedCuckoo<K, V, S> {
+    /// Creates a map routing keys to shards with `router`. Shard count is
+    /// rounded up to a power of two, minimum 1.
+    pub fn with_router(shards: usize, router: S) -> Self {
         let n = shards.next_power_of_two().max(1);
         Self {
             shards: (0..n).map(|_| RwLock::new(CuckooMap::new())).collect(),
-            router: RandomState::new(),
+            router,
         }
     }
 
@@ -62,7 +74,7 @@ impl<K: Hash + Eq, V> ShardedCuckoo<K, V> {
     }
 }
 
-impl<K: Hash + Eq, V: Clone> ShardedCuckoo<K, V> {
+impl<K: Hash + Eq, V: Clone, S: BuildHasher> ShardedCuckoo<K, V, S> {
     /// Looks up a key, cloning the value out.
     pub fn get(&self, key: &K) -> Option<V> {
         self.shard(key).read().get(key).cloned()
@@ -72,7 +84,7 @@ impl<K: Hash + Eq, V: Clone> ShardedCuckoo<K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use jiffy_sync::Arc;
 
     #[test]
     fn basic_operations() {

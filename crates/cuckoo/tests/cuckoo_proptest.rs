@@ -3,9 +3,9 @@
 //! linearizable under concurrent access from multiple threads.
 
 use jiffy_cuckoo::{CuckooMap, ShardedCuckoo};
+use jiffy_sync::Arc;
 use proptest::prelude::*;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 #[derive(Debug, Clone)]
 enum Op {

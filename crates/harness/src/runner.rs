@@ -11,7 +11,7 @@
 //! call sequence — which is what makes a single-worker run replayable
 //! from its seed alone.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::Instant;
 
 use jiffy::{JiffyClient, JiffyCluster};

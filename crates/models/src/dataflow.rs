@@ -7,8 +7,8 @@
 //! Jiffy notifications). A master process schedules vertices as their
 //! inputs become ready and renews leases.
 
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 use jiffy_client::{FileClient, JobClient, QueueClient};

@@ -8,8 +8,8 @@
 //! correctness under concurrent writers. A master process creates the
 //! address hierarchy and renews leases while tasks run.
 
+use jiffy_sync::Arc;
 use std::collections::BTreeMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 use jiffy_client::JobClient;

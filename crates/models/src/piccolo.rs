@@ -7,7 +7,7 @@
 //! renews leases and checkpoints tables by flushing them to the
 //! persistent tier.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::Duration;
 
 use jiffy_client::{JobClient, KvClient};

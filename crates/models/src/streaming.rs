@@ -7,7 +7,7 @@
 //! streaming word-count evaluation of §6.5 is exactly this shape:
 //! 50 partition tasks → 50 count tasks.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::Duration;
 
 use jiffy_client::{JobClient, QueueClient};

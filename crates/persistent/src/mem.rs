@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use jiffy_common::{JiffyError, Result};
-use parking_lot::RwLock;
+use jiffy_sync::RwLock;
 
 use crate::cost::CostModel;
 use crate::ObjectStore;

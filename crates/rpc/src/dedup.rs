@@ -14,11 +14,11 @@
 //! disconnects — so deduplication holds across retries on one connection,
 //! which is exactly the window in which a client reuses a request id.
 
+use jiffy_sync::Arc;
 use std::collections::{HashMap, VecDeque};
-use std::sync::Arc;
 
 use jiffy_proto::Envelope;
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 
 use crate::service::{Service, SessionHandle};
 
@@ -34,10 +34,10 @@ struct SessionCache {
 }
 
 impl SessionCache {
-    fn insert(&mut self, id: u64, resp: Envelope) {
+    fn insert(&mut self, id: u64, resp: Envelope, capacity: usize) {
         if self.responses.insert(id, resp).is_none() {
             self.order.push_back(id);
-            if self.order.len() > DEDUP_CACHE_PER_SESSION {
+            if self.order.len() > capacity {
                 if let Some(old) = self.order.pop_front() {
                     self.responses.remove(&old);
                 }
@@ -51,16 +51,27 @@ impl SessionCache {
 pub struct Deduplicated<S: Service> {
     inner: S,
     sessions: Mutex<HashMap<u64, SessionCache>>,
-    replays: std::sync::atomic::AtomicU64,
+    capacity: usize,
+    replays: jiffy_sync::atomic::AtomicU64,
 }
 
 impl<S: Service> Deduplicated<S> {
-    /// Wraps `inner` with a replay cache.
+    /// Wraps `inner` with a replay cache of [`DEDUP_CACHE_PER_SESSION`]
+    /// entries per session.
     pub fn new(inner: S) -> Self {
+        Self::with_capacity(inner, DEDUP_CACHE_PER_SESSION)
+    }
+
+    /// Wraps `inner` with a replay cache of `capacity` entries per
+    /// session (minimum 1). Small capacities shrink the retry window —
+    /// the loom model in `tests/loom_dedup.rs` uses this to make the
+    /// retry-vs-eviction race explorable.
+    pub fn with_capacity(inner: S, capacity: usize) -> Self {
         Self {
             inner,
             sessions: Mutex::new(HashMap::new()),
-            replays: std::sync::atomic::AtomicU64::new(0),
+            capacity: capacity.max(1),
+            replays: jiffy_sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -76,7 +87,7 @@ impl<S: Service> Deduplicated<S> {
 
     /// Number of requests answered from the replay cache.
     pub fn replays(&self) -> u64 {
-        self.replays.load(std::sync::atomic::Ordering::Relaxed)
+        self.replays.load(jiffy_sync::atomic::Ordering::Relaxed)
     }
 
     fn request_id(req: &Envelope) -> Option<u64> {
@@ -95,7 +106,7 @@ impl<S: Service> Service for Deduplicated<S> {
         if let Some(cache) = self.sessions.lock().get(&session.id()) {
             if let Some(resp) = cache.responses.get(&id) {
                 self.replays
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    .fetch_add(1, jiffy_sync::atomic::Ordering::Relaxed);
                 return resp.clone();
             }
         }
@@ -107,7 +118,7 @@ impl<S: Service> Service for Deduplicated<S> {
             .lock()
             .entry(session.id())
             .or_default()
-            .insert(id, resp.clone());
+            .insert(id, resp.clone(), self.capacity);
         resp
     }
 
@@ -121,7 +132,7 @@ impl<S: Service> Service for Deduplicated<S> {
 mod tests {
     use super::*;
     use jiffy_proto::{DataRequest, DataResponse, DsResult};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use jiffy_sync::atomic::{AtomicUsize, Ordering};
 
     /// Returns a fresh counter value per executed request, so replayed
     /// responses are distinguishable from re-executions.

@@ -7,13 +7,13 @@
 //! [`LatencyInjector`] to emulate datacenter RTTs in experiments run on a
 //! single machine.
 
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 use jiffy_common::Result;
 use jiffy_proto::Envelope;
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 
 use crate::fault::{ChaosConn, FaultInjector};
 use crate::inproc::InprocHub;

@@ -16,14 +16,14 @@
 //!
 //! [`Fabric::with_fault_injection`]: crate::fabric::Fabric::with_fault_injection
 
+use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::time::Duration;
 
 use jiffy_common::{JiffyError, Result};
 use jiffy_proto::Envelope;
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 use rand::rngs::SmallRng;
 use rand::{RngExt, SeedableRng};
 
@@ -434,7 +434,7 @@ mod tests {
     use super::*;
     use crate::service::{Service, SessionHandle};
     use jiffy_proto::{DataRequest, DataResponse};
-    use std::sync::atomic::AtomicUsize;
+    use jiffy_sync::atomic::AtomicUsize;
 
     struct Counting {
         calls: AtomicUsize,

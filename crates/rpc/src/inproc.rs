@@ -6,12 +6,12 @@
 //! simulator and single-process cluster deployments; it exercises exactly
 //! the same [`Service`] code as TCP.
 
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 
 use jiffy_common::{JiffyError, Result};
 use jiffy_proto::Envelope;
-use parking_lot::RwLock;
+use jiffy_sync::RwLock;
 
 use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, SessionHandle};
 
@@ -19,7 +19,7 @@ use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, Se
 #[derive(Default)]
 pub struct InprocHub {
     services: RwLock<HashMap<u64, Arc<dyn Service>>>,
-    next: std::sync::atomic::AtomicU64,
+    next: jiffy_sync::atomic::AtomicU64,
 }
 
 impl InprocHub {
@@ -30,7 +30,9 @@ impl InprocHub {
 
     /// Registers a service and returns its `inproc:N` address.
     pub fn register(&self, service: Arc<dyn Service>) -> String {
-        let id = self.next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let id = self
+            .next
+            .fetch_add(1, jiffy_sync::atomic::Ordering::Relaxed);
         self.services.write().insert(id, service);
         format!("inproc:{id}")
     }
@@ -63,7 +65,7 @@ impl InprocHub {
             id,
             session,
             push,
-            closed: std::sync::atomic::AtomicBool::new(false),
+            closed: jiffy_sync::atomic::AtomicBool::new(false),
         })))
     }
 
@@ -81,12 +83,12 @@ struct InprocConn {
     id: u64,
     session: SessionHandle,
     push: PushSlot,
-    closed: std::sync::atomic::AtomicBool,
+    closed: jiffy_sync::atomic::AtomicBool,
 }
 
 impl Connection for InprocConn {
     fn call(&self, req: Envelope) -> Result<Envelope> {
-        if self.closed.load(std::sync::atomic::Ordering::SeqCst) {
+        if self.closed.load(jiffy_sync::atomic::Ordering::SeqCst) {
             return Err(JiffyError::Rpc("connection closed".into()));
         }
         let svc = self
@@ -101,7 +103,7 @@ impl Connection for InprocConn {
     }
 
     fn close(&self) {
-        if !self.closed.swap(true, std::sync::atomic::Ordering::SeqCst) {
+        if !self.closed.swap(true, jiffy_sync::atomic::Ordering::SeqCst) {
             if let Some(svc) = self.hub.service(self.id) {
                 svc.on_disconnect(&self.session);
             }
@@ -120,7 +122,7 @@ mod tests {
     use super::*;
     use jiffy_common::BlockId;
     use jiffy_proto::{DataRequest, DataResponse, Notification, OpKind};
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use jiffy_sync::atomic::{AtomicUsize, Ordering};
 
     /// Echo service that answers pings and can push a notification back
     /// to whoever sent the last request.

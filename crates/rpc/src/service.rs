@@ -1,11 +1,11 @@
 //! Service and connection abstractions shared by all transports.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use jiffy_sync::atomic::{AtomicU64, Ordering};
+use jiffy_sync::Arc;
 
 use jiffy_common::Result;
 use jiffy_proto::{Envelope, Notification};
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 
 /// Callback invoked on the client side when the server pushes a
 /// [`Notification`].
@@ -160,7 +160,7 @@ mod tests {
     use super::*;
     use jiffy_common::BlockId;
     use jiffy_proto::OpKind;
-    use std::sync::atomic::AtomicUsize;
+    use jiffy_sync::atomic::AtomicUsize;
 
     fn notif(seq: u64) -> Notification {
         Notification {

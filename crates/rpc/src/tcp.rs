@@ -6,16 +6,16 @@
 //! flight concurrently, and the server can push notifications on the same
 //! connection at any time (envelope variant [`Envelope::Push`]).
 
+use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use jiffy_sync::Arc;
 use std::collections::HashMap;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
 use jiffy_common::{JiffyError, Result};
 use jiffy_proto::{frame, from_bytes, to_bytes, Envelope};
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 
 use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, SessionHandle};
 
@@ -277,7 +277,7 @@ mod tests {
     use super::*;
     use jiffy_common::BlockId;
     use jiffy_proto::{DataRequest, DataResponse, Notification, OpKind};
-    use std::sync::atomic::AtomicUsize;
+    use jiffy_sync::atomic::AtomicUsize;
 
     struct Echo;
 

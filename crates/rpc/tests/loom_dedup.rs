@@ -1,0 +1,135 @@
+//! Loom models for the [`Deduplicated`] replay cache — the retry /
+//! eviction / session races PR 1's chaos harness found empirically.
+//!
+//! Exhaustive model checking (bounded preemption, see `vendor/loom`):
+//!
+//! ```text
+//! cargo test -p jiffy-rpc --features loom --test loom_dedup
+//! ```
+//!
+//! Without the feature, `jiffy_sync::model` runs each body once with real
+//! threads, so these double as plain smoke tests in ordinary `cargo test`
+//! runs (except the exploration-counting test, which needs the model
+//! checker to enumerate schedules).
+
+use jiffy_proto::{DataRequest, DataResponse, DsResult, Envelope};
+use jiffy_rpc::{Deduplicated, Service, SessionHandle};
+use jiffy_sync::atomic::{AtomicUsize, Ordering};
+use jiffy_sync::{model, thread, Arc};
+
+/// Stamps every *executed* request with a fresh counter value, so a
+/// replayed response is distinguishable from a re-execution.
+#[derive(Default)]
+struct Stamping {
+    executed: AtomicUsize,
+}
+
+impl Stamping {
+    fn executed(&self) -> usize {
+        self.executed.load(Ordering::SeqCst)
+    }
+}
+
+impl Service for Stamping {
+    fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
+        let n = self.executed.fetch_add(1, Ordering::SeqCst) as u64;
+        match req {
+            Envelope::DataReq { id, .. } => Envelope::DataResp {
+                id,
+                resp: Ok(DataResponse::OpResult(DsResult::Size(n))),
+            },
+            _ => unreachable!("models only send data requests"),
+        }
+    }
+}
+
+fn session() -> SessionHandle {
+    SessionHandle::new(Arc::new(|_| {}))
+}
+
+fn req(id: u64) -> Envelope {
+    Envelope::DataReq {
+        id,
+        req: DataRequest::Ping,
+    }
+}
+
+#[test]
+fn concurrent_retries_on_one_session_never_reexecute() {
+    model(|| {
+        let d = Arc::new(Deduplicated::new(Stamping::default()));
+        let s = session();
+        let first = d.handle(req(1), &s);
+        // The client timed out twice and fires two concurrent retries of
+        // the same id on the SAME session (the PR 1 fix keeps the session
+        // alive across timeouts precisely so this holds).
+        let (d1, s1, f1) = (Arc::clone(&d), s.clone(), first.clone());
+        let t1 = thread::spawn(move || assert_eq!(d1.handle(req(1), &s1), f1));
+        let (d2, s2, f2) = (Arc::clone(&d), s.clone(), first.clone());
+        let t2 = thread::spawn(move || assert_eq!(d2.handle(req(1), &s2), f2));
+        t1.join().unwrap();
+        t2.join().unwrap();
+        assert_eq!(d.inner().executed(), 1, "completed op re-executed");
+    });
+}
+
+/// Re-introduces the exact bug PR 1's harness caught: a timed-out
+/// connection was torn down and re-dialed, and the retry arrived on a
+/// FRESH session whose empty replay cache let the op execute again
+/// (double-executed dequeues). The model must report the violation.
+#[test]
+fn model_catches_the_pr1_fresh_session_retry_bug() {
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        model(|| {
+            let d = Arc::new(Deduplicated::new(Stamping::default()));
+            let s = session();
+            let _first = d.handle(req(1), &s);
+            // BUG under test: retry after redial = new session id.
+            let fresh = session();
+            let d1 = Arc::clone(&d);
+            let t = thread::spawn(move || d1.handle(req(1), &fresh));
+            t.join().unwrap();
+            // The at-most-once invariant the replay cache must provide:
+            assert_eq!(d.inner().executed(), 1, "retry re-executed the op");
+        });
+    }));
+    assert!(
+        caught.is_err(),
+        "the model must catch the fresh-session double execution"
+    );
+}
+
+/// A retry racing FIFO eviction (capacity 1, so one new id evicts the
+/// cached response). Both outcomes are legal — replay if the retry wins,
+/// re-execution if eviction wins — and the checker must explore both;
+/// what may never happen is a torn response or a lost cache entry for
+/// the evicting request itself.
+#[cfg(feature = "loom")]
+#[test]
+fn retry_vs_eviction_explores_both_outcomes() {
+    let outcomes = Arc::new(AtomicUsize::new(0)); // bit 0: replay, bit 1: re-exec
+    let oc = Arc::clone(&outcomes);
+    model(move || {
+        let d = Arc::new(Deduplicated::with_capacity(Stamping::default(), 1));
+        let s = session();
+        let first = d.handle(req(1), &s);
+        let (da, sa) = (Arc::clone(&d), s.clone());
+        let retry = thread::spawn(move || da.handle(req(1), &sa));
+        let (db, sb) = (Arc::clone(&d), s.clone());
+        let evictor = thread::spawn(move || db.handle(req(2), &sb));
+        let retried = retry.join().unwrap();
+        evictor.join().unwrap();
+        if retried == first {
+            oc.fetch_or(1, Ordering::SeqCst);
+            assert_eq!(d.inner().executed(), 2); // id 1 once + id 2
+        } else {
+            oc.fetch_or(2, Ordering::SeqCst);
+            assert_eq!(d.inner().executed(), 3); // id 1 twice + id 2
+        }
+    });
+    assert_eq!(
+        outcomes.load(Ordering::SeqCst),
+        3,
+        "model must explore both the replay and the eviction-first schedule"
+    );
+}

@@ -1,7 +1,7 @@
 //! The memory server service.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use jiffy_sync::atomic::{AtomicU64, Ordering};
+use jiffy_sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 use jiffy_block::{Block, BlockStore, PartitionRegistry, ThresholdEvent};
@@ -11,7 +11,7 @@ use jiffy_proto::{
     MergeSpec, SplitSpec,
 };
 use jiffy_rpc::{Fabric, Service, SessionHandle};
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 
 use crate::subs::SubscriptionMap;
 
@@ -47,7 +47,7 @@ struct StatCells {
 pub struct MemoryServer {
     cfg: JiffyConfig,
     store: BlockStore,
-    registry: parking_lot::RwLock<PartitionRegistry>,
+    registry: jiffy_sync::RwLock<PartitionRegistry>,
     subs: SubscriptionMap,
     fabric: Fabric,
     controller_addr: String,
@@ -65,7 +65,7 @@ impl MemoryServer {
         let server = Arc::new(Self {
             cfg,
             store: BlockStore::new(),
-            registry: parking_lot::RwLock::new(registry),
+            registry: jiffy_sync::RwLock::new(registry),
             subs: SubscriptionMap::new(),
             fabric,
             controller_addr: controller_addr.into(),
@@ -76,6 +76,7 @@ impl MemoryServer {
         // Asynchronous threshold reporting: ops never block on the
         // controller (paper §3.3 — repartitioning is asynchronous).
         let worker = Arc::downgrade(&server);
+        #[allow(clippy::expect_used)] // invariant documented in the message
         std::thread::Builder::new()
             .name("jiffy-threshold-report".into())
             .spawn(move || {
@@ -86,7 +87,7 @@ impl MemoryServer {
                     server.report_threshold(block, event);
                 }
             })
-            .expect("spawn threshold worker");
+            .expect("invariant: thread spawn fails only on OS resource exhaustion");
         server
     }
 
@@ -479,7 +480,8 @@ mod tests {
             SystemClock::shared(),
             Arc::new(RpcDataPlane::new(fabric.clone())),
             Arc::new(MemObjectStore::new()),
-        );
+        )
+        .unwrap();
         let controller_addr = fabric.hub().register(controller);
         let mut servers = Vec::new();
         for _ in 0..n {

@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use jiffy_common::BlockId;
 use jiffy_proto::{Notification, OpKind};
 use jiffy_rpc::SessionHandle;
-use parking_lot::Mutex;
+use jiffy_sync::Mutex;
 
 /// Maps `(block, op-kind)` to the sessions subscribed to it.
 #[derive(Default)]
@@ -80,8 +80,8 @@ impl SubscriptionMap {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Arc;
+    use jiffy_sync::atomic::{AtomicUsize, Ordering};
+    use jiffy_sync::Arc;
 
     fn session(counter: Arc<AtomicUsize>) -> SessionHandle {
         SessionHandle::new(Arc::new(move |_| {

@@ -11,8 +11,8 @@
 //!
 //! [`ManualClock`]: jiffy_common::clock::ManualClock
 
+use jiffy_sync::Arc;
 use std::collections::HashMap;
-use std::sync::Arc;
 use std::time::Duration;
 
 use jiffy::cluster::JiffyCluster;

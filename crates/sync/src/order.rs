@@ -1,0 +1,253 @@
+//! Runtime lock-order tracking: deadlock detection by construction.
+//!
+//! Every instrumented lock belongs to a *class* — by default the source
+//! location where it was constructed, or an explicit name given via
+//! `new_named`. Each thread keeps a stack of the classes it currently
+//! holds; acquiring lock class `B` while holding class `A` records the
+//! directed edge `A → B` in a global graph. If the new edge closes a
+//! cycle, some pair of threads can deadlock by taking the classes in
+//! opposite orders, and the acquisition **panics immediately** with the
+//! offending cycle — turning a once-in-a-blue-moon hang into a
+//! deterministic test failure on the first run that exhibits the order
+//! inversion on *any* interleaving.
+//!
+//! Two additional rules are enforced per lock *instance*:
+//!
+//! * re-acquiring an instance this thread already holds panics (std
+//!   mutexes deadlock on relock; a read-read relock of `std::sync::RwLock`
+//!   can deadlock against a queued writer, so it is flagged too);
+//! * acquisitions of *different instances of the same class* (e.g. two
+//!   shards of one sharded map, or two `Block` mutexes) are exempt from
+//!   edge recording — a class-level self-edge would always "cycle". Such
+//!   multi-acquisitions must be ordered by an external rule (e.g. by
+//!   index or id); loom models, not this tracker, verify those.
+//!
+//! The tracker is compiled only into `debug_assertions` builds of the
+//! non-loom backend and can be disabled at runtime with
+//! `JIFFY_LOCK_ORDER=0`. Release builds carry zero instrumentation.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// Whether a guard is shared (`RwLock::read`) or exclusive.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Kind {
+    Shared,
+    Exclusive,
+}
+
+/// Per-lock class identity, memoized after first acquisition.
+pub(crate) struct Site {
+    name: Option<&'static str>,
+    loc: &'static Location<'static>,
+    class: OnceLock<u32>,
+}
+
+impl Site {
+    pub(crate) const fn new(name: Option<&'static str>, loc: &'static Location<'static>) -> Self {
+        Self {
+            name,
+            loc,
+            class: OnceLock::new(),
+        }
+    }
+
+    fn class(&self) -> u32 {
+        *self
+            .class
+            .get_or_init(|| registry().intern(self.name, self.loc))
+    }
+}
+
+/// Proof of a recorded acquisition; released on guard drop.
+pub(crate) struct Token {
+    class: u32,
+    instance: usize,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// Class id -> human-readable name ("meta.rs:41:9" or explicit).
+    names: Vec<String>,
+    by_key: HashMap<(Option<&'static str>, &'static str, u32, u32), u32>,
+    /// Adjacency: edges[a] contains b iff some thread held a while
+    /// acquiring b.
+    edges: HashMap<u32, Vec<u32>>,
+}
+
+impl Graph {
+    fn path(&self, from: u32, to: u32) -> Option<Vec<u32>> {
+        // Iterative DFS recording parents; graphs here are tiny.
+        let mut parent: HashMap<u32, u32> = HashMap::new();
+        let mut visited: std::collections::HashSet<u32> = [from].into_iter().collect();
+        let mut stack = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                let mut path = vec![to];
+                let mut cur = to;
+                while cur != from {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            for &next in self.edges.get(&n).map(Vec::as_slice).unwrap_or(&[]) {
+                if visited.insert(next) {
+                    parent.insert(next, n);
+                    stack.push(next);
+                }
+            }
+        }
+        None
+    }
+}
+
+struct Registry {
+    graph: StdMutex<Graph>,
+}
+
+impl Registry {
+    fn intern(&self, name: Option<&'static str>, loc: &'static Location<'static>) -> u32 {
+        let mut g = self.lock();
+        let key = (name, loc.file(), loc.line(), loc.column());
+        if let Some(&id) = g.by_key.get(&key) {
+            return id;
+        }
+        let id = g.names.len() as u32;
+        let pretty = match name {
+            Some(n) => n.to_string(),
+            None => format!("{}:{}:{}", loc.file(), loc.line(), loc.column()),
+        };
+        g.names.push(pretty);
+        g.by_key.insert(key, id);
+        id
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Graph> {
+        match self.graph.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        graph: StdMutex::new(Graph::default()),
+    })
+}
+
+fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        !matches!(
+            std::env::var("JIFFY_LOCK_ORDER").as_deref(),
+            Ok("0") | Ok("off") | Ok("false")
+        )
+    })
+}
+
+thread_local! {
+    /// Stack of (class, instance, kind) this thread currently holds.
+    static HELD: RefCell<Vec<(u32, usize, Kind)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Records an acquisition, checking instance re-entrancy and class-level
+/// ordering. Returns `None` when tracking is disabled (or during TLS
+/// teardown).
+pub(crate) fn on_acquire(site: &Site, instance: usize, kind: Kind) -> Option<Token> {
+    if !enabled() {
+        return None;
+    }
+    let class = site.class();
+    let held_snapshot: Vec<(u32, usize, Kind)> = HELD
+        .try_with(|h| {
+            let h = h.borrow();
+            h.clone()
+        })
+        .ok()?;
+
+    for &(held_class, held_instance, held_kind) in &held_snapshot {
+        if held_instance == instance {
+            let reg = registry();
+            let g = reg.lock();
+            panic!(
+                "lock-order violation: thread re-acquired lock instance it already holds \
+                 (class `{}`, first as {:?}, again as {:?}) — std locks deadlock on relock",
+                g.names[held_class as usize], held_kind, kind
+            );
+        }
+    }
+
+    // Record edges held-class -> new-class and check for cycles. Same-class
+    // pairs (sharded/per-block locks) are exempt; see module docs.
+    let mut new_edges: Vec<u32> = held_snapshot
+        .iter()
+        .map(|&(c, _, _)| c)
+        .filter(|&c| c != class)
+        .collect();
+    new_edges.sort_unstable();
+    new_edges.dedup();
+    if !new_edges.is_empty() {
+        let reg = registry();
+        let mut g = reg.lock();
+        for from in new_edges {
+            let already = g.edges.get(&from).is_some_and(|v| v.contains(&class));
+            if already {
+                continue;
+            }
+            // Adding from -> class closes a cycle iff class already
+            // reaches from.
+            if let Some(path) = g.path(class, from) {
+                let chain: Vec<&str> = path.iter().map(|&c| g.names[c as usize].as_str()).collect();
+                panic!(
+                    "lock-order violation: acquiring `{}` while holding `{}` inverts the \
+                     established order `{}` -> `{}` (cycle: {} -> {}) — two threads taking \
+                     these classes in opposite orders can deadlock",
+                    g.names[class as usize],
+                    g.names[from as usize],
+                    chain.join("` -> `"),
+                    g.names[class as usize],
+                    chain.join(" -> "),
+                    g.names[class as usize],
+                );
+            }
+            g.edges.entry(from).or_default().push(class);
+        }
+    }
+
+    HELD.try_with(|h| h.borrow_mut().push((class, instance, kind)))
+        .ok()?;
+    Some(Token { class, instance })
+}
+
+/// Records a hold without order/cycle checking — for `try_lock`, which
+/// cannot deadlock (a failed try is the legitimate escape hatch from the
+/// lock hierarchy). The hold still participates as a *source* of edges
+/// for later blocking acquisitions.
+pub(crate) fn on_acquire_untracked(site: &Site, instance: usize) -> Option<Token> {
+    if !enabled() {
+        return None;
+    }
+    let class = site.class();
+    HELD.try_with(|h| h.borrow_mut().push((class, instance, Kind::Exclusive)))
+        .ok()?;
+    Some(Token { class, instance })
+}
+
+/// Releases a recorded acquisition (tolerates out-of-order guard drops).
+pub(crate) fn on_release(token: &Token) {
+    let _ = HELD.try_with(|h| {
+        let mut h = h.borrow_mut();
+        if let Some(pos) = h
+            .iter()
+            .rposition(|&(c, i, _)| c == token.class && i == token.instance)
+        {
+            h.remove(pos);
+        }
+    });
+}

@@ -4,7 +4,7 @@
 //!
 //! Run with: `cargo run -p jiffy --example chaos_demo`
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::{Duration, Instant};
 
 use jiffy::cluster::JiffyCluster;

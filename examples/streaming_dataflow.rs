@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run -p jiffy --example streaming_dataflow`
 
+use jiffy_sync::Mutex;
 use std::collections::HashMap;
-use std::sync::Mutex;
 use std::time::Instant;
 
 use jiffy::cluster::JiffyCluster;
@@ -28,7 +28,7 @@ fn main() -> jiffy::Result<()> {
         .stage(StreamStage::new("count", 4, {
             let counts = Mutex::new(HashMap::<Vec<u8>, u64>::new());
             move |word, _one, emit| {
-                let mut c = counts.lock().unwrap();
+                let mut c = counts.lock();
                 let n = c.entry(word.to_vec()).or_insert(0);
                 *n += 1;
                 emit(word.to_vec(), n.to_le_bytes().to_vec());

@@ -6,7 +6,7 @@
 //! tests pin the end-to-end behaviour into the main suite with small,
 //! fast configurations.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::{Duration, Instant};
 
 use jiffy::cluster::JiffyCluster;

@@ -3,7 +3,7 @@
 //! `counter` partition is registered on a memory server, initialized
 //! through the standard `InitBlock` path and driven with `DsOp::Custom`.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 
 use jiffy_block::Partition;
 use jiffy_common::{JiffyConfig, JiffyError, Result};
@@ -99,7 +99,8 @@ fn custom_counter_structure_runs_on_a_memory_server() {
         jiffy_common::clock::SystemClock::shared(),
         Arc::new(RpcDataPlane::new(fabric.clone())),
         Arc::new(MemObjectStore::new()),
-    );
+    )
+    .unwrap();
     let controller_addr = fabric.hub().register(controller);
 
     // Register the custom factory before the server starts serving.
@@ -249,7 +250,8 @@ fn unknown_custom_structure_is_rejected() {
         jiffy_common::clock::SystemClock::shared(),
         Arc::new(RpcDataPlane::new(fabric.clone())),
         Arc::new(MemObjectStore::new()),
-    );
+    )
+    .unwrap();
     let controller_addr = fabric.hub().register(controller);
     let server = MemoryServer::new(cfg, fabric.clone(), controller_addr);
     let addr = fabric.hub().register(server.clone());

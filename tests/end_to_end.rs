@@ -16,7 +16,7 @@ fn shuffle_files_support_many_writers_one_reader() {
     // to the same shuffle file; a "reduce task" scans it.
     let cluster = JiffyCluster::in_process(small_blocks(), 2, 32).unwrap();
     let job = cluster.client().unwrap().register_job("shuffle").unwrap();
-    let file = std::sync::Arc::new(job.open_file("shuffle-0", &[]).unwrap());
+    let file = jiffy_sync::Arc::new(job.open_file("shuffle-0", &[]).unwrap());
 
     let mut writers = Vec::new();
     for w in 0..4 {

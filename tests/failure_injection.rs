@@ -1,7 +1,7 @@
 //! Failure injection: dead tasks, dead servers, replication, and the
 //! decoupled fault domains of §3.2.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::Duration;
 
 use jiffy::cluster::JiffyCluster;

@@ -2,7 +2,7 @@
 //! propagation, expiry-flush-reclaim, and recovery of a failed task's
 //! data by its dependents.
 
-use std::sync::Arc;
+use jiffy_sync::Arc;
 use std::time::Duration;
 
 use jiffy::cluster::JiffyCluster;

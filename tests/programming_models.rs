@@ -220,9 +220,9 @@ fn streaming_word_count_pipeline() {
         .stage(StreamStage::new("count", 4, {
             // Keyed running count per instance (keys are hash-pinned to
             // one instance, so a local map is correct).
-            let counts = std::sync::Mutex::new(std::collections::HashMap::<Vec<u8>, u64>::new());
+            let counts = jiffy_sync::Mutex::new(std::collections::HashMap::<Vec<u8>, u64>::new());
             move |k, _v, emit| {
-                let mut c = counts.lock().unwrap();
+                let mut c = counts.lock();
                 let n = c.entry(k.to_vec()).or_insert(0);
                 *n += 1;
                 emit(k.to_vec(), n.to_string().into_bytes());

@@ -1,0 +1,550 @@
+//! The cooperative exhaustive scheduler behind [`crate::model`].
+//!
+//! Model threads are real OS threads, but execution is fully serialized:
+//! exactly one thread holds the "turn" at any moment, and every
+//! synchronization operation (lock acquire, atomic access, spawn, join,
+//! condvar op) is a *yield point* where the scheduler may hand the turn
+//! to a different runnable thread. Each run of the model closure follows
+//! one schedule; schedules are enumerated depth-first over the recorded
+//! branch points until the space is exhausted (or a bound is hit).
+//!
+//! Exploration is bounded two ways, mirroring loom's defaults:
+//!
+//! * **preemption bounding** — at most `LOOM_MAX_PREEMPTIONS` (default 2)
+//!   involuntary context switches per schedule. The CHESS result shows
+//!   almost all real concurrency bugs manifest within 2 preemptions.
+//! * **iteration cap** — at most `LOOM_MAX_ITERS` (default 40 000)
+//!   schedules; hitting the cap prints a warning rather than failing.
+//!
+//! Only sequentially-consistent interleavings are explored: the stand-in
+//! serializes all memory operations, so weak-memory reorderings that real
+//! hardware could exhibit are *not* modeled (upstream loom does model
+//! them). For lock-protected state and SeqCst atomics this is exact.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Panic payload used to unwind threads of an aborted execution quietly.
+pub(crate) const ABORT_PAYLOAD: &str = "loom: execution aborted";
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One recorded scheduling decision: which of the eligible threads was
+/// picked. `options` is ordered (current-thread first) so `idx == 0` is
+/// always the preemption-free default.
+#[derive(Clone, Debug)]
+pub(crate) struct Choice {
+    options: Vec<usize>,
+    idx: usize,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Run {
+    /// Eligible to be scheduled.
+    Runnable,
+    /// Blocked on a resource (mutex / rwlock / condvar) or a join.
+    Blocked,
+    /// In a timed condvar wait: schedulable (scheduling it = the timeout
+    /// fires), but also wakeable by a notify.
+    TimedWait,
+    Finished,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum BlockedOn {
+    Resource(usize),
+    Thread(usize),
+    Nothing,
+}
+
+struct ThreadState {
+    run: Run,
+    blocked_on: BlockedOn,
+    /// Set by the scheduler when it ends this thread's timed wait by
+    /// firing the timeout (as opposed to a notify).
+    timeout_fired: bool,
+}
+
+/// Scheduler-side state of one model-level sync primitive.
+pub(crate) enum Resource {
+    Mutex {
+        held_by: Option<usize>,
+    },
+    RwLock {
+        writer: Option<usize>,
+        readers: Vec<usize>,
+    },
+    Condvar {
+        /// FIFO of waiting thread ids not yet notified.
+        waiters: VecDeque<usize>,
+    },
+}
+
+struct Inner {
+    threads: Vec<ThreadState>,
+    resources: Vec<Resource>,
+    /// Thread currently holding the turn (usize::MAX once all finished).
+    current: usize,
+    /// DFS schedule: prefix is replayed, suffix is recorded.
+    path: Vec<Choice>,
+    /// Next branch point index within `path`.
+    step: usize,
+    preemptions: usize,
+    /// First panic payload observed (the model failure being reported).
+    failure: Option<String>,
+    aborting: bool,
+}
+
+pub(crate) struct Execution {
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+    max_preemptions: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Returns the calling thread's execution context, if it is a model thread.
+pub(crate) fn current_ctx() -> Option<(Arc<Execution>, usize)> {
+    CTX.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+impl Execution {
+    fn new(path: Vec<Choice>, max_preemptions: usize) -> Self {
+        Self {
+            inner: StdMutex::new(Inner {
+                threads: Vec::new(),
+                resources: Vec::new(),
+                current: 0,
+                path,
+                step: 0,
+                preemptions: 0,
+                failure: None,
+                aborting: false,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+            max_preemptions,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        match self.inner.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        }
+    }
+
+    /// Registers a model-level resource, returning its id.
+    pub(crate) fn register_resource(&self, r: Resource) -> usize {
+        let mut s = self.lock();
+        s.resources.push(r);
+        s.resources.len() - 1
+    }
+
+    /// Picks the next thread to run. Called with the state lock held by
+    /// the thread that currently has the turn (or is finishing). Panics
+    /// with [`ABORT_PAYLOAD`] after recording a failure on deadlock.
+    fn schedule(&self, s: &mut Inner) {
+        let eligible: Vec<usize> = s
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.run, Run::Runnable | Run::TimedWait))
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            if s.threads.iter().all(|t| t.run == Run::Finished) {
+                s.current = usize::MAX;
+                return;
+            }
+            // Every live thread is blocked: genuine deadlock.
+            let blocked: Vec<String> = s
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| t.run == Run::Blocked)
+                .map(|(i, t)| format!("thread {} on {:?}", i, t.blocked_on))
+                .collect();
+            self.fail(
+                s,
+                format!("deadlock: all live threads blocked [{}]", blocked.join(", ")),
+            );
+        }
+
+        let cur_eligible = eligible.contains(&s.current);
+
+        // Option set must be computed identically on replay and
+        // exploration: ordered current-first, preemptive alternatives
+        // dropped once the budget is spent.
+        let options: Vec<usize> = if cur_eligible && s.preemptions >= self.max_preemptions {
+            vec![s.current]
+        } else if cur_eligible {
+            let mut o = Vec::with_capacity(eligible.len());
+            o.push(s.current);
+            o.extend(eligible.iter().copied().filter(|&t| t != s.current));
+            o
+        } else {
+            eligible
+        };
+
+        let chosen = if options.len() == 1 {
+            options[0]
+        } else if s.step < s.path.len() {
+            // Replaying the DFS prefix.
+            let c = &s.path[s.step];
+            debug_assert_eq!(
+                c.options, options,
+                "loom internal: non-deterministic model (branch options diverged on replay)"
+            );
+            s.step += 1;
+            c.options[c.idx]
+        } else {
+            s.path.push(Choice {
+                options: options.clone(),
+                idx: 0,
+            });
+            s.step += 1;
+            options[0]
+        };
+
+        if chosen != s.current && cur_eligible {
+            s.preemptions += 1;
+        }
+        s.current = chosen;
+        // Scheduling a timed waiter = its timeout fires: it leaves the
+        // condvar wait queue and resumes, reporting `timed_out`.
+        if s.threads[chosen].run == Run::TimedWait {
+            if let BlockedOn::Resource(cv) = s.threads[chosen].blocked_on {
+                if let Resource::Condvar { waiters } = &mut s.resources[cv] {
+                    waiters.retain(|&t| t != chosen);
+                }
+            }
+            s.threads[chosen].run = Run::Runnable;
+            s.threads[chosen].blocked_on = BlockedOn::Nothing;
+            s.threads[chosen].timeout_fired = true;
+        }
+    }
+
+    fn fail(&self, s: &mut Inner, msg: String) -> ! {
+        if s.failure.is_none() {
+            s.failure = Some(msg);
+        }
+        s.aborting = true;
+        self.cv.notify_all();
+        panic!("{ABORT_PAYLOAD}");
+    }
+
+    /// Blocks until `tid` holds the turn.
+    fn wait_for_turn<'a>(
+        &'a self,
+        mut s: std::sync::MutexGuard<'a, Inner>,
+        tid: usize,
+    ) -> std::sync::MutexGuard<'a, Inner> {
+        while s.current != tid && !s.aborting {
+            s = match self.cv.wait(s) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+        if s.aborting {
+            drop(s);
+            panic!("{ABORT_PAYLOAD}");
+        }
+        s
+    }
+
+    /// A plain yield point: offer the scheduler a chance to switch.
+    pub(crate) fn yield_point(self: &Arc<Self>, tid: usize) {
+        let mut s = self.lock();
+        if s.aborting {
+            drop(s);
+            panic!("{ABORT_PAYLOAD}");
+        }
+        debug_assert_eq!(s.current, tid, "yield from thread without the turn");
+        self.schedule(&mut s);
+        if s.current != tid {
+            self.cv.notify_all();
+            drop(self.wait_for_turn(s, tid));
+        }
+    }
+
+    /// Blocks `tid` until `try_acquire` succeeds against resource `res`.
+    /// `try_acquire` runs under the state lock and must either mutate the
+    /// resource to record the acquisition and return `true`, or leave it
+    /// untouched and return `false`.
+    pub(crate) fn block_until(
+        self: &Arc<Self>,
+        tid: usize,
+        res: usize,
+        mut try_acquire: impl FnMut(usize, &mut Resource) -> bool,
+    ) {
+        // Yield before attempting: lets competitors get in front of us.
+        self.yield_point(tid);
+        loop {
+            let mut s = self.lock();
+            if s.aborting {
+                drop(s);
+                panic!("{ABORT_PAYLOAD}");
+            }
+            if try_acquire(tid, &mut s.resources[res]) {
+                return;
+            }
+            s.threads[tid].run = Run::Blocked;
+            s.threads[tid].blocked_on = BlockedOn::Resource(res);
+            self.schedule(&mut s);
+            self.cv.notify_all();
+            drop(self.wait_for_turn(s, tid));
+        }
+    }
+
+    /// Marks every thread blocked on resource `res` runnable again (they
+    /// re-attempt their acquisition when next scheduled). Not a yield
+    /// point: the next acquisition attempt yields first, which restores
+    /// all interesting interleavings at half the branch count.
+    pub(crate) fn wake_blocked_on(&self, res: usize) {
+        let mut s = self.lock();
+        for t in s.threads.iter_mut() {
+            if t.run == Run::Blocked && t.blocked_on == BlockedOn::Resource(res) {
+                t.run = Run::Runnable;
+                t.blocked_on = BlockedOn::Nothing;
+            }
+        }
+    }
+
+    /// Runs `f` under the state lock with the resource table.
+    pub(crate) fn with_resource<R>(&self, res: usize, f: impl FnOnce(&mut Resource) -> R) -> R {
+        let mut s = self.lock();
+        f(&mut s.resources[res])
+    }
+
+    /// Wakes up to `n` condvar waiters (moves them from the wait queue to
+    /// Runnable; they then recontend for the mutex).
+    pub(crate) fn notify_condvar(&self, cv: usize, n: usize) {
+        let mut s = self.lock();
+        for _ in 0..n {
+            let waiter = match &mut s.resources[cv] {
+                Resource::Condvar { waiters } => waiters.pop_front(),
+                _ => unreachable!("notify on non-condvar resource"),
+            };
+            let Some(w) = waiter else { break };
+            s.threads[w].run = Run::Runnable;
+            s.threads[w].blocked_on = BlockedOn::Nothing;
+            s.threads[w].timeout_fired = false;
+        }
+    }
+
+    /// Parks `tid` on condvar resource `cv`, having already enqueued it
+    /// in the wait queue and released the associated mutex. Returns
+    /// `true` if a timed wait ended by timeout rather than notify.
+    pub(crate) fn park_on_condvar(self: &Arc<Self>, tid: usize, cv: usize, timed: bool) -> bool {
+        let mut s = self.lock();
+        if s.aborting {
+            drop(s);
+            panic!("{ABORT_PAYLOAD}");
+        }
+        s.threads[tid].run = if timed { Run::TimedWait } else { Run::Blocked };
+        s.threads[tid].blocked_on = BlockedOn::Resource(cv);
+        s.threads[tid].timeout_fired = false;
+        self.schedule(&mut s);
+        self.cv.notify_all();
+        let mut s = self.wait_for_turn(s, tid);
+        let timed_out = std::mem::take(&mut s.threads[tid].timeout_fired);
+        drop(s);
+        timed_out
+    }
+
+    /// Blocks `tid` until model thread `target` finishes.
+    pub(crate) fn join_thread(self: &Arc<Self>, tid: usize, target: usize) {
+        self.yield_point(tid);
+        let mut s = self.lock();
+        while s.threads[target].run != Run::Finished {
+            if s.aborting {
+                drop(s);
+                panic!("{ABORT_PAYLOAD}");
+            }
+            s.threads[tid].run = Run::Blocked;
+            s.threads[tid].blocked_on = BlockedOn::Thread(target);
+            self.schedule(&mut s);
+            self.cv.notify_all();
+            s = self.wait_for_turn(s, tid);
+        }
+    }
+
+    /// Called by a model thread as it exits (normally or by panic).
+    fn finish_thread(self: &Arc<Self>, tid: usize, panic_msg: Option<String>) {
+        let mut s = self.lock();
+        s.threads[tid].run = Run::Finished;
+        s.threads[tid].blocked_on = BlockedOn::Nothing;
+        for t in s.threads.iter_mut() {
+            if t.run == Run::Blocked && t.blocked_on == BlockedOn::Thread(tid) {
+                t.run = Run::Runnable;
+                t.blocked_on = BlockedOn::Nothing;
+            }
+        }
+        if let Some(msg) = panic_msg {
+            if s.failure.is_none() {
+                s.failure = Some(msg);
+            }
+            s.aborting = true;
+            self.cv.notify_all();
+            return;
+        }
+        if !s.aborting && s.current == tid {
+            // Hand the turn onward. `schedule` may detect a deadlock among
+            // the remaining threads and unwind; we are exiting anyway, so
+            // swallow that unwind (failure/aborting are already recorded).
+            let _ = panic::catch_unwind(AssertUnwindSafe(|| self.schedule(&mut s)));
+        }
+        self.cv.notify_all();
+    }
+
+    /// Spawns a real OS thread running `f` as a model thread, serialized
+    /// by this execution. Returns the new model thread id.
+    pub(crate) fn spawn_model_thread(self: &Arc<Self>, f: impl FnOnce() + Send + 'static) -> usize {
+        let tid = {
+            let mut s = self.lock();
+            s.threads.push(ThreadState {
+                run: Run::Runnable,
+                blocked_on: BlockedOn::Nothing,
+                timeout_fired: false,
+            });
+            s.threads.len() - 1
+        };
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("loom-{tid}"))
+            .spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&exec), tid)));
+                let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                    // Wait to be scheduled for the first time, then run.
+                    let s = exec.lock();
+                    drop(exec.wait_for_turn(s, tid));
+                    f();
+                }));
+                let panic_msg = match result {
+                    Ok(()) => None,
+                    Err(payload) => {
+                        let msg = payload_to_string(&payload);
+                        if msg == ABORT_PAYLOAD {
+                            None // secondary unwind of an aborted run
+                        } else {
+                            Some(msg)
+                        }
+                    }
+                };
+                exec.finish_thread(tid, panic_msg);
+                CTX.with(|c| *c.borrow_mut() = None);
+            })
+            .expect("spawn loom model thread");
+        match self.handles.lock() {
+            Ok(mut h) => h.push(handle),
+            Err(p) => p.into_inner().push(handle),
+        }
+        // Registration is a branch point: the child may run before the
+        // parent's next step.
+        if let Some((_, me)) = current_ctx() {
+            self.yield_point(me);
+        }
+        tid
+    }
+}
+
+fn payload_to_string(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+/// Runs `f` under every schedule the bounded-exhaustive explorer can
+/// produce, panicking with the first failing schedule if any run panics,
+/// deadlocks, or fails an assertion.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        current_ctx().is_none(),
+        "nested loom::model calls are not supported"
+    );
+    let f = Arc::new(f);
+    let max_iters = env_usize("LOOM_MAX_ITERS", 40_000);
+    let max_preemptions = env_usize("LOOM_MAX_PREEMPTIONS", 2);
+    let mut path: Vec<Choice> = Vec::new();
+    let mut iters = 0usize;
+    let mut truncated = false;
+
+    loop {
+        iters += 1;
+        let exec = Arc::new(Execution::new(path.clone(), max_preemptions));
+        let g = Arc::clone(&f);
+        exec.spawn_model_thread(move || g());
+
+        // Drain: join every real thread of this run (threads may spawn
+        // more threads while we drain, hence the loop).
+        loop {
+            let handle = match exec.handles.lock() {
+                Ok(mut h) => h.pop(),
+                Err(p) => p.into_inner().pop(),
+            };
+            match handle {
+                Some(h) => {
+                    let _ = h.join();
+                }
+                None => break,
+            }
+        }
+
+        let s = exec.lock();
+        if let Some(msg) = &s.failure {
+            let trace: Vec<String> = s
+                .path
+                .iter()
+                .map(|c| format!("{}of{:?}", c.options[c.idx], c.options))
+                .collect();
+            panic!(
+                "loom model failed after {iters} schedule(s): {msg}\n  \
+                 schedule (chosen-of-options per branch): [{}]",
+                trace.join(", ")
+            );
+        }
+        path = s.path.clone();
+        drop(s);
+
+        // DFS backtrack: advance the deepest branch with options left.
+        while let Some(last) = path.last_mut() {
+            if last.idx + 1 < last.options.len() {
+                last.idx += 1;
+                break;
+            }
+            path.pop();
+        }
+        if path.is_empty() {
+            break;
+        }
+        if iters >= max_iters {
+            truncated = true;
+            break;
+        }
+    }
+
+    if truncated {
+        eprintln!(
+            "warning: loom exploration truncated after {iters} schedules \
+             (raise LOOM_MAX_ITERS to explore further)"
+        );
+    }
+}

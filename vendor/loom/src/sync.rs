@@ -1,0 +1,747 @@
+//! Model-aware synchronization primitives.
+//!
+//! Inside a [`crate::model`] execution these participate in exhaustive
+//! scheduling: acquisitions are model-level resources the scheduler
+//! arbitrates, and every operation is a yield point. Outside a model
+//! they degrade to plain `std::sync` behavior (upstream loom panics
+//! instead; the passthrough lets a crate compiled with its loom feature
+//! still run its ordinary tests).
+//!
+//! API note: unlike upstream loom (which mirrors `std::sync`'s poisoning
+//! `LockResult` signatures), lock methods here return guards directly in
+//! the `parking_lot` style — the only consumer is the `jiffy-sync`
+//! facade, which uses that style on every backend.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self as stdsync, Mutex as StdMutex};
+use std::time::Duration;
+
+use crate::exec::{current_ctx, Execution, Resource};
+
+pub use std::sync::Arc;
+
+/// Lazily-registered model resource id, revalidated per execution so a
+/// primitive created in one schedule replay is never confused with its
+/// previous incarnation.
+struct ResCell {
+    cell: StdMutex<Option<(usize, usize)>>,
+}
+
+impl ResCell {
+    const fn new() -> Self {
+        Self {
+            cell: StdMutex::new(None),
+        }
+    }
+
+    fn id(&self, exec: &Arc<Execution>, make: impl FnOnce() -> Resource) -> usize {
+        let key = Arc::as_ptr(exec) as usize;
+        let mut c = match self.cell.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        match *c {
+            Some((k, id)) if k == key => id,
+            _ => {
+                let id = exec.register_resource(make());
+                *c = Some((key, id));
+                id
+            }
+        }
+    }
+}
+
+/// A mutex arbitrated by the model scheduler.
+pub struct Mutex<T: ?Sized> {
+    res: ResCell,
+    inner: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. The std guard lives in an `Option` so
+/// [`Condvar`] can wait on the guard in place.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    /// `(execution, resource id)` when acquired inside a model.
+    model: Option<(Arc<Execution>, usize)>,
+    inner: Option<stdsync::MutexGuard<'a, T>>,
+}
+
+fn std_lock<T: ?Sized>(m: &StdMutex<T>) -> stdsync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(p) => p.into_inner(),
+    }
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Self {
+            res: ResCell::new(),
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Creates a new mutex with a lock-order class name (recorded by the
+    /// instrumented `jiffy-sync` backend; ignored under the model, which
+    /// finds deadlocks by exploration instead).
+    pub const fn new_named(value: T, _name: &'static str) -> Self {
+        Self::new(value)
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn model_acquire(&self, exec: &Arc<Execution>, tid: usize) -> usize {
+        let res = self.res.id(exec, || Resource::Mutex { held_by: None });
+        exec.block_until(tid, res, |tid, r| match r {
+            Resource::Mutex { held_by } => {
+                if held_by.is_none() {
+                    *held_by = Some(tid);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => unreachable!("mutex resource id maps to non-mutex"),
+        });
+        res
+    }
+
+    /// Acquires the mutex, blocking (model-level inside `model`) until
+    /// available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                let res = self.model_acquire(&exec, tid);
+                MutexGuard {
+                    lock: self,
+                    model: Some((exec, res)),
+                    inner: Some(std_lock(&self.inner)),
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                model: None,
+                inner: Some(std_lock(&self.inner)),
+            },
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                exec.yield_point(tid);
+                let res = self.res.id(&exec, || Resource::Mutex { held_by: None });
+                let got = exec.with_resource(res, |r| match r {
+                    Resource::Mutex { held_by } => {
+                        if held_by.is_none() {
+                            *held_by = Some(tid);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+                got.then(|| MutexGuard {
+                    lock: self,
+                    model: Some((exec, res)),
+                    inner: Some(std_lock(&self.inner)),
+                })
+            }
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    lock: self,
+                    model: None,
+                    inner: Some(g),
+                }),
+                Err(stdsync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    lock: self,
+                    model: None,
+                    inner: Some(p.into_inner()),
+                }),
+                Err(stdsync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom::Mutex(..)")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None; // release the std guard first
+        if let Some((exec, res)) = self.model.take() {
+            exec.with_resource(res, |r| match r {
+                Resource::Mutex { held_by } => *held_by = None,
+                _ => unreachable!(),
+            });
+            exec.wake_blocked_on(res);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard present outside wait")
+    }
+}
+
+/// A reader-writer lock arbitrated by the model scheduler.
+pub struct RwLock<T: ?Sized> {
+    res: ResCell,
+    inner: stdsync::RwLock<T>,
+}
+
+/// Shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    model: Option<(Arc<Execution>, usize, usize)>,
+    inner: Option<stdsync::RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    model: Option<(Arc<Execution>, usize)>,
+    inner: Option<stdsync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        Self {
+            res: ResCell::new(),
+            inner: stdsync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a new reader-writer lock with a lock-order class name
+    /// (recorded by the instrumented `jiffy-sync` backend; ignored under
+    /// the model, which finds deadlocks by exploration instead).
+    pub const fn new_named(value: T, _name: &'static str) -> Self {
+        Self::new(value)
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn res_id(&self, exec: &Arc<Execution>) -> usize {
+        self.res.id(exec, || Resource::RwLock {
+            writer: None,
+            readers: Vec::new(),
+        })
+    }
+
+    /// Acquires a shared read guard.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                let res = self.res_id(&exec);
+                exec.block_until(tid, res, |tid, r| match r {
+                    Resource::RwLock { writer, readers } => {
+                        if writer.is_none() {
+                            readers.push(tid);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+                RwLockReadGuard {
+                    model: Some((exec, res, tid)),
+                    inner: Some(match self.inner.read() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    }),
+                }
+            }
+            None => RwLockReadGuard {
+                model: None,
+                inner: Some(match self.inner.read() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                }),
+            },
+        }
+    }
+
+    /// Acquires an exclusive write guard.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                let res = self.res_id(&exec);
+                exec.block_until(tid, res, |tid, r| match r {
+                    Resource::RwLock { writer, readers } => {
+                        if writer.is_none() && readers.is_empty() {
+                            *writer = Some(tid);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    _ => unreachable!(),
+                });
+                RwLockWriteGuard {
+                    model: Some((exec, res)),
+                    inner: Some(match self.inner.write() {
+                        Ok(g) => g,
+                        Err(p) => p.into_inner(),
+                    }),
+                }
+            }
+            None => RwLockWriteGuard {
+                model: None,
+                inner: Some(match self.inner.write() {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                }),
+            },
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(v) => v,
+            Err(p) => p.into_inner(),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom::RwLock(..)")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((exec, res, tid)) = self.model.take() {
+            exec.with_resource(res, |r| match r {
+                Resource::RwLock { readers, .. } => {
+                    if let Some(pos) = readers.iter().position(|&t| t == tid) {
+                        readers.swap_remove(pos);
+                    }
+                }
+                _ => unreachable!(),
+            });
+            exec.wake_blocked_on(res);
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.inner = None;
+        if let Some((exec, res)) = self.model.take() {
+            exec.with_resource(res, |r| match r {
+                Resource::RwLock { writer, .. } => *writer = None,
+                _ => unreachable!(),
+            });
+            exec.wake_blocked_on(res);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard present")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard present")
+    }
+}
+
+/// A condition variable arbitrated by the model scheduler.
+pub struct Condvar {
+    res: ResCell,
+    inner: stdsync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Self {
+            res: ResCell::new(),
+            inner: stdsync::Condvar::new(),
+        }
+    }
+
+    fn wait_model<T: ?Sized>(
+        &self,
+        exec: &Arc<Execution>,
+        tid: usize,
+        guard: &mut MutexGuard<'_, T>,
+        timed: bool,
+    ) -> bool {
+        let cv = self.res.id(exec, || Resource::Condvar {
+            waiters: std::collections::VecDeque::new(),
+        });
+        let (g_exec, mutex_res) = guard
+            .model
+            .clone()
+            .expect("condvar wait with a guard acquired outside the model");
+        debug_assert!(Arc::ptr_eq(&g_exec, exec));
+        // Enqueue as waiter, then release the mutex. No yield happens in
+        // between, so the enqueue+release pair is atomic model-side.
+        exec.with_resource(cv, |r| match r {
+            Resource::Condvar { waiters } => waiters.push_back(tid),
+            _ => unreachable!(),
+        });
+        guard.inner = None; // drop the std guard
+        exec.with_resource(mutex_res, |r| match r {
+            Resource::Mutex { held_by } => *held_by = None,
+            _ => unreachable!(),
+        });
+        exec.wake_blocked_on(mutex_res);
+        let timed_out = exec.park_on_condvar(tid, cv, timed);
+        // Reacquire the mutex before returning, std guard included.
+        exec.block_until(tid, mutex_res, |tid, r| match r {
+            Resource::Mutex { held_by } => {
+                if held_by.is_none() {
+                    *held_by = Some(tid);
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => unreachable!(),
+        });
+        guard.inner = Some(std_lock(&guard.lock.inner));
+        timed_out
+    }
+
+    /// Blocks until notified, atomically releasing the guard's mutex.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                self.wait_model(&exec, tid, guard, false);
+            }
+            None => {
+                let g = guard.inner.take().expect("guard present outside wait");
+                guard.inner = Some(match self.inner.wait(g) {
+                    Ok(g) => g,
+                    Err(p) => p.into_inner(),
+                });
+            }
+        }
+    }
+
+    /// Blocks until notified or `timeout` elapses (model: the timeout may
+    /// fire at any schedule point). Returns `true` on timeout.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        match current_ctx() {
+            Some((exec, tid)) => self.wait_model(&exec, tid, guard, true),
+            None => {
+                let g = guard.inner.take().expect("guard present outside wait");
+                let (g, r) = match self.inner.wait_timeout(g, timeout) {
+                    Ok(v) => v,
+                    Err(p) => p.into_inner(),
+                };
+                guard.inner = Some(g);
+                r.timed_out()
+            }
+        }
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                exec.yield_point(tid);
+                let cv = self.res.id(&exec, || Resource::Condvar {
+                    waiters: std::collections::VecDeque::new(),
+                });
+                exec.notify_condvar(cv, 1);
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        match current_ctx() {
+            Some((exec, tid)) => {
+                exec.yield_point(tid);
+                let cv = self.res.id(&exec, || Resource::Condvar {
+                    waiters: std::collections::VecDeque::new(),
+                });
+                exec.notify_condvar(cv, usize::MAX);
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("loom::Condvar")
+    }
+}
+
+pub mod atomic {
+    //! Model-aware atomics: every operation is a scheduler yield point;
+    //! the value itself lives in the corresponding `std` atomic (the
+    //! serialized scheduler makes all explored interleavings SeqCst).
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::exec::current_ctx;
+
+    macro_rules! atomic_int {
+        ($name:ident, $std:ident, $ty:ty) => {
+            /// Model-aware atomic integer.
+            #[derive(Debug, Default)]
+            pub struct $name(std::sync::atomic::$std);
+
+            impl $name {
+                /// Creates a new atomic.
+                pub const fn new(v: $ty) -> Self {
+                    Self(std::sync::atomic::$std::new(v))
+                }
+
+                fn sync(&self) {
+                    if let Some((exec, tid)) = current_ctx() {
+                        exec.yield_point(tid);
+                    }
+                }
+
+                /// Loads the value.
+                pub fn load(&self, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.load(order)
+                }
+
+                /// Stores a value.
+                pub fn store(&self, v: $ty, order: Ordering) {
+                    self.sync();
+                    self.0.store(v, order)
+                }
+
+                /// Swaps the value, returning the previous one.
+                pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.swap(v, order)
+                }
+
+                /// Adds, returning the previous value.
+                pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.fetch_add(v, order)
+                }
+
+                /// Subtracts, returning the previous value.
+                pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.fetch_sub(v, order)
+                }
+
+                /// Bitwise-ors, returning the previous value.
+                pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.fetch_or(v, order)
+                }
+
+                /// Bitwise-ands, returning the previous value.
+                pub fn fetch_and(&self, v: $ty, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.fetch_and(v, order)
+                }
+
+                /// Maximum, returning the previous value.
+                pub fn fetch_max(&self, v: $ty, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.fetch_max(v, order)
+                }
+
+                /// Minimum, returning the previous value.
+                pub fn fetch_min(&self, v: $ty, order: Ordering) -> $ty {
+                    self.sync();
+                    self.0.fetch_min(v, order)
+                }
+
+                /// Compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.sync();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Compare-and-exchange (weak form; never fails spuriously
+                /// in the model).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $ty,
+                    new: $ty,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$ty, $ty> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Fetch-update loop.
+                pub fn fetch_update(
+                    &self,
+                    set_order: Ordering,
+                    fetch_order: Ordering,
+                    f: impl FnMut($ty) -> Option<$ty>,
+                ) -> Result<$ty, $ty> {
+                    self.sync();
+                    self.0.fetch_update(set_order, fetch_order, f)
+                }
+
+                /// Consumes the atomic, returning the value.
+                pub fn into_inner(self) -> $ty {
+                    self.0.into_inner()
+                }
+
+                /// Mutable access (requires exclusive borrow).
+                pub fn get_mut(&mut self) -> &mut $ty {
+                    self.0.get_mut()
+                }
+            }
+        };
+    }
+
+    atomic_int!(AtomicUsize, AtomicUsize, usize);
+    atomic_int!(AtomicU64, AtomicU64, u64);
+    atomic_int!(AtomicU32, AtomicU32, u32);
+    atomic_int!(AtomicU8, AtomicU8, u8);
+    atomic_int!(AtomicI64, AtomicI64, i64);
+    atomic_int!(AtomicI32, AtomicI32, i32);
+
+    /// Model-aware atomic boolean.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// Creates a new atomic bool.
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        fn sync(&self) {
+            if let Some((exec, tid)) = current_ctx() {
+                exec.yield_point(tid);
+            }
+        }
+
+        /// Loads the value.
+        pub fn load(&self, order: Ordering) -> bool {
+            self.sync();
+            self.0.load(order)
+        }
+
+        /// Stores a value.
+        pub fn store(&self, v: bool, order: Ordering) {
+            self.sync();
+            self.0.store(v, order)
+        }
+
+        /// Swaps the value, returning the previous one.
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            self.sync();
+            self.0.swap(v, order)
+        }
+
+        /// Compare-and-exchange.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            self.sync();
+            self.0.compare_exchange(current, new, success, failure)
+        }
+
+        /// Consumes the atomic, returning the value.
+        pub fn into_inner(self) -> bool {
+            self.0.into_inner()
+        }
+    }
+
+    /// A fence is a pure yield point in the serialized model.
+    pub fn fence(_order: Ordering) {
+        if let Some((exec, tid)) = current_ctx() {
+            exec.yield_point(tid);
+        } else {
+            std::sync::atomic::fence(_order)
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Model-aware threads.
+
+use std::sync::{Arc, Mutex as StdMutex};
+
+use crate::exec::{current_ctx, Execution};
+
+enum Handle<T> {
+    Model {
+        exec: Arc<Execution>,
+        tid: usize,
+        result: Arc<StdMutex<Option<T>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+/// Join handle for a thread spawned with [`spawn`].
+pub struct JoinHandle<T>(Handle<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish, returning its result. Mirrors
+    /// `std::thread::JoinHandle::join`'s signature; inside a model a
+    /// panicking child aborts the whole execution before `join` can
+    /// observe it, so the error arm is unreachable in practice.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Handle::Model { exec, tid, result } => {
+                let (_, me) = current_ctx().expect("model join handle used outside the model");
+                exec.join_thread(me, tid);
+                let taken = match result.lock() {
+                    Ok(mut g) => g.take(),
+                    Err(p) => p.into_inner().take(),
+                };
+                match taken {
+                    Some(v) => Ok(v),
+                    None => Err(Box::new("loom model thread terminated without a result")),
+                }
+            }
+            Handle::Real(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a thread: a model-scheduled thread inside [`crate::model`], a
+/// plain OS thread otherwise.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current_ctx() {
+        Some((exec, _)) => {
+            let result = Arc::new(StdMutex::new(None));
+            let slot = Arc::clone(&result);
+            let tid = exec.spawn_model_thread(move || {
+                let v = f();
+                match slot.lock() {
+                    Ok(mut g) => *g = Some(v),
+                    Err(p) => *p.into_inner() = Some(v),
+                }
+            });
+            JoinHandle(Handle::Model { exec, tid, result })
+        }
+        None => JoinHandle(Handle::Real(std::thread::spawn(f))),
+    }
+}
+
+/// Cooperatively yields: a scheduler branch point inside a model.
+pub fn yield_now() {
+    match current_ctx() {
+        Some((exec, tid)) => exec.yield_point(tid),
+        None => std::thread::yield_now(),
+    }
+}

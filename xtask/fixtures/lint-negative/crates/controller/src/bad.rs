@@ -1,0 +1,24 @@
+//! Seeded negative fixture for `cargo xtask lint` — every rule must fire
+//! on this file. Lives under `xtask/fixtures/`, which the main lint walk
+//! skips; only the fixture test points the linter here.
+
+use std::sync::Mutex; // rule: sync-facade
+
+fn data_path(m: &Mutex<Vec<u8>>) -> Result<u8, jiffy_common::JiffyError> {
+    let first = m.lock().unwrap().first().copied(); // rule: no-unwrap
+    let v = first.expect("nonempty"); // rule: no-unwrap (undocumented expect)
+    if v == 0 {
+        // rule: error-taxonomy — a controller may not mint transport faults.
+        return Err(jiffy_common::JiffyError::Unavailable("srv-0".into()));
+    }
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt region: none of these may be reported.
+    fn fine() {
+        let x: Option<u8> = None;
+        let _ = x.unwrap();
+    }
+}

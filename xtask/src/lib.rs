@@ -1,0 +1,467 @@
+//! Static invariant checks for the Jiffy workspace, run as
+//! `cargo xtask lint` (aliased in `.cargo/config.toml`, gated in CI).
+//!
+//! The checks are deliberately line-based — this build environment has no
+//! crates.io access, so a full `syn` parse is off the table — but they are
+//! written to be conservative: comment text is stripped before matching,
+//! `#[cfg(test)]` regions are tracked by brace counting, and the
+//! `JiffyError` rule distinguishes construction from pattern matching.
+//!
+//! Rules (see DESIGN.md §8 for the rationale):
+//!
+//! 1. **sync-facade** — no `std::sync` / `parking_lot` imports or paths
+//!    anywhere outside `crates/sync` (which wraps them) and `xtask`
+//!    itself. Everything goes through `jiffy_sync` so the loom and
+//!    lock-order backends see every acquisition.
+//! 2. **no-unwrap** — no `.unwrap()` / `.expect(...)` in the data-path
+//!    crates (`rpc`, `server`, `block`, `cuckoo`, `controller`) outside
+//!    test code. The only escape hatch is `.expect("invariant: ...")`,
+//!    which documents why the failure is truly unreachable.
+//! 3. **error-taxonomy** — the transport-fault variants
+//!    `JiffyError::Timeout` / `JiffyError::Unavailable` are constructed
+//!    only inside `crates/rpc` and `crates/common` (and test code).
+//!    They drive `is_transport()` retry semantics; minting them elsewhere
+//!    would let non-transport code masquerade as safely-retryable.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A single lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Which rule fired: `"sync-facade"`, `"no-unwrap"`, `"error-taxonomy"`.
+    pub rule: &'static str,
+    /// Path relative to the lint root.
+    pub path: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.message
+        )
+    }
+}
+
+/// Crates whose `src/` is data-path code for the no-unwrap rule.
+const DATA_PATH_CRATES: &[&str] = &["rpc", "server", "block", "cuckoo", "controller"];
+
+/// Runs every lint rule over the workspace rooted at `root`.
+///
+/// `root` is normally the repo root; tests point it at a fixture tree
+/// with the same `crates/<name>/src` shape.
+pub fn lint(root: &Path) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for file in rust_files(root) {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
+        let Ok(text) = fs::read_to_string(&file) else {
+            continue;
+        };
+        lint_file(&rel, &text, &mut violations);
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    violations
+}
+
+/// Lints one file's contents. Exposed for the fixture tests.
+pub fn lint_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
+    let scope = Scope::of(rel);
+    if scope.skip {
+        return;
+    }
+    let mut tests = TestRegionTracker::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_comments(raw);
+        let in_test = tests.observe(&code) || scope.test_only;
+
+        if !scope.facade_exempt {
+            check_sync_facade(rel, line_no, &code, out);
+        }
+        if !in_test {
+            if scope.data_path {
+                check_no_unwrap(rel, line_no, &code, out);
+            }
+            if !scope.taxonomy_exempt {
+                check_error_taxonomy(rel, line_no, &code, out);
+            }
+        }
+    }
+}
+
+/// Which rules apply to a file, derived from its path.
+#[derive(Debug, Clone, Copy, Default)]
+struct Scope {
+    /// Not linted at all (vendor, target, fixtures, xtask itself).
+    skip: bool,
+    /// `crates/sync` IS the facade: exempt from the sync-facade rule.
+    facade_exempt: bool,
+    /// `src/` of a data-path crate: the no-unwrap rule applies.
+    data_path: bool,
+    /// `crates/rpc` + `crates/common`: legitimate transport-error mints.
+    taxonomy_exempt: bool,
+    /// Dedicated test trees (`tests/`, `benches/`, `examples/`): only the
+    /// sync-facade rule applies.
+    test_only: bool,
+}
+
+impl Scope {
+    fn of(rel: &Path) -> Self {
+        let parts: Vec<&str> = rel.iter().map(|c| c.to_str().unwrap_or_default()).collect();
+        let mut scope = Scope::default();
+        if matches!(
+            parts.first().copied(),
+            Some("vendor") | Some("target") | Some("xtask") | Some(".git")
+        ) {
+            scope.skip = true;
+            return scope;
+        }
+        // Dedicated test/bench trees never run in production.
+        if parts
+            .iter()
+            .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+        {
+            scope.test_only = true;
+            return scope;
+        }
+        if parts.first() == Some(&"crates") {
+            match parts.get(1).copied() {
+                Some("sync") => scope.facade_exempt = true,
+                Some("common") => scope.taxonomy_exempt = true,
+                Some(name) if DATA_PATH_CRATES.contains(&name) => {
+                    scope.data_path = true;
+                    // rpc is both data-path (no-unwrap applies) and a
+                    // legitimate minting site for transport errors.
+                    scope.taxonomy_exempt = name == "rpc";
+                }
+                _ => {}
+            }
+        }
+        scope
+    }
+}
+
+/// Rule 1: no direct `std::sync` / `parking_lot` use.
+fn check_sync_facade(rel: &Path, line: usize, code: &str, out: &mut Vec<Violation>) {
+    for needle in ["std::sync", "parking_lot"] {
+        if code.contains(needle) {
+            out.push(Violation {
+                rule: "sync-facade",
+                path: rel.to_path_buf(),
+                line,
+                message: format!(
+                    "direct `{needle}` use — import from `jiffy_sync` instead so the loom \
+                     and lock-order backends see this primitive"
+                ),
+            });
+        }
+    }
+}
+
+/// Rule 2: no `.unwrap()` / undocumented `.expect(` in data-path code.
+fn check_no_unwrap(rel: &Path, line: usize, code: &str, out: &mut Vec<Violation>) {
+    if code.contains(".unwrap()") {
+        out.push(Violation {
+            rule: "no-unwrap",
+            path: rel.to_path_buf(),
+            line,
+            message: "`.unwrap()` in data-path code — return a `JiffyError` or use \
+                      `.expect(\"invariant: ...\")` with a proof sketch"
+                .into(),
+        });
+    }
+    let mut rest = code;
+    while let Some(pos) = rest.find(".expect(") {
+        let after = &rest[pos + ".expect(".len()..];
+        if !after.trim_start().starts_with("\"invariant: ") {
+            out.push(Violation {
+                rule: "no-unwrap",
+                path: rel.to_path_buf(),
+                line,
+                message: "`.expect()` in data-path code without an `\"invariant: ...\"` \
+                          justification — return a `JiffyError` instead"
+                    .into(),
+            });
+        }
+        rest = after;
+    }
+}
+
+/// Rule 3: `JiffyError::Timeout` / `::Unavailable` constructed outside
+/// the transport layer.
+fn check_error_taxonomy(rel: &Path, line: usize, code: &str, out: &mut Vec<Violation>) {
+    for variant in ["JiffyError::Timeout", "JiffyError::Unavailable"] {
+        let mut search = code;
+        let mut offset = 0usize;
+        while let Some(pos) = search.find(variant) {
+            let abs = offset + pos;
+            let after = &search[pos + variant.len()..];
+            if is_construction(code, abs, after) {
+                out.push(Violation {
+                    rule: "error-taxonomy",
+                    path: rel.to_path_buf(),
+                    line,
+                    message: format!(
+                        "`{variant}` constructed outside crates/rpc + crates/common — \
+                         transport faults drive `is_transport()` retry semantics and may \
+                         only be minted by the transport layer"
+                    ),
+                });
+            }
+            offset = abs + variant.len();
+            search = &code[offset..];
+        }
+    }
+}
+
+/// Heuristic: does this occurrence build the variant (vs. match on it)?
+///
+/// * `Variant(_...)` / `Variant { .. }` — wildcard pattern, not flagged.
+/// * occurrence left of a `=>` on the same line — match-arm pattern.
+/// * bare `Variant` with no `(`/`{` — path mention (docs, `use`), skipped.
+fn is_construction(full_line: &str, abs_pos: usize, after: &str) -> bool {
+    if let Some(arrow) = full_line.find("=>") {
+        if abs_pos < arrow {
+            return false;
+        }
+    }
+    let trimmed = after.trim_start();
+    if let Some(inner) = trimmed.strip_prefix('(') {
+        let inner = inner.trim_start();
+        return !inner.starts_with('_') && !inner.starts_with("..");
+    }
+    if let Some(inner) = trimmed.strip_prefix('{') {
+        let close = inner.find('}').unwrap_or(inner.len());
+        return !inner[..close].contains("..");
+    }
+    false
+}
+
+/// Tracks whether the current line is inside a `#[cfg(test)]` item, by
+/// counting braces from the attribute's item to its closing brace.
+struct TestRegionTracker {
+    /// Saw `#[cfg(test)]`; waiting for the item body to open.
+    pending: bool,
+    /// Brace depth inside an open test region (0 = not in a region).
+    depth: i32,
+    in_region: bool,
+}
+
+impl TestRegionTracker {
+    fn new() -> Self {
+        Self {
+            pending: false,
+            depth: 0,
+            in_region: false,
+        }
+    }
+
+    /// Feeds one comment-stripped line; returns whether that line is test
+    /// code (the attribute line itself counts as test code).
+    fn observe(&mut self, code: &str) -> bool {
+        if self.in_region {
+            self.depth += brace_delta(code);
+            if self.depth <= 0 {
+                self.in_region = false;
+                self.depth = 0;
+            }
+            return true;
+        }
+        if code.contains("cfg(test") || code.contains("cfg(all(test") {
+            self.pending = true;
+            return true;
+        }
+        if self.pending {
+            let delta = brace_delta(code);
+            if delta > 0 {
+                self.in_region = true;
+                self.depth = delta;
+                self.pending = false;
+            } else if code.trim_end().ends_with(';') {
+                // Attribute applied to a braceless item (`use`, `static`).
+                self.pending = false;
+            }
+            return true;
+        }
+        false
+    }
+}
+
+/// Net `{`/`}` count, ignoring braces inside string literals well enough
+/// for rustfmt-formatted code.
+fn brace_delta(code: &str) -> i32 {
+    let mut delta = 0i32;
+    let mut in_str = false;
+    let mut prev = '\0';
+    for c in code.chars() {
+        match c {
+            '"' if prev != '\\' => in_str = !in_str,
+            '{' if !in_str && prev != '\'' => delta += 1,
+            '}' if !in_str && prev != '\'' => delta -= 1,
+            _ => {}
+        }
+        prev = if prev == '\\' && c == '\\' { '\0' } else { c };
+    }
+    delta
+}
+
+/// Strips `//` line comments (incl. doc comments), preserving `//`
+/// inside string literals.
+fn strip_comments(raw: &str) -> String {
+    let mut in_str = false;
+    let mut prev = '\0';
+    let chars: Vec<char> = raw.chars().collect();
+    for i in 0..chars.len() {
+        let c = chars[i];
+        if c == '"' && prev != '\\' && chars.get(i.wrapping_sub(1)) != Some(&'\'') {
+            in_str = !in_str;
+        }
+        if !in_str && c == '/' && chars.get(i + 1) == Some(&'/') {
+            return chars[..i].iter().collect();
+        }
+        prev = if prev == '\\' && c == '\\' { '\0' } else { c };
+    }
+    raw.to_string()
+}
+
+/// All `.rs` files under `root`, skipping vendor/target/fixture trees.
+fn rust_files(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_str().unwrap_or_default();
+            if path.is_dir() {
+                if matches!(name, "vendor" | "target" | ".git" | "fixtures" | "xtask") {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, text: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        lint_file(Path::new(rel), text, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_std_sync_outside_facade() {
+        let v = lint_str("crates/server/src/lib.rs", "use std::sync::Mutex;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "sync-facade");
+    }
+
+    #[test]
+    fn sync_crate_is_exempt_from_facade_rule() {
+        assert!(lint_str("crates/sync/src/plain.rs", "use std::sync::Mutex;\n").is_empty());
+    }
+
+    #[test]
+    fn comments_do_not_trip_rules() {
+        assert!(lint_str(
+            "crates/server/src/lib.rs",
+            "// std::sync is banned; so is x.unwrap()\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn flags_unwrap_in_data_path_only() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(lint_str("crates/rpc/src/tcp.rs", src).len(), 1);
+        assert!(lint_str("crates/client/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn invariant_expect_is_allowed() {
+        assert!(lint_str(
+            "crates/block/src/store.rs",
+            "let v = map.get(&k).expect(\"invariant: inserted above\");\n"
+        )
+        .is_empty());
+        assert_eq!(
+            lint_str(
+                "crates/block/src/store.rs",
+                "let v = map.get(&k).expect(\"present\");\n"
+            )
+            .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_exempt() {
+        let src = "\
+fn real() { x.unwrap(); }
+#[cfg(test)]
+mod tests {
+    fn t() { y.unwrap(); }
+}
+fn real2() { z.unwrap(); }
+";
+        let v = lint_str("crates/cuckoo/src/map.rs", src);
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert_eq!(v[0].line, 1);
+        assert_eq!(v[1].line, 6);
+    }
+
+    #[test]
+    fn taxonomy_flags_construction_not_patterns() {
+        // Construction outside rpc/common: flagged.
+        let v = lint_str(
+            "crates/client/src/lib.rs",
+            "return Err(JiffyError::Unavailable(format!(\"srv-{id}\")));\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "error-taxonomy");
+        // Patterns: exempt.
+        for pat in [
+            "if matches!(e, JiffyError::Timeout { .. }) {\n",
+            "if let JiffyError::Unavailable(_) = e {\n",
+            "Err(JiffyError::Unavailable(msg)) => retry(),\n",
+        ] {
+            assert!(
+                lint_str("crates/client/src/lib.rs", pat).is_empty(),
+                "{pat}"
+            );
+        }
+        // Construction on the right of a match arm: flagged.
+        let v = lint_str(
+            "crates/client/src/lib.rs",
+            "Fault::Drop => Err(JiffyError::Timeout { after_ms: 5 }),\n",
+        );
+        assert_eq!(v.len(), 1);
+        // rpc/common may construct freely.
+        assert!(lint_str(
+            "crates/rpc/src/fault.rs",
+            "Err(JiffyError::Timeout { after_ms: 5 })\n"
+        )
+        .is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+//! `cargo xtask <command>` — workspace automation.
+//!
+//! Commands:
+//!   lint [ROOT]   run the repo-invariant static checks (default command;
+//!                 ROOT defaults to the workspace root via
+//!                 CARGO_MANIFEST_DIR). Exits 1 if any rule fires.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().unwrap_or_else(|| "lint".to_string());
+    match cmd.as_str() {
+        "lint" => {
+            let root = args.next().map(PathBuf::from).unwrap_or_else(|| {
+                // xtask/ lives directly under the workspace root.
+                PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+                    .parent()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| PathBuf::from("."))
+            });
+            let violations = xtask::lint(&root);
+            if violations.is_empty() {
+                eprintln!("xtask lint: ok ({} rules clean)", 3);
+                ExitCode::SUCCESS
+            } else {
+                for v in &violations {
+                    eprintln!("{v}");
+                }
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                ExitCode::FAILURE
+            }
+        }
+        other => {
+            eprintln!("unknown xtask command `{other}` (expected: lint)");
+            ExitCode::FAILURE
+        }
+    }
+}
