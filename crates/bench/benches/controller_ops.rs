@@ -18,7 +18,7 @@ fn bench_controller(c: &mut Criterion) {
         Arc::new(MemObjectStore::new()),
     )
     .unwrap();
-    ctrl.dispatch(ControlRequest::RegisterServer {
+    ctrl.dispatch(ControlRequest::JoinServer {
         addr: "inproc:0".into(),
         capacity_blocks: 1024,
     })

@@ -5,6 +5,15 @@
 //! modeled hardware.
 //!
 //! Run: `cargo run --release -p jiffy-bench --bin fig09_elasticity`
+//!
+//! With `--live`, instead of the analytical simulator, a scaled-down
+//! Snowflake trace is replayed against a **real in-process cluster**
+//! with the demand-driven autoscaler running: jobs write and free
+//! intermediate data through the actual client/controller/server stack
+//! while the pool grows and shrinks. Prints servers-over-time and
+//! allocated-vs-used so future PRs can benchmark scaling latency.
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin fig09_elasticity -- --live`
 
 use std::time::Duration;
 
@@ -12,6 +21,10 @@ use jiffy_sim::{ClusterSim, SystemKind};
 use jiffy_workloads::{SnowflakeConfig, Trace};
 
 fn main() {
+    if std::env::args().any(|a| a == "--live") {
+        live::run();
+        return;
+    }
     // §6.1: ~50k jobs across 100 tenants over a 5 h window. Our default
     // generator config reproduces that scale.
     let trace = Trace::generate(&SnowflakeConfig::default());
@@ -116,6 +129,269 @@ fn main() {
             system.name(),
             abs100[i],
             (abs100[i] / abs100[2] - 1.0) * 100.0
+        );
+    }
+}
+
+/// `--live`: replay a scaled-down Snowflake trace against a real
+/// in-process cluster with the autoscaler on.
+mod live {
+    use std::time::{Duration, Instant};
+
+    use jiffy::cluster::JiffyCluster;
+    use jiffy::{AutoscalerPolicy, JiffyConfig, JiffyError};
+    use jiffy_client::KvClient;
+    use jiffy_sync::atomic::{AtomicU64, Ordering};
+    use jiffy_sync::{Arc, Mutex};
+    use jiffy_workloads::{SnowflakeConfig, Trace};
+
+    /// Virtual-to-real time compression: a 240 s trace window replays
+    /// in ~10 s of wall clock.
+    const COMPRESS: u32 = 24;
+    /// Bytes per KV chunk written for intermediate data (block size is
+    /// 8 KB below; a chunk must fit a block with headroom).
+    const CHUNK: usize = 2048;
+    /// Cap on chunks per stage so one log-normal outlier cannot
+    /// dominate the replay.
+    const MAX_STAGE_CHUNKS: u64 = 16;
+    /// Admission control: serverless platforms bound concurrent task
+    /// slots; without this, backpressure stretches job residency and
+    /// inflates live demand far past the trace's nominal peak.
+    const MAX_CONCURRENT_JOBS: u64 = 6;
+    const BLOCK_SIZE: u32 = 8 * 1024;
+    const INITIAL_SERVERS: usize = 2;
+    const BLOCKS_PER_SERVER: u32 = 12;
+
+    /// One sampler row: (elapsed secs, servers, held bytes, used bytes,
+    /// app-level live bytes).
+    type Sample = (f64, u64, u64, u64, u64);
+
+    /// Writes (or frees) one job stage's chunks with bounded retries:
+    /// `BlockFull`/`OutOfBlocks` and transient routing errors are the
+    /// expected backpressure while the pool is scaling.
+    fn put_retrying(
+        kv: &KvClient,
+        key: &[u8],
+        value: &[u8],
+        hard_stop: Instant,
+    ) -> Result<(), JiffyError> {
+        let deadline = (Instant::now() + Duration::from_millis(1500)).min(hard_stop);
+        loop {
+            match kv.put(key, value) {
+                Ok(_) => return Ok(()),
+                Err(e)
+                    if Instant::now() < deadline
+                        && (e.is_retryable()
+                            || e.is_transport()
+                            || matches!(
+                                e,
+                                JiffyError::BlockFull { .. } | JiffyError::OutOfBlocks
+                            )) =>
+                {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Deletes reclaim the capacity the autoscaler watches; retry
+    /// transient failures briefly so backpressure can actually drain.
+    fn delete_retrying(kv: &KvClient, key: &[u8]) -> bool {
+        let deadline = Instant::now() + Duration::from_millis(500);
+        loop {
+            match kv.delete(key) {
+                Ok(_) => return true,
+                Err(e) if Instant::now() < deadline && (e.is_retryable() || e.is_transport()) => {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                Err(_) => return false,
+            }
+        }
+    }
+
+    pub fn run() {
+        // A trace small enough to replay in real time but bursty enough
+        // to cross both autoscaler watermarks: ~40 jobs over a 240 s
+        // virtual window, median ~24 KB of intermediate state per job.
+        let cfg = SnowflakeConfig {
+            tenants: 4,
+            window: Duration::from_secs(240),
+            jobs_per_tenant_hour: 400.0,
+            median_job_bytes: 20.0 * 1024.0,
+            job_sigma: 1.0,
+            tenant_sigma: 0.8,
+            ..SnowflakeConfig::default()
+        };
+        let trace = Trace::generate(&cfg);
+        let peak = trace.peak_demand(Duration::from_secs(5));
+        println!("=== Fig. 9 (live): autoscaler on a real in-process cluster ===");
+        println!(
+            "trace: {} jobs, {} tenants, peak demand {:.0} KB \
+             (virtual window {} s, replayed at {COMPRESS}x)",
+            trace.jobs.len(),
+            trace.tenants,
+            peak as f64 / 1024.0,
+            cfg.window.as_secs()
+        );
+
+        let jcfg = JiffyConfig::for_testing().with_block_size(BLOCK_SIZE as usize);
+        let mut cluster = JiffyCluster::in_process(jcfg, INITIAL_SERVERS, BLOCKS_PER_SERVER)
+            .expect("in-process cluster boots");
+        let policy = AutoscalerPolicy::new(0.25, 0.70, INITIAL_SERVERS, 8);
+        cluster.start_elasticity(policy);
+        println!(
+            "cluster: {INITIAL_SERVERS} x {BLOCKS_PER_SERVER} blocks of {} KB, \
+             scale up <25% free, scale down >70% free, pool {INITIAL_SERVERS}..8 servers",
+            BLOCK_SIZE / 1024
+        );
+
+        let job = cluster
+            .client()
+            .expect("client connects")
+            .register_job("fig09-live")
+            .expect("job registers");
+        let kv = Arc::new(job.open_kv("intermediate", &[], 1).expect("kv opens"));
+        // The trace has quiet gaps longer than the testing-profile lease;
+        // keep the structure alive for the whole replay.
+        let _renewer =
+            job.start_lease_renewer(vec!["intermediate".into()], Duration::from_millis(200));
+
+        // Sampler: servers-over-time and allocated-vs-used, 200 ms grain.
+        let app_live = Arc::new(AtomicU64::new(0));
+        let samples: Arc<Mutex<Vec<Sample>>> = Arc::new(Mutex::new(Vec::new()));
+        let sampling = Arc::new(AtomicU64::new(1));
+        let sampler = {
+            let controller = cluster.controller().clone();
+            let app_live = app_live.clone();
+            let samples = samples.clone();
+            let sampling = sampling.clone();
+            let start = Instant::now();
+            std::thread::spawn(move || {
+                while sampling.load(Ordering::SeqCst) == 1 {
+                    let stats = controller.stats();
+                    let used = stats.total_blocks.saturating_sub(stats.free_blocks);
+                    samples.lock().push((
+                        start.elapsed().as_secs_f64(),
+                        stats.servers,
+                        stats.total_blocks * BLOCK_SIZE as u64,
+                        used * BLOCK_SIZE as u64,
+                        app_live.load(Ordering::SeqCst),
+                    ));
+                    std::thread::sleep(Duration::from_millis(200));
+                }
+            })
+        };
+
+        // Replay: spawn each job's thread at its compressed arrival.
+        let mut jobs: Vec<_> = trace.jobs.clone();
+        jobs.sort_by_key(|j| j.arrival);
+        let failures = Arc::new(AtomicU64::new(0));
+        let chunk_writes = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        // Safety valve: if the pool saturates and every put is stuck in
+        // backpressure, the replay still terminates.
+        let hard_stop = start + Duration::from_secs(45);
+        let active = Arc::new(AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for spec in jobs {
+            let at = spec.arrival / COMPRESS;
+            if let Some(wait) = at.checked_sub(start.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            while active.load(Ordering::SeqCst) >= MAX_CONCURRENT_JOBS && Instant::now() < hard_stop
+            {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            active.fetch_add(1, Ordering::SeqCst);
+            let active = active.clone();
+            let kv = kv.clone();
+            let app_live = app_live.clone();
+            let failures = failures.clone();
+            let chunk_writes = chunk_writes.clone();
+            handles.push(std::thread::spawn(move || {
+                let value = vec![0x5Au8; CHUNK];
+                let mut prev: Vec<String> = Vec::new();
+                for (si, stage) in spec.stages.iter().enumerate() {
+                    if Instant::now() >= hard_stop {
+                        break;
+                    }
+                    std::thread::sleep(stage.compute / COMPRESS);
+                    // Stage i > 0 re-reads stage i-1's output first.
+                    if let Some(k) = prev.first() {
+                        let _ = kv.get(k.as_bytes());
+                    }
+                    let chunks = (stage.write_bytes / CHUNK as u64 + 1).min(MAX_STAGE_CHUNKS);
+                    let mut written = Vec::new();
+                    for c in 0..chunks {
+                        let key = format!("j{}-s{si}-c{c}", spec.id);
+                        match put_retrying(&kv, key.as_bytes(), &value, hard_stop) {
+                            Ok(()) => {
+                                app_live.fetch_add(CHUNK as u64, Ordering::SeqCst);
+                                chunk_writes.fetch_add(1, Ordering::SeqCst);
+                                written.push(key);
+                            }
+                            Err(_) => {
+                                failures.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    // A stage's output lives until the *next* stage
+                    // finishes; free the previous stage now.
+                    for k in prev.drain(..) {
+                        if delete_retrying(&kv, k.as_bytes()) {
+                            app_live.fetch_sub(CHUNK as u64, Ordering::SeqCst);
+                        }
+                    }
+                    prev = written;
+                }
+                for k in prev {
+                    if delete_retrying(&kv, k.as_bytes()) {
+                        app_live.fetch_sub(CHUNK as u64, Ordering::SeqCst);
+                    }
+                }
+                active.fetch_sub(1, Ordering::SeqCst);
+            }));
+        }
+        for h in handles {
+            let _ = h.join();
+        }
+        // Grace period: let the autoscaler observe the drained pool and
+        // retire surplus servers before the final sample.
+        std::thread::sleep(Duration::from_secs(4));
+        sampling.store(0, Ordering::SeqCst);
+        let _ = sampler.join();
+        cluster.stop_elasticity();
+
+        println!("\n--- servers-over-time and allocated-vs-used ---");
+        println!(
+            "{:>7} {:>8} {:>10} {:>10} {:>13} {:>6}",
+            "t(s)", "servers", "held(KB)", "used(KB)", "app-live(KB)", "util%"
+        );
+        for (t, servers, held, used, live) in samples.lock().iter() {
+            println!(
+                "{t:>7.1} {servers:>8} {:>10} {:>10} {:>13} {:>6.1}",
+                held / 1024,
+                used / 1024,
+                live / 1024,
+                if *held > 0 {
+                    *used as f64 / *held as f64 * 100.0
+                } else {
+                    0.0
+                }
+            );
+        }
+
+        let stats = cluster.controller().stats();
+        println!("\n--- scaling summary ---");
+        println!(
+            "scale-ups: {}, scale-downs: {}, blocks migrated: {}, final pool: {} servers",
+            stats.scale_ups, stats.scale_downs, stats.blocks_migrated, stats.servers
+        );
+        println!(
+            "workload: {} chunk writes, {} unrecovered errors",
+            chunk_writes.load(Ordering::SeqCst),
+            failures.load(Ordering::SeqCst)
         );
     }
 }

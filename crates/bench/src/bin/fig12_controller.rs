@@ -36,7 +36,7 @@ fn setup_job(ctrl: &Controller) -> JobId {
         ControlResponse::JobRegistered { job } => job,
         other => panic!("{other:?}"),
     };
-    ctrl.dispatch(ControlRequest::RegisterServer {
+    ctrl.dispatch(ControlRequest::JoinServer {
         addr: "inproc:0".into(),
         capacity_blocks: 64,
     })

@@ -1,7 +1,7 @@
 //! A fixed-capacity block with usage-threshold detection.
 
 use jiffy_common::{BlockId, JiffyError, Result};
-use jiffy_proto::{DsOp, DsResult, Notification, OpKind};
+use jiffy_proto::{DsOp, DsResult, Notification, OpKind, Replica};
 
 use crate::partition::Partition;
 
@@ -40,6 +40,12 @@ pub struct Block {
     /// While a repartition is in flight the block suppresses further
     /// threshold events for itself.
     repartition_in_flight: bool,
+    /// Sealed for live migration: the image is frozen — mutations bounce
+    /// with `StaleMetadata` while reads keep serving (paper §3.3).
+    sealed: bool,
+    /// Redirect tombstone left behind after a migration: every op gets
+    /// `BlockMoved` pointing at the new home until the block is reused.
+    moved_to: Option<Replica>,
 }
 
 impl Block {
@@ -55,6 +61,8 @@ impl Block {
             high_signaled: false,
             low_signaled: false,
             repartition_in_flight: false,
+            sealed: false,
+            moved_to: None,
         }
     }
 
@@ -94,6 +102,8 @@ impl Block {
         self.high_signaled = false;
         self.low_signaled = false;
         self.repartition_in_flight = false;
+        self.sealed = false;
+        self.moved_to = None;
         Ok(())
     }
 
@@ -104,6 +114,41 @@ impl Block {
         self.high_signaled = false;
         self.low_signaled = false;
         self.repartition_in_flight = false;
+        self.sealed = false;
+        self.moved_to = None;
+    }
+
+    /// Seals (or unseals) the block for live migration. Sealed blocks
+    /// reject mutations with [`JiffyError::StaleMetadata`] — the client
+    /// refreshes its view and retries at the new home — while reads keep
+    /// serving the frozen image.
+    pub fn set_sealed(&mut self, sealed: bool) {
+        self.sealed = sealed;
+    }
+
+    /// Whether the block is currently sealed.
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// Retires the block after its contents migrated to `moved_to`:
+    /// drops the partition (freeing the memory) but leaves a redirect
+    /// tombstone so every subsequent op gets [`JiffyError::BlockMoved`]
+    /// until the block is reused via [`Block::install`] or
+    /// [`Block::reset`].
+    pub fn retire(&mut self, moved_to: Replica) {
+        self.partition = None;
+        self.seq = 0;
+        self.high_signaled = false;
+        self.low_signaled = false;
+        self.repartition_in_flight = false;
+        self.sealed = false;
+        self.moved_to = Some(moved_to);
+    }
+
+    /// The redirect tombstone, if the block was retired.
+    pub fn moved_to(&self) -> Option<&Replica> {
+        self.moved_to.as_ref()
     }
 
     /// Direct access to the partition (repartitioning, export).
@@ -166,6 +211,16 @@ impl Block {
         &mut self,
         op: &DsOp,
     ) -> Result<(DsResult, Option<Notification>, Option<ThresholdEvent>)> {
+        if let Some(new_home) = &self.moved_to {
+            return Err(JiffyError::BlockMoved {
+                block: new_home.block.raw(),
+                server: new_home.server.raw(),
+                addr: new_home.addr.clone(),
+            });
+        }
+        if self.sealed && op.kind().is_some() {
+            return Err(JiffyError::StaleMetadata);
+        }
         let partition = self
             .partition
             .as_deref_mut()
@@ -362,6 +417,59 @@ mod tests {
         }))
         .unwrap();
         assert!(b.is_allocated());
+    }
+
+    #[test]
+    fn sealed_block_rejects_mutations_but_serves_reads() {
+        let mut b = pile_block(100, 0, 95);
+        b.execute(&write(10)).unwrap();
+        b.set_sealed(true);
+        assert!(matches!(
+            b.execute(&write(1)),
+            Err(JiffyError::StaleMetadata)
+        ));
+        // Reads still serve the frozen image.
+        assert!(b.execute(&DsOp::FileRead { offset: 0, len: 5 }).is_ok());
+        // Unsealing restores writes.
+        b.set_sealed(false);
+        assert!(b.execute(&write(1)).is_ok());
+    }
+
+    #[test]
+    fn retired_block_redirects_every_op_until_reuse() {
+        let mut b = pile_block(100, 0, 95);
+        b.execute(&write(10)).unwrap();
+        let new_home = Replica {
+            block: BlockId(42),
+            server: jiffy_common::ServerId(7),
+            addr: "inproc:7".into(),
+        };
+        b.retire(new_home.clone());
+        assert!(!b.is_allocated());
+        match b.execute(&DsOp::FileRead { offset: 0, len: 1 }) {
+            Err(JiffyError::BlockMoved {
+                block,
+                server,
+                addr,
+            }) => {
+                assert_eq!(block, 42);
+                assert_eq!(server, 7);
+                assert_eq!(addr, "inproc:7");
+            }
+            other => panic!("expected BlockMoved, got {other:?}"),
+        }
+        assert!(matches!(
+            b.execute(&write(1)),
+            Err(JiffyError::BlockMoved { .. })
+        ));
+        // Reuse clears the tombstone.
+        b.install(Box::new(BytePile {
+            capacity: 100,
+            data: Vec::new(),
+        }))
+        .unwrap();
+        assert!(b.moved_to().is_none());
+        assert!(b.execute(&write(1)).is_ok());
     }
 
     #[test]

@@ -124,13 +124,35 @@ impl DsCore {
     }
 
     /// Runs `attempt` with the standard refresh-on-stale retry loop.
+    /// Besides stale-partition signals, this also self-heals around
+    /// cluster elasticity: `BlockMoved` (the block migrated — a refresh
+    /// resolves the new home) always retries, while `Unavailable` (the
+    /// server stopped answering) retries only when the refreshed layout
+    /// actually changed — a promoted replica or a migrated/reloaded
+    /// copy is worth another attempt, but data whose only home is gone
+    /// surfaces as a fast, clean `Unavailable`, never a hang.
     fn with_routing_retries<T>(&self, mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
         let mut last = None;
         for i in 0..MAX_ROUTING_RETRIES {
             match attempt() {
                 Ok(v) => return Ok(v),
-                Err(e @ (JiffyError::StaleMetadata | JiffyError::UnknownBlock(_))) => {
+                Err(
+                    e @ (JiffyError::StaleMetadata
+                    | JiffyError::UnknownBlock(_)
+                    | JiffyError::BlockMoved { .. }),
+                ) => {
                     self.refresh()?;
+                    last = Some(e);
+                    if i > 2 {
+                        std::thread::sleep(RETRY_BACKOFF);
+                    }
+                }
+                Err(e @ JiffyError::Unavailable(_)) => {
+                    let before = self.view();
+                    self.refresh()?;
+                    if self.view() == before {
+                        return Err(e);
+                    }
                     last = Some(e);
                     if i > 2 {
                         std::thread::sleep(RETRY_BACKOFF);
@@ -321,30 +343,59 @@ impl FileClient {
     ///
     /// Routing failures.
     pub fn read_all(&self) -> Result<Vec<u8>> {
-        self.core.refresh()?;
-        let (_, blocks) = self.file_view()?;
-        let mut out = Vec::new();
-        for loc in &blocks {
-            let size = match self.core.data_op(loc, DsOp::FileSize, false)? {
-                DsResult::Size(s) => s,
-                other => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
-            };
-            if size == 0 {
-                continue;
+        'restart: for _ in 0..MAX_ROUTING_RETRIES {
+            self.core.refresh()?;
+            let (_, blocks) = self.file_view()?;
+            let mut out = Vec::new();
+            for loc in &blocks {
+                let size = match self.chunk_op(loc, DsOp::FileSize)? {
+                    Some(DsResult::Size(s)) => s,
+                    Some(other) => {
+                        return Err(JiffyError::Rpc(format!("unexpected result {other:?}")))
+                    }
+                    // Chunk migrated mid-scan: rescan the new layout.
+                    None => continue 'restart,
+                };
+                if size == 0 {
+                    continue;
+                }
+                match self.chunk_op(
+                    loc,
+                    DsOp::FileRead {
+                        offset: 0,
+                        len: size,
+                    },
+                )? {
+                    Some(DsResult::Data(b)) => out.extend_from_slice(&b),
+                    Some(other) => {
+                        return Err(JiffyError::Rpc(format!("unexpected result {other:?}")))
+                    }
+                    None => continue 'restart,
+                }
             }
-            match self.core.data_op(
-                loc,
-                DsOp::FileRead {
-                    offset: 0,
-                    len: size,
-                },
-                false,
-            )? {
-                DsResult::Data(b) => out.extend_from_slice(&b),
-                other => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
-            }
+            return Ok(out);
         }
-        Ok(out)
+        Err(JiffyError::StaleMetadata)
+    }
+
+    /// One read-side chunk op; `Ok(None)` means the chunk moved (or its
+    /// server went away but the layout changed), i.e. the caller should
+    /// refresh and rescan.
+    fn chunk_op(&self, loc: &BlockLocation, op: DsOp) -> Result<Option<DsResult>> {
+        match self.core.data_op(loc, op, false) {
+            Ok(r) => Ok(Some(r)),
+            Err(JiffyError::BlockMoved { .. }) => Ok(None),
+            Err(e @ JiffyError::Unavailable(_)) => {
+                let before = self.core.view();
+                self.core.refresh()?;
+                if self.core.view() == before {
+                    Err(e)
+                } else {
+                    Ok(None)
+                }
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Total bytes stored across chunks.
@@ -353,16 +404,22 @@ impl FileClient {
     ///
     /// Routing failures.
     pub fn size(&self) -> Result<u64> {
-        self.core.refresh()?;
-        let (_, blocks) = self.file_view()?;
-        let mut total = 0;
-        for loc in &blocks {
-            match self.core.data_op(loc, DsOp::FileSize, false)? {
-                DsResult::Size(s) => total += s,
-                other => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+        'restart: for _ in 0..MAX_ROUTING_RETRIES {
+            self.core.refresh()?;
+            let (_, blocks) = self.file_view()?;
+            let mut total = 0;
+            for loc in &blocks {
+                match self.chunk_op(loc, DsOp::FileSize)? {
+                    Some(DsResult::Size(s)) => total += s,
+                    Some(other) => {
+                        return Err(JiffyError::Rpc(format!("unexpected result {other:?}")))
+                    }
+                    None => continue 'restart,
+                }
             }
+            return Ok(total);
         }
-        Ok(total)
+        Err(JiffyError::StaleMetadata)
     }
 
     /// Subscribes to write notifications on the file's current blocks.
@@ -508,13 +565,29 @@ impl QueueClient {
                         *c += 1;
                     }
                 }
-                // Segment was unlinked and reset: refresh the list.
-                Err(JiffyError::UnknownBlock(_)) => {
+                // Segment was unlinked and reset, or migrated to another
+                // server: refresh the list and restart from the head.
+                Err(JiffyError::UnknownBlock(_) | JiffyError::BlockMoved { .. }) => {
                     if refreshes >= MAX_ROUTING_RETRIES {
                         return Err(JiffyError::StaleMetadata);
                     }
                     refreshes += 1;
                     self.core.refresh()?;
+                    *self.head_cursor.lock() = 0;
+                }
+                // The segment's server stopped answering. Retry only if
+                // the layout moved on (drain/failover re-homed it);
+                // data whose only home is gone fails fast, not forever.
+                Err(e @ JiffyError::Unavailable(_)) => {
+                    if refreshes >= MAX_ROUTING_RETRIES {
+                        return Err(e);
+                    }
+                    let before = self.core.view();
+                    self.core.refresh()?;
+                    if self.core.view() == before {
+                        return Err(e);
+                    }
+                    refreshes += 1;
                     *self.head_cursor.lock() = 0;
                 }
                 Err(e) => return Err(e),
@@ -528,18 +601,33 @@ impl QueueClient {
     ///
     /// Routing failures.
     pub fn len(&self) -> Result<u64> {
-        self.core.refresh()?;
-        let mut total = 0;
-        for loc in self.segments()? {
-            match self.core.data_op(&loc, DsOp::QueueLen, false) {
-                Ok(DsResult::Size(s)) => total += s,
-                Ok(other) => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
-                // Unlinked while counting: skip it.
-                Err(JiffyError::UnknownBlock(_)) => continue,
-                Err(e) => return Err(e),
+        'restart: for _ in 0..MAX_ROUTING_RETRIES {
+            self.core.refresh()?;
+            let mut total = 0;
+            for loc in self.segments()? {
+                match self.core.data_op(&loc, DsOp::QueueLen, false) {
+                    Ok(DsResult::Size(s)) => total += s,
+                    Ok(other) => {
+                        return Err(JiffyError::Rpc(format!("unexpected result {other:?}")))
+                    }
+                    // Unlinked while counting: skip it.
+                    Err(JiffyError::UnknownBlock(_)) => continue,
+                    // Migrated mid-count: recount against the new layout.
+                    Err(JiffyError::BlockMoved { .. }) => continue 'restart,
+                    Err(e @ JiffyError::Unavailable(_)) => {
+                        let before = self.core.view();
+                        self.core.refresh()?;
+                        if self.core.view() == before {
+                            return Err(e);
+                        }
+                        continue 'restart;
+                    }
+                    Err(e) => return Err(e),
+                }
             }
+            return Ok(total);
         }
-        Ok(total)
+        Err(JiffyError::StaleMetadata)
     }
 
     /// Whether the queue currently holds no items.

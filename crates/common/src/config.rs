@@ -31,6 +31,22 @@ pub struct JiffyConfig {
     /// Replication chain length for blocks that request fault tolerance
     /// (1 = no replication).
     pub chain_length: usize,
+    /// How often each memory server heartbeats the controller.
+    pub heartbeat_interval: Duration,
+    /// The controller's failure detector marks a server dead once this
+    /// much time passes without a heartbeat from it.
+    pub heartbeat_timeout: Duration,
+    /// How often the controller's elasticity worker runs the failure
+    /// detector and the autoscaler.
+    pub elasticity_interval: Duration,
+    /// Low free-block watermark: when the fraction of free blocks across
+    /// alive servers drops below this, the autoscaler requests a new
+    /// server from the pluggable `ServerProvider`.
+    pub scale_up_free_fraction: f64,
+    /// High free-block watermark: when the fraction of free blocks rises
+    /// above this (and the pool is above its minimum size), the
+    /// autoscaler drains the emptiest server and releases it.
+    pub scale_down_free_fraction: f64,
 }
 
 impl Default for JiffyConfig {
@@ -43,6 +59,11 @@ impl Default for JiffyConfig {
             low_threshold: 0.05,
             kv_hash_slots: 1024,
             chain_length: 1,
+            heartbeat_interval: Duration::from_secs(1),
+            heartbeat_timeout: Duration::from_secs(5),
+            elasticity_interval: Duration::from_secs(1),
+            scale_up_free_fraction: 0.1,
+            scale_down_free_fraction: 0.6,
         }
     }
 }
@@ -55,8 +76,28 @@ impl JiffyConfig {
             block_size: 64 * 1024,
             lease_duration: Duration::from_secs(1),
             lease_scan_interval: Duration::from_millis(20),
+            heartbeat_interval: Duration::from_millis(20),
+            heartbeat_timeout: Duration::from_millis(100),
+            elasticity_interval: Duration::from_millis(20),
             ..Self::default()
         }
+    }
+
+    /// Builder-style override of the heartbeat interval and the failure
+    /// detector's timeout.
+    pub fn with_heartbeats(mut self, interval: Duration, timeout: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the autoscaler's free-block watermarks:
+    /// scale up when the free fraction drops below `up_below`, scale
+    /// down when it rises above `down_above`.
+    pub fn with_scale_watermarks(mut self, up_below: f64, down_above: f64) -> Self {
+        self.scale_up_free_fraction = up_below;
+        self.scale_down_free_fraction = down_above;
+        self
     }
 
     /// Builder-style override of the block size.
@@ -108,6 +149,21 @@ impl JiffyConfig {
             return Err(crate::JiffyError::Internal(
                 "kv_hash_slots must be >= 1".into(),
             ));
+        }
+        if self.heartbeat_timeout <= self.heartbeat_interval {
+            return Err(crate::JiffyError::Internal(format!(
+                "heartbeat_timeout ({:?}) must exceed heartbeat_interval ({:?})",
+                self.heartbeat_timeout, self.heartbeat_interval
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.scale_up_free_fraction)
+            || !(0.0..=1.0).contains(&self.scale_down_free_fraction)
+            || self.scale_up_free_fraction >= self.scale_down_free_fraction
+        {
+            return Err(crate::JiffyError::Internal(format!(
+                "invalid scale watermarks: up_below={} down_above={}",
+                self.scale_up_free_fraction, self.scale_down_free_fraction
+            )));
         }
         Ok(())
     }
@@ -161,6 +217,19 @@ mod tests {
     fn validate_rejects_zero_chain() {
         let c = JiffyConfig::default().with_chain_length(0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_heartbeats_and_watermarks() {
+        let c =
+            JiffyConfig::default().with_heartbeats(Duration::from_secs(5), Duration::from_secs(1));
+        assert!(c.validate().is_err());
+        let c = JiffyConfig::default().with_scale_watermarks(0.7, 0.2);
+        assert!(c.validate().is_err());
+        let c = JiffyConfig::for_testing()
+            .with_heartbeats(Duration::from_millis(10), Duration::from_millis(50))
+            .with_scale_watermarks(0.2, 0.8);
+        c.validate().unwrap();
     }
 
     #[test]

@@ -63,6 +63,18 @@ pub enum JiffyError {
     /// from the controller and retry. Raised by a memory server when an
     /// op addresses a block the server no longer owns for that structure.
     StaleMetadata,
+    /// The addressed block was migrated to another server; the redirect
+    /// carries the new home so the client can retry there (and refresh
+    /// its cached view lazily). Left behind as a tombstone on the source
+    /// block until the block is reused.
+    BlockMoved {
+        /// The block's ID at its new home.
+        block: u64,
+        /// ID of the server now hosting the block.
+        server: u64,
+        /// Transport address of the new home.
+        addr: String,
+    },
     /// The persistent tier has no object under the given external path.
     PersistentObjectMissing(String),
     /// Failure in the RPC/transport layer (connection reset, codec error,
@@ -116,6 +128,11 @@ impl fmt::Display for JiffyError {
                 write!(f, "offset {offset} out of range (len {len})")
             }
             Self::StaleMetadata => write!(f, "stale partition metadata; refresh and retry"),
+            Self::BlockMoved {
+                block,
+                server,
+                addr,
+            } => write!(f, "block moved: now blk-{block} on srv-{server} at {addr}"),
             Self::PersistentObjectMissing(p) => {
                 write!(f, "persistent object missing: {p}")
             }
@@ -155,6 +172,7 @@ impl JiffyError {
         matches!(
             self,
             Self::StaleMetadata
+                | Self::BlockMoved { .. }
                 | Self::QueueFull
                 | Self::Rpc(_)
                 | Self::Timeout { .. }
@@ -211,6 +229,15 @@ mod tests {
     #[test]
     fn retryability_classification() {
         assert!(JiffyError::StaleMetadata.is_retryable());
+        // A moved-block redirect is retryable (at the new home) but NOT a
+        // transport fault: the server definitively rejected the op.
+        let moved = JiffyError::BlockMoved {
+            block: 7,
+            server: 2,
+            addr: "inproc:9".into(),
+        };
+        assert!(moved.is_retryable());
+        assert!(!moved.is_transport());
         assert!(JiffyError::QueueFull.is_retryable());
         assert!(JiffyError::Rpc("reset".into()).is_retryable());
         assert!(JiffyError::Timeout { after_ms: 500 }.is_retryable());

@@ -1,15 +1,18 @@
 //! The Jiffy controller service (paper Fig. 7).
 
 use jiffy_sync::Arc;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use jiffy_common::clock::SharedClock;
 use jiffy_common::id::IdGen;
-use jiffy_common::{BlockId, JiffyConfig, JiffyError, JobId, Result};
+use jiffy_common::{BlockId, JiffyConfig, JiffyError, JobId, Result, ServerId};
+use jiffy_elastic::{
+    AutoscalerPolicy, FailureDetector, ScaleDecision, ServerProvider, ServerState,
+};
 use jiffy_persistent::ObjectStore;
 use jiffy_proto::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
-    DataRequest, DataResponse, DsType, Envelope, MergeSpec, PrefixView, SplitSpec,
+    DataRequest, DataResponse, DsType, Envelope, MergeSpec, PrefixView, Replica, SplitSpec,
 };
 use jiffy_rpc::{Fabric, Service, SessionHandle};
 use jiffy_sync::Mutex;
@@ -45,7 +48,7 @@ pub trait DataPlane: Send + Sync {
     /// Transport failures.
     fn export_block(&self, loc: &BlockLocation) -> Result<Vec<u8>>;
 
-    /// Imports a payload into a block (head replica; chain forwards).
+    /// Imports a payload into a block (every chain replica absorbs).
     ///
     /// # Errors
     ///
@@ -84,6 +87,24 @@ pub trait DataPlane: Send + Sync {
     ///
     /// Transport failures.
     fn block_usage(&self, loc: &BlockLocation) -> Result<(u64, u64)>;
+
+    /// Seals (or unseals) the blocks of a chain for live migration:
+    /// sealed blocks reject mutations with `StaleMetadata` while reads
+    /// keep serving, freezing the image the migration copies.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    fn seal_block(&self, loc: &BlockLocation, sealed: bool) -> Result<()>;
+
+    /// Retires every replica of a migrated-away chain: each source block
+    /// drops its data and keeps a redirect tombstone pointing at
+    /// `moved_to` (the new home's head) until the block is reused.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    fn retire_block(&self, loc: &BlockLocation, moved_to: &Replica) -> Result<()>;
 }
 
 /// A no-op data plane: every operation succeeds and exports are empty.
@@ -129,6 +150,14 @@ impl DataPlane for NoopDataPlane {
 
     fn block_usage(&self, _loc: &BlockLocation) -> Result<(u64, u64)> {
         Ok((0, u64::MAX))
+    }
+
+    fn seal_block(&self, _loc: &BlockLocation, _sealed: bool) -> Result<()> {
+        Ok(())
+    }
+
+    fn retire_block(&self, _loc: &BlockLocation, _moved_to: &Replica) -> Result<()> {
+        Ok(())
     }
 }
 
@@ -193,14 +222,18 @@ impl DataPlane for RpcDataPlane {
     }
 
     fn import_payload(&self, loc: &BlockLocation, payload: &[u8]) -> Result<()> {
-        let head = loc.head();
-        self.call(
-            &head.addr,
-            DataRequest::ImportPayload {
-                block: head.block,
-                payload: payload.into(),
-            },
-        )?;
+        // Every replica absorbs: reads are served by the tail, and any
+        // replica may later be promoted, so a head-only import would
+        // lose the payload on the first failover.
+        for replica in &loc.chain {
+            self.call(
+                &replica.addr,
+                DataRequest::ImportPayload {
+                    block: replica.block,
+                    payload: payload.into(),
+                },
+            )?;
+        }
         Ok(())
     }
 
@@ -249,6 +282,32 @@ impl DataPlane for RpcDataPlane {
             ))),
         }
     }
+
+    fn seal_block(&self, loc: &BlockLocation, sealed: bool) -> Result<()> {
+        for replica in &loc.chain {
+            self.call(
+                &replica.addr,
+                DataRequest::SealBlock {
+                    block: replica.block,
+                    sealed,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    fn retire_block(&self, loc: &BlockLocation, moved_to: &Replica) -> Result<()> {
+        for replica in &loc.chain {
+            self.call(
+                &replica.addr,
+                DataRequest::RetireBlock {
+                    block: replica.block,
+                    moved_to: moved_to.clone(),
+                },
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// A flushed prefix as stored in the persistent tier.
@@ -272,6 +331,10 @@ struct Counters {
     leases_expired: u64,
     splits: u64,
     merges: u64,
+    servers_failed: u64,
+    blocks_migrated: u64,
+    scale_ups: u64,
+    scale_downs: u64,
 }
 
 struct CtrlState {
@@ -280,6 +343,18 @@ struct CtrlState {
     /// Reverse map: logical block → (job, node) for overload routing.
     block_owner: HashMap<BlockId, (JobId, String)>,
     counters: Counters,
+    /// Heartbeat bookkeeping for the failure detector.
+    detector: FailureDetector,
+}
+
+/// Autoscaler wiring: the policy plus the provider that actually
+/// provisions/decommissions servers. Kept outside [`CtrlState`] because
+/// provider calls must run WITHOUT the state lock held (an in-process
+/// provider calls straight back into [`Controller::dispatch`]).
+#[derive(Default)]
+struct ElasticHooks {
+    policy: Option<AutoscalerPolicy>,
+    provider: Option<Arc<dyn ServerProvider>>,
 }
 
 /// The unified control plane: block allocator + metadata manager + lease
@@ -291,6 +366,7 @@ pub struct Controller {
     dataplane: Arc<dyn DataPlane>,
     persistent: Arc<dyn ObjectStore>,
     job_ids: IdGen,
+    elastic: Mutex<ElasticHooks>,
 }
 
 impl Controller {
@@ -314,10 +390,12 @@ impl Controller {
                 freelist: FreeList::new(),
                 block_owner: HashMap::new(),
                 counters: Counters::default(),
+                detector: FailureDetector::new(),
             }),
             dataplane,
             persistent,
             job_ids: IdGen::new(),
+            elastic: Mutex::new(ElasticHooks::default()),
         }))
     }
 
@@ -451,13 +529,35 @@ impl Controller {
                 let bytes = self.load_prefix(&mut st, job, &name, &external_path)?;
                 Ok(ControlResponse::Persisted { bytes })
             }
-            ControlRequest::RegisterServer {
+            ControlRequest::JoinServer {
                 addr,
                 capacity_blocks,
             } => {
                 let (server, blocks) = st.freelist.register_server(addr, capacity_blocks);
-                Ok(ControlResponse::ServerRegistered { server, blocks })
+                st.detector.record(server, self.clock.now());
+                Ok(ControlResponse::ServerJoined { server, blocks })
             }
+            ControlRequest::LeaveServer { server } => {
+                let blocks_migrated = self.drain_server_locked(&mut st, server)?;
+                st.freelist.deregister_server(server)?;
+                st.detector.forget(server);
+                Ok(ControlResponse::Drained {
+                    server,
+                    blocks_migrated,
+                })
+            }
+            ControlRequest::Heartbeat { server, .. } => {
+                // Only live members may heartbeat; a departed or dead
+                // server gets UnknownServer and must re-join.
+                match st.freelist.state_of(server)? {
+                    ServerState::Alive | ServerState::Draining => {
+                        st.detector.record(server, self.clock.now());
+                        Ok(ControlResponse::Ack)
+                    }
+                    ServerState::Dead => Err(JiffyError::UnknownServer(server.raw())),
+                }
+            }
+            ControlRequest::ListServers => Ok(ControlResponse::Servers(st.freelist.server_infos())),
             ControlRequest::ReportOverload { block, .. } => {
                 let (target, spec) = self.handle_overload(&mut st, block)?;
                 Ok(ControlResponse::SplitTarget { target, spec })
@@ -710,7 +810,7 @@ impl Controller {
             Err(_) => return Ok((None, None)),
         };
         let ds = meta.ds_type();
-        let source_loc = st.freelist.location_of(block);
+        let source_loc = st.freelist.location_of(block)?;
         let new_loc = match st.freelist.allocate_chain(self.cfg.chain_length) {
             Ok(l) => l,
             // Capacity exhausted: the block keeps serving; writes beyond
@@ -763,7 +863,7 @@ impl Controller {
         let Some(plan) = meta.plan_merge(block)? else {
             return Ok((None, None));
         };
-        let source_loc = st.freelist.location_of(block);
+        let source_loc = st.freelist.location_of(block)?;
         // Pick the first candidate with room for the source's contents
         // without immediately re-crossing the high threshold.
         let target = if plan.candidates.is_empty() {
@@ -823,6 +923,379 @@ impl Controller {
         Ok((target, Some(plan.spec)))
     }
 
+    /// Finds the logical chain a physical block belongs to, along with
+    /// its owning job and prefix. Linear in the number of live chains;
+    /// only walked on the (rare) drain and failure paths.
+    fn find_chain_of(st: &CtrlState, block: BlockId) -> Option<(JobId, String, BlockLocation)> {
+        for (job, entry) in &st.jobs {
+            for name in entry.hierarchy.names() {
+                let Some(node) = entry.hierarchy.get(&name) else {
+                    continue;
+                };
+                let Some(meta) = &node.ds else {
+                    continue;
+                };
+                for loc in meta.locations() {
+                    if loc.chain.iter().any(|r| r.block == block) {
+                        return Some((*job, name, loc));
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Live-migrates one logical chain to freshly allocated blocks
+    /// (paper §3.3 discipline): seal the source so its image freezes
+    /// while reads keep serving, copy it out, stand the copy up
+    /// elsewhere, atomically swap the metadata entry under the state
+    /// lock, then retire the source behind a `BlockMoved` redirect. A
+    /// client op racing the move lands exactly once — at the old home
+    /// before the seal, or at the new home after a retryable error
+    /// (`StaleMetadata` / `BlockMoved`) and a refresh.
+    fn migrate_logical(
+        &self,
+        st: &mut CtrlState,
+        job: JobId,
+        name: &str,
+        old_loc: &BlockLocation,
+    ) -> Result<BlockLocation> {
+        // Target init params mirror the load path: initialize empty and
+        // absorb the frozen image (the export carries all chunk / range
+        // state, so KV mirrors start with no owned ranges).
+        let (ds, params) = {
+            let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
+            let node = entry.hierarchy.resolve(name)?;
+            let meta = node
+                .ds
+                .as_ref()
+                .ok_or(JiffyError::UnknownBlock(old_loc.id().raw()))?;
+            let params = match meta.skeleton() {
+                DsSkeleton::Kv { num_slots, .. } => jiffy_proto::to_bytes(&InitKvMirror {
+                    ranges: vec![],
+                    num_slots,
+                })?,
+                _ => Vec::new(),
+            };
+            (meta.ds_type(), params)
+        };
+        // 1. Seal: mutations bounce with StaleMetadata (clients refresh
+        //    and retry); reads keep serving from the old tail.
+        self.dataplane.seal_block(old_loc, true)?;
+        // 2. Copy the now-frozen image out of the old tail.
+        let payload = match self.dataplane.export_block(old_loc) {
+            Ok(p) => p,
+            Err(e) => {
+                let _ = self.dataplane.seal_block(old_loc, false);
+                return Err(e);
+            }
+        };
+        // 3. Stand up the replacement chain and absorb the image.
+        let new_loc = match st.freelist.allocate_chain(old_loc.chain.len()) {
+            Ok(l) => l,
+            Err(e) => {
+                let _ = self.dataplane.seal_block(old_loc, false);
+                return Err(e);
+            }
+        };
+        let staged = self
+            .dataplane
+            .init_block(&new_loc, ds, &params)
+            .and_then(|()| self.dataplane.import_payload(&new_loc, &Blob::new(payload)));
+        if let Err(e) = staged {
+            let _ = self.dataplane.reset_block(&new_loc);
+            for r in &new_loc.chain {
+                let _ = st.freelist.release(r.block);
+            }
+            let _ = self.dataplane.seal_block(old_loc, false);
+            return Err(e);
+        }
+        // 4. Swap the metadata entry. The state lock is already held, so
+        //    clients observe either the old or the new location, never a
+        //    gap; the version bump invalidates cached views.
+        let swap = (|| -> Result<()> {
+            let entry = st
+                .jobs
+                .get_mut(&job)
+                .ok_or(JiffyError::UnknownJob(job.raw()))?;
+            let node = entry.hierarchy.resolve_mut(name)?;
+            let meta = node
+                .ds
+                .as_mut()
+                .ok_or(JiffyError::UnknownBlock(old_loc.id().raw()))?;
+            meta.replace_location(old_loc.id(), new_loc.clone())?;
+            node.version += 1;
+            Ok(())
+        })();
+        if let Err(e) = swap {
+            let _ = self.dataplane.reset_block(&new_loc);
+            for r in &new_loc.chain {
+                let _ = st.freelist.release(r.block);
+            }
+            let _ = self.dataplane.seal_block(old_loc, false);
+            return Err(e);
+        }
+        st.block_owner.remove(&old_loc.id());
+        st.block_owner.insert(new_loc.id(), (job, name.to_string()));
+        // 5. Retire the sources: each keeps a redirect tombstone, so an
+        //    op that raced the swap gets BlockMoved (retryable) rather
+        //    than a stale answer. Best-effort — a dead source just means
+        //    the client refreshes via Unavailable instead.
+        let _ = self.dataplane.retire_block(old_loc, new_loc.head());
+        // 6. Give the sources back (parked when their home is leaving).
+        for r in &old_loc.chain {
+            st.block_owner.remove(&r.block);
+            let _ = st.freelist.release(r.block);
+        }
+        st.counters.blocks_migrated += old_loc.chain.len() as u64;
+        Ok(new_loc)
+    }
+
+    /// Migrates every live chain off `server` (marked Draining first so
+    /// nothing new lands there), returning how many of its physical
+    /// blocks were moved. The server still holds no data afterwards and
+    /// can be deregistered.
+    fn drain_server_locked(&self, st: &mut CtrlState, server: ServerId) -> Result<u32> {
+        st.freelist.mark_draining(server)?;
+        let mut migrated = 0u32;
+        loop {
+            let used = st.freelist.used_blocks_on(server)?;
+            let Some(block) = used.first().copied() else {
+                break;
+            };
+            let Some((job, name, loc)) = Self::find_chain_of(st, block) else {
+                return Err(JiffyError::Internal(format!(
+                    "block blk-{} on draining srv-{} has no owning prefix",
+                    block.raw(),
+                    server.raw()
+                )));
+            };
+            self.migrate_logical(st, job, &name, &loc)?;
+            migrated += loc.chain.iter().filter(|r| r.server == server).count() as u32;
+        }
+        Ok(migrated)
+    }
+
+    /// Re-routes everything homed on a failed server (heartbeat timeout
+    /// or explicit kill). Chains with surviving replicas are promoted in
+    /// place; wholly-lost chains reload the whole prefix from the
+    /// persistent tier when it was flushed and nothing else of it
+    /// survives, and otherwise keep their stale location so clients see
+    /// a clean, bounded `Unavailable` instead of a hang.
+    pub fn handle_server_failure(&self, server: ServerId) -> Result<()> {
+        let mut st = self.state.lock();
+        self.handle_server_failure_locked(&mut st, server)
+    }
+
+    fn handle_server_failure_locked(&self, st: &mut CtrlState, server: ServerId) -> Result<()> {
+        let lost = st.freelist.mark_dead(server)?;
+        st.detector.forget(server);
+        st.counters.servers_failed += 1;
+        let mut seen: HashSet<BlockId> = HashSet::new();
+        let mut promotions: Vec<(JobId, String, BlockLocation, BlockLocation)> = Vec::new();
+        let mut wholly_dead: Vec<(JobId, String, BlockLocation)> = Vec::new();
+        for block in &lost {
+            let Some((job, name, loc)) = Self::find_chain_of(st, *block) else {
+                continue;
+            };
+            if !seen.insert(loc.id()) {
+                continue;
+            }
+            let survivors: Vec<Replica> = loc
+                .chain
+                .iter()
+                .filter(|r| {
+                    st.freelist
+                        .state_of(r.server)
+                        .is_ok_and(|s| s != ServerState::Dead)
+                })
+                .cloned()
+                .collect();
+            if survivors.is_empty() {
+                wholly_dead.push((job, name, loc));
+            } else if survivors.len() < loc.chain.len() {
+                promotions.push((job, name, loc.clone(), BlockLocation { chain: survivors }));
+            }
+        }
+        for (job, name, old, new) in promotions {
+            let swapped = {
+                let Some(entry) = st.jobs.get_mut(&job) else {
+                    continue;
+                };
+                let Ok(node) = entry.hierarchy.resolve_mut(&name) else {
+                    continue;
+                };
+                let Some(meta) = node.ds.as_mut() else {
+                    continue;
+                };
+                let ok = meta.replace_location(old.id(), new.clone()).is_ok();
+                if ok {
+                    node.version += 1;
+                }
+                ok
+            };
+            if swapped && old.id() != new.id() {
+                st.block_owner.remove(&old.id());
+                st.block_owner.insert(new.id(), (job, name.clone()));
+            }
+            for r in old.chain.iter().filter(|r| r.server == server) {
+                st.block_owner.remove(&r.block);
+                let _ = st.freelist.release(r.block);
+            }
+        }
+        let mut reload_candidates: HashSet<(JobId, String)> = HashSet::new();
+        for (job, name, old) in &wholly_dead {
+            for r in &old.chain {
+                st.block_owner.remove(&r.block);
+                let _ = st.freelist.release(r.block);
+            }
+            reload_candidates.insert((*job, name.clone()));
+        }
+        for (job, name) in reload_candidates {
+            let (reloadable, path) = {
+                let Some(entry) = st.jobs.get(&job) else {
+                    continue;
+                };
+                let Ok(node) = entry.hierarchy.resolve(&name) else {
+                    continue;
+                };
+                let Some(meta) = &node.ds else {
+                    continue;
+                };
+                let all_dead = meta.locations().iter().all(|loc| {
+                    loc.chain.iter().all(|r| {
+                        !st.freelist
+                            .state_of(r.server)
+                            .is_ok_and(|s| s != ServerState::Dead)
+                    })
+                });
+                (
+                    all_dead && node.flushed_to.is_some(),
+                    node.flushed_to.clone(),
+                )
+            };
+            let (true, Some(path)) = (reloadable, path) else {
+                continue;
+            };
+            // Drop the dead incarnation, then restore the flushed image
+            // into fresh blocks on live servers.
+            let locations = {
+                let Some(entry) = st.jobs.get(&job) else {
+                    continue;
+                };
+                let Ok(node) = entry.hierarchy.resolve(&name) else {
+                    continue;
+                };
+                node.ds.as_ref().map(DsMeta::locations).unwrap_or_default()
+            };
+            for loc in &locations {
+                for r in &loc.chain {
+                    st.block_owner.remove(&r.block);
+                    let _ = st.freelist.release(r.block);
+                }
+            }
+            {
+                let Some(entry) = st.jobs.get_mut(&job) else {
+                    continue;
+                };
+                let Ok(node) = entry.hierarchy.resolve_mut(&name) else {
+                    continue;
+                };
+                node.ds = None;
+                node.version += 1;
+            }
+            let _ = self.load_prefix(st, job, &name, &path);
+        }
+        Ok(())
+    }
+
+    /// One failure-detector sweep: servers whose last heartbeat is older
+    /// than `cfg.heartbeat_timeout` are declared dead and their blocks
+    /// re-routed. Returns the servers that expired this pass.
+    pub fn run_failure_detector_once(&self) -> Vec<ServerId> {
+        let now = self.clock.now();
+        let mut st = self.state.lock();
+        let expired = st.detector.expired(now, self.cfg.heartbeat_timeout);
+        for server in &expired {
+            let _ = self.handle_server_failure_locked(&mut st, *server);
+        }
+        expired
+    }
+
+    /// Installs (or replaces) the autoscaler policy and the provider it
+    /// acts through. Until this is called, [`Controller::run_autoscaler_once`]
+    /// always holds.
+    pub fn set_autoscaler(&self, policy: AutoscalerPolicy, provider: Arc<dyn ServerProvider>) {
+        let mut hooks = self.elastic.lock();
+        hooks.policy = Some(policy);
+        hooks.provider = Some(provider);
+    }
+
+    /// One pass of the demand-driven autoscaler: the decision is
+    /// computed under the state lock from per-server free-block
+    /// watermarks, but the provider acts WITHOUT it held — an
+    /// in-process provider calls straight back into
+    /// [`Controller::dispatch`] and would deadlock otherwise.
+    pub fn run_autoscaler_once(&self) -> ScaleDecision {
+        let (policy, provider) = {
+            let hooks = self.elastic.lock();
+            match (hooks.policy, hooks.provider.clone()) {
+                (Some(p), Some(pr)) => (p, pr),
+                _ => return ScaleDecision::Hold,
+            }
+        };
+        let decision = {
+            let st = self.state.lock();
+            policy.decide(&st.freelist.server_loads())
+        };
+        match decision {
+            ScaleDecision::Hold => {}
+            ScaleDecision::ScaleUp => {
+                if provider.provision().is_ok() {
+                    self.state.lock().counters.scale_ups += 1;
+                }
+            }
+            ScaleDecision::ScaleDown { victim } => {
+                // Drain first (LeaveServer migrates every live chain off
+                // the victim), then hand the empty server back.
+                if self
+                    .dispatch(ControlRequest::LeaveServer { server: victim })
+                    .is_ok()
+                {
+                    let _ = provider.decommission(victim);
+                    self.state.lock().counters.scale_downs += 1;
+                }
+            }
+        }
+        decision
+    }
+
+    /// Spawns the elasticity worker: every `cfg.elasticity_interval` it
+    /// sweeps the failure detector and runs one autoscaler pass. Stops
+    /// when the returned handle drops. Only meaningful with a real-time
+    /// clock.
+    pub fn start_elasticity_worker(self: &Arc<Self>) -> ControllerHandle {
+        let stop = Arc::new(jiffy_sync::atomic::AtomicBool::new(false));
+        let stop2 = stop.clone();
+        let ctrl = Arc::clone(self);
+        let interval = self.cfg.elasticity_interval;
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let thread = std::thread::Builder::new()
+            .name("jiffy-elasticity".into())
+            .spawn(move || {
+                while !stop2.load(jiffy_sync::atomic::Ordering::SeqCst) {
+                    std::thread::sleep(interval);
+                    ctrl.run_failure_detector_once();
+                    ctrl.run_autoscaler_once();
+                }
+            })
+            .expect("invariant: thread spawn fails only on OS resource exhaustion");
+        ControllerHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+
     /// One pass of the lease-expiry worker: flush and reclaim every
     /// prefix whose lease lapsed. Returns the reclaimed prefix names.
     pub fn run_expiry_once(&self) -> Vec<(JobId, String)> {
@@ -870,6 +1343,12 @@ impl Controller {
     fn stats_locked(&self, st: &CtrlState) -> ControllerStats {
         let prefixes: u64 = st.jobs.values().map(|j| j.hierarchy.len() as u64).sum();
         let metadata_bytes: u64 = st.jobs.values().map(|j| j.hierarchy.metadata_bytes()).sum();
+        let servers = st
+            .freelist
+            .server_loads()
+            .iter()
+            .filter(|l| l.state == ServerState::Alive)
+            .count() as u64;
         ControllerStats {
             free_blocks: st.freelist.free_count() as u64,
             total_blocks: st.freelist.total_count() as u64,
@@ -880,6 +1359,11 @@ impl Controller {
             splits: st.counters.splits,
             merges: st.counters.merges,
             metadata_bytes,
+            servers,
+            servers_failed: st.counters.servers_failed,
+            blocks_migrated: st.counters.blocks_migrated,
+            scale_ups: st.counters.scale_ups,
+            scale_downs: st.counters.scale_downs,
         }
     }
 
@@ -969,7 +1453,7 @@ mod tests {
     }
 
     fn add_server(ctrl: &Controller, blocks: u32) {
-        ctrl.dispatch(ControlRequest::RegisterServer {
+        ctrl.dispatch(ControlRequest::JoinServer {
             addr: "inproc:0".into(),
             capacity_blocks: blocks,
         })

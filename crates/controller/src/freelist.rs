@@ -1,10 +1,20 @@
-//! The free block list and memory-server membership.
+//! The free block list and memory-server membership table.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 
 use jiffy_common::id::IdGen;
 use jiffy_common::{BlockId, JiffyError, Result, ServerId};
-use jiffy_proto::{BlockLocation, Endpoint, Replica};
+use jiffy_elastic::{ServerLoad, ServerState};
+use jiffy_proto::{BlockLocation, Endpoint, ServerInfo};
+
+/// One registered memory server and the blocks it contributed.
+#[derive(Debug, Clone)]
+struct ServerEntry {
+    endpoint: Endpoint,
+    state: ServerState,
+    /// Every block homed on this server, in registration order.
+    blocks: Vec<BlockId>,
+}
 
 /// Tracks every registered memory server, every block in the cluster,
 /// and which blocks are currently free.
@@ -13,12 +23,25 @@ use jiffy_proto::{BlockLocation, Endpoint, Replica};
 /// virtual-memory analogy: the data plane's physical blocks are
 /// multiplexed across prefixes at block granularity, while tasks operate
 /// under the illusion of unbounded prefix capacity.
+///
+/// With cluster elasticity this doubles as the **membership table**:
+/// each server carries a [`ServerState`]. Only `Alive` servers receive
+/// new allocations; the free blocks of `Draining`/`Dead` servers are
+/// *parked* (unallocatable but remembered). Server IDs come from a
+/// monotonic [`IdGen`] and departed IDs are tombstoned, so an ID is
+/// never re-issued — a stale heartbeat or lease from a previous
+/// incarnation can never be confused with a new server.
 #[derive(Debug, Default)]
 pub struct FreeList {
-    servers: HashMap<ServerId, Endpoint>,
+    servers: HashMap<ServerId, ServerEntry>,
     /// Every block's home server (free or not).
     homes: HashMap<BlockId, ServerId>,
+    /// Allocatable blocks (homes are all `Alive`), FIFO for round-robin.
     free: VecDeque<BlockId>,
+    /// Unallocated blocks whose home server is draining or dead.
+    parked: HashSet<BlockId>,
+    /// IDs of servers that left the cluster (drained and removed).
+    departed: HashSet<ServerId>,
     server_ids: IdGen,
     block_ids: IdGen,
 }
@@ -38,7 +61,6 @@ impl FreeList {
     ) -> (ServerId, Vec<BlockId>) {
         let server: ServerId = self.server_ids.next_id();
         let addr = addr.into();
-        self.servers.insert(server, Endpoint { server, addr });
         let mut blocks = Vec::with_capacity(capacity_blocks as usize);
         for _ in 0..capacity_blocks {
             let id: BlockId = self.block_ids.next_id();
@@ -46,6 +68,14 @@ impl FreeList {
             self.free.push_back(id);
             blocks.push(id);
         }
+        self.servers.insert(
+            server,
+            ServerEntry {
+                endpoint: Endpoint { server, addr },
+                state: ServerState::Alive,
+                blocks: blocks.clone(),
+            },
+        );
         (server, blocks)
     }
 
@@ -58,11 +88,13 @@ impl FreeList {
     /// [`JiffyError::OutOfBlocks`] when nothing is free.
     pub fn allocate(&mut self) -> Result<BlockLocation> {
         let block = self.free.pop_front().ok_or(JiffyError::OutOfBlocks)?;
-        Ok(self.location_of(block))
+        self.location_of(block)
     }
 
     /// Allocates a replication chain of `n` blocks on as many distinct
-    /// servers as possible (head first).
+    /// servers as possible (head first). Only `Alive` servers are
+    /// eligible (the free list never holds blocks of draining or dead
+    /// servers).
     ///
     /// # Errors
     ///
@@ -97,68 +129,289 @@ impl FreeList {
         }
         debug_assert_eq!(chosen.len(), n);
         self.free.retain(|b| !chosen.contains(b));
-        let chain = chosen
-            .into_iter()
-            .map(|block| {
-                let ep = &self.servers[&self.homes[&block]];
-                Replica {
-                    block,
-                    server: ep.server,
-                    addr: ep.addr.clone(),
-                }
-            })
-            .collect();
+        let mut chain = Vec::with_capacity(n);
+        for block in chosen {
+            let loc = self.location_of(block)?;
+            chain.extend(loc.chain);
+        }
         Ok(BlockLocation { chain })
     }
 
-    /// Returns a block to the free pool.
+    /// Returns a block to the free pool. If the block's home server is
+    /// draining or dead the block is *parked* instead: it stays
+    /// unallocatable until the server is removed.
     ///
     /// # Errors
     ///
-    /// [`JiffyError::UnknownBlock`] for blocks the cluster never had;
-    /// [`JiffyError::Internal`] for double-frees.
+    /// [`JiffyError::UnknownBlock`] for blocks the cluster never had (or
+    /// whose server already departed); [`JiffyError::Internal`] for
+    /// double-frees.
     pub fn release(&mut self, block: BlockId) -> Result<()> {
-        if !self.homes.contains_key(&block) {
-            return Err(JiffyError::UnknownBlock(block.raw()));
-        }
-        if self.free.contains(&block) {
+        let home = *self
+            .homes
+            .get(&block)
+            .ok_or(JiffyError::UnknownBlock(block.raw()))?;
+        let entry = self
+            .servers
+            .get(&home)
+            .ok_or(JiffyError::UnknownServer(home.raw()))?;
+        if self.free.contains(&block) || self.parked.contains(&block) {
             return Err(JiffyError::Internal(format!("double free of {block}")));
         }
-        self.free.push_back(block);
+        match entry.state {
+            ServerState::Alive => self.free.push_back(block),
+            ServerState::Draining | ServerState::Dead => {
+                self.parked.insert(block);
+            }
+        }
         Ok(())
     }
 
     /// Location (single-replica) of any known block.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the block was never registered.
-    pub fn location_of(&self, block: BlockId) -> BlockLocation {
-        let home = self.homes[&block];
-        let ep = &self.servers[&home];
-        BlockLocation::single(block, ep.server, ep.addr.clone())
+    /// [`JiffyError::UnknownBlock`] if the block was never registered
+    /// (or its server departed); [`JiffyError::UnknownServer`] if the
+    /// membership entry is gone (internal inconsistency).
+    pub fn location_of(&self, block: BlockId) -> Result<BlockLocation> {
+        let home = self
+            .homes
+            .get(&block)
+            .ok_or(JiffyError::UnknownBlock(block.raw()))?;
+        let ep = &self
+            .servers
+            .get(home)
+            .ok_or(JiffyError::UnknownServer(home.raw()))?
+            .endpoint;
+        Ok(BlockLocation::single(block, ep.server, ep.addr.clone()))
     }
 
-    /// Whether the block is currently free.
+    /// Whether the block is currently unallocated (free or parked).
     pub fn is_free(&self, block: BlockId) -> bool {
-        self.free.contains(&block)
+        self.free.contains(&block) || self.parked.contains(&block)
     }
 
-    /// Number of free blocks.
+    /// Number of allocatable free blocks (excludes parked blocks).
     pub fn free_count(&self) -> usize {
         self.free.len()
     }
 
-    /// Total blocks across all servers.
+    /// Total blocks across all current servers.
     pub fn total_count(&self) -> usize {
         self.homes.len()
     }
 
-    /// Registered server endpoints.
+    /// Registered server endpoints (any state), sorted by ID.
     pub fn servers(&self) -> Vec<Endpoint> {
-        let mut v: Vec<Endpoint> = self.servers.values().cloned().collect();
+        let mut v: Vec<Endpoint> = self.servers.values().map(|e| e.endpoint.clone()).collect();
         v.sort_by_key(|e| e.server);
         v
+    }
+
+    /// The endpoint of one server.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownServer`] for unknown or departed servers.
+    pub fn endpoint_of(&self, server: ServerId) -> Result<Endpoint> {
+        self.servers
+            .get(&server)
+            .map(|e| e.endpoint.clone())
+            .ok_or(JiffyError::UnknownServer(server.raw()))
+    }
+
+    /// The membership state of one server.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownServer`] for unknown or departed servers.
+    pub fn state_of(&self, server: ServerId) -> Result<ServerState> {
+        self.servers
+            .get(&server)
+            .map(|e| e.state)
+            .ok_or(JiffyError::UnknownServer(server.raw()))
+    }
+
+    /// Whether this ID belonged to a server that has left the cluster.
+    pub fn is_departed(&self, server: ServerId) -> bool {
+        self.departed.contains(&server)
+    }
+
+    /// Home server of a block, if known.
+    pub fn home_of(&self, block: BlockId) -> Option<ServerId> {
+        self.homes.get(&block).copied()
+    }
+
+    /// Blocks homed on `server` that are currently allocated to a data
+    /// structure (i.e. neither free nor parked).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownServer`] for unknown or departed servers.
+    pub fn used_blocks_on(&self, server: ServerId) -> Result<Vec<BlockId>> {
+        let entry = self
+            .servers
+            .get(&server)
+            .ok_or(JiffyError::UnknownServer(server.raw()))?;
+        Ok(entry
+            .blocks
+            .iter()
+            .copied()
+            .filter(|b| !self.free.contains(b) && !self.parked.contains(b))
+            .collect())
+    }
+
+    /// Marks a server as draining: its free blocks are parked and it
+    /// receives no new allocations. Idempotent for already-draining
+    /// servers.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownServer`] for unknown or departed servers;
+    /// [`JiffyError::Internal`] for dead servers (they cannot drain).
+    pub fn mark_draining(&mut self, server: ServerId) -> Result<()> {
+        let entry = self
+            .servers
+            .get_mut(&server)
+            .ok_or(JiffyError::UnknownServer(server.raw()))?;
+        match entry.state {
+            ServerState::Dead => {
+                return Err(JiffyError::Internal(format!(
+                    "cannot drain dead server {server}"
+                )))
+            }
+            ServerState::Draining => return Ok(()),
+            ServerState::Alive => entry.state = ServerState::Draining,
+        }
+        self.park_free_blocks_of(server);
+        Ok(())
+    }
+
+    /// Marks a server dead (failure detector), parking its free blocks.
+    /// Returns the blocks on it that were allocated to data structures —
+    /// the set the controller must re-route or declare lost.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownServer`] for unknown or departed servers.
+    pub fn mark_dead(&mut self, server: ServerId) -> Result<Vec<BlockId>> {
+        let entry = self
+            .servers
+            .get_mut(&server)
+            .ok_or(JiffyError::UnknownServer(server.raw()))?;
+        entry.state = ServerState::Dead;
+        self.park_free_blocks_of(server);
+        self.used_blocks_on(server)
+    }
+
+    /// Removes a fully drained server from the membership table. Its
+    /// block IDs disappear from the cluster and its server ID is
+    /// tombstoned (never re-issued).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownServer`] for unknown or departed servers;
+    /// [`JiffyError::Internal`] if any of its blocks is still allocated.
+    pub fn deregister_server(&mut self, server: ServerId) -> Result<Endpoint> {
+        let still_used = self.used_blocks_on(server)?;
+        if !still_used.is_empty() {
+            return Err(JiffyError::Internal(format!(
+                "server {server} still hosts {} live blocks",
+                still_used.len()
+            )));
+        }
+        #[allow(clippy::expect_used)] // invariant: used_blocks_on checked membership above
+        let entry = self
+            .servers
+            .remove(&server)
+            .expect("invariant: membership entry exists, checked above");
+        for b in &entry.blocks {
+            self.homes.remove(b);
+            self.parked.remove(b);
+            if let Some(pos) = self.free.iter().position(|x| x == b) {
+                self.free.remove(pos);
+            }
+        }
+        self.departed.insert(server);
+        Ok(entry.endpoint)
+    }
+
+    /// Per-server load snapshot for the autoscaler and `ListServers`.
+    pub fn server_loads(&self) -> Vec<ServerLoad> {
+        let mut v: Vec<ServerLoad> = self
+            .servers
+            .iter()
+            .map(|(&server, entry)| {
+                let free = entry
+                    .blocks
+                    .iter()
+                    .filter(|b| self.free.contains(b) || self.parked.contains(b))
+                    .count() as u32;
+                ServerLoad {
+                    server,
+                    state: entry.state,
+                    used_blocks: entry.blocks.len() as u32 - free,
+                    free_blocks: free,
+                }
+            })
+            .collect();
+        v.sort_unstable_by_key(|l| l.server.raw());
+        v
+    }
+
+    /// Wire-format membership rows (`ListServers`).
+    pub fn server_infos(&self) -> Vec<ServerInfo> {
+        self.server_loads()
+            .iter()
+            .map(|l| {
+                let addr = self
+                    .servers
+                    .get(&l.server)
+                    .map(|e| e.endpoint.addr.clone())
+                    .unwrap_or_default();
+                ServerInfo {
+                    server: l.server,
+                    addr,
+                    state: l.state.as_str().to_string(),
+                    total_blocks: l.total_blocks(),
+                    used_blocks: l.used_blocks,
+                    free_blocks: l.free_blocks,
+                }
+            })
+            .collect()
+    }
+
+    /// Rehomes a replica entry after a migration: `block` keeps its ID
+    /// only on the wire — physically the data now lives in a *different*
+    /// block on another server, so nothing changes here; the caller
+    /// releases the source block instead. Provided as a seam for future
+    /// in-place rehoming; currently just validates both ends exist.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] / [`JiffyError::UnknownServer`] when
+    /// either end is not registered.
+    pub fn validate_blocks(&self, blocks: &[BlockId]) -> Result<()> {
+        for b in blocks {
+            self.location_of(*b)?;
+        }
+        Ok(())
+    }
+
+    fn park_free_blocks_of(&mut self, server: ServerId) {
+        let block_set: Vec<BlockId> = match self.servers.get(&server) {
+            Some(e) => e.blocks.clone(),
+            None => return,
+        };
+        self.free.retain(|b| {
+            if block_set.contains(b) {
+                self.parked.insert(*b);
+                false
+            } else {
+                true
+            }
+        });
     }
 }
 
@@ -262,5 +515,92 @@ mod tests {
             b.id(),
             "released block goes to the back of the queue"
         );
+    }
+
+    #[test]
+    fn location_of_unknown_block_errors_instead_of_panicking() {
+        let fl = FreeList::new();
+        assert!(matches!(
+            fl.location_of(BlockId(7)),
+            Err(JiffyError::UnknownBlock(7))
+        ));
+    }
+
+    #[test]
+    fn draining_parks_free_blocks_and_blocks_allocation() {
+        let mut fl = FreeList::new();
+        let (s1, _) = fl.register_server("inproc:0", 2);
+        let (s2, _) = fl.register_server("inproc:1", 2);
+        let loc = fl.allocate().unwrap(); // lands on s1 (FIFO)
+        assert_eq!(loc.head().server, s1);
+        fl.mark_draining(s1).unwrap();
+        assert_eq!(fl.state_of(s1).unwrap(), ServerState::Draining);
+        // Only s2's blocks remain allocatable.
+        assert_eq!(fl.free_count(), 2);
+        for _ in 0..2 {
+            assert_eq!(fl.allocate().unwrap().head().server, s2);
+        }
+        // Releasing s1's used block parks it rather than freeing it.
+        fl.release(loc.id()).unwrap();
+        assert_eq!(fl.free_count(), 0);
+        assert!(fl.is_free(loc.id()));
+        assert_eq!(fl.used_blocks_on(s1).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn dead_server_reports_its_live_blocks() {
+        let mut fl = FreeList::new();
+        let (s1, _) = fl.register_server("inproc:0", 3);
+        let a = fl.allocate().unwrap();
+        let b = fl.allocate().unwrap();
+        let live = fl.mark_dead(s1).unwrap();
+        assert_eq!(live.len(), 2);
+        assert!(live.contains(&a.id()) && live.contains(&b.id()));
+        assert_eq!(fl.free_count(), 0);
+        // A dead server still resolves (clients get its dead address and
+        // a clean transport error), but allocation never touches it.
+        assert!(fl.location_of(a.id()).is_ok());
+        assert!(matches!(fl.allocate(), Err(JiffyError::OutOfBlocks)));
+    }
+
+    #[test]
+    fn deregister_requires_empty_server_and_tombstones_the_id() {
+        let mut fl = FreeList::new();
+        let (s1, _) = fl.register_server("inproc:0", 2);
+        let loc = fl.allocate().unwrap();
+        fl.mark_draining(s1).unwrap();
+        // Still hosting a live block: refuse.
+        assert!(fl.deregister_server(s1).is_err());
+        fl.release(loc.id()).unwrap();
+        let ep = fl.deregister_server(s1).unwrap();
+        assert_eq!(ep.server, s1);
+        assert!(fl.is_departed(s1));
+        assert_eq!(fl.total_count(), 0);
+        assert!(matches!(
+            fl.location_of(loc.id()),
+            Err(JiffyError::UnknownBlock(_))
+        ));
+        // The departed ID is never re-issued.
+        let (s2, _) = fl.register_server("inproc:1", 1);
+        assert_ne!(s1, s2);
+        assert!(s2.raw() > s1.raw());
+    }
+
+    #[test]
+    fn server_loads_reflect_states_and_occupancy() {
+        let mut fl = FreeList::new();
+        let (s1, _) = fl.register_server("inproc:0", 2);
+        let (s2, _) = fl.register_server("inproc:1", 2);
+        fl.allocate().unwrap();
+        fl.mark_draining(s2).unwrap();
+        let loads = fl.server_loads();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].server, s1);
+        assert_eq!(loads[0].used_blocks, 1);
+        assert_eq!(loads[0].free_blocks, 1);
+        assert_eq!(loads[1].state, ServerState::Draining);
+        assert_eq!(loads[1].free_blocks, 2);
+        let infos = fl.server_infos();
+        assert_eq!(infos[1].state, "draining");
     }
 }

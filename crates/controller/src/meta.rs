@@ -136,6 +136,48 @@ impl DsMeta {
         }
     }
 
+    /// Swaps the location entry whose head block is `old_head` for
+    /// `new_loc` everywhere it appears — the controller-side commit of a
+    /// live block migration (or a chain repair after a replica loss).
+    /// The structure's layout (chunk order, segment order, slot ranges)
+    /// is untouched; only the physical home changes.
+    ///
+    /// # Errors
+    ///
+    /// [`jiffy_common::JiffyError::UnknownBlock`] if no entry has
+    /// `old_head` as its head block.
+    pub fn replace_location(&mut self, old_head: BlockId, new_loc: BlockLocation) -> Result<()> {
+        let mut replaced = false;
+        let swap = |loc: &mut BlockLocation, replaced: &mut bool| {
+            if loc.id() == old_head {
+                *loc = new_loc.clone();
+                *replaced = true;
+            }
+        };
+        match self {
+            Self::File { blocks, .. } => {
+                for loc in blocks.iter_mut() {
+                    swap(loc, &mut replaced);
+                }
+            }
+            Self::Queue { segments, .. } => {
+                for loc in segments.iter_mut() {
+                    swap(loc, &mut replaced);
+                }
+            }
+            Self::Kv { slots, .. } => {
+                for (_, _, loc) in slots.iter_mut() {
+                    swap(loc, &mut replaced);
+                }
+            }
+        }
+        if replaced {
+            Ok(())
+        } else {
+            Err(jiffy_common::JiffyError::UnknownBlock(old_head.raw()))
+        }
+    }
+
     /// The client-facing partition view.
     pub fn view(&self) -> PartitionView {
         match self {

@@ -75,10 +75,20 @@ impl ShardedController {
                     agg.splits += st.splits;
                     agg.merges += st.merges;
                     agg.metadata_bytes += st.metadata_bytes;
+                    agg.servers += st.servers;
+                    agg.servers_failed += st.servers_failed;
+                    agg.blocks_migrated += st.blocks_migrated;
+                    agg.scale_ups += st.scale_ups;
+                    agg.scale_downs += st.scale_downs;
                 }
                 Ok(ControlResponse::Stats(agg))
             }
-            ControlRequest::RegisterServer { .. } => self.shards[0].dispatch(req),
+            // Membership is shard 0's concern: servers join, heartbeat,
+            // and leave through the shard that owns the free list.
+            ControlRequest::JoinServer { .. }
+            | ControlRequest::LeaveServer { .. }
+            | ControlRequest::Heartbeat { .. }
+            | ControlRequest::ListServers => self.shards[0].dispatch(req),
             other => {
                 let job = job_of(other)
                     .ok_or_else(|| JiffyError::Internal("request has no job scope".into()))?;
@@ -173,13 +183,13 @@ mod tests {
         let sc = shards(2);
         // Register servers on both shards directly.
         sc.shard(0)
-            .dispatch(ControlRequest::RegisterServer {
+            .dispatch(ControlRequest::JoinServer {
                 addr: "inproc:0".into(),
                 capacity_blocks: 3,
             })
             .unwrap();
         sc.shard(1)
-            .dispatch(ControlRequest::RegisterServer {
+            .dispatch(ControlRequest::JoinServer {
                 addr: "inproc:1".into(),
                 capacity_blocks: 5,
             })
@@ -195,7 +205,7 @@ mod tests {
         let sc = shards(2);
         for i in 0..2 {
             sc.shard(i)
-                .dispatch(ControlRequest::RegisterServer {
+                .dispatch(ControlRequest::JoinServer {
                     addr: format!("inproc:{i}"),
                     capacity_blocks: 4,
                 })

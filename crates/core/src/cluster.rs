@@ -1,27 +1,107 @@
 //! Cluster bootstrap: wire a controller, memory servers, persistent
-//! tier and client fabric together, in-process or over TCP.
+//! tier and client fabric together, in-process or over TCP — plus the
+//! elastic server pool: add, drain, and kill servers at runtime, and
+//! run the demand-driven autoscaler against the live pool.
 
-use jiffy_sync::Arc;
+use jiffy_sync::{Arc, Mutex, RwLock};
 
 use jiffy_client::JiffyClient;
 use jiffy_common::clock::{SharedClock, SystemClock};
-use jiffy_common::{JiffyConfig, Result};
+use jiffy_common::{JiffyConfig, JiffyError, Result, ServerId};
 use jiffy_controller::{Controller, ControllerHandle, RpcDataPlane};
+use jiffy_elastic::{AutoscalerPolicy, ServerProvider};
 use jiffy_persistent::{MemObjectStore, ObjectStore};
+use jiffy_proto::{ControlRequest, ControlResponse};
 use jiffy_rpc::tcp::{serve_tcp, TcpServerHandle};
 use jiffy_rpc::{Deduplicated, Fabric};
 use jiffy_server::MemoryServer;
 
+/// The mutable part of the cluster, shared with the [`ServerProvider`]
+/// the autoscaler acts through: the live server pool plus everything
+/// needed to stand up (or tear down) one more server.
+struct ClusterInner {
+    fabric: Fabric,
+    cfg: JiffyConfig,
+    controller_addr: String,
+    servers: RwLock<Vec<Arc<MemoryServer>>>,
+    tcp: bool,
+    tcp_handles: Mutex<Vec<TcpServerHandle>>,
+    blocks_per_server: u32,
+}
+
+impl ClusterInner {
+    /// Boots one more memory server (with `blocks` blocks), registers it
+    /// with the controller, and starts its heartbeat.
+    fn spawn_server(&self, blocks: u32) -> Result<ServerId> {
+        let server = MemoryServer::new(
+            self.cfg.clone(),
+            self.fabric.clone(),
+            self.controller_addr.clone(),
+        );
+        let server_svc = Deduplicated::shared(server.clone());
+        let addr = if self.tcp {
+            let handle = serve_tcp("127.0.0.1:0", server_svc)?;
+            let addr = handle.addr().to_string();
+            self.tcp_handles.lock().push(handle);
+            addr
+        } else {
+            self.fabric.hub().register(server_svc)
+        };
+        let id = server.register(&addr, blocks)?;
+        server.start_heartbeats();
+        self.servers.write().push(server);
+        Ok(id)
+    }
+
+    /// Removes a server from the pool and tears down its transport
+    /// endpoint, so late requests fail with `Unavailable` rather than
+    /// reaching a ghost.
+    fn remove_server(&self, id: ServerId) -> Option<Arc<MemoryServer>> {
+        let server = {
+            let mut servers = self.servers.write();
+            let pos = servers
+                .iter()
+                .position(|s| s.identity().map(|(sid, _)| sid) == Some(id))?;
+            servers.remove(pos)
+        };
+        if let Some((_, addr)) = server.identity() {
+            if self.tcp {
+                self.tcp_handles.lock().retain(|h| h.addr() != addr);
+            } else {
+                self.fabric.hub().deregister(&addr);
+            }
+        }
+        Some(server)
+    }
+}
+
+/// [`ServerProvider`] backed by the cluster itself: scale-up boots an
+/// in-process (or TCP) memory server with the cluster's default block
+/// count; scale-down tears the drained server's endpoint down.
+struct ClusterProvider {
+    inner: Arc<ClusterInner>,
+}
+
+impl ServerProvider for ClusterProvider {
+    fn provision(&self) -> Result<ServerId> {
+        self.inner.spawn_server(self.inner.blocks_per_server)
+    }
+
+    fn decommission(&self, server: ServerId) -> Result<()> {
+        self.inner.remove_server(server);
+        Ok(())
+    }
+}
+
 /// A running Jiffy cluster (controller + memory servers) plus the fabric
 /// to reach it. Dropping the cluster stops its background workers.
 pub struct JiffyCluster {
-    fabric: Fabric,
     controller: Arc<Controller>,
-    controller_addr: String,
-    servers: Vec<Arc<MemoryServer>>,
     persistent: Arc<dyn ObjectStore>,
+    inner: Arc<ClusterInner>,
     _expiry: Option<ControllerHandle>,
-    _tcp_handles: Vec<TcpServerHandle>,
+    elastic: Option<ControllerHandle>,
+    _controller_tcp: Option<TcpServerHandle>,
 }
 
 impl JiffyCluster {
@@ -88,43 +168,39 @@ impl JiffyCluster {
             Arc::new(RpcDataPlane::new(fabric.clone())),
             persistent.clone(),
         )?;
-        let mut tcp_handles = Vec::new();
         // Services are registered behind a replay cache so that clients
         // retrying a timed-out request (same request id) never execute a
         // mutation twice.
         let controller_svc = Deduplicated::shared(controller.clone());
+        let mut controller_tcp = None;
         let controller_addr = if tcp {
             let handle = serve_tcp("127.0.0.1:0", controller_svc)?;
             let addr = handle.addr().to_string();
-            tcp_handles.push(handle);
+            controller_tcp = Some(handle);
             addr
         } else {
             fabric.hub().register(controller_svc)
         };
-        let mut servers = Vec::new();
+        let inner = Arc::new(ClusterInner {
+            fabric,
+            cfg,
+            controller_addr,
+            servers: RwLock::new(Vec::new()),
+            tcp,
+            tcp_handles: Mutex::new(Vec::new()),
+            blocks_per_server,
+        });
         for _ in 0..num_servers {
-            let server = MemoryServer::new(cfg.clone(), fabric.clone(), controller_addr.clone());
-            let server_svc = Deduplicated::shared(server.clone());
-            let addr = if tcp {
-                let handle = serve_tcp("127.0.0.1:0", server_svc)?;
-                let addr = handle.addr().to_string();
-                tcp_handles.push(handle);
-                addr
-            } else {
-                fabric.hub().register(server_svc)
-            };
-            server.register(&addr, blocks_per_server)?;
-            servers.push(server);
+            inner.spawn_server(blocks_per_server)?;
         }
         let expiry = run_expiry_worker.then(|| controller.start_expiry_worker());
         Ok(Self {
-            fabric,
             controller,
-            controller_addr,
-            servers,
             persistent,
+            inner,
             _expiry: expiry,
-            _tcp_handles: tcp_handles,
+            elastic: None,
+            _controller_tcp: controller_tcp,
         })
     }
 
@@ -134,12 +210,12 @@ impl JiffyCluster {
     ///
     /// Transport failures.
     pub fn client(&self) -> Result<JiffyClient> {
-        JiffyClient::connect(self.fabric.clone(), &self.controller_addr)
+        JiffyClient::connect(self.inner.fabric.clone(), &self.inner.controller_addr)
     }
 
     /// The shared connection fabric.
     pub fn fabric(&self) -> &Fabric {
-        &self.fabric
+        &self.inner.fabric
     }
 
     /// The controller (for stats and direct dispatch in tests/benches).
@@ -149,12 +225,12 @@ impl JiffyCluster {
 
     /// The controller's transport address.
     pub fn controller_addr(&self) -> &str {
-        &self.controller_addr
+        &self.inner.controller_addr
     }
 
-    /// The memory servers (for usage sampling in experiments).
-    pub fn servers(&self) -> &[Arc<MemoryServer>] {
-        &self.servers
+    /// A snapshot of the live memory servers (usage sampling).
+    pub fn servers(&self) -> Vec<Arc<MemoryServer>> {
+        self.inner.servers.read().clone()
     }
 
     /// The persistent tier backing flush/load and expiry.
@@ -165,12 +241,90 @@ impl JiffyCluster {
     /// Total bytes of intermediate data resident in DRAM right now
     /// (the quantity Fig. 11a / Fig. 14 sample over time).
     pub fn used_bytes(&self) -> u64 {
-        self.servers.iter().map(|s| s.used_bytes()).sum()
+        self.inner
+            .servers
+            .read()
+            .iter()
+            .map(|s| s.used_bytes())
+            .sum()
     }
 
     /// Blocks currently allocated to data structures, across servers.
     pub fn allocated_blocks(&self) -> usize {
-        self.servers.iter().map(|s| s.allocated_blocks()).sum()
+        self.inner
+            .servers
+            .read()
+            .iter()
+            .map(|s| s.allocated_blocks())
+            .sum()
+    }
+
+    /// Adds one memory server (with `blocks` blocks) to the running
+    /// cluster: it registers with the controller, starts heartbeating,
+    /// and its blocks join the free pool immediately.
+    ///
+    /// # Errors
+    ///
+    /// Transport or registration failures.
+    pub fn add_server(&self, blocks: u32) -> Result<ServerId> {
+        self.inner.spawn_server(blocks)
+    }
+
+    /// Gracefully decommissions a server: the controller marks it
+    /// draining, live-migrates every chain it hosts (client ops keep
+    /// flowing — at worst they see retryable errors during a move),
+    /// deregisters it, and this side tears the endpoint down. Returns
+    /// how many physical blocks were migrated off it.
+    ///
+    /// # Errors
+    ///
+    /// Unknown server, or a migration failure (e.g. no capacity left on
+    /// the remaining servers).
+    pub fn drain_server(&self, server: ServerId) -> Result<u32> {
+        match self
+            .controller
+            .dispatch(ControlRequest::LeaveServer { server })?
+        {
+            ControlResponse::Drained {
+                blocks_migrated, ..
+            } => {
+                self.inner.remove_server(server);
+                Ok(blocks_migrated)
+            }
+            other => Err(JiffyError::Rpc(format!(
+                "unexpected drain reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Kills a server abruptly (crash injection): its endpoint vanishes
+    /// first — in-flight requests fail with `Unavailable` — and the
+    /// controller then re-routes its blocks (replica promotion where a
+    /// chain survives, persistent-tier reload where one was flushed).
+    ///
+    /// # Errors
+    ///
+    /// Unknown server.
+    pub fn kill_server(&self, server: ServerId) -> Result<()> {
+        self.inner.remove_server(server);
+        self.controller.handle_server_failure(server)
+    }
+
+    /// Installs the autoscaler (policy + cluster-backed provider) and
+    /// starts the elasticity worker: every `cfg.elasticity_interval` it
+    /// sweeps the failure detector and takes one scaling decision.
+    pub fn start_elasticity(&mut self, policy: AutoscalerPolicy) {
+        let provider = Arc::new(ClusterProvider {
+            inner: self.inner.clone(),
+        });
+        self.controller.set_autoscaler(policy, provider);
+        self.elastic = Some(self.controller.start_elasticity_worker());
+    }
+
+    /// Stops the elasticity worker (the autoscaler hooks stay installed;
+    /// `Controller::run_autoscaler_once` still works manually).
+    pub fn stop_elasticity(&mut self) {
+        self.elastic = None;
     }
 }
 
@@ -179,8 +333,8 @@ impl std::fmt::Debug for JiffyCluster {
         write!(
             f,
             "JiffyCluster({} servers, controller at {})",
-            self.servers.len(),
-            self.controller_addr
+            self.inner.servers.read().len(),
+            self.inner.controller_addr
         )
     }
 }
@@ -215,5 +369,33 @@ mod tests {
         let q = job.open_queue("q", &[]).unwrap();
         q.enqueue(b"over tcp").unwrap();
         assert_eq!(q.dequeue().unwrap(), Some(b"over tcp".to_vec()));
+    }
+
+    #[test]
+    fn add_and_drain_server_round_trip() {
+        let cluster = JiffyCluster::in_process(JiffyConfig::for_testing(), 2, 4).unwrap();
+        assert_eq!(cluster.controller().stats().servers, 2);
+
+        let added = cluster.add_server(4).unwrap();
+        assert_eq!(cluster.controller().stats().servers, 3);
+        assert_eq!(cluster.controller().stats().total_blocks, 12);
+
+        // Data written before the drain survives it.
+        let job = cluster.client().unwrap().register_job("t").unwrap();
+        let kv = job.open_kv("s", &[], 4).unwrap();
+        for i in 0..50 {
+            kv.put(format!("k{i}").as_bytes(), b"v".as_slice()).unwrap();
+        }
+
+        cluster.drain_server(added).unwrap();
+        assert_eq!(cluster.controller().stats().servers, 2);
+        assert_eq!(cluster.servers().len(), 2);
+        for i in 0..50 {
+            assert_eq!(
+                kv.get(format!("k{i}").as_bytes()).unwrap(),
+                Some(b"v".to_vec()),
+                "key k{i} lost by the drain"
+            );
+        }
     }
 }

@@ -43,4 +43,5 @@ pub mod cluster;
 pub use cluster::JiffyCluster;
 pub use jiffy_client::{FileClient, JiffyClient, JobClient, KvClient, LeaseRenewer, QueueClient};
 pub use jiffy_common::{BlockId, Clock, JiffyConfig, JiffyError, JobId, Result, ServerId};
+pub use jiffy_elastic::{AutoscalerPolicy, ScaleDecision, ServerProvider, ServerState};
 pub use jiffy_proto::{DagNodeSpec, DsType, Notification, OpKind};

@@ -1,0 +1,105 @@
+//! Heartbeat-based failure detection.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use jiffy_common::ServerId;
+
+/// Tracks the last heartbeat seen from each server and reports the ones
+/// that have fallen silent.
+///
+/// Pure bookkeeping: the caller supplies timestamps (from its
+/// `Clock`), so the detector is fully deterministic under a
+/// `ManualClock` — tests advance time explicitly and call
+/// [`FailureDetector::expired`].
+#[derive(Debug, Default)]
+pub struct FailureDetector {
+    last_seen: HashMap<ServerId, Duration>,
+}
+
+impl FailureDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Starts (or refreshes) tracking of `server` as of `now`.
+    /// Registration counts as a heartbeat so a freshly joined server is
+    /// not declared dead before its first beacon.
+    pub fn record(&mut self, server: ServerId, now: Duration) {
+        self.last_seen.insert(server, now);
+    }
+
+    /// Stops tracking `server` (it left voluntarily or was declared
+    /// dead).
+    pub fn forget(&mut self, server: ServerId) {
+        self.last_seen.remove(&server);
+    }
+
+    /// Whether `server` is currently tracked.
+    pub fn is_tracked(&self, server: ServerId) -> bool {
+        self.last_seen.contains_key(&server)
+    }
+
+    /// Returns every tracked server whose last heartbeat is older than
+    /// `timeout` as of `now`, removing them from the tracked set (each
+    /// failure is reported exactly once). Results are sorted for
+    /// deterministic handling order.
+    pub fn expired(&mut self, now: Duration, timeout: Duration) -> Vec<ServerId> {
+        let mut dead: Vec<ServerId> = self
+            .last_seen
+            .iter()
+            .filter(|(_, &seen)| now.saturating_sub(seen) > timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        dead.sort_unstable_by_key(|s| s.raw());
+        for s in &dead {
+            self.last_seen.remove(s);
+        }
+        dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn silence_past_timeout_expires_once() {
+        let mut d = FailureDetector::new();
+        d.record(ServerId(1), ms(0));
+        d.record(ServerId(2), ms(0));
+        // s2 keeps beating, s1 goes silent.
+        d.record(ServerId(2), ms(80));
+        assert!(d.expired(ms(50), ms(100)).is_empty());
+        assert_eq!(d.expired(ms(120), ms(100)), vec![ServerId(1)]);
+        // Reported exactly once.
+        assert!(d.expired(ms(500), ms(100)).contains(&ServerId(2)));
+        assert!(d.expired(ms(900), ms(100)).is_empty());
+    }
+
+    #[test]
+    fn forget_suppresses_expiry() {
+        let mut d = FailureDetector::new();
+        d.record(ServerId(7), ms(0));
+        d.forget(ServerId(7));
+        assert!(!d.is_tracked(ServerId(7)));
+        assert!(d.expired(ms(1000), ms(10)).is_empty());
+    }
+
+    #[test]
+    fn expiry_order_is_deterministic() {
+        let mut d = FailureDetector::new();
+        for id in [5u64, 3, 9, 1] {
+            d.record(ServerId(id), ms(0));
+        }
+        assert_eq!(
+            d.expired(ms(100), ms(10)),
+            vec![ServerId(1), ServerId(3), ServerId(5), ServerId(9)]
+        );
+    }
+}

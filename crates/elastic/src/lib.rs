@@ -1,0 +1,31 @@
+//! Cluster elasticity for Jiffy (paper title promise: *elastic*
+//! far-memory).
+//!
+//! Jiffy allocates at block granularity (§3), which makes server-level
+//! elasticity cheap: a server's worth of state is just a set of blocks,
+//! each of which can be live-migrated independently. This crate holds
+//! the policy half of that subsystem — the mechanism (RPCs, data
+//! movement) lives in `jiffy-controller` / `jiffy-server`:
+//!
+//! - [`membership`] — server lifecycle states ([`ServerState`]) and the
+//!   per-server load snapshot ([`ServerLoad`]) the policies consume.
+//! - [`detector`] — the heartbeat [`FailureDetector`]: servers beacon
+//!   periodically; one is declared dead after `heartbeat_timeout` of
+//!   silence.
+//! - [`autoscaler`] — the demand-driven watermark policy
+//!   ([`AutoscalerPolicy`]): scale up when the cluster-wide free-block
+//!   fraction drops below the low watermark, drain the emptiest server
+//!   when it rises above the high watermark.
+//! - [`provider`] — the pluggable [`ServerProvider`] that actually
+//!   acquires and releases servers (in-proc for tests, TCP spawner for
+//!   deployments, a cloud API in production).
+
+pub mod autoscaler;
+pub mod detector;
+pub mod membership;
+pub mod provider;
+
+pub use autoscaler::{AutoscalerPolicy, ScaleDecision};
+pub use detector::FailureDetector;
+pub use membership::{ServerLoad, ServerState};
+pub use provider::ServerProvider;

@@ -1,0 +1,75 @@
+//! Server lifecycle states and load snapshots.
+
+use jiffy_common::ServerId;
+use serde::{Deserialize, Serialize};
+
+/// Lifecycle state of a memory server in the controller's membership
+/// table.
+///
+/// Transitions: `Alive → Draining → (removed)` on voluntary departure
+/// (`LeaveServer` / scale-down), and `Alive|Draining → Dead` when the
+/// failure detector times out its heartbeats. There is no transition
+/// out of `Dead`: a recovered machine re-joins under a fresh
+/// [`ServerId`] (IDs are never re-issued).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServerState {
+    /// Serving ops; eligible for new block allocations.
+    Alive,
+    /// Being decommissioned: serves ops for blocks it still holds, but
+    /// receives no new allocations while its live blocks migrate away.
+    Draining,
+    /// Declared dead by the failure detector. Its blocks were re-routed
+    /// (replica promotion / persistent reload) or are lost.
+    Dead,
+}
+
+impl ServerState {
+    /// Lowercase display name (used in `ServerInfo.state` on the wire).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Self::Alive => "alive",
+            Self::Draining => "draining",
+            Self::Dead => "dead",
+        }
+    }
+}
+
+impl std::fmt::Display for ServerState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One server's contribution to the cluster-wide capacity picture; the
+/// input rows of [`crate::AutoscalerPolicy::decide`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerLoad {
+    /// The server.
+    pub server: ServerId,
+    /// Lifecycle state (only [`ServerState::Alive`] servers count
+    /// toward capacity).
+    pub state: ServerState,
+    /// Blocks currently allocated to a data structure.
+    pub used_blocks: u32,
+    /// Blocks currently free.
+    pub free_blocks: u32,
+}
+
+impl ServerLoad {
+    /// Total blocks the server hosts.
+    pub fn total_blocks(&self) -> u32 {
+        self.used_blocks + self.free_blocks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_display_names() {
+        assert_eq!(ServerState::Alive.to_string(), "alive");
+        assert_eq!(ServerState::Draining.as_str(), "draining");
+        assert_eq!(ServerState::Dead.as_str(), "dead");
+    }
+}

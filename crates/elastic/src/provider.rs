@@ -1,0 +1,32 @@
+//! The pluggable server acquisition/release interface.
+
+use jiffy_common::{Result, ServerId};
+
+/// Acquires and releases memory servers on the autoscaler's behalf.
+///
+/// The controller decides *when* the pool should grow or shrink (the
+/// watermark policy); the provider decides *how* a server comes to be —
+/// an in-proc `MemoryServer` for tests and benchmarks, a spawned TCP
+/// process for deployments, a cloud instance API in production. A newly
+/// provisioned server is expected to register itself with the
+/// controller (`JoinServer`) and start heartbeating, exactly as a
+/// manually started server would.
+pub trait ServerProvider: Send + Sync {
+    /// Brings one new server into the cluster. Returns its assigned ID
+    /// once it has registered with the controller.
+    ///
+    /// # Errors
+    ///
+    /// Provider-specific: resource exhaustion, spawn failure,
+    /// registration RPC failure.
+    fn provision(&self) -> Result<ServerId>;
+
+    /// Releases a server that the controller has fully drained and
+    /// removed from its membership table. The provider tears down the
+    /// transport endpoint and reclaims the resources.
+    ///
+    /// # Errors
+    ///
+    /// Provider-specific teardown failures.
+    fn decommission(&self, server: ServerId) -> Result<()>;
+}

@@ -22,7 +22,7 @@ pub mod runner;
 
 pub use gen::WorkloadMix;
 pub use history::{Event, History, Outcome, WorkOp};
-pub use runner::{run, HarnessConfig, RunReport};
+pub use runner::{run, ElasticAction, HarnessConfig, RunReport};
 
 #[cfg(test)]
 mod tests {

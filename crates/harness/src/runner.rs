@@ -11,6 +11,7 @@
 //! call sequence — which is what makes a single-worker run replayable
 //! from its seed alone.
 
+use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use jiffy_sync::Arc;
 use std::time::Instant;
 
@@ -23,6 +24,19 @@ use jiffy_rpc::{FaultInjector, FaultRule, FaultStats};
 
 use crate::gen::{generate_ops, WorkloadMix};
 use crate::history::{Event, History, Outcome, WorkOp};
+
+/// A membership change injected mid-workload (cluster elasticity under
+/// chaos). The target server is always the *oldest* live one — a
+/// deterministic choice, so single-worker runs stay replayable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticAction {
+    /// Crash a server abruptly: endpoint gone, controller re-routes.
+    KillServer,
+    /// Boot and register one more server.
+    JoinServer,
+    /// Gracefully drain and deregister a server (live migration).
+    DrainServer,
+}
 
 /// Parameters of one chaos run.
 #[derive(Debug, Clone)]
@@ -44,6 +58,15 @@ pub struct HarnessConfig {
     pub num_servers: usize,
     /// Blocks per memory server.
     pub blocks_per_server: u32,
+    /// Replication chain length (1 = unreplicated). `KillServer`
+    /// schedules only make sense with `chain_length >= 2`: acked writes
+    /// survive a crash through the promoted replica; without
+    /// replication a kill loses data by design and the history checker
+    /// would (correctly) flag it.
+    pub chain_length: usize,
+    /// Membership changes, each fired once the total completed-op count
+    /// reaches its threshold: `(after_ops, action)`.
+    pub elastic: Vec<(usize, ElasticAction)>,
 }
 
 impl Default for HarnessConfig {
@@ -65,6 +88,8 @@ impl Default for HarnessConfig {
             mix: WorkloadMix::all(),
             num_servers: 2,
             blocks_per_server: 32,
+            chain_length: 1,
+            elastic: Vec::new(),
         }
     }
 }
@@ -113,8 +138,9 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
     // depend on wall-clock timing and break seed replay.
     let cluster_cfg = JiffyConfig::for_testing()
         .with_lease_duration(std::time::Duration::from_secs(600))
+        .with_chain_length(cfg.chain_length)
         .with_thresholds(0.0, 1.0);
-    let cluster = JiffyCluster::build(
+    let cluster = Arc::new(JiffyCluster::build(
         cluster_cfg,
         cfg.num_servers,
         cfg.blocks_per_server,
@@ -122,7 +148,7 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
         Arc::new(MemObjectStore::new()),
         false,
         false,
-    )?;
+    )?);
     let injector = Arc::new(FaultInjector::new(cfg.seed));
     injector.set_default_rule(cfg.rule.clone());
     // Setup runs clean; only the workload phase sees faults.
@@ -157,26 +183,66 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
     injector.set_enabled(true);
     let epoch = Instant::now();
     let mut events: Vec<Event> = Vec::new();
+    let mut schedule: Vec<(usize, ElasticAction)> = cfg.elastic.clone();
+    schedule.sort_by_key(|(at, _)| *at);
     if cfg.workers <= 1 {
-        events.extend(run_worker(0, cfg, &handles, epoch));
+        // Deterministic mode: membership changes fire inline at exact op
+        // boundaries, so the whole run replays from the seed.
+        let mut next = 0usize;
+        events.extend(run_worker(0, cfg, &handles, epoch, |done| {
+            while next < schedule.len() && done as usize >= schedule[next].0 {
+                apply_elastic(&cluster, schedule[next].1, cfg.blocks_per_server);
+                next += 1;
+            }
+        }));
     } else {
+        // Stress mode: a driver thread watches the shared op counter and
+        // fires membership changes as thresholds pass.
+        let ops_done = Arc::new(AtomicU64::new(0));
+        let workload_over = Arc::new(AtomicBool::new(false));
+        let driver = if schedule.is_empty() {
+            None
+        } else {
+            let cluster = cluster.clone();
+            let ops_done = ops_done.clone();
+            let workload_over = workload_over.clone();
+            let blocks = cfg.blocks_per_server;
+            Some(std::thread::spawn(move || {
+                let mut next = 0usize;
+                while next < schedule.len() && !workload_over.load(Ordering::SeqCst) {
+                    if ops_done.load(Ordering::SeqCst) as usize >= schedule[next].0 {
+                        apply_elastic(&cluster, schedule[next].1, blocks);
+                        next += 1;
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_millis(1));
+                    }
+                }
+            }))
+        };
         let mut joins = Vec::new();
         for w in 0..cfg.workers {
             let cfg = cfg.clone();
             let kv = handles.kv.clone();
             let file = handles.file.clone();
             let queue = handles.queues.get(w).cloned();
+            let ops_done = ops_done.clone();
             joins.push(std::thread::spawn(move || {
                 let handles = Handles {
                     kv,
                     file,
                     queues: queue.into_iter().collect(),
                 };
-                run_worker(w, &cfg, &handles, epoch)
+                run_worker(w, &cfg, &handles, epoch, |_| {
+                    ops_done.fetch_add(1, Ordering::SeqCst);
+                })
             }));
         }
         for j in joins {
             events.extend(j.join().expect("worker thread panicked"));
+        }
+        workload_over.store(true, Ordering::SeqCst);
+        if let Some(d) = driver {
+            let _ = d.join();
         }
     }
     injector.set_enabled(false);
@@ -215,7 +281,44 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
     })
 }
 
-fn run_worker(worker: usize, cfg: &HarnessConfig, handles: &Handles, epoch: Instant) -> Vec<Event> {
+/// Applies one membership change against the live cluster. Failures are
+/// swallowed: under chaos a drain can legitimately fail (no capacity
+/// left), and the history checker judges the run by its observable
+/// outcomes, not by whether every membership change landed.
+fn apply_elastic(cluster: &JiffyCluster, action: ElasticAction, blocks_per_server: u32) {
+    match action {
+        ElasticAction::JoinServer => {
+            let _ = cluster.add_server(blocks_per_server);
+        }
+        ElasticAction::KillServer => {
+            if let Some(id) = oldest_server(cluster) {
+                let _ = cluster.kill_server(id);
+            }
+        }
+        ElasticAction::DrainServer => {
+            if let Some(id) = oldest_server(cluster) {
+                let _ = cluster.drain_server(id);
+            }
+        }
+    }
+}
+
+/// The lowest live server ID — a deterministic victim choice.
+fn oldest_server(cluster: &JiffyCluster) -> Option<jiffy_common::ServerId> {
+    cluster
+        .servers()
+        .iter()
+        .filter_map(|s| s.identity().map(|(id, _)| id))
+        .min_by_key(|id| id.raw())
+}
+
+fn run_worker(
+    worker: usize,
+    cfg: &HarnessConfig,
+    handles: &Handles,
+    epoch: Instant,
+    mut after_op: impl FnMut(u64),
+) -> Vec<Event> {
     let mix = WorkloadMix {
         // A worker without a queue handle (stress-mode partitioning
         // failure) simply skips queue ops; generation stays aligned.
@@ -279,6 +382,7 @@ fn run_worker(worker: usize, cfg: &HarnessConfig, handles: &Handles, epoch: Inst
             start_us,
             end_us: epoch.elapsed().as_micros() as u64,
         });
+        after_op(seq + 1);
     }
     events
 }

@@ -21,6 +21,6 @@ pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
 pub use messages::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
     DataRequest, DataResponse, DsOp, DsResult, DsType, Endpoint, Envelope, MergeSpec, Notification,
-    OpKind, PartitionView, PrefixView, Replica, SlotRange, SplitSpec,
+    OpKind, PartitionView, PrefixView, Replica, ServerInfo, SlotRange, SplitSpec,
 };
 pub use wire::{from_bytes, to_bytes};

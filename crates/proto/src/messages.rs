@@ -452,12 +452,33 @@ pub enum ControlRequest {
         external_path: String,
     },
     /// A memory server joins the cluster, contributing blocks.
-    RegisterServer {
+    JoinServer {
         /// Transport address clients should use.
         addr: String,
         /// Number of blocks the server hosts.
         capacity_blocks: u32,
     },
+    /// A memory server leaves the cluster: the controller drains every
+    /// live block off it (migrating them to the remaining servers) and
+    /// then removes it from the membership table. Its `ServerId` is
+    /// never re-issued.
+    LeaveServer {
+        /// Departing server.
+        server: ServerId,
+    },
+    /// Periodic server → controller liveness beacon carrying the
+    /// server's block occupancy. The controller's failure detector marks
+    /// a server dead once `heartbeat_timeout` passes without one.
+    Heartbeat {
+        /// Reporting server.
+        server: ServerId,
+        /// Blocks currently allocated to a data structure.
+        used_blocks: u32,
+        /// Blocks currently free.
+        free_blocks: u32,
+    },
+    /// List the membership table (observability, benchmarks, tests).
+    ListServers,
     /// Data plane → controller: a block crossed the high threshold
     /// (paper Fig. 8, step 1).
     ReportOverload {
@@ -512,6 +533,33 @@ pub struct ControllerStats {
     pub merges: u64,
     /// Approximate metadata bytes held by the controller.
     pub metadata_bytes: u64,
+    /// Alive (non-draining, non-dead) memory servers in the pool.
+    pub servers: u64,
+    /// Servers the failure detector has declared dead since start.
+    pub servers_failed: u64,
+    /// Live blocks migrated between servers since start (drain + rebuild).
+    pub blocks_migrated: u64,
+    /// Autoscaler scale-up events since start.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down events since start.
+    pub scale_downs: u64,
+}
+
+/// One row of the controller's membership table (`ListServers`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ServerInfo {
+    /// Server ID (never re-issued, even after the server departs).
+    pub server: ServerId,
+    /// Transport address.
+    pub addr: String,
+    /// Membership state: `"alive"`, `"draining"` or `"dead"`.
+    pub state: String,
+    /// Total blocks the server contributed.
+    pub total_blocks: u32,
+    /// Blocks currently allocated to a data structure.
+    pub used_blocks: u32,
+    /// Blocks currently free.
+    pub free_blocks: u32,
 }
 
 /// Responses from the controller.
@@ -544,8 +592,8 @@ pub enum ControlResponse {
         /// Lease duration in microseconds.
         micros: u64,
     },
-    /// Result of `RegisterServer`.
-    ServerRegistered {
+    /// Result of `JoinServer`.
+    ServerJoined {
         /// Assigned server ID.
         server: ServerId,
         /// Block IDs the server will host.
@@ -576,6 +624,16 @@ pub enum ControlResponse {
     Stats(ControllerStats),
     /// Result of `ListPrefixes`.
     Prefixes(Vec<String>),
+    /// Result of `LeaveServer`: the drain finished and the server was
+    /// removed from the membership table.
+    Drained {
+        /// The departed server.
+        server: ServerId,
+        /// Live blocks migrated off it during the drain.
+        blocks_migrated: u32,
+    },
+    /// Result of `ListServers`.
+    Servers(Vec<ServerInfo>),
 }
 
 /// Data-structure operations executed on a block (paper Fig. 6: the
@@ -778,6 +836,27 @@ pub enum DataRequest {
     ExportBlock {
         /// Target block.
         block: BlockId,
+    },
+    /// Controller→server: seal or unseal a block for live migration.
+    /// Sealed blocks reject mutating ops with `StaleMetadata` (reads
+    /// still serve) so the migration ships a frozen image while clients
+    /// keep reading — the §3.3 ops-during-repartition discipline applied
+    /// to whole-block moves.
+    SealBlock {
+        /// Target block.
+        block: BlockId,
+        /// True to seal, false to unseal.
+        sealed: bool,
+    },
+    /// Controller→source server, final step of a live migration: drop
+    /// the block's data and leave a redirect tombstone pointing at the
+    /// block's new home. Ops hitting the tombstone get `BlockMoved`
+    /// (with the new location) until the block is reused.
+    RetireBlock {
+        /// The migrated-away block.
+        block: BlockId,
+        /// Head replica of the block's new home.
+        moved_to: Replica,
     },
     /// Health check / round-trip measurement.
     Ping,

@@ -49,13 +49,14 @@ impl InprocHub {
     ///
     /// # Errors
     ///
-    /// Returns [`JiffyError::Rpc`] if the address is malformed or no
-    /// service is registered under it.
+    /// Returns [`JiffyError::Rpc`] if the address is malformed, or
+    /// [`JiffyError::Unavailable`] if no service is registered under it
+    /// (the peer was never started, or was killed/decommissioned).
     pub fn connect(self: &Arc<Self>, addr: &str) -> Result<ClientConn> {
         let id = Self::parse(addr)
             .ok_or_else(|| JiffyError::Rpc(format!("bad inproc address: {addr}")))?;
         if !self.services.read().contains_key(&id) {
-            return Err(JiffyError::Rpc(format!("no service at {addr}")));
+            return Err(JiffyError::Unavailable(format!("no service at {addr}")));
         }
         let push = PushSlot::new();
         let push_for_session = push.clone();
@@ -94,7 +95,7 @@ impl Connection for InprocConn {
         let svc = self
             .hub
             .service(self.id)
-            .ok_or_else(|| JiffyError::Rpc(format!("service inproc:{} gone", self.id)))?;
+            .ok_or_else(|| JiffyError::Unavailable(format!("service inproc:{} gone", self.id)))?;
         Ok(svc.handle(req, &self.session))
     }
 

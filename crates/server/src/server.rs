@@ -109,14 +109,14 @@ impl MemoryServer {
         let conn = self.fabric.connect(&self.controller_addr)?;
         let resp = conn.call(Envelope::ControlReq {
             id: 0,
-            req: ControlRequest::RegisterServer {
+            req: ControlRequest::JoinServer {
                 addr: addr.to_string(),
                 capacity_blocks,
             },
         })?;
         let (server_id, blocks) = match resp {
             Envelope::ControlResp {
-                resp: Ok(ControlResponse::ServerRegistered { server, blocks }),
+                resp: Ok(ControlResponse::ServerJoined { server, blocks }),
                 ..
             } => (server, blocks),
             Envelope::ControlResp { resp: Err(e), .. } => return Err(e),
@@ -301,25 +301,31 @@ impl MemoryServer {
     }
 
     fn ship_payload(&self, target: &jiffy_proto::BlockLocation, payload: &[u8]) -> Result<()> {
-        let head = target.head();
-        // Local-target fast path (same server): skip the transport.
-        if let Some((_, my_addr)) = self.identity() {
-            if head.addr == my_addr {
-                return self.import_payload(head.block, payload);
+        // Every replica of the target chain absorbs the payload: reads
+        // route to the tail, so a transfer that stopped at the head
+        // would leave replicas answering `StaleMetadata` for the moved
+        // ranges forever (and a later promotion would lose them).
+        let my_addr = self.identity().map(|(_, addr)| addr);
+        for replica in &target.chain {
+            // Local-target fast path (same server): skip the transport.
+            if my_addr.as_deref() == Some(replica.addr.as_str()) {
+                self.import_payload(replica.block, payload)?;
+                continue;
+            }
+            let conn = self.fabric.connect(&replica.addr)?;
+            match conn.call(Envelope::DataReq {
+                id: 0,
+                req: DataRequest::ImportPayload {
+                    block: replica.block,
+                    payload: payload.into(),
+                },
+            })? {
+                Envelope::DataResp { resp: Ok(_), .. } => {}
+                Envelope::DataResp { resp: Err(e), .. } => return Err(e),
+                other => return Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
             }
         }
-        let conn = self.fabric.connect(&head.addr)?;
-        match conn.call(Envelope::DataReq {
-            id: 0,
-            req: DataRequest::ImportPayload {
-                block: head.block,
-                payload: payload.into(),
-            },
-        })? {
-            Envelope::DataResp { resp: Ok(_), .. } => Ok(()),
-            Envelope::DataResp { resp: Err(e), .. } => Err(e),
-            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
-        }
+        Ok(())
     }
 
     fn import_payload(&self, block_id: BlockId, payload: &[u8]) -> Result<()> {
@@ -432,8 +438,69 @@ impl MemoryServer {
                     payload: payload.into(),
                 })
             }
+            DataRequest::SealBlock { block, sealed } => {
+                let b = self.store.get(block)?;
+                b.lock().set_sealed(sealed);
+                Ok(DataResponse::Ack)
+            }
+            DataRequest::RetireBlock { block, moved_to } => {
+                let b = self.store.get(block)?;
+                b.lock().retire(moved_to);
+                Ok(DataResponse::Ack)
+            }
             DataRequest::Ping => Ok(DataResponse::Pong),
         }
+    }
+
+    /// Starts the periodic membership heartbeat to the controller
+    /// (every `cfg.heartbeat_interval`). The worker holds only a weak
+    /// reference, so it exits when the server is dropped; it also stops
+    /// once the controller rejects the heartbeat with `UnknownServer`
+    /// (this server was declared dead or deregistered — it would have
+    /// to re-join, not heartbeat).
+    pub fn start_heartbeats(self: &Arc<Self>) {
+        let worker = Arc::downgrade(self);
+        let interval = self.cfg.heartbeat_interval;
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        std::thread::Builder::new()
+            .name("jiffy-heartbeat".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let Some(server) = worker.upgrade() else {
+                    break;
+                };
+                if !server.send_heartbeat() {
+                    break;
+                }
+            })
+            .expect("invariant: thread spawn fails only on OS resource exhaustion");
+    }
+
+    /// Sends one heartbeat. Returns false only when heartbeating should
+    /// stop for good (the controller no longer knows this server);
+    /// transient transport failures and a not-yet-registered identity
+    /// just wait for the next tick.
+    fn send_heartbeat(&self) -> bool {
+        let Some((server_id, _)) = self.identity() else {
+            return true;
+        };
+        let used = self.store.allocated_count() as u32;
+        let total = self.store.len() as u32;
+        let req = ControlRequest::Heartbeat {
+            server: server_id,
+            used_blocks: used,
+            free_blocks: total.saturating_sub(used),
+        };
+        let Ok(conn) = self.fabric.connect(&self.controller_addr) else {
+            return true;
+        };
+        !matches!(
+            conn.call(Envelope::ControlReq { id: 0, req }),
+            Ok(Envelope::ControlResp {
+                resp: Err(JiffyError::UnknownServer(_)),
+                ..
+            })
+        )
     }
 }
 

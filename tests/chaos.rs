@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use jiffy::cluster::JiffyCluster;
 use jiffy::{JiffyClient, JiffyConfig};
 use jiffy_common::clock::ManualClock;
-use jiffy_harness::{run, HarnessConfig, WorkloadMix};
+use jiffy_harness::{run, ElasticAction, HarnessConfig, WorkloadMix};
 use jiffy_persistent::MemObjectStore;
 use jiffy_rpc::{FaultInjector, FaultRule};
 
@@ -126,6 +126,125 @@ fn partitioned_server_causes_lease_reclaim_not_hang() {
     for addr in &partitioned {
         injector.heal(addr);
     }
+    let kv2 = job.open_kv("state2", &[], 1).unwrap();
+    kv2.put(b"x", b"y").unwrap();
+    assert_eq!(kv2.get(b"x").unwrap(), Some(b"y".to_vec()));
+}
+
+#[test]
+fn server_killed_mid_workload_replicated_data_survives() {
+    // Chain-replicated KV, three servers, one crashed a third of the way
+    // in. The controller promotes surviving replicas, clients re-route,
+    // and the history checker proves no acked write was lost.
+    let cfg = HarnessConfig {
+        seed: 0xE1A5_0001,
+        ops_per_worker: 150,
+        rule: light_chaos(),
+        mix: WorkloadMix::kv_only(),
+        num_servers: 3,
+        chain_length: 2,
+        elastic: vec![(50, ElasticAction::KillServer)],
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn server_joins_mid_workload() {
+    let cfg = HarnessConfig {
+        seed: 0xE1A5_0002,
+        ops_per_worker: 150,
+        rule: light_chaos(),
+        mix: WorkloadMix::all(),
+        elastic: vec![(50, ElasticAction::JoinServer)],
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn server_drained_mid_workload_migrates_live_blocks() {
+    // A graceful drain live-migrates every block off the oldest server
+    // while the workload keeps running. Ops racing a migration may see
+    // retryable errors (the client re-routes); none may lose data.
+    let cfg = HarnessConfig {
+        seed: 0xE1A5_0003,
+        ops_per_worker: 150,
+        rule: light_chaos(),
+        mix: WorkloadMix::all(),
+        num_servers: 3,
+        elastic: vec![(50, ElasticAction::DrainServer)],
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn kill_then_join_then_drain_stacked_chaos() {
+    let cfg = HarnessConfig {
+        seed: 0xE1A5_0004,
+        ops_per_worker: 200,
+        rule: light_chaos(),
+        mix: WorkloadMix::kv_only(),
+        num_servers: 3,
+        chain_length: 2,
+        elastic: vec![
+            (40, ElasticAction::JoinServer),
+            (80, ElasticAction::KillServer),
+            (120, ElasticAction::DrainServer),
+        ],
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn unreplicated_loss_is_clean_unavailable_not_a_hang() {
+    // Killing the only home of unreplicated, unflushed data loses it by
+    // design. The contract is a *fast, clean* `Unavailable` — the client
+    // must not spin on routing retries when the layout hasn't changed.
+    let cluster = JiffyCluster::build(
+        JiffyConfig::for_testing(),
+        2,
+        8,
+        jiffy_common::clock::SystemClock::shared(),
+        Arc::new(MemObjectStore::new()),
+        false,
+        false,
+    )
+    .unwrap();
+    let client = JiffyClient::connect(cluster.fabric().clone(), cluster.controller_addr()).unwrap();
+    let job = client.register_job("unreplicated-loss").unwrap();
+    let kv = job.open_kv("state", &[], 1).unwrap();
+    kv.put(b"k", b"v").unwrap();
+
+    // Every block of the structure lives on some server; kill them all.
+    let view = job.resolve("state").unwrap();
+    let mut homes = Vec::new();
+    for loc in view.partition.unwrap().blocks() {
+        for replica in &loc.chain {
+            if !homes.contains(&replica.server) {
+                homes.push(replica.server);
+            }
+        }
+    }
+    for id in homes {
+        cluster.kill_server(id).unwrap();
+    }
+
+    let started = Instant::now();
+    let err = kv.get(b"k").unwrap_err();
+    assert!(
+        matches!(err, jiffy_common::JiffyError::Unavailable(_)),
+        "expected clean Unavailable, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "loss must fail fast, took {:?}",
+        started.elapsed()
+    );
+
+    // The surviving server still serves fresh structures.
     let kv2 = job.open_kv("state2", &[], 1).unwrap();
     kv2.put(b"x", b"y").unwrap();
     assert_eq!(kv2.get(b"x").unwrap(), Some(b"y".to_vec()));

@@ -83,9 +83,9 @@ fn server_departure_surfaces_clean_errors() {
         cluster.fabric().evict(addr);
     }
 
-    // Data ops now fail with a transport error, not a hang or panic.
+    // Data ops now fail with a clean Unavailable, not a hang or panic.
     let err = kv.get(b"k").unwrap_err();
-    assert!(matches!(err, JiffyError::Rpc(_)), "{err:?}");
+    assert!(matches!(err, JiffyError::Unavailable(_)), "{err:?}");
     // Control plane still works.
     assert!(job.resolve("s").is_ok());
 }
@@ -126,7 +126,7 @@ fn chain_replication_survives_head_loss_for_reads() {
     // Writes (entering at the dead head) fail cleanly.
     assert!(matches!(
         kv.put(b"new", b"w").unwrap_err(),
-        JiffyError::Rpc(_)
+        JiffyError::Unavailable(_)
     ));
 }
 

@@ -14,6 +14,13 @@ fn data_path(m: &Mutex<Vec<u8>>) -> Result<u8, jiffy_common::JiffyError> {
     Ok(v)
 }
 
+fn dispatch(req: ControlRequest) -> u32 {
+    match req {
+        ControlRequest::RegisterJob { .. } => 1,
+        _ => 0, // rule: exhaustive-dispatch — bare catch-all hides new variants
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // Exempt region: none of these may be reported.

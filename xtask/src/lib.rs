@@ -22,6 +22,14 @@
 //!    only inside `crates/rpc` and `crates/common` (and test code).
 //!    They drive `is_transport()` retry semantics; minting them elsewhere
 //!    would let non-transport code masquerade as safely-retryable.
+//! 4. **exhaustive-dispatch** — in `crates/controller` and
+//!    `crates/server`, a `match` whose arms dispatch on `ControlRequest::`
+//!    or `DataRequest::` variants may not contain a bare `_` arm. New RPC
+//!    variants (JoinServer, Heartbeat, ...) must fail compilation at every
+//!    dispatch site rather than silently fall into a catch-all. Named
+//!    catch-alls (`other =>`) are allowed — they show intent — and matches
+//!    that bring variants in via `use ControlRequest::*` are out of scope
+//!    for the literal-prefix heuristic by design.
 
 use std::fmt;
 use std::fs;
@@ -30,7 +38,8 @@ use std::path::{Path, PathBuf};
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
-    /// Which rule fired: `"sync-facade"`, `"no-unwrap"`, `"error-taxonomy"`.
+    /// Which rule fired: `"sync-facade"`, `"no-unwrap"`,
+    /// `"error-taxonomy"`, `"exhaustive-dispatch"`.
     pub rule: &'static str,
     /// Path relative to the lint root.
     pub path: PathBuf,
@@ -79,6 +88,9 @@ pub fn lint_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
     if scope.skip {
         return;
     }
+    if scope.dispatch && !scope.test_only {
+        check_exhaustive_dispatch(rel, text, out);
+    }
     let mut tests = TestRegionTracker::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -110,6 +122,9 @@ struct Scope {
     data_path: bool,
     /// `crates/rpc` + `crates/common`: legitimate transport-error mints.
     taxonomy_exempt: bool,
+    /// `crates/controller` + `crates/server`: the exhaustive-dispatch
+    /// rule applies (these hold the RPC dispatch `match`es).
+    dispatch: bool,
     /// Dedicated test trees (`tests/`, `benches/`, `examples/`): only the
     /// sync-facade rule applies.
     test_only: bool,
@@ -143,6 +158,7 @@ impl Scope {
                     // rpc is both data-path (no-unwrap applies) and a
                     // legitimate minting site for transport errors.
                     scope.taxonomy_exempt = name == "rpc";
+                    scope.dispatch = matches!(name, "controller" | "server");
                 }
                 _ => {}
             }
@@ -222,6 +238,98 @@ fn check_error_taxonomy(rel: &Path, line: usize, code: &str, out: &mut Vec<Viola
             search = &code[offset..];
         }
     }
+}
+
+/// Rule 4: no bare `_` catch-all arms in `ControlRequest` /
+/// `DataRequest` dispatch matches.
+///
+/// Works on the whole file because the verdict for a `_ =>` arm depends
+/// on sibling arms seen later: a `match` region is "dispatch" once any
+/// arm at its level literally starts with `ControlRequest::` or
+/// `DataRequest::`. Nested matches get their own region, so a wildcard
+/// inside an arm's inner `match other_enum { ... }` is never attributed
+/// to the outer dispatch.
+fn check_exhaustive_dispatch(rel: &Path, text: &str, out: &mut Vec<Violation>) {
+    struct Region {
+        /// Brace depth at which this match's arms sit.
+        arm_depth: i32,
+        /// Saw an arm literally starting with `ControlRequest::` /
+        /// `DataRequest::`.
+        dispatch: bool,
+        /// Line numbers of bare `_` arms, flagged if `dispatch` ends up true.
+        wildcards: Vec<usize>,
+    }
+    let mut depth = 0i32;
+    let mut stack: Vec<Region> = Vec::new();
+    let mut tests = TestRegionTracker::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_comments(raw);
+        // Test regions are brace-balanced, so skipping them whole keeps
+        // the outer depth consistent.
+        if tests.observe(&code) {
+            continue;
+        }
+        let trimmed = code.trim();
+        if let Some(region) = stack.last_mut() {
+            if depth == region.arm_depth {
+                if trimmed.starts_with("ControlRequest::") || trimmed.starts_with("DataRequest::") {
+                    region.dispatch = true;
+                }
+                if trimmed.starts_with("_ =>") || trimmed.starts_with("_ |") {
+                    region.wildcards.push(line_no);
+                }
+            }
+        }
+        let delta = brace_delta(&code);
+        if delta > 0 && has_match_keyword(&code) {
+            depth += delta;
+            stack.push(Region {
+                arm_depth: depth,
+                dispatch: false,
+                wildcards: Vec::new(),
+            });
+            continue;
+        }
+        depth += delta;
+        while stack.last().is_some_and(|r| depth < r.arm_depth) {
+            let region = stack.pop().expect("invariant: checked non-empty above");
+            if region.dispatch {
+                for line in region.wildcards {
+                    out.push(Violation {
+                        rule: "exhaustive-dispatch",
+                        path: rel.to_path_buf(),
+                        line,
+                        message: "bare `_` arm in a ControlRequest/DataRequest dispatch match — \
+                                  new RPC variants must fail compilation here, not fall into a \
+                                  catch-all; name the arm (`other =>`) if a catch-all is truly \
+                                  intended"
+                            .into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Is the `match` keyword (not `matches!`, `.match_indices`, an
+/// identifier suffix, ...) present on this comment-stripped line?
+fn has_match_keyword(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("match") {
+        let abs = start + pos;
+        let before_ok = abs == 0 || {
+            let b = bytes[abs - 1];
+            !b.is_ascii_alphanumeric() && b != b'_' && b != b'.'
+        };
+        let after_ok = matches!(bytes.get(abs + 5), Some(b' ') | Some(b'\t') | Some(b'('));
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + 5;
+    }
+    false
 }
 
 /// Heuristic: does this occurrence build the variant (vs. match on it)?
@@ -463,5 +571,114 @@ fn real2() { z.unwrap(); }
             "Err(JiffyError::Timeout { after_ms: 5 })\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn dispatch_catch_all_is_flagged() {
+        let src = "\
+fn dispatch(req: ControlRequest) -> u32 {
+    match req {
+        ControlRequest::RegisterJob { .. } => 1,
+        _ => 0,
+    }
+}
+";
+        let v = lint_str("crates/controller/src/controller.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "exhaustive-dispatch");
+        assert_eq!(v[0].line, 4);
+        // Same source in a crate outside controller/server: out of scope.
+        assert!(lint_str("crates/client/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn named_catch_all_and_non_dispatch_matches_are_exempt() {
+        // `other =>` shows intent (sharding fan-out does this): allowed.
+        let named = "\
+fn route(req: ControlRequest) -> u32 {
+    match req {
+        ControlRequest::RegisterJob { .. } => 1,
+        other => job_of(&other),
+    }
+}
+";
+        assert!(lint_str("crates/controller/src/sharding.rs", named).is_empty());
+        // `use ControlRequest::*` arms don't carry the literal prefix, so
+        // helper matches like `job_of` stay out of the rule's scope.
+        let glob = "\
+fn job_of(req: &ControlRequest) -> Option<JobId> {
+    use ControlRequest::*;
+    match req {
+        DeregisterJob { job } => Some(*job),
+        _ => None,
+    }
+}
+";
+        assert!(lint_str("crates/controller/src/sharding.rs", glob).is_empty());
+        // A match over some other enum is never a dispatch match.
+        let other_enum = "\
+fn f(s: &DsSkeleton) -> u32 {
+    match s {
+        DsSkeleton::Kv { .. } => 1,
+        _ => 0,
+    }
+}
+";
+        assert!(lint_str("crates/server/src/server.rs", other_enum).is_empty());
+    }
+
+    #[test]
+    fn nested_match_wildcard_not_attributed_to_dispatch() {
+        let src = "\
+fn dispatch(req: DataRequest) -> u32 {
+    match req {
+        DataRequest::Op { block, op } => {
+            match op {
+                DsOp::KvGet { .. } => 1,
+                _ => 2,
+            }
+        }
+        DataRequest::Subscribe { .. } => 3,
+    }
+}
+";
+        assert!(lint_str("crates/server/src/server.rs", src).is_empty());
+        // And the inverse: a dispatch wildcard is still caught even when
+        // a clean nested match sits inside one of its arms.
+        let src = "\
+fn dispatch(req: DataRequest) -> u32 {
+    match req {
+        DataRequest::Op { block, op } => {
+            match op {
+                DsOp::KvGet { .. } => 1,
+                other => cost(other),
+            }
+        }
+        _ => 3,
+    }
+}
+";
+        let v = lint_str("crates/server/src/server.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 9);
+    }
+
+    #[test]
+    fn dispatch_rule_skips_test_regions_and_matches_macro() {
+        let src = "\
+fn f(e: &JiffyError) -> bool {
+    matches!(e, JiffyError::Timeout { .. })
+}
+#[cfg(test)]
+mod tests {
+    fn t(req: ControlRequest) -> u32 {
+        match req {
+            ControlRequest::RegisterJob { .. } => 1,
+            _ => 0,
+        }
+    }
+}
+";
+        assert!(lint_str("crates/controller/src/controller.rs", src).is_empty());
     }
 }

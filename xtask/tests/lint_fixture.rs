@@ -32,14 +32,15 @@ fn negative_fixture_trips_every_rule() {
     assert!(
         rules.contains("sync-facade")
             && rules.contains("no-unwrap")
-            && rules.contains("error-taxonomy"),
-        "fixture must trip all three rules, got {rules:?}: {violations:?}"
+            && rules.contains("error-taxonomy")
+            && rules.contains("exhaustive-dispatch"),
+        "fixture must trip all four rules, got {rules:?}: {violations:?}"
     );
     // The #[cfg(test)] block in the fixture must stay exempt.
     assert!(
-        violations.iter().all(|v| v.line < 18),
+        violations.iter().all(|v| v.line < 24),
         "no violations from the fixture's test module: {violations:?}"
     );
-    // Exactly the four seeded non-test violations.
-    assert_eq!(violations.len(), 4, "{violations:?}");
+    // Exactly the five seeded non-test violations.
+    assert_eq!(violations.len(), 5, "{violations:?}");
 }
