@@ -1,0 +1,234 @@
+//! Data-plane fast-path throughput: single-op RPCs vs batched multi-op
+//! RPCs over real TCP, in the spirit of Fig. 10's small-op columns.
+//!
+//! Runs the kv/queue/file op mix twice — once issuing one RPC per
+//! operation (the pre-fast-path baseline) and once through the PR 4
+//! batched client calls (`multi_put` / `multi_get` / `enqueue_batch` /
+//! `write_vectored`) — and writes machine-readable before/after numbers
+//! to `BENCH_dataplane.json` at the repo root (ops/s plus p50/p99 call
+//! latency in µs).
+//!
+//! Values are 256 B ("small op" per the paper's Fig. 10 hinge point);
+//! transport is real loopback TCP so framing, corked writes and the
+//! waiter table are all on the measured path.
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin dataplane_throughput`
+//! Set `JIFFY_BENCH_QUICK=1` for a fast smoke run (reduced op counts).
+
+use std::time::{Duration, Instant};
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+use jiffy_bench::{fmt_dur, percentile};
+
+/// Ops per workload phase (divided by 20 in quick mode).
+const OPS: usize = 20_000;
+/// Multi-op batch size for the batched phases.
+const BATCH: usize = 32;
+const VALUE_LEN: usize = 256;
+/// Distinct KV keys (ops cycle through them).
+const KEYS: usize = 1024;
+
+struct Phase {
+    workload: &'static str,
+    mode: &'static str,
+    ops: usize,
+    elapsed: Duration,
+    /// One entry per RPC-issuing client call (per op when single, per
+    /// batch when batched).
+    call_lat: Vec<Duration>,
+}
+
+impl Phase {
+    fn ops_per_s(&self) -> f64 {
+        self.ops as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("JIFFY_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Times `calls` client calls, each covering `ops_per_call` logical ops.
+fn run_phase(
+    workload: &'static str,
+    mode: &'static str,
+    calls: usize,
+    ops_per_call: usize,
+    mut call: impl FnMut(usize),
+) -> Phase {
+    let mut call_lat = Vec::with_capacity(calls);
+    let t0 = Instant::now();
+    for c in 0..calls {
+        let s = Instant::now();
+        call(c);
+        call_lat.push(s.elapsed());
+    }
+    Phase {
+        workload,
+        mode,
+        ops: calls * ops_per_call,
+        elapsed: t0.elapsed(),
+        call_lat,
+    }
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("key-{:08}", i % KEYS).into_bytes()
+}
+
+fn main() {
+    let ops = if quick() { OPS / 20 } else { OPS };
+    let value = vec![0xA5u8; VALUE_LEN];
+    // Long lease: the bench issues no renewals, and over_tcp runs the
+    // expiry worker — a default (1 s) lease would reclaim the
+    // structures mid-measurement.
+    let cfg = JiffyConfig::default().with_lease_duration(Duration::from_secs(3600));
+    let cluster = JiffyCluster::over_tcp(cfg, 2, 24).unwrap();
+    let job = cluster.client().unwrap().register_job("dataplane").unwrap();
+    let kv = job.open_kv("bench", &[], 2).unwrap();
+    let q = job.open_queue("bench-q", &[]).unwrap();
+    let file = job.open_file("bench-f", &[]).unwrap();
+
+    // Warm up connections and fill the key space.
+    for i in 0..KEYS {
+        kv.put(&key(i), &value).unwrap();
+    }
+
+    let mut phases = Vec::new();
+
+    // --- KV put ---
+    phases.push(run_phase("kv_put", "single", ops, 1, |i| {
+        kv.put(&key(i), &value).unwrap();
+    }));
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..BATCH).map(|j| (key(j), value.clone())).collect();
+    phases.push(run_phase("kv_put", "batched", ops / BATCH, BATCH, |c| {
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = pairs
+            .iter()
+            .enumerate()
+            .map(|(j, (_, v))| (key(c * BATCH + j), v.clone()))
+            .collect();
+        kv.multi_put(&pairs).unwrap();
+    }));
+
+    // --- KV get ---
+    phases.push(run_phase("kv_get", "single", ops, 1, |i| {
+        assert!(kv.get(&key(i)).unwrap().is_some());
+    }));
+    phases.push(run_phase("kv_get", "batched", ops / BATCH, BATCH, |c| {
+        let keys: Vec<Vec<u8>> = (0..BATCH).map(|j| key(c * BATCH + j)).collect();
+        let got = kv.multi_get(&keys).unwrap();
+        assert!(got.iter().all(Option::is_some));
+    }));
+
+    // --- Queue enqueue ---
+    phases.push(run_phase("queue_enqueue", "single", ops, 1, |_| {
+        q.enqueue(&value).unwrap();
+    }));
+    phases.push(run_phase(
+        "queue_enqueue",
+        "batched",
+        ops / BATCH,
+        BATCH,
+        |_| {
+            let items: Vec<&[u8]> = (0..BATCH).map(|_| value.as_slice()).collect();
+            q.enqueue_batch(&items).unwrap();
+        },
+    ));
+
+    // --- File write ---
+    phases.push(run_phase("file_write", "single", ops, 1, |_| {
+        file.append(&value).unwrap();
+    }));
+    let mut offset = file.size().unwrap();
+    phases.push(run_phase(
+        "file_write",
+        "batched",
+        ops / BATCH,
+        BATCH,
+        |_| {
+            let bufs: Vec<&[u8]> = (0..BATCH).map(|_| value.as_slice()).collect();
+            file.write_vectored(offset, &bufs).unwrap();
+            offset += (BATCH * VALUE_LEN) as u64;
+        },
+    ));
+
+    // --- Report ---
+    println!(
+        "=== Data-plane throughput: single vs batched (batch={BATCH}, {VALUE_LEN} B values) ==="
+    );
+    println!(
+        "{:<16}{:<9}{:>10}{:>13}{:>12}{:>12}",
+        "workload", "mode", "ops", "ops/s", "call p50", "call p99"
+    );
+    for p in &mut phases {
+        let p50 = percentile(&mut p.call_lat, 50.0);
+        let p99 = percentile(&mut p.call_lat, 99.0);
+        println!(
+            "{:<16}{:<9}{:>10}{:>13.0}{:>12}{:>12}",
+            p.workload,
+            p.mode,
+            p.ops,
+            p.ops_per_s(),
+            fmt_dur(p50),
+            fmt_dur(p99),
+        );
+    }
+    println!();
+    let mut speedups = Vec::new();
+    for pair in phases.chunks(2) {
+        let speedup = pair[1].ops_per_s() / pair[0].ops_per_s();
+        println!(
+            "{:<16} batched/single speedup: {speedup:.2}x",
+            pair[0].workload
+        );
+        speedups.push((pair[0].workload, speedup));
+    }
+
+    // --- Machine-readable trajectory ---
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"dataplane_throughput\",\n");
+    json.push_str(&format!("  \"batch_size\": {BATCH},\n"));
+    json.push_str(&format!("  \"value_bytes\": {VALUE_LEN},\n"));
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str("  \"transport\": \"tcp-loopback\",\n");
+    json.push_str("  \"results\": [\n");
+    let n_phases = phases.len();
+    for (i, p) in phases.iter_mut().enumerate() {
+        let p50 = percentile(&mut p.call_lat, 50.0).as_secs_f64() * 1e6;
+        let p99 = percentile(&mut p.call_lat, 99.0).as_secs_f64() * 1e6;
+        json.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"mode\": \"{}\", \"ops\": {}, \"ops_per_s\": {:.0}, \"call_p50_us\": {:.1}, \"call_p99_us\": {:.1}}}{}\n",
+            p.workload,
+            p.mode,
+            p.ops,
+            p.ops_per_s(),
+            p50,
+            p99,
+            if i + 1 < n_phases { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"speedup_batched_over_single\": {\n");
+    for (i, (w, s)) in speedups.iter().enumerate() {
+        json.push_str(&format!(
+            "    \"{w}\": {s:.2}{}\n",
+            if i + 1 < speedups.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  }\n}\n");
+
+    // Quick (smoke-gate) runs produce throwaway numbers; keep them out
+    // of the checked-in measurement file.
+    let path = if quick() {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_dataplane.quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dataplane.json")
+    };
+    std::fs::write(path, &json).unwrap();
+    println!("\nwrote {path}");
+}

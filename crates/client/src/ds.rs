@@ -113,6 +113,218 @@ impl DsCore {
         )
     }
 
+    /// Issues one [`DataRequest::Batch`] against a block, routing like
+    /// [`Self::data_op`] (writes to the chain head, reads to the tail).
+    /// Returns the server's per-op results: a *prefix* of `ops` — the
+    /// server stops at the first failing op, so every entry before the
+    /// last is `Ok` and ops past the returned length were never
+    /// attempted.
+    ///
+    /// Only used for unreplicated blocks; replicated writes fan down the
+    /// chain per op via `Replicate` (see [`Self::run_batches`]).
+    fn batch_rpc(
+        &self,
+        loc: &BlockLocation,
+        ops: &[DsOp],
+        is_write: bool,
+    ) -> Result<Vec<Result<DsResult>>> {
+        let fabric = self.job.client().fabric();
+        let replica = if is_write { loc.head() } else { loc.tail() };
+        let req = DataRequest::Batch {
+            block: replica.block,
+            ops: ops.to_vec(),
+        };
+        let addr = &replica.addr;
+        // One id for the whole batch: transport-level retries resend the
+        // identical envelope and the server's replay cache answers for
+        // the batch as a single unit, so a lost reply cannot re-apply
+        // any of its ops.
+        let id = next_request_id();
+        let expected = ops.len();
+        self.job.client().retry_policy().run(
+            |_| {
+                let conn = fabric.connect(addr)?;
+                match conn.call(Envelope::DataReq {
+                    id,
+                    req: req.clone(),
+                })? {
+                    Envelope::DataResp { resp, .. } => match resp? {
+                        DataResponse::Batch(results) if results.len() <= expected => Ok(results),
+                        DataResponse::Batch(results) => Err(JiffyError::Rpc(format!(
+                            "batch reply has {} results for {expected} ops",
+                            results.len()
+                        ))),
+                        other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+                    },
+                    other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
+                }
+            },
+            |e| {
+                if matches!(e, JiffyError::Rpc(_)) {
+                    fabric.evict(addr);
+                }
+            },
+        )
+    }
+
+    /// Classifies an error hit by a batched op (or a whole batch RPC):
+    /// `Ok(true)` means routing-level — refresh and retry the
+    /// unfinished ops; `Ok(false)` means definitive — fail the call.
+    /// Mirrors [`Self::with_routing_retries`] plus the `BlockFull`
+    /// grow-then-retry discipline the single-op write paths apply.
+    fn note_batch_err(&self, e: &JiffyError, loc: Option<&BlockLocation>) -> Result<bool> {
+        match e {
+            JiffyError::StaleMetadata
+            | JiffyError::UnknownBlock(_)
+            | JiffyError::BlockMoved { .. } => Ok(true),
+            // An op bigger than a whole block can never fit; growing the
+            // structure won't help.
+            JiffyError::BlockFull {
+                capacity,
+                requested,
+            } if requested > capacity => Ok(false),
+            JiffyError::BlockFull { .. } => match loc {
+                Some(loc) => {
+                    self.request_split(loc.id())?;
+                    Ok(true)
+                }
+                None => Ok(false),
+            },
+            JiffyError::Unavailable(_) => {
+                let before = self.view();
+                self.refresh()?;
+                Ok(self.view() != before)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Drives `total` ops to completion through block-grouped batch
+    /// RPCs. Each round resolves the owner of every unfinished op,
+    /// groups them by owner block preserving input order, issues one
+    /// [`DataRequest::Batch`] per block (or per-op `Replicate` calls
+    /// when the chain is replicated), and applies the refresh-retry
+    /// discipline per sub-batch. `on_ok(i, result)` fires exactly once
+    /// per op, when op `i` succeeds.
+    ///
+    /// Exactly-once: a per-op `Err` entry is a definitive server answer,
+    /// so retrying that op under a fresh batch id is safe; transport
+    /// errors that leave a batch maybe-applied (`Timeout`, a broken
+    /// connection after same-id retries) are *fatal* here — the caller
+    /// sees the error instead of a blind re-send under a new id.
+    fn run_batches(
+        &self,
+        total: usize,
+        is_write: bool,
+        mut owner: impl FnMut(usize) -> Result<BlockLocation>,
+        mut make_op: impl FnMut(usize) -> DsOp,
+        mut on_ok: impl FnMut(usize, DsResult) -> Result<()>,
+    ) -> Result<()> {
+        let mut pending: Vec<usize> = (0..total).collect();
+        let mut last = None;
+        for round in 0..MAX_ROUTING_RETRIES {
+            if pending.is_empty() {
+                return Ok(());
+            }
+            if round > 0 {
+                self.refresh()?;
+                if round > 2 {
+                    std::thread::sleep(RETRY_BACKOFF);
+                }
+            }
+            let mut groups: Vec<(BlockLocation, Vec<usize>)> = Vec::new();
+            let mut next_pending: Vec<usize> = Vec::new();
+            for &i in &pending {
+                match owner(i) {
+                    Ok(loc) => match groups.iter_mut().find(|(l, _)| l.id() == loc.id()) {
+                        Some((_, idxs)) => idxs.push(i),
+                        None => groups.push((loc, vec![i])),
+                    },
+                    Err(e) => {
+                        if self.note_batch_err(&e, None)? {
+                            next_pending.push(i);
+                            last = Some(e);
+                        } else {
+                            return Err(e);
+                        }
+                    }
+                }
+            }
+            for (loc, idxs) in groups {
+                if is_write && loc.chain.len() > 1 {
+                    // Replicated chain: fan each op down per `Replicate`,
+                    // stopping at the first error (like the server's
+                    // batch path) so retried ops stay in order.
+                    let mut done = 0;
+                    let mut failed = None;
+                    for &i in &idxs {
+                        match self.data_op(&loc, make_op(i), true) {
+                            Ok(r) => {
+                                on_ok(i, r)?;
+                                done += 1;
+                            }
+                            Err(e) => {
+                                failed = Some(e);
+                                break;
+                            }
+                        }
+                    }
+                    if let Some(e) = failed {
+                        if self.note_batch_err(&e, Some(&loc))? {
+                            next_pending.extend_from_slice(&idxs[done..]);
+                            last = Some(e);
+                        } else {
+                            return Err(e);
+                        }
+                    }
+                } else {
+                    let ops: Vec<DsOp> = idxs.iter().map(|&i| make_op(i)).collect();
+                    match self.batch_rpc(&loc, &ops, is_write) {
+                        Ok(results) => {
+                            let mut done = 0;
+                            let mut failed = None;
+                            for r in results {
+                                match r {
+                                    Ok(v) => {
+                                        on_ok(idxs[done], v)?;
+                                        done += 1;
+                                    }
+                                    Err(e) => {
+                                        failed = Some(e);
+                                        break;
+                                    }
+                                }
+                            }
+                            if done < idxs.len() {
+                                if let Some(e) = failed {
+                                    if self.note_batch_err(&e, Some(&loc))? {
+                                        last = Some(e);
+                                    } else {
+                                        return Err(e);
+                                    }
+                                }
+                                next_pending.extend_from_slice(&idxs[done..]);
+                            }
+                        }
+                        Err(e) => {
+                            if self.note_batch_err(&e, Some(&loc))? {
+                                next_pending.extend_from_slice(&idxs);
+                                last = Some(e);
+                            } else {
+                                return Err(e);
+                            }
+                        }
+                    }
+                }
+            }
+            // Groups may complete out of input order; retried ops must
+            // not (FIFO structures rely on it).
+            next_pending.sort_unstable();
+            pending = next_pending;
+        }
+        Err(last.unwrap_or(JiffyError::StaleMetadata))
+    }
+
     /// Asks the controller to grow the structure at `block` (the
     /// demand-driven face of the overload path: a client that outran the
     /// asynchronous threshold signal forces the split synchronously).
@@ -291,6 +503,61 @@ impl FileClient {
             cursor += take;
         }
         Ok(())
+    }
+
+    /// Writes a gather list of buffers at an absolute offset as if they
+    /// were concatenated, splitting the data on chunk boundaries and
+    /// issuing one batched RPC per chunk — many small buffers cost one
+    /// round trip per chunk touched instead of one per buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::OutOfRange`] for holes; routing failures. On error,
+    /// a subset of the chunks may already hold their new bytes.
+    pub fn write_vectored(&self, offset: u64, bufs: &[&[u8]]) -> Result<()> {
+        let (chunk_size, _) = self.file_view()?;
+        // Flatten the gather list into one contiguous piece per chunk.
+        let mut pieces: Vec<(usize, u64, Vec<u8>)> = Vec::new();
+        let mut abs = offset;
+        for buf in bufs {
+            let mut cursor = 0usize;
+            while cursor < buf.len() {
+                let chunk_idx = (abs / chunk_size) as usize;
+                let chunk_off = abs % chunk_size;
+                let take = ((chunk_size - chunk_off) as usize).min(buf.len() - cursor);
+                match pieces.last_mut() {
+                    Some((idx, off, bytes))
+                        if *idx == chunk_idx && *off + bytes.len() as u64 == chunk_off =>
+                    {
+                        bytes.extend_from_slice(&buf[cursor..cursor + take]);
+                    }
+                    _ => pieces.push((chunk_idx, chunk_off, buf[cursor..cursor + take].to_vec())),
+                }
+                abs += take as u64;
+                cursor += take;
+            }
+        }
+        self.core.run_batches(
+            pieces.len(),
+            true,
+            |i| {
+                let (_, blocks) = self.file_view()?;
+                match blocks.get(pieces[i].0) {
+                    Some(loc) => Ok(loc.clone()),
+                    None => {
+                        // Need more chunks: grow at the tail and retry.
+                        let tail = blocks.last().ok_or(JiffyError::StaleMetadata)?;
+                        self.core.request_split(tail.id())?;
+                        Err(JiffyError::StaleMetadata)
+                    }
+                }
+            },
+            |i| DsOp::FileWrite {
+                offset: pieces[i].1,
+                data: Blob::new(pieces[i].2.clone()),
+            },
+            |_, _| Ok(()),
+        )
     }
 
     /// Reads up to `len` bytes at an absolute offset (paper `seek` +
@@ -519,6 +786,38 @@ impl QueueClient {
         })
     }
 
+    /// Enqueues a run of items in FIFO order with one batched RPC per
+    /// tail segment instead of one round trip per item. The server
+    /// applies a batch in order and stops at the first failure, so a
+    /// segment filling mid-batch retries only the unenqueued suffix —
+    /// FIFO order is preserved end to end.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::QueueFull`] when `max_len` would be exceeded;
+    /// [`JiffyError::BlockFull`] if an item exceeds a whole segment;
+    /// routing failures. On error, a prefix of the items may already be
+    /// enqueued.
+    pub fn enqueue_batch<I: AsRef<[u8]>>(&self, items: &[I]) -> Result<()> {
+        if let Some(max) = self.max_len {
+            if self.len()? + items.len() as u64 > max {
+                return Err(JiffyError::QueueFull);
+            }
+        }
+        self.core.run_batches(
+            items.len(),
+            true,
+            |_| {
+                let segments = self.segments()?;
+                segments.last().cloned().ok_or(JiffyError::StaleMetadata)
+            },
+            |i| DsOp::Enqueue {
+                item: Blob::new(items[i].as_ref().to_vec()),
+            },
+            |_, _| Ok(()),
+        )
+    }
+
     /// Dequeues the oldest item; `None` when the queue is currently
     /// empty.
     ///
@@ -716,6 +1015,66 @@ impl KvClient {
                 Err(e) => Err(e),
             }
         })
+    }
+
+    /// Stores many pairs with one batched RPC per owner block, returning
+    /// the previous value for each key in input order. Pairs are grouped
+    /// by resolved owner; a split landing mid-batch retries only the
+    /// unapplied ops against the refreshed layout.
+    ///
+    /// # Errors
+    ///
+    /// Capacity exhaustion after retries; routing failures. On error, a
+    /// subset of the puts may already be applied.
+    pub fn multi_put<K, V>(&self, pairs: &[(K, V)]) -> Result<Vec<Option<Vec<u8>>>>
+    where
+        K: AsRef<[u8]>,
+        V: AsRef<[u8]>,
+    {
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; pairs.len()];
+        self.core.run_batches(
+            pairs.len(),
+            true,
+            |i| self.owner_of(pairs[i].0.as_ref()),
+            |i| DsOp::Put {
+                key: Blob::new(pairs[i].0.as_ref().to_vec()),
+                value: Blob::new(pairs[i].1.as_ref().to_vec()),
+            },
+            |i, r| match r {
+                DsResult::Replaced(prev) => {
+                    out[i] = prev.map(Blob::into_inner);
+                    Ok(())
+                }
+                other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            },
+        )?;
+        Ok(out)
+    }
+
+    /// Looks up many keys with one batched RPC per owner block; results
+    /// come back in input order.
+    ///
+    /// # Errors
+    ///
+    /// Routing failures.
+    pub fn multi_get<K: AsRef<[u8]>>(&self, keys: &[K]) -> Result<Vec<Option<Vec<u8>>>> {
+        let mut out: Vec<Option<Vec<u8>>> = vec![None; keys.len()];
+        self.core.run_batches(
+            keys.len(),
+            false,
+            |i| self.owner_of(keys[i].as_ref()),
+            |i| DsOp::Get {
+                key: Blob::new(keys[i].as_ref().to_vec()),
+            },
+            |i, r| match r {
+                DsResult::MaybeData(v) => {
+                    out[i] = v.map(Blob::into_inner);
+                    Ok(())
+                }
+                other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
+            },
+        )?;
+        Ok(out)
     }
 
     /// Looks up a key.

@@ -2,9 +2,44 @@
 
 use std::time::Duration;
 
+use jiffy_sync::atomic::{AtomicU64, Ordering};
 use serde::{Deserialize, Serialize};
 
 use crate::size::MB;
+
+/// Default deadline for one RPC request/response round trip.
+pub const DEFAULT_CALL_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Cached call-timeout override in milliseconds; 0 means "not yet
+/// resolved" (the first [`call_timeout`] reads the environment).
+static CALL_TIMEOUT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// The RPC round-trip deadline: [`DEFAULT_CALL_TIMEOUT`] unless
+/// overridden by the `JIFFY_CALL_TIMEOUT_MS` environment variable (read
+/// once, then cached) or programmatically via [`set_call_timeout`].
+///
+/// Chaos and slow-CI runs lower this so dropped replies fail fast
+/// instead of riding the edge of the 10 s default.
+pub fn call_timeout() -> Duration {
+    let cached = CALL_TIMEOUT_MS.load(Ordering::Relaxed);
+    if cached != 0 {
+        return Duration::from_millis(cached);
+    }
+    let ms = std::env::var("JIFFY_CALL_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(DEFAULT_CALL_TIMEOUT.as_millis() as u64);
+    CALL_TIMEOUT_MS.store(ms, Ordering::Relaxed);
+    Duration::from_millis(ms)
+}
+
+/// Overrides the RPC call timeout process-wide. Preferred over setting
+/// the environment variable from tests (`set_var` is racy once threads
+/// exist); sub-millisecond durations round up to 1 ms.
+pub fn set_call_timeout(timeout: Duration) {
+    CALL_TIMEOUT_MS.store((timeout.as_millis() as u64).max(1), Ordering::Relaxed);
+}
 
 /// Tunable parameters of a Jiffy deployment.
 ///
@@ -230,6 +265,20 @@ mod tests {
             .with_heartbeats(Duration::from_millis(10), Duration::from_millis(50))
             .with_scale_watermarks(0.2, 0.8);
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn call_timeout_defaults_and_overrides() {
+        // First read resolves from the environment and caches the
+        // default; the programmatic override wins afterwards.
+        if std::env::var("JIFFY_CALL_TIMEOUT_MS").is_err() {
+            assert_eq!(call_timeout(), DEFAULT_CALL_TIMEOUT);
+        }
+        set_call_timeout(Duration::from_millis(250));
+        assert_eq!(call_timeout(), Duration::from_millis(250));
+        set_call_timeout(Duration::from_micros(10));
+        assert_eq!(call_timeout(), Duration::from_millis(1));
+        set_call_timeout(DEFAULT_CALL_TIMEOUT);
     }
 
     #[test]

@@ -22,6 +22,6 @@ pub mod id;
 pub mod size;
 
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use config::JiffyConfig;
+pub use config::{call_timeout, set_call_timeout, JiffyConfig, DEFAULT_CALL_TIMEOUT};
 pub use error::{JiffyError, Result};
 pub use id::{BlockId, JobId, ServerId};

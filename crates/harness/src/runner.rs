@@ -67,6 +67,14 @@ pub struct HarnessConfig {
     /// Membership changes, each fired once the total completed-op count
     /// reaches its threshold: `(after_ops, action)`.
     pub elastic: Vec<(usize, ElasticAction)>,
+    /// Maximum multi-op batch size. `1` (the default) issues every
+    /// operation as its own RPC; larger values group *consecutive runs*
+    /// of batchable same-kind ops (`KvPut` → `multi_put`, `KvGet` →
+    /// `multi_get`, `Enqueue` → `enqueue_batch`) into one batched call,
+    /// exercising the PR 4 fast path under chaos. Per-op events are
+    /// still recorded (a whole-batch transport failure marks every op
+    /// in the batch `Maybe`, since a prefix may have applied).
+    pub batch: usize,
 }
 
 impl Default for HarnessConfig {
@@ -90,6 +98,7 @@ impl Default for HarnessConfig {
             blocks_per_server: 32,
             chain_length: 1,
             elastic: Vec::new(),
+            batch: 1,
         }
     }
 }
@@ -333,9 +342,37 @@ fn run_worker(
         mix,
     );
     let queue = handles.queues.first();
+    let batch = cfg.batch.max(1);
     let mut events = Vec::with_capacity(ops.len());
-    for (seq, op) in ops.into_iter().enumerate() {
-        let seq = seq as u64;
+    let mut i = 0usize;
+    while i < ops.len() {
+        // Batched fast path: a run of >= 2 consecutive same-kind
+        // batchable ops becomes one multi-op RPC.
+        let run_len = if batch > 1 {
+            batchable_run_len(&ops[i..], batch)
+        } else {
+            1
+        };
+        if run_len > 1 {
+            let start_us = epoch.elapsed().as_micros() as u64;
+            let outcomes = exec_batch(&ops[i..i + run_len], handles, queue);
+            let end_us = epoch.elapsed().as_micros() as u64;
+            for (j, outcome) in outcomes.into_iter().enumerate() {
+                events.push(Event {
+                    worker,
+                    seq: (i + j) as u64,
+                    op: ops[i + j].clone(),
+                    outcome,
+                    start_us,
+                    end_us,
+                });
+                after_op((i + j + 1) as u64);
+            }
+            i += run_len;
+            continue;
+        }
+        let op = ops[i].clone();
+        let seq = i as u64;
         let start_us = epoch.elapsed().as_micros() as u64;
         let outcome = match &op {
             WorkOp::KvPut { key, value } => outcome_of(
@@ -383,8 +420,96 @@ fn run_worker(
             end_us: epoch.elapsed().as_micros() as u64,
         });
         after_op(seq + 1);
+        i += 1;
     }
     events
+}
+
+/// Which batched client call (if any) a generated op can ride on.
+#[derive(PartialEq, Eq, Clone, Copy)]
+enum BatchKind {
+    Put,
+    Get,
+    Enqueue,
+}
+
+fn batch_kind(op: &WorkOp) -> Option<BatchKind> {
+    match op {
+        WorkOp::KvPut { .. } => Some(BatchKind::Put),
+        WorkOp::KvGet { .. } => Some(BatchKind::Get),
+        WorkOp::Enqueue { .. } => Some(BatchKind::Enqueue),
+        _ => None,
+    }
+}
+
+/// Length of the leading run of same-kind batchable ops, capped at
+/// `max`. Returns 1 for a non-batchable head.
+fn batchable_run_len(ops: &[WorkOp], max: usize) -> usize {
+    let Some(kind) = ops.first().and_then(batch_kind) else {
+        return 1;
+    };
+    ops.iter()
+        .take(max)
+        .take_while(|op| batch_kind(op) == Some(kind))
+        .count()
+}
+
+/// Executes a run of same-kind ops as one batched client call,
+/// returning one outcome per op. A whole-batch error maps every op to
+/// `Maybe`: batched calls are split per block and retried internally,
+/// so on failure an arbitrary prefix may already have been applied.
+fn exec_batch(ops: &[WorkOp], handles: &Handles, queue: Option<&Arc<QueueClient>>) -> Vec<Outcome> {
+    let kind = batch_kind(&ops[0]).expect("exec_batch called on non-batchable run");
+    match kind {
+        BatchKind::Put => {
+            let pairs: Vec<(&[u8], &[u8])> = ops
+                .iter()
+                .map(|op| match op {
+                    WorkOp::KvPut { key, value } => (key.as_bytes(), value.as_bytes()),
+                    _ => unreachable!("mixed-kind batch run"),
+                })
+                .collect();
+            let kv = handles.kv.as_ref().expect("kv op without kv handle");
+            match kv.multi_put(&pairs) {
+                Ok(prevs) => prevs
+                    .into_iter()
+                    .map(|prev| Outcome::Acked(prev.map(lossy)))
+                    .collect(),
+                Err(e) => vec![Outcome::Maybe(e.to_string()); ops.len()],
+            }
+        }
+        BatchKind::Get => {
+            let keys: Vec<&[u8]> = ops
+                .iter()
+                .map(|op| match op {
+                    WorkOp::KvGet { key } => key.as_bytes(),
+                    _ => unreachable!("mixed-kind batch run"),
+                })
+                .collect();
+            let kv = handles.kv.as_ref().expect("kv handle");
+            match kv.multi_get(&keys) {
+                Ok(values) => values
+                    .into_iter()
+                    .map(|v| Outcome::Acked(v.map(lossy)))
+                    .collect(),
+                Err(e) => vec![Outcome::Maybe(e.to_string()); ops.len()],
+            }
+        }
+        BatchKind::Enqueue => {
+            let items: Vec<&[u8]> = ops
+                .iter()
+                .map(|op| match op {
+                    WorkOp::Enqueue { item } => item.as_bytes(),
+                    _ => unreachable!("mixed-kind batch run"),
+                })
+                .collect();
+            let q = queue.expect("queue handle");
+            match q.enqueue_batch(&items) {
+                Ok(()) => vec![Outcome::Acked(None); ops.len()],
+                Err(e) => vec![Outcome::Maybe(e.to_string()); ops.len()],
+            }
+        }
+    }
 }
 
 fn outcome_of<T>(res: Result<T>, observation: impl FnOnce(T) -> Option<String>) -> Outcome {

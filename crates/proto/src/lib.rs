@@ -17,10 +17,10 @@ pub mod frame;
 pub mod messages;
 pub mod wire;
 
-pub use frame::{read_frame, write_frame, MAX_FRAME_LEN};
+pub use frame::{encode_frame, read_frame, read_frame_into, write_frame, MAX_FRAME_LEN};
 pub use messages::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
     DataRequest, DataResponse, DsOp, DsResult, DsType, Endpoint, Envelope, MergeSpec, Notification,
     OpKind, PartitionView, PrefixView, Replica, ServerInfo, SlotRange, SplitSpec,
 };
-pub use wire::{from_bytes, to_bytes};
+pub use wire::{from_bytes, to_bytes, to_bytes_into};

@@ -860,6 +860,23 @@ pub enum DataRequest {
     },
     /// Health check / round-trip measurement.
     Ping,
+    /// Several data-structure operators executed against one block as a
+    /// single request: one envelope, one replay-cache entry, one block
+    /// lock acquisition for the whole run (fast-path batching, paper
+    /// §4.2.2). Ops run in order and execution stops at the first
+    /// failing op; [`DataResponse::Batch`] carries one entry per
+    /// *attempted* op so partial failure stays visible and ops after the
+    /// failure are known to be unexecuted.
+    ///
+    /// New variant appended last: the wire format encodes enums by
+    /// variant index, so earlier indices must stay stable.
+    Batch {
+        /// Target block — a batch addresses exactly one block; clients
+        /// group ops by resolved block.
+        block: BlockId,
+        /// The operators, executed in order.
+        ops: Vec<DsOp>,
+    },
 }
 
 /// Responses from a memory server.
@@ -883,6 +900,12 @@ pub enum DataResponse {
     },
     /// Reply to `Ping`.
     Pong,
+    /// Result of [`DataRequest::Batch`]: one entry per attempted op, in
+    /// request order. The server stops at the first failing op, so the
+    /// vector is a prefix of the request's ops — every entry before the
+    /// last is `Ok`, and ops past the vector's length were never
+    /// attempted. (Appended last to keep wire variant indices stable.)
+    Batch(Vec<Result<DsResult, JiffyError>>),
 }
 
 /// Top-level envelope multiplexing concurrent requests on one connection.
@@ -988,6 +1011,62 @@ mod tests {
             size: 1024,
             seq: 99,
         }));
+    }
+
+    #[test]
+    fn batch_messages_round_trip() {
+        rt(Envelope::DataReq {
+            id: 5,
+            req: DataRequest::Batch {
+                block: BlockId(3),
+                ops: vec![
+                    DsOp::Put {
+                        key: "a".into(),
+                        value: "1".into(),
+                    },
+                    DsOp::Get { key: "a".into() },
+                    DsOp::Enqueue {
+                        item: vec![0u8; 256].into(),
+                    },
+                ],
+            },
+        });
+        rt(Envelope::DataResp {
+            id: 5,
+            resp: Ok(DataResponse::Batch(vec![
+                Ok(DsResult::Replaced(None)),
+                Ok(DsResult::MaybeData(Some("1".into()))),
+                Err(JiffyError::BlockFull {
+                    capacity: 64,
+                    requested: 256,
+                }),
+            ])),
+        });
+        rt(Envelope::DataReq {
+            id: 6,
+            req: DataRequest::Batch {
+                block: BlockId(0),
+                ops: vec![],
+            },
+        });
+    }
+
+    #[test]
+    fn batch_variants_are_appended_last_on_the_wire() {
+        // The wire format encodes enums as a u32 variant index, so the
+        // new Batch variants must sit after every pre-existing variant:
+        // Ping is index 13 (14th variant) and Pong index 4 (5th), which
+        // pins Batch to 14 and 5 respectively.
+        assert_eq!(to_bytes(&DataRequest::Ping).unwrap(), 13u32.to_le_bytes());
+        let req = to_bytes(&DataRequest::Batch {
+            block: BlockId(1),
+            ops: vec![],
+        })
+        .unwrap();
+        assert_eq!(&req[..4], 14u32.to_le_bytes());
+        assert_eq!(to_bytes(&DataResponse::Pong).unwrap(), 4u32.to_le_bytes());
+        let resp = to_bytes(&DataResponse::Batch(vec![])).unwrap();
+        assert_eq!(&resp[..4], 5u32.to_le_bytes());
     }
 
     #[test]

@@ -36,6 +36,27 @@ pub fn to_bytes<T: Serialize>(value: &T) -> Result<Vec<u8>, JiffyError> {
     Ok(ser.out)
 }
 
+/// Serializes `value` into `out`, reusing its allocation.
+///
+/// The buffer is cleared first; after a successful call it holds exactly
+/// the encoded value. A steady-state encode loop that keeps one scratch
+/// buffer per thread therefore allocates nothing once the buffer has
+/// grown to the working-set frame size.
+///
+/// # Errors
+///
+/// Returns [`JiffyError::Codec`] as [`to_bytes`] does; on error the
+/// buffer contents are unspecified (but the allocation is still reusable).
+pub fn to_bytes_into<T: Serialize>(value: &T, out: &mut Vec<u8>) -> Result<(), JiffyError> {
+    out.clear();
+    let mut ser = WireSerializer {
+        out: std::mem::take(out),
+    };
+    let result = value.serialize(&mut ser);
+    *out = ser.out;
+    result.map_err(Into::into)
+}
+
 /// Deserializes a value previously produced by [`to_bytes`].
 ///
 /// # Errors

@@ -1,0 +1,202 @@
+//! Property-based tests for the PR 4 fast-path codec entry points:
+//! single-buffer [`encode_frame`], buffer-reusing [`read_frame_into`] /
+//! [`to_bytes_into`], and the `Batch` envelope variants.
+//!
+//! The legacy codec paths are covered by `codec_proptest.rs`; this file
+//! pins the zero-copy variants to them — same bytes on the wire, same
+//! values back out.
+
+use std::io::Cursor;
+
+use jiffy_common::{BlockId, JiffyError};
+use jiffy_proto::frame::{encode_frame, read_frame, read_frame_into, write_frame, MAX_FRAME_LEN};
+use jiffy_proto::wire::{from_bytes, to_bytes, to_bytes_into};
+use jiffy_proto::{Blob, DataRequest, DataResponse, DsOp, DsResult, Envelope};
+use proptest::prelude::*;
+
+fn ds_op_strategy() -> impl Strategy<Value = DsOp> {
+    prop_oneof![
+        (
+            proptest::collection::vec(any::<u8>(), 0..64),
+            proptest::collection::vec(any::<u8>(), 0..64)
+        )
+            .prop_map(|(key, value)| DsOp::Put {
+                key: Blob(key),
+                value: Blob(value),
+            }),
+        proptest::collection::vec(any::<u8>(), 0..64).prop_map(|key| DsOp::Get { key: Blob(key) }),
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|item| DsOp::Enqueue { item: Blob(item) }),
+        Just(DsOp::Dequeue),
+        (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..64)).prop_map(|(offset, data)| {
+            DsOp::FileWrite {
+                offset,
+                data: Blob(data),
+            }
+        }),
+    ]
+}
+
+fn ds_result_strategy() -> impl Strategy<Value = Result<DsResult, JiffyError>> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|d| Ok(DsResult::MaybeData(Some(Blob(d))))),
+        Just(Ok(DsResult::MaybeData(None))),
+        Just(Ok(DsResult::Ok)),
+        (any::<usize>(), any::<usize>()).prop_map(|(requested, capacity)| {
+            Err(JiffyError::BlockFull {
+                requested,
+                capacity,
+            })
+        }),
+        ".{0,24}".prop_map(|m| Err(JiffyError::Unavailable(m))),
+    ]
+}
+
+fn batch_envelope_strategy() -> impl Strategy<Value = Envelope> {
+    prop_oneof![
+        (
+            1u64..u64::MAX,
+            any::<u64>(),
+            proptest::collection::vec(ds_op_strategy(), 0..16)
+        )
+            .prop_map(|(id, block, ops)| Envelope::DataReq {
+                id,
+                req: DataRequest::Batch {
+                    block: BlockId(block),
+                    ops,
+                },
+            }),
+        (
+            1u64..u64::MAX,
+            proptest::collection::vec(ds_result_strategy(), 0..16)
+        )
+            .prop_map(|(id, results)| Envelope::DataResp {
+                id,
+                resp: Ok(DataResponse::Batch(results)),
+            }),
+    ]
+}
+
+proptest! {
+    /// `encode_frame` produces byte-for-byte the same stream as the
+    /// legacy two-write `write_frame` path.
+    #[test]
+    fn encode_frame_matches_write_frame(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 0..8)
+    ) {
+        let mut legacy = Vec::new();
+        let mut fast = Vec::new();
+        for p in &payloads {
+            write_frame(&mut legacy, p).unwrap();
+            encode_frame(p, &mut fast).unwrap();
+        }
+        prop_assert_eq!(legacy, fast);
+    }
+
+    /// Streams built with `encode_frame` decode with `read_frame`.
+    #[test]
+    fn encode_frame_round_trips_via_read_frame(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 0..8)
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut buf).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        for p in &payloads {
+            let got = read_frame(&mut cur).unwrap().expect("frame present");
+            prop_assert_eq!(p, &got);
+        }
+        prop_assert!(read_frame(&mut cur).unwrap().is_none());
+    }
+
+    /// `read_frame_into` reuses one scratch buffer across the whole
+    /// stream and yields the same payloads as fresh-allocation reads.
+    #[test]
+    fn read_frame_into_round_trips_with_buffer_reuse(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 1..8)
+    ) {
+        let mut buf = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut buf).unwrap();
+        }
+        let mut cur = Cursor::new(buf);
+        let mut scratch = Vec::new();
+        for p in &payloads {
+            let n = read_frame_into(&mut cur, &mut scratch)
+                .unwrap()
+                .expect("frame present");
+            prop_assert_eq!(n, p.len());
+            prop_assert_eq!(p, &scratch);
+        }
+        prop_assert!(read_frame_into(&mut cur, &mut scratch).unwrap().is_none());
+    }
+
+    /// Batch envelopes survive the wire in both directions, through both
+    /// the allocating and the buffer-reusing serializer entry points.
+    #[test]
+    fn batch_envelopes_round_trip(env in batch_envelope_strategy()) {
+        let bytes = to_bytes(&env).unwrap();
+        let mut reused = Vec::new();
+        to_bytes_into(&env, &mut reused).unwrap();
+        prop_assert_eq!(&bytes, &reused);
+        let back: Envelope = from_bytes(&bytes).unwrap();
+        prop_assert_eq!(env, back);
+    }
+
+    /// A whole batched exchange framed with the fast path decodes intact.
+    #[test]
+    fn framed_batch_exchange_round_trips(
+        envelopes in proptest::collection::vec(batch_envelope_strategy(), 0..6)
+    ) {
+        let mut stream = Vec::new();
+        let mut encode_scratch = Vec::new();
+        for env in &envelopes {
+            to_bytes_into(env, &mut encode_scratch).unwrap();
+            encode_frame(&encode_scratch, &mut stream).unwrap();
+        }
+        let mut cur = Cursor::new(stream);
+        let mut read_scratch = Vec::new();
+        for env in &envelopes {
+            read_frame_into(&mut cur, &mut read_scratch)
+                .unwrap()
+                .expect("frame present");
+            let back: Envelope = from_bytes(&read_scratch).unwrap();
+            prop_assert_eq!(env, &back);
+        }
+        prop_assert!(read_frame_into(&mut cur, &mut read_scratch).unwrap().is_none());
+    }
+}
+
+/// Boundary behaviour at the frame size limit. Not a proptest: the
+/// payloads are 192 MiB, so each case allocates once, deliberately.
+#[test]
+fn encode_frame_at_and_over_the_size_limit() {
+    // Exactly MAX_FRAME_LEN is legal and round-trips.
+    let payload = vec![0u8; MAX_FRAME_LEN];
+    let mut out = Vec::new();
+    encode_frame(&payload, &mut out).unwrap();
+    assert_eq!(out.len(), 4 + MAX_FRAME_LEN);
+    assert_eq!(&out[..4], &(MAX_FRAME_LEN as u32).to_le_bytes());
+    drop(payload);
+    let mut cur = Cursor::new(&out);
+    let mut scratch = Vec::new();
+    let n = read_frame_into(&mut cur, &mut scratch)
+        .unwrap()
+        .expect("frame present");
+    assert_eq!(n, MAX_FRAME_LEN);
+    assert!(scratch.iter().all(|&b| b == 0));
+    drop(out);
+    drop(scratch);
+
+    // One byte over is rejected and leaves the output buffer untouched.
+    let oversized = vec![0u8; MAX_FRAME_LEN + 1];
+    let mut out = b"sentinel".to_vec();
+    let err = encode_frame(&oversized, &mut out).unwrap_err();
+    assert!(matches!(err, JiffyError::Codec(_)), "got {err:?}");
+    assert_eq!(
+        out, b"sentinel",
+        "failed encode must not disturb the buffer"
+    );
+}

@@ -232,6 +232,30 @@ mod tests {
     }
 
     #[test]
+    fn batch_requests_are_deduplicated_as_one_unit() {
+        // A retried Batch envelope reuses its request id, so the replay
+        // cache must answer the whole multi-op request once — no sub-op
+        // may execute twice on a duplicate delivery.
+        let d = svc();
+        let s = session();
+        let batch = |id| Envelope::DataReq {
+            id,
+            req: DataRequest::Batch {
+                block: jiffy_common::BlockId(1),
+                ops: vec![
+                    jiffy_proto::DsOp::Enqueue { item: "a".into() },
+                    jiffy_proto::DsOp::Enqueue { item: "b".into() },
+                ],
+            },
+        };
+        let first = d.handle(batch(11), &s);
+        let replayed = d.handle(batch(11), &s);
+        assert_eq!(first, replayed);
+        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 1);
+        assert_eq!(d.replays(), 1);
+    }
+
+    #[test]
     fn control_requests_are_deduplicated_too() {
         let d = svc();
         let s = session();

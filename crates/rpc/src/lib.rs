@@ -37,4 +37,4 @@ pub use fault::{ChaosConn, FaultInjector, FaultRule, FaultStats};
 pub use inproc::InprocHub;
 pub use retry::RetryPolicy;
 pub use service::{ClientConn, PushCallback, Service, SessionHandle};
-pub use tcp::TcpServerHandle;
+pub use tcp::{TcpServerHandle, TransportStats};

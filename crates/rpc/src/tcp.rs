@@ -5,25 +5,66 @@
 //! demultiplexer on the client side lets many threads keep requests in
 //! flight concurrently, and the server can push notifications on the same
 //! connection at any time (envelope variant [`Envelope::Push`]).
+//!
+//! The data-plane fast path (paper §4.2.2) lives here too:
+//!
+//! - every encode goes through a reusable scratch buffer
+//!   ([`jiffy_proto::to_bytes_into`]) and every read loop through
+//!   [`frame::read_frame_into`], so steady-state calls allocate nothing;
+//! - outgoing frames are *corked in userspace* ([`CorkedWriter`]): frames
+//!   queued while another thread is writing are packed back to back and
+//!   shipped by that thread in one `write_all` — one syscall per run of
+//!   frames instead of two per frame;
+//! - pending calls park in a sharded waiter table ([`WaiterTable`]) of
+//!   pooled condvar slots instead of a global `Mutex<HashMap>` of
+//!   rendezvous channels.
 
-use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use jiffy_sync::Arc;
+use std::cell::RefCell;
 use std::collections::HashMap;
+use std::io::Write;
 use std::net::{TcpListener, TcpStream};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, RecvTimeoutError, Sender};
+use jiffy_common::config::call_timeout;
 use jiffy_common::{JiffyError, Result};
-use jiffy_proto::{frame, from_bytes, to_bytes, Envelope};
-use jiffy_sync::Mutex;
+use jiffy_proto::{frame, from_bytes, to_bytes, to_bytes_into, Envelope};
+use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use jiffy_sync::{Arc, Condvar, Mutex};
 
 use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, SessionHandle};
 
-/// Deadline for one TCP request/response round trip. A reply that does
-/// not arrive in time fails the call with [`JiffyError::Timeout`] instead
-/// of blocking forever (a dropped reply used to hang the caller); the
-/// waiter is removed so a late reply is discarded by the demux thread.
-pub const CALL_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(10);
+/// Counters for the TCP transport itself (the accept loop and its
+/// session threads), in the same snapshot style as the fault injector's
+/// `FaultStats`. Snapshot via [`TcpServerHandle::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Connections accepted by the listener.
+    pub accepted: u64,
+    /// Accepted connections dropped because the session thread could not
+    /// be spawned (previously a silent `let _ =`).
+    pub spawn_failures: u64,
+    /// Transient accept-loop errors.
+    pub accept_errors: u64,
+}
+
+#[derive(Default)]
+struct TransportCells {
+    accepted: AtomicU64,
+    spawn_failures: AtomicU64,
+    accept_errors: AtomicU64,
+    spawn_failure_logged: AtomicBool,
+}
+
+impl TransportCells {
+    fn snapshot(&self) -> TransportStats {
+        TransportStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
+            accept_errors: self.accept_errors.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Handle to a running TCP server; dropping it (or calling
 /// [`TcpServerHandle::shutdown`]) stops the accept loop.
@@ -31,12 +72,19 @@ pub struct TcpServerHandle {
     addr: String,
     stop: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    cells: Arc<TransportCells>,
 }
 
 impl TcpServerHandle {
     /// The address clients should dial, in Jiffy `tcp:host:port` form.
     pub fn addr(&self) -> &str {
         &self.addr
+    }
+
+    /// A snapshot of the transport counters (connections accepted,
+    /// session-spawn failures, accept errors).
+    pub fn stats(&self) -> TransportStats {
+        self.cells.snapshot()
     }
 
     /// Stops accepting new connections. Existing connections live until
@@ -71,6 +119,8 @@ pub fn serve_tcp(bind: &str, service: Arc<dyn Service>) -> Result<TcpServerHandl
     let local = listener.local_addr()?;
     let stop = Arc::new(AtomicBool::new(false));
     let stop2 = stop.clone();
+    let cells = Arc::new(TransportCells::default());
+    let cells2 = cells.clone();
     let accept_thread = std::thread::Builder::new()
         .name(format!("jiffy-tcp-accept-{local}"))
         .spawn(move || {
@@ -80,12 +130,29 @@ pub fn serve_tcp(bind: &str, service: Arc<dyn Service>) -> Result<TcpServerHandl
                 }
                 match stream {
                     Ok(s) => {
+                        cells2.accepted.fetch_add(1, Ordering::Relaxed);
                         let svc = service.clone();
-                        let _ = std::thread::Builder::new()
+                        let spawned = std::thread::Builder::new()
                             .name("jiffy-tcp-session".into())
                             .spawn(move || session_loop(s, svc));
+                        if let Err(e) = spawned {
+                            // The stream moved into the dead closure and
+                            // closes here: the peer sees a reset, not a
+                            // silent hang.
+                            cells2.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                            if !cells2.spawn_failure_logged.swap(true, Ordering::Relaxed) {
+                                eprintln!(
+                                    "jiffy-rpc: dropping accepted connection on {local}: \
+                                     session thread spawn failed: {e} (further failures counted, \
+                                     not logged)"
+                                );
+                            }
+                        }
                     }
-                    Err(_) => continue,
+                    Err(_) => {
+                        cells2.accept_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                 }
             }
         })
@@ -94,36 +161,108 @@ pub fn serve_tcp(bind: &str, service: Arc<dyn Service>) -> Result<TcpServerHandl
         addr: format!("tcp:{local}"),
         stop,
         accept_thread: Some(accept_thread),
+        cells,
     })
+}
+
+/// State shared by every sender on one connection: frames encoded but
+/// not yet written, whether a flusher is active, and whether the stream
+/// is beyond use.
+struct CorkedState {
+    pending: Vec<u8>,
+    flushing: bool,
+    broken: bool,
+}
+
+/// Userspace write corking. Senders append their (length-prefixed)
+/// frame to a shared buffer under a short lock; whichever thread finds
+/// no flush in progress becomes the flusher and ships everything queued
+/// so far in a single `write_all` — repeating until the buffer stays
+/// empty. Threads that queue while a flush is in flight return
+/// immediately: their frame rides the flusher's next pass, so a burst of
+/// concurrent small calls collapses into one syscall.
+struct CorkedWriter {
+    state: Mutex<CorkedState>,
+    stream: TcpStream,
+}
+
+impl CorkedWriter {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            state: Mutex::new(CorkedState {
+                pending: Vec::new(),
+                flushing: false,
+                broken: false,
+            }),
+            stream,
+        }
+    }
+
+    /// Queues `payload` as one frame and ensures a flush is in flight.
+    ///
+    /// An `Ok` return means the frame is queued (and usually already
+    /// written); if a *later* flush by another thread fails, the
+    /// connection breaks and pending callers are failed through the
+    /// demux/read path, exactly as with a per-frame write.
+    fn send(&self, payload: &[u8]) -> Result<()> {
+        let mut st = self.state.lock();
+        if st.broken {
+            return Err(JiffyError::Rpc("connection closed".into()));
+        }
+        frame::encode_frame(payload, &mut st.pending)?;
+        if st.flushing {
+            return Ok(());
+        }
+        st.flushing = true;
+        let mut buf = Vec::new();
+        loop {
+            std::mem::swap(&mut buf, &mut st.pending);
+            drop(st);
+            let io = (&self.stream).write_all(&buf);
+            buf.clear();
+            st = self.state.lock();
+            if let Err(e) = io {
+                st.broken = true;
+                st.flushing = false;
+                return Err(e.into());
+            }
+            if st.pending.is_empty() {
+                // Hand the grown allocation back for the next run.
+                std::mem::swap(&mut buf, &mut st.pending);
+                st.flushing = false;
+                return Ok(());
+            }
+        }
+    }
 }
 
 /// Serves one accepted connection until EOF or a transport error.
 fn session_loop(stream: TcpStream, service: Arc<dyn Service>) {
     let _ = stream.set_nodelay(true);
-    let writer = Arc::new(Mutex::new(match stream.try_clone() {
+    let writer = Arc::new(CorkedWriter::new(match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     }));
     let push_writer = writer.clone();
     let session = SessionHandle::new(Arc::new(move |n| {
+        // Pushes are off the request hot path; a fresh encode is fine.
         if let Ok(bytes) = to_bytes(&Envelope::Push(n)) {
-            let mut w = push_writer.lock();
-            let _ = frame::write_frame(&mut *w, &bytes);
+            let _ = push_writer.send(&bytes);
         }
     }));
     let mut reader = stream;
-    while let Ok(Some(payload)) = frame::read_frame(&mut reader) {
+    let mut payload = Vec::new();
+    let mut out = Vec::new();
+    while let Ok(Some(_)) = frame::read_frame_into(&mut reader, &mut payload) {
         let env: Envelope = match from_bytes(&payload) {
             Ok(e) => e,
             Err(_) => break,
         };
         let resp = service.handle(env, &session);
-        let bytes = match to_bytes(&resp) {
-            Ok(b) => b,
-            Err(_) => break,
-        };
-        let mut w = writer.lock();
-        if frame::write_frame(&mut *w, &bytes).is_err() {
+        if to_bytes_into(&resp, &mut out).is_err() {
+            break;
+        }
+        if writer.send(&out).is_err() {
             break;
         }
     }
@@ -145,11 +284,146 @@ pub fn connect_tcp(addr: &str) -> Result<ClientConn> {
     Ok(ClientConn(Arc::new(conn)))
 }
 
-type Waiters = Arc<Mutex<HashMap<u64, Sender<Result<Envelope>>>>>;
+/// One parked call: the calling thread blocks on `cv` until the demux
+/// thread deposits the reply (or the deadline passes). Slots are pooled
+/// per shard, so a steady-state call registers a waiter without
+/// allocating.
+#[derive(Default)]
+struct WaiterSlot {
+    reply: Mutex<Option<Result<Envelope>>>,
+    cv: Condvar,
+}
+
+impl WaiterSlot {
+    fn deliver(&self, r: Result<Envelope>) {
+        *self.reply.lock() = Some(r);
+        self.cv.notify_one();
+    }
+
+    /// Waits up to `timeout` for a reply; `None` on deadline.
+    fn wait_for_reply(&self, timeout: Duration) -> Option<Result<Envelope>> {
+        let deadline = Instant::now() + timeout;
+        let mut g = self.reply.lock();
+        loop {
+            if let Some(r) = g.take() {
+                return Some(r);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            if self.cv.wait_for(&mut g, deadline - now) {
+                return g.take();
+            }
+        }
+    }
+
+    /// Waits without a deadline. Used only once the demux thread has
+    /// claimed this slot, when delivery is imminent.
+    fn wait_reply(&self) -> Result<Envelope> {
+        let mut g = self.reply.lock();
+        loop {
+            if let Some(r) = g.take() {
+                return r;
+            }
+            self.cv.wait(&mut g);
+        }
+    }
+}
+
+const WAITER_SHARDS: u64 = 8;
+const SLOT_POOL_PER_SHARD: usize = 32;
+
+struct WaiterShard {
+    live: HashMap<u64, Arc<WaiterSlot>>,
+    free: Vec<Arc<WaiterSlot>>,
+}
+
+/// Pending calls keyed by request id, sharded to keep the register /
+/// claim handoff off a single hot mutex, with a per-shard slab of free
+/// slots so completed calls donate their parking spot to the next one.
+struct WaiterTable {
+    shards: Vec<Mutex<WaiterShard>>,
+}
+
+impl WaiterTable {
+    fn new() -> Self {
+        Self {
+            shards: (0..WAITER_SHARDS)
+                .map(|_| {
+                    Mutex::new(WaiterShard {
+                        live: HashMap::new(),
+                        free: Vec::new(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    fn shard(&self, id: u64) -> &Mutex<WaiterShard> {
+        &self.shards[(id % WAITER_SHARDS) as usize]
+    }
+
+    /// Parks a new waiter for `id`, reusing a pooled slot when possible.
+    fn register(&self, id: u64) -> Arc<WaiterSlot> {
+        let mut sh = self.shard(id).lock();
+        let slot = sh
+            .free
+            .pop()
+            .unwrap_or_else(|| Arc::new(WaiterSlot::default()));
+        sh.live.insert(id, slot.clone());
+        slot
+    }
+
+    /// Demux side: claims (removes) the waiter for a reply id. `None`
+    /// means the caller already timed out and the reply is discarded.
+    fn claim(&self, id: u64) -> Option<Arc<WaiterSlot>> {
+        self.shard(id).lock().live.remove(&id)
+    }
+
+    /// Caller side: unregisters `slot` after a timeout or send failure.
+    /// Returns `false` if the demux thread claimed it concurrently (a
+    /// reply is in the middle of being delivered).
+    fn unregister(&self, id: u64, slot: &Arc<WaiterSlot>) -> bool {
+        let mut sh = self.shard(id).lock();
+        match sh.live.get(&id) {
+            Some(s) if Arc::ptr_eq(s, slot) => {
+                sh.live.remove(&id);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Returns a completed (and no longer registered) slot to its pool.
+    fn recycle(&self, id: u64, slot: Arc<WaiterSlot>) {
+        *slot.reply.lock() = None;
+        let mut sh = self.shard(id).lock();
+        if sh.free.len() < SLOT_POOL_PER_SHARD {
+            sh.free.push(slot);
+        }
+    }
+
+    /// Connection death: wakes every pending call with an error.
+    fn fail_all(&self, msg: &str) {
+        for shard in &self.shards {
+            let drained: Vec<_> = shard.lock().live.drain().collect();
+            for (_, slot) in drained {
+                slot.deliver(Err(JiffyError::Rpc(msg.into())));
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread encode scratch: steady-state calls serialize into this
+    /// buffer instead of allocating a fresh `Vec` per request.
+    static ENCODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 struct TcpConn {
-    writer: Mutex<TcpStream>,
-    waiters: Waiters,
+    writer: CorkedWriter,
+    waiters: Arc<WaiterTable>,
     push: PushSlot,
     next_id: AtomicU64,
     closed: Arc<AtomicBool>,
@@ -160,7 +434,7 @@ impl TcpConn {
     fn start(stream: TcpStream) -> Result<Self> {
         let writer = stream.try_clone()?;
         let stream_for_close = stream.try_clone()?;
-        let waiters: Waiters = Arc::new(Mutex::new(HashMap::new()));
+        let waiters = Arc::new(WaiterTable::new());
         let push = PushSlot::new();
         let closed = Arc::new(AtomicBool::new(false));
         let w2 = waiters.clone();
@@ -170,7 +444,8 @@ impl TcpConn {
         std::thread::Builder::new()
             .name("jiffy-tcp-demux".into())
             .spawn(move || {
-                while let Ok(Some(payload)) = frame::read_frame(&mut reader) {
+                let mut payload = Vec::new();
+                while let Ok(Some(_)) = frame::read_frame_into(&mut reader, &mut payload) {
                     match from_bytes::<Envelope>(&payload) {
                         Ok(Envelope::Push(n)) => p2.deliver(n),
                         Ok(env) => {
@@ -179,21 +454,21 @@ impl TcpConn {
                                 | Envelope::DataResp { id, .. } => *id,
                                 _ => continue,
                             };
-                            if let Some(tx) = w2.lock().remove(&id) {
-                                let _ = tx.send(Ok(env));
+                            if let Some(slot) = w2.claim(id) {
+                                slot.deliver(Ok(env));
                             }
                         }
                         Err(_) => break,
                     }
                 }
-                // Connection is dead: fail every pending call by dropping
-                // its sender, and refuse future calls.
+                // Connection is dead: fail every pending call and refuse
+                // future ones.
                 c2.store(true, Ordering::SeqCst);
-                w2.lock().clear();
+                w2.fail_all("connection dropped while awaiting response");
             })
             .map_err(|e| JiffyError::Rpc(format!("spawn demux thread: {e}")))?;
         Ok(Self {
-            writer: Mutex::new(writer),
+            writer: CorkedWriter::new(writer),
             waiters,
             push,
             next_id: AtomicU64::new(1),
@@ -228,28 +503,45 @@ impl Connection for TcpConn {
                 )))
             }
         };
-        let (tx, rx) = bounded(1);
-        self.waiters.lock().insert(id, tx);
-        let bytes = to_bytes(&req)?;
-        {
-            let mut w = self.writer.lock();
-            if let Err(e) = frame::write_frame(&mut *w, &bytes) {
-                self.waiters.lock().remove(&id);
-                return Err(e);
-            }
+        let slot = self.waiters.register(id);
+        if self.closed.load(Ordering::SeqCst) {
+            // The demux thread died between the check above and
+            // registration; fail fast instead of waiting out the deadline.
+            self.waiters.unregister(id, &slot);
+            return Err(JiffyError::Rpc("connection closed".into()));
         }
-        match rx.recv_timeout(CALL_TIMEOUT) {
-            Ok(resp) => resp,
-            Err(RecvTimeoutError::Timeout) => {
-                // Unregister so the demux thread discards the late reply.
-                self.waiters.lock().remove(&id);
-                Err(JiffyError::Timeout {
-                    after_ms: CALL_TIMEOUT.as_millis() as u64,
-                })
+        let sent = ENCODE_BUF.with(|b| -> Result<()> {
+            let mut buf = b.borrow_mut();
+            to_bytes_into(&req, &mut buf)?;
+            self.writer.send(&buf)
+        });
+        if let Err(e) = sent {
+            if self.waiters.unregister(id, &slot) {
+                self.waiters.recycle(id, slot);
             }
-            Err(RecvTimeoutError::Disconnected) => Err(JiffyError::Rpc(
-                "connection dropped while awaiting response".into(),
-            )),
+            return Err(e);
+        }
+        let timeout = call_timeout();
+        match slot.wait_for_reply(timeout) {
+            Some(resp) => {
+                self.waiters.recycle(id, slot);
+                resp
+            }
+            None => {
+                if self.waiters.unregister(id, &slot) {
+                    // Late replies are discarded by the demux thread.
+                    self.waiters.recycle(id, slot);
+                    Err(JiffyError::Timeout {
+                        after_ms: timeout.as_millis() as u64,
+                    })
+                } else {
+                    // The demux thread claimed the slot right as the
+                    // deadline expired; delivery is imminent.
+                    let resp = slot.wait_reply();
+                    self.waiters.recycle(id, slot);
+                    resp
+                }
+            }
         }
     }
 
@@ -260,8 +552,9 @@ impl Connection for TcpConn {
     fn close(&self) {
         if !self.closed.swap(true, Ordering::SeqCst) {
             let _ = self.stream_for_close.shutdown(std::net::Shutdown::Both);
-            // Wake all pending waiters with an error by dropping senders.
-            self.waiters.lock().clear();
+            // Wake all pending waiters promptly; the demux thread fails
+            // any stragglers when its read loop exits.
+            self.waiters.fail_all("connection closed");
         }
     }
 }
@@ -311,6 +604,19 @@ mod tests {
         }
     }
 
+    /// A service that never answers, for exercising call deadlines.
+    struct BlackHole;
+
+    impl Service for BlackHole {
+        fn handle(&self, _req: Envelope, _session: &SessionHandle) -> Envelope {
+            std::thread::sleep(Duration::from_secs(3600));
+            Envelope::DataResp {
+                id: 0,
+                resp: Err(JiffyError::Internal("unreachable".into())),
+            }
+        }
+    }
+
     #[test]
     fn tcp_round_trip_and_push() {
         let mut server = serve_tcp("127.0.0.1:0", Arc::new(Echo)).unwrap();
@@ -343,6 +649,8 @@ mod tests {
             std::thread::sleep(std::time::Duration::from_millis(5));
         }
         assert_eq!(seen.load(Ordering::SeqCst), 10);
+        assert_eq!(server.stats().accepted, 1);
+        assert_eq!(server.stats().spawn_failures, 0);
         server.shutdown();
     }
 
@@ -374,6 +682,24 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    #[test]
+    fn unanswered_call_times_out() {
+        jiffy_common::set_call_timeout(Duration::from_millis(200));
+        let server = serve_tcp("127.0.0.1:0", Arc::new(BlackHole)).unwrap();
+        let conn = connect_tcp(server.addr()).unwrap();
+        let start = Instant::now();
+        let err = conn
+            .call(Envelope::DataReq {
+                id: 0,
+                req: DataRequest::Ping,
+            })
+            .unwrap_err();
+        assert!(matches!(err, JiffyError::Timeout { .. }), "got {err:?}");
+        assert!(start.elapsed() < Duration::from_secs(5));
+        jiffy_common::set_call_timeout(jiffy_common::DEFAULT_CALL_TIMEOUT);
+        drop(server);
     }
 
     #[test]

@@ -193,6 +193,58 @@ impl MemoryServer {
         Ok(result)
     }
 
+    /// Executes a run of ops against one block under a *single* lock
+    /// acquisition (the batch fast path). Ops run in order; execution
+    /// stops at the first failure, so the returned vector is a prefix of
+    /// the request — every entry before the last is `Ok` and ops past
+    /// its length were never attempted. Stopping (rather than skipping
+    /// ahead) keeps order-sensitive structures correct: a queue must not
+    /// apply op N+1 when op N failed and will be retried.
+    ///
+    /// Notifications and threshold events are collected inside the lock
+    /// but published after it drops, like the single-op path.
+    fn execute_batch(&self, block_id: BlockId, ops: &[DsOp]) -> Result<Vec<Result<DsResult>>> {
+        let block = self.store.get(block_id)?;
+        let mut results = Vec::with_capacity(ops.len());
+        let mut notifications = Vec::new();
+        let mut last_event = None;
+        let mut executed = 0u64;
+        {
+            let mut guard = block.lock();
+            for op in ops {
+                match guard.execute(op) {
+                    Ok((result, notification, event)) => {
+                        executed += 1;
+                        if let Some(n) = notification {
+                            notifications.push(n);
+                        }
+                        if let Some(e) = event {
+                            // Threshold events are monotone within one
+                            // run; only the latest state matters.
+                            last_event = Some(e);
+                        }
+                        results.push(Ok(result));
+                    }
+                    Err(e) => {
+                        results.push(Err(e));
+                        break;
+                    }
+                }
+            }
+        }
+        self.stats.ops.fetch_add(executed, Ordering::Relaxed);
+        for n in notifications {
+            let fanned = self.subs.publish(&n);
+            self.stats
+                .notifications
+                .fetch_add(fanned as u64, Ordering::Relaxed);
+        }
+        if let Some(e) = last_event {
+            let _ = self.event_tx.send((block_id, e));
+        }
+        Ok(results)
+    }
+
     fn init_block(&self, block_id: BlockId, ds: &str, params: &[u8]) -> Result<()> {
         let partition = self
             .registry
@@ -449,6 +501,9 @@ impl MemoryServer {
                 Ok(DataResponse::Ack)
             }
             DataRequest::Ping => Ok(DataResponse::Pong),
+            DataRequest::Batch { block, ops } => {
+                Ok(DataResponse::Batch(self.execute_batch(block, &ops)?))
+            }
         }
     }
 
@@ -636,6 +691,102 @@ mod tests {
             get,
             DataResponse::OpResult(DsResult::MaybeData(Some("v".into())))
         );
+    }
+
+    #[test]
+    fn batch_executes_in_order_and_stops_at_first_error() {
+        let (fabric, ctrl_addr, servers) = cluster(1, 4);
+        let job = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::RegisterJob {
+                name: "batch".into(),
+            },
+        ) {
+            ControlResponse::JobRegistered { job } => job,
+            other => panic!("{other:?}"),
+        };
+        control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::CreatePrefix {
+                job,
+                name: "kv".into(),
+                parents: vec![],
+                ds: Some(DsType::KvStore),
+                initial_blocks: 1,
+            },
+        );
+        let view = match control(
+            &fabric,
+            &ctrl_addr,
+            ControlRequest::ResolvePrefix {
+                job,
+                name: "kv".into(),
+            },
+        ) {
+            ControlResponse::Resolved(v) => v,
+            other => panic!("{other:?}"),
+        };
+        let loc = view.partition.unwrap().blocks()[0].clone();
+        let ops_before = servers[0].stats().ops;
+        let resp = data(
+            &fabric,
+            &loc.head().addr,
+            DataRequest::Batch {
+                block: loc.id(),
+                ops: vec![
+                    DsOp::Put {
+                        key: "a".into(),
+                        value: "1".into(),
+                    },
+                    DsOp::Put {
+                        key: "b".into(),
+                        value: "2".into(),
+                    },
+                    DsOp::Get { key: "a".into() },
+                    // Wrong data structure: fails, and execution stops.
+                    DsOp::Dequeue,
+                    DsOp::Put {
+                        key: "c".into(),
+                        value: "3".into(),
+                    },
+                ],
+            },
+        )
+        .unwrap();
+        let results = match resp {
+            DataResponse::Batch(r) => r,
+            other => panic!("{other:?}"),
+        };
+        // A prefix of the request: three successes, then the failure;
+        // the Put after the failure was never attempted.
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0], Ok(DsResult::Replaced(None)));
+        assert_eq!(results[1], Ok(DsResult::Replaced(None)));
+        assert_eq!(results[2], Ok(DsResult::MaybeData(Some("1".into()))));
+        assert!(results[3].is_err(), "got {:?}", results[3]);
+        assert_eq!(servers[0].stats().ops, ops_before + 3);
+        let get_c = data(
+            &fabric,
+            &loc.head().addr,
+            DataRequest::Op {
+                block: loc.id(),
+                op: DsOp::Get { key: "c".into() },
+            },
+        )
+        .unwrap();
+        assert_eq!(get_c, DataResponse::OpResult(DsResult::MaybeData(None)));
+        // A batch against an unknown block fails as a whole.
+        assert!(data(
+            &fabric,
+            &loc.head().addr,
+            DataRequest::Batch {
+                block: BlockId(9999),
+                ops: vec![DsOp::KvCount],
+            },
+        )
+        .is_err());
     }
 
     #[test]

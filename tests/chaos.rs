@@ -23,7 +23,15 @@ fn light_chaos() -> FaultRule {
         .with_delay(0.20, Duration::ZERO, Duration::from_millis(5))
 }
 
+/// Chaos tests run against local in-process/loopback transports where
+/// 10 s of silence means "dead", not "slow" — lower the RPC call
+/// timeout so injected hangs fail fast instead of stalling the suite.
+fn lower_call_timeout() {
+    jiffy_common::set_call_timeout(Duration::from_secs(2));
+}
+
 fn smoke(seed: u64, mix: WorkloadMix) {
+    lower_call_timeout();
     let cfg = HarnessConfig {
         seed,
         ops_per_worker: 100,
@@ -52,6 +60,72 @@ fn queue_survives_light_chaos() {
 #[test]
 fn all_structures_survive_light_chaos_together() {
     smoke(0xC4A0_5004, WorkloadMix::all());
+}
+
+#[test]
+fn batched_ops_survive_chaos_with_duplicates() {
+    // The PR 4 fast path: runs of same-kind ops ride multi-op Batch
+    // RPCs. Drops force transport retries and duplicates replay whole
+    // batch envelopes — the dedup cache must treat each batch as one
+    // unit so no sub-op applies twice (the history checker would flag
+    // a double-applied enqueue or a lost acked put).
+    lower_call_timeout();
+    let cfg = HarnessConfig {
+        seed: 0xBA7C_0001,
+        ops_per_worker: 200,
+        rule: FaultRule::none()
+            .with_drop(0.03)
+            .with_delay(0.10, Duration::ZERO, Duration::from_millis(2))
+            .with_duplicate(0.05)
+            .with_error(0.03),
+        mix: WorkloadMix::all(),
+        batch: 8,
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn batched_ops_survive_elastic_kill_and_join() {
+    // Batched writes racing membership changes: a replica chain's home
+    // is killed and a fresh server joins mid-workload. Sub-batches that
+    // straddle a re-route must be retried per block without re-applying
+    // the already-acked prefix.
+    lower_call_timeout();
+    let cfg = HarnessConfig {
+        seed: 0xBA7C_0002,
+        ops_per_worker: 200,
+        rule: light_chaos().with_duplicate(0.03),
+        mix: WorkloadMix::kv_only(),
+        num_servers: 3,
+        chain_length: 2,
+        elastic: vec![
+            (60, ElasticAction::JoinServer),
+            (120, ElasticAction::KillServer),
+        ],
+        batch: 8,
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn batched_queue_fifo_survives_drain() {
+    // enqueue_batch under a live drain: segments migrate while batches
+    // land. FIFO order within and across batches is checked by the
+    // queue invariant in the history checker.
+    lower_call_timeout();
+    let cfg = HarnessConfig {
+        seed: 0xBA7C_0003,
+        ops_per_worker: 150,
+        rule: light_chaos().with_duplicate(0.03),
+        mix: WorkloadMix::queue_only(),
+        num_servers: 3,
+        elastic: vec![(50, ElasticAction::DrainServer)],
+        batch: 6,
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
 }
 
 #[test]

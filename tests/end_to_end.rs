@@ -133,6 +133,152 @@ fn tcp_cluster_runs_the_same_workload() {
 }
 
 #[test]
+fn multi_put_and_multi_get_round_trip_across_splits() {
+    // Batched KV ops against a store that splits under the load: the
+    // client must regroup sub-batches per block as the layout changes,
+    // splice results back in input order, and report previous values
+    // exactly as the single-op path would.
+    let cluster = JiffyCluster::in_process(small_blocks(), 2, 64).unwrap();
+    let job = cluster
+        .client()
+        .unwrap()
+        .register_job("kv-batched")
+        .unwrap();
+    let kv = job.open_kv("state", &[], 1).unwrap();
+
+    let n = 600;
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+        .map(|i| {
+            (
+                format!("key-{i}").into_bytes(),
+                format!("value-{}", "y".repeat(250 + i % 7)).into_bytes(),
+            )
+        })
+        .collect();
+    let prevs = kv.multi_put(&pairs).unwrap();
+    assert_eq!(prevs.len(), n);
+    assert!(prevs.iter().all(Option::is_none), "keys were fresh");
+    assert!(
+        cluster.controller().stats().splits >= 1,
+        "workload must exercise splits mid-batch"
+    );
+
+    // Overwrites report the replaced values, in input order.
+    let overwrite: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+        .map(|i| (format!("key-{i}").into_bytes(), b"fresh".to_vec()))
+        .collect();
+    let prevs = kv.multi_put(&overwrite).unwrap();
+    for (i, prev) in prevs.iter().enumerate() {
+        assert_eq!(
+            prev.as_ref().map(Vec::len),
+            Some(6 + 250 + i % 7),
+            "key-{i}"
+        );
+    }
+
+    // Batched reads see the overwrites; missing keys come back None.
+    let mut keys: Vec<Vec<u8>> = (0..n).map(|i| format!("key-{i}").into_bytes()).collect();
+    keys.push(b"no-such-key".to_vec());
+    let values = kv.multi_get(&keys).unwrap();
+    assert_eq!(values.len(), n + 1);
+    assert!(values[..n]
+        .iter()
+        .all(|v| v.as_deref() == Some(&b"fresh"[..])));
+    assert_eq!(values[n], None);
+}
+
+#[test]
+fn enqueue_batch_preserves_fifo_across_segments() {
+    let cluster = JiffyCluster::in_process(small_blocks(), 2, 32).unwrap();
+    let job = cluster.client().unwrap().register_job("q-batched").unwrap();
+    let q = job.open_queue("channel", &[]).unwrap();
+
+    // Batches big enough that several land mid-segment-link.
+    let n = 1000usize;
+    let items: Vec<Vec<u8>> = (0..n)
+        .map(|i| format!("{i:06}-{}", "x".repeat(100)).into_bytes())
+        .collect();
+    for chunk in items.chunks(25) {
+        q.enqueue_batch(chunk).unwrap();
+    }
+    assert_eq!(q.len().unwrap(), n as u64);
+    for i in 0..n {
+        let item = q.dequeue().unwrap().expect("item present");
+        assert_eq!(&item[..6], format!("{i:06}").as_bytes(), "FIFO violated");
+    }
+    assert_eq!(q.dequeue().unwrap(), None);
+    assert!(cluster.controller().stats().splits >= 1);
+}
+
+#[test]
+fn write_vectored_assembles_contiguous_files() {
+    let cluster = JiffyCluster::in_process(small_blocks(), 2, 32).unwrap();
+    let job = cluster
+        .client()
+        .unwrap()
+        .register_job("file-batched")
+        .unwrap();
+    let file = job.open_file("out", &[]).unwrap();
+
+    // Gathered buffers spanning several 16 KB chunks in one call.
+    let bufs: Vec<Vec<u8>> = (0..5u8).map(|i| vec![b'a' + i; 10 * 1024]).collect();
+    let refs: Vec<&[u8]> = bufs.iter().map(Vec::as_slice).collect();
+    file.write_vectored(0, &refs).unwrap();
+
+    let expected: Vec<u8> = bufs.concat();
+    assert_eq!(file.size().unwrap() as usize, expected.len());
+    assert_eq!(file.read_all().unwrap(), expected);
+
+    // A second gathered write overlapping the tail extends the file.
+    let tail = expected.len() as u64 - 1024;
+    file.write_vectored(tail, &[&[b'z'; 2048]]).unwrap();
+    let contents = file.read_all().unwrap();
+    assert_eq!(contents.len(), expected.len() + 1024);
+    assert!(contents[tail as usize..].iter().all(|&b| b == b'z'));
+}
+
+#[test]
+fn batched_ops_work_over_tcp() {
+    // The corked writer + waiter table under real sockets: batched calls
+    // from several threads multiplex over the pooled connections.
+    let cluster = JiffyCluster::over_tcp(small_blocks(), 2, 16).unwrap();
+    let job = cluster
+        .client()
+        .unwrap()
+        .register_job("tcp-batched")
+        .unwrap();
+    let kv = jiffy_sync::Arc::new(job.open_kv("state", &[], 1).unwrap());
+
+    let mut threads = Vec::new();
+    for t in 0..4 {
+        let kv = kv.clone();
+        threads.push(std::thread::spawn(move || {
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..100)
+                .map(|i| {
+                    (
+                        format!("t{t}-k{i}").into_bytes(),
+                        format!("t{t}-v{i}").into_bytes(),
+                    )
+                })
+                .collect();
+            kv.multi_put(&pairs).unwrap();
+        }));
+    }
+    for th in threads {
+        th.join().unwrap();
+    }
+    for t in 0..4 {
+        let keys: Vec<Vec<u8>> = (0..100)
+            .map(|i| format!("t{t}-k{i}").into_bytes())
+            .collect();
+        let values = kv.multi_get(&keys).unwrap();
+        for (i, v) in values.into_iter().enumerate() {
+            assert_eq!(v, Some(format!("t{t}-v{i}").into_bytes()));
+        }
+    }
+}
+
+#[test]
 fn flush_and_load_round_trip_preserves_kv_contents() {
     let cluster = JiffyCluster::in_process(small_blocks(), 1, 16).unwrap();
     let job = cluster.client().unwrap().register_job("ckpt").unwrap();

@@ -6,8 +6,23 @@
 //! the `criterion_group!` / `criterion_main!` macros. Each benchmark is
 //! timed over a bounded number of iterations and the mean per-iteration
 //! wall-clock time is printed — no warm-up, statistics, or reports.
+//!
+//! Setting `JIFFY_BENCH_QUICK` (to anything but `0`) clamps every
+//! benchmark to a fixed low sample count and short measurement window,
+//! turning the whole suite into a compile-and-run smoke gate
+//! (`cargo xtask bench-smoke`). Numbers from quick mode are not
+//! comparable across runs — it exists to prove the benches still run.
 
 use std::time::{Duration, Instant};
+
+/// Fixed sample count in quick mode.
+const QUICK_SAMPLES: usize = 2;
+/// Per-benchmark measurement budget in quick mode.
+const QUICK_MEASUREMENT: Duration = Duration::from_millis(50);
+
+fn quick_mode() -> bool {
+    std::env::var("JIFFY_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
 
 pub use std::hint::black_box;
 
@@ -98,6 +113,11 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    let (sample_size, measurement_time) = if quick_mode() {
+        (QUICK_SAMPLES, QUICK_MEASUREMENT)
+    } else {
+        (sample_size, measurement_time)
+    };
     // Calibrate: run one iteration to size the batch so the whole
     // benchmark stays within roughly `measurement_time`.
     let mut b = Bencher {

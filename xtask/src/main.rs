@@ -4,9 +4,13 @@
 //!   lint [ROOT]   run the repo-invariant static checks (default command;
 //!                 ROOT defaults to the workspace root via
 //!                 CARGO_MANIFEST_DIR). Exits 1 if any rule fires.
+//!   bench-smoke   run every criterion bench in quick mode
+//!                 (JIFFY_BENCH_QUICK=1: fixed low sample count) plus the
+//!                 dataplane throughput bin — a compile-and-run gate, not
+//!                 a measurement. Exits 1 if any bench fails to run.
 
 use std::path::PathBuf;
-use std::process::ExitCode;
+use std::process::{Command, ExitCode};
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
@@ -32,9 +36,49 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
         }
+        "bench-smoke" => bench_smoke(),
         other => {
-            eprintln!("unknown xtask command `{other}` (expected: lint)");
+            eprintln!("unknown xtask command `{other}` (expected: lint, bench-smoke)");
             ExitCode::FAILURE
         }
     }
+}
+
+/// Runs the criterion suite and the dataplane throughput bin in quick
+/// mode. Proves the benches compile and complete; discards the numbers.
+fn bench_smoke() -> ExitCode {
+    let steps: [(&str, &[&str]); 2] = [
+        ("criterion benches", &["bench", "-p", "jiffy-bench"]),
+        (
+            "dataplane throughput bin",
+            &[
+                "run",
+                "--release",
+                "-p",
+                "jiffy-bench",
+                "--bin",
+                "dataplane_throughput",
+            ],
+        ),
+    ];
+    for (what, cargo_args) in steps {
+        eprintln!("xtask bench-smoke: running {what}");
+        let status = Command::new(env!("CARGO"))
+            .args(cargo_args)
+            .env("JIFFY_BENCH_QUICK", "1")
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("xtask bench-smoke: {what} failed with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("xtask bench-smoke: failed to spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    eprintln!("xtask bench-smoke: ok");
+    ExitCode::SUCCESS
 }
