@@ -85,12 +85,15 @@ impl JiffyClient {
                     ))),
                 }
             },
-            |e| {
-                // Re-dial only on broken connections; timeouts keep the
-                // session (and its server-side replay cache) alive.
-                if matches!(e, JiffyError::Rpc(_)) {
-                    self.fabric.evict(&self.controller_addr);
-                }
+            |_e| {
+                // Re-dial on every transport-level fault (broken
+                // connection, timeout, unavailable): a controller restart
+                // leaves the pooled connection pointing at a dead
+                // endpoint, and only a fresh dial reaches the recovered
+                // controller. The request id is reused across attempts, so
+                // the replay cache still suppresses duplicate execution
+                // when the old controller actually processed the call.
+                self.fabric.evict(&self.controller_addr);
             },
         )
     }

@@ -82,6 +82,10 @@ pub struct JiffyConfig {
     /// above this (and the pool is above its minimum size), the
     /// autoscaler drains the emptiest server and releases it.
     pub scale_down_free_fraction: f64,
+    /// The controller writes a metadata snapshot (and truncates the
+    /// journal) after this many journal records. 0 disables snapshots:
+    /// recovery then replays the whole journal.
+    pub meta_snapshot_every: u64,
 }
 
 impl Default for JiffyConfig {
@@ -99,6 +103,7 @@ impl Default for JiffyConfig {
             elasticity_interval: Duration::from_secs(1),
             scale_up_free_fraction: 0.1,
             scale_down_free_fraction: 0.6,
+            meta_snapshot_every: 256,
         }
     }
 }
@@ -114,8 +119,16 @@ impl JiffyConfig {
             heartbeat_interval: Duration::from_millis(20),
             heartbeat_timeout: Duration::from_millis(100),
             elasticity_interval: Duration::from_millis(20),
+            meta_snapshot_every: 32,
             ..Self::default()
         }
+    }
+
+    /// Builder-style override of the journal-records-per-snapshot
+    /// threshold (0 disables snapshots).
+    pub fn with_meta_snapshot_every(mut self, records: u64) -> Self {
+        self.meta_snapshot_every = records;
+        self
     }
 
     /// Builder-style override of the heartbeat interval and the failure

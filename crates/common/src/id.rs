@@ -93,6 +93,18 @@ impl IdGen {
     pub fn next_id<T: From<u64>>(&self) -> T {
         T::from(self.next_raw())
     }
+
+    /// The value the next call to [`next_raw`](Self::next_raw) would
+    /// issue. Used to checkpoint a generator into a snapshot.
+    pub fn current(&self) -> u64 {
+        self.next.load(Ordering::Relaxed)
+    }
+
+    /// Advances the generator so it never issues a value below `floor`.
+    /// No-op if the generator is already past it.
+    pub fn bump_to(&self, floor: u64) {
+        self.next.fetch_max(floor, Ordering::Relaxed);
+    }
 }
 
 #[cfg(test)]

@@ -12,7 +12,8 @@ use jiffy_elastic::{
 use jiffy_persistent::ObjectStore;
 use jiffy_proto::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
-    DataRequest, DataResponse, DsType, Envelope, MergeSpec, PrefixView, Replica, SplitSpec,
+    DataRequest, DataResponse, DsType, Envelope, JournalOp, MergeSpec, PrefixView, Replica,
+    SplitSpec,
 };
 use jiffy_rpc::{Fabric, Service, SessionHandle};
 use jiffy_sync::Mutex;
@@ -20,6 +21,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::freelist::FreeList;
 use crate::hierarchy::AddressHierarchy;
+use crate::journal::{self, Journal, StateMirror};
 use crate::meta::{DsMeta, DsSkeleton};
 
 /// Controller-side view of the data plane, so the same control logic
@@ -319,32 +321,56 @@ struct FlushRecord {
 }
 
 #[derive(Debug)]
-struct JobEntry {
-    #[allow(dead_code)] // Observability: surfaced in debug dumps.
-    name: String,
-    hierarchy: AddressHierarchy,
+pub(crate) struct JobEntry {
+    pub(crate) name: String,
+    pub(crate) hierarchy: AddressHierarchy,
 }
 
-#[derive(Default)]
-struct Counters {
-    ops_served: u64,
-    leases_expired: u64,
-    splits: u64,
-    merges: u64,
-    servers_failed: u64,
-    blocks_migrated: u64,
-    scale_ups: u64,
-    scale_downs: u64,
+/// Monotonic stats counters. Serializable so snapshots and
+/// `StateRewritten` journal records carry them across a controller
+/// restart (DESIGN.md §11).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Counters {
+    /// Control requests dispatched.
+    pub ops_served: u64,
+    /// Lease expirations (flush + reclaim cycles).
+    pub leases_expired: u64,
+    /// Committed block splits.
+    pub splits: u64,
+    /// Committed block merges.
+    pub merges: u64,
+    /// Servers declared dead by the failure detector.
+    pub servers_failed: u64,
+    /// Chain replicas migrated off draining servers.
+    pub blocks_migrated: u64,
+    /// Autoscaler scale-up actions.
+    pub scale_ups: u64,
+    /// Autoscaler scale-down actions.
+    pub scale_downs: u64,
 }
 
-struct CtrlState {
-    jobs: HashMap<JobId, JobEntry>,
-    freelist: FreeList,
+/// What [`Controller::handle_underload`] hands back to the dispatch
+/// arm: the surviving block to notify of the merge, the merge spec for
+/// the data plane, the journal ops to append, and the drained source
+/// block whose reset must wait until the append is durable.
+type UnderloadOutcome = (
+    Option<BlockLocation>,
+    Option<MergeSpec>,
+    Vec<JournalOp>,
+    Option<BlockLocation>,
+);
+
+pub(crate) struct CtrlState {
+    pub(crate) jobs: HashMap<JobId, JobEntry>,
+    pub(crate) freelist: FreeList,
     /// Reverse map: logical block → (job, node) for overload routing.
-    block_owner: HashMap<BlockId, (JobId, String)>,
-    counters: Counters,
+    pub(crate) block_owner: HashMap<BlockId, (JobId, String)>,
+    pub(crate) counters: Counters,
     /// Heartbeat bookkeeping for the failure detector.
-    detector: FailureDetector,
+    pub(crate) detector: FailureDetector,
+    /// Write-ahead metadata journal; appends happen under this same
+    /// state lock, after the mutation and before the ack.
+    pub(crate) journal: Journal,
 }
 
 /// Autoscaler wiring: the policy plus the provider that actually
@@ -382,6 +408,9 @@ impl Controller {
         persistent: Arc<dyn ObjectStore>,
     ) -> Result<Arc<Self>> {
         cfg.validate()?;
+        // A brand-new controller is a brand-new cluster: wipe any stale
+        // journal left by a previous incarnation.
+        let journal = Journal::fresh(persistent.clone(), cfg.meta_snapshot_every);
         Ok(Arc::new(Self {
             cfg,
             clock,
@@ -391,6 +420,7 @@ impl Controller {
                 block_owner: HashMap::new(),
                 counters: Counters::default(),
                 detector: FailureDetector::new(),
+                journal,
             }),
             dataplane,
             persistent,
@@ -399,9 +429,169 @@ impl Controller {
         }))
     }
 
+    /// Rebuilds a controller from the metadata journal and snapshots a
+    /// previous incarnation left in `persistent` (DESIGN.md §11).
+    ///
+    /// The journal is authoritative for metadata: jobs, hierarchies,
+    /// leases, the freelist/membership table, shard routing and block
+    /// placement all come from snapshot + replay. Liveness does not:
+    /// every lease is re-armed to the recovery instant (a restart must
+    /// never expire data it could not watch), and the failure detector
+    /// is seeded at the recovery instant for every non-dead member, so
+    /// heartbeats re-establish liveness organically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JiffyConfig::validate`] failures, object-store
+    /// read failures, and journal decode/replay failures.
+    pub fn recover(
+        cfg: JiffyConfig,
+        clock: SharedClock,
+        dataplane: Arc<dyn DataPlane>,
+        persistent: Arc<dyn ObjectStore>,
+    ) -> Result<Arc<Self>> {
+        cfg.validate()?;
+        let rec = journal::recover_from(persistent.as_ref())?;
+        let now = clock.now();
+        let mut jobs = rec.jobs;
+        for entry in jobs.values_mut() {
+            for name in entry.hierarchy.names() {
+                if let Some(node) = entry.hierarchy.get_mut(&name) {
+                    node.last_renewal = now;
+                }
+            }
+        }
+        let mut detector = FailureDetector::new();
+        for load in rec.freelist.server_loads() {
+            if load.state != ServerState::Dead {
+                detector.record(load.server, now);
+            }
+        }
+        let journal = Journal::resuming(persistent.clone(), cfg.meta_snapshot_every, rec.next_seq);
+        Ok(Arc::new(Self {
+            cfg,
+            clock,
+            state: Mutex::new(CtrlState {
+                jobs,
+                freelist: rec.freelist,
+                block_owner: rec.block_owner,
+                counters: rec.counters,
+                detector,
+                journal,
+            }),
+            dataplane,
+            persistent,
+            job_ids: IdGen::starting_at(rec.next_job_id),
+            elastic: Mutex::new(ElasticHooks::default()),
+        }))
+    }
+
     /// The configuration this controller runs with.
     pub fn config(&self) -> &JiffyConfig {
         &self.cfg
+    }
+
+    /// Appends `ops` to the write-ahead journal as one atomic batch,
+    /// then snapshots/truncates if the record budget is used up. Called
+    /// under the state lock, after the in-memory mutation and before
+    /// the ack; an empty batch is a no-op (the operation turned out not
+    /// to mutate anything).
+    fn journal_append(&self, st: &mut CtrlState, ops: Vec<JournalOp>) -> Result<()> {
+        if ops.is_empty() {
+            return Ok(());
+        }
+        st.journal.append(ops)?;
+        if st.journal.snapshot_due() {
+            let mirror = journal::mirror_of(st, self.job_ids.current());
+            st.journal.write_snapshot(&mirror)?;
+        }
+        Ok(())
+    }
+
+    /// A `StateRewritten` journal record capturing the full current
+    /// state; used by multi-step transitions (drains, failure handling)
+    /// whose outcomes are impractical to log record-by-record.
+    fn rewrite_op(&self, st: &CtrlState) -> Result<JournalOp> {
+        let mirror = journal::mirror_of(st, self.job_ids.current());
+        Ok(JournalOp::StateRewritten {
+            mirror: jiffy_proto::to_bytes(&mirror)?,
+        })
+    }
+
+    /// A deterministic serialization of the controller's entire
+    /// metadata state (tests compare live vs. recovered controllers).
+    pub fn state_mirror(&self) -> StateMirror {
+        let st = self.state.lock();
+        journal::mirror_of(&st, self.job_ids.current())
+    }
+
+    /// Forces a snapshot + journal truncation right now, regardless of
+    /// the `meta_snapshot_every` budget.
+    ///
+    /// # Errors
+    ///
+    /// Object-store write failures.
+    pub fn snapshot_now(&self) -> Result<()> {
+        let mut st = self.state.lock();
+        let mirror = journal::mirror_of(&st, self.job_ids.current());
+        st.journal.write_snapshot(&mirror)
+    }
+
+    /// Cross-table consistency checks, returning one human-readable
+    /// string per violation (empty = consistent). Used by the
+    /// crash-point sweep tests after every recovery.
+    pub fn check_invariants(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut out = Vec::new();
+        let mut seen_heads: HashSet<BlockId> = HashSet::new();
+        for (job, entry) in &st.jobs {
+            for name in entry.hierarchy.names() {
+                let Some(node) = entry.hierarchy.get(&name) else {
+                    continue;
+                };
+                // Parent/child edges must be bidirectional.
+                for parent in &node.parents {
+                    match entry.hierarchy.get(parent) {
+                        Some(p) if p.children.contains(&node.name) => {}
+                        Some(_) => out.push(format!("{name}: parent {parent} lacks the back-edge")),
+                        None => out.push(format!("{name}: dangling parent {parent}")),
+                    }
+                }
+                let Some(meta) = &node.ds else { continue };
+                for loc in meta.locations() {
+                    seen_heads.insert(loc.id());
+                    match st.block_owner.get(&loc.id()) {
+                        Some((j, n)) if *j == *job && *n == name => {}
+                        Some((j, n)) => out.push(format!(
+                            "block {} of {name} owned by ({}, {n}) instead",
+                            loc.id().raw(),
+                            j.raw()
+                        )),
+                        None => out.push(format!(
+                            "block {} of {name} missing from block_owner",
+                            loc.id().raw()
+                        )),
+                    }
+                    for replica in &loc.chain {
+                        if st.freelist.is_free(replica.block) {
+                            out.push(format!(
+                                "replica block {} of {name} is on the freelist",
+                                replica.block.raw()
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for block in st.block_owner.keys() {
+            if !seen_heads.contains(block) {
+                out.push(format!(
+                    "block_owner entry {} points at no live prefix block",
+                    block.raw()
+                ));
+            }
+        }
+        out
     }
 
     /// Handles one control request (also reachable through the
@@ -416,10 +606,11 @@ impl Controller {
                 st.jobs.insert(
                     job,
                     JobEntry {
-                        name,
+                        name: name.clone(),
                         hierarchy: AddressHierarchy::new(),
                     },
                 );
+                self.journal_append(&mut st, vec![JournalOp::JobRegistered { job, name }])?;
                 Ok(ControlResponse::JobRegistered { job })
             }
             ControlRequest::DeregisterJob { job } => {
@@ -427,18 +618,26 @@ impl Controller {
                     .jobs
                     .remove(&job)
                     .ok_or(JiffyError::UnknownJob(job.raw()))?;
+                let mut locs = Vec::new();
                 for name in entry.hierarchy.names() {
                     if let Some(node) = entry.hierarchy.get(&name) {
                         if let Some(meta) = &node.ds {
                             for loc in meta.locations() {
-                                let _ = self.dataplane.reset_block(&loc);
                                 for replica in &loc.chain {
                                     st.block_owner.remove(&replica.block);
                                     let _ = st.freelist.release(replica.block);
                                 }
+                                locs.push(loc);
                             }
                         }
                     }
+                }
+                // Journal before the destructive data-plane resets: a
+                // crash in between only leaves stale block contents,
+                // which re-initialization clears on reallocation.
+                self.journal_append(&mut st, vec![JournalOp::JobDeregistered { job }])?;
+                for loc in &locs {
+                    let _ = self.dataplane.reset_block(loc);
                 }
                 Ok(ControlResponse::Ack)
             }
@@ -449,7 +648,8 @@ impl Controller {
                 ds,
                 initial_blocks,
             } => {
-                self.create_prefix(&mut st, job, &name, &parents, ds, initial_blocks)?;
+                let ops = self.create_prefix(&mut st, job, &name, &parents, ds, initial_blocks)?;
+                self.journal_append(&mut st, ops)?;
                 Ok(ControlResponse::PrefixCreated { name })
             }
             ControlRequest::AddParent { job, name, parent } => {
@@ -458,9 +658,11 @@ impl Controller {
                     .get_mut(&job)
                     .ok_or(JiffyError::UnknownJob(job.raw()))?;
                 entry.hierarchy.add_parent(&name, &parent)?;
+                self.journal_append(&mut st, vec![JournalOp::ParentAdded { job, name, parent }])?;
                 Ok(ControlResponse::Ack)
             }
             ControlRequest::CreateHierarchy { job, nodes } => {
+                let mut ops = Vec::new();
                 for spec in &nodes {
                     let DagNodeSpec {
                         name,
@@ -468,17 +670,29 @@ impl Controller {
                         ds,
                         initial_blocks,
                     } = spec;
-                    self.create_prefix(&mut st, job, name, parents, *ds, *initial_blocks)?;
+                    ops.extend(self.create_prefix(
+                        &mut st,
+                        job,
+                        name,
+                        parents,
+                        *ds,
+                        *initial_blocks,
+                    )?);
                 }
+                self.journal_append(&mut st, ops)?;
                 Ok(ControlResponse::Ack)
             }
             ControlRequest::RemovePrefix { job, name } => {
-                self.reclaim_prefix(&mut st, job, &name, false, None)?;
+                let locs = self.reclaim_prefix(&mut st, job, &name, false, None)?;
                 let entry = st
                     .jobs
                     .get_mut(&job)
                     .ok_or(JiffyError::UnknownJob(job.raw()))?;
                 entry.hierarchy.remove_node(&name)?;
+                self.journal_append(&mut st, vec![JournalOp::PrefixRemoved { job, name }])?;
+                for loc in &locs {
+                    let _ = self.dataplane.reset_block(loc);
+                }
                 Ok(ControlResponse::Ack)
             }
             ControlRequest::ResolvePrefix { job, name } => {
@@ -501,6 +715,14 @@ impl Controller {
                     .get_mut(&job)
                     .ok_or(JiffyError::UnknownJob(job.raw()))?;
                 let renewed = entry.hierarchy.renew(&name, now)?;
+                self.journal_append(
+                    &mut st,
+                    vec![JournalOp::LeaseRenewed {
+                        job,
+                        name,
+                        now_micros: u64::try_from(now.as_micros()).unwrap_or(u64::MAX),
+                    }],
+                )?;
                 Ok(ControlResponse::LeaseRenewed {
                     renewed,
                     lease_duration_micros: self.cfg.lease_duration.as_micros() as u64,
@@ -518,7 +740,9 @@ impl Controller {
                 name,
                 external_path,
             } => {
-                let bytes = self.flush_prefix(&mut st, job, &name, &external_path, false)?;
+                let (bytes, ops) =
+                    self.flush_prefix(&mut st, job, &name, &external_path, false, false)?;
+                self.journal_append(&mut st, ops)?;
                 Ok(ControlResponse::Persisted { bytes })
             }
             ControlRequest::LoadPrefix {
@@ -526,21 +750,36 @@ impl Controller {
                 name,
                 external_path,
             } => {
-                let bytes = self.load_prefix(&mut st, job, &name, &external_path)?;
+                let (bytes, ops) = self.load_prefix(&mut st, job, &name, &external_path)?;
+                self.journal_append(&mut st, ops)?;
                 Ok(ControlResponse::Persisted { bytes })
             }
             ControlRequest::JoinServer {
                 addr,
                 capacity_blocks,
             } => {
-                let (server, blocks) = st.freelist.register_server(addr, capacity_blocks);
-                st.detector.record(server, self.clock.now());
+                let now = self.clock.now();
+                let (server, blocks) = st.freelist.register_server(addr.clone(), capacity_blocks);
+                st.detector.record(server, now);
+                self.journal_append(
+                    &mut st,
+                    vec![JournalOp::ServerJoined {
+                        server,
+                        addr,
+                        blocks: blocks.clone(),
+                        now_micros: u64::try_from(now.as_micros()).unwrap_or(u64::MAX),
+                    }],
+                )?;
                 Ok(ControlResponse::ServerJoined { server, blocks })
             }
             ControlRequest::LeaveServer { server } => {
                 let blocks_migrated = self.drain_server_locked(&mut st, server)?;
                 st.freelist.deregister_server(server)?;
                 st.detector.forget(server);
+                // Drained state is a multi-step outcome; checkpoint it
+                // wholesale rather than record-by-record.
+                let op = self.rewrite_op(&st)?;
+                self.journal_append(&mut st, vec![op])?;
                 Ok(ControlResponse::Drained {
                     server,
                     blocks_migrated,
@@ -559,11 +798,20 @@ impl Controller {
             }
             ControlRequest::ListServers => Ok(ControlResponse::Servers(st.freelist.server_infos())),
             ControlRequest::ReportOverload { block, .. } => {
-                let (target, spec) = self.handle_overload(&mut st, block)?;
+                let (target, spec, ops) = self.handle_overload(&mut st, block)?;
+                self.journal_append(&mut st, ops)?;
                 Ok(ControlResponse::SplitTarget { target, spec })
             }
             ControlRequest::ReportUnderload { block, .. } => {
-                let (target, spec) = self.handle_underload(&mut st, block)?;
+                let (target, spec, ops, reclaim) = self.handle_underload(&mut st, block)?;
+                // Journal the merge before the data-plane reset of the
+                // source: once the record is durable, replay routes the
+                // merged keyspace to the target, so clearing the
+                // source's stale copy can never orphan acked data.
+                self.journal_append(&mut st, ops)?;
+                if let Some(source) = &reclaim {
+                    let _ = self.dataplane.reset_block(source);
+                }
                 Ok(ControlResponse::MergeTarget { target, spec })
             }
             ControlRequest::CommitRepartition { .. } => {
@@ -587,7 +835,7 @@ impl Controller {
         parents: &[String],
         ds: Option<DsType>,
         initial_blocks: u32,
-    ) -> Result<()> {
+    ) -> Result<Vec<JournalOp>> {
         let now = self.clock.now();
         let entry = st
             .jobs
@@ -618,7 +866,9 @@ impl Controller {
                 st.block_owner.insert(loc.id(), (job, name.to_string()));
                 locs.push(loc);
             }
+            let recorded_locs = locs.clone();
             meta.install_initial(locs);
+            let skeleton = jiffy_proto::to_bytes(&meta.skeleton())?;
             #[allow(clippy::expect_used)] // invariant documented in the message
             let entry = st
                 .jobs
@@ -630,13 +880,32 @@ impl Controller {
                 .get_mut(name)
                 .expect("invariant: node inserted above under the same state lock");
             node.ds = Some(meta);
+            return Ok(vec![JournalOp::PrefixCreated {
+                job,
+                name: name.to_string(),
+                parents: parents.to_vec(),
+                locs: recorded_locs,
+                skeleton: Some(skeleton),
+                now_micros: u64::try_from(now.as_micros()).unwrap_or(u64::MAX),
+            }]);
         }
-        Ok(())
+        Ok(vec![JournalOp::PrefixCreated {
+            job,
+            name: name.to_string(),
+            parents: parents.to_vec(),
+            locs: Vec::new(),
+            skeleton: None,
+            now_micros: u64::try_from(now.as_micros()).unwrap_or(u64::MAX),
+        }])
     }
 
     /// Flushes a prefix's blocks to the persistent tier, returning bytes
-    /// written. With `reclaim`, also resets and frees the blocks
-    /// (lease-expiry path).
+    /// written plus the journal ops for the caller to append. With
+    /// `reclaim` (lease-expiry path), also frees the blocks — in that
+    /// case the journal record is appended *here*, after the flush
+    /// object is durable and before the data-plane resets, so a crash
+    /// anywhere in between never loses the only copy; the returned op
+    /// list is then empty.
     fn flush_prefix(
         &self,
         st: &mut CtrlState,
@@ -644,14 +913,15 @@ impl Controller {
         name: &str,
         external_path: &str,
         reclaim: bool,
-    ) -> Result<u64> {
+        expired: bool,
+    ) -> Result<(u64, Vec<JournalOp>)> {
         let entry = st
             .jobs
             .get_mut(&job)
             .ok_or(JiffyError::UnknownJob(job.raw()))?;
         let node = entry.hierarchy.resolve_mut(name)?;
         let Some(meta) = &node.ds else {
-            return Ok(0);
+            return Ok((0, Vec::new()));
         };
         let ds = meta.ds_type();
         let skeleton = meta.skeleton();
@@ -679,28 +949,49 @@ impl Controller {
             .resolve_mut(name)
             .expect("invariant: prefix resolved above under the same state lock");
         node.flushed_to = Some(external_path.to_string());
-        if reclaim {
-            node.ds = None;
-            node.version += 1;
-            for loc in &locations {
-                let _ = self.dataplane.reset_block(loc);
-                for r in &loc.chain {
-                    st.block_owner.remove(&r.block);
-                    let _ = st.freelist.release(r.block);
-                }
+        let op = JournalOp::PrefixFlushed {
+            job,
+            name: name.to_string(),
+            path: external_path.to_string(),
+            reclaimed: reclaim,
+            expired,
+        };
+        if !reclaim {
+            return Ok((bytes, vec![op]));
+        }
+        node.ds = None;
+        node.version += 1;
+        for loc in &locations {
+            for r in &loc.chain {
+                st.block_owner.remove(&r.block);
+                let _ = st.freelist.release(r.block);
             }
         }
-        Ok(bytes)
+        if expired {
+            st.counters.leases_expired += 1;
+        }
+        // The flush object is durable and the metadata reflects the
+        // reclaim; journal now, then clear the blocks. A crash before
+        // the append replays to the pre-reclaim state, whose blocks
+        // still hold the data; a crash after it only leaves stale block
+        // contents for re-initialization to clear.
+        self.journal_append(st, vec![op])?;
+        for loc in &locations {
+            let _ = self.dataplane.reset_block(loc);
+        }
+        Ok((bytes, Vec::new()))
     }
 
-    /// Loads a previously flushed prefix back into fresh blocks.
+    /// Loads a previously flushed prefix back into fresh blocks,
+    /// returning bytes read plus the journal ops for the caller to
+    /// append.
     fn load_prefix(
         &self,
         st: &mut CtrlState,
         job: JobId,
         name: &str,
         external_path: &str,
-    ) -> Result<u64> {
+    ) -> Result<(u64, Vec<JournalOp>)> {
         let record_bytes = self.persistent.get(external_path)?;
         let record: FlushRecord = jiffy_proto::from_bytes(&record_bytes)?;
         {
@@ -749,11 +1040,23 @@ impl Controller {
         node.ds = Some(meta);
         node.version += 1;
         node.flushed_to = Some(external_path.to_string());
-        Ok(bytes)
+        // The record captures the skeleton as loaded: the flush object
+        // may be overwritten later, so replay must not re-read it.
+        let op = JournalOp::PrefixLoaded {
+            job,
+            name: name.to_string(),
+            path: external_path.to_string(),
+            locs,
+            skeleton: jiffy_proto::to_bytes(&record.skeleton)?,
+        };
+        Ok((bytes, vec![op]))
     }
 
     /// Reclaims a prefix's blocks (optionally flushing first). Used by
-    /// `RemovePrefix` and lease expiry.
+    /// `RemovePrefix` and lease expiry. Returns the reclaimed locations
+    /// whose data-plane resets the caller must issue *after* journaling
+    /// the removal (the flush-first path journals internally and
+    /// returns an empty list).
     fn reclaim_prefix(
         &self,
         st: &mut CtrlState,
@@ -761,41 +1064,40 @@ impl Controller {
         name: &str,
         flush_first: bool,
         flush_path: Option<String>,
-    ) -> Result<()> {
+    ) -> Result<Vec<BlockLocation>> {
         if flush_first {
             let path =
                 flush_path.unwrap_or_else(|| format!("jiffy-expired/{}/{}", job.raw(), name));
-            self.flush_prefix(st, job, name, &path, true)?;
-            st.counters.leases_expired += 1;
-            return Ok(());
+            self.flush_prefix(st, job, name, &path, true, true)?;
+            return Ok(Vec::new());
         }
         let entry = st
             .jobs
             .get_mut(&job)
             .ok_or(JiffyError::UnknownJob(job.raw()))?;
         let Ok(node) = entry.hierarchy.resolve_mut(name) else {
-            return Ok(());
+            return Ok(Vec::new());
         };
         let locations = node.ds.as_ref().map(DsMeta::locations).unwrap_or_default();
         node.ds = None;
         node.version += 1;
         for loc in &locations {
-            let _ = self.dataplane.reset_block(loc);
             for r in &loc.chain {
                 st.block_owner.remove(&r.block);
                 let _ = st.freelist.release(r.block);
             }
         }
-        Ok(())
+        Ok(locations)
     }
 
     /// Handles an overload signal: allocate, initialize, order the split,
-    /// commit the new layout (paper Fig. 8).
+    /// commit the new layout (paper Fig. 8). Also returns the journal
+    /// ops for the caller to append.
     fn handle_overload(
         &self,
         st: &mut CtrlState,
         block: BlockId,
-    ) -> Result<(Option<BlockLocation>, Option<SplitSpec>)> {
+    ) -> Result<(Option<BlockLocation>, Option<SplitSpec>, Vec<JournalOp>)> {
         let Some((job, name)) = st.block_owner.get(&block).cloned() else {
             return Err(JiffyError::UnknownBlock(block.raw()));
         };
@@ -807,7 +1109,7 @@ impl Controller {
         let plan = match meta.plan_split(block) {
             Ok(p) => p,
             // Unsplittable (single hot slot / stale signal): no target.
-            Err(_) => return Ok((None, None)),
+            Err(_) => return Ok((None, None, Vec::new())),
         };
         let ds = meta.ds_type();
         let source_loc = st.freelist.location_of(block)?;
@@ -815,7 +1117,7 @@ impl Controller {
             Ok(l) => l,
             // Capacity exhausted: the block keeps serving; writes beyond
             // its capacity will fail and spill at the tier above.
-            Err(JiffyError::OutOfBlocks) => return Ok((None, None)),
+            Err(JiffyError::OutOfBlocks) => return Ok((None, None, Vec::new())),
             Err(e) => return Err(e),
         };
         self.dataplane
@@ -840,18 +1142,24 @@ impl Controller {
             .expect("invariant: ds presence verified when planning the split");
         meta.commit_split(block, &plan.spec, new_loc.clone())?;
         node.version += 1;
-        st.block_owner.insert(new_loc.id(), (job, name));
+        st.block_owner.insert(new_loc.id(), (job, name.clone()));
         st.counters.splits += 1;
-        Ok((Some(new_loc), Some(plan.spec)))
+        let op = JournalOp::SplitCommitted {
+            job,
+            name,
+            source: block,
+            spec: plan.spec.clone(),
+            new_loc: new_loc.clone(),
+        };
+        Ok((Some(new_loc), Some(plan.spec), vec![op]))
     }
 
     /// Handles an underload signal: order the merge, commit, reclaim the
-    /// drained block.
-    fn handle_underload(
-        &self,
-        st: &mut CtrlState,
-        block: BlockId,
-    ) -> Result<(Option<BlockLocation>, Option<MergeSpec>)> {
+    /// drained block's metadata. Also returns the journal ops for the
+    /// caller to append, plus the source location whose *data-plane*
+    /// reset the caller must defer until after the append (resetting
+    /// before the merge record is durable could orphan acked data).
+    fn handle_underload(&self, st: &mut CtrlState, block: BlockId) -> Result<UnderloadOutcome> {
         let Some((job, name)) = st.block_owner.get(&block).cloned() else {
             return Err(JiffyError::UnknownBlock(block.raw()));
         };
@@ -861,7 +1169,7 @@ impl Controller {
             return Err(JiffyError::UnknownBlock(block.raw()));
         };
         let Some(plan) = meta.plan_merge(block)? else {
-            return Ok((None, None));
+            return Ok((None, None, Vec::new(), None));
         };
         let source_loc = st.freelist.location_of(block)?;
         // Pick the first candidate with room for the source's contents
@@ -882,7 +1190,7 @@ impl Controller {
             match chosen {
                 Some(c) => Some(c),
                 // No sibling has headroom: skip the merge.
-                None => return Ok((None, None)),
+                None => return Ok((None, None, Vec::new(), None)),
             }
         };
         // The merge can fail benignly (e.g. queue head not yet drained,
@@ -893,7 +1201,9 @@ impl Controller {
             .merge_block(&source_loc, &plan.spec, target.as_ref())
         {
             return match e {
-                JiffyError::Internal(_) | JiffyError::BlockFull { .. } => Ok((None, None)),
+                JiffyError::Internal(_) | JiffyError::BlockFull { .. } => {
+                    Ok((None, None, Vec::new(), None))
+                }
                 other => Err(other),
             };
         }
@@ -914,13 +1224,22 @@ impl Controller {
             .expect("invariant: ds presence verified when planning the merge");
         meta.commit_merge(block, &plan.spec, target.as_ref())?;
         node.version += 1;
-        let _ = self.dataplane.reset_block(&source_loc);
+        let mut released = Vec::with_capacity(source_loc.chain.len());
         for r in &source_loc.chain {
             st.block_owner.remove(&r.block);
             let _ = st.freelist.release(r.block);
+            released.push(r.block);
         }
         st.counters.merges += 1;
-        Ok((target, Some(plan.spec)))
+        let op = JournalOp::MergeCommitted {
+            job,
+            name,
+            source: block,
+            spec: plan.spec.clone(),
+            target: target.clone(),
+            released,
+        };
+        Ok((target, Some(plan.spec), vec![op], Some(source_loc)))
     }
 
     /// Finds the logical chain a physical block belongs to, along with
@@ -1037,6 +1356,13 @@ impl Controller {
         }
         st.block_owner.remove(&old_loc.id());
         st.block_owner.insert(new_loc.id(), (job, name.to_string()));
+        // 4b. Journal the new placement before the sources are retired:
+        //     past this append the image's only copy may live on the
+        //     new chain, so replay must already route there. (The old
+        //     chain is still allocated in this record; the caller's
+        //     closing rewrite covers its release.)
+        let op = self.rewrite_op(st)?;
+        self.journal_append(st, vec![op])?;
         // 5. Retire the sources: each keeps a redirect tombstone, so an
         //    op that raced the swap gets BlockMoved (retryable) rather
         //    than a stale answer. Best-effort — a dead source just means
@@ -1206,6 +1532,10 @@ impl Controller {
             }
             let _ = self.load_prefix(st, job, &name, &path);
         }
+        // Failure handling is a multi-step transition (promotions,
+        // releases, reloads); checkpoint the outcome wholesale.
+        let op = self.rewrite_op(st)?;
+        self.journal_append(st, vec![op])?;
         Ok(())
     }
 
@@ -1252,7 +1582,9 @@ impl Controller {
             ScaleDecision::Hold => {}
             ScaleDecision::ScaleUp => {
                 if provider.provision().is_ok() {
-                    self.state.lock().counters.scale_ups += 1;
+                    let mut st = self.state.lock();
+                    st.counters.scale_ups += 1;
+                    let _ = self.journal_append(&mut st, vec![JournalOp::ScaleEvent { up: true }]);
                 }
             }
             ScaleDecision::ScaleDown { victim } => {
@@ -1263,7 +1595,9 @@ impl Controller {
                     .is_ok()
                 {
                     let _ = provider.decommission(victim);
-                    self.state.lock().counters.scale_downs += 1;
+                    let mut st = self.state.lock();
+                    st.counters.scale_downs += 1;
+                    let _ = self.journal_append(&mut st, vec![JournalOp::ScaleEvent { up: false }]);
                 }
             }
         }
@@ -1870,5 +2204,226 @@ mod tests {
                 name: "big".into()
             })
             .is_err());
+    }
+
+    // ----- crash recovery (DESIGN.md §11) -------------------------------
+
+    /// Recovers a controller from whatever `store` holds, sharing the
+    /// original manual clock.
+    fn recover(clock: &Arc<ManualClock>, store: &Arc<MemObjectStore>) -> Arc<Controller> {
+        let shared: SharedClock = clock.clone();
+        Controller::recover(
+            JiffyConfig::for_testing(),
+            shared,
+            Arc::new(NoopDataPlane),
+            store.clone(),
+        )
+        .unwrap()
+    }
+
+    fn assert_recovered_matches(live: &Controller, recovered: &Controller) {
+        let violations = recovered.check_invariants();
+        assert!(violations.is_empty(), "{violations:?}");
+        assert_eq!(
+            live.state_mirror().normalized(),
+            recovered.state_mirror().normalized()
+        );
+    }
+
+    #[test]
+    fn recovery_rebuilds_the_exact_state_mirror() {
+        let (ctrl, _clock, store) = controller();
+        add_server(&ctrl, 8);
+        add_server(&ctrl, 4);
+        let job = register(&ctrl);
+        for (name, ds) in [
+            ("kv", Some(DsType::KvStore)),
+            ("file", Some(DsType::File)),
+            ("bare", None),
+        ] {
+            ctrl.dispatch(ControlRequest::CreatePrefix {
+                job,
+                name: name.into(),
+                parents: vec![],
+                ds,
+                initial_blocks: u32::from(ds.is_some()) * 2,
+            })
+            .unwrap();
+        }
+        ctrl.dispatch(ControlRequest::AddParent {
+            job,
+            name: "kv".into(),
+            parent: "bare".into(),
+        })
+        .unwrap();
+        ctrl.dispatch(ControlRequest::FlushPrefix {
+            job,
+            name: "file".into(),
+            external_path: "ext/file".into(),
+        })
+        .unwrap();
+        ctrl.dispatch(ControlRequest::RemovePrefix {
+            job,
+            name: "file".into(),
+        })
+        .unwrap();
+
+        let recovered = recover(&_clock, &store);
+        assert_recovered_matches(&ctrl, &recovered);
+        // Structural stats agree too (ops_served is liveness, not state).
+        let (a, b) = (ctrl.stats(), recovered.stats());
+        assert_eq!(a.free_blocks, b.free_blocks);
+        assert_eq!(a.total_blocks, b.total_blocks);
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.prefixes, b.prefixes);
+        // And the recovered controller keeps working: fresh ids don't
+        // collide, allocation proceeds from the recovered freelist.
+        let job2 = register(&recovered);
+        assert!(job2.raw() > job.raw());
+        recovered
+            .dispatch(ControlRequest::CreatePrefix {
+                job: job2,
+                name: "more".into(),
+                parents: vec![],
+                ds: Some(DsType::KvStore),
+                initial_blocks: 2,
+            })
+            .unwrap();
+        assert!(recovered.check_invariants().is_empty());
+    }
+
+    #[test]
+    fn recovery_resumes_from_a_snapshot_plus_journal_suffix() {
+        let (ctrl, _clock, store) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 2,
+        })
+        .unwrap();
+        ctrl.snapshot_now().unwrap();
+        // Mutations after the snapshot land in the journal suffix.
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "post".into(),
+            parents: vec![],
+            ds: Some(DsType::File),
+            initial_blocks: 1,
+        })
+        .unwrap();
+        let recovered = recover(&_clock, &store);
+        assert_recovered_matches(&ctrl, &recovered);
+    }
+
+    #[test]
+    fn recovery_rearms_leases_instead_of_inheriting_stale_ones() {
+        let (ctrl, clock, store) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 2,
+        })
+        .unwrap();
+        // Let the lease lapse *on the wire*: the journal still records
+        // the creation-time renewal, but a restart must not trust it.
+        clock.advance(Duration::from_millis(1500));
+        let recovered = recover(&clock, &store);
+        assert!(
+            recovered.run_expiry_once().is_empty(),
+            "a recovered lease must get a fresh full TTL"
+        );
+        // From the recovery instant the normal TTL applies again.
+        clock.advance(Duration::from_millis(1100));
+        let expired = recovered.run_expiry_once();
+        assert_eq!(expired, vec![(job, "kv".to_string())]);
+        assert_eq!(recovered.stats().leases_expired, 1);
+    }
+
+    #[test]
+    fn expiry_flush_and_reclaim_happen_exactly_once_across_restart() {
+        let (ctrl, clock, store) = controller();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 2,
+        })
+        .unwrap();
+        clock.advance(Duration::from_millis(1100));
+        assert_eq!(ctrl.run_expiry_once().len(), 1);
+        assert_eq!(ctrl.stats().leases_expired, 1);
+        assert_eq!(ctrl.stats().free_blocks, 8);
+
+        // Crash after the expiry was journaled: the new incarnation
+        // must see the prefix as already flushed+reclaimed, not expire
+        // it a second time (double release would corrupt the freelist).
+        let recovered = recover(&clock, &store);
+        assert_recovered_matches(&ctrl, &recovered);
+        clock.advance(Duration::from_millis(1100));
+        assert!(recovered.run_expiry_once().is_empty());
+        assert_eq!(recovered.stats().leases_expired, 1);
+        assert_eq!(recovered.stats().free_blocks, 8);
+    }
+
+    #[test]
+    fn replay_is_idempotent_when_truncation_failed_mid_snapshot() {
+        // A crash can leave a snapshot *and* the journal records it
+        // covers (truncation is best-effort). Replay must dedupe by
+        // sequence number, not double-apply.
+        let (clock, shared) = ManualClock::shared();
+        let store = Arc::new(MemObjectStore::new());
+        let cfg = JiffyConfig::for_testing().with_meta_snapshot_every(0);
+        let ctrl = Controller::new(cfg, shared, Arc::new(NoopDataPlane), store.clone()).unwrap();
+        add_server(&ctrl, 8);
+        let job = register(&ctrl);
+        ctrl.dispatch(ControlRequest::CreatePrefix {
+            job,
+            name: "kv".into(),
+            parents: vec![],
+            ds: Some(DsType::KvStore),
+            initial_blocks: 2,
+        })
+        .unwrap();
+        // Save the pre-snapshot journal, snapshot (which truncates it),
+        // then resurrect the stale records.
+        let saved: Vec<(String, Vec<u8>)> = store
+            .list("jiffy-meta/journal/")
+            .into_iter()
+            .map(|p| (p.clone(), store.get(&p).unwrap()))
+            .collect();
+        assert!(!saved.is_empty());
+        ctrl.snapshot_now().unwrap();
+        for (path, data) in &saved {
+            store.put(path, data).unwrap();
+        }
+        let recovered = recover(&clock, &store);
+        assert_recovered_matches(&ctrl, &recovered);
+    }
+
+    #[test]
+    fn recovery_ignores_orphaned_non_record_objects() {
+        let (ctrl, _clock, store) = controller();
+        add_server(&ctrl, 4);
+        register(&ctrl);
+        // A hard kill can strand a half-written temp file in the
+        // journal directory (DirObjectStore's crash-safe put); recovery
+        // must skip anything whose name is not a sequence number.
+        store
+            .put("jiffy-meta/journal/.tmp-1234", b"garbage")
+            .unwrap();
+        store.put("jiffy-meta/snapshot/.tmp-99", b"junk").unwrap();
+        let recovered = recover(&_clock, &store);
+        assert_recovered_matches(&ctrl, &recovered);
     }
 }

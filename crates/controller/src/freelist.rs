@@ -6,6 +6,7 @@ use jiffy_common::id::IdGen;
 use jiffy_common::{BlockId, JiffyError, Result, ServerId};
 use jiffy_elastic::{ServerLoad, ServerState};
 use jiffy_proto::{BlockLocation, Endpoint, ServerInfo};
+use serde::{Deserialize, Serialize};
 
 /// One registered memory server and the blocks it contributed.
 #[derive(Debug, Clone)]
@@ -399,6 +400,134 @@ impl FreeList {
         Ok(())
     }
 
+    /// Removes one *specific* block from the free pool — journal replay
+    /// re-applies a recorded allocation outcome instead of asking the
+    /// allocator to choose again (FIFO position is irrelevant to the
+    /// outcome being replayed).
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::UnknownBlock`] if the cluster never had the block;
+    /// [`JiffyError::Internal`] if it is not currently free.
+    pub fn claim(&mut self, block: BlockId) -> Result<()> {
+        if !self.homes.contains_key(&block) {
+            return Err(JiffyError::UnknownBlock(block.raw()));
+        }
+        if let Some(pos) = self.free.iter().position(|b| *b == block) {
+            self.free.remove(pos);
+            return Ok(());
+        }
+        if self.parked.remove(&block) {
+            return Ok(());
+        }
+        Err(JiffyError::Internal(format!(
+            "claim of non-free block {block}"
+        )))
+    }
+
+    /// Re-inserts a server with a *recorded* identity: the exact id,
+    /// address and block ids a `ServerJoined` journal record captured.
+    /// All blocks start free (replayed allocations then [`Self::claim`]
+    /// them); both id generators are bumped past the restored ids so
+    /// fresh registrations never collide.
+    pub fn restore_server(
+        &mut self,
+        server: ServerId,
+        addr: impl Into<String>,
+        blocks: &[BlockId],
+    ) {
+        let addr = addr.into();
+        for &b in blocks {
+            self.homes.insert(b, server);
+            self.free.push_back(b);
+            self.block_ids.bump_to(b.raw() + 1);
+        }
+        self.servers.insert(
+            server,
+            ServerEntry {
+                endpoint: Endpoint { server, addr },
+                state: ServerState::Alive,
+                blocks: blocks.to_vec(),
+            },
+        );
+        self.departed.remove(&server);
+        self.server_ids.bump_to(server.raw() + 1);
+    }
+
+    /// Serializable checkpoint of the whole table (snapshot mirror).
+    /// Deterministic: servers/parked/departed are sorted, the free list
+    /// keeps its FIFO order (allocation order must survive recovery).
+    pub fn mirror(&self) -> FreeListMirror {
+        let mut servers: Vec<ServerMirror> = self
+            .servers
+            .values()
+            .map(|e| ServerMirror {
+                server: e.endpoint.server,
+                addr: e.endpoint.addr.clone(),
+                state: match e.state {
+                    ServerState::Alive => 0,
+                    ServerState::Draining => 1,
+                    ServerState::Dead => 2,
+                },
+                blocks: e.blocks.clone(),
+            })
+            .collect();
+        servers.sort_by_key(|s| s.server);
+        let mut parked: Vec<BlockId> = self.parked.iter().copied().collect();
+        parked.sort_unstable();
+        let mut departed: Vec<ServerId> = self.departed.iter().copied().collect();
+        departed.sort_unstable();
+        FreeListMirror {
+            servers,
+            free: self.free.iter().copied().collect(),
+            parked,
+            departed,
+            next_server_id: self.server_ids.current(),
+            next_block_id: self.block_ids.current(),
+        }
+    }
+
+    /// Rebuilds a table from a checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::Codec`] on an unknown server-state tag.
+    pub fn from_mirror(m: &FreeListMirror) -> Result<Self> {
+        let mut fl = Self::new();
+        for s in &m.servers {
+            let state = match s.state {
+                0 => ServerState::Alive,
+                1 => ServerState::Draining,
+                2 => ServerState::Dead,
+                other => {
+                    return Err(JiffyError::Codec(format!(
+                        "unknown server state tag {other} in freelist mirror"
+                    )))
+                }
+            };
+            for &b in &s.blocks {
+                fl.homes.insert(b, s.server);
+            }
+            fl.servers.insert(
+                s.server,
+                ServerEntry {
+                    endpoint: Endpoint {
+                        server: s.server,
+                        addr: s.addr.clone(),
+                    },
+                    state,
+                    blocks: s.blocks.clone(),
+                },
+            );
+        }
+        fl.free = m.free.iter().copied().collect();
+        fl.parked = m.parked.iter().copied().collect();
+        fl.departed = m.departed.iter().copied().collect();
+        fl.server_ids = IdGen::starting_at(m.next_server_id);
+        fl.block_ids = IdGen::starting_at(m.next_block_id);
+        Ok(fl)
+    }
+
     fn park_free_blocks_of(&mut self, server: ServerId) {
         let block_set: Vec<BlockId> = match self.servers.get(&server) {
             Some(e) => e.blocks.clone(),
@@ -413,6 +542,38 @@ impl FreeList {
             }
         });
     }
+}
+
+/// Serializable checkpoint of a [`FreeList`] (membership + free pool +
+/// id-generator frontiers). Field order is the wire layout; see
+/// [`FreeList::mirror`] for the determinism guarantees.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FreeListMirror {
+    /// Membership rows, sorted by server id.
+    pub servers: Vec<ServerMirror>,
+    /// Allocatable blocks in FIFO order.
+    pub free: Vec<BlockId>,
+    /// Parked blocks, sorted.
+    pub parked: Vec<BlockId>,
+    /// Tombstoned server ids, sorted.
+    pub departed: Vec<ServerId>,
+    /// Next server id the generator would issue.
+    pub next_server_id: u64,
+    /// Next block id the generator would issue.
+    pub next_block_id: u64,
+}
+
+/// One membership row of a [`FreeListMirror`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerMirror {
+    /// Server id.
+    pub server: ServerId,
+    /// Transport address.
+    pub addr: String,
+    /// Membership state: 0 = alive, 1 = draining, 2 = dead.
+    pub state: u32,
+    /// Blocks homed on this server, in registration order.
+    pub blocks: Vec<BlockId>,
 }
 
 #[cfg(test)]
@@ -602,5 +763,53 @@ mod tests {
         assert_eq!(loads[1].free_blocks, 2);
         let infos = fl.server_infos();
         assert_eq!(infos[1].state, "draining");
+    }
+
+    #[test]
+    fn claim_removes_a_specific_block_and_rejects_allocated_ones() {
+        let mut fl = FreeList::new();
+        let (_, blocks) = fl.register_server("inproc:0", 3);
+        fl.claim(blocks[1]).unwrap();
+        assert_eq!(fl.free_count(), 2);
+        assert!(!fl.is_free(blocks[1]));
+        // FIFO order of the remaining blocks is preserved.
+        assert_eq!(fl.allocate().unwrap().id(), blocks[0]);
+        assert!(fl.claim(blocks[0]).is_err(), "already allocated");
+        assert!(matches!(
+            fl.claim(BlockId(99)),
+            Err(JiffyError::UnknownBlock(99))
+        ));
+    }
+
+    #[test]
+    fn restore_server_reinstates_identity_and_bumps_generators() {
+        let mut fl = FreeList::new();
+        fl.restore_server(ServerId(5), "inproc:9", &[BlockId(10), BlockId(11)]);
+        assert_eq!(fl.free_count(), 2);
+        assert_eq!(fl.endpoint_of(ServerId(5)).unwrap().addr, "inproc:9");
+        // Fresh registrations never collide with restored ids.
+        let (s, blocks) = fl.register_server("inproc:1", 1);
+        assert!(s.raw() > 5);
+        assert!(blocks[0].raw() > 11);
+    }
+
+    #[test]
+    fn mirror_round_trips_the_whole_table() {
+        let mut fl = FreeList::new();
+        let (_s1, _) = fl.register_server("inproc:0", 3);
+        let (s2, _) = fl.register_server("inproc:1", 2);
+        let a = fl.allocate().unwrap();
+        fl.allocate().unwrap();
+        fl.release(a.id()).unwrap(); // goes to the back of the queue
+        fl.mark_draining(s2).unwrap();
+        let m = fl.mirror();
+        let back = FreeList::from_mirror(&m).unwrap();
+        assert_eq!(back.mirror(), m);
+        assert_eq!(back.free_count(), fl.free_count());
+        assert_eq!(back.state_of(s2).unwrap(), ServerState::Draining);
+        // Allocation order survives the round trip.
+        let mut orig = fl;
+        let mut rest = back;
+        assert_eq!(orig.allocate().unwrap().id(), rest.allocate().unwrap().id());
     }
 }

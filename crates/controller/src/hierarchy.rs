@@ -342,6 +342,13 @@ impl AddressHierarchy {
         self.nodes.get_mut(name)
     }
 
+    /// Inserts a fully formed node verbatim — the snapshot-mirror import
+    /// path, which restores edges exactly as checkpointed instead of
+    /// re-deriving them through [`Self::add_node`].
+    pub(crate) fn insert_node(&mut self, node: Node) {
+        self.nodes.insert(node.name.clone(), node);
+    }
+
     /// Total blocks allocated across all nodes.
     pub fn total_blocks(&self) -> usize {
         self.nodes.values().map(|n| n.blocks().len()).sum()

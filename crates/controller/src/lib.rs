@@ -16,6 +16,9 @@
 //! - [`controller`] — the [`Controller`] service tying it together:
 //!   request dispatch, lease expiry (flush to the persistent tier, then
 //!   reclaim), and repartition orchestration (Fig. 8).
+//! - [`journal`] — the write-ahead metadata journal, snapshots, and
+//!   deterministic replay that make the controller crash-recoverable
+//!   (DESIGN.md §11).
 //! - [`sharding`] — hash-partitioning jobs across multiple controller
 //!   shards (multi-core / multi-server scaling, Fig. 12b).
 //!
@@ -24,11 +27,15 @@
 pub mod controller;
 pub mod freelist;
 pub mod hierarchy;
+pub mod journal;
 pub mod meta;
 pub mod sharding;
 
-pub use controller::{Controller, ControllerHandle, DataPlane, NoopDataPlane, RpcDataPlane};
-pub use freelist::FreeList;
+pub use controller::{
+    Controller, ControllerHandle, Counters, DataPlane, NoopDataPlane, RpcDataPlane,
+};
+pub use freelist::{FreeList, FreeListMirror, ServerMirror};
 pub use hierarchy::{AddressHierarchy, Node};
+pub use journal::{JobMirror, NodeMirror, StateMirror};
 pub use meta::DsMeta;
 pub use sharding::ShardedController;

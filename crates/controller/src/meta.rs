@@ -33,7 +33,10 @@ pub struct MergePlan {
 }
 
 /// Partition layout of one data structure across its blocks.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so the controller's snapshot mirror (crash recovery,
+/// DESIGN.md §11) can checkpoint layouts wholesale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum DsMeta {
     /// Ordered chunk list; chunk `i` covers `[i·chunk, (i+1)·chunk)`.
     File {

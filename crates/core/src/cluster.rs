@@ -95,13 +95,22 @@ impl ServerProvider for ClusterProvider {
 
 /// A running Jiffy cluster (controller + memory servers) plus the fabric
 /// to reach it. Dropping the cluster stops its background workers.
+///
+/// The controller slot is swappable: [`JiffyCluster::crash_controller`]
+/// tears the current instance's transport and workers down (its memory
+/// state is lost, exactly like a process crash), and
+/// [`JiffyCluster::restart_controller`] recovers a fresh instance from
+/// the metadata journal in the persistent tier at the same address.
 pub struct JiffyCluster {
-    controller: Arc<Controller>,
+    controller: RwLock<Arc<Controller>>,
     persistent: Arc<dyn ObjectStore>,
     inner: Arc<ClusterInner>,
-    _expiry: Option<ControllerHandle>,
-    elastic: Option<ControllerHandle>,
-    _controller_tcp: Option<TcpServerHandle>,
+    clock: SharedClock,
+    run_expiry: bool,
+    expiry: Mutex<Option<ControllerHandle>>,
+    elastic: Mutex<Option<ControllerHandle>>,
+    autoscaler_policy: Mutex<Option<AutoscalerPolicy>>,
+    controller_tcp: Mutex<Option<TcpServerHandle>>,
 }
 
 impl JiffyCluster {
@@ -164,7 +173,7 @@ impl JiffyCluster {
         let fabric = Fabric::new();
         let controller = Controller::new(
             cfg.clone(),
-            clock,
+            clock.clone(),
             Arc::new(RpcDataPlane::new(fabric.clone())),
             persistent.clone(),
         )?;
@@ -195,12 +204,15 @@ impl JiffyCluster {
         }
         let expiry = run_expiry_worker.then(|| controller.start_expiry_worker());
         Ok(Self {
-            controller,
+            controller: RwLock::new(controller),
             persistent,
             inner,
-            _expiry: expiry,
-            elastic: None,
-            _controller_tcp: controller_tcp,
+            clock,
+            run_expiry: run_expiry_worker,
+            expiry: Mutex::new(expiry),
+            elastic: Mutex::new(None),
+            autoscaler_policy: Mutex::new(None),
+            controller_tcp: Mutex::new(controller_tcp),
         })
     }
 
@@ -218,9 +230,11 @@ impl JiffyCluster {
         &self.inner.fabric
     }
 
-    /// The controller (for stats and direct dispatch in tests/benches).
-    pub fn controller(&self) -> &Arc<Controller> {
-        &self.controller
+    /// The current controller instance (for stats and direct dispatch
+    /// in tests/benches). Owned, because a crash/restart cycle swaps
+    /// the instance out from under the cluster.
+    pub fn controller(&self) -> Arc<Controller> {
+        self.controller.read().clone()
     }
 
     /// The controller's transport address.
@@ -282,7 +296,7 @@ impl JiffyCluster {
     /// the remaining servers).
     pub fn drain_server(&self, server: ServerId) -> Result<u32> {
         match self
-            .controller
+            .controller()
             .dispatch(ControlRequest::LeaveServer { server })?
         {
             ControlResponse::Drained {
@@ -307,7 +321,7 @@ impl JiffyCluster {
     /// Unknown server.
     pub fn kill_server(&self, server: ServerId) -> Result<()> {
         self.inner.remove_server(server);
-        self.controller.handle_server_failure(server)
+        self.controller().handle_server_failure(server)
     }
 
     /// Installs the autoscaler (policy + cluster-backed provider) and
@@ -317,14 +331,103 @@ impl JiffyCluster {
         let provider = Arc::new(ClusterProvider {
             inner: self.inner.clone(),
         });
-        self.controller.set_autoscaler(policy, provider);
-        self.elastic = Some(self.controller.start_elasticity_worker());
+        let controller = self.controller();
+        controller.set_autoscaler(policy, provider);
+        *self.autoscaler_policy.lock() = Some(policy);
+        *self.elastic.lock() = Some(controller.start_elasticity_worker());
     }
 
     /// Stops the elasticity worker (the autoscaler hooks stay installed;
     /// `Controller::run_autoscaler_once` still works manually).
     pub fn stop_elasticity(&mut self) {
-        self.elastic = None;
+        *self.elastic.lock() = None;
+        *self.autoscaler_policy.lock() = None;
+    }
+
+    /// Crashes the controller: its transport endpoint vanishes (in-flight
+    /// and subsequent requests fail with transport errors until a
+    /// restart), its background workers stop, and its in-memory state is
+    /// abandoned — exactly what a process crash loses. The metadata
+    /// journal in the persistent tier is untouched; pair with
+    /// [`JiffyCluster::restart_controller`].
+    pub fn crash_controller(&self) {
+        // Stop the workers first so nothing dispatches mid-teardown.
+        *self.expiry.lock() = None;
+        *self.elastic.lock() = None;
+        if self.inner.tcp {
+            // Dropping the handle closes the listener; session threads
+            // die as clients evict their broken connections.
+            *self.controller_tcp.lock() = None;
+        } else {
+            self.inner
+                .fabric
+                .hub()
+                .deregister(&self.inner.controller_addr);
+        }
+    }
+
+    /// Restarts the controller at the same address, recovering all
+    /// metadata (jobs, hierarchies, leases, freelist, placement) from
+    /// the journal + snapshots the crashed instance wrote. Leases are
+    /// re-armed and the failure detector is re-seeded at the restart
+    /// instant; servers keep heartbeating into the new instance and
+    /// clients retry through the restart window transparently.
+    ///
+    /// # Errors
+    ///
+    /// Journal decode/replay failures, or (TCP mode) failure to re-bind
+    /// the controller's port.
+    pub fn restart_controller(&self) -> Result<()> {
+        let controller = Controller::recover(
+            self.inner.cfg.clone(),
+            self.clock.clone(),
+            Arc::new(RpcDataPlane::new(self.inner.fabric.clone())),
+            self.persistent.clone(),
+        )?;
+        // Same replay-cache wrapping as the original registration —
+        // though the cache itself restarts empty, so exactly-once across
+        // the crash leans on idempotent handlers (DESIGN.md §11).
+        let controller_svc = Deduplicated::shared(controller.clone());
+        if self.inner.tcp {
+            let hostport = self
+                .inner
+                .controller_addr
+                .strip_prefix("tcp:")
+                .unwrap_or(&self.inner.controller_addr)
+                .to_string();
+            // The old listener's sockets may linger briefly; retry the
+            // bind for a bounded window.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            let handle = loop {
+                match serve_tcp(&hostport, controller_svc.clone()) {
+                    Ok(h) => break h,
+                    Err(e) => {
+                        if std::time::Instant::now() >= deadline {
+                            return Err(e);
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                }
+            };
+            *self.controller_tcp.lock() = Some(handle);
+        } else {
+            self.inner
+                .fabric
+                .hub()
+                .register_at(&self.inner.controller_addr, controller_svc)?;
+        }
+        if let Some(policy) = *self.autoscaler_policy.lock() {
+            let provider = Arc::new(ClusterProvider {
+                inner: self.inner.clone(),
+            });
+            controller.set_autoscaler(policy, provider);
+            *self.elastic.lock() = Some(controller.start_elasticity_worker());
+        }
+        if self.run_expiry {
+            *self.expiry.lock() = Some(controller.start_expiry_worker());
+        }
+        *self.controller.write() = controller;
+        Ok(())
     }
 }
 

@@ -36,6 +36,10 @@ pub enum ElasticAction {
     JoinServer,
     /// Gracefully drain and deregister a server (live migration).
     DrainServer,
+    /// Crash the controller and immediately restart it from its
+    /// metadata journal. Client control-plane retries carry requests
+    /// through the restart window; acked writes must survive.
+    CrashController,
 }
 
 /// Parameters of one chaos run.
@@ -308,6 +312,13 @@ fn apply_elastic(cluster: &JiffyCluster, action: ElasticAction, blocks_per_serve
             if let Some(id) = oldest_server(cluster) {
                 let _ = cluster.drain_server(id);
             }
+        }
+        ElasticAction::CrashController => {
+            cluster.crash_controller();
+            // A failed recovery leaves the endpoint dark and every
+            // subsequent control call failing — the history checker
+            // reports that loudly, so swallowing the error here is safe.
+            let _ = cluster.restart_controller();
         }
     }
 }

@@ -46,14 +46,34 @@ impl DirObjectStore {
 
 impl crate::ObjectStore for DirObjectStore {
     fn put(&self, path: &str, data: &[u8]) -> Result<()> {
+        use std::io::Write;
+
         let file = self.resolve(path)?;
         if let Some(parent) = file.parent() {
             fs::create_dir_all(parent)?;
         }
-        // Write-then-rename for atomicity against concurrent readers.
-        let tmp = file.with_extension("tmp-write");
-        fs::write(&tmp, data)?;
-        fs::rename(&tmp, &file)?;
+        // Crash-safe write: a uniquely-named temp file (two writers to the
+        // same object must not share one), fsync, then an atomic rename so
+        // a crash mid-`put` can never leave a torn object — readers see
+        // either the old contents or the new, never a prefix.
+        static TMP_SEQ: jiffy_sync::atomic::AtomicU64 = jiffy_sync::atomic::AtomicU64::new(0);
+        let seq = TMP_SEQ.fetch_add(1, jiffy_sync::atomic::Ordering::Relaxed);
+        let tmp = file.with_extension(format!("tmp-{}-{seq}", std::process::id()));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(data)?;
+        f.sync_all()?;
+        drop(f);
+        if let Err(e) = fs::rename(&tmp, &file) {
+            let _ = fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        // Persist the rename itself (the directory entry). Best-effort:
+        // some filesystems refuse to fsync directories.
+        if let Some(parent) = file.parent() {
+            if let Ok(d) = fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
         Ok(())
     }
 

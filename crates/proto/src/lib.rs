@@ -12,12 +12,16 @@
 //!   pair, with a sanity cap on frame size.
 //! - [`messages`] — every request/response exchanged between clients,
 //!   memory servers and the controller.
+//! - [`journal`] — the controller's write-ahead metadata journal and
+//!   snapshot record types (crash recovery, DESIGN.md §11).
 
 pub mod frame;
+pub mod journal;
 pub mod messages;
 pub mod wire;
 
 pub use frame::{encode_frame, read_frame, read_frame_into, write_frame, MAX_FRAME_LEN};
+pub use journal::{JournalBatch, JournalOp, JournalRecord, JournalSnapshot};
 pub use messages::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
     DataRequest, DataResponse, DsOp, DsResult, DsType, Endpoint, Envelope, MergeSpec, Notification,

@@ -45,6 +45,24 @@ impl InprocHub {
         }
     }
 
+    /// Re-registers a service at a previously issued address, so a
+    /// restarted peer (e.g. a recovered controller) becomes reachable at
+    /// the address its clients already hold. Existing [`InprocConn`]s
+    /// re-resolve the service on every call, so they heal transparently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JiffyError::Rpc`] if the address is malformed.
+    pub fn register_at(&self, addr: &str, service: Arc<dyn Service>) -> Result<()> {
+        let id = Self::parse(addr)
+            .ok_or_else(|| JiffyError::Rpc(format!("bad inproc address: {addr}")))?;
+        self.services.write().insert(id, service);
+        // Keep fresh registrations from colliding with the reused id.
+        self.next
+            .fetch_max(id + 1, jiffy_sync::atomic::Ordering::Relaxed);
+        Ok(())
+    }
+
     /// Connects to a registered service.
     ///
     /// # Errors

@@ -549,13 +549,19 @@ impl MemoryServer {
         let Ok(conn) = self.fabric.connect(&self.controller_addr) else {
             return true;
         };
-        !matches!(
-            conn.call(Envelope::ControlReq { id: 0, req }),
+        match conn.call(Envelope::ControlReq { id: 0, req }) {
             Ok(Envelope::ControlResp {
                 resp: Err(JiffyError::UnknownServer(_)),
                 ..
-            })
-        )
+            }) => false,
+            Ok(_) => true,
+            Err(_) => {
+                // The pooled connection may point at a crashed controller;
+                // evict it so the next tick dials the restarted one.
+                self.fabric.evict(&self.controller_addr);
+                true
+            }
+        }
     }
 }
 

@@ -21,6 +21,18 @@ fn dispatch(req: ControlRequest) -> u32 {
     }
 }
 
+fn ack_without_journal(req: ControlRequest) -> Result<ControlResponse, ()> {
+    match req {
+        ControlRequest::CreatePrefix { .. } => {
+            // rule: journal-before-ack — the mutation is acked with no
+            // journal record; a crash here would lose it.
+            Ok(ControlResponse::Ack)
+        }
+        ControlRequest::GetStats => Ok(ControlResponse::Ack), // read-only: exempt
+        other => forward(other),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // Exempt region: none of these may be reported.

@@ -30,6 +30,13 @@
 //!    catch-alls (`other =>`) are allowed — they show intent — and matches
 //!    that bring variants in via `use ControlRequest::*` are out of scope
 //!    for the literal-prefix heuristic by design.
+//! 5. **journal-before-ack** — in a `ControlRequest` dispatch match, an
+//!    arm for a metadata-mutating variant that constructs its own
+//!    `Ok(ControlResponse::...)` ack must call `journal_append` first
+//!    (DESIGN.md §11): a crash after the ack must never lose the
+//!    mutation. Read-only arms (`ResolvePrefix`, `GetStats`, ...) and
+//!    the liveness-only `Heartbeat` are exempt, as are pure routers
+//!    (sharding) that forward the request without minting a response.
 
 use std::fmt;
 use std::fs;
@@ -39,7 +46,8 @@ use std::path::{Path, PathBuf};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {
     /// Which rule fired: `"sync-facade"`, `"no-unwrap"`,
-    /// `"error-taxonomy"`, `"exhaustive-dispatch"`.
+    /// `"error-taxonomy"`, `"exhaustive-dispatch"`,
+    /// `"journal-before-ack"`.
     pub rule: &'static str,
     /// Path relative to the lint root.
     pub path: PathBuf,
@@ -90,6 +98,7 @@ pub fn lint_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
     }
     if scope.dispatch && !scope.test_only {
         check_exhaustive_dispatch(rel, text, out);
+        check_journal_before_ack(rel, text, out);
     }
     let mut tests = TestRegionTracker::new();
     for (idx, raw) in text.lines().enumerate() {
@@ -309,6 +318,161 @@ fn check_exhaustive_dispatch(rel: &Path, text: &str, out: &mut Vec<Violation>) {
                 }
             }
         }
+    }
+}
+
+/// `ControlRequest` variants that mutate controller metadata and must
+/// therefore journal before acking (rule 5). Deliberately absent:
+/// `ResolvePrefix`, `GetLeaseDuration`, `ListServers`, `GetStats`,
+/// `ListPrefixes` and `CommitRepartition` are read-only, and `Heartbeat`
+/// is liveness-only — liveness is re-learned from the wire after a
+/// restart, never replayed from the journal (DESIGN.md §11).
+const MUTATING_CONTROL_ARMS: &[&str] = &[
+    "RegisterJob",
+    "DeregisterJob",
+    "CreatePrefix",
+    "AddParent",
+    "CreateHierarchy",
+    "RemovePrefix",
+    "RenewLease",
+    "FlushPrefix",
+    "LoadPrefix",
+    "JoinServer",
+    "LeaveServer",
+    "ReportOverload",
+    "ReportUnderload",
+];
+
+/// Rule 5: a mutating `ControlRequest::` arm that mints its own
+/// `Ok(ControlResponse::...)` ack must call `journal_append` first.
+///
+/// Same region machinery as rule 4: a `match` region tracks the brace
+/// depth its arms sit at; an arm opens on a `ControlRequest::<Variant>`
+/// pattern line and closes at the next same-depth arm (or when the
+/// region does). Lines inside nested regions are still scanned into
+/// every enclosing open arm, so a `journal_append` or an ack inside an
+/// arm's inner `match` is attributed correctly. Routers that forward
+/// the request (`shard.dispatch(req)`) never mint a response literal
+/// and so are never flagged.
+fn check_journal_before_ack(rel: &Path, text: &str, out: &mut Vec<Violation>) {
+    struct Arm {
+        /// Line of the `ControlRequest::<Variant>` pattern.
+        start_line: usize,
+        /// Any pattern in the (possibly `|`-joined) arm is mutating.
+        mutating: bool,
+        /// Saw `journal_append` already.
+        journaled: bool,
+        /// First `Ok(ControlResponse::` seen before any `journal_append`.
+        unjournaled_ack: Option<usize>,
+    }
+    struct Region {
+        arm_depth: i32,
+        arm: Option<Arm>,
+    }
+
+    fn names_mutating_variant(code: &str) -> bool {
+        let mut rest = code;
+        while let Some(pos) = rest.find("ControlRequest::") {
+            let after = &rest[pos + "ControlRequest::".len()..];
+            let ident: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if MUTATING_CONTROL_ARMS.contains(&ident.as_str()) {
+                return true;
+            }
+            rest = after;
+        }
+        false
+    }
+
+    fn scan_into(arm: &mut Arm, line_no: usize, code: &str) {
+        let journal = code.find("journal_append");
+        if !arm.journaled && arm.unjournaled_ack.is_none() {
+            if let Some(ack) = code.find("Ok(ControlResponse::") {
+                if journal.is_none_or(|j| j > ack) {
+                    arm.unjournaled_ack = Some(line_no);
+                }
+            }
+        }
+        if journal.is_some() {
+            arm.journaled = true;
+        }
+    }
+
+    fn finish(rel: &Path, arm: Option<Arm>, out: &mut Vec<Violation>) {
+        let Some(arm) = arm else { return };
+        if !arm.mutating {
+            return;
+        }
+        if let Some(line) = arm.unjournaled_ack {
+            out.push(Violation {
+                rule: "journal-before-ack",
+                path: rel.to_path_buf(),
+                line,
+                message: format!(
+                    "mutating ControlRequest arm (line {}) acks without a prior \
+                     `journal_append` — a controller crash after this ack would lose the \
+                     mutation; append the journal record first (DESIGN.md §11)",
+                    arm.start_line
+                ),
+            });
+        }
+    }
+
+    let mut depth = 0i32;
+    let mut stack: Vec<Region> = Vec::new();
+    let mut tests = TestRegionTracker::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_comments(raw);
+        if tests.observe(&code) {
+            continue;
+        }
+        let trimmed = code.trim();
+        if let Some(region) = stack.last_mut() {
+            if depth == region.arm_depth {
+                if trimmed.starts_with("ControlRequest::") {
+                    finish(rel, region.arm.take(), out);
+                    region.arm = Some(Arm {
+                        start_line: line_no,
+                        mutating: names_mutating_variant(trimmed),
+                        journaled: false,
+                        unjournaled_ack: None,
+                    });
+                } else if trimmed.starts_with('|') {
+                    // Continuation of a multi-pattern arm.
+                    if let Some(arm) = region.arm.as_mut() {
+                        arm.mutating |= names_mutating_variant(trimmed);
+                    }
+                } else if trimmed.contains("=>") {
+                    // Some other arm (named catch-all, other enum, `_`).
+                    finish(rel, region.arm.take(), out);
+                }
+            }
+        }
+        for region in &mut stack {
+            if let Some(arm) = region.arm.as_mut() {
+                scan_into(arm, line_no, &code);
+            }
+        }
+        let delta = brace_delta(&code);
+        if delta > 0 && has_match_keyword(&code) {
+            depth += delta;
+            stack.push(Region {
+                arm_depth: depth,
+                arm: None,
+            });
+            continue;
+        }
+        depth += delta;
+        while stack.last().is_some_and(|r| depth < r.arm_depth) {
+            let region = stack.pop().expect("invariant: checked non-empty above");
+            finish(rel, region.arm, out);
+        }
+    }
+    while let Some(region) = stack.pop() {
+        finish(rel, region.arm, out);
     }
 }
 
@@ -661,6 +825,96 @@ fn dispatch(req: DataRequest) -> u32 {
         let v = lint_str("crates/server/src/server.rs", src);
         assert_eq!(v.len(), 1, "{v:?}");
         assert_eq!(v[0].line, 9);
+    }
+
+    #[test]
+    fn journal_before_ack_flags_unjournaled_mutating_arms() {
+        let src = "\
+fn dispatch(req: ControlRequest) -> Result<ControlResponse> {
+    match req {
+        ControlRequest::RegisterJob { name } => {
+            st.jobs.insert(job, entry);
+            Ok(ControlResponse::JobRegistered { job })
+        }
+        ControlRequest::GetStats => Ok(ControlResponse::Stats(stats)),
+    }
+}
+";
+        let v = lint_str("crates/controller/src/controller.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "journal-before-ack");
+        assert_eq!(v[0].line, 5, "the ack line is reported");
+        // Same shape outside the dispatch crates: out of scope.
+        assert!(lint_str("crates/client/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn journal_before_ack_accepts_journaled_arms_and_routers() {
+        // The canonical shape: mutate, journal, ack.
+        let good = "\
+fn dispatch(req: ControlRequest) -> Result<ControlResponse> {
+    match req {
+        ControlRequest::CreatePrefix { job, name } => {
+            let ops = self.create_prefix(&mut st, job, &name)?;
+            self.journal_append(&mut st, ops)?;
+            Ok(ControlResponse::Created)
+        }
+        ControlRequest::Heartbeat { server, .. } => {
+            st.detector.record(server, now);
+            Ok(ControlResponse::Ack)
+        }
+    }
+}
+";
+        assert!(lint_str("crates/controller/src/controller.rs", good).is_empty());
+        // Journaling only *after* the ack was minted is still a bug.
+        let late = "\
+fn dispatch(req: ControlRequest) -> Result<ControlResponse> {
+    match req {
+        ControlRequest::RenewLease { job, name } => {
+            let resp = Ok(ControlResponse::Renewed(renewed));
+            self.journal_append(&mut st, ops)?;
+            resp
+        }
+    }
+}
+";
+        let v = lint_str("crates/controller/src/controller.rs", late);
+        assert_eq!(v.len(), 1, "{v:?}");
+        // Routers forward without minting a response: exempt, including
+        // multi-pattern arms.
+        let router = "\
+fn dispatch(&self, req: ControlRequest) -> Result<ControlResponse> {
+    match &req {
+        ControlRequest::RegisterJob { .. } => self.shards[0].dispatch(req),
+        ControlRequest::JoinServer { .. }
+        | ControlRequest::LeaveServer { .. }
+        | ControlRequest::ListServers => self.shards[0].dispatch(req),
+        other => self.route(other).dispatch(req),
+    }
+}
+";
+        assert!(lint_str("crates/controller/src/sharding.rs", router).is_empty());
+    }
+
+    #[test]
+    fn journal_before_ack_sees_through_nested_matches() {
+        // A journal call or ack inside an arm's nested match still
+        // belongs to the arm.
+        let src = "\
+fn dispatch(req: ControlRequest) -> Result<ControlResponse> {
+    match req {
+        ControlRequest::FlushPrefix { job, name, path } => {
+            match self.flush(&mut st, job, &name, &path) {
+                Ok(ops) => self.journal_append(&mut st, ops)?,
+                Err(e) => return Err(e),
+            }
+            Ok(ControlResponse::Flushed)
+        }
+    }
+}
+";
+        assert!(lint_str("crates/controller/src/controller.rs", src).is_empty());
     }
 
     #[test]

@@ -33,14 +33,15 @@ fn negative_fixture_trips_every_rule() {
         rules.contains("sync-facade")
             && rules.contains("no-unwrap")
             && rules.contains("error-taxonomy")
-            && rules.contains("exhaustive-dispatch"),
-        "fixture must trip all four rules, got {rules:?}: {violations:?}"
+            && rules.contains("exhaustive-dispatch")
+            && rules.contains("journal-before-ack"),
+        "fixture must trip all five rules, got {rules:?}: {violations:?}"
     );
     // The #[cfg(test)] block in the fixture must stay exempt.
     assert!(
-        violations.iter().all(|v| v.line < 24),
+        violations.iter().all(|v| v.line < 36),
         "no violations from the fixture's test module: {violations:?}"
     );
-    // Exactly the five seeded non-test violations.
-    assert_eq!(violations.len(), 5, "{violations:?}");
+    // Exactly the six seeded non-test violations.
+    assert_eq!(violations.len(), 6, "{violations:?}");
 }
