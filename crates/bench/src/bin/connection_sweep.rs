@@ -1,0 +1,266 @@
+//! Connection-count sweep over the epoll reactor transport: how many
+//! concurrent client sessions one server sustains, and what concurrency
+//! does to per-call latency (DESIGN.md §12).
+//!
+//! Ramps 10 → 10k sessions (capped by the process fd limit — each
+//! loopback session costs ~4 fds in-process) against a single
+//! `serve_tcp` server. At every point the sweep holds all sessions open
+//! simultaneously, fans pings across them from a fixed set of driver
+//! threads, and records ops/s, p50/p99 call latency, the server's peak
+//! live-session count and the process thread count — the latter must
+//! stay flat, since sessions no longer own threads.
+//!
+//! Results are spliced into `BENCH_dataplane.json` at the repo root as a
+//! `"connection_sweep"` section (run `dataplane_throughput` first — it
+//! rewrites the file from scratch). Set `JIFFY_BENCH_QUICK=1` for the CI
+//! smoke ramp (10 → 500, throwaway output under `target/`).
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin connection_sweep`
+
+use std::time::{Duration, Instant};
+
+use jiffy_bench::{fmt_dur, percentile};
+use jiffy_proto::{DataRequest, DataResponse, Envelope};
+use jiffy_rpc::tcp::{connect_tcp, serve_tcp};
+use jiffy_rpc::{ClientConn, Service, SessionHandle};
+use jiffy_sync::{Arc, Barrier, Mutex};
+
+/// Driver threads fanning calls over the open sessions.
+const DRIVERS: usize = 16;
+/// Calls per point (split across drivers; divided by 10 in quick mode).
+const CALLS: usize = 20_000;
+
+struct Echo;
+
+impl Service for Echo {
+    fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
+        match req {
+            Envelope::DataReq { id, .. } => Envelope::DataResp {
+                id,
+                resp: Ok(DataResponse::Pong),
+            },
+            other => other,
+        }
+    }
+}
+
+fn quick() -> bool {
+    std::env::var("JIFFY_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+fn thread_count() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Soft `RLIMIT_NOFILE`, read from /proc (no libc dependency).
+fn fd_soft_limit() -> usize {
+    std::fs::read_to_string("/proc/self/limits")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("Max open files"))
+                .and_then(|l| l.split_whitespace().nth(3))
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(1024)
+}
+
+struct Point {
+    sessions: usize,
+    peak_live: usize,
+    threads: usize,
+    ops: usize,
+    elapsed: Duration,
+    lat: Vec<Duration>,
+}
+
+fn sweep_point(
+    addr: &str,
+    server: &jiffy_rpc::TcpServerHandle,
+    sessions: usize,
+    calls: usize,
+) -> Point {
+    let drivers = sessions.clamp(1, DRIVERS);
+    let barrier = Arc::new(Barrier::new(drivers + 1));
+    let lat = Arc::new(Mutex::new(Vec::with_capacity(calls)));
+    let mut handles = Vec::new();
+    for d in 0..drivers {
+        let quota = sessions / drivers + usize::from(d < sessions % drivers);
+        let my_calls = calls / drivers + usize::from(d < calls % drivers);
+        let addr = addr.to_string();
+        let barrier = barrier.clone();
+        let lat = lat.clone();
+        handles.push(std::thread::spawn(move || {
+            let conns: Vec<ClientConn> = (0..quota)
+                .map(|_| connect_tcp(&addr).expect("dial"))
+                .collect();
+            barrier.wait(); // all sessions of the point are open
+            barrier.wait(); // measurement starts
+            let mut local = Vec::with_capacity(my_calls);
+            for i in 0..my_calls {
+                let conn = &conns[i % conns.len().max(1)];
+                let s = Instant::now();
+                conn.call(Envelope::DataReq {
+                    id: 0,
+                    req: DataRequest::Ping,
+                })
+                .expect("ping");
+                local.push(s.elapsed());
+            }
+            barrier.wait(); // hold sessions open until every driver is done
+            for c in &conns {
+                c.close();
+            }
+            lat.lock().extend(local);
+        }));
+    }
+    barrier.wait();
+    // Every session is open: sample the server's view and our threads.
+    let mut peak_live = 0;
+    for _ in 0..10 {
+        peak_live = peak_live.max(server.live_sessions());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let threads = thread_count();
+    let t0 = Instant::now();
+    barrier.wait();
+    barrier.wait();
+    let elapsed = t0.elapsed();
+    for h in handles {
+        h.join().expect("driver");
+    }
+    let lat = std::mem::take(&mut *lat.lock());
+    Point {
+        sessions,
+        peak_live,
+        threads,
+        ops: lat.len(),
+        elapsed,
+        lat,
+    }
+}
+
+/// Splices the sweep section into `BENCH_dataplane.json`, replacing a
+/// previous sweep if present (plain string surgery; the repo vendors no
+/// JSON parser).
+fn splice_into_bench_json(path: &str, section: &str) -> std::io::Result<()> {
+    let txt = std::fs::read_to_string(path).unwrap_or_default();
+    let base = match txt.find(",\n  \"connection_sweep\"") {
+        Some(i) => txt[..i].to_string(),
+        None => {
+            let t = txt.trim_end();
+            match t.strip_suffix('}') {
+                Some(body) => body.trim_end().to_string(),
+                // Missing or malformed file: start a fresh document.
+                None => "{\n  \"bench\": \"dataplane_throughput\"".to_string(),
+            }
+        }
+    };
+    std::fs::write(
+        path,
+        format!("{base},\n  \"connection_sweep\": {section}\n}}\n"),
+    )
+}
+
+fn main() {
+    jiffy_common::set_call_timeout(Duration::from_secs(30));
+    let calls = if quick() { CALLS / 10 } else { CALLS };
+    // ~4 fds per loopback session in-process; keep headroom for the
+    // process's own files, reactors and wake pipes.
+    let cap = ((fd_soft_limit().saturating_sub(512)) / 4).max(10);
+    let targets: &[usize] = if quick() {
+        &[10, 100, 500]
+    } else {
+        &[10, 100, 500, 1000, 2000, 5000, 10_000]
+    };
+    let mut points_at: Vec<usize> = targets.iter().map(|&t| t.min(cap)).collect();
+    points_at.dedup();
+
+    let mut server = serve_tcp("127.0.0.1:0", Arc::new(Echo)).expect("serve");
+    let addr = server.addr().to_string();
+
+    println!("=== Connection-count sweep (fd cap {cap}, {calls} calls/point) ===");
+    println!(
+        "{:>10}{:>12}{:>10}{:>13}{:>12}{:>12}",
+        "sessions", "peak live", "threads", "ops/s", "p50", "p99"
+    );
+    let mut points = Vec::new();
+    for &n in &points_at {
+        let mut p = sweep_point(&addr, &server, n, calls);
+        let ops_per_s = p.ops as f64 / p.elapsed.as_secs_f64();
+        let p50 = percentile(&mut p.lat, 50.0);
+        let p99 = percentile(&mut p.lat, 99.0);
+        println!(
+            "{:>10}{:>12}{:>10}{:>13.0}{:>12}{:>12}",
+            p.sessions,
+            p.peak_live,
+            p.threads,
+            ops_per_s,
+            fmt_dur(p50),
+            fmt_dur(p99),
+        );
+        points.push(p);
+        // Let the previous wave's sessions finish closing so points
+        // don't bleed into each other.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while server.live_sessions() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+    let stats = server.stats();
+    println!(
+        "\naccepted {} sessions total, {} closed, {} accept errors, {} spawn failures",
+        stats.accepted, stats.sessions_closed, stats.accept_errors, stats.spawn_failures
+    );
+
+    // --- Machine-readable section ---
+    let mut section = String::new();
+    section.push_str("{\n");
+    section.push_str(&format!("    \"quick\": {},\n", quick()));
+    section.push_str(&format!("    \"fd_cap_sessions\": {cap},\n"));
+    section.push_str(&format!("    \"calls_per_point\": {calls},\n"));
+    section.push_str("    \"points\": [\n");
+    let n_points = points.len();
+    for (i, p) in points.iter_mut().enumerate() {
+        let ops_per_s = p.ops as f64 / p.elapsed.as_secs_f64();
+        let p50 = percentile(&mut p.lat, 50.0).as_secs_f64() * 1e6;
+        let p99 = percentile(&mut p.lat, 99.0).as_secs_f64() * 1e6;
+        section.push_str(&format!(
+            "      {{\"sessions\": {}, \"peak_live_sessions\": {}, \"process_threads\": {}, \"ops\": {}, \"ops_per_s\": {:.0}, \"call_p50_us\": {:.1}, \"call_p99_us\": {:.1}}}{}\n",
+            p.sessions,
+            p.peak_live,
+            p.threads,
+            p.ops,
+            ops_per_s,
+            p50,
+            p99,
+            if i + 1 < n_points { "," } else { "" },
+        ));
+    }
+    section.push_str("    ]\n  }");
+
+    // Quick (smoke-gate) runs produce throwaway numbers; keep them out
+    // of the checked-in measurement file.
+    let path = if quick() {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_connection_sweep.quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dataplane.json")
+    };
+    if quick() {
+        std::fs::write(path, format!("{{\n  \"connection_sweep\": {section}\n}}\n")).unwrap();
+    } else {
+        splice_into_bench_json(path, &section).unwrap();
+    }
+    println!("wrote {path}");
+    server.shutdown();
+}

@@ -41,6 +41,97 @@ pub fn set_call_timeout(timeout: Duration) {
     CALL_TIMEOUT_MS.store((timeout.as_millis() as u64).max(1), Ordering::Relaxed);
 }
 
+/// Resolves a cached `u64` knob: the atomic holds the value once known,
+/// `0` meaning "not yet resolved" (first call reads `env_var`, falling
+/// back to `default`). All the reactor knobs below share this shape with
+/// [`call_timeout`].
+fn cached_env_u64(cell: &AtomicU64, env_var: &str, default: u64) -> u64 {
+    let cached = cell.load(Ordering::Relaxed);
+    if cached != 0 {
+        return cached;
+    }
+    let v = std::env::var(env_var)
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default);
+    cell.store(v, Ordering::Relaxed);
+    v
+}
+
+static RPC_WORKERS: AtomicU64 = AtomicU64::new(0);
+static RPC_INBOX_LIMIT: AtomicU64 = AtomicU64::new(0);
+static RPC_EGRESS_CAP: AtomicU64 = AtomicU64::new(0);
+static RPC_CLIENT_REACTORS: AtomicU64 = AtomicU64::new(0);
+
+/// Size of the fixed worker pool behind each TCP server's reactor
+/// (request execution happens on these threads, never on the reactor
+/// thread). Default: the machine's available parallelism clamped to
+/// `[2, 8]`; override with `JIFFY_RPC_WORKERS` (read once, then cached)
+/// or [`set_rpc_workers`].
+pub fn rpc_workers() -> usize {
+    let default = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 8) as u64;
+    cached_env_u64(&RPC_WORKERS, "JIFFY_RPC_WORKERS", default) as usize
+}
+
+/// Overrides the server worker-pool size process-wide (existing servers
+/// keep the pool they started with; new `serve_tcp` calls see the new
+/// value). Values round up to 1.
+pub fn set_rpc_workers(n: usize) {
+    RPC_WORKERS.store((n as u64).max(1), Ordering::Relaxed);
+}
+
+/// Per-session ingress backlog: how many decoded-but-unexecuted request
+/// frames one session may queue before the reactor stops reading its
+/// socket (backpressure propagates to the peer through TCP flow
+/// control). Default 256; override with `JIFFY_RPC_INBOX_LIMIT` or
+/// [`set_rpc_inbox_limit`].
+pub fn rpc_inbox_limit() -> usize {
+    cached_env_u64(&RPC_INBOX_LIMIT, "JIFFY_RPC_INBOX_LIMIT", 256) as usize
+}
+
+/// Overrides the per-session ingress backlog process-wide. Values round
+/// up to 1.
+pub fn set_rpc_inbox_limit(n: usize) {
+    RPC_INBOX_LIMIT.store((n as u64).max(1), Ordering::Relaxed);
+}
+
+/// Per-socket egress-queue cap in bytes: senders whose peer stops
+/// draining block once this many encoded-but-unsent bytes are queued
+/// (a single frame larger than the cap is always admitted into an empty
+/// queue, so `MAX_FRAME_LEN` frames still pass). Default 8 MiB; override
+/// with `JIFFY_RPC_EGRESS_CAP_BYTES` or [`set_rpc_egress_cap`].
+pub fn rpc_egress_cap() -> usize {
+    cached_env_u64(
+        &RPC_EGRESS_CAP,
+        "JIFFY_RPC_EGRESS_CAP_BYTES",
+        8 * 1024 * 1024,
+    ) as usize
+}
+
+/// Overrides the egress cap process-wide. Values round up to 1.
+pub fn set_rpc_egress_cap(bytes: usize) {
+    RPC_EGRESS_CAP.store((bytes as u64).max(1), Ordering::Relaxed);
+}
+
+/// Number of shared client-side reactor threads demultiplexing *all*
+/// outbound TCP connections of this process (connections are assigned
+/// round-robin at dial time). Default: available parallelism / 4 clamped
+/// to `[1, 4]`; override with `JIFFY_CLIENT_REACTORS`. Read once at the
+/// first dial — there is no setter, because resizing a live pool would
+/// strand registered connections.
+pub fn rpc_client_reactors() -> usize {
+    let default = (std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        / 4)
+    .clamp(1, 4) as u64;
+    cached_env_u64(&RPC_CLIENT_REACTORS, "JIFFY_CLIENT_REACTORS", default) as usize
+}
+
 /// Tunable parameters of a Jiffy deployment.
 ///
 /// Defaults follow §6 of the paper: 128 MB blocks, 1 s lease duration,

@@ -22,6 +22,10 @@ pub mod id;
 pub mod size;
 
 pub use clock::{Clock, ManualClock, SystemClock};
-pub use config::{call_timeout, set_call_timeout, JiffyConfig, DEFAULT_CALL_TIMEOUT};
+pub use config::{
+    call_timeout, rpc_client_reactors, rpc_egress_cap, rpc_inbox_limit, rpc_workers,
+    set_call_timeout, set_rpc_egress_cap, set_rpc_inbox_limit, set_rpc_workers, JiffyConfig,
+    DEFAULT_CALL_TIMEOUT,
+};
 pub use error::{JiffyError, Result};
 pub use id::{BlockId, JobId, ServerId};

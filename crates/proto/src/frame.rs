@@ -110,6 +110,106 @@ pub fn read_frame_into<R: Read>(r: &mut R, buf: &mut Vec<u8>) -> Result<Option<u
     Ok(Some(len))
 }
 
+/// Incremental frame reassembly for nonblocking transports.
+///
+/// A readiness-driven read loop pulls whatever bytes the socket has
+/// (`WouldBlock` can strike at *any* byte boundary — mid-header,
+/// mid-payload) and feeds them in with [`FrameAssembler::push`]; complete
+/// frames come back out of [`FrameAssembler::next_frame_into`] exactly as
+/// the blocking [`read_frame_into`] would have produced them. Bytes of an
+/// incomplete frame are buffered across calls; consumed bytes are
+/// compacted away lazily so a long-lived session does not grow without
+/// bound.
+///
+/// Length prefixes above [`MAX_FRAME_LEN`] are rejected as soon as the
+/// four header bytes are present — before any payload is buffered — so a
+/// corrupt or adversarial prefix cannot trigger a giant allocation. After
+/// an error the assembler is poisoned (the bad header stays at the front)
+/// and every subsequent call re-reports the error; the owning connection
+/// is expected to tear down.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    head: usize,
+}
+
+/// Compact when the dead prefix passes this many bytes and dominates the
+/// buffer — amortizes the memmove to O(1) per byte.
+const COMPACT_THRESHOLD: usize = 64 * 1024;
+
+impl FrameAssembler {
+    /// Creates an empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read from the transport (any amount, including a
+    /// single byte).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet returned as part of a complete frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Extracts the next complete frame into the reusable scratch buffer
+    /// `out` (cleared and resized to the payload, capacity kept across
+    /// calls), returning its length — or `Ok(None)` if the buffered bytes
+    /// do not yet form a complete frame.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffered length prefix exceeds [`MAX_FRAME_LEN`].
+    pub fn next_frame_into(&mut self, out: &mut Vec<u8>) -> Result<Option<usize>> {
+        let avail = self.buf.len() - self.head;
+        if avail < 4 {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 4];
+        len_buf.copy_from_slice(&self.buf[self.head..self.head + 4]);
+        let len = u32::from_le_bytes(len_buf) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(JiffyError::Codec(format!(
+                "incoming frame length {len} exceeds MAX_FRAME_LEN"
+            )));
+        }
+        if avail < 4 + len {
+            self.maybe_compact();
+            return Ok(None);
+        }
+        out.clear();
+        out.extend_from_slice(&self.buf[self.head + 4..self.head + 4 + len]);
+        self.head += 4 + len;
+        self.maybe_compact();
+        Ok(Some(len))
+    }
+
+    /// Extracts the next complete frame as an owned payload, or `None`
+    /// if the buffered bytes do not yet form one. Allocating variant of
+    /// [`FrameAssembler::next_frame_into`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the buffered length prefix exceeds [`MAX_FRAME_LEN`].
+    pub fn next_frame(&mut self) -> Result<Option<Vec<u8>>> {
+        let mut out = Vec::new();
+        Ok(self.next_frame_into(&mut out)?.map(|_| out))
+    }
+
+    fn maybe_compact(&mut self) {
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head >= COMPACT_THRESHOLD && self.head >= self.buf.len() / 2 {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +340,88 @@ mod tests {
         for i in 0..10u8 {
             assert_eq!(read_frame(&mut cur).unwrap().unwrap(), vec![i; 3]);
         }
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_at_a_time() {
+        let mut stream = Vec::new();
+        encode_frame(b"hello", &mut stream).unwrap();
+        encode_frame(b"", &mut stream).unwrap();
+        encode_frame(&[7u8; 300], &mut stream).unwrap();
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            asm.push(std::slice::from_ref(b));
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![b"hello".to_vec(), Vec::new(), vec![7u8; 300]]);
+        assert_eq!(asm.buffered(), 0);
+    }
+
+    #[test]
+    fn assembler_handles_frames_straddling_chunks() {
+        let mut stream = Vec::new();
+        for i in 0..5u8 {
+            encode_frame(&[i; 9], &mut stream).unwrap();
+        }
+        // Feed in chunks that never align with frame boundaries.
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        let mut scratch = Vec::new();
+        for chunk in stream.chunks(7) {
+            asm.push(chunk);
+            while let Some(n) = asm.next_frame_into(&mut scratch).unwrap() {
+                assert_eq!(n, 9);
+                got.push(scratch.clone());
+            }
+        }
+        assert_eq!(got.len(), 5);
+        for (i, f) in got.iter().enumerate() {
+            assert_eq!(f, &vec![i as u8; 9]);
+        }
+    }
+
+    #[test]
+    fn assembler_rejects_oversized_prefix_before_buffering_payload() {
+        let mut asm = FrameAssembler::new();
+        // Header claims MAX_FRAME_LEN + 1; only 4 bytes ever arrive.
+        asm.push(&((MAX_FRAME_LEN as u32) + 1).to_le_bytes());
+        assert!(asm.next_frame().is_err());
+        // Poisoned: the error persists (no silent resync on garbage).
+        assert!(asm.next_frame().is_err());
+    }
+
+    #[test]
+    fn assembler_incomplete_header_and_payload_return_none() {
+        let mut asm = FrameAssembler::new();
+        asm.push(&[5, 0, 0]);
+        assert!(asm.next_frame().unwrap().is_none());
+        asm.push(&[0, b'a', b'b']);
+        assert!(asm.next_frame().unwrap().is_none());
+        asm.push(b"cde");
+        assert_eq!(asm.next_frame().unwrap().unwrap(), b"abcde");
+        assert!(asm.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn assembler_compacts_consumed_bytes() {
+        let mut asm = FrameAssembler::new();
+        let mut stream = Vec::new();
+        encode_frame(&[1u8; 100_000], &mut stream).unwrap();
+        encode_frame(b"tail", &mut stream).unwrap();
+        asm.push(&stream);
+        let mut scratch = Vec::new();
+        assert_eq!(
+            asm.next_frame_into(&mut scratch).unwrap(),
+            Some(100_000),
+            "first frame out"
+        );
+        // The consumed 100 KB prefix is past COMPACT_THRESHOLD and
+        // dominates the buffer, so it must have been compacted away.
+        assert!(asm.buf.len() < 100_000, "dead prefix compacted");
+        assert_eq!(asm.next_frame().unwrap().unwrap(), b"tail");
+        assert_eq!(asm.buffered(), 0);
     }
 }

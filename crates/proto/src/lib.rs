@@ -20,7 +20,9 @@ pub mod journal;
 pub mod messages;
 pub mod wire;
 
-pub use frame::{encode_frame, read_frame, read_frame_into, write_frame, MAX_FRAME_LEN};
+pub use frame::{
+    encode_frame, read_frame, read_frame_into, write_frame, FrameAssembler, MAX_FRAME_LEN,
+};
 pub use journal::{JournalBatch, JournalOp, JournalRecord, JournalSnapshot};
 pub use messages::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,

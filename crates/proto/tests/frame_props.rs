@@ -9,7 +9,9 @@
 use std::io::Cursor;
 
 use jiffy_common::{BlockId, JiffyError};
-use jiffy_proto::frame::{encode_frame, read_frame, read_frame_into, write_frame, MAX_FRAME_LEN};
+use jiffy_proto::frame::{
+    encode_frame, read_frame, read_frame_into, write_frame, FrameAssembler, MAX_FRAME_LEN,
+};
 use jiffy_proto::wire::{from_bytes, to_bytes, to_bytes_into};
 use jiffy_proto::{Blob, DataRequest, DataResponse, DsOp, DsResult, Envelope};
 use proptest::prelude::*;
@@ -167,6 +169,159 @@ proptest! {
         }
         prop_assert!(read_frame_into(&mut cur, &mut read_scratch).unwrap().is_none());
     }
+
+    /// Nonblocking reassembly: the encoded stream cut into arbitrary
+    /// chunks (each cut is a `WouldBlock` the reactor's read loop would
+    /// see) and fed through a [`FrameAssembler`] yields exactly the
+    /// original payloads, byte for byte, regardless of where the cuts
+    /// fall — mid-header, mid-payload, or between frames.
+    #[test]
+    fn assembler_reassembles_across_arbitrary_chunk_cuts(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..512), 0..8),
+        cuts in proptest::collection::vec(1usize..48, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut stream).unwrap();
+        }
+        let mut asm = FrameAssembler::new();
+        let mut scratch = Vec::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        let mut i = 0;
+        while off < stream.len() {
+            let n = cuts[i % cuts.len()].min(stream.len() - off);
+            i += 1;
+            asm.push(&stream[off..off + n]);
+            off += n;
+            // Drain eagerly after every chunk, as the read loop does.
+            while let Some(len) = asm.next_frame_into(&mut scratch).unwrap() {
+                prop_assert_eq!(len, scratch.len());
+                got.push(scratch.clone());
+            }
+        }
+        prop_assert_eq!(got, payloads);
+        // No bytes may be left behind.
+        prop_assert_eq!(asm.buffered(), 0);
+    }
+
+    /// Chunked feeding is equivalent to one-shot feeding: the assembler
+    /// must be insensitive to *when* bytes arrive, only to *what* bytes
+    /// arrive.
+    #[test]
+    fn chunked_feed_equals_single_feed(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..256), 1..6),
+        cuts in proptest::collection::vec(1usize..16, 1..32),
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            encode_frame(p, &mut stream).unwrap();
+        }
+
+        let mut whole = FrameAssembler::new();
+        whole.push(&stream);
+        let mut expected = Vec::new();
+        while let Some(f) = whole.next_frame().unwrap() {
+            expected.push(f);
+        }
+
+        let mut chunked = FrameAssembler::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        for (i, _) in stream.iter().enumerate() {
+            let n = cuts[i % cuts.len()].min(stream.len() - off);
+            if n == 0 {
+                break;
+            }
+            chunked.push(&stream[off..off + n]);
+            off += n;
+            while let Some(f) = chunked.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got, expected);
+    }
+}
+
+/// Exhaustive single-cut sweep: a three-frame stream (empty, tiny and
+/// multi-byte payloads) split at *every* byte boundary must reassemble
+/// identically. Covers each header/payload straddle position the
+/// proptests sample randomly.
+#[test]
+fn assembler_survives_a_cut_at_every_byte_boundary() {
+    let payloads: [&[u8]; 3] = [b"", b"x", b"hello, framed world"];
+    let mut stream = Vec::new();
+    for p in payloads {
+        encode_frame(p, &mut stream).unwrap();
+    }
+    for split in 0..=stream.len() {
+        let mut asm = FrameAssembler::new();
+        let mut got = Vec::new();
+        for part in [&stream[..split], &stream[split..]] {
+            asm.push(part);
+            while let Some(f) = asm.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.len(), payloads.len(), "split at {split}");
+        for (g, p) in got.iter().zip(payloads) {
+            assert_eq!(g, p, "split at {split}");
+        }
+        assert_eq!(asm.buffered(), 0, "split at {split}");
+    }
+}
+
+/// Frames straddling chunk cuts at the size limit. A payload of exactly
+/// [`MAX_FRAME_LEN`] fed with the header torn across two pushes and the
+/// body in 32 MiB chunks reassembles intact; a header declaring one byte
+/// over the limit is rejected the moment its fourth byte arrives —
+/// before any payload is buffered — and the assembler stays poisoned.
+/// Not a proptest: the in-bounds case allocates 192 MiB, deliberately.
+#[test]
+fn assembler_chunked_at_and_over_the_size_limit() {
+    // Exactly MAX_FRAME_LEN, header straddling a cut.
+    let header = (MAX_FRAME_LEN as u32).to_le_bytes();
+    let payload = vec![0xA5u8; MAX_FRAME_LEN];
+    let mut asm = FrameAssembler::new();
+    let mut scratch = Vec::new();
+    asm.push(&header[..2]);
+    assert_eq!(asm.next_frame_into(&mut scratch).unwrap(), None);
+    asm.push(&header[2..]);
+    for chunk in payload.chunks(32 << 20) {
+        assert_eq!(
+            asm.next_frame_into(&mut scratch).unwrap(),
+            None,
+            "frame must not surface before its last byte"
+        );
+        asm.push(chunk);
+    }
+    drop(payload);
+    let n = asm
+        .next_frame_into(&mut scratch)
+        .unwrap()
+        .expect("complete frame");
+    assert_eq!(n, MAX_FRAME_LEN);
+    assert!(scratch.iter().all(|&b| b == 0xA5));
+    assert_eq!(asm.buffered(), 0);
+    drop(asm);
+    drop(scratch);
+
+    // One byte over the limit: fed byte-at-a-time, the oversized prefix
+    // is rejected exactly when the header completes, with nothing of the
+    // (never-sent) payload buffered.
+    let bad = ((MAX_FRAME_LEN + 1) as u32).to_le_bytes();
+    let mut asm = FrameAssembler::new();
+    let mut scratch = Vec::new();
+    for &b in &bad[..3] {
+        asm.push(&[b]);
+        assert_eq!(asm.next_frame_into(&mut scratch).unwrap(), None);
+    }
+    asm.push(&bad[3..]);
+    let err = asm.next_frame_into(&mut scratch).unwrap_err();
+    assert!(matches!(err, JiffyError::Codec(_)), "got {err:?}");
+    // Poisoned: more bytes do not clear the fault.
+    asm.push(b"garbage after the bad header");
+    assert!(asm.next_frame_into(&mut scratch).is_err());
 }
 
 /// Boundary behaviour at the frame size limit. Not a proptest: the

@@ -9,8 +9,13 @@
 //!   notification subsystem.
 //! - [`inproc`] — a zero-copy in-process transport (used by tests, the
 //!   simulator and single-process deployments).
-//! - [`tcp`] — a framed TCP transport with a per-connection demultiplexer
-//!   thread, allowing concurrent in-flight requests per connection.
+//! - [`reactor`] — the vendored epoll reactor core: readiness-driven
+//!   event loop, fixed worker pool, per-socket egress queues and the
+//!   sharded waiter table (DESIGN.md §12).
+//! - [`tcp`] — a framed TCP transport on the reactor: one event loop
+//!   multiplexes every session, so thousands of concurrent connections
+//!   cost zero threads, with concurrent in-flight requests per
+//!   connection.
 //! - [`fabric`] — unified addressing (`inproc:N` / `tcp:host:port`),
 //!   connection pooling and an optional latency injector for experiments.
 //! - [`fault`] — seeded, deterministic fault injection ([`FaultInjector`]
@@ -27,6 +32,7 @@ pub mod dedup;
 pub mod fabric;
 pub mod fault;
 pub mod inproc;
+pub mod reactor;
 pub mod retry;
 pub mod service;
 pub mod tcp;
@@ -35,6 +41,10 @@ pub use dedup::Deduplicated;
 pub use fabric::{Fabric, LatencyInjector};
 pub use fault::{ChaosConn, FaultInjector, FaultRule, FaultStats};
 pub use inproc::InprocHub;
+pub use reactor::{
+    EgressQueue, EgressSink, EventHandler, Interest, Reactor, SendStatus, WaiterSlot, WaiterTable,
+    WorkerPool,
+};
 pub use retry::RetryPolicy;
 pub use service::{ClientConn, PushCallback, Service, SessionHandle};
 pub use tcp::{TcpServerHandle, TransportStats};

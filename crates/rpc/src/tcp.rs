@@ -1,51 +1,81 @@
-//! Framed TCP transport.
+//! Framed TCP transport on the epoll reactor core.
 //!
-//! Mirrors the paper's Thrift deployment: every connection carries
-//! length-prefixed frames (see [`jiffy_proto::frame`]); a per-connection
-//! demultiplexer on the client side lets many threads keep requests in
-//! flight concurrently, and the server can push notifications on the same
-//! connection at any time (envelope variant [`Envelope::Push`]).
+//! Mirrors the paper's Thrift deployment (§4.2.2): every connection
+//! carries length-prefixed frames (see [`jiffy_proto::frame`]) and many
+//! client threads multiplex concurrent in-flight requests over one
+//! connection, with server pushes ([`Envelope::Push`]) arriving on the
+//! same socket at any time.
 //!
-//! The data-plane fast path (paper §4.2.2) lives here too:
+//! Since the c10k rewrite the transport is **readiness-driven** (see
+//! [`crate::reactor`] and DESIGN.md §12) instead of thread-per-
+//! connection:
 //!
-//! - every encode goes through a reusable scratch buffer
-//!   ([`jiffy_proto::to_bytes_into`]) and every read loop through
-//!   [`frame::read_frame_into`], so steady-state calls allocate nothing;
-//! - outgoing frames are *corked in userspace* ([`CorkedWriter`]): frames
-//!   queued while another thread is writing are packed back to back and
-//!   shipped by that thread in one `write_all` — one syscall per run of
-//!   frames instead of two per frame;
-//! - pending calls park in a sharded waiter table ([`WaiterTable`]) of
-//!   pooled condvar slots instead of a global `Mutex<HashMap>` of
-//!   rendezvous channels.
+//! - each [`serve_tcp`] server runs one [`Reactor`] thread multiplexing
+//!   the listener plus every session socket (all nonblocking), and a
+//!   fixed [`WorkerPool`] (size [`jiffy_common::rpc_workers`]) that
+//!   executes decoded requests — thousands of idle sessions cost zero
+//!   threads;
+//! - incoming bytes are reassembled by [`FrameAssembler`] and queued per
+//!   session; a session's frames execute **in order** (an inbox +
+//!   `scheduled` flag make the session a tiny actor), preserving the
+//!   serial semantics of the old per-connection thread. When a session's
+//!   inbox exceeds [`jiffy_common::rpc_inbox_limit`], its read interest
+//!   is dropped until the workers catch up (TCP backpressure instead of
+//!   unbounded buffering);
+//! - outgoing frames go through a per-socket [`EgressQueue`] — the PR 4
+//!   corked writer adapted to nonblocking sockets: concurrent senders
+//!   still collapse into single large writes, and on `WouldBlock` the
+//!   frames park until the reactor reports writability;
+//! - client connections share a small process-wide reactor pool
+//!   ([`jiffy_common::rpc_client_reactors`] threads) that demuxes
+//!   replies straight into the PR 4 sharded [`WaiterTable`] — the
+//!   per-connection demux thread is gone, so a process can hold
+//!   thousands of dialed connections.
+//!
+//! The data-plane fast path survives unchanged: encodes go through a
+//! reusable scratch buffer ([`jiffy_proto::to_bytes_into`]), steady-state
+//! calls park in pooled waiter slots without allocating, and frame
+//! payload buffers are recycled per session.
 
 use std::cell::RefCell;
-use std::collections::HashMap;
-use std::io::Write;
+use std::collections::VecDeque;
+use std::io::Read;
 use std::net::{TcpListener, TcpStream};
-use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::time::Duration;
 
 use jiffy_common::config::call_timeout;
 use jiffy_common::{JiffyError, Result};
-use jiffy_proto::{frame, from_bytes, to_bytes, to_bytes_into, Envelope};
+use jiffy_proto::{from_bytes, to_bytes, to_bytes_into, Envelope, FrameAssembler};
 use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use jiffy_sync::{Arc, Condvar, Mutex};
+use jiffy_sync::{Arc, Mutex, Weak};
 
+use crate::reactor::{
+    EgressQueue, EventHandler, Interest, Reactor, SendStatus, WaiterTable, WorkerPool,
+};
 use crate::service::{ClientConn, Connection, PushCallback, PushSlot, Service, SessionHandle};
 
-/// Counters for the TCP transport itself (the accept loop and its
-/// session threads), in the same snapshot style as the fault injector's
+/// How many bytes one readiness dispatch reads per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Recycled payload buffers kept per session.
+const SPARE_BUFFERS: usize = 8;
+
+/// Counters for the TCP transport itself (the accept path and its
+/// sessions), in the same snapshot style as the fault injector's
 /// `FaultStats`. Snapshot via [`TcpServerHandle::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransportStats {
     /// Connections accepted by the listener.
     pub accepted: u64,
-    /// Accepted connections dropped because the session thread could not
-    /// be spawned (previously a silent `let _ =`).
+    /// Accepted connections dropped because the session could not be
+    /// registered with the reactor (the rewrite's analogue of the old
+    /// session-thread spawn failure — previously a silent `let _ =`).
     pub spawn_failures: u64,
     /// Transient accept-loop errors.
     pub accept_errors: u64,
+    /// Sessions torn down (peer EOF, decode error, or write failure).
+    pub sessions_closed: u64,
 }
 
 #[derive(Default)]
@@ -53,7 +83,13 @@ struct TransportCells {
     accepted: AtomicU64,
     spawn_failures: AtomicU64,
     accept_errors: AtomicU64,
+    sessions_closed: AtomicU64,
     spawn_failure_logged: AtomicBool,
+    /// Test hook: pending synthetic accept errors (see
+    /// [`TcpServerHandle::inject_accept_errors`]).
+    inject_accept_errors: AtomicU64,
+    /// Test hook: pending synthetic session-registration failures.
+    inject_session_failures: AtomicU64,
 }
 
 impl TransportCells {
@@ -62,16 +98,28 @@ impl TransportCells {
             accepted: self.accepted.load(Ordering::Relaxed),
             spawn_failures: self.spawn_failures.load(Ordering::Relaxed),
             accept_errors: self.accept_errors.load(Ordering::Relaxed),
+            sessions_closed: self.sessions_closed.load(Ordering::Relaxed),
         }
     }
 }
 
+/// Decrements `counter` if positive; true when a unit was taken.
+fn take_one(counter: &AtomicU64) -> bool {
+    counter
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+        .is_ok()
+}
+
 /// Handle to a running TCP server; dropping it (or calling
-/// [`TcpServerHandle::shutdown`]) stops the accept loop.
+/// [`TcpServerHandle::shutdown`]) closes the listener and tears down the
+/// reactor, its sessions, and the worker pool.
 pub struct TcpServerHandle {
     addr: String,
     stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    reactor: Arc<Reactor>,
+    pool: Arc<WorkerPool<Arc<ServerSession>>>,
+    listener: Arc<ListenerHandler>,
+    listener_token: u64,
     cells: Arc<TransportCells>,
 }
 
@@ -82,22 +130,64 @@ impl TcpServerHandle {
     }
 
     /// A snapshot of the transport counters (connections accepted,
-    /// session-spawn failures, accept errors).
+    /// session-registration failures, accept errors, sessions closed).
     pub fn stats(&self) -> TransportStats {
         self.cells.snapshot()
     }
 
-    /// Stops accepting new connections. Existing connections live until
-    /// their peers disconnect.
+    /// Sessions currently registered with the server's reactor.
+    pub fn live_sessions(&self) -> usize {
+        // The listener itself occupies one registration until shutdown.
+        let n = self.reactor.registered();
+        if self.stop.load(Ordering::SeqCst) {
+            n
+        } else {
+            n.saturating_sub(1)
+        }
+    }
+
+    /// Request frames decoded but not yet picked up by a worker, plus
+    /// worker threads serving this listener — test/bench introspection.
+    #[doc(hidden)]
+    pub fn worker_backlog(&self) -> usize {
+        self.pool.backlog()
+    }
+
+    /// Makes the accept path report `n` synthetic transient errors (one
+    /// per readiness pass, before touching the real backlog) so tests can
+    /// prove the listener survives accept errors. Test hook.
+    #[doc(hidden)]
+    pub fn inject_accept_errors(&self, n: u64) {
+        self.cells
+            .inject_accept_errors
+            .fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Makes the next `n` accepted connections fail session registration
+    /// (counted in [`TransportStats::spawn_failures`], peer sees a
+    /// reset), mirroring the old session-thread spawn failure. Test hook.
+    #[doc(hidden)]
+    pub fn fail_next_sessions(&self, n: u64) {
+        self.cells
+            .inject_session_failures
+            .fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Stops the server: the listener closes (new dials are refused),
+    /// live sessions are torn down, and the reactor + worker threads are
+    /// joined. Clients with pooled connections observe broken sockets
+    /// and evict them — exactly what a server crash looks like.
     pub fn shutdown(&mut self) {
         if !self.stop.swap(true, Ordering::SeqCst) {
-            // Unblock the accept loop with a throwaway connection.
-            if let Some(hostport) = self.addr.strip_prefix("tcp:") {
-                let _ = TcpStream::connect(hostport);
-            }
-            if let Some(t) = self.accept_thread.take() {
-                let _ = t.join();
-            }
+            // Closing the listener fd refuses new dials immediately and
+            // unblocks nothing: the accept path is readiness-driven.
+            *self.listener.listener.lock() = None;
+            self.reactor
+                .deregister(self.listener_token, self.listener.fd);
+            // Joining the reactor drops every session handler: session
+            // sockets close and peers see EOF/reset.
+            self.reactor.shutdown();
+            self.pool.shutdown();
         }
     }
 }
@@ -113,160 +203,444 @@ impl Drop for TcpServerHandle {
 ///
 /// # Errors
 ///
-/// Fails if the listener cannot bind.
+/// Fails if the listener cannot bind or the reactor/worker threads cannot
+/// be spawned.
 pub fn serve_tcp(bind: &str, service: Arc<dyn Service>) -> Result<TcpServerHandle> {
     let listener = TcpListener::bind(bind)?;
     let local = listener.local_addr()?;
-    let stop = Arc::new(AtomicBool::new(false));
-    let stop2 = stop.clone();
+    listener.set_nonblocking(true)?;
+    let reactor = Reactor::start(&format!("srv-{}", local.port()))?;
+    let pool = match WorkerPool::start(
+        jiffy_common::rpc_workers(),
+        &format!("jiffy-rpc-worker-{}", local.port()),
+        |sess: Arc<ServerSession>| sess.process(),
+    ) {
+        Ok(p) => Arc::new(p),
+        Err(e) => {
+            reactor.shutdown();
+            return Err(e);
+        }
+    };
     let cells = Arc::new(TransportCells::default());
-    let cells2 = cells.clone();
-    let accept_thread = std::thread::Builder::new()
-        .name(format!("jiffy-tcp-accept-{local}"))
-        .spawn(move || {
-            for stream in listener.incoming() {
-                if stop2.load(Ordering::SeqCst) {
-                    break;
-                }
-                match stream {
-                    Ok(s) => {
-                        cells2.accepted.fetch_add(1, Ordering::Relaxed);
-                        let svc = service.clone();
-                        let spawned = std::thread::Builder::new()
-                            .name("jiffy-tcp-session".into())
-                            .spawn(move || session_loop(s, svc));
-                        if let Err(e) = spawned {
-                            // The stream moved into the dead closure and
-                            // closes here: the peer sees a reset, not a
-                            // silent hang.
-                            cells2.spawn_failures.fetch_add(1, Ordering::Relaxed);
-                            if !cells2.spawn_failure_logged.swap(true, Ordering::Relaxed) {
-                                eprintln!(
-                                    "jiffy-rpc: dropping accepted connection on {local}: \
-                                     session thread spawn failed: {e} (further failures counted, \
-                                     not logged)"
-                                );
-                            }
-                        }
-                    }
-                    Err(_) => {
-                        cells2.accept_errors.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                }
-            }
-        })
-        .map_err(|e| JiffyError::Rpc(format!("spawn accept thread: {e}")))?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let fd = listener.as_raw_fd();
+    let handler = Arc::new(ListenerHandler {
+        fd,
+        local: local.to_string(),
+        listener: Mutex::new(Some(listener)),
+        cells: cells.clone(),
+        service,
+        reactor: reactor.clone(),
+        pool: pool.clone(),
+        inbox_limit: jiffy_common::rpc_inbox_limit().max(1),
+        stop: stop.clone(),
+    });
+    let listener_token = match reactor.register(handler.clone(), true, false) {
+        Ok(t) => t,
+        Err(e) => {
+            reactor.shutdown();
+            pool.shutdown();
+            return Err(e);
+        }
+    };
     Ok(TcpServerHandle {
         addr: format!("tcp:{local}"),
         stop,
-        accept_thread: Some(accept_thread),
+        reactor,
+        pool,
+        listener: handler,
+        listener_token,
         cells,
     })
 }
 
-/// State shared by every sender on one connection: frames encoded but
-/// not yet written, whether a flusher is active, and whether the stream
-/// is beyond use.
-struct CorkedState {
-    pending: Vec<u8>,
-    flushing: bool,
-    broken: bool,
+/// The listener's event handler: accepts ready connections and registers
+/// each as a [`ServerSession`] with the same reactor.
+struct ListenerHandler {
+    fd: RawFd,
+    local: String,
+    /// Taken (closed) at shutdown so new dials are refused immediately.
+    listener: Mutex<Option<TcpListener>>,
+    cells: Arc<TransportCells>,
+    service: Arc<dyn Service>,
+    reactor: Arc<Reactor>,
+    pool: Arc<WorkerPool<Arc<ServerSession>>>,
+    inbox_limit: usize,
+    stop: Arc<AtomicBool>,
 }
 
-/// Userspace write corking. Senders append their (length-prefixed)
-/// frame to a shared buffer under a short lock; whichever thread finds
-/// no flush in progress becomes the flusher and ships everything queued
-/// so far in a single `write_all` — repeating until the buffer stays
-/// empty. Threads that queue while a flush is in flight return
-/// immediately: their frame rides the flusher's next pass, so a burst of
-/// concurrent small calls collapses into one syscall.
-struct CorkedWriter {
-    state: Mutex<CorkedState>,
-    stream: TcpStream,
-}
-
-impl CorkedWriter {
-    fn new(stream: TcpStream) -> Self {
-        Self {
-            state: Mutex::new(CorkedState {
-                pending: Vec::new(),
-                flushing: false,
-                broken: false,
-            }),
-            stream,
+impl ListenerHandler {
+    fn register_session(&self, stream: TcpStream) -> Result<()> {
+        if take_one(&self.cells.inject_session_failures) {
+            return Err(JiffyError::Rpc("injected session failure".into()));
         }
-    }
-
-    /// Queues `payload` as one frame and ensures a flush is in flight.
-    ///
-    /// An `Ok` return means the frame is queued (and usually already
-    /// written); if a *later* flush by another thread fails, the
-    /// connection breaks and pending callers are failed through the
-    /// demux/read path, exactly as with a per-frame write.
-    fn send(&self, payload: &[u8]) -> Result<()> {
-        let mut st = self.state.lock();
-        if st.broken {
-            return Err(JiffyError::Rpc("connection closed".into()));
-        }
-        frame::encode_frame(payload, &mut st.pending)?;
-        if st.flushing {
-            return Ok(());
-        }
-        st.flushing = true;
-        let mut buf = Vec::new();
-        loop {
-            std::mem::swap(&mut buf, &mut st.pending);
-            drop(st);
-            let io = (&self.stream).write_all(&buf);
-            buf.clear();
-            st = self.state.lock();
-            if let Err(e) = io {
-                st.broken = true;
-                st.flushing = false;
-                return Err(e.into());
+        let _ = stream.set_nodelay(true);
+        stream.set_nonblocking(true)?;
+        let egress_stream = stream.try_clone()?;
+        let fd = stream.as_raw_fd();
+        let token = self.reactor.token();
+        let sess = Arc::new_cyclic(|weak: &Weak<ServerSession>| {
+            let w = weak.clone();
+            let session = SessionHandle::new(Arc::new(move |n| {
+                // Pushes are off the request hot path; a fresh encode is
+                // fine. Best-effort: a dead session drops them.
+                if let Some(s) = w.upgrade() {
+                    if s.closed.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    if let Ok(bytes) = to_bytes(&Envelope::Push(n)) {
+                        if matches!(s.egress.send(&bytes), Ok(SendStatus::Parked)) {
+                            s.refresh_interest();
+                        }
+                    }
+                }
+            }));
+            ServerSession {
+                stream,
+                fd,
+                token,
+                reactor: self.reactor.clone(),
+                pool: self.pool.clone(),
+                cells: self.cells.clone(),
+                service: self.service.clone(),
+                session,
+                egress: EgressQueue::new(egress_stream),
+                interest: Interest::new(true, false),
+                assembler: Mutex::new(FrameAssembler::new()),
+                inbox: Mutex::new(VecDeque::new()),
+                spares: Mutex::new(Vec::new()),
+                inbox_limit: self.inbox_limit,
+                scheduled: AtomicBool::new(false),
+                paused: AtomicBool::new(false),
+                eof: AtomicBool::new(false),
+                closed: AtomicBool::new(false),
+                weak_self: weak.clone(),
             }
-            if st.pending.is_empty() {
-                // Hand the grown allocation back for the next run.
-                std::mem::swap(&mut buf, &mut st.pending);
-                st.flushing = false;
-                return Ok(());
-            }
-        }
+        });
+        self.reactor.register_at(token, sess, true, false)
     }
 }
 
-/// Serves one accepted connection until EOF or a transport error.
-fn session_loop(stream: TcpStream, service: Arc<dyn Service>) {
-    let _ = stream.set_nodelay(true);
-    let writer = Arc::new(CorkedWriter::new(match stream.try_clone() {
-        Ok(s) => s,
-        Err(_) => return,
-    }));
-    let push_writer = writer.clone();
-    let session = SessionHandle::new(Arc::new(move |n| {
-        // Pushes are off the request hot path; a fresh encode is fine.
-        if let Ok(bytes) = to_bytes(&Envelope::Push(n)) {
-            let _ = push_writer.send(&bytes);
+impl EventHandler for ListenerHandler {
+    fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    fn on_ready(&self, readable: bool, _writable: bool) -> bool {
+        if self.stop.load(Ordering::SeqCst) {
+            return false;
         }
-    }));
-    let mut reader = stream;
-    let mut payload = Vec::new();
-    let mut out = Vec::new();
-    while let Ok(Some(_)) = frame::read_frame_into(&mut reader, &mut payload) {
-        let env: Envelope = match from_bytes(&payload) {
-            Ok(e) => e,
-            Err(_) => break,
+        if !readable {
+            return true;
+        }
+        let guard = self.listener.lock();
+        let Some(listener) = guard.as_ref() else {
+            return false;
         };
-        let resp = service.handle(env, &session);
-        if to_bytes_into(&resp, &mut out).is_err() {
-            break;
-        }
-        if writer.send(&out).is_err() {
-            break;
+        loop {
+            if take_one(&self.cells.inject_accept_errors) {
+                // Synthetic transient error: count it and yield without
+                // touching the backlog — level-triggered epoll re-reports
+                // the pending connection on the next pass, proving the
+                // listener survives accept errors without losing conns.
+                self.cells.accept_errors.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    self.cells.accepted.fetch_add(1, Ordering::Relaxed);
+                    if let Err(e) = self.register_session(stream) {
+                        // The stream drops here: the peer sees a reset,
+                        // not a silent hang.
+                        self.cells.spawn_failures.fetch_add(1, Ordering::Relaxed);
+                        if !self
+                            .cells
+                            .spawn_failure_logged
+                            .swap(true, Ordering::Relaxed)
+                        {
+                            eprintln!(
+                                "jiffy-rpc: dropping accepted connection on {}: \
+                                 session registration failed: {e} (further failures \
+                                 counted, not logged)",
+                                self.local
+                            );
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.cells.accept_errors.fetch_add(1, Ordering::Relaxed);
+                    // Transient kernel errors (e.g. EMFILE) can report the
+                    // listener readable forever; yield briefly so a
+                    // level-triggered storm cannot monopolize the reactor.
+                    std::thread::sleep(Duration::from_millis(1));
+                    return true;
+                }
+            }
         }
     }
-    service.on_disconnect(&session);
+}
+
+/// One accepted connection: a tiny actor. The reactor thread reassembles
+/// frames into `inbox`; at most one worker at a time (the `scheduled`
+/// flag) drains the inbox in FIFO order, executing the service handler
+/// and replying through the egress queue — so requests on one session
+/// execute serially, exactly like the old per-connection thread.
+struct ServerSession {
+    stream: TcpStream,
+    fd: RawFd,
+    token: u64,
+    reactor: Arc<Reactor>,
+    pool: Arc<WorkerPool<Arc<ServerSession>>>,
+    cells: Arc<TransportCells>,
+    service: Arc<dyn Service>,
+    session: SessionHandle,
+    egress: EgressQueue<TcpStream>,
+    interest: Interest,
+    assembler: Mutex<FrameAssembler>,
+    /// Decoded-but-unexecuted request frames (payload bytes).
+    inbox: Mutex<VecDeque<Vec<u8>>>,
+    /// Recycled payload buffers.
+    spares: Mutex<Vec<Vec<u8>>>,
+    inbox_limit: usize,
+    /// A worker run is queued or active for this session.
+    scheduled: AtomicBool,
+    /// Read interest dropped because the inbox hit its limit.
+    paused: AtomicBool,
+    /// Peer EOF / fatal transport error observed; finalize after the
+    /// inbox drains.
+    eof: AtomicBool,
+    /// Finalized (on_disconnect ran, fd deregistered). Terminal.
+    closed: AtomicBool,
+    weak_self: Weak<ServerSession>,
+}
+
+impl ServerSession {
+    /// Recomputes epoll interest from live state: read while not paused
+    /// or dead, write while the egress queue owes a drain.
+    fn refresh_interest(&self) {
+        let _ = self
+            .interest
+            .update(&self.reactor, self.token, self.fd, |_, _| {
+                (
+                    !self.paused.load(Ordering::SeqCst) && !self.eof.load(Ordering::SeqCst),
+                    self.egress.needs_write(),
+                )
+            });
+    }
+
+    /// Ensures a worker run is queued (at most one at a time).
+    fn schedule(&self) {
+        if !self.scheduled.swap(true, Ordering::SeqCst) {
+            if let Some(me) = self.weak_self.upgrade() {
+                if !self.pool.submit(me) {
+                    self.scheduled.store(false, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    /// Reactor thread: feeds raw bytes through the frame assembler into
+    /// the inbox.
+    fn ingest(&self, bytes: &[u8]) -> Result<()> {
+        let mut asm = self.assembler.lock();
+        asm.push(bytes);
+        loop {
+            let mut payload = self.spares.lock().pop().unwrap_or_default();
+            match asm.next_frame_into(&mut payload)? {
+                Some(_) => self.inbox.lock().push_back(payload),
+                None => {
+                    self.recycle(payload);
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    fn recycle(&self, mut payload: Vec<u8>) {
+        payload.clear();
+        let mut spares = self.spares.lock();
+        if spares.len() < SPARE_BUFFERS {
+            spares.push(payload);
+        }
+    }
+
+    /// Worker thread: drains the inbox, executing requests in order.
+    fn process(&self) {
+        let mut out = Vec::new();
+        loop {
+            let next = self.inbox.lock().pop_front();
+            match next {
+                Some(payload) => {
+                    if self.paused.load(Ordering::SeqCst) {
+                        let len = self.inbox.lock().len();
+                        if len * 2 <= self.inbox_limit && self.paused.swap(false, Ordering::SeqCst)
+                        {
+                            self.refresh_interest();
+                        }
+                    }
+                    if !self.execute(&payload, &mut out) {
+                        self.recycle(payload);
+                        self.finalize();
+                        return;
+                    }
+                    self.recycle(payload);
+                }
+                None => {
+                    if self.eof.load(Ordering::SeqCst) {
+                        self.finalize();
+                        return;
+                    }
+                    self.scheduled.store(false, Ordering::SeqCst);
+                    // Re-check: the reactor may have queued work between
+                    // our empty pop and the flag clear (it saw
+                    // `scheduled` still set and skipped submitting).
+                    let more = self.eof.load(Ordering::SeqCst) || !self.inbox.lock().is_empty();
+                    if more && !self.scheduled.swap(true, Ordering::SeqCst) {
+                        continue;
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Runs one request; false breaks the session (mirrors the old
+    /// session loop's `break` on decode/encode/write errors).
+    fn execute(&self, payload: &[u8], out: &mut Vec<u8>) -> bool {
+        let env: Envelope = match from_bytes(payload) {
+            Ok(e) => e,
+            Err(_) => {
+                self.eof.store(true, Ordering::SeqCst);
+                return false;
+            }
+        };
+        let resp = self.service.handle(env, &self.session);
+        if to_bytes_into(&resp, out).is_err() {
+            self.eof.store(true, Ordering::SeqCst);
+            return false;
+        }
+        match self.egress.send(out) {
+            Ok(SendStatus::Flushed) => true,
+            Ok(SendStatus::Parked) => {
+                self.refresh_interest();
+                true
+            }
+            Err(_) => {
+                self.eof.store(true, Ordering::SeqCst);
+                false
+            }
+        }
+    }
+
+    /// Tears the session down exactly once: deregisters the fd, runs
+    /// `on_disconnect`, breaks the egress queue.
+    fn finalize(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            self.reactor.deregister(self.token, self.fd);
+            self.service.on_disconnect(&self.session);
+            self.egress.fail("session closed");
+            self.inbox.lock().clear();
+            self.cells.sessions_closed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl EventHandler for ServerSession {
+    fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    fn on_ready(&self, readable: bool, writable: bool) -> bool {
+        if self.closed.load(Ordering::SeqCst) {
+            return false;
+        }
+        if writable {
+            match self.egress.on_writable() {
+                Ok(SendStatus::Flushed) => self.refresh_interest(),
+                Ok(SendStatus::Parked) => {}
+                Err(_) => {
+                    self.eof.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        if readable && !self.eof.load(Ordering::SeqCst) && !self.paused.load(Ordering::SeqCst) {
+            let mut chunk = [0u8; READ_CHUNK];
+            loop {
+                match (&self.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        self.eof.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                    Ok(n) => {
+                        if self.ingest(&chunk[..n]).is_err() {
+                            // Oversized frame prefix: protocol violation.
+                            self.eof.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                        // A short read means the socket buffer is drained
+                        // — skip the would-be-EAGAIN syscall. Any bytes
+                        // that race in will refire the level-triggered
+                        // epoll.
+                        if n < READ_CHUNK {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.eof.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+            if self.inbox.lock().len() >= self.inbox_limit
+                && !self.paused.swap(true, Ordering::SeqCst)
+            {
+                self.refresh_interest();
+            }
+        }
+        if self.eof.load(Ordering::SeqCst) || !self.inbox.lock().is_empty() {
+            self.schedule();
+        }
+        true
+    }
+}
+
+thread_local! {
+    /// Per-thread encode scratch: steady-state calls serialize into this
+    /// buffer instead of allocating a fresh `Vec` per request.
+    static ENCODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The process-wide pool of client-side reactors. Dialed connections are
+/// assigned round-robin; the threads live for the process lifetime (like
+/// a global runtime's IO driver), so fd accounting in tests must
+/// baseline *after* the first dial.
+struct ClientReactors {
+    reactors: Vec<Arc<Reactor>>,
+    next: usize,
+}
+
+static CLIENT_REACTORS: Mutex<Option<ClientReactors>> = Mutex::new(None);
+
+fn client_reactor() -> Result<Arc<Reactor>> {
+    let mut guard = CLIENT_REACTORS.lock();
+    if guard.is_none() {
+        let n = jiffy_common::rpc_client_reactors().max(1);
+        let mut reactors = Vec::with_capacity(n);
+        for i in 0..n {
+            reactors.push(Reactor::start(&format!("client-{i}"))?);
+        }
+        *guard = Some(ClientReactors { reactors, next: 0 });
+    }
+    let Some(pool) = guard.as_mut() else {
+        return Err(JiffyError::Rpc("client reactor pool unavailable".into()));
+    };
+    let r = pool.reactors[pool.next % pool.reactors.len()].clone();
+    pool.next = pool.next.wrapping_add(1);
+    Ok(r)
 }
 
 /// Dials a Jiffy TCP address (`tcp:host:port`).
@@ -280,207 +654,195 @@ pub fn connect_tcp(addr: &str) -> Result<ClientConn> {
         .ok_or_else(|| JiffyError::Rpc(format!("bad tcp address: {addr}")))?;
     let stream = TcpStream::connect(hostport)?;
     let _ = stream.set_nodelay(true);
-    let conn = TcpConn::start(stream)?;
-    Ok(ClientConn(Arc::new(conn)))
+    stream.set_nonblocking(true)?;
+    let egress_stream = stream.try_clone()?;
+    let reactor = client_reactor()?;
+    let fd = stream.as_raw_fd();
+    let token = reactor.token();
+    let shared = Arc::new(ClientShared {
+        stream,
+        fd,
+        token,
+        reactor: reactor.clone(),
+        egress: EgressQueue::new(egress_stream),
+        interest: Interest::new(true, false),
+        waiters: WaiterTable::new(),
+        push: PushSlot::new(),
+        assembler: Mutex::new(ClientAssembler::default()),
+        closed: AtomicBool::new(false),
+    });
+    reactor.register_at(token, shared.clone(), true, false)?;
+    Ok(ClientConn(Arc::new(TcpConn {
+        shared,
+        next_id: AtomicU64::new(1),
+    })))
 }
 
-/// One parked call: the calling thread blocks on `cv` until the demux
-/// thread deposits the reply (or the deadline passes). Slots are pooled
-/// per shard, so a steady-state call registers a waiter without
-/// allocating.
 #[derive(Default)]
-struct WaiterSlot {
-    reply: Mutex<Option<Result<Envelope>>>,
-    cv: Condvar,
+struct ClientAssembler {
+    assembler: FrameAssembler,
+    /// Payload scratch reused across frames and dispatches.
+    payload: Vec<u8>,
 }
 
-impl WaiterSlot {
-    fn deliver(&self, r: Result<Envelope>) {
-        *self.reply.lock() = Some(r);
-        self.cv.notify_one();
-    }
-
-    /// Waits up to `timeout` for a reply; `None` on deadline.
-    fn wait_for_reply(&self, timeout: Duration) -> Option<Result<Envelope>> {
-        let deadline = Instant::now() + timeout;
-        let mut g = self.reply.lock();
-        loop {
-            if let Some(r) = g.take() {
-                return Some(r);
-            }
-            let now = Instant::now();
-            if now >= deadline {
-                return None;
-            }
-            if self.cv.wait_for(&mut g, deadline - now) {
-                return g.take();
-            }
-        }
-    }
-
-    /// Waits without a deadline. Used only once the demux thread has
-    /// claimed this slot, when delivery is imminent.
-    fn wait_reply(&self) -> Result<Envelope> {
-        let mut g = self.reply.lock();
-        loop {
-            if let Some(r) = g.take() {
-                return r;
-            }
-            self.cv.wait(&mut g);
-        }
-    }
-}
-
-const WAITER_SHARDS: u64 = 8;
-const SLOT_POOL_PER_SHARD: usize = 32;
-
-struct WaiterShard {
-    live: HashMap<u64, Arc<WaiterSlot>>,
-    free: Vec<Arc<WaiterSlot>>,
-}
-
-/// Pending calls keyed by request id, sharded to keep the register /
-/// claim handoff off a single hot mutex, with a per-shard slab of free
-/// slots so completed calls donate their parking spot to the next one.
-struct WaiterTable {
-    shards: Vec<Mutex<WaiterShard>>,
-}
-
-impl WaiterTable {
-    fn new() -> Self {
-        Self {
-            shards: (0..WAITER_SHARDS)
-                .map(|_| {
-                    Mutex::new(WaiterShard {
-                        live: HashMap::new(),
-                        free: Vec::new(),
-                    })
-                })
-                .collect(),
-        }
-    }
-
-    fn shard(&self, id: u64) -> &Mutex<WaiterShard> {
-        &self.shards[(id % WAITER_SHARDS) as usize]
-    }
-
-    /// Parks a new waiter for `id`, reusing a pooled slot when possible.
-    fn register(&self, id: u64) -> Arc<WaiterSlot> {
-        let mut sh = self.shard(id).lock();
-        let slot = sh
-            .free
-            .pop()
-            .unwrap_or_else(|| Arc::new(WaiterSlot::default()));
-        sh.live.insert(id, slot.clone());
-        slot
-    }
-
-    /// Demux side: claims (removes) the waiter for a reply id. `None`
-    /// means the caller already timed out and the reply is discarded.
-    fn claim(&self, id: u64) -> Option<Arc<WaiterSlot>> {
-        self.shard(id).lock().live.remove(&id)
-    }
-
-    /// Caller side: unregisters `slot` after a timeout or send failure.
-    /// Returns `false` if the demux thread claimed it concurrently (a
-    /// reply is in the middle of being delivered).
-    fn unregister(&self, id: u64, slot: &Arc<WaiterSlot>) -> bool {
-        let mut sh = self.shard(id).lock();
-        match sh.live.get(&id) {
-            Some(s) if Arc::ptr_eq(s, slot) => {
-                sh.live.remove(&id);
-                true
-            }
-            _ => false,
-        }
-    }
-
-    /// Returns a completed (and no longer registered) slot to its pool.
-    fn recycle(&self, id: u64, slot: Arc<WaiterSlot>) {
-        *slot.reply.lock() = None;
-        let mut sh = self.shard(id).lock();
-        if sh.free.len() < SLOT_POOL_PER_SHARD {
-            sh.free.push(slot);
-        }
-    }
-
-    /// Connection death: wakes every pending call with an error.
-    fn fail_all(&self, msg: &str) {
-        for shard in &self.shards {
-            let drained: Vec<_> = shard.lock().live.drain().collect();
-            for (_, slot) in drained {
-                slot.deliver(Err(JiffyError::Rpc(msg.into())));
-            }
-        }
-    }
-}
-
-thread_local! {
-    /// Per-thread encode scratch: steady-state calls serialize into this
-    /// buffer instead of allocating a fresh `Vec` per request.
-    static ENCODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
-}
-
-struct TcpConn {
-    writer: CorkedWriter,
-    waiters: Arc<WaiterTable>,
+/// Client-side connection state shared between the caller-facing
+/// [`TcpConn`] and the reactor (which is this type's [`EventHandler`]
+/// impl: it demuxes replies into the waiter table and delivers pushes).
+struct ClientShared {
+    stream: TcpStream,
+    fd: RawFd,
+    token: u64,
+    reactor: Arc<Reactor>,
+    egress: EgressQueue<TcpStream>,
+    interest: Interest,
+    waiters: WaiterTable,
     push: PushSlot,
-    next_id: AtomicU64,
-    closed: Arc<AtomicBool>,
-    stream_for_close: TcpStream,
+    assembler: Mutex<ClientAssembler>,
+    closed: AtomicBool,
 }
 
-impl TcpConn {
-    fn start(stream: TcpStream) -> Result<Self> {
-        let writer = stream.try_clone()?;
-        let stream_for_close = stream.try_clone()?;
-        let waiters = Arc::new(WaiterTable::new());
-        let push = PushSlot::new();
-        let closed = Arc::new(AtomicBool::new(false));
-        let w2 = waiters.clone();
-        let p2 = push.clone();
-        let c2 = closed.clone();
-        let mut reader = stream;
-        std::thread::Builder::new()
-            .name("jiffy-tcp-demux".into())
-            .spawn(move || {
-                let mut payload = Vec::new();
-                while let Ok(Some(_)) = frame::read_frame_into(&mut reader, &mut payload) {
-                    match from_bytes::<Envelope>(&payload) {
-                        Ok(Envelope::Push(n)) => p2.deliver(n),
-                        Ok(env) => {
-                            let id = match &env {
-                                Envelope::ControlResp { id, .. }
-                                | Envelope::DataResp { id, .. } => *id,
-                                _ => continue,
-                            };
-                            if let Some(slot) = w2.claim(id) {
-                                slot.deliver(Ok(env));
-                            }
+impl ClientShared {
+    /// Queues one encoded request frame, arming writability if it parked.
+    fn send_frame(&self, bytes: &[u8]) -> Result<()> {
+        if matches!(self.egress.send(bytes)?, SendStatus::Parked) {
+            self.refresh_interest()?;
+        }
+        Ok(())
+    }
+
+    fn refresh_interest(&self) -> Result<()> {
+        self.interest
+            .update(&self.reactor, self.token, self.fd, |_, _| {
+                (true, self.egress.needs_write())
+            })
+    }
+
+    /// Marks the connection dead and wakes everyone; returns `false` so
+    /// `on_ready` callers deregister in the same breath.
+    fn dead(&self) -> bool {
+        self.closed.store(true, Ordering::SeqCst);
+        self.egress.fail("connection dropped");
+        self.waiters
+            .fail_all("connection dropped while awaiting response");
+        false
+    }
+
+    fn close_conn(&self) {
+        if !self.closed.swap(true, Ordering::SeqCst) {
+            // The reactor observes the shutdown as EOF and deregisters.
+            let _ = self.stream.shutdown(std::net::Shutdown::Both);
+            self.egress.fail("connection closed");
+            // Wake all pending waiters promptly; the reactor fails any
+            // stragglers when it processes the EOF.
+            self.waiters.fail_all("connection closed");
+        }
+    }
+
+    /// Dispatches one decoded reply envelope.
+    fn dispatch(&self, payload: &[u8]) -> Result<()> {
+        match from_bytes::<Envelope>(payload)? {
+            Envelope::Push(n) => self.push.deliver(n),
+            env @ (Envelope::ControlResp { .. } | Envelope::DataResp { .. }) => {
+                let id = match &env {
+                    Envelope::ControlResp { id, .. } | Envelope::DataResp { id, .. } => *id,
+                    _ => 0,
+                };
+                // An unclaimed id means the caller already timed out;
+                // the late reply is discarded.
+                if let Some(slot) = self.waiters.claim(id) {
+                    slot.deliver(Ok(env));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+impl EventHandler for ClientShared {
+    fn fd(&self) -> RawFd {
+        self.fd
+    }
+
+    fn on_ready(&self, readable: bool, writable: bool) -> bool {
+        if self.closed.load(Ordering::SeqCst) {
+            // close_conn already failed the waiters; just deregister.
+            return false;
+        }
+        if writable {
+            match self.egress.on_writable() {
+                Ok(SendStatus::Flushed) => {
+                    let _ = self.refresh_interest();
+                }
+                Ok(SendStatus::Parked) => {}
+                Err(_) => return self.dead(),
+            }
+        }
+        if readable {
+            let mut chunk = [0u8; READ_CHUNK];
+            let mut saw_eof = false;
+            loop {
+                match (&self.stream).read(&mut chunk) {
+                    Ok(0) => {
+                        saw_eof = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        self.assembler.lock().assembler.push(&chunk[..n]);
+                        // Short read ⇒ socket drained; skip the EAGAIN
+                        // syscall (level-triggered epoll refires if more
+                        // bytes race in).
+                        if n < READ_CHUNK {
+                            break;
                         }
-                        Err(_) => break,
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        saw_eof = true;
+                        break;
                     }
                 }
-                // Connection is dead: fail every pending call and refuse
-                // future ones.
-                c2.store(true, Ordering::SeqCst);
-                w2.fail_all("connection dropped while awaiting response");
-            })
-            .map_err(|e| JiffyError::Rpc(format!("spawn demux thread: {e}")))?;
-        Ok(Self {
-            writer: CorkedWriter::new(writer),
-            waiters,
-            push,
-            next_id: AtomicU64::new(1),
-            closed,
-            stream_for_close,
-        })
+            }
+            // Deliver outside the assembler lock: waiter delivery and push
+            // callbacks must not nest under it.
+            let mut payload = std::mem::take(&mut self.assembler.lock().payload);
+            loop {
+                let got = self
+                    .assembler
+                    .lock()
+                    .assembler
+                    .next_frame_into(&mut payload);
+                match got {
+                    Ok(Some(_)) => {
+                        if self.dispatch(&payload).is_err() {
+                            return self.dead();
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(_) => return self.dead(),
+                }
+            }
+            self.assembler.lock().payload = payload;
+            if saw_eof {
+                return self.dead();
+            }
+        }
+        true
     }
+}
+
+/// Caller-facing TCP connection: stamps correlation ids, parks in the
+/// waiter table, and enforces the call timeout.
+struct TcpConn {
+    shared: Arc<ClientShared>,
+    next_id: AtomicU64,
 }
 
 impl Connection for TcpConn {
     fn call(&self, req: Envelope) -> Result<Envelope> {
-        if self.closed.load(Ordering::SeqCst) {
+        let shared = &self.shared;
+        if shared.closed.load(Ordering::SeqCst) {
             return Err(JiffyError::Rpc("connection closed".into()));
         }
         // Correlation id: callers that stamped a non-zero id keep it (so a
@@ -503,42 +865,42 @@ impl Connection for TcpConn {
                 )))
             }
         };
-        let slot = self.waiters.register(id);
-        if self.closed.load(Ordering::SeqCst) {
-            // The demux thread died between the check above and
+        let slot = shared.waiters.register(id);
+        if shared.closed.load(Ordering::SeqCst) {
+            // The connection died between the check above and
             // registration; fail fast instead of waiting out the deadline.
-            self.waiters.unregister(id, &slot);
+            shared.waiters.unregister(id, &slot);
             return Err(JiffyError::Rpc("connection closed".into()));
         }
         let sent = ENCODE_BUF.with(|b| -> Result<()> {
             let mut buf = b.borrow_mut();
             to_bytes_into(&req, &mut buf)?;
-            self.writer.send(&buf)
+            shared.send_frame(&buf)
         });
         if let Err(e) = sent {
-            if self.waiters.unregister(id, &slot) {
-                self.waiters.recycle(id, slot);
+            if shared.waiters.unregister(id, &slot) {
+                shared.waiters.recycle(id, slot);
             }
             return Err(e);
         }
         let timeout = call_timeout();
         match slot.wait_for_reply(timeout) {
             Some(resp) => {
-                self.waiters.recycle(id, slot);
+                shared.waiters.recycle(id, slot);
                 resp
             }
             None => {
-                if self.waiters.unregister(id, &slot) {
-                    // Late replies are discarded by the demux thread.
-                    self.waiters.recycle(id, slot);
+                if shared.waiters.unregister(id, &slot) {
+                    // Late replies are discarded by the reactor.
+                    shared.waiters.recycle(id, slot);
                     Err(JiffyError::Timeout {
                         after_ms: timeout.as_millis() as u64,
                     })
                 } else {
-                    // The demux thread claimed the slot right as the
-                    // deadline expired; delivery is imminent.
+                    // The reactor claimed the slot right as the deadline
+                    // expired; delivery is imminent.
                     let resp = slot.wait_reply();
-                    self.waiters.recycle(id, slot);
+                    shared.waiters.recycle(id, slot);
                     resp
                 }
             }
@@ -546,16 +908,11 @@ impl Connection for TcpConn {
     }
 
     fn set_push_callback(&self, cb: PushCallback) {
-        self.push.set(cb);
+        self.shared.push.set(cb);
     }
 
     fn close(&self) {
-        if !self.closed.swap(true, Ordering::SeqCst) {
-            let _ = self.stream_for_close.shutdown(std::net::Shutdown::Both);
-            // Wake all pending waiters promptly; the demux thread fails
-            // any stragglers when its read loop exits.
-            self.waiters.fail_all("connection closed");
-        }
+        self.shared.close_conn();
     }
 }
 
@@ -568,6 +925,8 @@ impl Drop for TcpConn {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::time::Instant;
+
     use jiffy_common::BlockId;
     use jiffy_proto::{DataRequest, DataResponse, Notification, OpKind};
     use jiffy_sync::atomic::AtomicUsize;
@@ -719,6 +1078,7 @@ mod tests {
                 req: DataRequest::Ping
             })
             .is_err());
+        drop(server);
     }
 
     #[test]
@@ -739,5 +1099,47 @@ mod tests {
                     .is_err());
             }
         }
+    }
+
+    #[test]
+    fn session_close_is_counted_and_disconnect_runs() {
+        struct CountDisc(AtomicUsize);
+        impl Service for CountDisc {
+            fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
+                match req {
+                    Envelope::DataReq { id, .. } => Envelope::DataResp {
+                        id,
+                        resp: Ok(DataResponse::Pong),
+                    },
+                    _ => Envelope::DataResp {
+                        id: 0,
+                        resp: Err(JiffyError::Internal("bad".into())),
+                    },
+                }
+            }
+            fn on_disconnect(&self, _s: &SessionHandle) {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let svc = Arc::new(CountDisc(AtomicUsize::new(0)));
+        let server = serve_tcp("127.0.0.1:0", svc.clone()).unwrap();
+        let conn = connect_tcp(server.addr()).unwrap();
+        conn.call(Envelope::DataReq {
+            id: 0,
+            req: DataRequest::Ping,
+        })
+        .unwrap();
+        assert_eq!(server.live_sessions(), 1);
+        conn.close();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while (svc.0.load(Ordering::SeqCst) != 1 || server.stats().sessions_closed != 1)
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(svc.0.load(Ordering::SeqCst), 1, "on_disconnect ran once");
+        assert_eq!(server.stats().sessions_closed, 1);
+        assert_eq!(server.live_sessions(), 0);
+        drop(server);
     }
 }

@@ -1,0 +1,408 @@
+//! Connection-scale soak for the epoll reactor transport (DESIGN.md §12).
+//!
+//! Ramps waves of concurrent client sessions — 10 up to 2k+, bounded by
+//! the process fd limit — against one `serve_tcp` server, driving a mix
+//! of single and batched KV ops with light injected chaos (drops and
+//! delay jitter) on a quarter of the connections. Asserts the reactor's
+//! core contracts at scale:
+//!
+//! - **zero lost acked writes** — every op the server acknowledged is
+//!   readable afterwards over a clean connection;
+//! - **bounded latency** — p99 of successful ops stays far below the
+//!   call timeout even at the top wave;
+//! - **flat thread count** — session count must not move the process
+//!   thread count (that is the whole point of the rewrite);
+//! - **clean teardown** — every session is torn down (`on_disconnect`
+//!   accounting), and `/proc/self/fd` returns to its baseline, so
+//!   neither sockets nor reactor registrations leak.
+//!
+//! Set `JIFFY_SCALE_QUICK=1` (the CI `connection-sweep` job does) to cap
+//! the ramp at 500 sessions for a fast smoke pass.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use jiffy_common::{BlockId, JiffyError};
+use jiffy_proto::{Blob, DataRequest, DataResponse, DsOp, DsResult, Envelope};
+use jiffy_rpc::tcp::{connect_tcp, serve_tcp, TcpServerHandle};
+use jiffy_rpc::{ChaosConn, ClientConn, FaultInjector, FaultRule, Service, SessionHandle};
+use jiffy_sync::{Arc, Barrier, Mutex};
+
+/// Minimal KV service speaking the data-plane envelope: `Op`/`Batch`
+/// with `Put`/`Get`, plus `Ping`. An `Ok` response is an ack.
+struct ScaleStore {
+    map: Mutex<HashMap<Vec<u8>, Blob>>,
+}
+
+impl ScaleStore {
+    fn new() -> Self {
+        Self {
+            map: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn op(&self, op: DsOp) -> DsResult {
+        match op {
+            DsOp::Put { key, value } => {
+                self.map.lock().insert(key.0, value);
+                DsResult::Ok
+            }
+            DsOp::Get { key } => DsResult::MaybeData(self.map.lock().get(&key.0).cloned()),
+            _ => DsResult::Ok,
+        }
+    }
+}
+
+impl Service for ScaleStore {
+    fn handle(&self, req: Envelope, _session: &SessionHandle) -> Envelope {
+        match req {
+            Envelope::DataReq { id, req } => {
+                let resp = match req {
+                    DataRequest::Ping => DataResponse::Pong,
+                    DataRequest::Op { op, .. } => DataResponse::OpResult(self.op(op)),
+                    DataRequest::Batch { ops, .. } => {
+                        DataResponse::Batch(ops.into_iter().map(|o| Ok(self.op(o))).collect())
+                    }
+                    _ => DataResponse::Ack,
+                };
+                Envelope::DataResp { id, resp: Ok(resp) }
+            }
+            _ => Envelope::DataResp {
+                id: 0,
+                resp: Err(JiffyError::Internal("bad envelope".into())),
+            },
+        }
+    }
+}
+
+fn fd_count() -> usize {
+    std::fs::read_dir("/proc/self/fd")
+        .map(|d| d.count())
+        .unwrap_or(0)
+}
+
+fn thread_count() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+/// Soft `RLIMIT_NOFILE`, read from /proc (no libc dependency).
+fn fd_soft_limit() -> usize {
+    let limits = std::fs::read_to_string("/proc/self/limits").unwrap_or_default();
+    limits
+        .lines()
+        .find(|l| l.starts_with("Max open files"))
+        .and_then(|l| l.split_whitespace().nth(3))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1024)
+}
+
+fn put(key: &str, value: &str) -> Envelope {
+    Envelope::DataReq {
+        id: 0,
+        req: DataRequest::Op {
+            block: BlockId(0),
+            op: DsOp::Put {
+                key: key.into(),
+                value: value.into(),
+            },
+        },
+    }
+}
+
+fn batch(ops: Vec<DsOp>) -> Envelope {
+    Envelope::DataReq {
+        id: 0,
+        req: DataRequest::Batch {
+            block: BlockId(0),
+            ops,
+        },
+    }
+}
+
+fn is_ok_resp(resp: &Envelope) -> bool {
+    matches!(resp, Envelope::DataResp { resp: Ok(_), .. })
+}
+
+/// Polls `cond` until true or the deadline; returns whether it held.
+fn eventually(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if cond() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+struct WaveOutcome {
+    /// Keys (with expected values) the server acked.
+    acked: Vec<(String, String)>,
+    /// Latencies of successful calls.
+    latencies: Vec<Duration>,
+    /// Calls that failed (injected drops/errors — allowed, not acked).
+    failed: usize,
+    /// Peak concurrent sessions the server reported during the wave.
+    peak_sessions: usize,
+}
+
+/// Opens `n` sessions (a quarter of them chaos-wrapped), drives mixed
+/// single/batched ops over every session, then closes them all.
+fn run_wave(
+    addr: &str,
+    server: &TcpServerHandle,
+    injector: &Arc<FaultInjector>,
+    n: usize,
+    rounds: usize,
+) -> WaveOutcome {
+    let openers = n.clamp(1, 16);
+    let barrier = Arc::new(Barrier::new(openers + 1));
+    let acked = Arc::new(Mutex::new(Vec::new()));
+    let latencies = Arc::new(Mutex::new(Vec::new()));
+    let failed = Arc::new(Mutex::new(0usize));
+    let mut handles = Vec::new();
+    for o in 0..openers {
+        let quota = n / openers + usize::from(o < n % openers);
+        let addr = addr.to_string();
+        let injector = injector.clone();
+        let barrier = barrier.clone();
+        let acked = acked.clone();
+        let latencies = latencies.clone();
+        let failed = failed.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut conns: Vec<ClientConn> = Vec::with_capacity(quota);
+            for c in 0..quota {
+                let raw = connect_tcp(&addr).expect("dial");
+                // Every fourth session runs under the fault injector.
+                if c % 4 == 0 {
+                    conns.push(ClientConn(Arc::new(ChaosConn::new(
+                        raw,
+                        addr.clone(),
+                        injector.clone(),
+                    ))));
+                } else {
+                    conns.push(raw);
+                }
+            }
+            // All sessions of the wave are open concurrently here.
+            barrier.wait();
+            let mut local_acked = Vec::new();
+            let mut local_lat = Vec::new();
+            let mut local_failed = 0usize;
+            for round in 0..rounds {
+                for (c, conn) in conns.iter().enumerate() {
+                    let key = format!("w{n}-o{o}-c{c}-r{round}");
+                    let value = format!("v-{key}");
+                    let start = Instant::now();
+                    let result = if c % 3 == 0 {
+                        // Batched: put + read-back in one frame.
+                        conn.call(batch(vec![
+                            DsOp::Put {
+                                key: key.as_str().into(),
+                                value: value.as_str().into(),
+                            },
+                            DsOp::Get {
+                                key: key.as_str().into(),
+                            },
+                        ]))
+                    } else {
+                        conn.call(put(&key, &value))
+                    };
+                    match result {
+                        Ok(resp) if is_ok_resp(&resp) => {
+                            local_lat.push(start.elapsed());
+                            local_acked.push((key, value));
+                        }
+                        _ => local_failed += 1,
+                    }
+                }
+            }
+            // Hold the sessions open until every opener finished its ops,
+            // so the server sees the full wave the whole time.
+            barrier.wait();
+            for conn in &conns {
+                conn.close();
+            }
+            acked.lock().extend(local_acked);
+            latencies.lock().extend(local_lat);
+            *failed.lock() += local_failed;
+        }));
+    }
+    // Between the two barriers every session is open: sample the peak.
+    barrier.wait();
+    let mut peak = 0;
+    for _ in 0..20 {
+        peak = peak.max(server.live_sessions());
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    barrier.wait();
+    for h in handles {
+        h.join().expect("opener thread");
+    }
+    let acked = std::mem::take(&mut *acked.lock());
+    let latencies = std::mem::take(&mut *latencies.lock());
+    let failed = *failed.lock();
+    WaveOutcome {
+        acked,
+        latencies,
+        failed,
+        peak_sessions: peak,
+    }
+}
+
+#[test]
+fn reactor_sustains_session_ramp_with_no_lost_acks() {
+    // Local loopback: injected hangs should fail fast, as in chaos.rs.
+    jiffy_common::set_call_timeout(Duration::from_secs(2));
+    let quick = std::env::var("JIFFY_SCALE_QUICK").is_ok_and(|v| v == "1");
+
+    let store = Arc::new(ScaleStore::new());
+    let mut server = serve_tcp("127.0.0.1:0", store).expect("serve");
+    let addr = server.addr().to_string();
+
+    let injector = Arc::new(FaultInjector::new(0xC10C_0001));
+    injector.set_default_rule(FaultRule::none().with_drop(0.005).with_delay(
+        0.05,
+        Duration::ZERO,
+        Duration::from_millis(2),
+    ));
+
+    // Warm up the process-wide client reactor pool so its threads/fds are
+    // part of the baseline, then measure it.
+    {
+        let conn = connect_tcp(&addr).expect("warmup dial");
+        let resp = conn
+            .call(Envelope::DataReq {
+                id: 0,
+                req: DataRequest::Ping,
+            })
+            .expect("warmup ping");
+        assert!(is_ok_resp(&resp));
+        conn.close();
+    }
+    assert!(
+        eventually(Duration::from_secs(10), || server.live_sessions() == 0),
+        "warmup session must tear down"
+    );
+    let fd_baseline = fd_count();
+    let thread_baseline = thread_count();
+
+    // Each session costs ~4 fds in-process (client + server side, each
+    // with an egress clone); leave generous headroom below the soft
+    // rlimit and cap the top wave accordingly.
+    let cap = ((fd_soft_limit().saturating_sub(512)) / 4).max(10);
+    let top = if quick { 500.min(cap) } else { 2048.min(cap) };
+    let mut waves = vec![10, 100, 500, top];
+    waves.retain(|&w| w <= top);
+    waves.dedup();
+
+    let mut all_acked = Vec::new();
+    let mut all_latencies = Vec::new();
+    let mut total_failed = 0;
+    let mut top_peak = 0;
+    for &n in &waves {
+        let rounds = if n >= 500 { 2 } else { 4 };
+        let outcome = run_wave(&addr, &server, &injector, n, rounds);
+        assert!(
+            outcome.peak_sessions >= n * 9 / 10,
+            "wave {n}: server should hold ~all sessions concurrently, saw {}",
+            outcome.peak_sessions
+        );
+        top_peak = top_peak.max(outcome.peak_sessions);
+        // Threads must not scale with sessions: allow only the opener
+        // threads themselves plus a little slack over the baseline.
+        let threads_now = thread_count();
+        assert!(
+            threads_now <= thread_baseline + 16 + 8,
+            "wave {n}: thread count grew with sessions ({thread_baseline} -> {threads_now})"
+        );
+        all_acked.extend(outcome.acked);
+        all_latencies.extend(outcome.latencies);
+        total_failed += outcome.failed;
+        // Every session of the wave must tear down before the next one.
+        assert!(
+            eventually(Duration::from_secs(30), || server.live_sessions() == 0),
+            "wave {n}: sessions leaked ({} left)",
+            server.live_sessions()
+        );
+    }
+
+    assert!(
+        top_peak >= waves.iter().copied().max().unwrap_or(0).min(1000),
+        "reactor must sustain the top wave concurrently (peak {top_peak})"
+    );
+
+    // Zero lost acked writes: read every acked key back over one clean
+    // connection, in batched gets.
+    assert!(!all_acked.is_empty(), "soak must ack some writes");
+    let verify = connect_tcp(&addr).expect("verify dial");
+    for chunk in all_acked.chunks(64) {
+        let ops = chunk
+            .iter()
+            .map(|(k, _)| DsOp::Get {
+                key: k.as_str().into(),
+            })
+            .collect();
+        let resp = verify.call(batch(ops)).expect("verify batch");
+        let Envelope::DataResp {
+            resp: Ok(DataResponse::Batch(results)),
+            ..
+        } = resp
+        else {
+            panic!("unexpected verify response: {resp:?}");
+        };
+        assert_eq!(results.len(), chunk.len());
+        for ((key, value), result) in chunk.iter().zip(results) {
+            match result {
+                Ok(DsResult::MaybeData(Some(got))) => {
+                    assert_eq!(&*got, value.as_bytes(), "acked write {key} corrupted");
+                }
+                other => panic!("acked write {key} lost: {other:?}"),
+            }
+        }
+    }
+    verify.close();
+
+    // Bounded p99 (successful ops only; injected drops count as failed,
+    // never as acked).
+    all_latencies.sort_unstable();
+    let p99 = all_latencies[all_latencies.len() * 99 / 100 - 1];
+    assert!(
+        p99 < Duration::from_millis(1500),
+        "p99 {p99:?} breached the bound ({} samples, {total_failed} failed)",
+        all_latencies.len()
+    );
+
+    // Clean teardown: the server saw every session close...
+    assert!(
+        eventually(Duration::from_secs(30), || server.live_sessions() == 0),
+        "sessions leaked at the end of the soak"
+    );
+    let stats = server.stats();
+    assert_eq!(
+        stats.sessions_closed, stats.accepted,
+        "every accepted session must be finalized exactly once"
+    );
+    server.shutdown();
+    // ...and neither fds nor threads leaked (poll: fd release rides the
+    // reactor's EOF processing).
+    assert!(
+        eventually(Duration::from_secs(30), || fd_count() <= fd_baseline + 4),
+        "fd leak: baseline {fd_baseline}, now {}",
+        fd_count()
+    );
+    assert!(
+        eventually(Duration::from_secs(30), || {
+            thread_count() <= thread_baseline + 2
+        }),
+        "thread leak: baseline {thread_baseline}, now {}",
+        thread_count()
+    );
+}
