@@ -35,7 +35,9 @@ impl BlockStore {
         if map.contains_key(&id) {
             return Err(JiffyError::Internal(format!("duplicate block {id}")));
         }
-        map.insert(id, Arc::new(Mutex::new(block)));
+        // Named so lock-order tracking reports one `block` class for
+        // every per-block mutex instead of a class per insertion site.
+        map.insert(id, Arc::new(Mutex::new_named(block, "block")));
         Ok(())
     }
 
@@ -75,13 +77,19 @@ impl BlockStore {
     /// Total bytes used across all blocks (metric for utilization plots).
     pub fn total_used_bytes(&self) -> u64 {
         let handles: Vec<_> = self.blocks.read().values().cloned().collect();
-        handles.iter().map(|b| b.lock().used_bytes() as u64).sum()
+        handles
+            .iter()
+            .map(|block| block.lock().used_bytes() as u64)
+            .sum()
     }
 
     /// Number of allocated (partition-carrying) blocks.
     pub fn allocated_count(&self) -> usize {
         let handles: Vec<_> = self.blocks.read().values().cloned().collect();
-        handles.iter().filter(|b| b.lock().is_allocated()).count()
+        handles
+            .iter()
+            .filter(|block| block.lock().is_allocated())
+            .count()
     }
 }
 
@@ -149,8 +157,8 @@ mod tests {
             let s = store.clone();
             handles.push(std::thread::spawn(move || {
                 for _ in 0..100 {
-                    let b = s.get(BlockId(i)).unwrap();
-                    let _guard = b.lock();
+                    let block = s.get(BlockId(i)).unwrap();
+                    let _guard = block.lock();
                 }
             }));
         }

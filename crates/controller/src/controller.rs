@@ -534,6 +534,9 @@ impl Controller {
     pub fn snapshot_now(&self) -> Result<()> {
         let mut st = self.state.lock();
         let mirror = journal::mirror_of(&st, self.job_ids.current());
+        // The snapshot write and journal truncation must be atomic
+        // w.r.t. concurrent appends, which serialize on this lock.
+        // xtask-allow(no-guard-across-rpc): snapshot+truncate is atomic with appends (DESIGN.md §11)
         st.journal.write_snapshot(&mirror)
     }
 
@@ -598,8 +601,36 @@ impl Controller {
     /// [`Service`] impl; exposed directly for in-process callers like
     /// the simulator).
     pub fn dispatch(&self, req: ControlRequest) -> Result<ControlResponse> {
-        let mut st = self.state.lock();
-        st.counters.ops_served += 1;
+        let mut deferred_resets: Vec<BlockLocation> = Vec::new();
+        let resp = {
+            let mut st = self.state.lock();
+            st.counters.ops_served += 1;
+            // Journal appends must run under the state lock so journal
+            // order equals mutation order; flush/load object-store
+            // copies ride the same serialization.
+            // xtask-allow(no-guard-across-rpc): journal order equals mutation order (DESIGN.md §11)
+            self.dispatch_locked(&mut st, req, &mut deferred_resets)
+        };
+        // Best-effort data-plane resets run after the guard drops: they
+        // are transport calls, and a slow server must not stall every
+        // other control op. The journal record is already durable, so a
+        // crash here only leaves stale block contents, which
+        // re-initialization clears on reallocation.
+        for loc in &deferred_resets {
+            let _ = self.dataplane.reset_block(loc);
+        }
+        resp
+    }
+
+    /// The lock-held half of [`Controller::dispatch`]. Destructive
+    /// data-plane resets are *deferred* via `deferred_resets` so no
+    /// transport call runs while the state guard is live.
+    fn dispatch_locked(
+        &self,
+        st: &mut CtrlState,
+        req: ControlRequest,
+        deferred_resets: &mut Vec<BlockLocation>,
+    ) -> Result<ControlResponse> {
         match req {
             ControlRequest::RegisterJob { name } => {
                 let job: JobId = self.job_ids.next_id();
@@ -610,7 +641,7 @@ impl Controller {
                         hierarchy: AddressHierarchy::new(),
                     },
                 );
-                self.journal_append(&mut st, vec![JournalOp::JobRegistered { job, name }])?;
+                self.journal_append(st, vec![JournalOp::JobRegistered { job, name }])?;
                 Ok(ControlResponse::JobRegistered { job })
             }
             ControlRequest::DeregisterJob { job } => {
@@ -632,13 +663,10 @@ impl Controller {
                         }
                     }
                 }
-                // Journal before the destructive data-plane resets: a
-                // crash in between only leaves stale block contents,
-                // which re-initialization clears on reallocation.
-                self.journal_append(&mut st, vec![JournalOp::JobDeregistered { job }])?;
-                for loc in &locs {
-                    let _ = self.dataplane.reset_block(loc);
-                }
+                // Journal before the destructive data-plane resets
+                // (which the caller performs after unlocking).
+                self.journal_append(st, vec![JournalOp::JobDeregistered { job }])?;
+                deferred_resets.extend(locs);
                 Ok(ControlResponse::Ack)
             }
             ControlRequest::CreatePrefix {
@@ -648,8 +676,8 @@ impl Controller {
                 ds,
                 initial_blocks,
             } => {
-                let ops = self.create_prefix(&mut st, job, &name, &parents, ds, initial_blocks)?;
-                self.journal_append(&mut st, ops)?;
+                let ops = self.create_prefix(st, job, &name, &parents, ds, initial_blocks)?;
+                self.journal_append(st, ops)?;
                 Ok(ControlResponse::PrefixCreated { name })
             }
             ControlRequest::AddParent { job, name, parent } => {
@@ -658,7 +686,7 @@ impl Controller {
                     .get_mut(&job)
                     .ok_or(JiffyError::UnknownJob(job.raw()))?;
                 entry.hierarchy.add_parent(&name, &parent)?;
-                self.journal_append(&mut st, vec![JournalOp::ParentAdded { job, name, parent }])?;
+                self.journal_append(st, vec![JournalOp::ParentAdded { job, name, parent }])?;
                 Ok(ControlResponse::Ack)
             }
             ControlRequest::CreateHierarchy { job, nodes } => {
@@ -671,7 +699,7 @@ impl Controller {
                         initial_blocks,
                     } = spec;
                     ops.extend(self.create_prefix(
-                        &mut st,
+                        st,
                         job,
                         name,
                         parents,
@@ -679,20 +707,18 @@ impl Controller {
                         *initial_blocks,
                     )?);
                 }
-                self.journal_append(&mut st, ops)?;
+                self.journal_append(st, ops)?;
                 Ok(ControlResponse::Ack)
             }
             ControlRequest::RemovePrefix { job, name } => {
-                let locs = self.reclaim_prefix(&mut st, job, &name, false, None)?;
+                let locs = self.reclaim_prefix(st, job, &name, false, None)?;
                 let entry = st
                     .jobs
                     .get_mut(&job)
                     .ok_or(JiffyError::UnknownJob(job.raw()))?;
                 entry.hierarchy.remove_node(&name)?;
-                self.journal_append(&mut st, vec![JournalOp::PrefixRemoved { job, name }])?;
-                for loc in &locs {
-                    let _ = self.dataplane.reset_block(loc);
-                }
+                self.journal_append(st, vec![JournalOp::PrefixRemoved { job, name }])?;
+                deferred_resets.extend(locs);
                 Ok(ControlResponse::Ack)
             }
             ControlRequest::ResolvePrefix { job, name } => {
@@ -716,7 +742,7 @@ impl Controller {
                     .ok_or(JiffyError::UnknownJob(job.raw()))?;
                 let renewed = entry.hierarchy.renew(&name, now)?;
                 self.journal_append(
-                    &mut st,
+                    st,
                     vec![JournalOp::LeaseRenewed {
                         job,
                         name,
@@ -741,8 +767,8 @@ impl Controller {
                 external_path,
             } => {
                 let (bytes, ops) =
-                    self.flush_prefix(&mut st, job, &name, &external_path, false, false)?;
-                self.journal_append(&mut st, ops)?;
+                    self.flush_prefix(st, job, &name, &external_path, false, false)?;
+                self.journal_append(st, ops)?;
                 Ok(ControlResponse::Persisted { bytes })
             }
             ControlRequest::LoadPrefix {
@@ -750,8 +776,8 @@ impl Controller {
                 name,
                 external_path,
             } => {
-                let (bytes, ops) = self.load_prefix(&mut st, job, &name, &external_path)?;
-                self.journal_append(&mut st, ops)?;
+                let (bytes, ops) = self.load_prefix(st, job, &name, &external_path)?;
+                self.journal_append(st, ops)?;
                 Ok(ControlResponse::Persisted { bytes })
             }
             ControlRequest::JoinServer {
@@ -762,7 +788,7 @@ impl Controller {
                 let (server, blocks) = st.freelist.register_server(addr.clone(), capacity_blocks);
                 st.detector.record(server, now);
                 self.journal_append(
-                    &mut st,
+                    st,
                     vec![JournalOp::ServerJoined {
                         server,
                         addr,
@@ -773,13 +799,13 @@ impl Controller {
                 Ok(ControlResponse::ServerJoined { server, blocks })
             }
             ControlRequest::LeaveServer { server } => {
-                let blocks_migrated = self.drain_server_locked(&mut st, server)?;
+                let blocks_migrated = self.drain_server_locked(st, server)?;
                 st.freelist.deregister_server(server)?;
                 st.detector.forget(server);
                 // Drained state is a multi-step outcome; checkpoint it
                 // wholesale rather than record-by-record.
-                let op = self.rewrite_op(&st)?;
-                self.journal_append(&mut st, vec![op])?;
+                let op = self.rewrite_op(st)?;
+                self.journal_append(st, vec![op])?;
                 Ok(ControlResponse::Drained {
                     server,
                     blocks_migrated,
@@ -798,20 +824,19 @@ impl Controller {
             }
             ControlRequest::ListServers => Ok(ControlResponse::Servers(st.freelist.server_infos())),
             ControlRequest::ReportOverload { block, .. } => {
-                let (target, spec, ops) = self.handle_overload(&mut st, block)?;
-                self.journal_append(&mut st, ops)?;
+                let (target, spec, ops) = self.handle_overload(st, block)?;
+                self.journal_append(st, ops)?;
                 Ok(ControlResponse::SplitTarget { target, spec })
             }
             ControlRequest::ReportUnderload { block, .. } => {
-                let (target, spec, ops, reclaim) = self.handle_underload(&mut st, block)?;
+                let (target, spec, ops, reclaim) = self.handle_underload(st, block)?;
                 // Journal the merge before the data-plane reset of the
-                // source: once the record is durable, replay routes the
-                // merged keyspace to the target, so clearing the
-                // source's stale copy can never orphan acked data.
-                self.journal_append(&mut st, ops)?;
-                if let Some(source) = &reclaim {
-                    let _ = self.dataplane.reset_block(source);
-                }
+                // source (deferred to after unlock): once the record is
+                // durable, replay routes the merged keyspace to the
+                // target, so clearing the source's stale copy can never
+                // orphan acked data.
+                self.journal_append(st, ops)?;
+                deferred_resets.extend(reclaim);
                 Ok(ControlResponse::MergeTarget { target, spec })
             }
             ControlRequest::CommitRepartition { .. } => {
@@ -819,7 +844,7 @@ impl Controller {
                 // inline; this message is accepted for compatibility.
                 Ok(ControlResponse::Ack)
             }
-            ControlRequest::GetStats => Ok(ControlResponse::Stats(self.stats_locked(&st))),
+            ControlRequest::GetStats => Ok(ControlResponse::Stats(self.stats_locked(st))),
             ControlRequest::ListPrefixes { job } => {
                 let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
                 Ok(ControlResponse::Prefixes(entry.hierarchy.names()))
@@ -1410,6 +1435,8 @@ impl Controller {
     /// a clean, bounded `Unavailable` instead of a hang.
     pub fn handle_server_failure(&self, server: ServerId) -> Result<()> {
         let mut st = self.state.lock();
+        // Failure handling journals its re-routing under the state lock.
+        // xtask-allow(no-guard-across-rpc): journal order equals mutation order (DESIGN.md §11)
         self.handle_server_failure_locked(&mut st, server)
     }
 
@@ -1547,6 +1574,7 @@ impl Controller {
         let mut st = self.state.lock();
         let expired = st.detector.expired(now, self.cfg.heartbeat_timeout);
         for server in &expired {
+            // xtask-allow(no-guard-across-rpc): journal order equals mutation order (DESIGN.md §11)
             let _ = self.handle_server_failure_locked(&mut st, *server);
         }
         expired
@@ -1584,6 +1612,7 @@ impl Controller {
                 if provider.provision().is_ok() {
                     let mut st = self.state.lock();
                     st.counters.scale_ups += 1;
+                    // xtask-allow(no-guard-across-rpc): journal order equals mutation order (DESIGN.md §11)
                     let _ = self.journal_append(&mut st, vec![JournalOp::ScaleEvent { up: true }]);
                 }
             }
@@ -1597,6 +1626,7 @@ impl Controller {
                     let _ = provider.decommission(victim);
                     let mut st = self.state.lock();
                     st.counters.scale_downs += 1;
+                    // xtask-allow(no-guard-across-rpc): journal order equals mutation order (DESIGN.md §11)
                     let _ = self.journal_append(&mut st, vec![JournalOp::ScaleEvent { up: false }]);
                 }
             }

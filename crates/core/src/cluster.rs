@@ -356,8 +356,12 @@ impl JiffyCluster {
         *self.elastic.lock() = None;
         if self.inner.tcp {
             // Dropping the handle closes the listener; session threads
-            // die as clients evict their broken connections.
-            *self.controller_tcp.lock() = None;
+            // die as clients evict their broken connections. Take it
+            // out first and drop it after the guard: the handle's Drop
+            // joins reactor threads, and that teardown must not run
+            // while controller_tcp is held.
+            let old = self.controller_tcp.lock().take();
+            drop(old);
         } else {
             self.inner
                 .fabric
@@ -409,7 +413,10 @@ impl JiffyCluster {
                     }
                 }
             };
-            *self.controller_tcp.lock() = Some(handle);
+            // Swap under the lock, drop any stale handle after: its
+            // Drop joins reactor threads (see crash_controller).
+            let old = (*self.controller_tcp.lock()).replace(handle);
+            drop(old);
         } else {
             self.inner
                 .fabric

@@ -437,8 +437,8 @@ impl MemoryServer {
                 Ok(DataResponse::Ack)
             }
             DataRequest::Usage { block } => {
-                let b = self.store.get(block)?;
-                let guard = b.lock();
+                let block = self.store.get(block)?;
+                let guard = block.lock();
                 Ok(DataResponse::Usage {
                     used: guard.used_bytes() as u64,
                     capacity: guard.capacity() as u64,
@@ -478,26 +478,26 @@ impl MemoryServer {
                 Ok(DataResponse::Ack)
             }
             DataRequest::ResetBlock { block } => {
-                let b = self.store.get(block)?;
-                b.lock().reset();
+                let block = self.store.get(block)?;
+                block.lock().reset();
                 Ok(DataResponse::Ack)
             }
             DataRequest::ExportBlock { block } => {
-                let b = self.store.get(block)?;
-                let guard = b.lock();
+                let block = self.store.get(block)?;
+                let guard = block.lock();
                 let payload = guard.partition_ref()?.export()?;
                 Ok(DataResponse::Exported {
                     payload: payload.into(),
                 })
             }
             DataRequest::SealBlock { block, sealed } => {
-                let b = self.store.get(block)?;
-                b.lock().set_sealed(sealed);
+                let block = self.store.get(block)?;
+                block.lock().set_sealed(sealed);
                 Ok(DataResponse::Ack)
             }
             DataRequest::RetireBlock { block, moved_to } => {
-                let b = self.store.get(block)?;
-                b.lock().retire(moved_to);
+                let block = self.store.get(block)?;
+                block.lock().retire(moved_to);
                 Ok(DataResponse::Ack)
             }
             DataRequest::Ping => Ok(DataResponse::Pong),

@@ -24,10 +24,26 @@
 //!
 //! The tracker is compiled only into `debug_assertions` builds of the
 //! non-loom backend and can be disabled at runtime with
-//! `JIFFY_LOCK_ORDER=0`. Release builds carry zero instrumentation.
+//! `JIFFY_LOCK_ORDER=0`.
+//!
+//! With `JIFFY_LOCK_ORDER_DUMP=<path>` set, every *first* recording of
+//! an edge also appends one line to `<path>`:
+//!
+//! ```text
+//! <from-name>@<from-file>:<line>:<col> -> <to-name>@<to-file>:<line>:<col>
+//! ```
+//!
+//! where `<name>` is the `new_named` name or `-` for location-classed
+//! locks. `cargo xtask analyze` diffs these runtime-observed edges
+//! against the statically derived acquisition graph (rule
+//! `static-lock-order`): a runtime edge absent from the static graph
+//! means the analyzer lost track of a nesting and its cycle check has a
+//! blind spot. Appends are line-atomic, so multiple test processes may
+//! share one dump file. Release builds carry zero instrumentation.
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::io::Write;
 use std::panic::Location;
 use std::sync::{Mutex as StdMutex, OnceLock};
 
@@ -71,6 +87,8 @@ pub(crate) struct Token {
 struct Graph {
     /// Class id -> human-readable name ("meta.rs:41:9" or explicit).
     names: Vec<String>,
+    /// Class id -> dump label `name@file:line:col` (name `-` if none).
+    dump_labels: Vec<String>,
     by_key: HashMap<(Option<&'static str>, &'static str, u32, u32), u32>,
     /// Adjacency: edges[a] contains b iff some thread held a while
     /// acquiring b.
@@ -122,6 +140,13 @@ impl Registry {
             None => format!("{}:{}:{}", loc.file(), loc.line(), loc.column()),
         };
         g.names.push(pretty);
+        g.dump_labels.push(format!(
+            "{}@{}:{}:{}",
+            name.unwrap_or("-"),
+            loc.file(),
+            loc.line(),
+            loc.column()
+        ));
         g.by_key.insert(key, id);
         id
     }
@@ -149,6 +174,32 @@ fn enabled() -> bool {
             Ok("0") | Ok("off") | Ok("false")
         )
     })
+}
+
+fn dump_path() -> Option<&'static str> {
+    static DUMP: OnceLock<Option<String>> = OnceLock::new();
+    DUMP.get_or_init(|| std::env::var("JIFFY_LOCK_ORDER_DUMP").ok())
+        .as_deref()
+}
+
+/// Appends one `from -> to` line to the dump file. Called with the
+/// registry lock held, so label lookups are consistent; a single
+/// `write_all` keeps the line append atomic across processes sharing the
+/// file. Dump failures are swallowed — the tracker's job is deadlock
+/// detection, and a read-only CI scratch dir must not panic tests.
+fn dump_edge(g: &Graph, from: u32, to: u32) {
+    let Some(path) = dump_path() else { return };
+    let line = format!(
+        "{} -> {}\n",
+        g.dump_labels[from as usize], g.dump_labels[to as usize]
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
 }
 
 thread_local! {
@@ -217,6 +268,7 @@ pub(crate) fn on_acquire(site: &Site, instance: usize, kind: Kind) -> Option<Tok
                 );
             }
             g.edges.entry(from).or_default().push(class);
+            dump_edge(&g, from, class);
         }
     }
 

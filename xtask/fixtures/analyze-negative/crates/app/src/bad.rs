@@ -1,0 +1,149 @@
+//! Seeded negative fixture for `cargo xtask analyze`.
+//!
+//! Every `VIOLATION` marker below trips exactly one analyzer rule at a
+//! known line (pinned by `xtask/tests/analyze_fixture.rs`); the
+//! `CLEAN` blocks pin patterns that must *not* fire, so a regression
+//! in either direction fails the fixture test.
+
+use std::sync::mpsc::Receiver;
+
+use jiffy_sync::Mutex;
+
+pub struct Client;
+
+pub struct App {
+    meta: Mutex<u64>,
+    ying: Mutex<u64>,
+    yang: Mutex<u64>,
+    alpha: Mutex<u64>,
+    beta: Mutex<u64>,
+    gamma: Mutex<u64>,
+    delta: Mutex<u64>,
+    client: Client,
+}
+
+impl App {
+    pub fn new(client: Client) -> Self {
+        Self {
+            meta: Mutex::new(0),
+            ying: Mutex::new(0),
+            yang: Mutex::new(0),
+            alpha: Mutex::new(0),
+            beta: Mutex::new(0),
+            gamma: Mutex::new(0),
+            delta: Mutex::new(0),
+            client,
+        }
+    }
+
+    /// VIOLATION(no-guard-across-rpc): guard live across a transport
+    /// `.call(`.
+    pub fn guard_across_call(&self) -> u64 {
+        let g = self.meta.lock();
+        self.client.call(*g)
+    }
+
+    /// VIOLATION(no-guard-across-rpc): the RPC hides one level down in
+    /// a same-crate helper; the call summary propagates it.
+    pub fn guard_across_helper(&self) {
+        let g = self.meta.lock();
+        ping(&self.client, *g);
+    }
+
+    /// First half of the AB/BA inversion (establishes ying -> yang).
+    pub fn take_ying_then_yang(&self) {
+        let a = self.ying.lock();
+        let b = self.yang.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// VIOLATION(static-lock-order): closes the cycle against
+    /// `take_ying_then_yang`.
+    pub fn take_yang_then_ying(&self) {
+        let b = self.yang.lock();
+        let a = self.ying.lock();
+        drop(a);
+        drop(b);
+    }
+
+    /// Static edge alpha -> beta; the fixture runtime dump observes
+    /// this same edge, so the cross-check counts it as covered.
+    pub fn alpha_then_beta(&self) {
+        let a = self.alpha.lock();
+        let b = self.beta.lock();
+        drop(b);
+        drop(a);
+    }
+
+    /// VIOLATION(no-guard-across-rpc) + VIOLATION(xtask-allow): an
+    /// allow with an empty reason neither suppresses nor passes vetting.
+    pub fn empty_allow_reason(&self) -> u64 {
+        let g = self.meta.lock();
+        // xtask-allow(no-guard-across-rpc):
+        self.client.call(*g)
+    }
+
+    /// VIOLATION(xtask-allow): the named rule does not exist.
+    pub fn unknown_allow_rule(&self) -> u64 {
+        // xtask-allow(not-a-rule): typo'd rule names must not silently vet
+        *self.meta.lock()
+    }
+
+    /// CLEAN: a non-empty reason on a real rule suppresses the finding.
+    pub fn vetted_allow(&self) -> u64 {
+        let g = self.meta.lock();
+        // xtask-allow(no-guard-across-rpc): fixture proves vetted suppressions work
+        self.client.call(*g)
+    }
+
+    /// CLEAN: guard explicitly dropped before the RPC.
+    pub fn drop_before_call(&self) -> u64 {
+        let g = self.meta.lock();
+        let v = *g;
+        drop(g);
+        self.client.call(v)
+    }
+
+    /// CLEAN: guard confined to an inner block that closes pre-RPC.
+    pub fn scoped_guard(&self) -> u64 {
+        let v = {
+            let g = self.meta.lock();
+            *g
+        };
+        self.client.call(v)
+    }
+
+    /// CLEAN: deref-copy makes the guard a same-statement temporary.
+    pub fn deref_copy(&self) -> u64 {
+        let v = *self.meta.lock();
+        self.client.call(v)
+    }
+}
+
+fn ping(client: &Client, v: u64) {
+    client.call(v);
+}
+
+impl Client {
+    pub fn call(&self, v: u64) -> u64 {
+        v
+    }
+}
+
+pub struct Widget {
+    rx: Receiver<u64>,
+}
+
+pub trait EventHandler {
+    fn on_ready(&self);
+}
+
+impl EventHandler for Widget {
+    /// VIOLATION(no-blocking-in-reactor) x2: an event-loop callback
+    /// must neither sleep nor block on a channel.
+    fn on_ready(&self) {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        let _ = self.rx.recv();
+    }
+}

@@ -1,0 +1,1559 @@
+//! `cargo xtask analyze` — parser-based concurrency rules.
+//!
+//! Built on `lex` (token stream) + `parse` (function items), this module
+//! runs a per-function **guard-liveness** pass: every `let g = x.lock()` /
+//! `.read()` / `.write()` binding is tracked from acquisition to scope
+//! end, `drop(g)`, or shadowing; bare `.lock()` temporaries are live to
+//! the end of their statement. On top of liveness sit three rules:
+//!
+//! * **no-guard-across-rpc** — no jiffy-sync guard may be live across a
+//!   transport call (`.call(..)`), a journal write (`journal.append`,
+//!   `journal_append`), or `ObjectStore` I/O (any method on a
+//!   `persistent` receiver). Guards held across a call to a same-crate
+//!   function that *directly* performs RPC are also caught (one level of
+//!   call-summary propagation).
+//! * **no-blocking-in-reactor** — methods of `impl EventHandler for ..`
+//!   blocks may not call blocking primitives (`thread::sleep`/`park`,
+//!   zero-arg `.join()`/`.recv()`, condvar/`recv_timeout` waits), nor
+//!   same-crate functions that directly do.
+//! * **static-lock-order** — nested-guard regions yield a static
+//!   acquisition graph; a cycle is a latent deadlock. With
+//!   `--lock-order-dump <file>` (a `JIFFY_LOCK_ORDER_DUMP` capture from
+//!   the debug test suite) every runtime-observed edge must appear in
+//!   the *reachability-closed* static graph — a missing edge means the
+//!   analyzer lost track of a nesting and its cycle check has a blind
+//!   spot.
+//!
+//! Vetted sites are suppressed with `// xtask-allow(<rule>): <reason>`
+//! on the violation line, the line above it, or the guard's binding
+//! line; an empty reason or unknown rule name is itself a violation
+//! (rule **xtask-allow**).
+//!
+//! Known false negatives (documented in DESIGN.md §13): guards bound by
+//! `if let Some(g) = x.try_lock()` patterns, calls routed through
+//! non-`call` trait objects, and nesting deeper than one call level are
+//! invisible to the *rule* passes (the reach graph used by the dump
+//! cross-check closes calls transitively and catches regressions there).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lex::{self, Lexed, Tok, TokKind};
+use crate::parse::{self, FnItem};
+use crate::Violation;
+
+const LOCK_METHODS: &[&str] = &["lock", "read", "write"];
+const TRY_LOCK_METHODS: &[&str] = &["try_lock", "try_read", "try_write"];
+/// Condvar/channel waits that park the calling thread.
+const BLOCKING_WAITS: &[&str] = &[
+    "recv_timeout",
+    "recv_deadline",
+    "wait",
+    "wait_timeout",
+    "wait_while",
+    "wait_for",
+];
+
+// ---------------------------------------------------------------------
+// Events: the guard-liveness walker's flat output per function.
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// A lock acquisition. `binding: None` is a temporary (statement
+    /// scope); `Some(name)` is a `let` guard (lexical scope).
+    Acquire {
+        class: String,
+        line: usize,
+        binding: Option<String>,
+        depth: usize,
+    },
+    /// A `let` guard leaves scope (brace close, `drop(g)`, shadowing).
+    Release { binding: String },
+    /// End of statement/arm at `depth`: temporaries at >= depth die.
+    TempFence { depth: usize },
+    /// A (possibly method) call that may carry a summary.
+    Call {
+        name: String,
+        line: usize,
+        method: bool,
+        recv_last: Option<String>,
+        /// Whether bare-name call summaries may apply: free functions and
+        /// methods rooted at `self` (`self.helper()`, `self.field.m()`).
+        /// Methods on locals, guards, or call results share names too
+        /// freely across types for name-keyed summaries to be sound.
+        summary_ok: bool,
+    },
+    /// A directly blocking primitive (`thread::sleep`, `.join()`, ...).
+    Blocking { what: String, line: usize },
+}
+
+/// Receiver-chain classification for `<chain>.method(..)`.
+#[derive(Debug, Clone, PartialEq)]
+enum Recv {
+    /// `self.a.b` — field `b` of a type in this crate.
+    SelfField(String),
+    /// Plain local `g`.
+    Local(String),
+    /// `CLIENT_REACTORS` — a static, by ALL_CAPS convention.
+    Static(String),
+    /// `self.shard(i)` — the result of a call; resolved via the
+    /// handle-alias table when the callee just returns a self-field.
+    CallResult(String),
+    Opaque,
+}
+
+impl Recv {
+    fn last_ident(&self) -> Option<&str> {
+        match self {
+            Recv::SelfField(n) | Recv::Local(n) | Recv::Static(n) | Recv::CallResult(n) => Some(n),
+            Recv::Opaque => None,
+        }
+    }
+}
+
+/// Walks a receiver chain backwards from token index `k` (the last
+/// token of the receiver expression).
+fn chain_recv(toks: &[Tok], mut k: usize) -> Recv {
+    let mut names: Vec<String> = Vec::new();
+    loop {
+        match toks.get(k).map(|t| &t.kind) {
+            Some(TokKind::Punct('?')) => {
+                if k == 0 {
+                    break;
+                }
+                k -= 1;
+            }
+            Some(TokKind::Punct(')')) => {
+                // Balanced call or group; only meaningful as the chain's
+                // rightmost element (a method-result receiver).
+                let open = balance_back(toks, k, '(', ')');
+                if names.is_empty() {
+                    if let (Some(o), Some(m)) = (open, open.and_then(|o| o.checked_sub(1))) {
+                        let _ = o;
+                        if toks[m].kind == TokKind::Ident {
+                            return Recv::CallResult(toks[m].text.clone());
+                        }
+                    }
+                    return Recv::Opaque;
+                }
+                break;
+            }
+            Some(TokKind::Punct(']')) => {
+                // Indexing is transparent: `self.shards[i]` ~ `self.shards`.
+                match balance_back(toks, k, '[', ']') {
+                    Some(open) if open > 0 => k = open - 1,
+                    _ => break,
+                }
+            }
+            Some(TokKind::Ident) => {
+                names.push(toks[k].text.clone());
+                // Continue through `a.b` field chains and `mod::X` paths.
+                if k >= 2 && toks[k - 1].kind == TokKind::Punct('.') {
+                    k -= 2;
+                } else if k >= 3
+                    && toks[k - 1].kind == TokKind::Punct(':')
+                    && toks[k - 2].kind == TokKind::Punct(':')
+                {
+                    k -= 3;
+                } else {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    // `names` is rightmost-first.
+    match names.as_slice() {
+        [] => Recv::Opaque,
+        [one] => {
+            if one
+                .chars()
+                .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+            {
+                Recv::Static(one.clone())
+            } else {
+                Recv::Local(one.clone())
+            }
+        }
+        [right, .., left] => {
+            if left == "self" {
+                Recv::SelfField(right.clone())
+            } else {
+                // `module::STATIC.lock()` and friends: classify by the
+                // rightmost ident.
+                if right
+                    .chars()
+                    .all(|c| c.is_ascii_uppercase() || c == '_' || c.is_ascii_digit())
+                {
+                    Recv::Static(right.clone())
+                } else {
+                    Recv::Local(right.clone())
+                }
+            }
+        }
+    }
+}
+
+/// Finds the opener matching the closer at `k`, scanning backwards.
+fn balance_back(toks: &[Tok], k: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = k;
+    loop {
+        match toks[j].kind {
+            TokKind::Punct(c) if c == close => depth += 1,
+            TokKind::Punct(c) if c == open => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        if j == 0 {
+            return None;
+        }
+        j -= 1;
+    }
+}
+
+fn is_keyword_call(name: &str) -> bool {
+    matches!(
+        name,
+        "if" | "while"
+            | "for"
+            | "match"
+            | "return"
+            | "loop"
+            | "move"
+            | "in"
+            | "as"
+            | "let"
+            | "else"
+            | "fn"
+            | "impl"
+            | "ref"
+            | "mut"
+            | "box"
+            | "unsafe"
+    )
+}
+
+fn starts_uppercase(name: &str) -> bool {
+    name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+// ---------------------------------------------------------------------
+// The walker: fn body tokens -> events.
+// ---------------------------------------------------------------------
+
+struct PendingLet {
+    depth: usize,
+    ident: Option<String>,
+}
+
+fn walk_fn(toks: &[Tok], body: std::ops::Range<usize>) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut depth = 0usize;
+    // Bindings declared per open scope (index = depth).
+    let mut scopes: Vec<Vec<String>> = vec![Vec::new()];
+    let mut pending: Vec<PendingLet> = Vec::new();
+    // (event index, token index of the lock-method ident) of the most
+    // recent acquisition, for upgrading statement-tail locks to guards.
+    let mut last_acquire: Option<(usize, usize)> = None;
+
+    let mut i = body.start;
+    while i < body.end {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct('{') => {
+                depth += 1;
+                scopes.push(Vec::new());
+            }
+            TokKind::Punct('}') => {
+                if let Some(bindings) = scopes.pop() {
+                    for b in bindings {
+                        events.push(Event::Release { binding: b });
+                    }
+                }
+                events.push(Event::TempFence { depth });
+                pending.retain(|p| p.depth < depth);
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(';') | TokKind::Punct(',') => {
+                if t.kind == TokKind::Punct(';') {
+                    // Finalize a pending `let` at this depth: if the
+                    // statement ends in `.lock()` / `.read()` / `.write()`
+                    // the acquisition becomes a scoped guard.
+                    if let Some(pos) = pending.iter().rposition(|p| p.depth == depth) {
+                        let p = pending.remove(pos);
+                        if let (Some(ident), Some((ev_idx, lock_tok))) = (p.ident, last_acquire) {
+                            let tail_matches = i >= 3
+                                && lock_tok == i - 3
+                                && toks[i - 1].kind == TokKind::Punct(')')
+                                && toks[i - 2].kind == TokKind::Punct('(');
+                            if tail_matches {
+                                if let Event::Acquire { binding, .. } = &mut events[ev_idx] {
+                                    *binding = Some(ident.clone());
+                                }
+                                if let Some(scope) = scopes.last_mut() {
+                                    scope.push(ident);
+                                }
+                            }
+                        }
+                    }
+                }
+                events.push(Event::TempFence { depth });
+            }
+            TokKind::Ident if t.text == "let" => {
+                // Extract a simple pattern ident: `let [mut] g [: T] = ..`.
+                let mut j = i + 1;
+                if toks.get(j).is_some_and(|t| t.text == "mut") {
+                    j += 1;
+                }
+                let mut ident = match toks.get(j) {
+                    Some(n) if n.kind == TokKind::Ident && !starts_uppercase(&n.text) => {
+                        Some(n.text.clone())
+                    }
+                    _ => None,
+                };
+                // `let v = *x.lock();` copies the value out — the binding
+                // is data, not a guard; the guard is a temporary.
+                let mut k = j;
+                while k < body.end && k < j + 24 {
+                    match toks[k].kind {
+                        TokKind::Punct('=') => {
+                            if toks
+                                .get(k + 1)
+                                .is_some_and(|n| n.kind == TokKind::Punct('*'))
+                            {
+                                ident = None;
+                            }
+                            break;
+                        }
+                        TokKind::Punct(';') | TokKind::Punct('{') => break,
+                        _ => k += 1,
+                    }
+                }
+                pending.push(PendingLet { depth, ident });
+            }
+            TokKind::Ident => {
+                let name = &t.text;
+                let next = toks.get(i + 1);
+                let is_macro = next.is_some_and(|n| n.kind == TokKind::Punct('!'));
+                let is_call = next.is_some_and(|n| n.kind == TokKind::Punct('('));
+                let is_method = i > body.start && toks[i - 1].kind == TokKind::Punct('.');
+                let zero_args = is_call
+                    && toks
+                        .get(i + 2)
+                        .is_some_and(|n| n.kind == TokKind::Punct(')'));
+
+                if is_call && !is_macro {
+                    // Lock acquisitions.
+                    let is_lock = LOCK_METHODS.contains(&name.as_str());
+                    let is_try = TRY_LOCK_METHODS.contains(&name.as_str());
+                    if is_method && zero_args && (is_lock || is_try) {
+                        let recv = if i >= 2 {
+                            chain_recv(toks, i - 2)
+                        } else {
+                            Recv::Opaque
+                        };
+                        events.push(Event::Acquire {
+                            class: String::new(), // resolved later w/ crate + aliases
+                            line: t.line,
+                            binding: None,
+                            depth,
+                        });
+                        // Stash the receiver classification in the class
+                        // slot via a sentinel encoding (resolved in
+                        // `resolve_classes`).
+                        if let Some(Event::Acquire { class, .. }) = events.last_mut() {
+                            *class = encode_recv(&recv);
+                        }
+                        // try_* results are `Option`; they never match the
+                        // statement-tail guard upgrade (good: the binding
+                        // is the Option, not a guard).
+                        if is_lock {
+                            last_acquire = Some((events.len() - 1, i));
+                        }
+                        i += 1;
+                        continue;
+                    }
+
+                    // Blocking primitives by path: thread::sleep / park.
+                    let path_root = if i >= 3
+                        && toks[i - 1].kind == TokKind::Punct(':')
+                        && toks[i - 2].kind == TokKind::Punct(':')
+                    {
+                        Some(toks[i - 3].text.as_str())
+                    } else {
+                        None
+                    };
+                    if path_root == Some("thread")
+                        && matches!(name.as_str(), "sleep" | "park" | "park_timeout")
+                    {
+                        events.push(Event::Blocking {
+                            what: format!("thread::{name}"),
+                            line: t.line,
+                        });
+                        i += 1;
+                        continue;
+                    }
+
+                    // Blocking primitives by method shape.
+                    let is_blocking_method = is_method
+                        && ((zero_args && (name == "join" || name == "recv"))
+                            || BLOCKING_WAITS.contains(&name.as_str()));
+                    if is_blocking_method {
+                        events.push(Event::Blocking {
+                            what: format!(".{name}(..)"),
+                            line: t.line,
+                        });
+                        i += 1;
+                        continue;
+                    }
+
+                    // `drop(g)` releases a guard early.
+                    if !is_method && name == "drop" {
+                        if let (Some(arg), Some(close)) = (toks.get(i + 2), toks.get(i + 3)) {
+                            if arg.kind == TokKind::Ident && close.kind == TokKind::Punct(')') {
+                                events.push(Event::Release {
+                                    binding: arg.text.clone(),
+                                });
+                            }
+                        }
+                    }
+
+                    if !is_keyword_call(name) && !starts_uppercase(name) {
+                        let recv = if is_method && i >= 2 {
+                            Some(chain_recv(toks, i - 2))
+                        } else {
+                            None
+                        };
+                        let summary_ok = match &recv {
+                            None => true,
+                            Some(Recv::Local(n)) => n == "self",
+                            Some(Recv::SelfField(_)) => true,
+                            Some(_) => false,
+                        };
+                        events.push(Event::Call {
+                            name: name.clone(),
+                            line: t.line,
+                            method: is_method,
+                            recv_last: recv
+                                .as_ref()
+                                .and_then(|r| r.last_ident())
+                                .map(str::to_string),
+                            summary_ok,
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Close the implicit function scope.
+    if let Some(bindings) = scopes.pop() {
+        for b in bindings {
+            events.push(Event::Release { binding: b });
+        }
+    }
+    events.push(Event::TempFence { depth: 0 });
+    events
+}
+
+/// The walker stores the raw receiver classification inline; `resolve`
+/// turns it into a class name once the crate and alias table are known.
+fn encode_recv(r: &Recv) -> String {
+    match r {
+        Recv::SelfField(n) => format!("F:{n}"),
+        Recv::Local(n) => format!("L:{n}"),
+        Recv::Static(n) => format!("S:{n}"),
+        Recv::CallResult(n) => format!("C:{n}"),
+        Recv::Opaque => "O:".to_string(),
+    }
+}
+
+fn resolve_class(
+    encoded: &str,
+    krate: &str,
+    aliases: &HashMap<(String, String), String>,
+) -> String {
+    let (tag, name) = encoded.split_at(2.min(encoded.len()));
+    match tag {
+        "F:" | "S:" => format!("{krate}::{name}"),
+        "L:" => name.to_string(),
+        "C:" => aliases
+            .get(&(krate.to_string(), name.to_string()))
+            .cloned()
+            .unwrap_or_else(|| name.to_string()),
+        _ => "?expr".to_string(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-function facts and workspace summaries.
+// ---------------------------------------------------------------------
+
+struct FnFacts {
+    name: String,
+    krate: String,
+    rel: PathBuf,
+    impl_trait: Option<String>,
+    events: Vec<Event>,
+    /// Classes acquired directly anywhere in the body.
+    direct_classes: BTreeSet<String>,
+    /// Direct RPC markers: (line, description).
+    direct_rpc: Vec<(usize, String)>,
+    /// Direct blocking markers: (line, description).
+    direct_blocking: Vec<(usize, String)>,
+    /// Names of everything this function calls.
+    calls: BTreeSet<String>,
+}
+
+/// Describes why a call counts as a transport/IO boundary, if it does.
+fn rpc_marker(name: &str, method: bool, recv_last: Option<&str>) -> Option<String> {
+    if method && name == "call" {
+        return Some("transport call `.call(..)`".to_string());
+    }
+    if name == "journal_append" {
+        return Some("journal write (`journal_append` persists to the object store)".to_string());
+    }
+    // Handle plumbing on a store/journal handle is not I/O.
+    if matches!(
+        name,
+        "clone" | "as_ref" | "is_some" | "is_none" | "len" | "is_empty" | "take"
+    ) {
+        return None;
+    }
+    match recv_last {
+        Some("persistent") => Some(format!("`ObjectStore` I/O (`persistent.{name}(..)`)")),
+        Some("journal") => Some(format!("journal I/O (`journal.{name}(..)`)")),
+        _ => None,
+    }
+}
+
+fn build_facts(
+    rel: &Path,
+    krate: &str,
+    item: &FnItem,
+    toks: &[Tok],
+    aliases: &HashMap<(String, String), String>,
+) -> FnFacts {
+    let mut events = walk_fn(toks, item.body.clone());
+    let mut direct_classes = BTreeSet::new();
+    let mut direct_rpc = Vec::new();
+    let mut direct_blocking = Vec::new();
+    let mut calls = BTreeSet::new();
+    for ev in &mut events {
+        match ev {
+            Event::Acquire { class, .. } => {
+                *class = resolve_class(class, krate, aliases);
+                direct_classes.insert(class.clone());
+            }
+            Event::Call {
+                name,
+                line,
+                method,
+                recv_last,
+                ..
+            } => {
+                calls.insert(name.clone());
+                if let Some(desc) = rpc_marker(name, *method, recv_last.as_deref()) {
+                    direct_rpc.push((*line, desc));
+                }
+            }
+            Event::Blocking { what, line } => {
+                direct_blocking.push((*line, what.clone()));
+            }
+            _ => {}
+        }
+    }
+    FnFacts {
+        name: item.name.clone(),
+        krate: krate.to_string(),
+        rel: rel.to_path_buf(),
+        impl_trait: item.impl_trait.clone(),
+        events,
+        direct_classes,
+        direct_rpc,
+        direct_blocking,
+        calls,
+    }
+}
+
+/// Name-keyed summaries. Same-crate maps power the one-level rule
+/// propagation (precision); the workspace-wide fixpoint powers the
+/// reach graph for the runtime cross-check (recall).
+#[derive(Default)]
+struct Summaries {
+    /// (crate, fn name) -> directly-acquired classes.
+    same_crate_classes: HashMap<(String, String), BTreeSet<String>>,
+    /// (crate, fn name) -> first direct RPC marker description.
+    same_crate_rpc: HashMap<(String, String), String>,
+    /// (crate, fn name) -> first direct blocking marker description.
+    same_crate_blocking: HashMap<(String, String), String>,
+    /// fn name -> transitively-acquired classes (workspace fixpoint).
+    full_classes: HashMap<String, BTreeSet<String>>,
+}
+
+fn build_summaries(fns: &[FnFacts]) -> Summaries {
+    let mut s = Summaries::default();
+    let mut direct: HashMap<String, BTreeSet<String>> = HashMap::new();
+    let mut callees: HashMap<String, BTreeSet<String>> = HashMap::new();
+    for f in fns {
+        let key = (f.krate.clone(), f.name.clone());
+        s.same_crate_classes
+            .entry(key.clone())
+            .or_default()
+            .extend(f.direct_classes.iter().cloned());
+        if let Some((_, desc)) = f.direct_rpc.first() {
+            s.same_crate_rpc.entry(key.clone()).or_insert(desc.clone());
+        }
+        if let Some((_, desc)) = f.direct_blocking.first() {
+            s.same_crate_blocking.entry(key).or_insert(desc.clone());
+        }
+        direct
+            .entry(f.name.clone())
+            .or_default()
+            .extend(f.direct_classes.iter().cloned());
+        callees
+            .entry(f.name.clone())
+            .or_default()
+            .extend(f.calls.iter().cloned());
+    }
+    // Fixpoint: full(f) = direct(f) ∪ ⋃ full(callee). Monotone over a
+    // finite class set, so plain iteration terminates.
+    let mut full = direct.clone();
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = full.keys().cloned().collect();
+        for name in names {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            if let Some(cs) = callees.get(&name) {
+                for c in cs {
+                    if let Some(set) = full.get(c) {
+                        add.extend(set.iter().cloned());
+                    }
+                }
+            }
+            let cur = full.entry(name).or_default();
+            let before = cur.len();
+            cur.extend(add);
+            if cur.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    s.full_classes = full;
+    s
+}
+
+/// Handle-alias pass: `fn shard(&self, ..) -> &Mutex<..> { &self.shards[..] }`
+/// means `self.shard(i).lock()` acquires the `shards` class. Only
+/// functions whose body is a single self-field chain (no acquisitions,
+/// no statements) qualify.
+fn build_aliases(files: &[FileData]) -> HashMap<(String, String), String> {
+    let mut aliases = HashMap::new();
+    for fd in files {
+        for item in &fd.fns {
+            if item.is_test {
+                continue;
+            }
+            let body = &fd.lexed.toks[item.body.clone()];
+            if body.is_empty() || body.iter().any(|t| t.kind == TokKind::Punct(';')) {
+                continue;
+            }
+            if body
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && LOCK_METHODS.contains(&t.text.as_str()))
+            {
+                continue;
+            }
+            if let Recv::SelfField(field) = chain_recv(body, body.len() - 1) {
+                aliases.insert(
+                    (fd.krate.clone(), item.name.clone()),
+                    format!("{}::{field}", fd.krate),
+                );
+            }
+        }
+    }
+    aliases
+}
+
+// ---------------------------------------------------------------------
+// File loading.
+// ---------------------------------------------------------------------
+
+struct FileData {
+    rel: PathBuf,
+    krate: String,
+    lexed: Lexed,
+    fns: Vec<FnItem>,
+}
+
+fn load_files(root: &Path) -> Vec<FileData> {
+    let mut out = Vec::new();
+    for abs in crate::rust_files(root) {
+        let rel = abs.strip_prefix(root).unwrap_or(&abs).to_path_buf();
+        let comps: Vec<String> = rel
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect();
+        // Analysis scope: crate sources only. Integration tests, benches
+        // and examples may hold anything across anything.
+        if comps.len() < 4 || comps[0] != "crates" || comps[2] != "src" {
+            continue;
+        }
+        let krate = comps[1].clone();
+        let Ok(text) = fs::read_to_string(&abs) else {
+            continue;
+        };
+        let lexed = lex::lex(&text);
+        let fns = parse::parse_items(&lexed);
+        out.push(FileData {
+            rel,
+            krate,
+            lexed,
+            fns,
+        });
+    }
+    out.sort_by(|a, b| a.rel.cmp(&b.rel));
+    out
+}
+
+// ---------------------------------------------------------------------
+// The rule pass (replay).
+// ---------------------------------------------------------------------
+
+#[derive(Clone)]
+struct LiveGuard {
+    binding: Option<String>,
+    class: String,
+    line: usize,
+    depth: usize,
+}
+
+/// A static acquisition-order edge with one example site.
+#[derive(Clone)]
+struct EdgeSite {
+    rel: PathBuf,
+    line: usize,
+    guard_line: usize,
+}
+
+struct RulePassOutput {
+    violations: Vec<PendingViolation>,
+    /// Strict edges (direct nesting + one-level same-crate summaries).
+    strict_edges: BTreeMap<(String, String), EdgeSite>,
+    /// Reach edges (strict ∪ transitive call closure).
+    reach_edges: BTreeSet<(String, String)>,
+}
+
+/// A violation plus the guard-binding line that may carry its allow.
+struct PendingViolation {
+    v: Violation,
+    guard_line: Option<usize>,
+}
+
+fn run_rule_pass(fns: &[FnFacts], sums: &Summaries) -> RulePassOutput {
+    let mut out = RulePassOutput {
+        violations: Vec::new(),
+        strict_edges: BTreeMap::new(),
+        reach_edges: BTreeSet::new(),
+    };
+    for f in fns {
+        let in_reactor = f.impl_trait.as_deref() == Some("EventHandler");
+        let mut live: Vec<LiveGuard> = Vec::new();
+        for ev in &f.events {
+            match ev {
+                Event::Acquire {
+                    class,
+                    line,
+                    binding,
+                    depth,
+                } => {
+                    for g in &live {
+                        if g.class != *class {
+                            out.strict_edges
+                                .entry((g.class.clone(), class.clone()))
+                                .or_insert(EdgeSite {
+                                    rel: f.rel.clone(),
+                                    line: *line,
+                                    guard_line: g.line,
+                                });
+                            out.reach_edges.insert((g.class.clone(), class.clone()));
+                        }
+                    }
+                    if let Some(b) = binding {
+                        live.retain(|g| g.binding.as_deref() != Some(b.as_str()));
+                    }
+                    live.push(LiveGuard {
+                        binding: binding.clone(),
+                        class: class.clone(),
+                        line: *line,
+                        depth: *depth,
+                    });
+                }
+                Event::Release { binding } => {
+                    if let Some(pos) = live
+                        .iter()
+                        .rposition(|g| g.binding.as_deref() == Some(binding.as_str()))
+                    {
+                        live.remove(pos);
+                    }
+                }
+                Event::TempFence { depth } => {
+                    live.retain(|g| g.binding.is_some() || g.depth < *depth);
+                    if *depth == 0 {
+                        live.retain(|g| g.binding.is_some());
+                    }
+                }
+                Event::Call {
+                    name,
+                    line,
+                    method,
+                    recv_last,
+                    summary_ok,
+                } => {
+                    let key = (f.krate.clone(), name.clone());
+                    if !live.is_empty() {
+                        // Direct RPC marker under a live guard.
+                        if let Some(desc) = rpc_marker(name, *method, recv_last.as_deref()) {
+                            push_guard_violation(&mut out.violations, f, &live, *line, &desc);
+                        } else if *summary_ok {
+                            if let Some(desc) = sums.same_crate_rpc.get(&key) {
+                                let desc = format!("call to `{name}`, which performs {desc}");
+                                push_guard_violation(&mut out.violations, f, &live, *line, &desc);
+                            }
+                        }
+                        // Lock-order edges through the callee.
+                        if let Some(classes) =
+                            sums.same_crate_classes.get(&key).filter(|_| *summary_ok)
+                        {
+                            for c in classes {
+                                for g in &live {
+                                    if g.class != *c {
+                                        out.strict_edges
+                                            .entry((g.class.clone(), c.clone()))
+                                            .or_insert(EdgeSite {
+                                                rel: f.rel.clone(),
+                                                line: *line,
+                                                guard_line: g.line,
+                                            });
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(classes) = sums.full_classes.get(name) {
+                            for c in classes {
+                                for g in &live {
+                                    if g.class != *c {
+                                        out.reach_edges.insert((g.class.clone(), c.clone()));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    if in_reactor && *summary_ok {
+                        if let Some(desc) = sums.same_crate_blocking.get(&key) {
+                            out.violations.push(PendingViolation {
+                                v: Violation {
+                                    rule: "no-blocking-in-reactor",
+                                    path: f.rel.clone(),
+                                    line: *line,
+                                    message: format!(
+                                        "`{}::{}` (EventHandler) calls `{name}`, which blocks on {desc}; \
+                                         reactor callbacks must only move bytes and schedule work",
+                                        f.krate, f.name
+                                    ),
+                                },
+                                guard_line: None,
+                            });
+                        }
+                    }
+                }
+                Event::Blocking { what, line } => {
+                    if in_reactor {
+                        out.violations.push(PendingViolation {
+                            v: Violation {
+                                rule: "no-blocking-in-reactor",
+                                path: f.rel.clone(),
+                                line: *line,
+                                message: format!(
+                                    "`{}::{}` (EventHandler) blocks on {what}; a blocked reactor \
+                                     thread stalls every connection it serves",
+                                    f.krate, f.name
+                                ),
+                            },
+                            guard_line: None,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn push_guard_violation(
+    violations: &mut Vec<PendingViolation>,
+    f: &FnFacts,
+    live: &[LiveGuard],
+    line: usize,
+    desc: &str,
+) {
+    // Report against the earliest-acquired live guard: that is the one
+    // whose hold spans the call.
+    let g = &live[0];
+    let held = match &g.binding {
+        Some(b) => format!("guard `{b}` (class `{}`, bound line {})", g.class, g.line),
+        None => format!("temporary guard of class `{}` (line {})", g.class, g.line),
+    };
+    violations.push(PendingViolation {
+        v: Violation {
+            rule: "no-guard-across-rpc",
+            path: f.rel.clone(),
+            line,
+            message: format!(
+                "{held} is live across {desc} in `{}`; a slow peer turns this lock into a \
+                 stalled subsystem — copy out, drop the guard, call, re-lock (DESIGN.md §8)",
+                f.name
+            ),
+        },
+        guard_line: Some(g.line),
+    });
+}
+
+// ---------------------------------------------------------------------
+// static-lock-order: cycle check + runtime-dump cross-check.
+// ---------------------------------------------------------------------
+
+fn check_cycles(
+    edges: &BTreeMap<(String, String), EdgeSite>,
+    violations: &mut Vec<PendingViolation>,
+) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    // Insert edges in deterministic order; an edge that closes a cycle
+    // against the already-inserted set is reported and *not* inserted,
+    // so one inversion yields one violation.
+    for ((from, to), site) in edges {
+        if reaches(&adj, to, from) {
+            violations.push(PendingViolation {
+                v: Violation {
+                    rule: "static-lock-order",
+                    path: site.rel.clone(),
+                    line: site.line,
+                    message: format!(
+                        "acquiring `{to}` while holding `{from}` (guard bound line {}) closes a \
+                         static lock-order cycle `{to}` -> .. -> `{from}` -> `{to}`; two threads \
+                         taking these classes in opposite orders can deadlock",
+                        site.guard_line
+                    ),
+                },
+                guard_line: Some(site.guard_line),
+            });
+        } else {
+            adj.entry(from.as_str()).or_default().push(to.as_str());
+        }
+    }
+}
+
+fn reaches(adj: &BTreeMap<&str, Vec<&str>>, from: &str, to: &str) -> bool {
+    let mut stack = vec![from];
+    let mut seen: BTreeSet<&str> = [from].into_iter().collect();
+    while let Some(n) = stack.pop() {
+        if n == to {
+            return true;
+        }
+        for &next in adj.get(n).map(Vec::as_slice).unwrap_or(&[]) {
+            if seen.insert(next) {
+                stack.push(next);
+            }
+        }
+    }
+    false
+}
+
+/// One endpoint of a runtime dump edge: `name@file:line:col`.
+struct DumpSite {
+    name: Option<String>,
+    file: PathBuf,
+    line: usize,
+}
+
+fn parse_dump_site(s: &str) -> Option<DumpSite> {
+    let (name, loc) = s.split_once('@')?;
+    // rsplit: the path itself contains `:` never, but line:col are the
+    // last two segments.
+    let mut parts = loc.rsplitn(3, ':');
+    let _col = parts.next()?;
+    let line: usize = parts.next()?.parse().ok()?;
+    let file = normalize(Path::new(parts.next()?));
+    Some(DumpSite {
+        name: (name != "-").then(|| name.to_string()),
+        file,
+        line,
+    })
+}
+
+/// Resolves `a/b/../c` without touching the filesystem.
+fn normalize(p: &Path) -> PathBuf {
+    let mut out = PathBuf::new();
+    for c in p.components() {
+        match c {
+            std::path::Component::ParentDir => {
+                out.pop();
+            }
+            std::path::Component::CurDir => {}
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn is_test_path(p: &Path) -> bool {
+    p.components().any(|c| {
+        matches!(
+            c.as_os_str().to_string_lossy().as_ref(),
+            "tests" | "benches" | "examples" | "fixtures"
+        )
+    })
+}
+
+/// Whether `site` falls inside the file's trailing `#[cfg(test)]` mod.
+/// Repo convention puts unit tests last, so everything at or after the
+/// first `#[cfg(test)]` marker counts as test code.
+fn in_test_mod(cache: &mut HashMap<PathBuf, usize>, root: &Path, site: &DumpSite) -> bool {
+    let start = *cache.entry(site.file.clone()).or_insert_with(|| {
+        fs::read_to_string(root.join(&site.file))
+            .ok()
+            .and_then(|text| {
+                text.lines()
+                    .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+                    .map(|i| i + 1)
+            })
+            .unwrap_or(usize::MAX)
+    });
+    site.line >= start
+}
+
+fn crate_of(p: &Path) -> Option<String> {
+    let comps: Vec<String> = p
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    (comps.len() >= 2 && comps[0] == "crates").then(|| comps[1].clone())
+}
+
+/// Maps a runtime construction site to candidate static class names.
+fn resolve_dump_site(root: &Path, site: &DumpSite) -> Vec<String> {
+    if let Some(name) = &site.name {
+        // An explicit `new_named` name matches either the bare class
+        // (handoff locals like `block`) or the crate-qualified field.
+        let mut c = vec![name.clone()];
+        if let Some(krate) = crate_of(&site.file) {
+            c.push(format!("{krate}::{name}"));
+        }
+        return c;
+    }
+    let Some(krate) = crate_of(&site.file) else {
+        return Vec::new();
+    };
+    let Ok(text) = fs::read_to_string(root.join(&site.file)) else {
+        return Vec::new();
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    // Derived `Default` reports the `#[track_caller]` Location on the
+    // `#[derive(..)]` attribute line, not the struct itself; skip
+    // attributes down to the item they decorate.
+    let mut idx = site.line.saturating_sub(1);
+    while lines
+        .get(idx)
+        .is_some_and(|l| l.trim_start().starts_with("#["))
+    {
+        idx += 1;
+    }
+    let Some(&line) = lines.get(idx) else {
+        return Vec::new();
+    };
+    if let Some(c) = class_from_construction_line(line, &krate) {
+        return vec![c];
+    }
+    // Derived `Default` puts the caller Location on the struct
+    // definition; every lock-carrying field is a candidate.
+    let trimmed = line.trim_start();
+    let struct_decl = trimmed
+        .strip_prefix("pub struct ")
+        .or_else(|| trimmed.strip_prefix("struct "));
+    if struct_decl.is_some() {
+        let mut fields = Vec::new();
+        for l in lines.iter().skip(idx + 1) {
+            let lt = l.trim();
+            if lt.starts_with('}') {
+                break;
+            }
+            if (lt.contains("Mutex<") || lt.contains("RwLock<")) && lt.contains(':') {
+                let field = lt
+                    .trim_start_matches("pub ")
+                    .split(':')
+                    .next()
+                    .unwrap_or("")
+                    .trim();
+                if !field.is_empty() && field.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                {
+                    fields.push(format!("{krate}::{field}"));
+                }
+            }
+        }
+        return fields;
+    }
+    // Multiline construction (`shards: (0..N).map(|_| {\n Mutex::new(..`):
+    // scan a few lines up for the binding the expression feeds.
+    for back in 1..=8usize {
+        let Some(idx) = site.line.checked_sub(1 + back) else {
+            break;
+        };
+        let Some(&l) = lines.get(idx) else { break };
+        if l.trim_end().ends_with(';') || l.contains("fn ") {
+            break;
+        }
+        // The constructor call is on the *reported* line, so the
+        // binding line a few rows up need not contain `::new(` itself
+        // (`shards: (0..N)` / `.map(|_| {` / `Mutex::new(..)`).
+        if let Some(c) = class_from_line(l, &krate, false) {
+            return vec![c];
+        }
+    }
+    Vec::new()
+}
+
+/// `state: Mutex::new(..)` / `let prefixes = ..` / `self.pool = ..` /
+/// `static X: Mutex<..> = ..` -> a class name.
+fn class_from_construction_line(line: &str, krate: &str) -> Option<String> {
+    class_from_line(line, krate, true)
+}
+
+/// `need_ctor` requires a `::new(`/`::default(` call on the same line —
+/// true for the reported line itself, false for the upward scan where
+/// the constructor sits on a later line of a multiline expression.
+fn class_from_line(line: &str, krate: &str, need_ctor: bool) -> Option<String> {
+    let t = line.trim_start();
+    if let Some(rest) = t.strip_prefix("let ") {
+        let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() && (!need_ctor || line.contains("::new(")) {
+            return Some(ident); // locals stay bare, like acquisition sites
+        }
+        return None;
+    }
+    if let Some(rest) = t.strip_prefix("static ") {
+        let ident: String = rest
+            .chars()
+            .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+            .collect();
+        if !ident.is_empty() {
+            return Some(format!("{krate}::{ident}"));
+        }
+        return None;
+    }
+    // Field init `ident: ..::new(..)` or assignment `[self.]ident = ..`.
+    let head = t
+        .strip_prefix("pub ")
+        .unwrap_or(t)
+        .strip_prefix("self.")
+        .unwrap_or(t);
+    let ident: String = head
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+        .collect();
+    if ident.is_empty() {
+        return None;
+    }
+    let after = &head[ident.len()..];
+    let after = after.trim_start();
+    let assigns = (after.starts_with(':') && !after.starts_with("::"))
+        || (after.starts_with('=') && !after.starts_with("=>"));
+    if assigns && (!need_ctor || line.contains("::new(") || line.contains("::default(")) {
+        return Some(format!("{krate}::{ident}"));
+    }
+    None
+}
+
+fn cross_check_dump(
+    root: &Path,
+    dump: &Path,
+    reach: &BTreeSet<(String, String)>,
+    violations: &mut Vec<PendingViolation>,
+) {
+    let Ok(text) = fs::read_to_string(dump) else {
+        violations.push(PendingViolation {
+            v: Violation {
+                rule: "static-lock-order",
+                path: dump.to_path_buf(),
+                line: 0,
+                message: "lock-order dump file is unreadable".to_string(),
+            },
+            guard_line: None,
+        });
+        return;
+    };
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    let mut test_mod_start: HashMap<PathBuf, usize> = HashMap::new();
+    for raw in text.lines() {
+        let raw = raw.trim();
+        if raw.is_empty() || !seen.insert(raw.to_string()) {
+            continue;
+        }
+        let Some((a, b)) = raw.split_once(" -> ") else {
+            continue;
+        };
+        let (Some(from), Some(to)) = (parse_dump_site(a), parse_dump_site(b)) else {
+            continue;
+        };
+        if is_test_path(&from.file) || is_test_path(&to.file) {
+            continue;
+        }
+        // Unit-test lock classes (trailing `#[cfg(test)] mod`) are not
+        // part of the product lock hierarchy; the rule passes skip
+        // test fns, so the cross-check skips their constructions too.
+        if in_test_mod(&mut test_mod_start, root, &from)
+            || in_test_mod(&mut test_mod_start, root, &to)
+        {
+            continue;
+        }
+        let from_classes = resolve_dump_site(root, &from);
+        let to_classes = resolve_dump_site(root, &to);
+        for (site, classes) in [(&from, &from_classes), (&to, &to_classes)] {
+            if classes.is_empty() {
+                violations.push(PendingViolation {
+                    v: Violation {
+                        rule: "static-lock-order",
+                        path: site.file.clone(),
+                        line: site.line,
+                        message: format!(
+                            "runtime lock class constructed here ({}) cannot be mapped to a \
+                             static class — give it an explicit name with `new_named` so the \
+                             runtime/static cross-check can see it",
+                            raw
+                        ),
+                    },
+                    guard_line: None,
+                });
+            }
+        }
+        if from_classes.is_empty() || to_classes.is_empty() {
+            continue;
+        }
+        let covered = from_classes.iter().any(|f| {
+            to_classes
+                .iter()
+                .any(|t| f == t || reach.contains(&(f.clone(), t.clone())))
+        });
+        if !covered {
+            violations.push(PendingViolation {
+                v: Violation {
+                    rule: "static-lock-order",
+                    path: from.file.clone(),
+                    line: from.line,
+                    message: format!(
+                        "runtime-observed lock-order edge `{}` -> `{}` ({raw}) is absent from \
+                         the static acquisition graph — the analyzer lost track of a nesting; \
+                         teach it the pattern or name the locks",
+                        from_classes.join("|"),
+                        to_classes.join("|"),
+                    ),
+                },
+                guard_line: None,
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allow suppression + entry point.
+// ---------------------------------------------------------------------
+
+/// Runs the parser-based concurrency rules over `root`. When
+/// `lock_order_dump` is given, runtime-observed edges are checked
+/// against the static reach graph.
+pub fn analyze(root: &Path, lock_order_dump: Option<&Path>) -> Vec<Violation> {
+    let files = load_files(root);
+    let aliases = build_aliases(&files);
+    let mut fns: Vec<FnFacts> = Vec::new();
+    for fd in &files {
+        for item in &fd.fns {
+            if item.is_test {
+                continue;
+            }
+            fns.push(build_facts(
+                &fd.rel,
+                &fd.krate,
+                item,
+                &fd.lexed.toks,
+                &aliases,
+            ));
+        }
+    }
+    let sums = build_summaries(&fns);
+    let mut pass = run_rule_pass(&fns, &sums);
+    check_cycles(&pass.strict_edges, &mut pass.violations);
+    if let Some(dump) = lock_order_dump {
+        cross_check_dump(root, dump, &pass.reach_edges, &mut pass.violations);
+    }
+
+    // Allow-comment bookkeeping: suppress vetted sites, flag bad allows.
+    let allows_by_file: HashMap<&Path, &Lexed> = files
+        .iter()
+        .map(|fd| (fd.rel.as_path(), &fd.lexed))
+        .collect();
+    let mut out: Vec<Violation> = Vec::new();
+    for pv in pass.violations {
+        let lexed = allows_by_file.get(pv.v.path.as_path());
+        let suppressed = lexed.is_some_and(|l| {
+            let mut lines = vec![pv.v.line, pv.v.line.saturating_sub(1)];
+            if let Some(g) = pv.guard_line {
+                lines.push(g);
+                lines.push(g.saturating_sub(1));
+            }
+            lines.iter().any(|&ln| {
+                l.allow_on(pv.v.rule, ln)
+                    .is_some_and(|a| !a.reason.is_empty())
+            })
+        });
+        if !suppressed {
+            out.push(pv.v);
+        }
+    }
+    for fd in &files {
+        for a in &fd.lexed.allows {
+            if !crate::is_known_rule(&a.rule) {
+                out.push(Violation {
+                    rule: "xtask-allow",
+                    path: fd.rel.clone(),
+                    line: a.line,
+                    message: format!("xtask-allow names unknown rule `{}`", a.rule),
+                });
+            } else if a.reason.is_empty() {
+                out.push(Violation {
+                    rule: "xtask-allow",
+                    path: fd.rel.clone(),
+                    line: a.line,
+                    message: format!(
+                        "xtask-allow({}) has an empty reason — vetted suppressions must say why",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn facts_for(src: &str) -> Vec<FnFacts> {
+        let lexed = lex(src);
+        let items = parse::parse_items(&lexed);
+        let aliases = HashMap::new();
+        items
+            .iter()
+            .filter(|i| !i.is_test)
+            .map(|i| {
+                build_facts(
+                    Path::new("crates/app/src/lib.rs"),
+                    "app",
+                    i,
+                    &lexed.toks,
+                    &aliases,
+                )
+            })
+            .collect()
+    }
+
+    fn violations(src: &str) -> Vec<Violation> {
+        let fns = facts_for(src);
+        let sums = build_summaries(&fns);
+        let mut pass = run_rule_pass(&fns, &sums);
+        check_cycles(&pass.strict_edges, &mut pass.violations);
+        pass.violations.into_iter().map(|p| p.v).collect()
+    }
+
+    #[test]
+    fn guard_live_across_transport_call_fires() {
+        let src = r#"
+            fn bad(&self) {
+                let st = self.state.lock();
+                let _ = self.conn.call(req);
+            }
+        "#;
+        let v = violations(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-guard-across-rpc");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn guard_dropped_before_call_is_clean() {
+        let src = r#"
+            fn good(&self) {
+                let payload = {
+                    let st = self.state.lock();
+                    st.payload()
+                };
+                let _ = self.conn.call(payload);
+            }
+            fn also_good(&self) {
+                let st = self.state.lock();
+                let x = st.copy_out();
+                drop(st);
+                let _ = self.conn.call(x);
+            }
+        "#;
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn one_level_summary_propagates() {
+        let src = r#"
+            fn helper(&self) { let _ = self.conn.call(req); }
+            fn bad(&self) {
+                let st = self.state.lock();
+                self.helper();
+            }
+        "#;
+        let v = violations(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("helper"));
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let src = r#"
+            fn good(&self) {
+                let n = self.map.lock().len();
+                let _ = self.conn.call(n);
+            }
+        "#;
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn blocking_in_event_handler_fires() {
+        let src = r#"
+            impl EventHandler for Listener {
+                fn on_ready(&self, r: bool, w: bool) -> bool {
+                    thread::sleep(Duration::from_millis(1));
+                    true
+                }
+            }
+            impl Listener {
+                fn elsewhere(&self) { thread::sleep(d); }
+            }
+        "#;
+        let v = violations(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "no-blocking-in-reactor");
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn static_cycle_is_detected() {
+        let src = r#"
+            fn ab(&self) {
+                let a = self.alpha.lock();
+                let b = self.beta.lock();
+            }
+            fn ba(&self) {
+                let b = self.beta.lock();
+                let a = self.alpha.lock();
+            }
+        "#;
+        let v = violations(src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "static-lock-order");
+        assert!(v[0].message.contains("app::alpha") && v[0].message.contains("app::beta"));
+    }
+
+    #[test]
+    fn map_to_element_handoff_is_clean() {
+        let src = r#"
+            fn get(&self) -> Arc<Mutex<Block>> {
+                self.blocks.read().get(&id).cloned().unwrap()
+            }
+            fn op(&self) {
+                let block = self.get();
+                let g = block.lock();
+            }
+        "#;
+        assert!(violations(src).is_empty());
+    }
+
+    #[test]
+    fn construction_line_classes() {
+        assert_eq!(
+            class_from_construction_line("            state: Mutex::new(CtrlState {", "controller"),
+            Some("controller::state".to_string())
+        );
+        assert_eq!(
+            class_from_construction_line(
+                "        let prefixes = Arc::new(Mutex::new(p));",
+                "client"
+            ),
+            Some("prefixes".to_string())
+        );
+        assert_eq!(
+            class_from_construction_line(
+                "static CLIENT_REACTORS: Mutex<Option<R>> = Mutex::new(None);",
+                "rpc"
+            ),
+            Some("rpc::CLIENT_REACTORS".to_string())
+        );
+        assert_eq!(
+            class_from_construction_line(
+                "        self.pool = Arc::new(Mutex::new(HashMap::new()));",
+                "rpc"
+            ),
+            Some("rpc::pool".to_string())
+        );
+        assert_eq!(class_from_construction_line("    fn foo() {", "x"), None);
+    }
+
+    #[test]
+    fn reach_graph_closes_call_chains() {
+        let src = r#"
+            fn call(&self) { self.svc.handle(req) }
+            fn handle(&self) { self.dispatch() }
+            fn dispatch(&self) { let g = self.inner.lock(); }
+            fn top(&self) {
+                let st = self.state.lock();
+                let _ = self.conn.call(req);
+            }
+        "#;
+        let fns = facts_for(src);
+        let sums = build_summaries(&fns);
+        let pass = run_rule_pass(&fns, &sums);
+        assert!(
+            pass.reach_edges
+                .contains(&("app::state".to_string(), "app::inner".to_string())),
+            "reach edges: {:?}",
+            pass.reach_edges
+        );
+        // But the strict graph stays one level deep.
+        assert!(!pass
+            .strict_edges
+            .contains_key(&("app::state".to_string(), "app::inner".to_string())));
+    }
+}

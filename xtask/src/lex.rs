@@ -1,0 +1,384 @@
+//! A minimal Rust token lexer for the static-analysis rules.
+//!
+//! Vendored on purpose (same constraint as the PR 2 lint rules: no
+//! `syn`, no proc-macro machinery) — the analyses in `analysis.rs` need
+//! token streams with line numbers, not a full AST. The lexer handles
+//! the constructs that break naive line scanning: nested block
+//! comments, string/char/raw-string literals, lifetimes vs. char
+//! literals, and `r#ident` raw identifiers.
+//!
+//! Line comments are scanned for `xtask-allow(<rule>): <reason>`
+//! suppression markers before being discarded; everything else that is
+//! not a token (whitespace, comments, attributes' shebang) vanishes.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    pub kind: TokKind,
+    /// Identifier / literal text; single-char punctuation stores itself.
+    pub text: String,
+    /// 1-based source line of the token's first character.
+    pub line: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Number,
+    Str,
+    Char,
+    Lifetime,
+    Punct(char),
+}
+
+/// A `// xtask-allow(<rule>): <reason>` suppression comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// 1-based line the comment appears on.
+    pub line: usize,
+    pub rule: String,
+    /// Trimmed reason text; empty reasons are themselves a violation.
+    pub reason: String,
+}
+
+/// Lexer output: the token stream plus any suppression comments seen.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub allows: Vec<Allow>,
+}
+
+impl Lexed {
+    /// Returns the allow entry (if any) for `rule` on `line`.
+    pub fn allow_on(&self, rule: &str, line: usize) -> Option<&Allow> {
+        self.allows
+            .iter()
+            .find(|a| a.line == line && a.rule == rule)
+    }
+}
+
+/// Parses `xtask-allow(rule): reason` out of a comment body.
+fn parse_allow(comment: &str, line: usize, out: &mut Vec<Allow>) {
+    let Some(pos) = comment.find("xtask-allow(") else {
+        return;
+    };
+    let rest = &comment[pos + "xtask-allow(".len()..];
+    let Some(close) = rest.find(')') else { return };
+    let rule = rest[..close].trim().to_string();
+    let after = rest[close + 1..].trim_start();
+    let reason = after.strip_prefix(':').unwrap_or("").trim().to_string();
+    out.push(Allow { line, rule, reason });
+}
+
+/// Lexes `src` into tokens. Unterminated literals consume to EOF rather
+/// than erroring: the linter must degrade gracefully on code that
+/// rustc itself will reject.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut allows = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                // Line comment: scan for an allow marker, then skip.
+                let end = src[i..].find('\n').map(|p| i + p).unwrap_or(b.len());
+                parse_allow(&src[i..end], line, &mut allows);
+                i = end;
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                let (ni, nl) = skip_raw_string(b, i, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'"' => {
+                let (ni, nl) = skip_string(b, i, line);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line,
+                });
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                // Disambiguate char literal from lifetime: 'x' / '\n' are
+                // chars; 'ident (no closing quote) is a lifetime.
+                if is_char_literal(b, i) {
+                    let (ni, nl) = skip_char(b, i, line);
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line,
+                    });
+                    i = ni;
+                    line = nl;
+                } else {
+                    let start = i + 1;
+                    let mut j = start;
+                    while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                        j += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[start..j].to_string(),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                    j += 1;
+                }
+                // `r#ident` raw identifiers: the `r` was consumed as part
+                // of this ident only if no `#` follows; handle the prefix
+                // case where we sit on `r` and `#ident` follows.
+                if j == i + 1 && (c == b'r') && b.get(j) == Some(&b'#') {
+                    let rstart = j + 1;
+                    let mut k = rstart;
+                    while k < b.len() && (b[k] == b'_' || b[k].is_ascii_alphanumeric()) {
+                        k += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Ident,
+                        text: src[rstart..k].to_string(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[start..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                // Good enough for analysis: consume digits, `_`, `.`
+                // (float), exponent letters and hex digits. A trailing
+                // range `1..x` is protected by not eating a second dot.
+                let mut seen_dot = false;
+                while j < b.len() {
+                    let d = b[j];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        j += 1;
+                    } else if d == b'.'
+                        && !seen_dot
+                        && b.get(j + 1).is_none_or(|n| n.is_ascii_digit())
+                    {
+                        seen_dot = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::Number,
+                    text: src[i..j].to_string(),
+                    line,
+                });
+                i = j;
+            }
+            c => {
+                toks.push(Tok {
+                    kind: TokKind::Punct(c as char),
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    Lexed { toks, allows }
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw string (`r"`,
+/// `r#"`, `br"`, `br#"`).
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+        if b.get(j) != Some(&b'r') {
+            return false;
+        }
+    }
+    if b.get(j) != Some(&b'r') {
+        return false;
+    }
+    j += 1;
+    while b.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    b.get(j) == Some(&b'"')
+}
+
+fn skip_raw_string(b: &[u8], i: usize, mut line: usize) -> (usize, usize) {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    j += 1; // the `r`
+    let mut hashes = 0;
+    while b.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    j += 1; // opening quote
+    while j < b.len() {
+        if b[j] == b'\n' {
+            line += 1;
+            j += 1;
+        } else if b[j] == b'"' {
+            let mut k = j + 1;
+            let mut seen = 0;
+            while seen < hashes && b.get(k) == Some(&b'#') {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return (k, line);
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    (j, line)
+}
+
+fn skip_string(b: &[u8], i: usize, mut line: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                line += 1;
+                j += 1;
+            }
+            b'"' => return (j + 1, line),
+            _ => j += 1,
+        }
+    }
+    (j, line)
+}
+
+/// `'` starts a char literal iff an (escaped) char followed by `'` comes
+/// next; otherwise it is a lifetime.
+fn is_char_literal(b: &[u8], i: usize) -> bool {
+    match b.get(i + 1) {
+        Some(b'\\') => true,
+        Some(&c) if c != b'\'' => b.get(i + 2) == Some(&b'\''),
+        _ => false,
+    }
+}
+
+fn skip_char(b: &[u8], i: usize, line: usize) -> (usize, usize) {
+    let mut j = i + 1;
+    if b.get(j) == Some(&b'\\') {
+        j += 2;
+        // Multi-char escapes (\x41, \u{..}) run to the closing quote.
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return (j + 1, line);
+    }
+    (j + 2, line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_tokens() {
+        let src = r##"
+            let a = "fn fake() { .lock() }"; // .call( in comment
+            /* nested /* block */ .write() */
+            let b = r#"raw ".lock()" body"#;
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "a", "let", "b"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = l
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a"]);
+        assert_eq!(l.toks.iter().filter(|t| t.kind == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = 1;\n/* c\nc\nc */\nlet b = 2;\n";
+        let l = lex(src);
+        let b = l.toks.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 5);
+    }
+
+    #[test]
+    fn allow_comments_are_collected() {
+        let src = "fn f() {\n  // xtask-allow(no-guard-across-rpc): journaling order\n  g();\n  // xtask-allow(no-blocking-in-reactor):\n}\n";
+        let l = lex(src);
+        assert_eq!(l.allows.len(), 2);
+        assert_eq!(l.allows[0].rule, "no-guard-across-rpc");
+        assert_eq!(l.allows[0].reason, "journaling order");
+        assert_eq!(l.allows[0].line, 2);
+        assert_eq!(l.allows[1].reason, "");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(idents("let r#type = 1;"), vec!["let", "type"]);
+    }
+}

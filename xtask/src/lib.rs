@@ -42,6 +42,90 @@ use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub mod analysis;
+pub mod lex;
+pub mod parse;
+
+pub use analysis::analyze;
+
+/// Which xtask subcommand a rule belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RulePhase {
+    /// Line-based checks (`cargo xtask lint`).
+    Lint,
+    /// Parser-based concurrency checks (`cargo xtask analyze`).
+    Analyze,
+}
+
+/// One registered rule. The registry is the single source of truth for
+/// rule names and counts — `main.rs` derives its "ok (N rules clean)"
+/// summary and `--rule` validation from here, and `analysis.rs` uses it
+/// to reject `xtask-allow(..)` comments naming unknown rules.
+pub struct RuleMeta {
+    pub name: &'static str,
+    pub phase: RulePhase,
+    pub summary: &'static str,
+}
+
+/// Every rule xtask knows, lint and analyze alike.
+pub const RULES: &[RuleMeta] = &[
+    RuleMeta {
+        name: "sync-facade",
+        phase: RulePhase::Lint,
+        summary: "all sync primitives come from jiffy_sync",
+    },
+    RuleMeta {
+        name: "no-unwrap",
+        phase: RulePhase::Lint,
+        summary: "no unwrap/undocumented expect in data-path crates",
+    },
+    RuleMeta {
+        name: "error-taxonomy",
+        phase: RulePhase::Lint,
+        summary: "transport faults are minted only by the transport layer",
+    },
+    RuleMeta {
+        name: "exhaustive-dispatch",
+        phase: RulePhase::Lint,
+        summary: "no bare `_` arms in RPC dispatch matches",
+    },
+    RuleMeta {
+        name: "journal-before-ack",
+        phase: RulePhase::Lint,
+        summary: "mutating control arms journal before acking",
+    },
+    RuleMeta {
+        name: "no-guard-across-rpc",
+        phase: RulePhase::Analyze,
+        summary: "no jiffy-sync guard live across a transport call",
+    },
+    RuleMeta {
+        name: "no-blocking-in-reactor",
+        phase: RulePhase::Analyze,
+        summary: "EventHandler callbacks never block",
+    },
+    RuleMeta {
+        name: "static-lock-order",
+        phase: RulePhase::Analyze,
+        summary: "static acquisition graph is acyclic and covers runtime edges",
+    },
+    RuleMeta {
+        name: "xtask-allow",
+        phase: RulePhase::Analyze,
+        summary: "allow-comments name real rules and carry a reason",
+    },
+];
+
+/// Number of rules in a phase (drives the CLI summary lines).
+pub fn rule_count(phase: RulePhase) -> usize {
+    RULES.iter().filter(|r| r.phase == phase).count()
+}
+
+/// Whether `name` is a registered rule (either phase).
+pub fn is_known_rule(name: &str) -> bool {
+    RULES.iter().any(|r| r.name == name)
+}
+
 /// A single lint finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Violation {

@@ -1,0 +1,378 @@
+//! Brace-tree item parser on top of `lex`: finds functions (with their
+//! enclosing `impl`/`trait` context and `#[cfg(test)]` shadowing) and
+//! hands each body to `analysis` as a token range.
+//!
+//! This is deliberately not an expression parser — the analyses only
+//! need (a) which tokens belong to which function, (b) whether the
+//! function sits in an `impl <Trait> for <Type>` block, and (c) whether
+//! it is test-only code. Everything else (guard tracking, receiver
+//! chains) is done by scanning the token range with a scope stack in
+//! `analysis.rs`.
+
+use crate::lex::{Lexed, Tok, TokKind};
+use std::ops::Range;
+
+/// One `fn` item with its body token range (exclusive of the braces).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the body, inside the outer `{ }`.
+    pub body: Range<usize>,
+    /// `Some("EventHandler")` for `impl EventHandler for X { .. }`
+    /// methods; also set for default methods in `trait Foo { .. }`.
+    pub impl_trait: Option<String>,
+    /// `Some("ListenerHandler")` for inherent/trait impl methods.
+    pub impl_type: Option<String>,
+    /// Inside `#[cfg(test)]` or carrying `#[test]`-like attributes.
+    pub is_test: bool,
+}
+
+/// Extracts every function in the file.
+pub fn parse_items(l: &Lexed) -> Vec<FnItem> {
+    let mut out = Vec::new();
+    let ctx = Ctx {
+        impl_trait: None,
+        impl_type: None,
+        in_test: false,
+    };
+    scan(&l.toks, 0, l.toks.len(), &ctx, &mut out);
+    out
+}
+
+#[derive(Clone)]
+struct Ctx {
+    impl_trait: Option<String>,
+    impl_type: Option<String>,
+    in_test: bool,
+}
+
+fn is_punct(t: &Tok, c: char) -> bool {
+    t.kind == TokKind::Punct(c)
+}
+
+fn is_kw(t: &Tok, kw: &str) -> bool {
+    t.kind == TokKind::Ident && t.text == kw
+}
+
+/// Skips a balanced token group starting at the opener at `i`; returns
+/// the index just past the matching closer.
+fn skip_group(toks: &[Tok], i: usize, open: char, close: char) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        if is_punct(&toks[j], open) {
+            depth += 1;
+        } else if is_punct(&toks[j], close) {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Whether the attribute tokens (between `#[` and `]`) mark test code:
+/// `cfg(test)`, `test`, `cfg(all(test, ..))`, `bench`.
+fn attr_is_test(toks: &[Tok]) -> bool {
+    let mut saw_cfg = false;
+    for t in toks {
+        if t.kind == TokKind::Ident {
+            match t.text.as_str() {
+                "cfg" => saw_cfg = true,
+                "test" => return true,
+                "bench" => return true,
+                _ => {}
+            }
+        }
+    }
+    // `cfg(loom)` and friends are not test regions; only cfg(test)
+    // (caught above) counts.
+    let _ = saw_cfg;
+    false
+}
+
+/// Parses an `impl`/`trait` header starting just past the keyword;
+/// returns (trait_name, type_name, index_of_body_open_brace).
+/// For `impl Type { .. }` the trait is None and the type is the last
+/// angle-depth-0 ident before `{`. For `impl Tr for Ty { .. }` the trait
+/// is the last angle-depth-0 ident before `for`.
+fn parse_impl_header(toks: &[Tok], start: usize) -> (Option<String>, Option<String>, usize) {
+    let mut angle = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut trait_name: Option<String> = None;
+    let mut type_name: Option<String> = None;
+    // `where` clause idents must not clobber the resolved names.
+    let mut frozen = false;
+    let mut j = start;
+    while j < toks.len() {
+        let t = &toks[j];
+        match t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Punct('{') if angle <= 0 => {
+                if !frozen {
+                    type_name = last_ident.take().or(type_name);
+                }
+                return (trait_name, type_name, j);
+            }
+            TokKind::Punct(';') => return (trait_name, type_name, j), // malformed; bail
+            TokKind::Ident if angle == 0 && !frozen => {
+                if t.text == "for" {
+                    trait_name = last_ident.take();
+                } else if t.text == "where" {
+                    type_name = last_ident.take().or(type_name);
+                    frozen = true;
+                } else if t.text != "dyn" && t.text != "mut" {
+                    last_ident = Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    (trait_name, type_name, j)
+}
+
+fn scan(toks: &[Tok], mut i: usize, end: usize, ctx: &Ctx, out: &mut Vec<FnItem>) {
+    let mut pending_test = false;
+    while i < end {
+        let t = &toks[i];
+        if is_punct(t, '#') {
+            // Attribute: `#[..]` or inner `#![..]`.
+            let mut j = i + 1;
+            if j < end && is_punct(&toks[j], '!') {
+                j += 1;
+            }
+            if j < end && is_punct(&toks[j], '[') {
+                let close = skip_group(toks, j, '[', ']');
+                if attr_is_test(&toks[j + 1..close.saturating_sub(1)]) {
+                    pending_test = true;
+                }
+                i = close;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if is_kw(t, "impl") || is_kw(t, "trait") {
+            let is_trait_def = t.text == "trait";
+            let (mut tr, mut ty, brace) = parse_impl_header(toks, i + 1);
+            if brace >= end || !is_punct(&toks[brace], '{') {
+                i = brace.max(i + 1);
+                pending_test = false;
+                continue;
+            }
+            if is_trait_def {
+                // `trait Foo { .. }`: default-method bodies belong to the
+                // trait; record the trait name as the impl_trait so rules
+                // scoped to trait impls can see defaults too.
+                tr = ty.take();
+            }
+            let body_end = skip_group(toks, brace, '{', '}');
+            let inner = Ctx {
+                impl_trait: tr,
+                impl_type: ty,
+                in_test: ctx.in_test || pending_test,
+            };
+            scan(toks, brace + 1, body_end.saturating_sub(1), &inner, out);
+            i = body_end;
+            pending_test = false;
+            continue;
+        }
+        if is_kw(t, "mod") {
+            // `mod name { .. }` or `mod name;`
+            let mut j = i + 1;
+            while j < end && !is_punct(&toks[j], '{') && !is_punct(&toks[j], ';') {
+                j += 1;
+            }
+            if j < end && is_punct(&toks[j], '{') {
+                let body_end = skip_group(toks, j, '{', '}');
+                let inner = Ctx {
+                    impl_trait: None,
+                    impl_type: None,
+                    in_test: ctx.in_test || pending_test,
+                };
+                scan(toks, j + 1, body_end.saturating_sub(1), &inner, out);
+                i = body_end;
+            } else {
+                i = j + 1;
+            }
+            pending_test = false;
+            continue;
+        }
+        if is_kw(t, "fn") {
+            let name = match toks.get(i + 1) {
+                Some(n) if n.kind == TokKind::Ident => n.text.clone(),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            };
+            let line = t.line;
+            // Find the body `{` or a `;` (trait method signature),
+            // skipping balanced parens/brackets so closure bodies in
+            // default args can't fool us. Angle depth guards `->`
+            // return types like `Fn() -> T`.
+            let mut j = i + 2;
+            let mut body_open = None;
+            while j < end {
+                let tj = &toks[j];
+                if is_punct(tj, '(') {
+                    j = skip_group(toks, j, '(', ')');
+                    continue;
+                }
+                if is_punct(tj, '[') {
+                    j = skip_group(toks, j, '[', ']');
+                    continue;
+                }
+                if is_punct(tj, '{') {
+                    body_open = Some(j);
+                    break;
+                }
+                if is_punct(tj, ';') {
+                    break;
+                }
+                j += 1;
+            }
+            let Some(open) = body_open else {
+                i = j + 1;
+                pending_test = false;
+                continue;
+            };
+            let body_end = skip_group(toks, open, '{', '}');
+            out.push(FnItem {
+                name,
+                line,
+                body: (open + 1)..body_end.saturating_sub(1),
+                impl_trait: ctx.impl_trait.clone(),
+                impl_type: ctx.impl_type.clone(),
+                is_test: ctx.in_test || pending_test,
+            });
+            // Nested fns (rare) still get their own entry.
+            let inner = Ctx {
+                impl_trait: None,
+                impl_type: None,
+                in_test: ctx.in_test || pending_test,
+            };
+            scan(toks, open + 1, body_end.saturating_sub(1), &inner, out);
+            i = body_end;
+            pending_test = false;
+            continue;
+        }
+        // Any other balanced group at item level (static initializers,
+        // use groups): skip it wholesale so stray braces can't desync
+        // the item walk.
+        if is_punct(t, '{') {
+            i = skip_group(toks, i, '{', '}');
+            pending_test = false;
+            continue;
+        }
+        if t.kind == TokKind::Ident || !matches!(t.kind, TokKind::Punct(_)) {
+            pending_test = pending_test && !is_item_terminator(t);
+        }
+        i += 1;
+    }
+}
+
+/// Identifiers that end the influence of a pending `#[cfg(test)]`-style
+/// attribute without opening a region we recurse into (e.g. `use`,
+/// `static`, `const` items the attribute was attached to).
+fn is_item_terminator(t: &Tok) -> bool {
+    matches!(
+        t.text.as_str(),
+        "use" | "static" | "const" | "type" | "struct" | "enum"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+
+    fn items(src: &str) -> Vec<FnItem> {
+        parse_items(&lex(src))
+    }
+
+    #[test]
+    fn finds_plain_and_impl_fns() {
+        let src = r#"
+            fn top() { body(); }
+            struct S;
+            impl S {
+                fn inherent(&self) -> u32 { 1 }
+            }
+            impl EventHandler for S {
+                fn fd(&self) -> RawFd { 0 }
+                fn on_ready(&self, r: bool, w: bool) -> bool { true }
+            }
+        "#;
+        let fns = items(src);
+        let names: Vec<_> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["top", "inherent", "fd", "on_ready"]);
+        assert_eq!(fns[0].impl_trait, None);
+        assert_eq!(fns[1].impl_trait, None);
+        assert_eq!(fns[1].impl_type.as_deref(), Some("S"));
+        assert_eq!(fns[2].impl_trait.as_deref(), Some("EventHandler"));
+        assert_eq!(fns[3].impl_trait.as_deref(), Some("EventHandler"));
+        assert_eq!(fns[3].impl_type.as_deref(), Some("S"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve() {
+        let src =
+            "impl<T: Clone + Send> Handler<T> for Wrapper<T> where T: Sized { fn go(&self) {} }";
+        let fns = items(src);
+        assert_eq!(fns[0].impl_trait.as_deref(), Some("Handler"));
+        assert_eq!(fns[0].impl_type.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn cfg_test_regions_mark_fns() {
+        let src = r#"
+            fn live() {}
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+                #[test]
+                fn case() {}
+            }
+            #[test]
+            fn toplevel_case() {}
+            fn also_live() {}
+        "#;
+        let fns = items(src);
+        let by_name: std::collections::HashMap<_, _> =
+            fns.iter().map(|f| (f.name.as_str(), f.is_test)).collect();
+        assert!(!by_name["live"]);
+        assert!(by_name["helper"]);
+        assert!(by_name["case"]);
+        assert!(by_name["toplevel_case"]);
+        assert!(!by_name["also_live"]);
+    }
+
+    #[test]
+    fn trait_default_methods_carry_trait_name() {
+        let src = "trait Conn { fn call(&self) -> u32 { self.raw() } fn raw(&self) -> u32; }";
+        let fns = items(src);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "call");
+        assert_eq!(fns[0].impl_trait.as_deref(), Some("Conn"));
+    }
+
+    #[test]
+    fn signature_only_fns_are_skipped_and_bodies_ranged() {
+        let src = "fn f(x: u32) -> u32 { let y = x; y }";
+        let l = lex(src);
+        let fns = parse_items(&l);
+        assert_eq!(fns.len(), 1);
+        let body: Vec<_> = l.toks[fns[0].body.clone()]
+            .iter()
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(body, vec!["let", "y", "=", "x", ";", "y"]);
+    }
+}

@@ -1,0 +1,98 @@
+//! The analyze gate must (a) pass on the real repo and (b) fail on the
+//! seeded negative fixture at exactly the seeded lines, catching every
+//! parser-based rule — including the runtime-dump cross-check.
+
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("xtask sits under the workspace root")
+        .to_path_buf()
+}
+
+fn fixture_root() -> PathBuf {
+    repo_root().join("xtask/fixtures/analyze-negative")
+}
+
+#[test]
+fn real_repo_is_clean() {
+    let violations = xtask::analyze(&repo_root(), None);
+    assert!(
+        violations.is_empty(),
+        "repo must pass its own analyze gate:\n{}",
+        violations
+            .iter()
+            .map(ToString::to_string)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn negative_fixture_trips_every_rule_at_seeded_lines() {
+    let violations = xtask::analyze(&fixture_root(), None);
+    let got: Vec<(usize, &str)> = violations.iter().map(|v| (v.line, v.rule)).collect();
+    let want = vec![
+        (43, "no-guard-across-rpc"),     // guard live across direct .call(
+        (50, "no-guard-across-rpc"),     // RPC one level down via call summary
+        (56, "static-lock-order"),       // AB/BA inversion closes a cycle
+        (83, "xtask-allow"),             // allow with empty reason
+        (84, "no-guard-across-rpc"),     // ...which therefore does not suppress
+        (89, "xtask-allow"),             // allow naming an unknown rule
+        (146, "no-blocking-in-reactor"), // thread::sleep in EventHandler
+        (147, "no-blocking-in-reactor"), // blocking .recv() in EventHandler
+    ];
+    assert_eq!(got, want, "full output:\n{}", render(&violations));
+}
+
+#[test]
+fn dump_cross_check_flags_uncovered_and_unmappable_edges() {
+    let dump = fixture_root().join("lock_order_dump.txt");
+    let violations = xtask::analyze(&fixture_root(), Some(&dump));
+    // The alpha -> beta edge is covered by `alpha_then_beta` and must
+    // NOT appear; gamma -> delta has no static counterpart and the
+    // `:999` endpoint resolves to nothing.
+    assert!(
+        !render(&violations).contains("app::alpha"),
+        "covered edge must not be flagged:\n{}",
+        render(&violations)
+    );
+    let extra: Vec<(usize, &str)> = violations
+        .iter()
+        .map(|v| (v.line, v.rule))
+        .filter(|(l, _)| *l == 33 || *l == 999)
+        .collect();
+    assert_eq!(
+        extra,
+        vec![(33, "static-lock-order"), (999, "static-lock-order")],
+        "full output:\n{}",
+        render(&violations)
+    );
+    assert_eq!(
+        violations.len(),
+        10,
+        "full output:\n{}",
+        render(&violations)
+    );
+}
+
+#[test]
+fn clean_patterns_stay_clean() {
+    // vetted_allow / drop_before_call / scoped_guard / deref_copy span
+    // lines 93..=121; none of them may fire.
+    let violations = xtask::analyze(&fixture_root(), None);
+    assert!(
+        violations.iter().all(|v| v.line < 93 || v.line > 121),
+        "clean patterns fired:\n{}",
+        render(&violations)
+    );
+}
+
+fn render(violations: &[xtask::Violation]) -> String {
+    violations
+        .iter()
+        .map(ToString::to_string)
+        .collect::<Vec<_>>()
+        .join("\n")
+}
