@@ -2,7 +2,7 @@
 //! RPC-layer optimization of §4.2.2 depends on cheap serialization).
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use jiffy_common::BlockId;
+use jiffy_common::{BlockId, TenantId};
 use jiffy_proto::{from_bytes, to_bytes, DataRequest, DsOp, Envelope};
 
 fn envelope(value_len: usize) -> Envelope {
@@ -15,6 +15,7 @@ fn envelope(value_len: usize) -> Envelope {
                 value: vec![0xAB; value_len].into(),
             },
         },
+        tenant: TenantId::ANONYMOUS,
     }
 }
 

@@ -110,6 +110,7 @@ fn sweep_point(
                 conn.call(Envelope::DataReq {
                     id: 0,
                     req: DataRequest::Ping,
+                    tenant: jiffy_common::TenantId::ANONYMOUS,
                 })
                 .expect("ping");
                 local.push(s.elapsed());

@@ -145,6 +145,7 @@ fn main() {
                                 job,
                                 name: format!("t{}", i % 8),
                             },
+                            tenant: jiffy_common::TenantId::ANONYMOUS,
                         };
                         let t0 = Instant::now();
                         conn.call(req).unwrap();

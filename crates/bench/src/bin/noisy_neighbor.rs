@@ -1,0 +1,326 @@
+//! Multi-tenant QoS noisy-neighbor scenario: a victim tenant's latency
+//! with and without admission control while an aggressor tenant hammers
+//! the same cluster (the paper's Fig. 1 motivation — static partitioning
+//! à la ElastiCache avoids interference by overprovisioning; Jiffy's QoS
+//! layer has to earn the same isolation on shared hardware).
+//!
+//! Three scenarios, each on a fresh two-server TCP cluster:
+//!
+//! 1. `isolated` — the victim alone: the baseline its p99 is judged
+//!    against.
+//! 2. `contended_qos_off` — aggressor threads run full tilt with QoS
+//!    disabled; the victim queues behind them on the shared transport
+//!    and server locks.
+//! 3. `contended_qos_on` — same aggressor load, but QoS is enabled and
+//!    the aggressor tenant is pinned to a tight op-rate; its clients
+//!    spend most of their time in throttle backoff and the victim's
+//!    latency recovers.
+//!
+//! The victim's p50/p99 per scenario, the aggressor's achieved op count,
+//! and the server-side `TenantStats` throttle counters are printed and
+//! written to `BENCH_qos.json` at the repo root. The headline number is
+//! `p99_ratio_qos_on` = victim p99 contended-with-QoS over isolated —
+//! the QoS layer's job is to keep it near 1 (the acceptance bar is 2×)
+//! when `p99_ratio_qos_off` is far above it.
+//!
+//! Run: `cargo run --release -p jiffy-bench --bin noisy_neighbor`
+//! Set `JIFFY_BENCH_QUICK=1` for a fast smoke run (reduced op counts).
+
+use std::time::{Duration, Instant};
+
+use jiffy_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use jiffy::cluster::JiffyCluster;
+use jiffy::JiffyConfig;
+use jiffy_bench::{fmt_dur, percentile};
+use jiffy_common::{QosConfig, TenantId};
+
+const VICTIM: TenantId = TenantId(1);
+const AGGRESSOR: TenantId = TenantId(2);
+
+/// Victim ops per scenario (divided by 10 in quick mode).
+const VICTIM_OPS: usize = 16_000;
+/// The victim issues ops at this steady rate (open-loop, so queueing
+/// delay shows up as latency instead of silently shrinking the
+/// denominator) — well under the cluster's capacity, so its latency
+/// in isolation is flat.
+const VICTIM_RATE_PER_SEC: u64 = 5_000;
+/// Full-speed aggressor client threads.
+const AGGRESSOR_THREADS: usize = 2;
+/// Aggressor op-rate cap in the QoS-on scenario (per server; the
+/// uncapped aggressor manages tens of thousands of ops/s).
+const AGGRESSOR_OPS_PER_SEC: u64 = 1_000;
+const VALUE_LEN: usize = 256;
+/// Aggressor ops carry fat values: per-op server cost (memcpy, framing)
+/// dwarfs the victim's small ops, which is what makes it a *noisy*
+/// neighbor rather than just another tenant.
+const AGGRESSOR_VALUE_LEN: usize = 4096;
+/// Repetitions per scenario (median p99 wins): tail latency on a small
+/// shared box is scheduler-noisy, and one unlucky timeslice shouldn't
+/// decide the headline ratio. Quick mode runs each scenario once.
+const REPS: usize = 5;
+const KEYS: usize = 512;
+
+fn quick() -> bool {
+    std::env::var("JIFFY_BENCH_QUICK").is_ok_and(|v| v != "0")
+}
+
+struct Scenario {
+    name: &'static str,
+    victim_lat: Vec<Duration>,
+    victim_elapsed: Duration,
+    aggressor_ops: u64,
+    aggressor_throttled: u64,
+}
+
+impl Scenario {
+    fn victim_ops_per_s(&self) -> f64 {
+        self.victim_lat.len() as f64 / self.victim_elapsed.as_secs_f64()
+    }
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("key-{:08}", i % KEYS).into_bytes()
+}
+
+/// Runs one scenario on a fresh cluster: the victim's rate-paced
+/// put/get mix timed per op, with `aggressors` full-speed writer threads
+/// (0 for the isolated baseline) racing it until the victim finishes.
+fn run_scenario(
+    name: &'static str,
+    qos: QosConfig,
+    aggressors: usize,
+    cap_aggressor: bool,
+    victim_ops: usize,
+) -> Scenario {
+    // Long lease: the bench issues no renewals, and over_tcp runs the
+    // expiry worker — a default (1 s) lease would reclaim the
+    // structures mid-measurement.
+    let cfg = JiffyConfig::default()
+        .with_lease_duration(Duration::from_secs(3600))
+        .with_qos(qos);
+    let qos_enabled = cfg.qos.enabled;
+    let cluster = JiffyCluster::over_tcp(cfg, 2, 24).unwrap();
+    if cap_aggressor {
+        cluster
+            .set_tenant_share(AGGRESSOR, 1, 0, AGGRESSOR_OPS_PER_SEC, 0)
+            .unwrap();
+    }
+
+    // Every tenant on its own fabric (own TCP connections), as separate
+    // tenant processes would be — contention is server-side, not
+    // head-of-line blocking on a shared client session.
+    let victim_job = cluster
+        .isolated_tenant_client(VICTIM)
+        .unwrap()
+        .register_job("victim")
+        .unwrap();
+    let victim_kv = victim_job.open_kv("v", &[], 2).unwrap();
+    let value = vec![0xA5u8; VALUE_LEN];
+    for i in 0..KEYS {
+        victim_kv.put(&key(i), &value).unwrap();
+    }
+
+    let stop = AtomicBool::new(false);
+    let aggressor_ops = AtomicU64::new(0);
+    let mut victim_lat = Vec::with_capacity(victim_ops);
+    let mut victim_elapsed = Duration::ZERO;
+
+    std::thread::scope(|s| {
+        for t in 0..aggressors {
+            let agg_job = cluster
+                .isolated_tenant_client(AGGRESSOR)
+                .unwrap()
+                .register_job(&format!("agg-{t}"))
+                .unwrap();
+            let agg_kv = agg_job.open_kv("a", &[], 2).unwrap();
+            let (stop, ops) = (&stop, &aggressor_ops);
+            s.spawn(move || {
+                let fat = vec![0x5Au8; AGGRESSOR_VALUE_LEN];
+                let mut i = t * KEYS;
+                while !stop.load(Ordering::Relaxed) {
+                    agg_kv.put(&key(i), &fat).unwrap();
+                    ops.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            });
+        }
+        // Let the aggressors reach steady state before measuring.
+        if aggressors > 0 {
+            std::thread::sleep(Duration::from_millis(300));
+        }
+        let tick = Duration::from_nanos(1_000_000_000 / VICTIM_RATE_PER_SEC);
+        let t0 = Instant::now();
+        for i in 0..victim_ops {
+            // Open-loop pacing: each op has a schedule slot; falling
+            // behind doesn't stretch the schedule, so queueing during a
+            // contended burst is charged to the ops it delays.
+            let slot = t0 + tick * i as u32;
+            if let Some(wait) = slot.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let s = Instant::now();
+            if i % 2 == 0 {
+                victim_kv.put(&key(i), &value).unwrap();
+            } else {
+                assert!(victim_kv.get(&key(i)).unwrap().is_some());
+            }
+            victim_lat.push(s.elapsed());
+        }
+        victim_elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Throttle counters reach the controller with the next heartbeats.
+    let aggressor_throttled = if qos_enabled {
+        std::thread::sleep(Duration::from_millis(2_200));
+        cluster
+            .tenant_stats()
+            .unwrap()
+            .iter()
+            .find(|e| e.tenant == AGGRESSOR)
+            .map_or(0, |e| e.ops_throttled)
+    } else {
+        0
+    };
+
+    Scenario {
+        name,
+        victim_lat,
+        victim_elapsed,
+        aggressor_ops: aggressor_ops.load(Ordering::Relaxed),
+        aggressor_throttled,
+    }
+}
+
+/// Runs a scenario `reps` times on fresh clusters and keeps the rep
+/// with the median victim p99.
+fn run_median(
+    name: &'static str,
+    qos: QosConfig,
+    aggressors: usize,
+    cap_aggressor: bool,
+    victim_ops: usize,
+    reps: usize,
+) -> Scenario {
+    let mut runs: Vec<Scenario> = (0..reps)
+        .map(|_| run_scenario(name, qos.clone(), aggressors, cap_aggressor, victim_ops))
+        .collect();
+    runs.sort_by_key(|sc| {
+        let mut lat = sc.victim_lat.clone();
+        percentile(&mut lat, 99.0)
+    });
+    runs.swap_remove(runs.len() / 2)
+}
+
+fn main() {
+    let victim_ops = if quick() { VICTIM_OPS / 10 } else { VICTIM_OPS };
+    let aggressors = AGGRESSOR_THREADS;
+    let reps = if quick() { 1 } else { REPS };
+
+    let mut scenarios = vec![
+        run_median(
+            "isolated",
+            QosConfig::enabled_with_rates(0, 0),
+            0,
+            false,
+            victim_ops,
+            reps,
+        ),
+        run_median(
+            "contended_qos_off",
+            QosConfig::default(),
+            aggressors,
+            false,
+            victim_ops,
+            reps,
+        ),
+        run_median(
+            "contended_qos_on",
+            QosConfig::enabled_with_rates(0, 0),
+            aggressors,
+            true,
+            victim_ops,
+            reps,
+        ),
+    ];
+
+    println!(
+        "=== Noisy neighbor: victim latency vs aggressor load ({aggressors} aggressor threads, \
+         {VALUE_LEN} B values) ==="
+    );
+    println!(
+        "{:<20}{:>12}{:>12}{:>12}{:>14}{:>14}",
+        "scenario", "victim p50", "victim p99", "victim op/s", "aggr ops", "aggr throttled"
+    );
+    for sc in &mut scenarios {
+        let p50 = percentile(&mut sc.victim_lat, 50.0);
+        let p99 = percentile(&mut sc.victim_lat, 99.0);
+        println!(
+            "{:<20}{:>12}{:>12}{:>12.0}{:>14}{:>14}",
+            sc.name,
+            fmt_dur(p50),
+            fmt_dur(p99),
+            sc.victim_ops_per_s(),
+            sc.aggressor_ops,
+            sc.aggressor_throttled,
+        );
+    }
+
+    let p99_us = |sc: &mut Scenario| percentile(&mut sc.victim_lat, 99.0).as_secs_f64() * 1e6;
+    let base_p99 = p99_us(&mut scenarios[0]);
+    let off_ratio = p99_us(&mut scenarios[1]) / base_p99;
+    let on_ratio = p99_us(&mut scenarios[2]) / base_p99;
+    println!();
+    println!("victim p99 vs isolated: qos off {off_ratio:.2}x, qos on {on_ratio:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"noisy_neighbor\",\n");
+    json.push_str(&format!("  \"quick\": {},\n", quick()));
+    json.push_str("  \"transport\": \"tcp-loopback\",\n");
+    json.push_str(&format!("  \"value_bytes\": {VALUE_LEN},\n"));
+    json.push_str(&format!(
+        "  \"victim_rate_per_sec\": {VICTIM_RATE_PER_SEC},\n"
+    ));
+    json.push_str(&format!("  \"aggressor_threads\": {aggressors},\n"));
+    json.push_str(&format!("  \"reps_median_p99\": {reps},\n"));
+    json.push_str(&format!(
+        "  \"aggressor_ops_per_sec_cap\": {AGGRESSOR_OPS_PER_SEC},\n"
+    ));
+    json.push_str("  \"scenarios\": [\n");
+    let n = scenarios.len();
+    for (i, sc) in scenarios.iter_mut().enumerate() {
+        let p50 = percentile(&mut sc.victim_lat, 50.0).as_secs_f64() * 1e6;
+        let p99 = percentile(&mut sc.victim_lat, 99.0).as_secs_f64() * 1e6;
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"victim_p50_us\": {:.1}, \"victim_p99_us\": {:.1}, \
+             \"victim_ops_per_s\": {:.0}, \"aggressor_ops\": {}, \"aggressor_throttled\": {}}}{}\n",
+            sc.name,
+            p50,
+            p99,
+            sc.victim_ops_per_s(),
+            sc.aggressor_ops,
+            sc.aggressor_throttled,
+            if i + 1 < n { "," } else { "" },
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"p99_ratio_qos_off\": {off_ratio:.2},\n  \"p99_ratio_qos_on\": {on_ratio:.2}\n"
+    ));
+    json.push_str("}\n");
+
+    // Quick (smoke-gate) runs produce throwaway numbers; keep them out
+    // of the checked-in measurement file.
+    let path = if quick() {
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../target/BENCH_qos.quick.json"
+        )
+    } else {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qos.json")
+    };
+    std::fs::write(path, &json).unwrap();
+    println!("\nwrote {path}");
+}

@@ -13,6 +13,7 @@ use jiffy_sync::RwLock;
 use crate::job::JobClient;
 use crate::listener::Listener;
 use crate::rid::next_request_id;
+use crate::throttle::with_throttle_backoff;
 
 /// Retries before a routing problem is reported to the caller. Splits
 /// complete in milliseconds; 100 retries with backoff spans seconds.
@@ -82,35 +83,43 @@ impl DsCore {
         } else {
             &loc.tail().addr
         };
+        let tenant = self.job.client().tenant();
         // One id for the whole operation: transport-level retries resend
         // the identical envelope, so a server that already executed it
         // (lost reply) answers from its replay cache instead of applying
-        // the op twice.
+        // the op twice. Throttle retries also reuse it — a `Throttled`
+        // answer is issued before execution and never cached by the
+        // server's replay cache, so the re-send is admitted afresh, and
+        // a duplicate-delivered envelope can't double-apply after the
+        // retry succeeds (the success response now sits in the cache).
         let id = next_request_id();
-        self.job.client().retry_policy().run(
-            |_| {
-                let conn = fabric.connect(addr)?;
-                match conn.call(Envelope::DataReq {
-                    id,
-                    req: req.clone(),
-                })? {
-                    Envelope::DataResp { resp, .. } => match resp? {
-                        DataResponse::OpResult(r) => Ok(r),
-                        other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
-                    },
-                    other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
-                }
-            },
-            |e| {
-                // Evict only when the connection itself broke: a timeout
-                // or injected unavailability leaves the session (and the
-                // server's per-session replay cache) intact, and retrying
-                // on the same session is what makes same-id dedup work.
-                if matches!(e, JiffyError::Rpc(_)) {
-                    fabric.evict(addr);
-                }
-            },
-        )
+        with_throttle_backoff(|| {
+            self.job.client().retry_policy().run(
+                |_| {
+                    let conn = fabric.connect(addr)?;
+                    match conn.call(Envelope::DataReq {
+                        id,
+                        req: req.clone(),
+                        tenant,
+                    })? {
+                        Envelope::DataResp { resp, .. } => match resp? {
+                            DataResponse::OpResult(r) => Ok(r),
+                            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+                        },
+                        other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
+                    }
+                },
+                |e| {
+                    // Evict only when the connection itself broke: a timeout
+                    // or injected unavailability leaves the session (and the
+                    // server's per-session replay cache) intact, and retrying
+                    // on the same session is what makes same-id dedup work.
+                    if matches!(e, JiffyError::Rpc(_)) {
+                        fabric.evict(addr);
+                    }
+                },
+            )
+        })
     }
 
     /// Issues one [`DataRequest::Batch`] against a block, routing like
@@ -135,36 +144,44 @@ impl DsCore {
             ops: ops.to_vec(),
         };
         let addr = &replica.addr;
+        let tenant = self.job.client().tenant();
+        let expected = ops.len();
         // One id for the whole batch: transport-level retries resend the
         // identical envelope and the server's replay cache answers for
         // the batch as a single unit, so a lost reply cannot re-apply
-        // any of its ops.
+        // any of its ops. Throttling rejects the whole batch before
+        // executing any op and throttled answers are never cached, so
+        // backoff retries reuse the id safely too.
         let id = next_request_id();
-        let expected = ops.len();
-        self.job.client().retry_policy().run(
-            |_| {
-                let conn = fabric.connect(addr)?;
-                match conn.call(Envelope::DataReq {
-                    id,
-                    req: req.clone(),
-                })? {
-                    Envelope::DataResp { resp, .. } => match resp? {
-                        DataResponse::Batch(results) if results.len() <= expected => Ok(results),
-                        DataResponse::Batch(results) => Err(JiffyError::Rpc(format!(
-                            "batch reply has {} results for {expected} ops",
-                            results.len()
-                        ))),
-                        other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
-                    },
-                    other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
-                }
-            },
-            |e| {
-                if matches!(e, JiffyError::Rpc(_)) {
-                    fabric.evict(addr);
-                }
-            },
-        )
+        with_throttle_backoff(|| {
+            self.job.client().retry_policy().run(
+                |_| {
+                    let conn = fabric.connect(addr)?;
+                    match conn.call(Envelope::DataReq {
+                        id,
+                        req: req.clone(),
+                        tenant,
+                    })? {
+                        Envelope::DataResp { resp, .. } => match resp? {
+                            DataResponse::Batch(results) if results.len() <= expected => {
+                                Ok(results)
+                            }
+                            DataResponse::Batch(results) => Err(JiffyError::Rpc(format!(
+                                "batch reply has {} results for {expected} ops",
+                                results.len()
+                            ))),
+                            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+                        },
+                        other => Err(JiffyError::Rpc(format!("unexpected envelope: {other:?}"))),
+                    }
+                },
+                |e| {
+                    if matches!(e, JiffyError::Rpc(_)) {
+                        fabric.evict(addr);
+                    }
+                },
+            )
+        })
     }
 
     /// Classifies an error hit by a batched op (or a whole batch RPC):
@@ -194,6 +211,12 @@ impl DsCore {
                 let before = self.view();
                 self.refresh()?;
                 Ok(self.view() != before)
+            }
+            // Admission control rejected the batch before executing it;
+            // honor the hint and retry the unfinished ops.
+            JiffyError::Throttled { retry_after_ms } => {
+                std::thread::sleep(Duration::from_millis((*retry_after_ms).clamp(1, 250)));
+                Ok(true)
             }
             _ => Ok(false),
         }

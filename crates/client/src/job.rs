@@ -3,13 +3,16 @@
 use jiffy_sync::Arc;
 use std::time::Duration;
 
-use jiffy_common::{JiffyError, JobId, Result};
-use jiffy_proto::{ControlRequest, ControlResponse, DagNodeSpec, DsType, Envelope, PrefixView};
+use jiffy_common::{JiffyError, JobId, Result, TenantId};
+use jiffy_proto::{
+    ControlRequest, ControlResponse, DagNodeSpec, DsType, Envelope, PrefixView, TenantStatsEntry,
+};
 use jiffy_rpc::{Fabric, RetryPolicy};
 
 use crate::ds::{FileClient, KvClient, QueueClient};
 use crate::lease::LeaseRenewer;
 use crate::rid::next_request_id;
+use crate::throttle::with_throttle_backoff;
 
 /// A connection to a Jiffy cluster's controller.
 #[derive(Clone)]
@@ -17,6 +20,7 @@ pub struct JiffyClient {
     fabric: Fabric,
     controller_addr: String,
     retry: RetryPolicy,
+    tenant: TenantId,
 }
 
 impl JiffyClient {
@@ -33,6 +37,7 @@ impl JiffyClient {
             fabric,
             controller_addr: jiffy_address.to_string(),
             retry: RetryPolicy::default(),
+            tenant: TenantId::ANONYMOUS,
         })
     }
 
@@ -42,6 +47,21 @@ impl JiffyClient {
     pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = retry;
         self
+    }
+
+    /// Scopes this connection to a tenant: jobs it registers are
+    /// accounted against the tenant's memory quota, and its data-plane
+    /// ops flow through the tenant's rate lane (DESIGN.md §14). The
+    /// default [`TenantId::ANONYMOUS`] is exempt from QoS.
+    #[must_use]
+    pub fn with_tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+
+    /// The tenant every request from this connection is stamped with.
+    pub fn tenant(&self) -> TenantId {
+        self.tenant
     }
 
     /// The fabric used for data-plane connections.
@@ -71,31 +91,38 @@ impl JiffyClient {
     ///
     /// Transport failures (after retries) or controller-side errors.
     pub fn control(&self, req: ControlRequest) -> Result<ControlResponse> {
+        // A `Throttled` answer means the controller deferred the request
+        // before executing it (fair-share arbitration under memory
+        // pressure) and throttled responses bypass the replay cache, so
+        // backoff retries reuse the same id safely.
         let id = next_request_id();
-        self.retry.run(
-            |_| {
-                let conn = self.fabric.connect(&self.controller_addr)?;
-                match conn.call(Envelope::ControlReq {
-                    id,
-                    req: req.clone(),
-                })? {
-                    Envelope::ControlResp { resp, .. } => resp,
-                    other => Err(JiffyError::Rpc(format!(
-                        "unexpected controller reply: {other:?}"
-                    ))),
-                }
-            },
-            |_e| {
-                // Re-dial on every transport-level fault (broken
-                // connection, timeout, unavailable): a controller restart
-                // leaves the pooled connection pointing at a dead
-                // endpoint, and only a fresh dial reaches the recovered
-                // controller. The request id is reused across attempts, so
-                // the replay cache still suppresses duplicate execution
-                // when the old controller actually processed the call.
-                self.fabric.evict(&self.controller_addr);
-            },
-        )
+        with_throttle_backoff(|| {
+            self.retry.run(
+                |_| {
+                    let conn = self.fabric.connect(&self.controller_addr)?;
+                    match conn.call(Envelope::ControlReq {
+                        id,
+                        req: req.clone(),
+                        tenant: self.tenant,
+                    })? {
+                        Envelope::ControlResp { resp, .. } => resp,
+                        other => Err(JiffyError::Rpc(format!(
+                            "unexpected controller reply: {other:?}"
+                        ))),
+                    }
+                },
+                |_e| {
+                    // Re-dial on every transport-level fault (broken
+                    // connection, timeout, unavailable): a controller restart
+                    // leaves the pooled connection pointing at a dead
+                    // endpoint, and only a fresh dial reaches the recovered
+                    // controller. The request id is reused across attempts, so
+                    // the replay cache still suppresses duplicate execution
+                    // when the old controller actually processed the call.
+                    self.fabric.evict(&self.controller_addr);
+                },
+            )
+        })
     }
 
     /// Registers a job, returning its scoped handle.
@@ -125,6 +152,44 @@ impl JiffyClient {
             ControlResponse::Stats(s) => Ok(s),
             other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
         }
+    }
+
+    /// Per-tenant QoS statistics: configured limits, allocated memory,
+    /// and data-plane admission counters aggregated across servers.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn tenant_stats(&self) -> Result<Vec<TenantStatsEntry>> {
+        match self.control(ControlRequest::TenantStats)? {
+            ControlResponse::TenantStatsReport(entries) => Ok(entries),
+            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        }
+    }
+
+    /// Configures a tenant's weighted-fair share, memory quota, and
+    /// data-plane rate limits (zeros mean unlimited). Servers pick up
+    /// the new limits within one heartbeat interval.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn set_tenant_share(
+        &self,
+        tenant: TenantId,
+        share: u32,
+        quota_bytes: u64,
+        ops_per_sec: u64,
+        bytes_per_sec: u64,
+    ) -> Result<()> {
+        self.control(ControlRequest::SetTenantShare {
+            tenant,
+            share,
+            quota_bytes,
+            ops_per_sec,
+            bytes_per_sec,
+        })?;
+        Ok(())
     }
 }
 

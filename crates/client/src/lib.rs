@@ -24,6 +24,7 @@ pub mod job;
 pub mod lease;
 pub mod listener;
 pub mod rid;
+mod throttle;
 
 pub use ds::{FileClient, KvClient, QueueClient};
 pub use job::{JiffyClient, JobClient};

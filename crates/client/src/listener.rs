@@ -61,12 +61,15 @@ impl Listener {
             conn.set_push_callback(jiffy_sync::Arc::new(move |n| {
                 let _ = tx.send(n);
             }));
+            // Subscriptions are control-ish and exempt from admission
+            // control; they carry the anonymous tenant.
             conn.call(Envelope::DataReq {
                 id: 0,
                 req: DataRequest::Subscribe {
                     block: tail.block,
                     ops: self.ops.clone(),
                 },
+                tenant: jiffy_common::TenantId::ANONYMOUS,
             })?;
             self.conns.push(conn);
             self.covered.push(tail.block);

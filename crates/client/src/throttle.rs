@@ -1,0 +1,73 @@
+//! Client-side backoff for data-plane admission control.
+//!
+//! A [`JiffyError::Throttled`] answer is *server-definitive*: the op was
+//! rejected before execution, so resending it (under the same or a fresh
+//! request id) can never double-apply. The server tells the client how
+//! long the token deficit takes to drain; the client honors that hint,
+//! clamped to keep tail latency bounded, and gives up after a total wait
+//! budget so a misconfigured (or zero-rate) tenant sees a clean error
+//! instead of an unbounded stall.
+
+use std::time::Duration;
+
+use jiffy_common::{JiffyError, Result};
+
+/// Per-attempt sleep clamp: honor small server hints exactly, cap large
+/// ones so one retry never sleeps longer than a routing retry round.
+const MAX_SLEEP: Duration = Duration::from_millis(250);
+
+/// Total time one logical call may spend sleeping on throttle hints
+/// before the `Throttled` error is surfaced to the caller.
+const WAIT_BUDGET: Duration = Duration::from_secs(30);
+
+/// Runs `attempt`, sleeping and retrying on [`JiffyError::Throttled`]
+/// until it succeeds, fails differently, or the wait budget is spent.
+pub(crate) fn with_throttle_backoff<T>(mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
+    let mut waited = Duration::ZERO;
+    loop {
+        match attempt() {
+            Err(JiffyError::Throttled { retry_after_ms }) if waited < WAIT_BUDGET => {
+                let sleep = Duration::from_millis(retry_after_ms.max(1)).min(MAX_SLEEP);
+                std::thread::sleep(sleep);
+                waited += sleep;
+            }
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_success_through() {
+        let v: Result<u32> = with_throttle_backoff(|| Ok(7));
+        assert_eq!(v.unwrap(), 7);
+    }
+
+    #[test]
+    fn passes_other_errors_through() {
+        let mut calls = 0;
+        let r: Result<()> = with_throttle_backoff(|| {
+            calls += 1;
+            Err(JiffyError::StaleMetadata)
+        });
+        assert!(matches!(r, Err(JiffyError::StaleMetadata)));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn retries_until_throttle_clears() {
+        let mut calls = 0;
+        let r: Result<u32> = with_throttle_backoff(|| {
+            calls += 1;
+            if calls < 3 {
+                Err(JiffyError::Throttled { retry_after_ms: 1 })
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(r.unwrap(), 3);
+    }
+}

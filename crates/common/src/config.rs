@@ -177,6 +177,107 @@ pub struct JiffyConfig {
     /// journal) after this many journal records. 0 disables snapshots:
     /// recovery then replays the whole journal.
     pub meta_snapshot_every: u64,
+    /// Multi-tenant QoS: quotas, weighted-fair allocation and data-plane
+    /// admission control (DESIGN.md §14). Disabled by default so
+    /// single-tenant deployments behave exactly as before.
+    pub qos: QosConfig,
+}
+
+/// Multi-tenant QoS parameters (DESIGN.md §14). The `default_*` fields
+/// apply to every tenant without an explicit override (set at runtime
+/// through `SetTenantShare` / `JiffyCluster::set_tenant_share`).
+///
+/// A rate or quota of `0` means "unlimited" for that dimension. The
+/// anonymous tenant (internal RPCs, replication fan-down) is always
+/// exempt from admission control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QosConfig {
+    /// Master switch. When false, all tenant traffic is treated
+    /// identically (the pre-QoS behavior).
+    pub enabled: bool,
+    /// Weighted-fair share for tenants without an override (relative
+    /// weight; must be >= 1 when QoS is enabled).
+    pub default_share: u32,
+    /// Hard memory cap in bytes for tenants without an override
+    /// (enforced at block allocation); 0 = unlimited.
+    pub default_quota_bytes: u64,
+    /// Data-plane op-rate limit for tenants without an override; 0 =
+    /// unlimited.
+    pub default_ops_per_sec: u64,
+    /// Data-plane byte-rate limit (request payload plus response/egress
+    /// bytes) for tenants without an override; 0 = unlimited.
+    pub default_bytes_per_sec: u64,
+    /// Token-bucket burst capacity as a multiple of the per-second rate
+    /// (a bucket holds `rate * burst_factor` tokens when full).
+    pub burst_factor: f64,
+    /// Weighted-fair arbitration of block allocations kicks in once the
+    /// cluster's free-block fraction drops below this watermark; above
+    /// it, any under-quota allocation is granted first-come-first-served.
+    pub pressure_free_fraction: f64,
+}
+
+impl Default for QosConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            default_share: 1,
+            default_quota_bytes: 0,
+            default_ops_per_sec: 0,
+            default_bytes_per_sec: 0,
+            burst_factor: 2.0,
+            pressure_free_fraction: 0.25,
+        }
+    }
+}
+
+impl QosConfig {
+    /// An enabled config with the given default per-tenant rate limits
+    /// (0 = unlimited for either dimension).
+    pub fn enabled_with_rates(ops_per_sec: u64, bytes_per_sec: u64) -> Self {
+        Self {
+            enabled: true,
+            default_ops_per_sec: ops_per_sec,
+            default_bytes_per_sec: bytes_per_sec,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style override of the default hard memory quota.
+    pub fn with_quota_bytes(mut self, bytes: u64) -> Self {
+        self.default_quota_bytes = bytes;
+        self
+    }
+
+    /// Builder-style override of the fairness pressure watermark.
+    pub fn with_pressure_free_fraction(mut self, f: f64) -> Self {
+        self.pressure_free_fraction = f;
+        self
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> crate::Result<()> {
+        if !self.enabled {
+            return Ok(());
+        }
+        if self.default_share == 0 {
+            return Err(crate::JiffyError::Internal(
+                "qos.default_share must be >= 1 when QoS is enabled".into(),
+            ));
+        }
+        if !self.burst_factor.is_finite() || self.burst_factor < 1.0 {
+            return Err(crate::JiffyError::Internal(format!(
+                "qos.burst_factor must be finite and >= 1.0, got {}",
+                self.burst_factor
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.pressure_free_fraction) {
+            return Err(crate::JiffyError::Internal(format!(
+                "qos.pressure_free_fraction must be in [0, 1], got {}",
+                self.pressure_free_fraction
+            )));
+        }
+        Ok(())
+    }
 }
 
 impl Default for JiffyConfig {
@@ -195,6 +296,7 @@ impl Default for JiffyConfig {
             scale_up_free_fraction: 0.1,
             scale_down_free_fraction: 0.6,
             meta_snapshot_every: 256,
+            qos: QosConfig::default(),
         }
     }
 }
@@ -264,6 +366,12 @@ impl JiffyConfig {
         self
     }
 
+    /// Builder-style override of the multi-tenant QoS section.
+    pub fn with_qos(mut self, qos: QosConfig) -> Self {
+        self.qos = qos;
+        self
+    }
+
     /// Validates internal consistency (thresholds ordered and in `[0, 1]`,
     /// non-zero block size, chain length at least 1).
     pub fn validate(&self) -> crate::Result<()> {
@@ -304,6 +412,7 @@ impl JiffyConfig {
                 self.scale_up_free_fraction, self.scale_down_free_fraction
             )));
         }
+        self.qos.validate()?;
         Ok(())
     }
 
@@ -383,6 +492,26 @@ mod tests {
         set_call_timeout(Duration::from_micros(10));
         assert_eq!(call_timeout(), Duration::from_millis(1));
         set_call_timeout(DEFAULT_CALL_TIMEOUT);
+    }
+
+    #[test]
+    fn qos_defaults_off_and_validates() {
+        let c = JiffyConfig::default();
+        assert!(!c.qos.enabled);
+        c.validate().unwrap();
+        let c = c.with_qos(QosConfig::enabled_with_rates(100, 0).with_quota_bytes(1 << 20));
+        assert!(c.qos.enabled);
+        assert_eq!(c.qos.default_ops_per_sec, 100);
+        c.validate().unwrap();
+        // Enabled configs reject nonsense parameters.
+        let mut bad = QosConfig::enabled_with_rates(10, 10);
+        bad.default_share = 0;
+        assert!(JiffyConfig::default().with_qos(bad).validate().is_err());
+        let mut bad = QosConfig::enabled_with_rates(10, 10);
+        bad.burst_factor = 0.5;
+        assert!(JiffyConfig::default().with_qos(bad).validate().is_err());
+        let bad = QosConfig::enabled_with_rates(10, 10).with_pressure_free_fraction(1.5);
+        assert!(JiffyConfig::default().with_qos(bad).validate().is_err());
     }
 
     #[test]

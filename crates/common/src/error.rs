@@ -97,6 +97,26 @@ pub enum JiffyError {
     ShuttingDown,
     /// Catch-all for internal invariant violations; carries a description.
     Internal(String),
+    /// Per-tenant admission control rejected the request *before
+    /// executing it* (token bucket empty, or a fairness denial under
+    /// memory pressure). Definitive and retryable: the server did NOT
+    /// apply the operation, so the caller should back off for roughly
+    /// `retry_after_ms` and resend.
+    Throttled {
+        /// Suggested backoff before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The tenant's hard memory quota would be exceeded by this
+    /// allocation. Fatal: retrying cannot succeed until the tenant
+    /// frees memory or its quota is raised.
+    QuotaExceeded {
+        /// Raw id of the over-quota tenant.
+        tenant: u64,
+        /// The configured quota in bytes.
+        quota_bytes: u64,
+        /// Bytes the tenant would hold after the rejected allocation.
+        requested_bytes: u64,
+    },
 }
 
 impl fmt::Display for JiffyError {
@@ -142,6 +162,21 @@ impl fmt::Display for JiffyError {
             Self::Codec(msg) => write!(f, "codec error: {msg}"),
             Self::ShuttingDown => write!(f, "component is shutting down"),
             Self::Internal(msg) => write!(f, "internal error: {msg}"),
+            Self::Throttled { retry_after_ms } => {
+                write!(
+                    f,
+                    "throttled by admission control; retry after {retry_after_ms} ms"
+                )
+            }
+            Self::QuotaExceeded {
+                tenant,
+                quota_bytes,
+                requested_bytes,
+            } => write!(
+                f,
+                "tenant-{tenant} over memory quota: {requested_bytes} bytes requested, \
+                 quota {quota_bytes}"
+            ),
         }
     }
 }
@@ -177,6 +212,7 @@ impl JiffyError {
                 | Self::Rpc(_)
                 | Self::Timeout { .. }
                 | Self::Unavailable(_)
+                | Self::Throttled { .. }
         )
     }
 
@@ -244,6 +280,16 @@ mod tests {
         assert!(JiffyError::Unavailable("srv-3".into()).is_retryable());
         assert!(!JiffyError::OutOfBlocks.is_retryable());
         assert!(!JiffyError::PathNotFound("x".into()).is_retryable());
+        // Throttled is retryable (the bucket refills) but a hard quota
+        // rejection is not: only freeing memory or raising the quota can
+        // make the identical allocation succeed.
+        assert!(JiffyError::Throttled { retry_after_ms: 5 }.is_retryable());
+        assert!(!JiffyError::QuotaExceeded {
+            tenant: 1,
+            quota_bytes: 10,
+            requested_bytes: 20,
+        }
+        .is_retryable());
     }
 
     #[test]
@@ -256,6 +302,9 @@ mod tests {
         assert!(!JiffyError::StaleMetadata.is_transport());
         assert!(!JiffyError::QueueFull.is_transport());
         assert!(!JiffyError::OutOfBlocks.is_transport());
+        // Throttling happens BEFORE execution, so it is server-definitive
+        // (never "maybe executed") — retrying cannot double-apply.
+        assert!(!JiffyError::Throttled { retry_after_ms: 1 }.is_transport());
     }
 
     #[test]

@@ -60,6 +60,33 @@ define_id!(
     "srv-"
 );
 
+define_id!(
+    /// Identifies the tenant on whose behalf a request is issued. Flows
+    /// inside every RPC envelope so both planes can meter, quota and
+    /// throttle per tenant (DESIGN.md §14).
+    TenantId,
+    "tenant-"
+);
+
+impl TenantId {
+    /// The default tenant for unattributed traffic (internal RPCs,
+    /// legacy clients). The anonymous tenant is exempt from admission
+    /// control: chain replication and repartition transfers must never
+    /// be throttled mid-flight.
+    pub const ANONYMOUS: TenantId = TenantId(0);
+
+    /// Whether this is the anonymous (unattributed) tenant.
+    pub const fn is_anonymous(self) -> bool {
+        self.0 == Self::ANONYMOUS.0
+    }
+}
+
+impl Default for TenantId {
+    fn default() -> Self {
+        Self::ANONYMOUS
+    }
+}
+
 /// A monotonically increasing generator for any of the ID newtypes.
 ///
 /// The controller owns one generator per ID kind; IDs therefore never
@@ -117,6 +144,14 @@ mod tests {
         assert_eq!(JobId(7).to_string(), "job-7");
         assert_eq!(BlockId(0).to_string(), "blk-0");
         assert_eq!(ServerId(42).to_string(), "srv-42");
+        assert_eq!(TenantId(3).to_string(), "tenant-3");
+    }
+
+    #[test]
+    fn anonymous_tenant_is_the_default() {
+        assert_eq!(TenantId::default(), TenantId::ANONYMOUS);
+        assert!(TenantId::ANONYMOUS.is_anonymous());
+        assert!(!TenantId(1).is_anonymous());
     }
 
     #[test]

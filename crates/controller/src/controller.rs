@@ -1,11 +1,11 @@
 //! The Jiffy controller service (paper Fig. 7).
 
 use jiffy_sync::Arc;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use jiffy_common::clock::SharedClock;
 use jiffy_common::id::IdGen;
-use jiffy_common::{BlockId, JiffyConfig, JiffyError, JobId, Result, ServerId};
+use jiffy_common::{BlockId, JiffyConfig, JiffyError, JobId, Result, ServerId, TenantId};
 use jiffy_elastic::{
     AutoscalerPolicy, FailureDetector, ScaleDecision, ServerProvider, ServerState,
 };
@@ -13,8 +13,9 @@ use jiffy_persistent::ObjectStore;
 use jiffy_proto::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
     DataRequest, DataResponse, DsType, Envelope, JournalOp, MergeSpec, PrefixView, Replica,
-    SplitSpec,
+    SplitSpec, TenantLoad, TenantStatsEntry,
 };
+use jiffy_qos::{weighted_max_min, TenantDirectory};
 use jiffy_rpc::{Fabric, Service, SessionHandle};
 use jiffy_sync::Mutex;
 use serde::{Deserialize, Serialize};
@@ -177,7 +178,11 @@ impl RpcDataPlane {
 
     fn call(&self, addr: &str, req: DataRequest) -> Result<DataResponse> {
         let conn = self.fabric.connect(addr)?;
-        match conn.call(Envelope::DataReq { id: 0, req })? {
+        match conn.call(Envelope::DataReq {
+            id: 0,
+            req,
+            tenant: TenantId::ANONYMOUS,
+        })? {
             Envelope::DataResp { resp, .. } => resp,
             other => Err(JiffyError::Rpc(format!(
                 "unexpected envelope from data plane: {other:?}"
@@ -324,6 +329,9 @@ struct FlushRecord {
 pub(crate) struct JobEntry {
     pub(crate) name: String,
     pub(crate) hierarchy: AddressHierarchy,
+    /// Tenant that registered the job; every block the job allocates is
+    /// accounted against this tenant's quota (DESIGN.md §14).
+    pub(crate) tenant: TenantId,
 }
 
 /// Monotonic stats counters. Serializable so snapshots and
@@ -371,6 +379,12 @@ pub(crate) struct CtrlState {
     /// Write-ahead metadata journal; appends happen under this same
     /// state lock, after the mutation and before the ack.
     pub(crate) journal: Journal,
+    /// Per-tenant QoS configuration (shares, quotas, rate limits);
+    /// journaled and mirrored into snapshots.
+    pub(crate) tenants: TenantDirectory,
+    /// Latest per-tenant data-plane load reported by each server's
+    /// heartbeat. Soft state: rebuilt from heartbeats after recovery.
+    pub(crate) server_loads: HashMap<ServerId, Vec<TenantLoad>>,
 }
 
 /// Autoscaler wiring: the policy plus the provider that actually
@@ -411,6 +425,7 @@ impl Controller {
         // A brand-new controller is a brand-new cluster: wipe any stale
         // journal left by a previous incarnation.
         let journal = Journal::fresh(persistent.clone(), cfg.meta_snapshot_every);
+        let tenants = TenantDirectory::new(cfg.qos.clone());
         Ok(Arc::new(Self {
             cfg,
             clock,
@@ -421,6 +436,8 @@ impl Controller {
                 counters: Counters::default(),
                 detector: FailureDetector::new(),
                 journal,
+                tenants,
+                server_loads: HashMap::new(),
             }),
             dataplane,
             persistent,
@@ -468,6 +485,8 @@ impl Controller {
             }
         }
         let journal = Journal::resuming(persistent.clone(), cfg.meta_snapshot_every, rec.next_seq);
+        let mut tenants = TenantDirectory::new(cfg.qos.clone());
+        tenants.install(rec.tenants);
         Ok(Arc::new(Self {
             cfg,
             clock,
@@ -478,6 +497,9 @@ impl Controller {
                 counters: rec.counters,
                 detector,
                 journal,
+                tenants,
+                // Soft state: rebuilt from the next round of heartbeats.
+                server_loads: HashMap::new(),
             }),
             dataplane,
             persistent,
@@ -523,6 +545,12 @@ impl Controller {
     pub fn state_mirror(&self) -> StateMirror {
         let st = self.state.lock();
         journal::mirror_of(&st, self.job_ids.current())
+    }
+
+    /// The current tenant limit table (what heartbeat acks piggyback to
+    /// the memory servers).
+    pub fn tenant_limits(&self) -> Vec<jiffy_proto::TenantLimit> {
+        self.state.lock().tenants.snapshot()
     }
 
     /// Forces a snapshot + journal truncation right now, regardless of
@@ -597,10 +625,17 @@ impl Controller {
         out
     }
 
-    /// Handles one control request (also reachable through the
-    /// [`Service`] impl; exposed directly for in-process callers like
-    /// the simulator).
+    /// Handles one control request on behalf of the anonymous tenant
+    /// (also reachable through the [`Service`] impl; exposed directly
+    /// for in-process callers like the simulator).
     pub fn dispatch(&self, req: ControlRequest) -> Result<ControlResponse> {
+        self.dispatch_as(req, TenantId::ANONYMOUS)
+    }
+
+    /// Handles one control request on behalf of `tenant`. Jobs
+    /// registered through this entry point are accounted against the
+    /// tenant's memory quota and weighted-fair share (DESIGN.md §14).
+    pub fn dispatch_as(&self, req: ControlRequest, tenant: TenantId) -> Result<ControlResponse> {
         let mut deferred_resets: Vec<BlockLocation> = Vec::new();
         let resp = {
             let mut st = self.state.lock();
@@ -609,7 +644,7 @@ impl Controller {
             // order equals mutation order; flush/load object-store
             // copies ride the same serialization.
             // xtask-allow(no-guard-across-rpc): journal order equals mutation order (DESIGN.md §11)
-            self.dispatch_locked(&mut st, req, &mut deferred_resets)
+            self.dispatch_locked(&mut st, req, tenant, &mut deferred_resets)
         };
         // Best-effort data-plane resets run after the guard drops: they
         // are transport calls, and a slow server must not stall every
@@ -629,6 +664,7 @@ impl Controller {
         &self,
         st: &mut CtrlState,
         req: ControlRequest,
+        tenant: TenantId,
         deferred_resets: &mut Vec<BlockLocation>,
     ) -> Result<ControlResponse> {
         match req {
@@ -639,9 +675,10 @@ impl Controller {
                     JobEntry {
                         name: name.clone(),
                         hierarchy: AddressHierarchy::new(),
+                        tenant,
                     },
                 );
-                self.journal_append(st, vec![JournalOp::JobRegistered { job, name }])?;
+                self.journal_append(st, vec![JournalOp::JobRegistered { job, name, tenant }])?;
                 Ok(ControlResponse::JobRegistered { job })
             }
             ControlRequest::DeregisterJob { job } => {
@@ -698,14 +735,7 @@ impl Controller {
                         ds,
                         initial_blocks,
                     } = spec;
-                    ops.extend(self.create_prefix(
-                        st,
-                        job,
-                        name,
-                        parents,
-                        *ds,
-                        *initial_blocks,
-                    )?);
+                    ops.extend(self.create_prefix(st, job, name, parents, *ds, *initial_blocks)?);
                 }
                 self.journal_append(st, ops)?;
                 Ok(ControlResponse::Ack)
@@ -811,13 +841,25 @@ impl Controller {
                     blocks_migrated,
                 })
             }
-            ControlRequest::Heartbeat { server, .. } => {
+            ControlRequest::Heartbeat {
+                server,
+                tenant_loads,
+                ..
+            } => {
                 // Only live members may heartbeat; a departed or dead
                 // server gets UnknownServer and must re-join.
                 match st.freelist.state_of(server)? {
                     ServerState::Alive | ServerState::Draining => {
                         st.detector.record(server, self.clock.now());
-                        Ok(ControlResponse::Ack)
+                        // Piggyback the QoS control loop on the existing
+                        // heartbeat: absorb the server's per-tenant load
+                        // report (soft state) and push back the current
+                        // limits so rate changes propagate within one
+                        // heartbeat interval.
+                        st.server_loads.insert(server, tenant_loads);
+                        Ok(ControlResponse::HeartbeatAck {
+                            limits: st.tenants.snapshot(),
+                        })
                     }
                     ServerState::Dead => Err(JiffyError::UnknownServer(server.raw())),
                 }
@@ -849,7 +891,168 @@ impl Controller {
                 let entry = st.jobs.get(&job).ok_or(JiffyError::UnknownJob(job.raw()))?;
                 Ok(ControlResponse::Prefixes(entry.hierarchy.names()))
             }
+            ControlRequest::TenantStats => Ok(ControlResponse::TenantStatsReport(
+                self.tenant_stats_locked(st),
+            )),
+            ControlRequest::SetTenantShare {
+                tenant: target,
+                share,
+                quota_bytes,
+                ops_per_sec,
+                bytes_per_sec,
+            } => {
+                st.tenants
+                    .set(target, share, quota_bytes, ops_per_sec, bytes_per_sec);
+                self.journal_append(
+                    st,
+                    vec![JournalOp::TenantConfigured {
+                        tenant: target,
+                        share: share.max(1),
+                        quota_bytes,
+                        ops_per_sec,
+                        bytes_per_sec,
+                    }],
+                )?;
+                Ok(ControlResponse::Ack)
+            }
         }
+    }
+
+    /// Blocks currently allocated to `tenant`, counting every replica in
+    /// every chain of every prefix of the tenant's jobs.
+    fn tenant_usage_blocks(st: &CtrlState, tenant: TenantId) -> u64 {
+        let mut blocks = 0u64;
+        for entry in st.jobs.values() {
+            if entry.tenant != tenant {
+                continue;
+            }
+            for name in entry.hierarchy.names() {
+                let Some(node) = entry.hierarchy.get(&name) else {
+                    continue;
+                };
+                let Some(meta) = &node.ds else { continue };
+                for loc in meta.locations() {
+                    blocks += loc.chain.len() as u64;
+                }
+            }
+        }
+        blocks
+    }
+
+    /// Admission check for allocating `new_blocks` more blocks on behalf
+    /// of `tenant` (DESIGN.md §14). Two gates, both skipped when QoS is
+    /// disabled or the caller is anonymous:
+    ///
+    /// 1. **Hard quota** — current usage plus the request must fit in
+    ///    the tenant's `quota_bytes` (fatal [`JiffyError::QuotaExceeded`]).
+    /// 2. **Weighted-fair arbitration under pressure** — once the free
+    ///    pool drops below `pressure_free_fraction` of capacity, block
+    ///    grants follow a weighted max-min division of total capacity by
+    ///    tenant share; a tenant already at or beyond its fair share is
+    ///    deferred with a retryable [`JiffyError::Throttled`] instead of
+    ///    draining the pool first-come-first-served.
+    fn check_allocation(&self, st: &CtrlState, tenant: TenantId, new_blocks: u64) -> Result<()> {
+        if !self.cfg.qos.enabled || tenant.is_anonymous() || new_blocks == 0 {
+            return Ok(());
+        }
+        let usage = Self::tenant_usage_blocks(st, tenant);
+        let limit = st.tenants.effective(tenant);
+        if limit.quota_bytes > 0 {
+            let want_bytes = (usage + new_blocks).saturating_mul(self.cfg.block_size as u64);
+            if want_bytes > limit.quota_bytes {
+                return Err(JiffyError::QuotaExceeded {
+                    tenant: tenant.raw(),
+                    quota_bytes: limit.quota_bytes,
+                    requested_bytes: want_bytes,
+                });
+            }
+        }
+        let total = st.freelist.total_count() as u64;
+        let free = st.freelist.free_count() as u64;
+        if total == 0 {
+            return Ok(());
+        }
+        let free_fraction = free as f64 / total as f64;
+        if free_fraction >= self.cfg.qos.pressure_free_fraction {
+            return Ok(());
+        }
+        // Pressure: divide the whole capacity (minus the anonymous
+        // tenant's untracked usage) across the active tenants by share,
+        // and hold this tenant to its fair slice.
+        let mut demands: BTreeMap<TenantId, (u32, u64)> = BTreeMap::new();
+        let anonymous_usage = Self::tenant_usage_blocks(st, TenantId::ANONYMOUS);
+        for entry in st.jobs.values() {
+            if entry.tenant.is_anonymous() || demands.contains_key(&entry.tenant) {
+                continue;
+            }
+            let share = st.tenants.effective(entry.tenant).share;
+            demands.insert(
+                entry.tenant,
+                (share, Self::tenant_usage_blocks(st, entry.tenant)),
+            );
+        }
+        let slot = demands.entry(tenant).or_insert((limit.share, usage));
+        slot.1 = usage + new_blocks;
+        let capacity = total.saturating_sub(anonymous_usage);
+        let flat: Vec<(u32, u64)> = demands.values().copied().collect();
+        let grants = weighted_max_min(capacity, &flat);
+        #[allow(clippy::expect_used)] // invariant documented in the message
+        let idx = demands
+            .keys()
+            .position(|t| *t == tenant)
+            .expect("invariant: requesting tenant inserted into demands above");
+        if grants[idx] < usage + new_blocks {
+            // Over fair share while the pool is under pressure: defer.
+            // Retryable — blocks free up as peers deallocate or the
+            // cluster scales out.
+            return Err(JiffyError::Throttled { retry_after_ms: 50 });
+        }
+        Ok(())
+    }
+
+    /// One [`TenantStatsEntry`] per tenant known to the control plane:
+    /// explicitly configured tenants, tenants owning jobs, and tenants
+    /// appearing in server load reports.
+    fn tenant_stats_locked(&self, st: &CtrlState) -> Vec<TenantStatsEntry> {
+        let mut ids: BTreeSet<TenantId> = BTreeSet::new();
+        ids.extend(st.tenants.configured().map(|l| l.tenant));
+        ids.extend(
+            st.jobs
+                .values()
+                .map(|e| e.tenant)
+                .filter(|t| !t.is_anonymous()),
+        );
+        for loads in st.server_loads.values() {
+            ids.extend(loads.iter().map(|l| l.tenant));
+        }
+        ids.into_iter()
+            .map(|tenant| {
+                let limit = st.tenants.effective(tenant);
+                let blocks = Self::tenant_usage_blocks(st, tenant);
+                let mut entry = TenantStatsEntry {
+                    tenant,
+                    share: limit.share,
+                    quota_bytes: limit.quota_bytes,
+                    allocated_blocks: blocks,
+                    allocated_bytes: blocks.saturating_mul(self.cfg.block_size as u64),
+                    ops_admitted: 0,
+                    ops_throttled: 0,
+                    bytes_in: 0,
+                    bytes_out: 0,
+                    op_rate_ewma: 0.0,
+                };
+                for loads in st.server_loads.values() {
+                    for load in loads.iter().filter(|l| l.tenant == tenant) {
+                        entry.ops_admitted += load.ops_admitted;
+                        entry.ops_throttled += load.ops_throttled;
+                        entry.bytes_in += load.bytes_in;
+                        entry.bytes_out += load.bytes_out;
+                        entry.op_rate_ewma += load.op_rate_ewma;
+                    }
+                }
+                entry
+            })
+            .collect()
     }
 
     fn create_prefix(
@@ -862,6 +1065,17 @@ impl Controller {
         initial_blocks: u32,
     ) -> Result<Vec<JournalOp>> {
         let now = self.clock.now();
+        let owner = st
+            .jobs
+            .get(&job)
+            .map(|e| e.tenant)
+            .ok_or(JiffyError::UnknownJob(job.raw()))?;
+        // Quota/fair-share gate runs before any mutation so a denied
+        // request leaves no half-created node to roll back.
+        if ds.is_some() {
+            let chains = u64::from(initial_blocks.max(1));
+            self.check_allocation(st, owner, chains * self.cfg.chain_length as u64)?;
+        }
         let entry = st
             .jobs
             .get_mut(&job)
@@ -1032,6 +1246,8 @@ impl Controller {
             }
         }
         let n = record.payloads.len();
+        let owner = st.jobs.get(&job).map(|e| e.tenant).unwrap_or_default();
+        self.check_allocation(st, owner, (n as u64) * self.cfg.chain_length as u64)?;
         let mut locs = Vec::with_capacity(n);
         for _ in 0..n {
             locs.push(st.freelist.allocate_chain(self.cfg.chain_length)?);
@@ -1137,6 +1353,16 @@ impl Controller {
             Err(_) => return Ok((None, None, Vec::new())),
         };
         let ds = meta.ds_type();
+        // A split grows the owning tenant's footprint by one chain; a
+        // quota- or share-bound tenant keeps serving from the hot block
+        // instead of splitting (same graceful no-split as OutOfBlocks).
+        let owner = entry.tenant;
+        if self
+            .check_allocation(st, owner, self.cfg.chain_length as u64)
+            .is_err()
+        {
+            return Ok((None, None, Vec::new()));
+        }
         let source_loc = st.freelist.location_of(block)?;
         let new_loc = match st.freelist.allocate_chain(self.cfg.chain_length) {
             Ok(l) => l,
@@ -1749,9 +1975,9 @@ struct InitKvMirror {
 impl Service for Controller {
     fn handle(&self, req: Envelope, _session: &SessionHandle) -> Envelope {
         match req {
-            Envelope::ControlReq { id, req } => Envelope::ControlResp {
+            Envelope::ControlReq { id, req, tenant } => Envelope::ControlResp {
                 id,
-                resp: self.dispatch(req),
+                resp: self.dispatch_as(req, tenant),
             },
             Envelope::DataReq { id, .. } => Envelope::DataResp {
                 id,

@@ -32,9 +32,11 @@ use jiffy_sync::Arc;
 use std::collections::HashMap;
 use std::time::Duration;
 
-use jiffy_common::{BlockId, JiffyError, JobId, Result};
+use jiffy_common::{BlockId, JiffyError, JobId, Result, TenantId};
 use jiffy_persistent::ObjectStore;
-use jiffy_proto::{from_bytes, to_bytes, JournalBatch, JournalOp, JournalRecord, JournalSnapshot};
+use jiffy_proto::{
+    from_bytes, to_bytes, JournalBatch, JournalOp, JournalRecord, JournalSnapshot, TenantLimit,
+};
 use serde::{Deserialize, Serialize};
 
 use crate::controller::{Counters, CtrlState, JobEntry};
@@ -69,6 +71,8 @@ pub struct StateMirror {
     pub counters: Counters,
     /// Next job id the generator would issue.
     pub next_job_id: u64,
+    /// Explicitly configured tenant QoS limits, sorted by tenant id.
+    pub tenants: Vec<TenantLimit>,
 }
 
 /// One job's slice of a [`StateMirror`].
@@ -80,6 +84,8 @@ pub struct JobMirror {
     pub name: String,
     /// Hierarchy nodes sorted by name.
     pub nodes: Vec<NodeMirror>,
+    /// Raw tenant id the job is accounted against.
+    pub tenant: u64,
 }
 
 /// One hierarchy node's slice of a [`StateMirror`].
@@ -151,6 +157,7 @@ pub(crate) fn mirror_of(st: &CtrlState, next_job_id: u64) -> StateMirror {
                 job: id.raw(),
                 name: entry.name.clone(),
                 nodes,
+                tenant: entry.tenant.raw(),
             }
         })
         .collect();
@@ -167,6 +174,7 @@ pub(crate) fn mirror_of(st: &CtrlState, next_job_id: u64) -> StateMirror {
         block_owner,
         counters: st.counters.clone(),
         next_job_id,
+        tenants: st.tenants.snapshot(),
     }
 }
 
@@ -180,6 +188,8 @@ pub(crate) struct RecoveredState {
     pub(crate) next_job_id: u64,
     /// Sequence number the resumed journal should issue next.
     pub(crate) next_seq: u64,
+    /// Explicitly configured tenant QoS limits.
+    pub(crate) tenants: Vec<TenantLimit>,
 }
 
 impl RecoveredState {
@@ -191,6 +201,7 @@ impl RecoveredState {
             counters: Counters::default(),
             next_job_id: 0,
             next_seq: 0,
+            tenants: Vec::new(),
         }
     }
 
@@ -220,6 +231,7 @@ impl RecoveredState {
                 JobEntry {
                     name: jm.name.clone(),
                     hierarchy,
+                    tenant: TenantId(jm.tenant),
                 },
             );
         }
@@ -232,6 +244,7 @@ impl RecoveredState {
             .collect();
         self.counters = mirror.counters.clone();
         self.next_job_id = mirror.next_job_id;
+        self.tenants = mirror.tenants.clone();
         Ok(())
     }
 }
@@ -245,12 +258,13 @@ fn job_mut(jobs: &mut HashMap<JobId, JobEntry>, job: JobId) -> Result<&mut JobEn
 #[allow(clippy::too_many_lines)] // one arm per record type, linear
 pub(crate) fn apply_op(state: &mut RecoveredState, op: &JournalOp) -> Result<()> {
     match op {
-        JournalOp::JobRegistered { job, name } => {
+        JournalOp::JobRegistered { job, name, tenant } => {
             state.jobs.insert(
                 *job,
                 JobEntry {
                     name: name.clone(),
                     hierarchy: AddressHierarchy::new(),
+                    tenant: *tenant,
                 },
             );
             state.next_job_id = state.next_job_id.max(job.raw() + 1);
@@ -436,6 +450,27 @@ pub(crate) fn apply_op(state: &mut RecoveredState, op: &JournalOp) -> Result<()>
         JournalOp::StateRewritten { mirror } => {
             let mirror: StateMirror = from_bytes(mirror)?;
             state.install_mirror(&mirror)?;
+        }
+        JournalOp::TenantConfigured {
+            tenant,
+            share,
+            quota_bytes,
+            ops_per_sec,
+            bytes_per_sec,
+        } => {
+            let limit = TenantLimit {
+                tenant: *tenant,
+                share: (*share).max(1),
+                quota_bytes: *quota_bytes,
+                ops_per_sec: *ops_per_sec,
+                bytes_per_sec: *bytes_per_sec,
+            };
+            // Upsert, keeping the vector sorted by tenant id so the
+            // recovered snapshot matches the live directory's order.
+            match state.tenants.binary_search_by_key(tenant, |l| l.tenant) {
+                Ok(i) => state.tenants[i] = limit,
+                Err(i) => state.tenants.insert(i, limit),
+            }
         }
     }
     Ok(())

@@ -8,7 +8,7 @@
 
 use jiffy_sync::Arc;
 
-use jiffy_common::{JiffyError, JobId};
+use jiffy_common::{JiffyError, JobId, TenantId};
 use jiffy_proto::{ControlRequest, ControlResponse, Envelope};
 use jiffy_rpc::{Service, SessionHandle};
 
@@ -49,6 +49,16 @@ impl ShardedController {
     /// `RegisterJob` round-robins via shard 0's job counter; `GetStats`
     /// aggregates across shards.
     pub fn dispatch(&self, req: ControlRequest) -> Result<ControlResponse, JiffyError> {
+        self.dispatch_as(req, TenantId::ANONYMOUS)
+    }
+
+    /// Routes one request on behalf of `tenant` (QoS accounting flows
+    /// through to the owning shard).
+    pub fn dispatch_as(
+        &self,
+        req: ControlRequest,
+        tenant: TenantId,
+    ) -> Result<ControlResponse, JiffyError> {
         match &req {
             ControlRequest::RegisterJob { .. } => {
                 // Registration must land on the shard that will own the
@@ -60,7 +70,7 @@ impl ShardedController {
                 // production deployments would partition the ID space.
                 // We simply register on shard 0 and accept its ID space
                 // being a superset (resolution uses shard_for()).
-                self.shards[0].dispatch(req)
+                self.shards[0].dispatch_as(req, tenant)
             }
             ControlRequest::GetStats => {
                 let mut agg = jiffy_proto::ControllerStats::default();
@@ -85,14 +95,18 @@ impl ShardedController {
             }
             // Membership is shard 0's concern: servers join, heartbeat,
             // and leave through the shard that owns the free list.
+            // Tenant configuration and stats live with the free list
+            // too, since that shard arbitrates allocation under QoS.
             ControlRequest::JoinServer { .. }
             | ControlRequest::LeaveServer { .. }
             | ControlRequest::Heartbeat { .. }
-            | ControlRequest::ListServers => self.shards[0].dispatch(req),
+            | ControlRequest::ListServers
+            | ControlRequest::TenantStats
+            | ControlRequest::SetTenantShare { .. } => self.shards[0].dispatch_as(req, tenant),
             other => {
                 let job = job_of(other)
                     .ok_or_else(|| JiffyError::Internal("request has no job scope".into()))?;
-                self.route_job(job).dispatch(req)
+                self.route_job(job).dispatch_as(req, tenant)
             }
         }
     }
@@ -128,9 +142,9 @@ fn job_of(req: &ControlRequest) -> Option<JobId> {
 impl Service for ShardedController {
     fn handle(&self, req: Envelope, _session: &SessionHandle) -> Envelope {
         match req {
-            Envelope::ControlReq { id, req } => Envelope::ControlResp {
+            Envelope::ControlReq { id, req, tenant } => Envelope::ControlResp {
                 id,
-                resp: self.dispatch(req),
+                resp: self.dispatch_as(req, tenant),
             },
             other => Envelope::ControlResp {
                 id: 0,

@@ -22,7 +22,7 @@ pub mod runner;
 
 pub use gen::WorkloadMix;
 pub use history::{Event, History, Outcome, WorkOp};
-pub use runner::{run, ElasticAction, HarnessConfig, RunReport};
+pub use runner::{run, ElasticAction, HarnessConfig, RunReport, TenantQos};
 
 #[cfg(test)]
 mod tests {
@@ -101,6 +101,36 @@ mod tests {
         let mut cfg = quick(0x57E5, WorkloadMix::all());
         cfg.workers = 3;
         cfg.ops_per_worker = 60;
+        run(&cfg).unwrap().assert_ok();
+    }
+
+    #[test]
+    fn multi_tenant_run_stays_isolated_under_chaos() {
+        let mut cfg = quick(0x7E4A, WorkloadMix::all());
+        cfg.workers = 2;
+        cfg.tenants = 2;
+        cfg.ops_per_worker = 80;
+        cfg.qos = Some(jiffy_common::QosConfig::enabled_with_rates(0, 0));
+        let report = run(&cfg).unwrap();
+        report.assert_ok();
+    }
+
+    #[test]
+    fn throttled_tenant_still_completes_and_isolates() {
+        let mut cfg = quick(0x7E4B, WorkloadMix::kv_only());
+        cfg.workers = 2;
+        cfg.tenants = 2;
+        cfg.ops_per_worker = 60;
+        cfg.qos = Some(jiffy_common::QosConfig::enabled_with_rates(0, 0));
+        // Tenant 1 gets a tight op-rate limit: its ops throttle and
+        // retry, but every invariant must still hold for both tenants.
+        cfg.tenant_limits = vec![crate::runner::TenantQos {
+            tenant_index: 1,
+            share: 1,
+            quota_bytes: 0,
+            ops_per_sec: 200,
+            bytes_per_sec: 0,
+        }];
         run(&cfg).unwrap().assert_ok();
     }
 

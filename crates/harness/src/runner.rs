@@ -16,9 +16,9 @@ use jiffy_sync::Arc;
 use std::time::Instant;
 
 use jiffy::{JiffyClient, JiffyCluster};
-use jiffy_client::{FileClient, KvClient, QueueClient};
+use jiffy_client::{FileClient, JobClient, KvClient, QueueClient};
 use jiffy_common::clock::SystemClock;
-use jiffy_common::{JiffyConfig, Result};
+use jiffy_common::{JiffyConfig, QosConfig, Result, TenantId};
 use jiffy_persistent::MemObjectStore;
 use jiffy_rpc::{FaultInjector, FaultRule, FaultStats};
 
@@ -79,6 +79,32 @@ pub struct HarnessConfig {
     /// still recorded (a whole-batch transport failure marks every op
     /// in the batch `Maybe`, since a prefix may have applied).
     pub batch: usize,
+    /// Distinct tenants sharing the cluster. `1` (the default) runs
+    /// everything as the anonymous tenant — the pre-QoS behavior. With
+    /// `N > 1`, worker `w` issues its ops as tenant `w % N + 1` against
+    /// that tenant's own job, and the runner adds per-tenant isolation
+    /// checks (no cross-tenant visibility; quotas honored post-hoc).
+    pub tenants: usize,
+    /// Cluster QoS configuration; `None` leaves QoS disabled.
+    pub qos: Option<QosConfig>,
+    /// Per-tenant limit overrides installed before the workload starts
+    /// (`tenant_index` counts from 0, matching `w % tenants`).
+    pub tenant_limits: Vec<TenantQos>,
+}
+
+/// A per-tenant QoS override installed at run start.
+#[derive(Debug, Clone, Copy)]
+pub struct TenantQos {
+    /// Which tenant (0-based index into `HarnessConfig::tenants`).
+    pub tenant_index: usize,
+    /// Weighted-fair share (≥ 1).
+    pub share: u32,
+    /// Hard memory quota in bytes (0 = unlimited).
+    pub quota_bytes: u64,
+    /// Op-rate limit per second (0 = unlimited).
+    pub ops_per_sec: u64,
+    /// Byte-rate limit per second (0 = unlimited).
+    pub bytes_per_sec: u64,
 }
 
 impl Default for HarnessConfig {
@@ -103,6 +129,9 @@ impl Default for HarnessConfig {
             chain_length: 1,
             elastic: Vec::new(),
             batch: 1,
+            tenants: 1,
+            qos: None,
+            tenant_limits: Vec::new(),
         }
     }
 }
@@ -149,10 +178,13 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
     // Long leases + no expiry worker + splits disabled by thresholds:
     // background reclamation would make the injector's draw sequence
     // depend on wall-clock timing and break seed replay.
-    let cluster_cfg = JiffyConfig::for_testing()
+    let mut cluster_cfg = JiffyConfig::for_testing()
         .with_lease_duration(std::time::Duration::from_secs(600))
         .with_chain_length(cfg.chain_length)
         .with_thresholds(0.0, 1.0);
+    if let Some(qos) = &cfg.qos {
+        cluster_cfg.qos = qos.clone();
+    }
     let cluster = Arc::new(JiffyCluster::build(
         cluster_cfg,
         cfg.num_servers,
@@ -170,28 +202,59 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
         .fabric()
         .clone()
         .with_fault_injection(injector.clone());
-    let client = JiffyClient::connect(chaos_fabric, cluster.controller_addr())?;
-    let job = client.register_job("chaos")?;
 
-    let handles = Handles {
-        kv: if cfg.mix.kv {
-            Some(Arc::new(job.open_kv("kv", &[], 2)?))
-        } else {
-            None
-        },
-        file: if cfg.mix.file {
-            Some(Arc::new(job.open_file("shuffle", &[])?))
-        } else {
-            None
-        },
-        queues: if cfg.mix.queue {
-            (0..cfg.workers)
-                .map(|w| job.open_queue(&format!("q{w}"), &[]).map(Arc::new))
-                .collect::<Result<_>>()?
-        } else {
-            Vec::new()
-        },
-    };
+    // One job (and one set of data structures) per tenant; a lone
+    // tenant keeps the historical anonymous single-job shape.
+    let tenants = cfg.tenants.max(1);
+    for tq in &cfg.tenant_limits {
+        cluster.set_tenant_share(
+            tenant_id(tq.tenant_index, tenants),
+            tq.share,
+            tq.quota_bytes,
+            tq.ops_per_sec,
+            tq.bytes_per_sec,
+        )?;
+    }
+    let mut jobs: Vec<JobClient> = Vec::with_capacity(tenants);
+    for t in 0..tenants {
+        let client = JiffyClient::connect(chaos_fabric.clone(), cluster.controller_addr())?
+            .with_tenant(tenant_id(t, tenants));
+        jobs.push(client.register_job(&format!("chaos-t{t}"))?);
+    }
+
+    let mut tenant_handles: Vec<Handles> = Vec::with_capacity(tenants);
+    for job in &jobs {
+        tenant_handles.push(Handles {
+            kv: if cfg.mix.kv {
+                Some(Arc::new(job.open_kv("kv", &[], 2)?))
+            } else {
+                None
+            },
+            file: if cfg.mix.file {
+                Some(Arc::new(job.open_file("shuffle", &[])?))
+            } else {
+                None
+            },
+            queues: Vec::new(),
+        });
+    }
+    // Each worker keeps a private queue inside its tenant's job.
+    if cfg.mix.queue {
+        for w in 0..cfg.workers {
+            let q = Arc::new(jobs[w % tenants].open_queue(&format!("q{w}"), &[])?);
+            tenant_handles[w % tenants].queues.push(q.clone());
+        }
+    }
+    let worker_handles: Vec<Handles> = (0..cfg.workers)
+        .map(|w| {
+            let t = &tenant_handles[w % tenants];
+            Handles {
+                kv: t.kv.clone(),
+                file: t.file.clone(),
+                queues: t.queues.get(w / tenants).cloned().into_iter().collect(),
+            }
+        })
+        .collect();
 
     injector.set_enabled(true);
     let epoch = Instant::now();
@@ -202,7 +265,7 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
         // Deterministic mode: membership changes fire inline at exact op
         // boundaries, so the whole run replays from the seed.
         let mut next = 0usize;
-        events.extend(run_worker(0, cfg, &handles, epoch, |done| {
+        events.extend(run_worker(0, cfg, &worker_handles[0], epoch, |done| {
             while next < schedule.len() && done as usize >= schedule[next].0 {
                 apply_elastic(&cluster, schedule[next].1, cfg.blocks_per_server);
                 next += 1;
@@ -233,18 +296,15 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
             }))
         };
         let mut joins = Vec::new();
-        for w in 0..cfg.workers {
+        for (w, wh) in worker_handles.iter().enumerate() {
             let cfg = cfg.clone();
-            let kv = handles.kv.clone();
-            let file = handles.file.clone();
-            let queue = handles.queues.get(w).cloned();
+            let handles = Handles {
+                kv: wh.kv.clone(),
+                file: wh.file.clone(),
+                queues: wh.queues.clone(),
+            };
             let ops_done = ops_done.clone();
             joins.push(std::thread::spawn(move || {
-                let handles = Handles {
-                    kv,
-                    file,
-                    queues: queue.into_iter().collect(),
-                };
                 run_worker(w, &cfg, &handles, epoch, |_| {
                     ops_done.fetch_add(1, Ordering::SeqCst);
                 })
@@ -260,13 +320,15 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
     }
     injector.set_enabled(false);
 
-    // Final-state reads over the clean transport.
+    // Final-state reads over the clean transport, each worker through
+    // its own tenant's handles.
     let mut history = History {
         events,
         ..History::default()
     };
-    if let Some(kv) = &handles.kv {
-        for w in 0..cfg.workers {
+    if cfg.mix.kv {
+        for (w, wh) in worker_handles.iter().enumerate() {
+            let kv = wh.kv.as_ref().expect("kv enabled but handle missing");
             for k in 0..cfg.keys_per_worker {
                 let key = format!("w{w}-k{k}");
                 let value = kv.get(key.as_bytes())?.map(lossy);
@@ -274,24 +336,89 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
             }
         }
     }
-    if let Some(file) = &handles.file {
-        history.final_file = file.read_all()?;
-    }
-    for (w, queue) in handles.queues.iter().enumerate() {
-        let mut drained = Vec::new();
-        while let Some(item) = queue.dequeue()? {
-            drained.push(lossy(item));
+    if cfg.mix.file {
+        // Concatenating the per-tenant files preserves both exactly-once
+        // and per-worker order: a worker only ever appends to one file.
+        for th in &tenant_handles {
+            let file = th.file.as_ref().expect("file enabled but handle missing");
+            history.final_file.extend(file.read_all()?);
         }
-        history.final_queues.insert(w, drained);
+    }
+    for (w, wh) in worker_handles.iter().enumerate() {
+        if let Some(queue) = wh.queues.first() {
+            let mut drained = Vec::new();
+            while let Some(item) = queue.dequeue()? {
+                drained.push(lossy(item));
+            }
+            history.final_queues.insert(w, drained);
+        }
     }
 
-    let violations = history.check();
+    let mut violations = history.check();
+    violations.extend(check_tenant_isolation(&cluster, cfg, &tenant_handles)?);
     Ok(RunReport {
         seed: cfg.seed,
         history,
         fault_stats: injector.stats(),
         violations,
     })
+}
+
+/// The wire-level tenant id for tenant index `t`: a single-tenant run
+/// stays anonymous (the pre-QoS shape), multi-tenant runs use ids 1..=N.
+fn tenant_id(t: usize, tenants: usize) -> TenantId {
+    if tenants <= 1 {
+        TenantId::ANONYMOUS
+    } else {
+        TenantId(t as u64 % tenants as u64 + 1)
+    }
+}
+
+/// Multi-tenant invariants, checked after the workload with injection
+/// off: no tenant can see another tenant's keys through its own job's
+/// namespace, and no tenant with a hard quota ended the run above it.
+fn check_tenant_isolation(
+    cluster: &JiffyCluster,
+    cfg: &HarnessConfig,
+    tenant_handles: &[Handles],
+) -> Result<Vec<String>> {
+    let tenants = cfg.tenants.max(1);
+    let mut violations = Vec::new();
+    if tenants <= 1 {
+        return Ok(violations);
+    }
+    if cfg.mix.kv {
+        for (t, th) in tenant_handles.iter().enumerate() {
+            let kv = th.kv.as_ref().expect("kv enabled but handle missing");
+            for w in 0..cfg.workers {
+                if w % tenants == t {
+                    continue; // own keys, visibility expected
+                }
+                for k in 0..cfg.keys_per_worker {
+                    let key = format!("w{w}-k{k}");
+                    if let Some(v) = kv.get(key.as_bytes())? {
+                        violations.push(format!(
+                            "tenant isolation: tenant {t} sees key {key} (worker {w}, \
+                             tenant {}) with value {:?}",
+                            w % tenants,
+                            lossy(v)
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    let block_size = cluster.controller().config().block_size as u64;
+    for entry in cluster.tenant_stats()? {
+        if entry.quota_bytes > 0 && entry.allocated_bytes > entry.quota_bytes {
+            violations.push(format!(
+                "tenant quota: tenant {:?} holds {} bytes ({} blocks of {block_size}) \
+                 over its {}-byte quota",
+                entry.tenant, entry.allocated_bytes, entry.allocated_blocks, entry.quota_bytes
+            ));
+        }
+    }
+    Ok(violations)
 }
 
 /// Applies one membership change against the live cluster. Failures are

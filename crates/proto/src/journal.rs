@@ -19,7 +19,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use jiffy_common::{BlockId, JobId, ServerId};
+use jiffy_common::{BlockId, JobId, ServerId, TenantId};
 
 use crate::messages::{BlockLocation, MergeSpec, SplitSpec};
 
@@ -57,6 +57,10 @@ pub enum JournalOp {
         job: JobId,
         /// Client-supplied job name.
         name: String,
+        /// Tenant that registered the job; its memory accounting absorbs
+        /// every block the job allocates. Appended last within the
+        /// variant so the preceding positional layout is unchanged.
+        tenant: TenantId,
     },
     /// A job deregistered; all its blocks returned to the freelist.
     JobDeregistered {
@@ -192,6 +196,20 @@ pub enum JournalOp {
         /// Wire-encoded controller state mirror.
         mirror: Vec<u8>,
     },
+    /// A tenant's QoS parameters were configured (`SetTenantShare`).
+    /// Appended last to keep wire variant indices stable.
+    TenantConfigured {
+        /// The configured tenant.
+        tenant: TenantId,
+        /// Weighted-fair share (≥ 1).
+        share: u32,
+        /// Hard memory quota in bytes (0 = unlimited).
+        quota_bytes: u64,
+        /// Data-plane op rate limit per second (0 = unlimited).
+        ops_per_sec: u64,
+        /// Data-plane byte rate limit per second (0 = unlimited).
+        bytes_per_sec: u64,
+    },
 }
 
 /// A snapshot object: the controller's full metadata state as of
@@ -221,6 +239,7 @@ mod tests {
                     op: JournalOp::JobRegistered {
                         job: JobId(3),
                         name: "wordcount".into(),
+                        tenant: TenantId(2),
                     },
                 },
                 JournalRecord {
@@ -249,6 +268,16 @@ mod tests {
                         spec: MergeSpec::KvAbsorb,
                         target: None,
                         released: vec![BlockId(9)],
+                    },
+                },
+                JournalRecord {
+                    seq: 3,
+                    op: JournalOp::TenantConfigured {
+                        tenant: TenantId(2),
+                        share: 4,
+                        quota_bytes: 1 << 20,
+                        ops_per_sec: 1_000,
+                        bytes_per_sec: 0,
                     },
                 },
             ],

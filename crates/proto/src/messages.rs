@@ -15,7 +15,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use jiffy_common::{BlockId, JiffyError, JobId, ServerId};
+use jiffy_common::{BlockId, JiffyError, JobId, ServerId, TenantId};
 
 /// A byte payload that encodes via `serialize_bytes` (bulk copy) instead
 /// of element-wise `Vec<u8>` encoding — important for block-sized
@@ -476,6 +476,9 @@ pub enum ControlRequest {
         used_blocks: u32,
         /// Blocks currently free.
         free_blocks: u32,
+        /// Per-tenant admission-control load observed by this server
+        /// since start (DESIGN.md §14). Empty when QoS is disabled.
+        tenant_loads: Vec<TenantLoad>,
     },
     /// List the membership table (observability, benchmarks, tests).
     ListServers,
@@ -509,6 +512,26 @@ pub enum ControlRequest {
     ListPrefixes {
         /// Job to list.
         job: JobId,
+    },
+    /// Read-only per-tenant QoS counters (shares, quotas, allocated
+    /// memory, admission stats aggregated across servers). Appended last
+    /// to keep wire variant indices stable.
+    TenantStats,
+    /// Configure a tenant's QoS parameters at runtime: weighted-fair
+    /// share, memory quota and data-plane rate limits. Journaled before
+    /// ack so the configuration survives controller crashes.
+    SetTenantShare {
+        /// Tenant being configured.
+        tenant: TenantId,
+        /// Weighted-fair share (≥ 1) used for max-min arbitration of
+        /// contested block allocations under memory pressure.
+        share: u32,
+        /// Hard memory quota in bytes (0 = unlimited).
+        quota_bytes: u64,
+        /// Data-plane op rate limit per second (0 = unlimited).
+        ops_per_sec: u64,
+        /// Data-plane byte rate limit per second (0 = unlimited).
+        bytes_per_sec: u64,
     },
 }
 
@@ -560,6 +583,70 @@ pub struct ServerInfo {
     pub used_blocks: u32,
     /// Blocks currently free.
     pub free_blocks: u32,
+}
+
+/// A tenant's configured QoS parameters, pushed from the controller to
+/// the memory servers in heartbeat acknowledgements so the data-plane
+/// admission controller enforces the current limits (DESIGN.md §14).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantLimit {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Weighted-fair share (≥ 1).
+    pub share: u32,
+    /// Hard memory quota in bytes (0 = unlimited).
+    pub quota_bytes: u64,
+    /// Data-plane op rate limit per second (0 = unlimited).
+    pub ops_per_sec: u64,
+    /// Data-plane byte rate limit per second (0 = unlimited).
+    pub bytes_per_sec: u64,
+}
+
+/// Per-tenant data-plane load counters, reported by each memory server
+/// in its heartbeat. Counters are cumulative since server start; the
+/// controller sums them across servers for `TenantStats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantLoad {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Data-plane requests admitted.
+    pub ops_admitted: u64,
+    /// Data-plane requests rejected with `Throttled`.
+    pub ops_throttled: u64,
+    /// Request payload bytes admitted (ingress).
+    pub bytes_in: u64,
+    /// Response payload bytes charged (egress).
+    pub bytes_out: u64,
+    /// Exponentially-weighted moving average of the tenant's op rate,
+    /// in ops per second (τ ≈ 1 s).
+    pub op_rate_ewma: f64,
+}
+
+/// One row of the controller's per-tenant accounting view
+/// (`TenantStats`): configuration joined with memory usage and the
+/// data-plane load summed across all reporting servers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantStatsEntry {
+    /// The tenant.
+    pub tenant: TenantId,
+    /// Weighted-fair share (≥ 1).
+    pub share: u32,
+    /// Hard memory quota in bytes (0 = unlimited).
+    pub quota_bytes: u64,
+    /// Blocks currently allocated to this tenant's jobs.
+    pub allocated_blocks: u64,
+    /// Bytes of block capacity currently allocated to this tenant.
+    pub allocated_bytes: u64,
+    /// Data-plane requests admitted (summed across servers).
+    pub ops_admitted: u64,
+    /// Data-plane requests throttled (summed across servers).
+    pub ops_throttled: u64,
+    /// Ingress payload bytes (summed across servers).
+    pub bytes_in: u64,
+    /// Egress payload bytes (summed across servers).
+    pub bytes_out: u64,
+    /// Op-rate EWMA summed across servers (ops/s).
+    pub op_rate_ewma: f64,
 }
 
 /// Responses from the controller.
@@ -634,6 +721,16 @@ pub enum ControlResponse {
     },
     /// Result of `ListServers`.
     Servers(Vec<ServerInfo>),
+    /// Result of `TenantStats`: one entry per known tenant, sorted by
+    /// tenant id. (Appended last to keep wire variant indices stable.)
+    TenantStatsReport(Vec<TenantStatsEntry>),
+    /// Result of `Heartbeat`: carries the current tenant limit table so
+    /// servers converge on configuration changes within one heartbeat
+    /// interval. Empty when QoS is disabled.
+    HeartbeatAck {
+        /// The controller's current per-tenant limits.
+        limits: Vec<TenantLimit>,
+    },
 }
 
 /// Data-structure operations executed on a block (paper Fig. 6: the
@@ -724,6 +821,24 @@ impl DsOp {
             _ => None,
         }
     }
+
+    /// Payload bytes this op carries *into* the server — what per-tenant
+    /// admission control charges against the ingress byte budget.
+    pub fn ingress_bytes(&self) -> u64 {
+        match self {
+            Self::FileWrite { data, .. } | Self::FileAppend { data } => data.len() as u64,
+            Self::Enqueue { item } => item.len() as u64,
+            Self::Put { key, value } => (key.len() + value.len()) as u64,
+            Self::Get { key } | Self::Delete { key } | Self::Exists { key } => key.len() as u64,
+            Self::Custom { payload, .. } => payload.len() as u64,
+            Self::FileRead { .. }
+            | Self::FileSize
+            | Self::Dequeue
+            | Self::Peek
+            | Self::QueueLen
+            | Self::KvCount => 0,
+        }
+    }
 }
 
 /// Result of a [`DsOp`].
@@ -741,6 +856,18 @@ pub enum DsResult {
     Bool(bool),
     /// Previous value replaced by a `Put`, if any.
     Replaced(Option<Blob>),
+}
+
+impl DsResult {
+    /// Payload bytes this result carries back *out of* the server — what
+    /// per-tenant egress accounting charges after execution.
+    pub fn egress_bytes(&self) -> u64 {
+        match self {
+            Self::Data(b) => b.len() as u64,
+            Self::MaybeData(b) | Self::Replaced(b) => b.as_ref().map_or(0, |b| b.len() as u64),
+            Self::Ok | Self::Size(_) | Self::Bool(_) => 0,
+        }
+    }
 }
 
 /// Requests handled by a memory server (data plane, paper §4.2.2).
@@ -920,6 +1047,11 @@ pub enum Envelope {
         id: u64,
         /// The request.
         req: ControlRequest,
+        /// Tenant on whose behalf the request is issued
+        /// ([`TenantId::ANONYMOUS`] for internal/unattributed traffic).
+        /// Appended last within the variant so the positional wire
+        /// layout of the preceding fields is unchanged.
+        tenant: TenantId,
     },
     /// A control-plane response.
     ControlResp {
@@ -934,6 +1066,9 @@ pub enum Envelope {
         id: u64,
         /// The request.
         req: DataRequest,
+        /// Tenant on whose behalf the request is issued
+        /// ([`TenantId::ANONYMOUS`] for internal/unattributed traffic).
+        tenant: TenantId,
     },
     /// A data-plane response.
     DataResp {
@@ -964,6 +1099,7 @@ mod tests {
             req: ControlRequest::RegisterJob {
                 name: "wordcount".into(),
             },
+            tenant: TenantId(4),
         });
         rt(Envelope::ControlResp {
             id: 1,
@@ -971,6 +1107,7 @@ mod tests {
         });
         rt(Envelope::ControlReq {
             id: 2,
+            tenant: TenantId::ANONYMOUS,
             req: ControlRequest::CreateHierarchy {
                 job: JobId(7),
                 nodes: vec![DagNodeSpec {
@@ -991,6 +1128,7 @@ mod tests {
     fn data_messages_round_trip() {
         rt(Envelope::DataReq {
             id: 4,
+            tenant: TenantId(2),
             req: DataRequest::Op {
                 block: BlockId(3),
                 op: DsOp::Put {
@@ -1017,6 +1155,7 @@ mod tests {
     fn batch_messages_round_trip() {
         rt(Envelope::DataReq {
             id: 5,
+            tenant: TenantId(1),
             req: DataRequest::Batch {
                 block: BlockId(3),
                 ops: vec![
@@ -1044,6 +1183,7 @@ mod tests {
         });
         rt(Envelope::DataReq {
             id: 6,
+            tenant: TenantId::ANONYMOUS,
             req: DataRequest::Batch {
                 block: BlockId(0),
                 ops: vec![],

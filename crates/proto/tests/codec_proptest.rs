@@ -4,7 +4,7 @@
 
 use std::io::Cursor;
 
-use jiffy_common::BlockId;
+use jiffy_common::{BlockId, TenantId};
 use jiffy_proto::frame::{read_frame, write_frame};
 use jiffy_proto::wire::{from_bytes, to_bytes};
 use jiffy_proto::{Blob, ControlRequest, DataRequest, DataResponse, DsOp, DsResult, Envelope};
@@ -37,16 +37,20 @@ fn tree_strategy() -> impl Strategy<Value = TreeOp> {
 /// responses, and binary payloads.
 fn envelope_strategy() -> impl Strategy<Value = Envelope> {
     prop_oneof![
-        (1u64..u64::MAX, ".{0,12}").prop_map(|(id, name)| Envelope::ControlReq {
-            id,
-            req: ControlRequest::RegisterJob { name },
+        (1u64..u64::MAX, ".{0,12}", any::<u64>()).prop_map(|(id, name, tenant)| {
+            Envelope::ControlReq {
+                id,
+                req: ControlRequest::RegisterJob { name },
+                tenant: TenantId(tenant),
+            }
         }),
         (
             1u64..u64::MAX,
             any::<u64>(),
-            proptest::collection::vec(any::<u8>(), 0..128)
+            proptest::collection::vec(any::<u8>(), 0..128),
+            any::<u64>(),
         )
-            .prop_map(|(id, block, data)| Envelope::DataReq {
+            .prop_map(|(id, block, data, tenant)| Envelope::DataReq {
                 id,
                 req: DataRequest::Op {
                     block: BlockId(block),
@@ -55,6 +59,7 @@ fn envelope_strategy() -> impl Strategy<Value = Envelope> {
                         data: Blob(data),
                     },
                 },
+                tenant: TenantId(tenant),
             }),
         (
             1u64..u64::MAX,

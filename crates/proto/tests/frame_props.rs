@@ -8,7 +8,7 @@
 
 use std::io::Cursor;
 
-use jiffy_common::{BlockId, JiffyError};
+use jiffy_common::{BlockId, JiffyError, TenantId};
 use jiffy_proto::frame::{
     encode_frame, read_frame, read_frame_into, write_frame, FrameAssembler, MAX_FRAME_LEN,
 };
@@ -60,14 +60,16 @@ fn batch_envelope_strategy() -> impl Strategy<Value = Envelope> {
         (
             1u64..u64::MAX,
             any::<u64>(),
-            proptest::collection::vec(ds_op_strategy(), 0..16)
+            proptest::collection::vec(ds_op_strategy(), 0..16),
+            any::<u64>(),
         )
-            .prop_map(|(id, block, ops)| Envelope::DataReq {
+            .prop_map(|(id, block, ops, tenant)| Envelope::DataReq {
                 id,
                 req: DataRequest::Batch {
                     block: BlockId(block),
                     ops,
                 },
+                tenant: TenantId(tenant),
             }),
         (
             1u64..u64::MAX,

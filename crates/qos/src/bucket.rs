@@ -1,0 +1,188 @@
+//! A deficit-capable token bucket driven by an explicit clock reading.
+//!
+//! The bucket refills continuously at `rate` tokens per second up to a
+//! burst ceiling, and admits a request of `n` tokens when the current
+//! level covers `min(n, burst)`. Admission always subtracts the *full*
+//! `n` — the level may go negative — which gives two properties the
+//! admission controller needs:
+//!
+//! - **Progress for oversized requests.** A single batch larger than the
+//!   burst ceiling admits once the bucket is full, rather than never;
+//!   the resulting deficit then rate-limits the tenant's average.
+//! - **Post-paid charges.** Egress bytes are only known after an op
+//!   executes, and throttling after execution would break exactly-once
+//!   semantics. [`TokenBucket::charge`] subtracts unconditionally; the
+//!   deficit is repaid before the tenant's next admission.
+
+use std::time::Duration;
+
+/// Token bucket state. Time never lives inside the bucket — callers pass
+/// the current [`Clock`](jiffy_common::Clock) reading into every
+/// operation, which keeps the bucket deterministic under `ManualClock`
+/// and free of hidden `Instant::now()` calls.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Refill rate in tokens per second. `0` means unlimited: every
+    /// admission succeeds and charges are ignored.
+    rate: f64,
+    /// Maximum stored tokens (`rate * burst_factor`, at least `1`).
+    burst: f64,
+    /// Current level; may be negative (deficit from oversized or
+    /// post-paid charges).
+    level: f64,
+    /// Clock reading at the last refill.
+    last: Duration,
+}
+
+impl TokenBucket {
+    /// Creates a bucket refilling at `rate_per_sec`, holding at most
+    /// `rate_per_sec * burst_factor` tokens, starting full at time
+    /// `now`. A zero rate disables limiting entirely.
+    pub fn new(rate_per_sec: u64, burst_factor: f64, now: Duration) -> Self {
+        let rate = rate_per_sec as f64;
+        let burst = (rate * burst_factor.max(1.0)).max(1.0);
+        Self {
+            rate,
+            burst,
+            level: burst,
+            last: now,
+        }
+    }
+
+    /// Whether this bucket enforces anything.
+    pub fn is_unlimited(&self) -> bool {
+        self.rate == 0.0
+    }
+
+    fn refill(&mut self, now: Duration) {
+        if now > self.last {
+            let dt = (now - self.last).as_secs_f64();
+            self.level = (self.level + self.rate * dt).min(self.burst);
+        }
+        self.last = self.last.max(now);
+    }
+
+    /// Attempts to admit a request costing `n` tokens at time `now`.
+    ///
+    /// Returns `Ok(())` and subtracts the full `n` (possibly into
+    /// deficit) when the level covers `min(n, burst)`; otherwise returns
+    /// the suggested backoff until enough tokens will have accrued.
+    pub fn admit(&mut self, n: u64, now: Duration) -> Result<(), Duration> {
+        if self.is_unlimited() {
+            return Ok(());
+        }
+        self.refill(now);
+        let need = (n as f64).min(self.burst);
+        if self.level >= need {
+            self.level -= n as f64;
+            Ok(())
+        } else {
+            let deficit = need - self.level;
+            Err(Duration::from_secs_f64(deficit / self.rate))
+        }
+    }
+
+    /// Unconditionally subtracts `n` tokens (post-paid charge, e.g.
+    /// response bytes measured after execution). Never fails; the
+    /// resulting deficit delays the next [`admit`](Self::admit).
+    pub fn charge(&mut self, n: u64, now: Duration) {
+        if self.is_unlimited() {
+            return;
+        }
+        self.refill(now);
+        self.level -= n as f64;
+    }
+
+    /// Current level after refilling to `now` (observability/tests).
+    pub fn level(&mut self, now: Duration) -> f64 {
+        self.refill(now);
+        self.level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn starts_full_and_admits_up_to_burst() {
+        // 100 ops/s, burst factor 2 → 200 token ceiling, starts full.
+        let mut b = TokenBucket::new(100, 2.0, t(0));
+        for _ in 0..200 {
+            assert!(b.admit(1, t(0)).is_ok());
+        }
+        assert!(b.admit(1, t(0)).is_err());
+    }
+
+    #[test]
+    fn refills_at_rate() {
+        let mut b = TokenBucket::new(100, 1.0, t(0));
+        assert!(b.admit(100, t(0)).is_ok());
+        assert!(b.admit(1, t(0)).is_err());
+        // 50 ms at 100/s → 5 tokens.
+        assert!(b.admit(5, t(50)).is_ok());
+        assert!(b.admit(1, t(50)).is_err());
+    }
+
+    #[test]
+    fn retry_after_covers_the_deficit() {
+        let mut b = TokenBucket::new(100, 1.0, t(0));
+        assert!(b.admit(100, t(0)).is_ok());
+        let wait = b.admit(10, t(0)).unwrap_err();
+        // 10 tokens at 100/s → 100 ms.
+        assert_eq!(wait, Duration::from_millis(100));
+        assert!(b.admit(10, t(0) + wait).is_ok());
+    }
+
+    #[test]
+    fn oversized_requests_admit_at_full_and_go_negative() {
+        // Burst ceiling 10, request of 35: admits when full, leaves a
+        // 25-token deficit that delays the next admission.
+        let mut b = TokenBucket::new(10, 1.0, t(0));
+        assert!(b.admit(35, t(0)).is_ok());
+        assert!(b.level(t(0)) < 0.0);
+        let wait = b.admit(1, t(0)).unwrap_err();
+        // Deficit 25 + 1 needed → 26 tokens at 10/s = 2.6 s.
+        assert_eq!(wait, Duration::from_secs_f64(2.6));
+    }
+
+    #[test]
+    fn post_paid_charge_delays_next_admission() {
+        let mut b = TokenBucket::new(100, 1.0, t(0));
+        b.charge(150, t(0));
+        assert!(b.admit(1, t(0)).is_err());
+        // Deficit −50; need 1 more → 51 tokens at 100/s = 510 ms.
+        assert!(b.admit(1, t(510)).is_ok());
+    }
+
+    #[test]
+    fn zero_rate_is_unlimited() {
+        let mut b = TokenBucket::new(0, 2.0, t(0));
+        assert!(b.is_unlimited());
+        for _ in 0..10_000 {
+            assert!(b.admit(u64::MAX / 2, t(0)).is_ok());
+        }
+        b.charge(u64::MAX / 2, t(0));
+        assert!(b.admit(1, t(0)).is_ok());
+    }
+
+    #[test]
+    fn level_never_exceeds_burst() {
+        let mut b = TokenBucket::new(100, 1.5, t(0));
+        // A long idle period must not accumulate beyond the ceiling.
+        assert!(b.level(t(3_600_000)) <= 150.0 + f64::EPSILON);
+    }
+
+    #[test]
+    fn clock_going_backwards_is_tolerated() {
+        // Stale reads from concurrent callers must not panic or refill.
+        let mut b = TokenBucket::new(100, 1.0, t(100));
+        assert!(b.admit(100, t(100)).is_ok());
+        assert!(b.admit(1, t(50)).is_err());
+        assert!(b.admit(1, t(120)).is_ok());
+    }
+}

@@ -1,0 +1,141 @@
+//! Controller-side tenant configuration table.
+//!
+//! The directory stores each tenant's explicitly configured QoS
+//! parameters (weighted-fair share, memory quota, data-plane rate
+//! limits) and answers [`effective`](TenantDirectory::effective) lookups
+//! by falling back to the cluster defaults from
+//! [`QosConfig`](jiffy_common::config::QosConfig) for tenants never
+//! configured. It is plain data — the controller embeds it in its
+//! locked state, journals every mutation (`TenantConfigured`), and
+//! mirrors [`snapshot`](TenantDirectory::snapshot) into crash-recovery
+//! checkpoints.
+
+use std::collections::BTreeMap;
+
+use jiffy_common::config::QosConfig;
+use jiffy_common::TenantId;
+use jiffy_proto::TenantLimit;
+
+/// Per-tenant QoS configuration with cluster-default fallback.
+#[derive(Debug, Clone, Default)]
+pub struct TenantDirectory {
+    defaults: QosConfig,
+    entries: BTreeMap<TenantId, TenantLimit>,
+}
+
+impl TenantDirectory {
+    /// Creates a directory whose unconfigured tenants inherit `defaults`.
+    pub fn new(defaults: QosConfig) -> Self {
+        Self {
+            defaults,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// The cluster defaults this directory falls back to.
+    pub fn defaults(&self) -> &QosConfig {
+        &self.defaults
+    }
+
+    /// The effective limits for `tenant`: its configured entry, or the
+    /// cluster defaults.
+    pub fn effective(&self, tenant: TenantId) -> TenantLimit {
+        self.entries.get(&tenant).cloned().unwrap_or(TenantLimit {
+            tenant,
+            share: self.defaults.default_share,
+            quota_bytes: self.defaults.default_quota_bytes,
+            ops_per_sec: self.defaults.default_ops_per_sec,
+            bytes_per_sec: self.defaults.default_bytes_per_sec,
+        })
+    }
+
+    /// Configures (or reconfigures) a tenant. A zero share is clamped to
+    /// 1 so no tenant can be starved out of the fair division entirely.
+    pub fn set(
+        &mut self,
+        tenant: TenantId,
+        share: u32,
+        quota_bytes: u64,
+        ops_per_sec: u64,
+        bytes_per_sec: u64,
+    ) {
+        self.entries.insert(
+            tenant,
+            TenantLimit {
+                tenant,
+                share: share.max(1),
+                quota_bytes,
+                ops_per_sec,
+                bytes_per_sec,
+            },
+        );
+    }
+
+    /// Every explicitly configured tenant, sorted by tenant id. This is
+    /// what heartbeat acks push to the servers and what crash-recovery
+    /// mirrors persist.
+    pub fn snapshot(&self) -> Vec<TenantLimit> {
+        self.entries.values().cloned().collect()
+    }
+
+    /// Rebuilds the configured set from a snapshot (crash recovery).
+    pub fn install(&mut self, limits: Vec<TenantLimit>) {
+        self.entries = limits.into_iter().map(|l| (l.tenant, l)).collect();
+    }
+
+    /// Tenants with an explicit configuration, sorted by id.
+    pub fn configured(&self) -> impl Iterator<Item = &TenantLimit> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfigured_tenants_inherit_defaults() {
+        let cfg = QosConfig::enabled_with_rates(100, 1000).with_quota_bytes(1 << 20);
+        let dir = TenantDirectory::new(cfg);
+        let eff = dir.effective(TenantId(9));
+        assert_eq!(eff.tenant, TenantId(9));
+        assert_eq!(eff.share, 1);
+        assert_eq!(eff.quota_bytes, 1 << 20);
+        assert_eq!(eff.ops_per_sec, 100);
+        assert_eq!(eff.bytes_per_sec, 1000);
+    }
+
+    #[test]
+    fn set_overrides_and_snapshot_round_trips() {
+        let mut dir = TenantDirectory::new(QosConfig::default());
+        dir.set(TenantId(2), 4, 1 << 30, 500, 0);
+        dir.set(TenantId(1), 2, 0, 0, 0);
+        let eff = dir.effective(TenantId(2));
+        assert_eq!(eff.share, 4);
+        assert_eq!(eff.quota_bytes, 1 << 30);
+        let snap = dir.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert!(snap[0].tenant < snap[1].tenant);
+
+        let mut restored = TenantDirectory::new(QosConfig::default());
+        restored.install(snap.clone());
+        assert_eq!(restored.snapshot(), snap);
+    }
+
+    #[test]
+    fn zero_share_clamps_to_one() {
+        let mut dir = TenantDirectory::new(QosConfig::default());
+        dir.set(TenantId(1), 0, 0, 0, 0);
+        assert_eq!(dir.effective(TenantId(1)).share, 1);
+    }
+
+    #[test]
+    fn reconfiguring_replaces_the_entry() {
+        let mut dir = TenantDirectory::new(QosConfig::default());
+        dir.set(TenantId(1), 2, 100, 10, 10);
+        dir.set(TenantId(1), 8, 200, 20, 20);
+        let eff = dir.effective(TenantId(1));
+        assert_eq!((eff.share, eff.quota_bytes), (8, 200));
+        assert_eq!(dir.snapshot().len(), 1);
+    }
+}

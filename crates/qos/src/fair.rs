@@ -1,0 +1,144 @@
+//! Weighted max-min fair division (water-filling).
+//!
+//! Used by the controller to arbitrate contested block allocations under
+//! memory pressure: each tenant's configured share acts as a weight, and
+//! a tenant whose demand exceeds its weighted fair portion is capped
+//! while unused portions of frugal tenants are redistributed to the
+//! rest. This is the classic progressive-filling algorithm; the result
+//! is the unique weighted max-min fair allocation.
+
+/// Divides `capacity` units among claimants with `(weight, demand)`
+/// pairs, returning the per-claimant grant in input order.
+///
+/// Properties (for positive weights):
+/// - no claimant receives more than its demand;
+/// - the grants sum to at most `capacity` (exactly, when total demand
+///   reaches capacity);
+/// - a claimant whose grant is below its demand has a grant at least as
+///   large, weight-normalized, as every other claimant's (max-min
+///   fairness).
+///
+/// Zero weights are treated as weight 1 so a misconfigured tenant
+/// degrades to an equal share instead of total starvation.
+pub fn weighted_max_min(capacity: u64, demands: &[(u32, u64)]) -> Vec<u64> {
+    let mut grant = vec![0u64; demands.len()];
+    let mut remaining = capacity;
+    // Indices still below their demand, with effective weights.
+    let mut active: Vec<usize> = (0..demands.len()).filter(|&i| demands[i].1 > 0).collect();
+    while !active.is_empty() && remaining > 0 {
+        let total_w: u64 = active.iter().map(|&i| u64::from(demands[i].0.max(1))).sum();
+        // Water level per unit weight this round. Integer division:
+        // leftovers stay in `remaining` and are redistributed next
+        // round; a final sub-`total_w` remainder goes to the first
+        // still-hungry claimants one unit at a time.
+        let per_w = remaining / total_w;
+        let mut progressed = false;
+        let mut next_active = Vec::with_capacity(active.len());
+        for &i in &active {
+            let w = u64::from(demands[i].0.max(1));
+            let offer = per_w.saturating_mul(w);
+            let want = demands[i].1 - grant[i];
+            let take = offer.min(want);
+            grant[i] += take;
+            remaining -= take;
+            if take > 0 {
+                progressed = true;
+            }
+            if grant[i] < demands[i].1 {
+                next_active.push(i);
+            } else {
+                // Saturated claimant drops out; its unused offer was
+                // never subtracted, so it redistributes automatically.
+                progressed = true;
+            }
+        }
+        active = next_active;
+        if !progressed {
+            // remaining < total_w: hand out the last units round-robin
+            // in weight order so the sum is exact.
+            for &i in &active {
+                if remaining == 0 {
+                    break;
+                }
+                let want = demands[i].1 - grant[i];
+                if want > 0 {
+                    grant[i] += 1;
+                    remaining -= 1;
+                }
+            }
+            break;
+        }
+    }
+    grant
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_demands_are_met_in_full() {
+        let g = weighted_max_min(100, &[(1, 10), (2, 20), (1, 5)]);
+        assert_eq!(g, vec![10, 20, 5]);
+    }
+
+    #[test]
+    fn equal_weights_split_contended_capacity_evenly() {
+        let g = weighted_max_min(100, &[(1, 1000), (1, 1000)]);
+        assert_eq!(g, vec![50, 50]);
+    }
+
+    #[test]
+    fn weights_scale_the_contended_split() {
+        let g = weighted_max_min(90, &[(1, 1000), (2, 1000)]);
+        assert_eq!(g, vec![30, 60]);
+    }
+
+    #[test]
+    fn frugal_tenants_unused_share_redistributes() {
+        // Tenant 0 wants only 10 of its fair 50; the surplus goes to
+        // tenant 1 rather than being wasted.
+        let g = weighted_max_min(100, &[(1, 10), (1, 1000)]);
+        assert_eq!(g, vec![10, 90]);
+    }
+
+    #[test]
+    fn grants_never_exceed_capacity_or_demand() {
+        let demands = [(3, 7u64), (1, 0), (2, 100), (1, 13), (5, 1)];
+        for cap in 0..150u64 {
+            let g = weighted_max_min(cap, &demands);
+            assert!(g.iter().sum::<u64>() <= cap);
+            for (gi, (_, d)) in g.iter().zip(demands.iter()) {
+                assert!(gi <= d);
+            }
+        }
+    }
+
+    #[test]
+    fn full_capacity_is_used_when_demand_suffices() {
+        let g = weighted_max_min(100, &[(1, 60), (1, 60)]);
+        assert_eq!(g.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn zero_weight_degrades_to_weight_one() {
+        let g = weighted_max_min(100, &[(0, 1000), (1, 1000)]);
+        assert_eq!(g, vec![50, 50]);
+    }
+
+    #[test]
+    fn empty_and_zero_capacity_edge_cases() {
+        assert!(weighted_max_min(100, &[]).is_empty());
+        assert_eq!(weighted_max_min(0, &[(1, 10)]), vec![0]);
+        assert_eq!(weighted_max_min(100, &[(1, 0)]), vec![0]);
+    }
+
+    #[test]
+    fn tiny_capacity_still_sums_exactly() {
+        // capacity smaller than total weight exercises the round-robin
+        // remainder path.
+        let g = weighted_max_min(3, &[(5, 10), (5, 10), (5, 10), (5, 10)]);
+        assert_eq!(g.iter().sum::<u64>(), 3);
+        assert!(g.iter().all(|&x| x <= 1));
+    }
+}

@@ -96,6 +96,23 @@ impl<S: Service> Deduplicated<S> {
             _ => None,
         }
     }
+
+    /// Throttled answers mean "the server chose not to execute" — the op
+    /// never ran, so there is nothing whose re-execution must be
+    /// suppressed. Caching one would replay the rejection at a retry that
+    /// should be admitted once the tenant's tokens refill.
+    fn is_throttled(resp: &Envelope) -> bool {
+        matches!(
+            resp,
+            Envelope::DataResp {
+                resp: Err(jiffy_common::JiffyError::Throttled { .. }),
+                ..
+            } | Envelope::ControlResp {
+                resp: Err(jiffy_common::JiffyError::Throttled { .. }),
+                ..
+            }
+        )
+    }
 }
 
 impl<S: Service> Service for Deduplicated<S> {
@@ -114,11 +131,13 @@ impl<S: Service> Service for Deduplicated<S> {
         // duplicates may both execute (same race exists on a real network);
         // the cache closes the much wider retry-after-timeout window.
         let resp = self.inner.handle(req, session);
-        self.sessions
-            .lock()
-            .entry(session.id())
-            .or_default()
-            .insert(id, resp.clone(), self.capacity);
+        if !Self::is_throttled(&resp) {
+            self.sessions
+                .lock()
+                .entry(session.id())
+                .or_default()
+                .insert(id, resp.clone(), self.capacity);
+        }
         resp
     }
 
@@ -171,6 +190,7 @@ mod tests {
         Envelope::DataReq {
             id,
             req: DataRequest::Ping,
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         }
     }
 
@@ -247,11 +267,62 @@ mod tests {
                     jiffy_proto::DsOp::Enqueue { item: "b".into() },
                 ],
             },
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         };
         let first = d.handle(batch(11), &s);
         let replayed = d.handle(batch(11), &s);
         assert_eq!(first, replayed);
         assert_eq!(d.inner().executed.load(Ordering::SeqCst), 1);
+        assert_eq!(d.replays(), 1);
+    }
+
+    #[test]
+    fn throttled_responses_are_not_cached() {
+        // A Throttled answer means "did not execute", so a retry with the
+        // same id must reach the service again rather than replay the
+        // rejection forever.
+        struct ThrottleOnce {
+            executed: AtomicUsize,
+        }
+        impl Service for ThrottleOnce {
+            fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
+                let n = self.executed.fetch_add(1, Ordering::SeqCst);
+                let id = match req {
+                    Envelope::DataReq { id, .. } => id,
+                    _ => unreachable!(),
+                };
+                if n == 0 {
+                    Envelope::DataResp {
+                        id,
+                        resp: Err(jiffy_common::JiffyError::Throttled { retry_after_ms: 1 }),
+                    }
+                } else {
+                    Envelope::DataResp {
+                        id,
+                        resp: Ok(DataResponse::Pong),
+                    }
+                }
+            }
+        }
+        let d = Deduplicated::new(ThrottleOnce {
+            executed: AtomicUsize::new(0),
+        });
+        let s = session();
+        let first = d.handle(req(21), &s);
+        assert!(Deduplicated::<ThrottleOnce>::is_throttled(&first));
+        let second = d.handle(req(21), &s);
+        assert_eq!(
+            second,
+            Envelope::DataResp {
+                id: 21,
+                resp: Ok(DataResponse::Pong)
+            }
+        );
+        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 2);
+        assert_eq!(d.replays(), 0);
+        // The successful answer IS cached.
+        let third = d.handle(req(21), &s);
+        assert_eq!(second, third);
         assert_eq!(d.replays(), 1);
     }
 
@@ -262,6 +333,7 @@ mod tests {
         let req = |id| Envelope::ControlReq {
             id,
             req: jiffy_proto::ControlRequest::RegisterJob { name: "t".into() },
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         };
         let a = d.handle(req(9), &s);
         let b = d.handle(req(9), &s);

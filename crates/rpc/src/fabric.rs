@@ -188,6 +188,7 @@ mod tests {
         a.call(Envelope::DataReq {
             id: 1,
             req: DataRequest::Ping,
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         })
         .unwrap();
     }
@@ -221,6 +222,7 @@ mod tests {
         conn.call(Envelope::DataReq {
             id: 1,
             req: DataRequest::Ping,
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         })
         .unwrap();
         assert!(t0.elapsed() >= Duration::from_millis(20));

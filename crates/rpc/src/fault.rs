@@ -465,6 +465,7 @@ mod tests {
         Envelope::DataReq {
             id,
             req: DataRequest::Ping,
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         }
     }
 

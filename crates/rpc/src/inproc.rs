@@ -155,6 +155,7 @@ mod tests {
                 Envelope::DataReq {
                     id,
                     req: DataRequest::Ping,
+                    ..
                 } => {
                     session.push(Notification {
                         block: BlockId(1),
@@ -195,6 +196,7 @@ mod tests {
             .call(Envelope::DataReq {
                 id: 5,
                 req: DataRequest::Ping,
+                tenant: jiffy_common::TenantId::ANONYMOUS,
             })
             .unwrap();
         assert_eq!(
@@ -222,6 +224,7 @@ mod tests {
         conn.call(Envelope::DataReq {
             id: 9,
             req: DataRequest::Ping,
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         })
         .unwrap();
         assert_eq!(seen.load(Ordering::SeqCst), 1);
@@ -261,7 +264,8 @@ mod tests {
         assert!(conn
             .call(Envelope::DataReq {
                 id: 1,
-                req: DataRequest::Ping
+                req: DataRequest::Ping,
+                tenant: jiffy_common::TenantId::ANONYMOUS,
             })
             .is_err());
     }
@@ -277,7 +281,8 @@ mod tests {
         assert!(conn
             .call(Envelope::DataReq {
                 id: 1,
-                req: DataRequest::Ping
+                req: DataRequest::Ping,
+                tenant: jiffy_common::TenantId::ANONYMOUS,
             })
             .is_err());
     }

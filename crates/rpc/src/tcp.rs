@@ -850,16 +850,18 @@ impl Connection for TcpConn {
         // retry can reuse the id and hit the server's replay cache);
         // unstamped requests get a connection-unique id.
         let (id, req) = match req {
-            Envelope::ControlReq { id: 0, req } => {
+            Envelope::ControlReq { id: 0, req, tenant } => {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                (id, Envelope::ControlReq { id, req })
+                (id, Envelope::ControlReq { id, req, tenant })
             }
-            Envelope::DataReq { id: 0, req } => {
+            Envelope::DataReq { id: 0, req, tenant } => {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                (id, Envelope::DataReq { id, req })
+                (id, Envelope::DataReq { id, req, tenant })
             }
-            Envelope::ControlReq { id, req } => (id, Envelope::ControlReq { id, req }),
-            Envelope::DataReq { id, req } => (id, Envelope::DataReq { id, req }),
+            Envelope::ControlReq { id, req, tenant } => {
+                (id, Envelope::ControlReq { id, req, tenant })
+            }
+            Envelope::DataReq { id, req, tenant } => (id, Envelope::DataReq { id, req, tenant }),
             other => {
                 return Err(JiffyError::Rpc(format!(
                     "cannot call with non-request envelope {other:?}"
@@ -940,6 +942,7 @@ mod tests {
                 Envelope::DataReq {
                     id,
                     req: DataRequest::Ping,
+                    ..
                 } => {
                     session.push(Notification {
                         block: BlockId(0),
@@ -952,7 +955,7 @@ mod tests {
                         resp: Ok(DataResponse::Pong),
                     }
                 }
-                Envelope::DataReq { id, req } => Envelope::DataResp {
+                Envelope::DataReq { id, req, .. } => Envelope::DataResp {
                     id,
                     resp: Err(JiffyError::Internal(format!("unexpected {req:?}"))),
                 },
@@ -991,6 +994,7 @@ mod tests {
                 .call(Envelope::DataReq {
                     id: 0,
                     req: DataRequest::Ping,
+                    tenant: jiffy_common::TenantId::ANONYMOUS,
                 })
                 .unwrap();
             assert!(matches!(
@@ -1027,6 +1031,7 @@ mod tests {
                         .call(Envelope::DataReq {
                             id: 0,
                             req: DataRequest::Ping,
+                            tenant: jiffy_common::TenantId::ANONYMOUS,
                         })
                         .unwrap();
                     assert!(matches!(
@@ -1054,6 +1059,7 @@ mod tests {
             .call(Envelope::DataReq {
                 id: 0,
                 req: DataRequest::Ping,
+                tenant: jiffy_common::TenantId::ANONYMOUS,
             })
             .unwrap_err();
         assert!(matches!(err, JiffyError::Timeout { .. }), "got {err:?}");
@@ -1076,7 +1082,8 @@ mod tests {
         assert!(conn
             .call(Envelope::DataReq {
                 id: 0,
-                req: DataRequest::Ping
+                req: DataRequest::Ping,
+                tenant: jiffy_common::TenantId::ANONYMOUS,
             })
             .is_err());
         drop(server);
@@ -1095,7 +1102,8 @@ mod tests {
                 assert!(conn
                     .call(Envelope::DataReq {
                         id: 0,
-                        req: DataRequest::Ping
+                        req: DataRequest::Ping,
+                        tenant: jiffy_common::TenantId::ANONYMOUS,
                     })
                     .is_err());
             }
@@ -1128,6 +1136,7 @@ mod tests {
         conn.call(Envelope::DataReq {
             id: 0,
             req: DataRequest::Ping,
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         })
         .unwrap();
         assert_eq!(server.live_sessions(), 1);

@@ -51,6 +51,7 @@ fn req(id: u64) -> Envelope {
     Envelope::DataReq {
         id,
         req: DataRequest::Ping,
+        tenant: jiffy_common::TenantId::ANONYMOUS,
     }
 }
 

@@ -19,6 +19,7 @@ fn ping(id: u64) -> Envelope {
     Envelope::DataReq {
         id,
         req: DataRequest::Ping,
+        tenant: jiffy_common::TenantId::ANONYMOUS,
     }
 }
 

@@ -5,11 +5,13 @@ use jiffy_sync::Arc;
 
 use crossbeam::channel::{unbounded, Sender};
 use jiffy_block::{Block, BlockStore, PartitionRegistry, ThresholdEvent};
-use jiffy_common::{BlockId, JiffyConfig, JiffyError, Result, ServerId};
+use jiffy_common::clock::SystemClock;
+use jiffy_common::{BlockId, JiffyConfig, JiffyError, Result, ServerId, TenantId};
 use jiffy_proto::{
     ControlRequest, ControlResponse, DataRequest, DataResponse, DsOp, DsResult, Envelope,
     MergeSpec, SplitSpec,
 };
+use jiffy_qos::AdmissionControl;
 use jiffy_rpc::{Fabric, Service, SessionHandle};
 use jiffy_sync::Mutex;
 
@@ -54,6 +56,9 @@ pub struct MemoryServer {
     identity: Mutex<Option<(ServerId, String)>>,
     event_tx: Sender<(BlockId, ThresholdEvent)>,
     stats: StatCells,
+    /// Per-tenant data-plane admission control (token buckets + load
+    /// accounting); limits refresh from heartbeat acks.
+    qos: AdmissionControl,
 }
 
 impl MemoryServer {
@@ -62,6 +67,7 @@ impl MemoryServer {
         let mut registry = PartitionRegistry::new();
         jiffy_ds::register_builtins(&mut registry);
         let (event_tx, event_rx) = unbounded::<(BlockId, ThresholdEvent)>();
+        let qos = AdmissionControl::new(cfg.qos.clone(), SystemClock::shared());
         let server = Arc::new(Self {
             cfg,
             store: BlockStore::new(),
@@ -72,6 +78,7 @@ impl MemoryServer {
             identity: Mutex::new(None),
             event_tx,
             stats: StatCells::default(),
+            qos,
         });
         // Asynchronous threshold reporting: ops never block on the
         // controller (paper §3.3 — repartitioning is asynchronous).
@@ -113,6 +120,7 @@ impl MemoryServer {
                 addr: addr.to_string(),
                 capacity_blocks,
             },
+            tenant: TenantId::ANONYMOUS,
         })?;
         let (server_id, blocks) = match resp {
             Envelope::ControlResp {
@@ -164,13 +172,30 @@ impl MemoryServer {
         }
     }
 
+    /// Installs a tenant limit table into admission control right now.
+    /// The heartbeat loop refreshes the table each interval; this lets a
+    /// share change take effect without waiting for the next beat.
+    pub fn install_tenant_limits(&self, limits: &[jiffy_proto::TenantLimit]) {
+        self.qos.install_limits(limits);
+    }
+
+    /// Per-tenant load counters observed by this server's admission
+    /// control (what the heartbeat reports to the controller).
+    pub fn tenant_loads(&self) -> Vec<jiffy_proto::TenantLoad> {
+        self.qos.loads()
+    }
+
     fn report_threshold(&self, block: BlockId, event: ThresholdEvent) {
         let req = match event {
             ThresholdEvent::Overloaded { used } => ControlRequest::ReportOverload { block, used },
             ThresholdEvent::Underloaded { used } => ControlRequest::ReportUnderload { block, used },
         };
         if let Ok(conn) = self.fabric.connect(&self.controller_addr) {
-            let _ = conn.call(Envelope::ControlReq { id: 0, req });
+            let _ = conn.call(Envelope::ControlReq {
+                id: 0,
+                req,
+                tenant: TenantId::ANONYMOUS,
+            });
         }
     }
 
@@ -365,12 +390,14 @@ impl MemoryServer {
                 continue;
             }
             let conn = self.fabric.connect(&replica.addr)?;
+            // Server-to-server transfer: exempt from admission control.
             match conn.call(Envelope::DataReq {
                 id: 0,
                 req: DataRequest::ImportPayload {
                     block: replica.block,
                     payload: payload.into(),
                 },
+                tenant: TenantId::ANONYMOUS,
             })? {
                 Envelope::DataResp { resp: Ok(_), .. } => {}
                 Envelope::DataResp { resp: Err(e), .. } => return Err(e),
@@ -405,6 +432,10 @@ impl MemoryServer {
         // replication: a write is durable once the tail has it).
         if let Some((next, rest)) = downstream.split_first() {
             let conn = self.fabric.connect(&next.addr)?;
+            // The chain-head already charged this op against the tenant;
+            // forwarding anonymously keeps replication from multiplying
+            // the charge (and from being throttled mid-chain, which
+            // would leave replicas diverged).
             match conn.call(Envelope::DataReq {
                 id: 0,
                 req: DataRequest::Replicate {
@@ -412,6 +443,7 @@ impl MemoryServer {
                     op: op.clone(),
                     downstream: rest.to_vec(),
                 },
+                tenant: TenantId::ANONYMOUS,
             })? {
                 Envelope::DataResp { resp: Ok(_), .. } => {}
                 Envelope::DataResp { resp: Err(e), .. } => return Err(e),
@@ -421,7 +453,73 @@ impl MemoryServer {
         Ok(result)
     }
 
-    fn dispatch(&self, req: DataRequest, session: &SessionHandle) -> Result<DataResponse> {
+    /// The `(ops, ingress bytes)` cost admission control charges for a
+    /// request, or `None` for requests exempt from throttling (reads of
+    /// metadata, subscriptions, and controller/server-internal traffic).
+    fn admission_cost(req: &DataRequest) -> Option<(u64, u64)> {
+        match req {
+            DataRequest::Op { op, .. } | DataRequest::Replicate { op, .. } => {
+                Some((1, op.ingress_bytes()))
+            }
+            DataRequest::Batch { ops, .. } => {
+                Some((ops.len() as u64, ops.iter().map(DsOp::ingress_bytes).sum()))
+            }
+            // Exempt: metadata reads, subscriptions, liveness, and the
+            // block-lifecycle RPCs the controller/servers drive
+            // (migration, split/merge, seal) — internal traffic must
+            // never throttle, or repair stalls behind a hot tenant.
+            DataRequest::Subscribe { .. }
+            | DataRequest::Unsubscribe { .. }
+            | DataRequest::Usage { .. }
+            | DataRequest::ImportPayload { .. }
+            | DataRequest::SplitBlock { .. }
+            | DataRequest::MergeBlock { .. }
+            | DataRequest::InitBlock { .. }
+            | DataRequest::ResetBlock { .. }
+            | DataRequest::ExportBlock { .. }
+            | DataRequest::SealBlock { .. }
+            | DataRequest::RetireBlock { .. }
+            | DataRequest::Ping => None,
+        }
+    }
+
+    /// Response payload bytes charged against the tenant's egress lane
+    /// after execution (post-paid: a large dequeue drains the budget for
+    /// subsequent ops rather than being rejected mid-flight).
+    fn egress_cost(resp: &DataResponse) -> u64 {
+        match resp {
+            DataResponse::OpResult(r) => r.egress_bytes(),
+            DataResponse::Batch(results) => results
+                .iter()
+                .map(|r| r.as_ref().map_or(0, DsResult::egress_bytes))
+                .sum(),
+            _ => 0,
+        }
+    }
+
+    fn dispatch(
+        &self,
+        req: DataRequest,
+        tenant: TenantId,
+        session: &SessionHandle,
+    ) -> Result<DataResponse> {
+        // Admission control runs BEFORE any execution or replay-cache
+        // registration: a `Throttled` answer is a server-definitive
+        // "did not execute", so clients may freely re-send. Ops that
+        // pass are charged immediately (ingress); their response bytes
+        // are charged after execution (egress).
+        if let Some((ops, bytes)) = Self::admission_cost(&req) {
+            self.qos.admit(tenant, ops, bytes)?;
+        }
+        let resp = self.dispatch_inner(req, session)?;
+        let egress = Self::egress_cost(&resp);
+        if egress > 0 {
+            self.qos.charge_egress(tenant, egress);
+        }
+        Ok(resp)
+    }
+
+    fn dispatch_inner(&self, req: DataRequest, session: &SessionHandle) -> Result<DataResponse> {
         match req {
             DataRequest::Op { block, op } => {
                 Ok(DataResponse::OpResult(self.execute_op(block, &op)?))
@@ -545,15 +643,30 @@ impl MemoryServer {
             server: server_id,
             used_blocks: used,
             free_blocks: total.saturating_sub(used),
+            tenant_loads: self.qos.loads(),
         };
         let Ok(conn) = self.fabric.connect(&self.controller_addr) else {
             return true;
         };
-        match conn.call(Envelope::ControlReq { id: 0, req }) {
+        match conn.call(Envelope::ControlReq {
+            id: 0,
+            req,
+            tenant: TenantId::ANONYMOUS,
+        }) {
             Ok(Envelope::ControlResp {
                 resp: Err(JiffyError::UnknownServer(_)),
                 ..
             }) => false,
+            Ok(Envelope::ControlResp {
+                resp: Ok(ControlResponse::HeartbeatAck { limits }),
+                ..
+            }) => {
+                // The heartbeat doubles as the QoS control loop: the
+                // controller piggybacks the current tenant limit table
+                // on the ack and we swap it into admission control.
+                self.qos.install_limits(&limits);
+                true
+            }
             Ok(_) => true,
             Err(_) => {
                 // The pooled connection may point at a crashed controller;
@@ -568,9 +681,9 @@ impl MemoryServer {
 impl Service for MemoryServer {
     fn handle(&self, req: Envelope, session: &SessionHandle) -> Envelope {
         match req {
-            Envelope::DataReq { id, req } => Envelope::DataResp {
+            Envelope::DataReq { id, req, tenant } => Envelope::DataResp {
                 id,
-                resp: self.dispatch(req, session),
+                resp: self.dispatch(req, tenant, session),
             },
             Envelope::ControlReq { id, .. } => Envelope::ControlResp {
                 id,
@@ -623,7 +736,12 @@ mod tests {
 
     fn control(fabric: &Fabric, addr: &str, req: ControlRequest) -> ControlResponse {
         let conn = fabric.connect(addr).unwrap();
-        match conn.call(Envelope::ControlReq { id: 0, req }).unwrap() {
+        let env = Envelope::ControlReq {
+            id: 0,
+            req,
+            tenant: TenantId::ANONYMOUS,
+        };
+        match conn.call(env).unwrap() {
             Envelope::ControlResp { resp, .. } => resp.unwrap(),
             other => panic!("{other:?}"),
         }
@@ -631,7 +749,12 @@ mod tests {
 
     fn data(fabric: &Fabric, addr: &str, req: DataRequest) -> Result<DataResponse> {
         let conn = fabric.connect(addr).unwrap();
-        match conn.call(Envelope::DataReq { id: 0, req }).unwrap() {
+        let env = Envelope::DataReq {
+            id: 0,
+            req,
+            tenant: TenantId::ANONYMOUS,
+        };
+        match conn.call(env).unwrap() {
             Envelope::DataResp { resp, .. } => resp,
             other => panic!("{other:?}"),
         }
@@ -989,6 +1112,7 @@ mod tests {
                     block: loc.id(),
                     ops: vec![jiffy_proto::OpKind::Enqueue],
                 },
+                tenant: TenantId::ANONYMOUS,
             })
             .unwrap();
         for _ in 0..3 {

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use jiffy::cluster::JiffyCluster;
 use jiffy::{JiffyClient, JiffyConfig};
 use jiffy_common::clock::ManualClock;
-use jiffy_harness::{run, ElasticAction, HarnessConfig, WorkloadMix};
+use jiffy_harness::{run, ElasticAction, HarnessConfig, TenantQos, WorkloadMix};
 use jiffy_persistent::MemObjectStore;
 use jiffy_rpc::{FaultInjector, FaultRule};
 
@@ -266,6 +266,50 @@ fn kill_then_join_then_drain_stacked_chaos() {
             (40, ElasticAction::JoinServer),
             (80, ElasticAction::KillServer),
             (120, ElasticAction::DrainServer),
+        ],
+        ..HarnessConfig::default()
+    };
+    run(&cfg).unwrap().assert_ok();
+}
+
+#[test]
+fn throttled_aggressor_under_membership_churn_never_hurts_the_victim() {
+    // Two tenants share the cluster: tenant 1 (workers 0 and 2) runs a
+    // normal workload, tenant 2 (worker 1) is an aggressor pinned to a
+    // tight op-rate limit, and a server joins then another drains away
+    // mid-run. The history checker proves every acked write of *both*
+    // tenants landed exactly once — throttling is retryable and never
+    // double-executes — and the isolation checker proves neither tenant
+    // can read the other's keys.
+    //
+    // Churn here is graceful (drain) rather than an abrupt kill: the
+    // replay cache that makes lost-reply retries exactly-once lives in
+    // the chain head's sessions, so an abrupt head kill between a lost
+    // reply and its retry can re-execute an op on the promoted chain.
+    // That gap predates QoS (throttling merely stretches the run so
+    // churn lands amid more in-flight ops) and is tracked as a ROADMAP
+    // open item; this test pins the QoS contract, not that gap.
+    lower_call_timeout();
+    let cfg = HarnessConfig {
+        seed: 0x0A05_0001,
+        workers: 3,
+        tenants: 2,
+        ops_per_worker: 120,
+        rule: light_chaos().with_duplicate(0.03),
+        mix: WorkloadMix::kv_only(),
+        num_servers: 3,
+        chain_length: 2,
+        qos: Some(jiffy_common::QosConfig::enabled_with_rates(0, 0)),
+        tenant_limits: vec![TenantQos {
+            tenant_index: 1,
+            share: 1,
+            quota_bytes: 0,
+            ops_per_sec: 300,
+            bytes_per_sec: 0,
+        }],
+        elastic: vec![
+            (60, ElasticAction::JoinServer),
+            (150, ElasticAction::DrainServer),
         ],
         ..HarnessConfig::default()
     };

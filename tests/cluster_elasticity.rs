@@ -87,6 +87,7 @@ fn heartbeats_keep_servers_alive_and_silence_means_dead() {
             server: ghost,
             used_blocks: 0,
             free_blocks: 0,
+            tenant_loads: Vec::new(),
         })
         .unwrap_err();
     assert!(matches!(err, JiffyError::UnknownServer(_)), "{err:?}");

@@ -56,7 +56,7 @@ impl ScaleStore {
 impl Service for ScaleStore {
     fn handle(&self, req: Envelope, _session: &SessionHandle) -> Envelope {
         match req {
-            Envelope::DataReq { id, req } => {
+            Envelope::DataReq { id, req, .. } => {
                 let resp = match req {
                     DataRequest::Ping => DataResponse::Pong,
                     DataRequest::Op { op, .. } => DataResponse::OpResult(self.op(op)),
@@ -111,6 +111,7 @@ fn put(key: &str, value: &str) -> Envelope {
                 value: value.into(),
             },
         },
+        tenant: jiffy_common::TenantId::ANONYMOUS,
     }
 }
 
@@ -121,6 +122,7 @@ fn batch(ops: Vec<DsOp>) -> Envelope {
             block: BlockId(0),
             ops,
         },
+        tenant: jiffy_common::TenantId::ANONYMOUS,
     }
 }
 
@@ -282,6 +284,7 @@ fn reactor_sustains_session_ramp_with_no_lost_acks() {
             .call(Envelope::DataReq {
                 id: 0,
                 req: DataRequest::Ping,
+                tenant: jiffy_common::TenantId::ANONYMOUS,
             })
             .expect("warmup ping");
         assert!(is_ok_resp(&resp));

@@ -84,7 +84,12 @@ impl Partition for CounterPartition {
 
 fn data(fabric: &Fabric, addr: &str, req: DataRequest) -> Result<DataResponse> {
     let conn = fabric.connect(addr)?;
-    match conn.call(Envelope::DataReq { id: 0, req })? {
+    let env = Envelope::DataReq {
+        id: 0,
+        req,
+        tenant: jiffy_common::TenantId::ANONYMOUS,
+    };
+    match conn.call(env)? {
         Envelope::DataResp { resp, .. } => resp,
         other => panic!("{other:?}"),
     }
@@ -126,6 +131,7 @@ fn custom_counter_structure_runs_on_a_memory_server() {
             req: ControlRequest::RegisterJob {
                 name: "custom".into(),
             },
+            tenant: jiffy_common::TenantId::ANONYMOUS,
         })
         .unwrap()
     {

@@ -425,6 +425,7 @@ const MUTATING_CONTROL_ARMS: &[&str] = &[
     "LeaveServer",
     "ReportOverload",
     "ReportUnderload",
+    "SetTenantShare",
 ];
 
 /// Rule 5: a mutating `ControlRequest::` arm that mints its own

@@ -14,8 +14,9 @@
 //!                 suite. Exits 1 if any rule fires.
 //!   bench-smoke   run every criterion bench in quick mode
 //!                 (JIFFY_BENCH_QUICK=1: fixed low sample count) plus the
-//!                 dataplane throughput bin — a compile-and-run gate, not
-//!                 a measurement. Exits 1 if any bench fails to run.
+//!                 dataplane throughput and noisy neighbor bins — a
+//!                 compile-and-run gate, not a measurement. Exits 1 if
+//!                 any bench fails to run.
 //!
 //! `--json` prints one object per violation on stdout
 //! (`{"file":..,"line":..,"rule":..,"message":..}` inside a top-level
@@ -170,7 +171,7 @@ fn json_escape(s: &str) -> String {
 /// Runs the criterion suite and the dataplane throughput bin in quick
 /// mode. Proves the benches compile and complete; discards the numbers.
 fn bench_smoke() -> ExitCode {
-    let steps: [(&str, &[&str]); 2] = [
+    let steps: [(&str, &[&str]); 3] = [
         ("criterion benches", &["bench", "-p", "jiffy-bench"]),
         (
             "dataplane throughput bin",
@@ -181,6 +182,17 @@ fn bench_smoke() -> ExitCode {
                 "jiffy-bench",
                 "--bin",
                 "dataplane_throughput",
+            ],
+        ),
+        (
+            "noisy neighbor bin",
+            &[
+                "run",
+                "--release",
+                "-p",
+                "jiffy-bench",
+                "--bin",
+                "noisy_neighbor",
             ],
         ),
     ];
