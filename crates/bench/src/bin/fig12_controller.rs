@@ -186,11 +186,11 @@ fn main() {
         let mut per_shard = Vec::new();
         for s in 0..shards {
             let ctrl = sharded.shard(s);
-            let job = setup_job(ctrl);
+            let job = setup_job(&ctrl);
             let mut ops = 0u64;
             let t0 = Instant::now();
             while t0.elapsed() < Duration::from_millis(200) {
-                one_op(ctrl, job, ops);
+                one_op(&ctrl, job, ops);
                 ops += 1;
             }
             per_shard.push(ops as f64 / t0.elapsed().as_secs_f64());

@@ -50,8 +50,18 @@ impl DsCore {
             })
     }
 
+    /// Called when a memory server disproves our routing view
+    /// (`StaleMetadata` / `BlockMoved` / `UnknownBlock`): the cached
+    /// resolution is wrong by construction, so bypass the metadata
+    /// cache and force one fresh resolve, refilling it for everyone.
     fn refresh(&self) -> Result<()> {
-        let view = Self::fetch_view(&self.job, &self.name)?;
+        let prefix = self.job.resolve_fresh(&self.name)?;
+        let view = prefix
+            .partition
+            .ok_or_else(|| JiffyError::WrongDataStructure {
+                expected: "a bound data structure".into(),
+                found: "bare prefix".into(),
+            })?;
         *self.view.write() = view;
         Ok(())
     }

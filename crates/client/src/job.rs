@@ -9,6 +9,7 @@ use jiffy_proto::{
 };
 use jiffy_rpc::{Fabric, RetryPolicy};
 
+use crate::cache::MetadataCache;
 use crate::ds::{FileClient, KvClient, QueueClient};
 use crate::lease::LeaseRenewer;
 use crate::rid::next_request_id;
@@ -21,6 +22,9 @@ pub struct JiffyClient {
     controller_addr: String,
     retry: RetryPolicy,
     tenant: TenantId,
+    /// Lease-guarded metadata cache, shared by every handle cloned from
+    /// this connection (DESIGN.md §15).
+    cache: Arc<MetadataCache>,
 }
 
 impl JiffyClient {
@@ -38,6 +42,7 @@ impl JiffyClient {
             controller_addr: jiffy_address.to_string(),
             retry: RetryPolicy::default(),
             tenant: TenantId::ANONYMOUS,
+            cache: Arc::new(MetadataCache::new()),
         })
     }
 
@@ -79,6 +84,11 @@ impl JiffyClient {
         &self.retry
     }
 
+    /// The lease-guarded metadata cache behind [`JobClient::resolve`].
+    pub fn metadata_cache(&self) -> &Arc<MetadataCache> {
+        &self.cache
+    }
+
     /// Issues one control request.
     ///
     /// The request is stamped with a process-unique id and transport
@@ -91,6 +101,19 @@ impl JiffyClient {
     ///
     /// Transport failures (after retries) or controller-side errors.
     pub fn control(&self, req: ControlRequest) -> Result<ControlResponse> {
+        self.control_with_epoch(req).map(|(resp, _)| resp)
+    }
+
+    /// [`Self::control`], additionally returning the view epoch the
+    /// controller stamped on the response envelope. Every response's
+    /// epoch is folded into the metadata cache here, so any control
+    /// traffic (above all the lease renewals a live job sends anyway)
+    /// doubles as the cache-invalidation channel.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures (after retries) or controller-side errors.
+    pub fn control_with_epoch(&self, req: ControlRequest) -> Result<(ControlResponse, u64)> {
         // A `Throttled` answer means the controller deferred the request
         // before executing it (fair-share arbitration under memory
         // pressure) and throttled responses bypass the replay cache, so
@@ -105,7 +128,12 @@ impl JiffyClient {
                         req: req.clone(),
                         tenant: self.tenant,
                     })? {
-                        Envelope::ControlResp { resp, .. } => resp,
+                        Envelope::ControlResp { resp, epoch, .. } => {
+                            // Replayed (deduplicated) responses may carry
+                            // an older epoch; observe_epoch is monotonic.
+                            self.cache.observe_epoch(epoch);
+                            resp.map(|r| (r, epoch))
+                        }
                         other => Err(JiffyError::Rpc(format!(
                             "unexpected controller reply: {other:?}"
                         ))),
@@ -247,12 +275,33 @@ impl JobClient {
     /// # Errors
     ///
     /// Controller-side validation; nodes must be topologically ordered.
+    ///
+    /// Against a sharded control plane the DAG's root groups may hash to
+    /// different shards; the router then answers
+    /// [`ControlResponse::CrossShard`] and this method orchestrates the
+    /// creation client-side, re-issuing each spec individually in
+    /// topological order (each lands on its own root's shard).
+    /// Non-atomic: a failure mid-way leaves earlier nodes created, like
+    /// a partially-executed sequence of `create_addr_prefix` calls.
     pub fn create_hierarchy(&self, nodes: Vec<DagNodeSpec>) -> Result<()> {
-        self.client.control(ControlRequest::CreateHierarchy {
+        match self.client.control(ControlRequest::CreateHierarchy {
             job: self.job,
-            nodes,
-        })?;
-        Ok(())
+            nodes: nodes.clone(),
+        })? {
+            ControlResponse::CrossShard { .. } => {
+                for spec in nodes {
+                    self.client.control(ControlRequest::CreatePrefix {
+                        job: self.job,
+                        name: spec.name,
+                        parents: spec.parents,
+                        ds: spec.ds,
+                        initial_blocks: spec.initial_blocks,
+                    })?;
+                }
+                Ok(())
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Adds an extra parent edge, giving a prefix an additional address.
@@ -279,21 +328,56 @@ impl JobClient {
             job: self.job,
             name: name.to_string(),
         })?;
+        self.client
+            .metadata_cache()
+            .invalidate(self.job.raw(), name);
         Ok(())
     }
 
     /// Resolves a prefix (by name or dotted path) to its current view.
     ///
+    /// Served from the lease-guarded metadata cache when a fresh entry
+    /// exists — the steady-state path never touches the controller.
+    /// Misses coalesce (single-flight) and fill the cache with a TTL of
+    /// the prefix's lease duration; the entry also dies if the control
+    /// plane's view epoch advances (splits, merges, migrations,
+    /// reclaims anywhere bump it).
+    ///
     /// # Errors
     ///
     /// [`JiffyError::PathNotFound`] for unknown paths.
     pub fn resolve(&self, path: &str) -> Result<PrefixView> {
-        match self.client.control(ControlRequest::ResolvePrefix {
-            job: self.job,
-            name: path.to_string(),
-        })? {
-            ControlResponse::Resolved(v) => Ok(v),
-            other => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+        let cache = self.client.metadata_cache();
+        if let Some(view) = cache.lookup(self.job.raw(), path) {
+            return Ok(view);
+        }
+        cache.resolve_coalesced(self.job.raw(), path, || self.resolve_rpc(path))
+    }
+
+    /// Drops any cached view of `path` and re-resolves from the
+    /// controller. The data-structure handles call this when a memory
+    /// server disproves the cached layout (`StaleMetadata`,
+    /// `BlockMoved`, `UnknownBlock`): exactly one refresh RPC per
+    /// stale entry, then the operation retries against the new chain.
+    ///
+    /// # Errors
+    ///
+    /// [`JiffyError::PathNotFound`] for unknown paths.
+    pub fn resolve_fresh(&self, path: &str) -> Result<PrefixView> {
+        let cache = self.client.metadata_cache();
+        cache.invalidate(self.job.raw(), path);
+        cache.resolve_coalesced(self.job.raw(), path, || self.resolve_rpc(path))
+    }
+
+    fn resolve_rpc(&self, path: &str) -> Result<(PrefixView, u64)> {
+        match self
+            .client
+            .control_with_epoch(ControlRequest::ResolvePrefix {
+                job: self.job,
+                name: path.to_string(),
+            })? {
+            (ControlResponse::Resolved(v), epoch) => Ok((v, epoch)),
+            (other, _) => Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
         }
     }
 
@@ -425,6 +509,7 @@ impl JobClient {
     pub fn deregister(&self) -> Result<()> {
         self.client
             .control(ControlRequest::DeregisterJob { job: self.job })?;
+        self.client.metadata_cache().invalidate_job(self.job.raw());
         Ok(())
     }
 }

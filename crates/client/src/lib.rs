@@ -18,7 +18,13 @@
 //! (the layout changed under the client), the handle refreshes its view
 //! from the controller and retries — the client-visible face of Jiffy's
 //! asynchronous repartitioning.
+//!
+//! Resolutions are additionally cached in a lease-guarded
+//! [`MetadataCache`] shared by every handle of a [`JiffyClient`], so
+//! steady-state data operations never touch the controller at all
+//! (DESIGN.md §15).
 
+pub mod cache;
 pub mod ds;
 pub mod job;
 pub mod lease;
@@ -26,6 +32,7 @@ pub mod listener;
 pub mod rid;
 mod throttle;
 
+pub use cache::{CacheStats, MetadataCache};
 pub use ds::{FileClient, KvClient, QueueClient};
 pub use job::{JiffyClient, JobClient};
 pub use lease::LeaseRenewer;

@@ -119,6 +119,18 @@ pub enum JiffyError {
     },
 }
 
+impl JiffyError {
+    /// A retryable outage of controller shard `idx` — its slot is dark
+    /// between a crash and recovery. Minted here (not at the call site)
+    /// because `Unavailable` drives `is_transport()` retry semantics and
+    /// may only be constructed by the transport layer: a dark shard must
+    /// look exactly like an unreachable peer to clients, so their
+    /// existing retry/backoff path rides through the restart.
+    pub fn shard_unavailable(idx: u32) -> Self {
+        Self::Unavailable(format!("controller shard {idx}"))
+    }
+}
+
 impl fmt::Display for JiffyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

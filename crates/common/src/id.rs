@@ -90,10 +90,16 @@ impl Default for TenantId {
 /// A monotonically increasing generator for any of the ID newtypes.
 ///
 /// The controller owns one generator per ID kind; IDs therefore never
-/// collide within a controller's lifetime.
+/// collide within a controller's lifetime. A *strided* generator (see
+/// [`IdGen::strided`]) issues only values in one residue class, so N
+/// controller shards minting from disjoint classes never collide with
+/// each other either — and `id % N` recovers the owning shard.
 #[derive(Debug, Default)]
 pub struct IdGen {
     next: AtomicU64,
+    /// Increment per issued id. Zero (the `Default`) behaves as one, so
+    /// the derived default matches [`IdGen::new`].
+    step: AtomicU64,
 }
 
 impl IdGen {
@@ -101,6 +107,7 @@ impl IdGen {
     pub const fn new() -> Self {
         Self {
             next: AtomicU64::new(0),
+            step: AtomicU64::new(1),
         }
     }
 
@@ -108,12 +115,25 @@ impl IdGen {
     pub const fn starting_at(start: u64) -> Self {
         Self {
             next: AtomicU64::new(start),
+            step: AtomicU64::new(1),
+        }
+    }
+
+    /// Creates a generator issuing `start, start + step, start + 2·step,
+    /// ...` — ids stay in the residue class `start mod step`, which is
+    /// how controller shards partition one id space without
+    /// coordination.
+    pub const fn strided(start: u64, step: u64) -> Self {
+        Self {
+            next: AtomicU64::new(start),
+            step: AtomicU64::new(step),
         }
     }
 
     /// Issues the next raw ID value.
     pub fn next_raw(&self) -> u64 {
-        self.next.fetch_add(1, Ordering::Relaxed)
+        let step = self.step.load(Ordering::Relaxed).max(1);
+        self.next.fetch_add(step, Ordering::Relaxed)
     }
 
     /// Issues the next ID converted into the requested newtype.
@@ -131,6 +151,23 @@ impl IdGen {
     /// No-op if the generator is already past it.
     pub fn bump_to(&self, floor: u64) {
         self.next.fetch_max(floor, Ordering::Relaxed);
+    }
+
+    /// Converts this generator into a strided one issuing ids ≡ `index`
+    /// (mod `count`), advancing the frontier to the smallest value of
+    /// that class not below the current frontier. Installing the same
+    /// stride on a generator recovered from a checkpoint is a no-op on
+    /// the frontier (checkpointed frontiers are already in class).
+    pub fn set_stride(&self, index: u64, count: u64) {
+        let count = count.max(1);
+        let cur = self.next.load(Ordering::Relaxed);
+        let aligned = if cur % count <= index {
+            cur - (cur % count) + index
+        } else {
+            cur - (cur % count) + index + count
+        };
+        self.next.fetch_max(aligned, Ordering::Relaxed);
+        self.step.store(count, Ordering::Relaxed);
     }
 }
 
@@ -192,6 +229,32 @@ mod tests {
         }
         let set: HashSet<u64> = all.iter().copied().collect();
         assert_eq!(set.len(), 1000);
+    }
+
+    #[test]
+    fn strided_idgen_stays_in_residue_class() {
+        let g = IdGen::strided(2, 4);
+        let ids: Vec<u64> = (0..16).map(|_| g.next_raw()).collect();
+        assert_eq!(ids[0], 2);
+        assert!(ids.iter().all(|v| v % 4 == 2));
+        assert!(ids.windows(2).all(|w| w[1] == w[0] + 4));
+    }
+
+    #[test]
+    fn set_stride_aligns_frontier_up_into_class() {
+        // Frontier 6, class 1 mod 4 → next aligned value is 9.
+        let g = IdGen::starting_at(6);
+        g.set_stride(1, 4);
+        assert_eq!(g.next_raw(), 9);
+        assert_eq!(g.next_raw(), 13);
+        // Frontier 4, class 1 mod 4 → rounds up within the block to 5.
+        let g = IdGen::starting_at(4);
+        g.set_stride(1, 4);
+        assert_eq!(g.next_raw(), 5);
+        // A frontier already in class is untouched (checkpoint resume).
+        let g = IdGen::starting_at(13);
+        g.set_stride(1, 4);
+        assert_eq!(g.next_raw(), 13);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use jiffy_proto::{
 };
 use jiffy_qos::{weighted_max_min, TenantDirectory};
 use jiffy_rpc::{Fabric, Service, SessionHandle};
+use jiffy_sync::atomic::{AtomicU64, Ordering};
 use jiffy_sync::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -368,6 +369,10 @@ type UnderloadOutcome = (
     Option<BlockLocation>,
 );
 
+/// One row per registered job: `(job, job name, [(node, parents)])`.
+/// What the shard router consumes to rebuild its root-component table.
+pub(crate) type HierarchyEdges = Vec<(JobId, String, Vec<(String, Vec<String>)>)>;
+
 pub(crate) struct CtrlState {
     pub(crate) jobs: HashMap<JobId, JobEntry>,
     pub(crate) freelist: FreeList,
@@ -397,6 +402,76 @@ struct ElasticHooks {
     provider: Option<Arc<dyn ServerProvider>>,
 }
 
+/// A controller's place in a (possibly single-shard) sharded control
+/// plane: which shard it is, how many shards exist, and the metadata
+/// *view epoch* shared by every shard of one control plane.
+///
+/// The epoch is bumped whenever any shard commits an operation that can
+/// move or retire blocks (splits, merges, failure rewrites, removals,
+/// reclaiming flushes, loads, job teardown) and is stamped on every
+/// control-plane response envelope; clients use it to invalidate their
+/// lease-guarded metadata caches without extra RPCs (DESIGN.md §15).
+#[derive(Clone)]
+pub struct ShardIdentity {
+    /// This shard's index in `[0, count)`.
+    pub index: u32,
+    /// Total shards in the control plane.
+    pub count: u32,
+    /// View epoch shared across all shards of one control plane.
+    pub epoch: Arc<AtomicU64>,
+}
+
+impl ShardIdentity {
+    /// The identity of an unsharded (single) controller.
+    pub fn solo() -> Self {
+        Self {
+            index: 0,
+            count: 1,
+            epoch: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// Shard `index` of `count`, sharing `epoch` with its siblings.
+    pub fn member(index: u32, count: u32, epoch: Arc<AtomicU64>) -> Self {
+        Self {
+            index,
+            count: count.max(1),
+            epoch,
+        }
+    }
+
+    /// The persistent-tier prefix under which this shard keeps its
+    /// journal and snapshots. A single-shard control plane uses the
+    /// historical unsharded layout so existing deployments recover
+    /// unchanged; shards use disjoint `jiffy-meta/shard-{i}/` subtrees.
+    pub fn meta_prefix(&self) -> String {
+        if self.count <= 1 {
+            journal::META_PREFIX.to_string()
+        } else {
+            format!("{}shard-{}/", journal::META_PREFIX, self.index)
+        }
+    }
+}
+
+/// Whether a journaled operation can change block placement as seen by
+/// clients (and must therefore bump the shared view epoch so cached
+/// metadata is re-resolved).
+fn invalidates_placement(op: &JournalOp) -> bool {
+    matches!(
+        op,
+        JournalOp::SplitCommitted { .. }
+            | JournalOp::MergeCommitted { .. }
+            | JournalOp::StateRewritten { .. }
+            | JournalOp::PrefixRemoved { .. }
+            | JournalOp::PrefixFlushed {
+                reclaimed: true,
+                ..
+            }
+            | JournalOp::PrefixLoaded { .. }
+            | JournalOp::JobDeregistered { .. }
+    )
+}
+
 /// The unified control plane: block allocator + metadata manager + lease
 /// manager in one service (paper §4.2).
 pub struct Controller {
@@ -407,6 +482,7 @@ pub struct Controller {
     persistent: Arc<dyn ObjectStore>,
     job_ids: IdGen,
     elastic: Mutex<ElasticHooks>,
+    shard: ShardIdentity,
 }
 
 impl Controller {
@@ -421,17 +497,46 @@ impl Controller {
         dataplane: Arc<dyn DataPlane>,
         persistent: Arc<dyn ObjectStore>,
     ) -> Result<Arc<Self>> {
+        Self::new_sharded(cfg, clock, dataplane, persistent, ShardIdentity::solo())
+    }
+
+    /// Creates one shard of a sharded control plane. With
+    /// [`ShardIdentity::solo`] this is exactly [`Controller::new`].
+    ///
+    /// Each shard journals under its own persistent-tier prefix and
+    /// mints server/block ids in its own residue class (`id ≡ index mod
+    /// count`) so shards never collide and block/server ids route back
+    /// to their owning shard by `raw % count`. Job ids are minted only
+    /// by shard 0 and adopted by the rest (see
+    /// [`ControlRequest::AdoptJob`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JiffyConfig::validate`] failures.
+    pub fn new_sharded(
+        cfg: JiffyConfig,
+        clock: SharedClock,
+        dataplane: Arc<dyn DataPlane>,
+        persistent: Arc<dyn ObjectStore>,
+        shard: ShardIdentity,
+    ) -> Result<Arc<Self>> {
         cfg.validate()?;
         // A brand-new controller is a brand-new cluster: wipe any stale
-        // journal left by a previous incarnation.
-        let journal = Journal::fresh(persistent.clone(), cfg.meta_snapshot_every);
+        // journal left by a previous incarnation of this shard.
+        let journal = Journal::fresh(
+            persistent.clone(),
+            cfg.meta_snapshot_every,
+            &shard.meta_prefix(),
+        );
         let tenants = TenantDirectory::new(cfg.qos.clone());
+        let freelist = FreeList::new();
+        freelist.set_id_stride(u64::from(shard.index), u64::from(shard.count));
         Ok(Arc::new(Self {
             cfg,
             clock,
             state: Mutex::new(CtrlState {
                 jobs: HashMap::new(),
-                freelist: FreeList::new(),
+                freelist,
                 block_owner: HashMap::new(),
                 counters: Counters::default(),
                 detector: FailureDetector::new(),
@@ -443,6 +548,7 @@ impl Controller {
             persistent,
             job_ids: IdGen::new(),
             elastic: Mutex::new(ElasticHooks::default()),
+            shard,
         }))
     }
 
@@ -467,8 +573,28 @@ impl Controller {
         dataplane: Arc<dyn DataPlane>,
         persistent: Arc<dyn ObjectStore>,
     ) -> Result<Arc<Self>> {
+        Self::recover_sharded(cfg, clock, dataplane, persistent, ShardIdentity::solo())
+    }
+
+    /// Rebuilds one shard of a sharded control plane from its own
+    /// journal prefix. With [`ShardIdentity::solo`] this is exactly
+    /// [`Controller::recover`]. Bumps the shared view epoch once: any
+    /// placement the restarted shard changed mid-crash is re-resolved
+    /// by clients rather than trusted from stale caches.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`JiffyConfig::validate`] failures, object-store
+    /// read failures, and journal decode/replay failures.
+    pub fn recover_sharded(
+        cfg: JiffyConfig,
+        clock: SharedClock,
+        dataplane: Arc<dyn DataPlane>,
+        persistent: Arc<dyn ObjectStore>,
+        shard: ShardIdentity,
+    ) -> Result<Arc<Self>> {
         cfg.validate()?;
-        let rec = journal::recover_from(persistent.as_ref())?;
+        let rec = journal::recover_from(persistent.as_ref(), &shard.meta_prefix())?;
         let now = clock.now();
         let mut jobs = rec.jobs;
         for entry in jobs.values_mut() {
@@ -484,9 +610,22 @@ impl Controller {
                 detector.record(load.server, now);
             }
         }
-        let journal = Journal::resuming(persistent.clone(), cfg.meta_snapshot_every, rec.next_seq);
+        let journal = Journal::resuming(
+            persistent.clone(),
+            cfg.meta_snapshot_every,
+            rec.next_seq,
+            &shard.meta_prefix(),
+        );
         let mut tenants = TenantDirectory::new(cfg.qos.clone());
         tenants.install(rec.tenants);
+        // Checkpointed id frontiers resume in this shard's residue class
+        // (a frontier written by this shard is already in class; the
+        // stride re-aligns defensively either way).
+        rec.freelist
+            .set_id_stride(u64::from(shard.index), u64::from(shard.count));
+        // Clients may hold cache entries from before the crash; one bump
+        // forces them back through resolve on their next access.
+        shard.epoch.fetch_add(1, Ordering::SeqCst);
         Ok(Arc::new(Self {
             cfg,
             clock,
@@ -505,7 +644,43 @@ impl Controller {
             persistent,
             job_ids: IdGen::starting_at(rec.next_job_id),
             elastic: Mutex::new(ElasticHooks::default()),
+            shard,
         }))
+    }
+
+    /// The metadata view epoch stamped on this controller's response
+    /// envelopes (shared across all shards of one control plane).
+    pub fn view_epoch(&self) -> u64 {
+        self.shard.epoch.load(Ordering::SeqCst)
+    }
+
+    /// This controller's shard identity.
+    pub fn shard_identity(&self) -> &ShardIdentity {
+        &self.shard
+    }
+
+    /// Enumerates `(job, job name, [(node, parents)])` for every
+    /// registered job. The shard router rebuilds its root-component
+    /// table from this after constructing or restarting shards.
+    pub(crate) fn hierarchy_edges(&self) -> HierarchyEdges {
+        let st = self.state.lock();
+        st.jobs
+            .iter()
+            .map(|(job, entry)| {
+                let nodes = entry
+                    .hierarchy
+                    .names()
+                    .into_iter()
+                    .filter_map(|name| {
+                        entry
+                            .hierarchy
+                            .get(&name)
+                            .map(|node| (name.clone(), node.parents.clone()))
+                    })
+                    .collect();
+                (*job, entry.name.clone(), nodes)
+            })
+            .collect()
     }
 
     /// The configuration this controller runs with.
@@ -522,7 +697,13 @@ impl Controller {
         if ops.is_empty() {
             return Ok(());
         }
+        let bumps_epoch = ops.iter().any(invalidates_placement);
         st.journal.append(ops)?;
+        if bumps_epoch {
+            // Placement changed durably: advance the shared view epoch
+            // so every shard's next response invalidates client caches.
+            self.shard.epoch.fetch_add(1, Ordering::SeqCst);
+        }
         if st.journal.snapshot_due() {
             let mirror = journal::mirror_of(st, self.job_ids.current());
             st.journal.write_snapshot(&mirror)?;
@@ -913,6 +1094,39 @@ impl Controller {
                         bytes_per_sec,
                     }],
                 )?;
+                Ok(ControlResponse::Ack)
+            }
+            ControlRequest::AdoptJob { job, name } => {
+                // A sibling shard (shard 0) minted this job id; record
+                // it here so path operations routed to this shard
+                // resolve the job. Idempotent: re-adoption of a job we
+                // already know is an ack without a journal record.
+                match st.jobs.get(&job) {
+                    Some(existing) if existing.name == name => {}
+                    Some(existing) => {
+                        return Err(JiffyError::Internal(format!(
+                            "adopt {job}: registered as {:?}, not {name:?}",
+                            existing.name
+                        )));
+                    }
+                    None => {
+                        st.jobs.insert(
+                            job,
+                            JobEntry {
+                                name: name.clone(),
+                                hierarchy: AddressHierarchy::new(),
+                                tenant,
+                            },
+                        );
+                        // Never mint below an adopted id, even on the
+                        // (job-minting) shard 0 after a replayed adopt.
+                        self.job_ids.bump_to(job.raw() + 1);
+                        self.journal_append(
+                            st,
+                            vec![JournalOp::JobRegistered { job, name, tenant }],
+                        )?;
+                    }
+                }
                 Ok(ControlResponse::Ack)
             }
         }
@@ -1975,10 +2189,16 @@ struct InitKvMirror {
 impl Service for Controller {
     fn handle(&self, req: Envelope, _session: &SessionHandle) -> Envelope {
         match req {
-            Envelope::ControlReq { id, req, tenant } => Envelope::ControlResp {
-                id,
-                resp: self.dispatch_as(req, tenant),
-            },
+            Envelope::ControlReq { id, req, tenant } => {
+                let resp = self.dispatch_as(req, tenant);
+                // Load the epoch AFTER dispatch so a response to the
+                // very op that moved placement already carries the bump.
+                Envelope::ControlResp {
+                    id,
+                    resp,
+                    epoch: self.view_epoch(),
+                }
+            }
             Envelope::DataReq { id, .. } => Envelope::DataResp {
                 id,
                 resp: Err(JiffyError::Rpc(
@@ -1988,6 +2208,7 @@ impl Service for Controller {
             other => Envelope::ControlResp {
                 id: 0,
                 resp: Err(JiffyError::Rpc(format!("unexpected envelope {other:?}"))),
+                epoch: self.view_epoch(),
             },
         }
     }

@@ -53,6 +53,17 @@ impl FreeList {
         Self::default()
     }
 
+    /// Strides the server and block id generators so this free list
+    /// (one controller shard's) mints ids ≡ `index` (mod `count`) —
+    /// disjoint from every sibling shard's ids, and `id % count`
+    /// recovers the owning shard for request routing. Safe to call on a
+    /// table rebuilt from a checkpoint: frontiers already in class stay
+    /// put.
+    pub fn set_id_stride(&self, index: u64, count: u64) {
+        self.server_ids.set_stride(index, count);
+        self.block_ids.set_stride(index, count);
+    }
+
     /// Registers a memory server contributing `capacity_blocks` blocks;
     /// returns its ID and the IDs assigned to its blocks.
     pub fn register_server(

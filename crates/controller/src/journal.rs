@@ -44,12 +44,16 @@ use crate::freelist::{FreeList, FreeListMirror};
 use crate::hierarchy::{AddressHierarchy, Node, Permissions};
 use crate::meta::{DsMeta, DsSkeleton};
 
-/// Object-store prefix under which all controller metadata lives.
+/// Object-store prefix under which an unsharded controller's metadata
+/// lives. Shard `i` of a sharded control plane uses
+/// `jiffy-meta/shard-{i}/` instead, giving every shard its own journal
+/// and snapshot stream (see [`Journal::fresh`] / [`recover_from`],
+/// which take the prefix explicitly).
 pub(crate) const META_PREFIX: &str = "jiffy-meta/";
-/// Prefix for journal batch objects (suffix = zero-padded first seq).
-const JOURNAL_PREFIX: &str = "jiffy-meta/journal/";
-/// Prefix for snapshot objects (suffix = zero-padded last covered seq).
-const SNAPSHOT_PREFIX: &str = "jiffy-meta/snapshot/";
+/// Journal batch objects live at `{meta_prefix}journal/{first_seq:020}`.
+const JOURNAL_DIR: &str = "journal/";
+/// Snapshot objects live at `{meta_prefix}snapshot/{last_seq:020}`.
+const SNAPSHOT_DIR: &str = "snapshot/";
 
 /// A deterministic, order-independent serialization of the controller's
 /// entire metadata state: jobs and their address hierarchies, the block
@@ -485,16 +489,18 @@ fn parse_seq(path: &str, prefix: &str) -> Option<u64> {
 /// snapshot first, then every journal record past it, in order, skipping
 /// already-applied sequence numbers (replay is idempotent — applying the
 /// same journal twice yields identical state).
-pub(crate) fn recover_from(store: &dyn ObjectStore) -> Result<RecoveredState> {
+pub(crate) fn recover_from(store: &dyn ObjectStore, meta_prefix: &str) -> Result<RecoveredState> {
     let mut state = RecoveredState::empty();
     let mut last_applied: Option<u64> = None;
+    let snapshot_prefix = format!("{meta_prefix}{SNAPSHOT_DIR}");
+    let journal_prefix = format!("{meta_prefix}{JOURNAL_DIR}");
 
     // Ignore objects whose names don't parse as sequence numbers (e.g.
     // temp files orphaned by a hard kill mid-rename).
     let mut snapshots: Vec<String> = store
-        .list(SNAPSHOT_PREFIX)
+        .list(&snapshot_prefix)
         .into_iter()
-        .filter(|p| parse_seq(p, SNAPSHOT_PREFIX).is_some())
+        .filter(|p| parse_seq(p, &snapshot_prefix).is_some())
         .collect();
     snapshots.sort();
     if let Some(path) = snapshots.last() {
@@ -505,9 +511,9 @@ pub(crate) fn recover_from(store: &dyn ObjectStore) -> Result<RecoveredState> {
     }
 
     let mut batches: Vec<String> = store
-        .list(JOURNAL_PREFIX)
+        .list(&journal_prefix)
         .into_iter()
-        .filter(|p| parse_seq(p, JOURNAL_PREFIX).is_some())
+        .filter(|p| parse_seq(p, &journal_prefix).is_some())
         .collect();
     batches.sort();
     for path in batches {
@@ -534,14 +540,25 @@ pub(crate) struct Journal {
     next_seq: u64,
     records_since_snapshot: u64,
     snapshot_every: u64,
+    /// `{meta_prefix}journal/` — one object per appended batch.
+    journal_prefix: String,
+    /// `{meta_prefix}snapshot/` — one object per snapshot.
+    snapshot_prefix: String,
 }
 
 impl Journal {
-    /// A journal for a brand-new controller: wipes any stale
-    /// `jiffy-meta/` objects left by a previous incarnation (a fresh
-    /// controller means a fresh cluster — old block ids are meaningless).
-    pub(crate) fn fresh(store: Arc<dyn ObjectStore>, snapshot_every: u64) -> Self {
-        for path in store.list(META_PREFIX) {
+    /// A journal for a brand-new controller (shard): wipes any stale
+    /// objects under `meta_prefix` left by a previous incarnation (a
+    /// fresh controller means a fresh cluster — old block ids are
+    /// meaningless). A sharded control plane passes
+    /// `jiffy-meta/shard-{i}/`, so a fresh shard never touches its
+    /// siblings' streams.
+    pub(crate) fn fresh(
+        store: Arc<dyn ObjectStore>,
+        snapshot_every: u64,
+        meta_prefix: &str,
+    ) -> Self {
+        for path in store.list(meta_prefix) {
             let _ = store.delete(&path);
         }
         Self {
@@ -549,6 +566,8 @@ impl Journal {
             next_seq: 0,
             records_since_snapshot: 0,
             snapshot_every,
+            journal_prefix: format!("{meta_prefix}{JOURNAL_DIR}"),
+            snapshot_prefix: format!("{meta_prefix}{SNAPSHOT_DIR}"),
         }
     }
 
@@ -557,12 +576,15 @@ impl Journal {
         store: Arc<dyn ObjectStore>,
         snapshot_every: u64,
         next_seq: u64,
+        meta_prefix: &str,
     ) -> Self {
         Self {
             store,
             next_seq,
             records_since_snapshot: 0,
             snapshot_every,
+            journal_prefix: format!("{meta_prefix}{JOURNAL_DIR}"),
+            snapshot_prefix: format!("{meta_prefix}{SNAPSHOT_DIR}"),
         }
     }
 
@@ -582,8 +604,10 @@ impl Journal {
             .collect();
         let count = records.len() as u64;
         let batch = JournalBatch { records };
-        self.store
-            .put(&format!("{JOURNAL_PREFIX}{first:020}"), &to_bytes(&batch)?)?;
+        self.store.put(
+            &format!("{}{first:020}", self.journal_prefix),
+            &to_bytes(&batch)?,
+        )?;
         self.next_seq = first + count;
         self.records_since_snapshot += count;
         Ok(())
@@ -611,16 +635,16 @@ impl Journal {
             mirror: to_bytes(mirror)?,
         };
         self.store.put(
-            &format!("{SNAPSHOT_PREFIX}{last_seq:020}"),
+            &format!("{}{last_seq:020}", self.snapshot_prefix),
             &to_bytes(&snap)?,
         )?;
-        for path in self.store.list(JOURNAL_PREFIX) {
-            if parse_seq(&path, JOURNAL_PREFIX).is_some_and(|s| s <= last_seq) {
+        for path in self.store.list(&self.journal_prefix) {
+            if parse_seq(&path, &self.journal_prefix).is_some_and(|s| s <= last_seq) {
                 let _ = self.store.delete(&path);
             }
         }
-        for path in self.store.list(SNAPSHOT_PREFIX) {
-            if parse_seq(&path, SNAPSHOT_PREFIX).is_some_and(|s| s < last_seq) {
+        for path in self.store.list(&self.snapshot_prefix) {
+            if parse_seq(&path, &self.snapshot_prefix).is_some_and(|s| s < last_seq) {
                 let _ = self.store.delete(&path);
             }
         }

@@ -32,7 +32,7 @@ pub mod meta;
 pub mod sharding;
 
 pub use controller::{
-    Controller, ControllerHandle, Counters, DataPlane, NoopDataPlane, RpcDataPlane,
+    Controller, ControllerHandle, Counters, DataPlane, NoopDataPlane, RpcDataPlane, ShardIdentity,
 };
 pub use freelist::{FreeList, FreeListMirror, ServerMirror};
 pub use hierarchy::{AddressHierarchy, Node};

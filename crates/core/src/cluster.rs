@@ -8,12 +8,12 @@ use jiffy_sync::{Arc, Mutex, RwLock};
 use jiffy_client::JiffyClient;
 use jiffy_common::clock::{SharedClock, SystemClock};
 use jiffy_common::{JiffyConfig, JiffyError, Result, ServerId, TenantId};
-use jiffy_controller::{Controller, ControllerHandle, RpcDataPlane};
+use jiffy_controller::{Controller, ControllerHandle, RpcDataPlane, ShardedController};
 use jiffy_elastic::{AutoscalerPolicy, ServerProvider};
 use jiffy_persistent::{MemObjectStore, ObjectStore};
 use jiffy_proto::{ControlRequest, ControlResponse};
 use jiffy_rpc::tcp::{serve_tcp, TcpServerHandle};
-use jiffy_rpc::{Deduplicated, Fabric};
+use jiffy_rpc::{Deduplicated, Fabric, Service};
 use jiffy_server::MemoryServer;
 
 /// The mutable part of the cluster, shared with the [`ServerProvider`]
@@ -103,11 +103,16 @@ impl ServerProvider for ClusterProvider {
 /// the metadata journal in the persistent tier at the same address.
 pub struct JiffyCluster {
     controller: RwLock<Arc<Controller>>,
+    /// `Some` when the control plane is partitioned into shards; control
+    /// traffic then flows through the router and individual shards can
+    /// be crashed/recovered via [`JiffyCluster::crash_controller_shard`].
+    sharded: Option<Arc<ShardedController>>,
     persistent: Arc<dyn ObjectStore>,
     inner: Arc<ClusterInner>,
     clock: SharedClock,
     run_expiry: bool,
-    expiry: Mutex<Option<ControllerHandle>>,
+    /// Per-shard expiry workers (one slot when unsharded).
+    expiry: Mutex<Vec<Option<ControllerHandle>>>,
     elastic: Mutex<Option<ControllerHandle>>,
     autoscaler_policy: Mutex<Option<AutoscalerPolicy>>,
     controller_tcp: Mutex<Option<TcpServerHandle>>,
@@ -170,17 +175,87 @@ impl JiffyCluster {
         run_expiry_worker: bool,
         tcp: bool,
     ) -> Result<Self> {
+        Self::build_with_shards(
+            cfg,
+            num_servers,
+            blocks_per_server,
+            clock,
+            persistent,
+            run_expiry_worker,
+            tcp,
+            1,
+        )
+    }
+
+    /// Boots an in-process cluster whose control plane is partitioned
+    /// into `shards` controller shards behind one routing endpoint
+    /// (DESIGN.md §15). `shards == 1` is exactly [`Self::in_process`].
+    ///
+    /// # Errors
+    ///
+    /// Registration failures.
+    pub fn in_process_sharded(
+        cfg: JiffyConfig,
+        num_servers: usize,
+        blocks_per_server: u32,
+        shards: usize,
+    ) -> Result<Self> {
+        Self::build_with_shards(
+            cfg,
+            num_servers,
+            blocks_per_server,
+            SystemClock::shared(),
+            Arc::new(MemObjectStore::new()),
+            true,
+            false,
+            shards,
+        )
+    }
+
+    /// [`Self::build`] with a sharded control plane: `shards` in-process
+    /// controller shards, each journaling under its own
+    /// `jiffy-meta/shard-{i}/` prefix in the persistent tier, fronted by
+    /// a [`ShardedController`] router at one transport address. With
+    /// `shards <= 1` this is the unsharded path, byte-for-byte (single
+    /// `Controller`, plain `jiffy-meta/` journal prefix).
+    ///
+    /// # Errors
+    ///
+    /// Bind or registration failures.
+    #[allow(clippy::too_many_arguments)]
+    pub fn build_with_shards(
+        cfg: JiffyConfig,
+        num_servers: usize,
+        blocks_per_server: u32,
+        clock: SharedClock,
+        persistent: Arc<dyn ObjectStore>,
+        run_expiry_worker: bool,
+        tcp: bool,
+        shards: usize,
+    ) -> Result<Self> {
         let fabric = Fabric::new();
-        let controller = Controller::new(
-            cfg.clone(),
-            clock.clone(),
-            Arc::new(RpcDataPlane::new(fabric.clone())),
-            persistent.clone(),
-        )?;
+        let dataplane = Arc::new(RpcDataPlane::new(fabric.clone()));
+        let (controller, sharded) = if shards <= 1 {
+            let controller =
+                Controller::new(cfg.clone(), clock.clone(), dataplane, persistent.clone())?;
+            (controller, None)
+        } else {
+            let sc = Arc::new(ShardedController::build(
+                cfg.clone(),
+                clock.clone(),
+                dataplane,
+                persistent.clone(),
+                shards as u32,
+            )?);
+            (sc.shard(0), Some(sc))
+        };
         // Services are registered behind a replay cache so that clients
         // retrying a timed-out request (same request id) never execute a
         // mutation twice.
-        let controller_svc = Deduplicated::shared(controller.clone());
+        let controller_svc: Arc<dyn Service> = match &sharded {
+            Some(sc) => Deduplicated::shared(sc.clone()),
+            None => Deduplicated::shared(controller.clone()),
+        };
         let mut controller_tcp = None;
         let controller_addr = if tcp {
             let handle = serve_tcp("127.0.0.1:0", controller_svc)?;
@@ -202,9 +277,15 @@ impl JiffyCluster {
         for _ in 0..num_servers {
             inner.spawn_server(blocks_per_server)?;
         }
-        let expiry = run_expiry_worker.then(|| controller.start_expiry_worker());
+        let expiry = match &sharded {
+            Some(sc) => (0..sc.num_shards())
+                .map(|i| run_expiry_worker.then(|| sc.shard(i).start_expiry_worker()))
+                .collect(),
+            None => vec![run_expiry_worker.then(|| controller.start_expiry_worker())],
+        };
         Ok(Self {
             controller: RwLock::new(controller),
+            sharded,
             persistent,
             inner,
             clock,
@@ -271,15 +352,16 @@ impl JiffyCluster {
         ops_per_sec: u64,
         bytes_per_sec: u64,
     ) -> Result<()> {
-        let controller = self.controller();
-        controller.dispatch(ControlRequest::SetTenantShare {
+        self.dispatch_control(ControlRequest::SetTenantShare {
             tenant,
             share,
             quota_bytes,
             ops_per_sec,
             bytes_per_sec,
         })?;
-        let limits = controller.tenant_limits();
+        // Sharded mode fans SetTenantShare out to every shard, so any
+        // shard's limits table is authoritative.
+        let limits = self.controller().tenant_limits();
         for server in self.inner.servers.read().iter() {
             server.install_tenant_limits(&limits);
         }
@@ -294,7 +376,7 @@ impl JiffyCluster {
     ///
     /// Controller dispatch failures.
     pub fn tenant_stats(&self) -> Result<Vec<jiffy_proto::TenantStatsEntry>> {
-        match self.controller().dispatch(ControlRequest::TenantStats)? {
+        match self.dispatch_control(ControlRequest::TenantStats)? {
             ControlResponse::TenantStatsReport(entries) => Ok(entries),
             other => Err(JiffyError::Rpc(format!(
                 "unexpected tenant-stats reply: {other:?}"
@@ -309,9 +391,37 @@ impl JiffyCluster {
 
     /// The current controller instance (for stats and direct dispatch
     /// in tests/benches). Owned, because a crash/restart cycle swaps
-    /// the instance out from under the cluster.
+    /// the instance out from under the cluster. On a sharded cluster
+    /// this is shard 0.
+    ///
+    /// # Panics
+    ///
+    /// On a sharded cluster whose shard 0 is currently crashed.
     pub fn controller(&self) -> Arc<Controller> {
-        self.controller.read().clone()
+        match &self.sharded {
+            Some(sc) => sc.shard(0),
+            None => self.controller.read().clone(),
+        }
+    }
+
+    /// The control-plane router, when this cluster was built with
+    /// [`Self::build_with_shards`] and more than one shard.
+    pub fn sharded_controller(&self) -> Option<&Arc<ShardedController>> {
+        self.sharded.as_ref()
+    }
+
+    /// Number of controller shards (1 for an unsharded cluster).
+    pub fn controller_shards(&self) -> usize {
+        self.sharded.as_ref().map_or(1, |sc| sc.num_shards())
+    }
+
+    /// Routes a control request the way client traffic is routed: via
+    /// the shard router when sharded, directly otherwise.
+    fn dispatch_control(&self, req: ControlRequest) -> Result<ControlResponse> {
+        match &self.sharded {
+            Some(sc) => sc.dispatch(req),
+            None => self.controller().dispatch(req),
+        }
     }
 
     /// The controller's transport address.
@@ -372,10 +482,7 @@ impl JiffyCluster {
     /// Unknown server, or a migration failure (e.g. no capacity left on
     /// the remaining servers).
     pub fn drain_server(&self, server: ServerId) -> Result<u32> {
-        match self
-            .controller()
-            .dispatch(ControlRequest::LeaveServer { server })?
-        {
+        match self.dispatch_control(ControlRequest::LeaveServer { server })? {
             ControlResponse::Drained {
                 blocks_migrated, ..
             } => {
@@ -398,7 +505,15 @@ impl JiffyCluster {
     /// Unknown server.
     pub fn kill_server(&self, server: ServerId) -> Result<()> {
         self.inner.remove_server(server);
-        self.controller().handle_server_failure(server)
+        match &self.sharded {
+            // The failure is owned by the shard the server registered
+            // with — same routing the router uses for its heartbeats.
+            Some(sc) => {
+                let idx = sc.shard_map().shard_of_server(server) as usize;
+                sc.shard(idx).handle_server_failure(server)
+            }
+            None => self.controller().handle_server_failure(server),
+        }
     }
 
     /// Installs the autoscaler (policy + cluster-backed provider) and
@@ -429,7 +544,9 @@ impl JiffyCluster {
     /// [`JiffyCluster::restart_controller`].
     pub fn crash_controller(&self) {
         // Stop the workers first so nothing dispatches mid-teardown.
-        *self.expiry.lock() = None;
+        for slot in self.expiry.lock().iter_mut() {
+            *slot = None;
+        }
         *self.elastic.lock() = None;
         if self.inner.tcp {
             // Dropping the handle closes the listener; session threads
@@ -459,6 +576,12 @@ impl JiffyCluster {
     /// Journal decode/replay failures, or (TCP mode) failure to re-bind
     /// the controller's port.
     pub fn restart_controller(&self) -> Result<()> {
+        if self.sharded.is_some() {
+            return Err(JiffyError::Internal(
+                "sharded control plane: restart shards individually via restart_controller_shard"
+                    .into(),
+            ));
+        }
         let controller = Controller::recover(
             self.inner.cfg.clone(),
             self.clock.clone(),
@@ -508,10 +631,65 @@ impl JiffyCluster {
             *self.elastic.lock() = Some(controller.start_elasticity_worker());
         }
         if self.run_expiry {
-            *self.expiry.lock() = Some(controller.start_expiry_worker());
+            if let Some(slot) = self.expiry.lock().first_mut() {
+                *slot = Some(controller.start_expiry_worker());
+            }
         }
         *self.controller.write() = controller;
         Ok(())
+    }
+
+    /// Crashes one controller shard: its in-memory state is abandoned
+    /// (journal and snapshots in the persistent tier survive) and its
+    /// expiry worker stops. Requests routed to it fail with a retryable
+    /// `Unavailable` until [`Self::restart_controller_shard`]; the other
+    /// shards — and clients' cached metadata for every shard — keep
+    /// serving. On an unsharded cluster this falls back to
+    /// [`Self::crash_controller`].
+    pub fn crash_controller_shard(&self, idx: usize) {
+        match &self.sharded {
+            Some(sc) => {
+                if let Some(slot) = self.expiry.lock().get_mut(idx) {
+                    *slot = None;
+                }
+                sc.crash_shard(idx);
+            }
+            None => self.crash_controller(),
+        }
+    }
+
+    /// Recovers shard `idx` from its own `jiffy-meta/shard-{idx}/`
+    /// journal stream and brings its routing slot back up (bumping the
+    /// shared view epoch, so clients drop cached metadata that might
+    /// predate the crash). On an unsharded cluster this falls back to
+    /// [`Self::restart_controller`].
+    ///
+    /// # Errors
+    ///
+    /// Journal decode/replay failures.
+    pub fn restart_controller_shard(&self, idx: usize) -> Result<()> {
+        match &self.sharded {
+            Some(sc) => {
+                let shard = sc.restart_shard(idx)?;
+                if self.run_expiry {
+                    if let Some(slot) = self.expiry.lock().get_mut(idx) {
+                        *slot = Some(shard.start_expiry_worker());
+                    }
+                }
+                Ok(())
+            }
+            None => self.restart_controller(),
+        }
+    }
+
+    /// Whether controller shard `idx` is currently up (always true for
+    /// an unsharded cluster's only controller unless it was crashed via
+    /// [`Self::crash_controller`]).
+    pub fn controller_shard_is_up(&self, idx: usize) -> bool {
+        match &self.sharded {
+            Some(sc) => sc.shard_is_up(idx),
+            None => self.controller_tcp.lock().is_some() || !self.inner.tcp,
+        }
     }
 }
 
@@ -637,6 +815,65 @@ mod tests {
             );
             std::thread::sleep(std::time::Duration::from_millis(20));
         }
+    }
+
+    #[test]
+    fn sharded_cluster_serves_traffic_across_shards() {
+        let cluster =
+            JiffyCluster::in_process_sharded(JiffyConfig::for_testing(), 4, 8, 4).unwrap();
+        assert_eq!(cluster.controller_shards(), 4);
+        let job = cluster.client().unwrap().register_job("t").unwrap();
+        // Enough distinct roots to land on several shards; every one
+        // must get blocks (round-robin server placement guarantees
+        // each shard owns capacity).
+        let kvs: Vec<_> = (0..8)
+            .map(|i| job.open_kv(&format!("s{i}"), &[], 1).unwrap())
+            .collect();
+        for (i, kv) in kvs.iter().enumerate() {
+            kv.put(b"k", format!("v{i}").as_bytes()).unwrap();
+        }
+        for (i, kv) in kvs.iter().enumerate() {
+            assert_eq!(kv.get(b"k").unwrap(), Some(format!("v{i}").into_bytes()));
+        }
+        let sc = cluster.sharded_controller().expect("sharded cluster");
+        let spread: Vec<usize> = (0..4)
+            .map(|i| sc.shard(i).stats().servers as usize)
+            .collect();
+        assert_eq!(spread, vec![1, 1, 1, 1], "round-robin server placement");
+    }
+
+    #[test]
+    fn shard_crash_and_restart_recovers_its_slice() {
+        let cluster =
+            JiffyCluster::in_process_sharded(JiffyConfig::for_testing(), 4, 8, 2).unwrap();
+        let job = cluster.client().unwrap().register_job("t").unwrap();
+        let sc = cluster.sharded_controller().unwrap().clone();
+        // One prefix per shard.
+        let mut names = (0..16).map(|i| format!("p{i}"));
+        let a = names.next().unwrap();
+        let b = names
+            .find(|n| sc.route_path(job.id(), n) != sc.route_path(job.id(), &a))
+            .expect("16 names must span 2 shards");
+        let kv_a = job.open_kv(&a, &[], 1).unwrap();
+        let kv_b = job.open_kv(&b, &[], 1).unwrap();
+        kv_a.put(b"k", b"a").unwrap();
+        kv_b.put(b"k", b"b").unwrap();
+
+        let dark = sc.route_path(job.id(), &a) as usize;
+        cluster.crash_controller_shard(dark);
+        assert!(!cluster.controller_shard_is_up(dark));
+        // The other shard's control plane still answers.
+        job.resolve(&b).unwrap();
+        // Data ops to BOTH prefixes keep working: the data path never
+        // touches the controller.
+        assert_eq!(kv_a.get(b"k").unwrap(), Some(b"a".to_vec()));
+        assert_eq!(kv_b.get(b"k").unwrap(), Some(b"b".to_vec()));
+
+        cluster.restart_controller_shard(dark).unwrap();
+        assert!(cluster.controller_shard_is_up(dark));
+        // The recovered shard serves its slice of the namespace again.
+        let v = job.resolve_fresh(&a).unwrap();
+        assert_eq!(v.name, a);
     }
 
     #[test]

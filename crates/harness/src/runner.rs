@@ -40,6 +40,13 @@ pub enum ElasticAction {
     /// metadata journal. Client control-plane retries carry requests
     /// through the restart window; acked writes must survive.
     CrashController,
+    /// Crash controller shard `i` of a sharded control plane
+    /// ([`HarnessConfig::shards`] > 1) and immediately recover it from
+    /// its own `jiffy-meta/shard-{i}/` journal stream. The other shards
+    /// keep serving throughout; requests routed to the dark shard ride
+    /// client retries into the recovered instance. On an unsharded run
+    /// this degrades to [`ElasticAction::CrashController`].
+    CrashControllerShard(usize),
 }
 
 /// Parameters of one chaos run.
@@ -90,6 +97,11 @@ pub struct HarnessConfig {
     /// Per-tenant limit overrides installed before the workload starts
     /// (`tenant_index` counts from 0, matching `w % tenants`).
     pub tenant_limits: Vec<TenantQos>,
+    /// Controller shards. `1` (the default) boots the classic unsharded
+    /// control plane; larger values partition the namespace across that
+    /// many in-process shards behind one routing endpoint, enabling
+    /// [`ElasticAction::CrashControllerShard`] schedules.
+    pub shards: usize,
 }
 
 /// A per-tenant QoS override installed at run start.
@@ -132,6 +144,7 @@ impl Default for HarnessConfig {
             tenants: 1,
             qos: None,
             tenant_limits: Vec::new(),
+            shards: 1,
         }
     }
 }
@@ -185,7 +198,7 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
     if let Some(qos) = &cfg.qos {
         cluster_cfg.qos = qos.clone();
     }
-    let cluster = Arc::new(JiffyCluster::build(
+    let cluster = Arc::new(JiffyCluster::build_with_shards(
         cluster_cfg,
         cfg.num_servers,
         cfg.blocks_per_server,
@@ -193,6 +206,7 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
         Arc::new(MemObjectStore::new()),
         false,
         false,
+        cfg.shards.max(1),
     )?);
     let injector = Arc::new(FaultInjector::new(cfg.seed));
     injector.set_default_rule(cfg.rule.clone());
@@ -446,6 +460,13 @@ fn apply_elastic(cluster: &JiffyCluster, action: ElasticAction, blocks_per_serve
             // subsequent control call failing — the history checker
             // reports that loudly, so swallowing the error here is safe.
             let _ = cluster.restart_controller();
+        }
+        ElasticAction::CrashControllerShard(i) => {
+            let i = i % cluster.controller_shards().max(1);
+            cluster.crash_controller_shard(i);
+            // Same reasoning as CrashController: an unrecoverable shard
+            // shows up as persistent routing failures in the history.
+            let _ = cluster.restart_controller_shard(i);
         }
     }
 }

@@ -27,7 +27,7 @@ pub use journal::{JournalBatch, JournalOp, JournalRecord, JournalSnapshot};
 pub use messages::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
     DataRequest, DataResponse, DsOp, DsResult, DsType, Endpoint, Envelope, MergeSpec, Notification,
-    OpKind, PartitionView, PrefixView, Replica, ServerInfo, SlotRange, SplitSpec, TenantLimit,
-    TenantLoad, TenantStatsEntry,
+    OpKind, PartitionView, PrefixView, Replica, ServerInfo, ShardMap, SlotRange, SplitSpec,
+    TenantLimit, TenantLoad, TenantStatsEntry,
 };
 pub use wire::{from_bytes, to_bytes, to_bytes_into};

@@ -690,6 +690,7 @@ impl Service for MemoryServer {
                 resp: Err(JiffyError::Rpc(
                     "control request sent to a memory server".into(),
                 )),
+                epoch: 0,
             },
             other => Envelope::DataResp {
                 id: 0,

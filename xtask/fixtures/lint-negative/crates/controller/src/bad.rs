@@ -28,6 +28,11 @@ fn ack_without_journal(req: ControlRequest) -> Result<ControlResponse, ()> {
             // journal record; a crash here would lose it.
             Ok(ControlResponse::Ack)
         }
+        ControlRequest::AdoptJob { .. } => {
+            // rule: journal-before-ack — a router arm minting its own ack
+            // must forward through dispatch_journaled (or journal) first.
+            Ok(ControlResponse::Ack)
+        }
         ControlRequest::GetStats => Ok(ControlResponse::Ack), // read-only: exempt
         other => forward(other),
     }

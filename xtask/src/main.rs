@@ -171,7 +171,7 @@ fn json_escape(s: &str) -> String {
 /// Runs the criterion suite and the dataplane throughput bin in quick
 /// mode. Proves the benches compile and complete; discards the numbers.
 fn bench_smoke() -> ExitCode {
-    let steps: [(&str, &[&str]); 3] = [
+    let steps: [(&str, &[&str]); 4] = [
         ("criterion benches", &["bench", "-p", "jiffy-bench"]),
         (
             "dataplane throughput bin",
@@ -193,6 +193,17 @@ fn bench_smoke() -> ExitCode {
                 "jiffy-bench",
                 "--bin",
                 "noisy_neighbor",
+            ],
+        ),
+        (
+            "controller shards bin",
+            &[
+                "run",
+                "--release",
+                "-p",
+                "jiffy-bench",
+                "--bin",
+                "controller_shards",
             ],
         ),
     ];
