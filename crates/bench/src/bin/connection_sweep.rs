@@ -20,7 +20,7 @@
 use std::time::{Duration, Instant};
 
 use jiffy_bench::{fmt_dur, percentile};
-use jiffy_proto::{DataRequest, DataResponse, Envelope};
+use jiffy_proto::{DataRequest, DataResponse, Envelope, INTERNAL_RID};
 use jiffy_rpc::tcp::{connect_tcp, serve_tcp};
 use jiffy_rpc::{ClientConn, Service, SessionHandle};
 use jiffy_sync::{Arc, Barrier, Mutex};
@@ -108,7 +108,7 @@ fn sweep_point(
                 let conn = &conns[i % conns.len().max(1)];
                 let s = Instant::now();
                 conn.call(Envelope::DataReq {
-                    id: 0,
+                    id: INTERNAL_RID,
                     req: DataRequest::Ping,
                     tenant: jiffy_common::TenantId::ANONYMOUS,
                 })

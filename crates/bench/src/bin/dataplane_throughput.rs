@@ -12,6 +12,12 @@
 //! transport is real loopback TCP so framing, corked writes and the
 //! waiter table are all on the measured path.
 //!
+//! A second section measures the replicated write path on a 2-replica
+//! chain: identical fan-down `Replicate` calls with an untracked vs a
+//! replay-tracked request id, reporting the per-write overhead of the
+//! exactly-once replay window (`replicated_rid_overhead_pct_kv_put_p50`
+//! in the JSON; budget < 5%).
+//!
 //! Run: `cargo run --release -p jiffy-bench --bin dataplane_throughput`
 //! Set `JIFFY_BENCH_QUICK=1` for a fast smoke run (reduced op counts).
 
@@ -20,6 +26,9 @@ use std::time::{Duration, Instant};
 use jiffy::cluster::JiffyCluster;
 use jiffy::JiffyConfig;
 use jiffy_bench::{fmt_dur, percentile};
+use jiffy_common::TenantId;
+use jiffy_proto::{Blob, DataRequest, DsOp, Envelope, PartitionView, Replica, CLIENT_RID_BASE};
+use jiffy_rpc::ClientConn;
 
 /// Ops per workload phase (divided by 20 in quick mode).
 const OPS: usize = 20_000;
@@ -153,6 +162,128 @@ fn main() {
         },
     ));
 
+    // --- Replicated KV put: fan-down rid overhead ---
+    // A second cluster with a 2-replica chain. Both phases issue the
+    // same raw `Replicate` envelopes straight at each key's chain head;
+    // the ONLY difference is the request id. A sub-client-range rid is
+    // fanned down but never recorded (the pre-replay-window fan-down
+    // path), while a client-range rid is recorded in every replica's
+    // replay window (DESIGN.md §16). The p50 delta is therefore exactly
+    // the per-write cost of exactly-once across head failure.
+    let rep_cfg = JiffyConfig::default()
+        .with_lease_duration(Duration::from_secs(3600))
+        .with_chain_length(2);
+    let rep_cluster = JiffyCluster::over_tcp(rep_cfg, 2, 24).unwrap();
+    let rep_job = rep_cluster
+        .client()
+        .unwrap()
+        .register_job("dataplane-rep")
+        .unwrap();
+    let rep_kv = rep_job.open_kv("bench-rep", &[], 2).unwrap();
+    for i in 0..KEYS {
+        rep_kv.put(&key(i), &value).unwrap();
+    }
+    let view = rep_job.resolve_fresh("bench-rep").unwrap();
+    let Some(PartitionView::Kv { num_slots, slots }) = view.partition else {
+        panic!("kv prefix must resolve to a kv partition");
+    };
+    // Pre-route every key to its chain head so routing cost is off the
+    // measured path for both phases.
+    let mut conns: Vec<(String, ClientConn)> = Vec::new();
+    let routes: Vec<(usize, jiffy_common::BlockId, Vec<Replica>)> = (0..KEYS)
+        .map(|i| {
+            let slot = jiffy_ds::kv_slot(&key(i), num_slots);
+            let range = slots
+                .iter()
+                .find(|r| r.contains(slot))
+                .expect("slot covered");
+            let head = range.location.head();
+            let ci = conns
+                .iter()
+                .position(|(a, _)| *a == head.addr)
+                .unwrap_or_else(|| {
+                    let conn = rep_cluster.fabric().connect(&head.addr).unwrap();
+                    conns.push((head.addr.clone(), conn));
+                    conns.len() - 1
+                });
+            (ci, head.block, range.location.chain[1..].to_vec())
+        })
+        .collect();
+    let raw_put = |rid: u64, i: usize| {
+        let (ci, block, downstream) = &routes[i % KEYS];
+        let resp = conns[*ci]
+            .1
+            .call(Envelope::DataReq {
+                id: rid,
+                req: DataRequest::Replicate {
+                    block: *block,
+                    op: DsOp::Put {
+                        key: Blob::new(key(i)),
+                        value: Blob::new(value.clone()),
+                    },
+                    downstream: downstream.clone(),
+                    rid,
+                },
+                tenant: TenantId::ANONYMOUS,
+            })
+            .unwrap();
+        assert!(matches!(resp, Envelope::DataResp { resp: Ok(_), .. }));
+    };
+    // Interleave the two modes in alternating rounds so clock drift,
+    // allocator state and TCP warmth bias neither side; the overhead
+    // estimate below pairs each round's p50s and takes the median
+    // delta, which cancels slow drift and discards outlier rounds.
+    let rounds = 10;
+    let per_round = (ops / rounds).max(1);
+    let mut untracked = Phase {
+        workload: "kv_put_replicated",
+        mode: "untracked",
+        ops: rounds * per_round,
+        elapsed: Duration::ZERO,
+        call_lat: Vec::with_capacity(rounds * per_round),
+    };
+    let mut tracked = Phase {
+        workload: "kv_put_replicated",
+        mode: "tracked",
+        ops: rounds * per_round,
+        elapsed: Duration::ZERO,
+        call_lat: Vec::with_capacity(rounds * per_round),
+    };
+    for r in 0..rounds {
+        for (phase, rid_base) in [
+            // Offset the tracked rids past every rid the warm-up
+            // consumed so no put is (cheaply) answered from a
+            // replay-window hit.
+            (&mut untracked, 1),
+            (&mut tracked, CLIENT_RID_BASE + (1 << 30)),
+        ] {
+            let t0 = Instant::now();
+            for c in 0..per_round {
+                let i = r * per_round + c;
+                let s = Instant::now();
+                raw_put(rid_base + i as u64, i);
+                phase.call_lat.push(s.elapsed());
+            }
+            phase.elapsed += t0.elapsed();
+        }
+    }
+    let mut rep_phases = [untracked, tracked];
+    let rid_overhead_pct = {
+        let mut deltas: Vec<f64> = (0..rounds)
+            .map(|r| {
+                let lo = r * per_round;
+                let hi = lo + per_round;
+                let mut u = rep_phases[0].call_lat[lo..hi].to_vec();
+                let mut t = rep_phases[1].call_lat[lo..hi].to_vec();
+                let before = percentile(&mut u, 50.0).as_secs_f64();
+                let after = percentile(&mut t, 50.0).as_secs_f64();
+                (after - before) / before * 100.0
+            })
+            .collect();
+        deltas.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        (deltas[rounds / 2 - 1] + deltas[rounds / 2]) / 2.0
+    };
+
     // --- Report ---
     println!(
         "=== Data-plane throughput: single vs batched (batch={BATCH}, {VALUE_LEN} B values) ==="
@@ -161,7 +292,7 @@ fn main() {
         "{:<16}{:<9}{:>10}{:>13}{:>12}{:>12}",
         "workload", "mode", "ops", "ops/s", "call p50", "call p99"
     );
-    for p in &mut phases {
+    for p in phases.iter_mut().chain(rep_phases.iter_mut()) {
         let p50 = percentile(&mut p.call_lat, 50.0);
         let p99 = percentile(&mut p.call_lat, 99.0);
         println!(
@@ -184,6 +315,9 @@ fn main() {
         );
         speedups.push((pair[0].workload, speedup));
     }
+    println!(
+        "kv_put_replicated  fan-down rid overhead on p50: {rid_overhead_pct:+.1}% (budget < 5%)"
+    );
 
     // --- Machine-readable trajectory ---
     let mut json = String::new();
@@ -194,8 +328,8 @@ fn main() {
     json.push_str(&format!("  \"quick\": {},\n", quick()));
     json.push_str("  \"transport\": \"tcp-loopback\",\n");
     json.push_str("  \"results\": [\n");
-    let n_phases = phases.len();
-    for (i, p) in phases.iter_mut().enumerate() {
+    let n_phases = phases.len() + rep_phases.len();
+    for (i, p) in phases.iter_mut().chain(rep_phases.iter_mut()).enumerate() {
         let p50 = percentile(&mut p.call_lat, 50.0).as_secs_f64() * 1e6;
         let p99 = percentile(&mut p.call_lat, 99.0).as_secs_f64() * 1e6;
         json.push_str(&format!(
@@ -210,6 +344,12 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // Replicated writes issue identical Replicate envelopes with and
+    // without a replay-tracked rid; the p50 delta is the price of the
+    // exactly-once window (budget: < 5%).
+    json.push_str(&format!(
+        "  \"replicated_rid_overhead_pct_kv_put_p50\": {rid_overhead_pct:.2},\n"
+    ));
     json.push_str("  \"speedup_batched_over_single\": {\n");
     for (i, (w, s)) in speedups.iter().enumerate() {
         json.push_str(&format!(

@@ -140,7 +140,7 @@ fn main() {
                     let mut i = c as u64;
                     while !stop.load(jiffy_sync::atomic::Ordering::Relaxed) {
                         let req = jiffy_proto::Envelope::ControlReq {
-                            id: 0,
+                            id: jiffy_proto::INTERNAL_RID,
                             req: ControlRequest::RenewLease {
                                 job,
                                 name: format!("t{}", i % 8),

@@ -2,8 +2,22 @@
 
 use jiffy_common::{BlockId, JiffyError, Result};
 use jiffy_proto::{DsOp, DsResult, Notification, OpKind, Replica};
+use jiffy_rpc::ReplayWindow;
 
 use crate::partition::Partition;
+
+/// Entries one block's replay window retains. Sized far above the
+/// number of in-flight client requests a single block sees, so a live
+/// retry always lands inside the window.
+pub const REPLAY_WINDOW_ENTRIES: usize = 512;
+
+/// Byte budget for cached results in one block's replay window (weights
+/// are result payload bytes plus [`REPLAY_ENTRY_OVERHEAD`]).
+pub const REPLAY_WINDOW_BYTES: u64 = 1 << 20;
+
+/// Fixed per-entry weight charged on top of a result's payload bytes,
+/// approximating the map/index bookkeeping an entry costs.
+const REPLAY_ENTRY_OVERHEAD: u64 = 48;
 
 /// Emitted by [`Block::execute`] when the block's usage crosses a
 /// repartition threshold (paper §3.3). The memory server forwards these
@@ -46,6 +60,13 @@ pub struct Block {
     /// Redirect tombstone left behind after a migration: every op gets
     /// `BlockMoved` pointing at the new home until the block is reused.
     moved_to: Option<Replica>,
+    /// Recently executed `(request id → result)` entries, consulted on
+    /// the replicate path before execution so a retried mutation —
+    /// including one retried against a freshly promoted replica — is
+    /// answered instead of re-executed. Guarded by the same mutex as the
+    /// partition (the per-block lock in `BlockStore`), which is what
+    /// makes execute + record atomic with respect to a concurrent retry.
+    replay: ReplayWindow<DsResult>,
 }
 
 impl Block {
@@ -63,6 +84,7 @@ impl Block {
             repartition_in_flight: false,
             sealed: false,
             moved_to: None,
+            replay: ReplayWindow::new(REPLAY_WINDOW_ENTRIES, REPLAY_WINDOW_BYTES),
         }
     }
 
@@ -104,6 +126,7 @@ impl Block {
         self.repartition_in_flight = false;
         self.sealed = false;
         self.moved_to = None;
+        self.replay.clear();
         Ok(())
     }
 
@@ -116,6 +139,7 @@ impl Block {
         self.repartition_in_flight = false;
         self.sealed = false;
         self.moved_to = None;
+        self.replay.clear();
     }
 
     /// Seals (or unseals) the block for live migration. Sealed blocks
@@ -144,6 +168,10 @@ impl Block {
         self.repartition_in_flight = false;
         self.sealed = false;
         self.moved_to = Some(moved_to);
+        // The window travelled with the migration payload (export under
+        // the same lock); a retry bouncing off the tombstone re-resolves
+        // to the new home, whose imported window answers it.
+        self.replay.clear();
     }
 
     /// The redirect tombstone, if the block was retired.
@@ -268,6 +296,52 @@ impl Block {
     /// Current per-block operation sequence number.
     pub fn seq(&self) -> u64 {
         self.seq
+    }
+
+    /// Consults the replay window for a previously executed request.
+    /// Checked *before* [`Block::execute`]'s tombstone and seal gates: a
+    /// cached result reflects an execution that already took effect (and
+    /// whose data is part of any frozen/migrated image), so it is valid
+    /// to replay even while the block is sealed.
+    pub fn replay_lookup(&mut self, rid: u64) -> Option<DsResult> {
+        self.replay.lookup(rid).cloned()
+    }
+
+    /// Records an executed request's result in the replay window,
+    /// weighted by its egress payload size.
+    pub fn replay_record(&mut self, rid: u64, result: &DsResult) {
+        self.replay.insert(
+            rid,
+            result.clone(),
+            result.egress_bytes() + REPLAY_ENTRY_OVERHEAD,
+        );
+    }
+
+    /// Serializes the replay window (shipped with every exported or
+    /// repartitioned payload so the destination keeps answering retries).
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures.
+    pub fn export_replay(&self) -> Result<Vec<u8>> {
+        self.replay.export_bytes()
+    }
+
+    /// Absorbs a shipped replay window: exact restore into an untouched
+    /// window, merge otherwise. Empty input (e.g. a payload reloaded
+    /// from the persistent tier, whose images predate any retry window)
+    /// is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Malformed bytes.
+    pub fn import_replay(&mut self, bytes: &[u8]) -> Result<()> {
+        self.replay.import_bytes(bytes)
+    }
+
+    /// Number of resident replay-window entries.
+    pub fn replay_len(&self) -> usize {
+        self.replay.len()
     }
 }
 

@@ -1,0 +1,127 @@
+//! Loom models for the per-block replay window: the execute-under-lock
+//! and window-insert step racing a concurrent retry of the same request
+//! id (PR 10's exactly-once core — see DESIGN.md par.16).
+//!
+//! Exhaustive model checking (bounded preemption, see `vendor/loom`):
+//!
+//! ```text
+//! cargo test -p jiffy-block --features loom --test loom_replay
+//! ```
+//!
+//! Without the feature, `jiffy_sync::model` runs each body once with real
+//! threads, so these double as plain smoke tests in ordinary `cargo test`
+//! runs.
+
+// Model helpers expect on rig construction; the workspace `expect_used`
+// lint is aimed at production data-path code, not test scaffolding.
+#![allow(clippy::expect_used)]
+
+use jiffy_block::{Block, BlockStore};
+use jiffy_common::BlockId;
+use jiffy_proto::DsResult;
+use jiffy_sync::atomic::{AtomicUsize, Ordering};
+use jiffy_sync::{model, thread, Arc};
+
+fn store_with_block() -> Arc<BlockStore> {
+    let store = Arc::new(BlockStore::new());
+    store
+        .add(Block::new(BlockId(1), 1024, 51, 973))
+        .expect("fresh store");
+    store
+}
+
+/// The server's write path, modelled faithfully: take the block mutex,
+/// consult the window, execute only on a miss, record the result before
+/// releasing the lock. "Execution" stamps a shared counter so a replayed
+/// answer is distinguishable from a re-execution.
+fn apply(store: &BlockStore, rid: u64, executed: &AtomicUsize) -> DsResult {
+    let handle = store.get(BlockId(1)).expect("block exists");
+    let mut guard = handle.lock();
+    if let Some(hit) = guard.replay_lookup(rid) {
+        return hit;
+    }
+    let stamp = executed.fetch_add(1, Ordering::SeqCst) as u64;
+    let result = DsResult::Size(stamp);
+    guard.replay_record(rid, &result);
+    result
+}
+
+#[test]
+fn concurrent_retries_of_one_rid_execute_exactly_once() {
+    model(|| {
+        let store = store_with_block();
+        let executed = Arc::new(AtomicUsize::new(0));
+        // A timed-out client fires two concurrent retries of the same
+        // logical write (same rid) — e.g. one still in flight to the old
+        // head while the re-routed one lands on the promoted replica's
+        // window. Both must observe one execution.
+        let (s1, e1) = (Arc::clone(&store), Arc::clone(&executed));
+        let t1 = thread::spawn(move || apply(&s1, 7, &e1));
+        let (s2, e2) = (Arc::clone(&store), Arc::clone(&executed));
+        let t2 = thread::spawn(move || apply(&s2, 7, &e2));
+        let a = t1.join().expect("no panic");
+        let b = t2.join().expect("no panic");
+        assert_eq!(a, b, "retry observed a different result than the original");
+        assert_eq!(
+            executed.load(Ordering::SeqCst),
+            1,
+            "same-rid retry re-executed the op"
+        );
+    });
+}
+
+#[test]
+fn distinct_rids_race_without_cross_talk() {
+    model(|| {
+        let store = store_with_block();
+        let executed = Arc::new(AtomicUsize::new(0));
+        let (s1, e1) = (Arc::clone(&store), Arc::clone(&executed));
+        let t1 = thread::spawn(move || apply(&s1, 7, &e1));
+        let (s2, e2) = (Arc::clone(&store), Arc::clone(&executed));
+        let t2 = thread::spawn(move || apply(&s2, 8, &e2));
+        let a = t1.join().expect("no panic");
+        let b = t2.join().expect("no panic");
+        assert_ne!(a, b, "distinct rids must not share a cached result");
+        assert_eq!(executed.load(Ordering::SeqCst), 2);
+        // Both entries are resident afterwards: a late retry of either
+        // rid replays instead of executing a third time.
+        assert_eq!(apply(&store, 7, &executed), a);
+        assert_eq!(apply(&store, 8, &executed), b);
+        assert_eq!(executed.load(Ordering::SeqCst), 2);
+    });
+}
+
+/// A retry racing the window's migration export (split/merge ships the
+/// image while writes continue on the source until the repartition
+/// gate closes). Whatever interleaving the checker picks, the exported
+/// image must contain the rid's entry iff the retry's answer was
+/// recorded before the export — never a torn or half-written entry.
+#[test]
+fn export_races_a_recording_write_consistently() {
+    model(|| {
+        let store = store_with_block();
+        let executed = Arc::new(AtomicUsize::new(0));
+        let (s1, e1) = (Arc::clone(&store), Arc::clone(&executed));
+        let writer = thread::spawn(move || apply(&s1, 7, &e1));
+        let s2 = Arc::clone(&store);
+        let exporter = thread::spawn(move || {
+            let handle = s2.get(BlockId(1)).expect("block exists");
+            let guard = handle.lock();
+            (guard.replay_len(), guard.export_replay().expect("export"))
+        });
+        let written = writer.join().expect("no panic");
+        let (len_at_export, image) = exporter.join().expect("no panic");
+        // Import the image into a fresh block: it must round-trip and
+        // reflect exactly the entries visible at export time.
+        let target = store_with_block();
+        let handle = target.get(BlockId(1)).expect("block exists");
+        let mut guard = handle.lock();
+        guard.import_replay(&image).expect("import");
+        assert_eq!(guard.replay_len(), len_at_export);
+        if len_at_export == 1 {
+            assert_eq!(guard.replay_lookup(7), Some(written));
+        } else {
+            assert_eq!(guard.replay_lookup(7), None);
+        }
+    });
+}

@@ -72,7 +72,17 @@ impl DsCore {
 
     /// Executes a data-plane op against a block, routing writes to the
     /// chain head (with replication fan-down) and reads to the tail.
-    fn data_op(&self, loc: &BlockLocation, op: DsOp, is_write: bool) -> Result<DsResult> {
+    ///
+    /// `rid` is the request id minted once per *logical operation* by
+    /// the caller: transport retries, throttle retries, AND
+    /// routing-level retries (a promoted replica after a head failure,
+    /// a migrated block's new home) all resend under the same id, so a
+    /// server that already executed the op — or inherited its result
+    /// via the replicated replay window — answers from cache instead of
+    /// applying it twice. The id rides in the envelope (the plain `Op`
+    /// path) and, for replicated writes, explicitly in the `Replicate`
+    /// body so it survives the fan-down re-stamping.
+    fn data_op(&self, loc: &BlockLocation, op: DsOp, is_write: bool, rid: u64) -> Result<DsResult> {
         let fabric = self.job.client().fabric();
         let req = if is_write && loc.chain.len() > 1 {
             let head = loc.head();
@@ -80,6 +90,7 @@ impl DsCore {
                 block: head.block,
                 op,
                 downstream: loc.chain[1..].to_vec(),
+                rid,
             }
         } else {
             let replica = if is_write { loc.head() } else { loc.tail() };
@@ -94,21 +105,12 @@ impl DsCore {
             &loc.tail().addr
         };
         let tenant = self.job.client().tenant();
-        // One id for the whole operation: transport-level retries resend
-        // the identical envelope, so a server that already executed it
-        // (lost reply) answers from its replay cache instead of applying
-        // the op twice. Throttle retries also reuse it — a `Throttled`
-        // answer is issued before execution and never cached by the
-        // server's replay cache, so the re-send is admitted afresh, and
-        // a duplicate-delivered envelope can't double-apply after the
-        // retry succeeds (the success response now sits in the cache).
-        let id = next_request_id();
         with_throttle_backoff(|| {
             self.job.client().retry_policy().run(
                 |_| {
                     let conn = fabric.connect(addr)?;
                     match conn.call(Envelope::DataReq {
-                        id,
+                        id: rid,
                         req: req.clone(),
                         tenant,
                     })? {
@@ -132,36 +134,53 @@ impl DsCore {
         })
     }
 
-    /// Issues one [`DataRequest::Batch`] against a block, routing like
+    /// Issues one [`DataRequest::Batch`] (or, on a replicated chain,
+    /// [`DataRequest::ReplicateBatch`]) against a block, routing like
     /// [`Self::data_op`] (writes to the chain head, reads to the tail).
     /// Returns the server's per-op results: a *prefix* of `ops` — the
     /// server stops at the first failing op, so every entry before the
     /// last is `Ok` and ops past the returned length were never
     /// attempted.
     ///
-    /// Only used for unreplicated blocks; replicated writes fan down the
-    /// chain per op via `Replicate` (see [`Self::run_batches`]).
+    /// `rids` carries one request id per op for writes (empty for
+    /// reads): ids stay attached to their ops across rounds even when a
+    /// retry regroups the pending ops into different batches, so every
+    /// replica's replay window dedups per op, not per batch.
     fn batch_rpc(
         &self,
         loc: &BlockLocation,
         ops: &[DsOp],
+        rids: &[u64],
         is_write: bool,
     ) -> Result<Vec<Result<DsResult>>> {
         let fabric = self.job.client().fabric();
-        let replica = if is_write { loc.head() } else { loc.tail() };
-        let req = DataRequest::Batch {
-            block: replica.block,
-            ops: ops.to_vec(),
+        let req = if is_write && loc.chain.len() > 1 {
+            let head = loc.head();
+            DataRequest::ReplicateBatch {
+                block: head.block,
+                ops: ops.to_vec(),
+                downstream: loc.chain[1..].to_vec(),
+                rids: rids.to_vec(),
+            }
+        } else {
+            let replica = if is_write { loc.head() } else { loc.tail() };
+            DataRequest::Batch {
+                block: replica.block,
+                ops: ops.to_vec(),
+                rids: rids.to_vec(),
+            }
         };
-        let addr = &replica.addr;
+        let addr = if is_write {
+            &loc.head().addr
+        } else {
+            &loc.tail().addr
+        };
         let tenant = self.job.client().tenant();
         let expected = ops.len();
-        // One id for the whole batch: transport-level retries resend the
-        // identical envelope and the server's replay cache answers for
-        // the batch as a single unit, so a lost reply cannot re-apply
-        // any of its ops. Throttling rejects the whole batch before
-        // executing any op and throttled answers are never cached, so
-        // backoff retries reuse the id safely too.
+        // One envelope id for the whole batch keeps the per-session
+        // replay cache answering lost-reply transport retries as a
+        // unit; the per-op `rids` inside the body are what survive
+        // regrouping and failover.
         let id = next_request_id();
         with_throttle_backoff(|| {
             self.job.client().retry_policy().run(
@@ -235,16 +254,19 @@ impl DsCore {
     /// Drives `total` ops to completion through block-grouped batch
     /// RPCs. Each round resolves the owner of every unfinished op,
     /// groups them by owner block preserving input order, issues one
-    /// [`DataRequest::Batch`] per block (or per-op `Replicate` calls
-    /// when the chain is replicated), and applies the refresh-retry
-    /// discipline per sub-batch. `on_ok(i, result)` fires exactly once
-    /// per op, when op `i` succeeds.
+    /// [`DataRequest::Batch`] (or [`DataRequest::ReplicateBatch`]) per
+    /// block, and applies the refresh-retry discipline per sub-batch.
+    /// `on_ok(i, result)` fires exactly once per op, when op `i`
+    /// succeeds.
     ///
-    /// Exactly-once: a per-op `Err` entry is a definitive server answer,
-    /// so retrying that op under a fresh batch id is safe; transport
-    /// errors that leave a batch maybe-applied (`Timeout`, a broken
-    /// connection after same-id retries) are *fatal* here — the caller
-    /// sees the error instead of a blind re-send under a new id.
+    /// Exactly-once: every write op gets a request id minted ONCE, up
+    /// front, and keeps it for its whole life — across rounds, across
+    /// regrouping after a split re-routes some ops, and across a
+    /// chain-head failover. A retried op that already executed
+    /// somewhere is answered from that replica's replay window instead
+    /// of re-applying; a per-op `Err` entry is a definitive "did not
+    /// execute" (errors are never window-cached), so retrying it is
+    /// safe too.
     fn run_batches(
         &self,
         total: usize,
@@ -253,6 +275,11 @@ impl DsCore {
         mut make_op: impl FnMut(usize) -> DsOp,
         mut on_ok: impl FnMut(usize, DsResult) -> Result<()>,
     ) -> Result<()> {
+        let rids: Vec<u64> = if is_write {
+            (0..total).map(|_| next_request_id()).collect()
+        } else {
+            Vec::new()
+        };
         let mut pending: Vec<usize> = (0..total).collect();
         let mut last = None;
         for round in 0..MAX_ROUTING_RETRIES {
@@ -284,68 +311,45 @@ impl DsCore {
                 }
             }
             for (loc, idxs) in groups {
-                if is_write && loc.chain.len() > 1 {
-                    // Replicated chain: fan each op down per `Replicate`,
-                    // stopping at the first error (like the server's
-                    // batch path) so retried ops stay in order.
-                    let mut done = 0;
-                    let mut failed = None;
-                    for &i in &idxs {
-                        match self.data_op(&loc, make_op(i), true) {
-                            Ok(r) => {
-                                on_ok(i, r)?;
-                                done += 1;
-                            }
-                            Err(e) => {
-                                failed = Some(e);
-                                break;
+                let ops: Vec<DsOp> = idxs.iter().map(|&i| make_op(i)).collect();
+                let group_rids: Vec<u64> = if is_write {
+                    idxs.iter().map(|&i| rids[i]).collect()
+                } else {
+                    Vec::new()
+                };
+                match self.batch_rpc(&loc, &ops, &group_rids, is_write) {
+                    Ok(results) => {
+                        let mut done = 0;
+                        let mut failed = None;
+                        for r in results {
+                            match r {
+                                Ok(v) => {
+                                    on_ok(idxs[done], v)?;
+                                    done += 1;
+                                }
+                                Err(e) => {
+                                    failed = Some(e);
+                                    break;
+                                }
                             }
                         }
-                    }
-                    if let Some(e) = failed {
-                        if self.note_batch_err(&e, Some(&loc))? {
+                        if done < idxs.len() {
+                            if let Some(e) = failed {
+                                if self.note_batch_err(&e, Some(&loc))? {
+                                    last = Some(e);
+                                } else {
+                                    return Err(e);
+                                }
+                            }
                             next_pending.extend_from_slice(&idxs[done..]);
+                        }
+                    }
+                    Err(e) => {
+                        if self.note_batch_err(&e, Some(&loc))? {
+                            next_pending.extend_from_slice(&idxs);
                             last = Some(e);
                         } else {
                             return Err(e);
-                        }
-                    }
-                } else {
-                    let ops: Vec<DsOp> = idxs.iter().map(|&i| make_op(i)).collect();
-                    match self.batch_rpc(&loc, &ops, is_write) {
-                        Ok(results) => {
-                            let mut done = 0;
-                            let mut failed = None;
-                            for r in results {
-                                match r {
-                                    Ok(v) => {
-                                        on_ok(idxs[done], v)?;
-                                        done += 1;
-                                    }
-                                    Err(e) => {
-                                        failed = Some(e);
-                                        break;
-                                    }
-                                }
-                            }
-                            if done < idxs.len() {
-                                if let Some(e) = failed {
-                                    if self.note_batch_err(&e, Some(&loc))? {
-                                        last = Some(e);
-                                    } else {
-                                        return Err(e);
-                                    }
-                                }
-                                next_pending.extend_from_slice(&idxs[done..]);
-                            }
-                        }
-                        Err(e) => {
-                            if self.note_batch_err(&e, Some(&loc))? {
-                                next_pending.extend_from_slice(&idxs);
-                                last = Some(e);
-                            } else {
-                                return Err(e);
-                            }
                         }
                     }
                 }
@@ -376,10 +380,20 @@ impl DsCore {
     /// actually changed — a promoted replica or a migrated/reloaded
     /// copy is worth another attempt, but data whose only home is gone
     /// surfaces as a fast, clean `Unavailable`, never a hang.
-    fn with_routing_retries<T>(&self, mut attempt: impl FnMut() -> Result<T>) -> Result<T> {
+    ///
+    /// One request id is minted for the WHOLE loop and passed to every
+    /// attempt: after an abrupt head failure the refreshed view routes
+    /// the retry to the promoted replica, and only the original id lets
+    /// that replica find the request in its replicated replay window —
+    /// a fresh id would re-execute an already-applied write. Reuse is
+    /// safe on every path that reaches a retry: routing errors and
+    /// `Unavailable` are never window-cached (servers cache only `Ok`
+    /// results), so a stale error cannot be replayed after healing.
+    fn with_routing_retries<T>(&self, mut attempt: impl FnMut(u64) -> Result<T>) -> Result<T> {
+        let rid = next_request_id();
         let mut last = None;
         for i in 0..MAX_ROUTING_RETRIES {
-            match attempt() {
+            match attempt(rid) {
                 Ok(v) => return Ok(v),
                 Err(
                     e @ (JiffyError::StaleMetadata
@@ -473,7 +487,7 @@ impl FileClient {
                 requested: data.len(),
             });
         }
-        self.core.with_routing_retries(|| {
+        self.core.with_routing_retries(|rid| {
             let (_, blocks) = self.file_view()?;
             let tail = blocks.last().ok_or(JiffyError::StaleMetadata)?.clone();
             match self.core.data_op(
@@ -482,6 +496,7 @@ impl FileClient {
                     data: Blob::new(data.to_vec()),
                 },
                 true,
+                rid,
             ) {
                 Ok(_) => Ok(()),
                 Err(JiffyError::BlockFull { .. }) => {
@@ -510,7 +525,7 @@ impl FileClient {
             let chunk_off = abs % chunk_size;
             let take = ((chunk_size - chunk_off) as usize).min(data.len() - cursor);
             let slice = &data[cursor..cursor + take];
-            self.core.with_routing_retries(|| {
+            self.core.with_routing_retries(|rid| {
                 let (_, blocks) = self.file_view()?;
                 match blocks.get(chunk_idx) {
                     Some(loc) => self
@@ -522,6 +537,7 @@ impl FileClient {
                                 data: Blob::new(slice.to_vec()),
                             },
                             true,
+                            rid,
                         )
                         .map(|_| ()),
                     None => {
@@ -609,7 +625,7 @@ impl FileClient {
             let chunk_idx = (abs / chunk_size) as usize;
             let chunk_off = abs % chunk_size;
             let take = (chunk_size - chunk_off).min(remaining);
-            let piece = self.core.with_routing_retries(|| {
+            let piece = self.core.with_routing_retries(|rid| {
                 let (_, blocks) = self.file_view()?;
                 let Some(loc) = blocks.get(chunk_idx) else {
                     return Ok(Vec::new()); // Past the last chunk: EOF.
@@ -621,6 +637,7 @@ impl FileClient {
                         len: take,
                     },
                     false,
+                    rid,
                 )? {
                     DsResult::Data(b) => Ok(b.into_inner()),
                     other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
@@ -682,7 +699,7 @@ impl FileClient {
     /// server went away but the layout changed), i.e. the caller should
     /// refresh and rescan.
     fn chunk_op(&self, loc: &BlockLocation, op: DsOp) -> Result<Option<DsResult>> {
-        match self.core.data_op(loc, op, false) {
+        match self.core.data_op(loc, op, false, next_request_id()) {
             Ok(r) => Ok(Some(r)),
             Err(JiffyError::BlockMoved { .. }) => Ok(None),
             Err(e @ JiffyError::Unavailable(_)) => {
@@ -792,7 +809,7 @@ impl QueueClient {
                 return Err(JiffyError::QueueFull);
             }
         }
-        self.core.with_routing_retries(|| {
+        self.core.with_routing_retries(|rid| {
             let segments = self.segments()?;
             let tail = segments.last().ok_or(JiffyError::StaleMetadata)?.clone();
             match self.core.data_op(
@@ -801,6 +818,7 @@ impl QueueClient {
                     item: Blob::new(item.to_vec()),
                 },
                 true,
+                rid,
             ) {
                 Ok(_) => Ok(()),
                 Err(JiffyError::BlockFull {
@@ -873,6 +891,15 @@ impl QueueClient {
     fn fetch_front(&self, remove: bool) -> Result<Option<Vec<u8>>> {
         let op = if remove { DsOp::Dequeue } else { DsOp::Peek };
         let mut refreshes = 0;
+        // One request id per *target segment*: refreshes that re-route
+        // the same logical dequeue (a dead or migrated segment server)
+        // keep the id, so a dequeue that executed before the ack was
+        // lost replays from the new home's window instead of removing a
+        // second item. Advancing the cursor re-mints — the next segment
+        // is a genuinely new request, and reusing the id there could
+        // collide with a stale entry if the drained segment's window
+        // was merged into its successor.
+        let mut rid = next_request_id();
         loop {
             let segments = self.segments()?;
             let cursor = *self.head_cursor.lock();
@@ -885,9 +912,10 @@ impl QueueClient {
                 refreshes += 1;
                 self.core.refresh()?;
                 *self.head_cursor.lock() = 0;
+                rid = next_request_id();
                 continue;
             };
-            match self.core.data_op(loc, op.clone(), remove) {
+            match self.core.data_op(loc, op.clone(), remove, rid) {
                 Ok(DsResult::MaybeData(d)) => return Ok(d.map(Blob::into_inner)),
                 Ok(other) => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
                 // Sealed + drained: advance to the next segment.
@@ -896,6 +924,7 @@ impl QueueClient {
                     if *c == cursor {
                         *c += 1;
                     }
+                    rid = next_request_id();
                 }
                 // Segment was unlinked and reset, or migrated to another
                 // server: refresh the list and restart from the head.
@@ -937,7 +966,10 @@ impl QueueClient {
             self.core.refresh()?;
             let mut total = 0;
             for loc in self.segments()? {
-                match self.core.data_op(&loc, DsOp::QueueLen, false) {
+                match self
+                    .core
+                    .data_op(&loc, DsOp::QueueLen, false, next_request_id())
+                {
                     Ok(DsResult::Size(s)) => total += s,
                     Ok(other) => {
                         return Err(JiffyError::Rpc(format!("unexpected result {other:?}")))
@@ -1027,7 +1059,7 @@ impl KvClient {
     ///
     /// Capacity exhaustion after retries; routing failures.
     pub fn put(&self, key: &[u8], value: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.core.with_routing_retries(|| {
+        self.core.with_routing_retries(|rid| {
             let loc = self.owner_of(key)?;
             match self.core.data_op(
                 &loc,
@@ -1036,6 +1068,7 @@ impl KvClient {
                     value: Blob::new(value.to_vec()),
                 },
                 true,
+                rid,
             ) {
                 Ok(DsResult::Replaced(prev)) => Ok(prev.map(Blob::into_inner)),
                 Ok(other) => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
@@ -1116,7 +1149,7 @@ impl KvClient {
     ///
     /// Routing failures.
     pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.core.with_routing_retries(|| {
+        self.core.with_routing_retries(|rid| {
             let loc = self.owner_of(key)?;
             match self.core.data_op(
                 &loc,
@@ -1124,6 +1157,7 @@ impl KvClient {
                     key: Blob::new(key.to_vec()),
                 },
                 false,
+                rid,
             )? {
                 DsResult::MaybeData(v) => Ok(v.map(Blob::into_inner)),
                 other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
@@ -1137,7 +1171,7 @@ impl KvClient {
     ///
     /// Routing failures.
     pub fn delete(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
-        self.core.with_routing_retries(|| {
+        self.core.with_routing_retries(|rid| {
             let loc = self.owner_of(key)?;
             match self.core.data_op(
                 &loc,
@@ -1145,6 +1179,7 @@ impl KvClient {
                     key: Blob::new(key.to_vec()),
                 },
                 true,
+                rid,
             )? {
                 DsResult::MaybeData(v) => Ok(v.map(Blob::into_inner)),
                 other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
@@ -1158,7 +1193,7 @@ impl KvClient {
     ///
     /// Routing failures.
     pub fn exists(&self, key: &[u8]) -> Result<bool> {
-        self.core.with_routing_retries(|| {
+        self.core.with_routing_retries(|rid| {
             let loc = self.owner_of(key)?;
             match self.core.data_op(
                 &loc,
@@ -1166,6 +1201,7 @@ impl KvClient {
                     key: Blob::new(key.to_vec()),
                 },
                 false,
+                rid,
             )? {
                 DsResult::Bool(b) => Ok(b),
                 other => Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
@@ -1183,7 +1219,10 @@ impl KvClient {
         let view = self.core.view();
         let mut total = 0;
         for loc in view.blocks() {
-            match self.core.data_op(loc, DsOp::KvCount, false) {
+            match self
+                .core
+                .data_op(loc, DsOp::KvCount, false, next_request_id())
+            {
                 Ok(DsResult::Size(s)) => total += s,
                 Ok(other) => return Err(JiffyError::Rpc(format!("unexpected result {other:?}"))),
                 Err(JiffyError::UnknownBlock(_)) => continue,

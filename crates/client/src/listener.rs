@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver};
 use jiffy_common::Result;
-use jiffy_proto::{DataRequest, Envelope, Notification, OpKind, PartitionView};
+use jiffy_proto::{DataRequest, Envelope, Notification, OpKind, PartitionView, INTERNAL_RID};
 use jiffy_rpc::{ClientConn, Fabric};
 
 /// Receives asynchronous notifications for subscribed operations.
@@ -64,7 +64,7 @@ impl Listener {
             // Subscriptions are control-ish and exempt from admission
             // control; they carry the anonymous tenant.
             conn.call(Envelope::DataReq {
-                id: 0,
+                id: INTERNAL_RID,
                 req: DataRequest::Subscribe {
                     block: tail.block,
                     ops: self.ops.clone(),

@@ -7,13 +7,17 @@
 //! replay the cached response". A process-wide counter guarantees that; a
 //! retry of one request deliberately reuses its id.
 //!
-//! The counter starts at `1 << 32` so client-stamped ids can never
-//! collide with the per-connection auto-ids that [`jiffy_rpc::tcp`]
-//! assigns to unstamped (id = 0) requests, which count up from 1.
+//! The counter starts at [`jiffy_proto::CLIENT_RID_BASE`] so
+//! client-stamped ids can never collide with the per-connection
+//! auto-ids that [`jiffy_rpc::tcp`] assigns to unstamped
+//! ([`jiffy_proto::INTERNAL_RID`]) requests, which count up from 1.
+//! Servers use the same threshold to decide whether an id identifies a
+//! client request whose result belongs in the per-block replay window.
 
+use jiffy_proto::CLIENT_RID_BASE;
 use jiffy_sync::atomic::{AtomicU64, Ordering};
 
-static NEXT: AtomicU64 = AtomicU64::new(1 << 32);
+static NEXT: AtomicU64 = AtomicU64::new(CLIENT_RID_BASE);
 
 /// Returns a fresh process-unique request id.
 pub fn next_request_id() -> u64 {

@@ -13,7 +13,7 @@ use jiffy_persistent::ObjectStore;
 use jiffy_proto::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
     DataRequest, DataResponse, DsType, Envelope, JournalOp, MergeSpec, PrefixView, Replica,
-    SplitSpec, TenantLoad, TenantStatsEntry,
+    SplitSpec, TenantLoad, TenantStatsEntry, INTERNAL_RID,
 };
 use jiffy_qos::{weighted_max_min, TenantDirectory};
 use jiffy_rpc::{Fabric, Service, SessionHandle};
@@ -45,19 +45,25 @@ pub trait DataPlane: Send + Sync {
     /// Transport failures.
     fn reset_block(&self, loc: &BlockLocation) -> Result<()>;
 
-    /// Exports a block's full contents (tail replica).
+    /// Exports a block's full contents (tail replica) as
+    /// `(payload, replay)`: the partition image plus the block's replay
+    /// window, snapshotted under one lock. Migration re-imports both so
+    /// a retry that lands at the new home after the move still replays
+    /// its cached result; flush discards the replay half (persisted
+    /// images predate any retry they could answer).
     ///
     /// # Errors
     ///
     /// Transport failures.
-    fn export_block(&self, loc: &BlockLocation) -> Result<Vec<u8>>;
+    fn export_block(&self, loc: &BlockLocation) -> Result<(Vec<u8>, Vec<u8>)>;
 
-    /// Imports a payload into a block (every chain replica absorbs).
+    /// Imports a payload (and replay-window image, possibly empty) into
+    /// a block (every chain replica absorbs).
     ///
     /// # Errors
     ///
     /// Transport failures.
-    fn import_payload(&self, loc: &BlockLocation, payload: &[u8]) -> Result<()>;
+    fn import_payload(&self, loc: &BlockLocation, payload: &[u8], replay: &[u8]) -> Result<()>;
 
     /// Orders a source block to split per `spec`, shipping extracted data
     /// to `target` (paper Fig. 8 step 4).
@@ -126,11 +132,11 @@ impl DataPlane for NoopDataPlane {
         Ok(())
     }
 
-    fn export_block(&self, _loc: &BlockLocation) -> Result<Vec<u8>> {
-        Ok(Vec::new())
+    fn export_block(&self, _loc: &BlockLocation) -> Result<(Vec<u8>, Vec<u8>)> {
+        Ok((Vec::new(), Vec::new()))
     }
 
-    fn import_payload(&self, _loc: &BlockLocation, _payload: &[u8]) -> Result<()> {
+    fn import_payload(&self, _loc: &BlockLocation, _payload: &[u8], _replay: &[u8]) -> Result<()> {
         Ok(())
     }
 
@@ -180,7 +186,7 @@ impl RpcDataPlane {
     fn call(&self, addr: &str, req: DataRequest) -> Result<DataResponse> {
         let conn = self.fabric.connect(addr)?;
         match conn.call(Envelope::DataReq {
-            id: 0,
+            id: INTERNAL_RID,
             req,
             tenant: TenantId::ANONYMOUS,
         })? {
@@ -219,26 +225,29 @@ impl DataPlane for RpcDataPlane {
         Ok(())
     }
 
-    fn export_block(&self, loc: &BlockLocation) -> Result<Vec<u8>> {
+    fn export_block(&self, loc: &BlockLocation) -> Result<(Vec<u8>, Vec<u8>)> {
         let tail = loc.tail();
         match self.call(&tail.addr, DataRequest::ExportBlock { block: tail.block })? {
-            DataResponse::Exported { payload } => Ok(payload.into_inner()),
+            DataResponse::Exported { payload, replay } => {
+                Ok((payload.into_inner(), replay.into_inner()))
+            }
             other => Err(JiffyError::Rpc(format!(
                 "unexpected export reply: {other:?}"
             ))),
         }
     }
 
-    fn import_payload(&self, loc: &BlockLocation, payload: &[u8]) -> Result<()> {
+    fn import_payload(&self, loc: &BlockLocation, payload: &[u8], replay: &[u8]) -> Result<()> {
         // Every replica absorbs: reads are served by the tail, and any
         // replica may later be promoted, so a head-only import would
-        // lose the payload on the first failover.
+        // lose the payload (or the replay window) on the first failover.
         for replica in &loc.chain {
             self.call(
                 &replica.addr,
                 DataRequest::ImportPayload {
                     block: replica.block,
                     payload: payload.into(),
+                    replay: replay.into(),
                 },
             )?;
         }
@@ -1382,7 +1391,10 @@ impl Controller {
         let mut payloads = Vec::with_capacity(locations.len());
         let mut bytes = 0u64;
         for loc in &locations {
-            let payload = self.dataplane.export_block(loc)?;
+            // Flush persists the partition image only: the replay
+            // window guards in-flight retries, which cannot outlive the
+            // data structure's eviction to external storage.
+            let (payload, _replay) = self.dataplane.export_block(loc)?;
             bytes += payload.len() as u64;
             payloads.push(Blob::new(payload));
         }
@@ -1478,7 +1490,7 @@ impl Controller {
                 _ => Vec::new(),
             };
             self.dataplane.init_block(loc, record.ds, &params)?;
-            self.dataplane.import_payload(loc, payload)?;
+            self.dataplane.import_payload(loc, payload, &[])?;
             bytes += payload.len() as u64;
             st.block_owner.insert(loc.id(), (job, name.to_string()));
         }
@@ -1766,8 +1778,11 @@ impl Controller {
         // 1. Seal: mutations bounce with StaleMetadata (clients refresh
         //    and retry); reads keep serving from the old tail.
         self.dataplane.seal_block(old_loc, true)?;
-        // 2. Copy the now-frozen image out of the old tail.
-        let payload = match self.dataplane.export_block(old_loc) {
+        // 2. Copy the now-frozen image out of the old tail, replay
+        //    window included: a write retried across the migration
+        //    re-resolves to the new home and must still be answered
+        //    from the window rather than re-executed.
+        let (payload, replay) = match self.dataplane.export_block(old_loc) {
             Ok(p) => p,
             Err(e) => {
                 let _ = self.dataplane.seal_block(old_loc, false);
@@ -1785,7 +1800,10 @@ impl Controller {
         let staged = self
             .dataplane
             .init_block(&new_loc, ds, &params)
-            .and_then(|()| self.dataplane.import_payload(&new_loc, &Blob::new(payload)));
+            .and_then(|()| {
+                self.dataplane
+                    .import_payload(&new_loc, &Blob::new(payload), &replay)
+            });
         if let Err(e) = staged {
             let _ = self.dataplane.reset_block(&new_loc);
             for r in &new_loc.chain {

@@ -161,6 +161,10 @@ pub struct RunReport {
     pub fault_stats: FaultStats,
     /// Invariant violations, empty when the run was correct.
     pub violations: Vec<String>,
+    /// Retried requests answered from a block replay window instead of
+    /// re-executed, summed across all servers still alive at the end of
+    /// the run (killed servers' counters are lost with them).
+    pub window_replays: u64,
 }
 
 impl RunReport {
@@ -370,11 +374,17 @@ pub fn run(cfg: &HarnessConfig) -> Result<RunReport> {
 
     let mut violations = history.check();
     violations.extend(check_tenant_isolation(&cluster, cfg, &tenant_handles)?);
+    let window_replays = cluster
+        .servers()
+        .iter()
+        .map(|s| s.stats().window_replays)
+        .sum();
     Ok(RunReport {
         seed: cfg.seed,
         history,
         fault_stats: injector.stats(),
         violations,
+        window_replays,
     })
 }
 

@@ -28,6 +28,6 @@ pub use messages::{
     Blob, BlockLocation, ControlRequest, ControlResponse, ControllerStats, DagNodeSpec,
     DataRequest, DataResponse, DsOp, DsResult, DsType, Endpoint, Envelope, MergeSpec, Notification,
     OpKind, PartitionView, PrefixView, Replica, ServerInfo, ShardMap, SlotRange, SplitSpec,
-    TenantLimit, TenantLoad, TenantStatsEntry,
+    TenantLimit, TenantLoad, TenantStatsEntry, CLIENT_RID_BASE, INTERNAL_RID,
 };
 pub use wire::{from_bytes, to_bytes, to_bytes_into};

@@ -17,6 +17,22 @@ use serde::{Deserialize, Serialize};
 
 use jiffy_common::{BlockId, JiffyError, JobId, ServerId, TenantId};
 
+/// Correlation id stamped on internal envelopes — server→server
+/// replication fan-down, repartition payload shipping, controller→server
+/// data-plane orders and client subscriptions. The transport assigns
+/// such envelopes a per-connection auto-id, and the per-block replay
+/// window ignores them: only client-stamped ids participate in
+/// exactly-once replay.
+pub const INTERNAL_RID: u64 = 0;
+
+/// Lowest client-stamped request id. Client-side allocation
+/// (`jiffy-client::rid`) counts up from here so stamped ids can never
+/// collide with the per-connection auto-ids the transport assigns to
+/// [`INTERNAL_RID`] envelopes (those count up from 1). Servers use this
+/// bound to tell a client-originated, replay-window-eligible request
+/// from internal traffic.
+pub const CLIENT_RID_BASE: u64 = 1 << 32;
+
 /// A byte payload that encodes via `serialize_bytes` (bulk copy) instead
 /// of element-wise `Vec<u8>` encoding — important for block-sized
 /// payloads.
@@ -984,6 +1000,12 @@ pub enum DataRequest {
         block: BlockId,
         /// Serialized partition content (data-structure specific).
         payload: Blob,
+        /// Serialized replay window of the source block (empty when the
+        /// payload comes from the persistent tier, whose images predate
+        /// any retry window). Shipped alongside the data so a block that
+        /// migrates or splits keeps answering retries of ops it already
+        /// executed. (Appended last for positional-serde compat.)
+        replay: Blob,
     },
     /// Server→server (and client→head): chain replication — apply `op`
     /// to this replica's block and forward down the remaining chain.
@@ -995,6 +1017,13 @@ pub enum DataRequest {
         op: DsOp,
         /// The remaining downstream replicas, in chain order.
         downstream: Vec<Replica>,
+        /// Originating client request id, fanned down unchanged so every
+        /// replica records the same `(rid → result)` replay-window entry
+        /// and any of them — including a freshly promoted head — can
+        /// answer a retry without re-executing. [`INTERNAL_RID`] opts
+        /// out of replay tracking. (Appended last for positional-serde
+        /// compat.)
+        rid: u64,
     },
     /// Controller→server: split part of `block`'s contents out according
     /// to `spec`, delivering the extracted payload to `target` (paper
@@ -1081,6 +1110,30 @@ pub enum DataRequest {
         block: BlockId,
         /// The operators, executed in order.
         ops: Vec<DsOp>,
+        /// Per-op originating request ids (empty for read-only batches,
+        /// which skip replay tracking; otherwise one id per op). Ids are
+        /// per *op*, not per batch, because retries may regroup pending
+        /// ops into different batches after a split or re-route — each
+        /// op's replay-window entry must survive regrouping. (Appended
+        /// last for positional-serde compat.)
+        rids: Vec<u64>,
+    },
+    /// Server→server (and client→head): chain-replicated batch — the
+    /// multi-op analogue of [`DataRequest::Replicate`]. Ops run in order
+    /// under one block-lock acquisition with stop-at-first-error prefix
+    /// semantics; the successfully executed prefix is fanned down the
+    /// remaining chain together with its per-op rids so every replica
+    /// records the same replay-window entries. (New variant appended
+    /// last: the wire format encodes enums by variant index.)
+    ReplicateBatch {
+        /// Target block on this replica.
+        block: BlockId,
+        /// The mutations to apply, in order.
+        ops: Vec<DsOp>,
+        /// The remaining downstream replicas, in chain order.
+        downstream: Vec<Replica>,
+        /// Per-op originating request ids (one per op).
+        rids: Vec<u64>,
     },
 }
 
@@ -1102,6 +1155,12 @@ pub enum DataResponse {
     Exported {
         /// Serialized block contents.
         payload: Blob,
+        /// Serialized replay window of the block, captured under the
+        /// same lock as the payload so the pair is a consistent
+        /// snapshot. Migrations re-import it at the destination; flushes
+        /// to the persistent tier drop it (a reloaded block predates any
+        /// retry window). (Appended last for positional-serde compat.)
+        replay: Blob,
     },
     /// Reply to `Ping`.
     Pong,
@@ -1255,6 +1314,7 @@ mod tests {
                         item: vec![0u8; 256].into(),
                     },
                 ],
+                rids: vec![CLIENT_RID_BASE + 1, 0, CLIENT_RID_BASE + 2],
             },
         });
         rt(Envelope::DataResp {
@@ -1274,6 +1334,21 @@ mod tests {
             req: DataRequest::Batch {
                 block: BlockId(0),
                 ops: vec![],
+                rids: vec![],
+            },
+        });
+        rt(Envelope::DataReq {
+            id: 7,
+            tenant: TenantId(1),
+            req: DataRequest::ReplicateBatch {
+                block: BlockId(2),
+                ops: vec![DsOp::Enqueue { item: "x".into() }],
+                downstream: vec![Replica {
+                    block: BlockId(5),
+                    server: ServerId(1),
+                    addr: "inproc:1".into(),
+                }],
+                rids: vec![CLIENT_RID_BASE + 3],
             },
         });
     }
@@ -1288,12 +1363,62 @@ mod tests {
         let req = to_bytes(&DataRequest::Batch {
             block: BlockId(1),
             ops: vec![],
+            rids: vec![],
         })
         .unwrap();
         assert_eq!(&req[..4], 14u32.to_le_bytes());
         assert_eq!(to_bytes(&DataResponse::Pong).unwrap(), 4u32.to_le_bytes());
         let resp = to_bytes(&DataResponse::Batch(vec![])).unwrap();
         assert_eq!(&resp[..4], 5u32.to_le_bytes());
+    }
+
+    #[test]
+    fn replay_window_fields_are_appended_last_on_the_wire() {
+        // ReplicateBatch is new in PR 10 and must sit after every
+        // pre-existing variant: Batch is index 14, pinning
+        // ReplicateBatch to 15.
+        let req = to_bytes(&DataRequest::ReplicateBatch {
+            block: BlockId(1),
+            ops: vec![],
+            downstream: vec![],
+            rids: vec![],
+        })
+        .unwrap();
+        assert_eq!(&req[..4], 15u32.to_le_bytes());
+        // The rid rides at the END of Replicate, after the pre-existing
+        // block/op/downstream fields, so their positional layout is
+        // unchanged.
+        let rep = to_bytes(&DataRequest::Replicate {
+            block: BlockId(1),
+            op: DsOp::Dequeue,
+            downstream: vec![],
+            rid: 0xAB,
+        })
+        .unwrap();
+        assert_eq!(&rep[rep.len() - 8..], 0xABu64.to_le_bytes());
+        // Batch rids and the Exported/ImportPayload replay blobs are
+        // likewise appended last.
+        let batch = to_bytes(&DataRequest::Batch {
+            block: BlockId(1),
+            ops: vec![],
+            rids: vec![7],
+        })
+        .unwrap();
+        assert_eq!(&batch[batch.len() - 8..], 7u64.to_le_bytes());
+        let exported = to_bytes(&DataResponse::Exported {
+            payload: Blob::new(vec![1, 2]),
+            replay: Blob::new(vec![9]),
+        })
+        .unwrap();
+        // Trailing blob: 4-byte length prefix + the single replay byte.
+        assert_eq!(&exported[exported.len() - 5..], &[1, 0, 0, 0, 9]);
+        let import = to_bytes(&DataRequest::ImportPayload {
+            block: BlockId(1),
+            payload: Blob::new(vec![1, 2]),
+            replay: Blob::new(vec![9]),
+        })
+        .unwrap();
+        assert_eq!(&import[import.len() - 5..], &[1, 0, 0, 0, 9]);
     }
 
     #[test]

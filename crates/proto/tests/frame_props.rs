@@ -60,16 +60,23 @@ fn batch_envelope_strategy() -> impl Strategy<Value = Envelope> {
         (
             1u64..u64::MAX,
             any::<u64>(),
-            proptest::collection::vec(ds_op_strategy(), 0..16),
+            proptest::collection::vec((ds_op_strategy(), any::<u64>()), 0..16),
             any::<u64>(),
+            any::<bool>(),
         )
-            .prop_map(|(id, block, ops, tenant)| Envelope::DataReq {
-                id,
-                req: DataRequest::Batch {
-                    block: BlockId(block),
-                    ops,
-                },
-                tenant: TenantId(tenant),
+            .prop_map(|(id, block, ops_rids, tenant, tracked)| {
+                let (ops, rids): (Vec<_>, Vec<_>) = ops_rids.into_iter().unzip();
+                Envelope::DataReq {
+                    id,
+                    req: DataRequest::Batch {
+                        block: BlockId(block),
+                        ops,
+                        // Empty = untracked read batch; populated = one
+                        // rid per op (the only two shapes on the wire).
+                        rids: if tracked { rids } else { Vec::new() },
+                    },
+                    tenant: TenantId(tenant),
+                }
             }),
         (
             1u64..u64::MAX,

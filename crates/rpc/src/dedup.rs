@@ -1,48 +1,258 @@
-//! Server-side request deduplication (replay cache).
+//! Server-side request deduplication (replay caches).
 //!
 //! Under lossy transports a client cannot tell a lost *request* from a
 //! lost *reply*: both surface as a timeout. Retrying is only safe if the
-//! server suppresses re-execution of requests it already handled. The
-//! [`Deduplicated`] wrapper gives any [`Service`] that property: it
-//! remembers the response to each `(session, request id)` pair and
-//! replays the cached response when the same id arrives again, instead of
-//! re-invoking the inner service.
+//! server suppresses re-execution of requests it already handled. Two
+//! layers provide that property:
+//!
+//! - [`Deduplicated`] wraps any [`Service`], remembering the response to
+//!   each `(session, request id)` pair and replaying it when the same id
+//!   arrives again on the same connection.
+//! - [`ReplayWindow`] is the reusable bounded window underneath it — a
+//!   `(request id → cached value)` map with LRU eviction and a seq
+//!   watermark. `jiffy-block` embeds one per block (value =
+//!   `DsResult`) and replicates it down the chain, so exactly-once
+//!   survives what the per-session cache cannot: an abrupt chain-head
+//!   failure between an executed write and its retry.
 //!
 //! Request ids of `0` (unstamped requests and push traffic) bypass the
-//! cache. The cache is bounded per session ([`DEDUP_CACHE_PER_SESSION`]
-//! most-recent entries, FIFO eviction) and dropped when the session
-//! disconnects — so deduplication holds across retries on one connection,
-//! which is exactly the window in which a client reuses a request id.
+//! cache. The per-session cache is bounded ([`DEDUP_CACHE_PER_SESSION`]
+//! most-recent entries) and dropped when the session disconnects — so
+//! deduplication holds across retries on one connection, which is the
+//! window in which a client reuses a request id on a *healthy* chain.
 
 use jiffy_sync::Arc;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
+use jiffy_common::{JiffyError, Result};
 use jiffy_proto::Envelope;
 use jiffy_sync::Mutex;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
 
 use crate::service::{Service, SessionHandle};
 
-/// Responses remembered per session before FIFO eviction.
+/// Responses remembered per session before eviction.
 pub const DEDUP_CACHE_PER_SESSION: usize = 128;
 
+/// A bounded `(request id → value)` replay window with LRU eviction.
+///
+/// The window remembers the result of each recently executed request so
+/// a retry carrying the same id can be answered without re-executing.
+/// Entries carry an explicit byte weight; eviction (least-recently-used
+/// first) keeps the window within both an entry count and a byte budget.
+/// Lookups *touch* their entry, so an id that is actively being retried
+/// stays resident while idle entries age out.
+///
+/// The window is not itself synchronized — callers wrap it in whatever
+/// lock already guards the state it shadows (the per-block mutex on the
+/// replicate path, the session-map mutex in [`Deduplicated`]), which is
+/// what makes "execute + record" atomic with respect to a concurrent
+/// retry.
+/// Identity hasher for request-id keys. Rids are client-assigned
+/// sequential counters (and the transport's auto-ids likewise), so
+/// their low bits are already uniformly distributed for bucketing —
+/// SipHash would only add per-op latency on the replicated write path.
 #[derive(Default)]
-struct SessionCache {
-    /// Insertion order for FIFO eviction.
-    order: VecDeque<u64>,
-    /// Request id -> response envelope.
-    responses: HashMap<u64, Envelope>,
+pub struct RidHasher(u64);
+
+impl Hasher for RidHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = self.0.rotate_left(8) ^ u64::from(b);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
 }
 
-impl SessionCache {
-    fn insert(&mut self, id: u64, resp: Envelope, capacity: usize) {
-        if self.responses.insert(id, resp).is_none() {
-            self.order.push_back(id);
-            if self.order.len() > capacity {
-                if let Some(old) = self.order.pop_front() {
-                    self.responses.remove(&old);
+pub struct ReplayWindow<V> {
+    /// id → (recency seq, byte weight, value).
+    entries: HashMap<u64, (u64, u64, V), BuildHasherDefault<RidHasher>>,
+    /// Recency index: seq → id, oldest first.
+    by_seq: BTreeMap<u64, u64>,
+    /// Next recency seq to assign (monotone; touched entries move here).
+    next_seq: u64,
+    /// Sum of entry byte weights.
+    bytes: u64,
+    max_entries: usize,
+    max_bytes: u64,
+    /// Highest recency seq ever evicted. A miss only proves
+    /// non-execution while the op's era is above the watermark; windows
+    /// are sized far above the in-flight op count so live retries always
+    /// land inside it.
+    watermark: u64,
+}
+
+/// Serialized form of a window, as a plain tuple (the vendored
+/// serde_derive does not support generic structs): `(next_seq,
+/// watermark, entries)` with entries `(id, seq, bytes, value)` in
+/// ascending seq order — the counters make an import into an empty
+/// window an exact restore.
+type WindowImage<V> = (u64, u64, Vec<(u64, u64, u64, V)>);
+
+impl<V> ReplayWindow<V> {
+    /// Creates an empty window bounded to `max_entries` entries and
+    /// `max_bytes` total byte weight (each clamped to at least 1).
+    pub fn new(max_entries: usize, max_bytes: u64) -> Self {
+        Self {
+            entries: HashMap::default(),
+            by_seq: BTreeMap::new(),
+            next_seq: 1,
+            bytes: 0,
+            max_entries: max_entries.max(1),
+            max_bytes: max_bytes.max(1),
+            watermark: 0,
+        }
+    }
+
+    /// Looks up a cached value, refreshing its recency.
+    pub fn lookup(&mut self, id: u64) -> Option<&V> {
+        let entry = self.entries.get_mut(&id)?;
+        self.by_seq.remove(&entry.0);
+        entry.0 = self.next_seq;
+        self.by_seq.insert(self.next_seq, id);
+        self.next_seq += 1;
+        self.entries.get(&id).map(|(_, _, v)| v)
+    }
+
+    /// Records a value under `id` with the given byte weight, evicting
+    /// least-recently-used entries until the window fits its bounds
+    /// again (the entry just inserted is never evicted, so a single
+    /// oversized value may transiently exceed the byte budget alone).
+    /// A repeated id keeps the first value: the first execution's result
+    /// is the canonical one.
+    pub fn insert(&mut self, id: u64, value: V, bytes: u64) {
+        if self.entries.contains_key(&id) {
+            return;
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.entries.insert(id, (seq, bytes, value));
+        self.by_seq.insert(seq, id);
+        self.bytes += bytes;
+        while self.entries.len() > self.max_entries
+            || (self.bytes > self.max_bytes && self.entries.len() > 1)
+        {
+            let Some((&old_seq, &old_id)) = self.by_seq.iter().next() else {
+                break;
+            };
+            if old_id == id {
+                break;
+            }
+            self.by_seq.remove(&old_seq);
+            if let Some((_, b, _)) = self.entries.remove(&old_id) {
+                self.bytes -= b;
+            }
+            self.watermark = self.watermark.max(old_seq);
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the window holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Sum of resident entries' byte weights.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Highest recency seq ever evicted (0 when nothing was evicted).
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Drops every entry and resets the counters.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_seq.clear();
+        self.next_seq = 1;
+        self.bytes = 0;
+        self.watermark = 0;
+    }
+}
+
+impl<V: Serialize + Clone> ReplayWindow<V> {
+    /// Serializes the window (entries in recency order plus counters).
+    /// Importing the bytes into an *empty* window restores it exactly,
+    /// so export → import → export round-trips byte-for-byte.
+    ///
+    /// # Errors
+    ///
+    /// Serialization failures.
+    pub fn export_bytes(&self) -> Result<Vec<u8>> {
+        let entries = self
+            .by_seq
+            .iter()
+            .map(|(&seq, &id)| {
+                let (_, bytes, v) = &self.entries[&id];
+                (id, seq, *bytes, v.clone())
+            })
+            .collect();
+        let image: WindowImage<V> = (self.next_seq, self.watermark, entries);
+        jiffy_proto::to_bytes(&image)
+            .map_err(|e| JiffyError::Internal(format!("replay window export: {e}")))
+    }
+}
+
+impl<V: DeserializeOwned> ReplayWindow<V> {
+    /// Absorbs an exported window. Into an empty window this is an exact
+    /// restore (seqs and watermark preserved); into a non-empty one the
+    /// imported entries are re-sequenced behind the resident ones in
+    /// their original recency order (merge semantics — a repartition
+    /// target keeps its own entries and gains the source's). Repeated
+    /// ids keep the resident value. Empty input is a no-op.
+    ///
+    /// # Errors
+    ///
+    /// Malformed bytes.
+    pub fn import_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        if bytes.is_empty() {
+            return Ok(());
+        }
+        let (next_seq, watermark, entries): WindowImage<V> = jiffy_proto::from_bytes(bytes)
+            .map_err(|e| JiffyError::Internal(format!("replay window import: {e}")))?;
+        if self.entries.is_empty() && self.watermark == 0 {
+            self.next_seq = next_seq;
+            self.watermark = watermark;
+            for (id, seq, bytes, value) in entries {
+                if self.entries.insert(id, (seq, bytes, value)).is_none() {
+                    self.by_seq.insert(seq, id);
+                    self.bytes += bytes;
                 }
             }
+        } else {
+            self.watermark = self.watermark.max(watermark);
+            for (id, _, bytes, value) in entries {
+                self.insert(id, value, bytes);
+            }
         }
+        Ok(())
+    }
+}
+
+impl<V> std::fmt::Debug for ReplayWindow<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ReplayWindow({} entries, {} bytes, watermark {})",
+            self.entries.len(),
+            self.bytes,
+            self.watermark
+        )
     }
 }
 
@@ -50,7 +260,7 @@ impl SessionCache {
 /// ids so retried mutations execute exactly once per session.
 pub struct Deduplicated<S: Service> {
     inner: S,
-    sessions: Mutex<HashMap<u64, SessionCache>>,
+    sessions: Mutex<HashMap<u64, ReplayWindow<Envelope>>>,
     capacity: usize,
     replays: jiffy_sync::atomic::AtomicU64,
 }
@@ -97,20 +307,20 @@ impl<S: Service> Deduplicated<S> {
         }
     }
 
-    /// Throttled answers mean "the server chose not to execute" — the op
-    /// never ran, so there is nothing whose re-execution must be
-    /// suppressed. Caching one would replay the rejection at a retry that
-    /// should be admitted once the tenant's tokens refill.
-    fn is_throttled(resp: &Envelope) -> bool {
+    /// Error answers mean "the op did not take effect" — a `Throttled`
+    /// rejection precedes execution, and every other error leaves the
+    /// target unmutated — so there is nothing whose re-execution must be
+    /// suppressed. They are also not worth pinning: a routing retry now
+    /// reuses its request id across a metadata refresh, so a cached
+    /// `StaleMetadata` or dead-downstream `Unavailable` would be
+    /// replayed forever after the condition healed. (Per-op errors
+    /// inside an `Ok(DataResponse::Batch)` prefix are still cached with
+    /// the batch: the executed prefix is what a duplicate delivery must
+    /// not re-run.)
+    fn is_error(resp: &Envelope) -> bool {
         matches!(
             resp,
-            Envelope::DataResp {
-                resp: Err(jiffy_common::JiffyError::Throttled { .. }),
-                ..
-            } | Envelope::ControlResp {
-                resp: Err(jiffy_common::JiffyError::Throttled { .. }),
-                ..
-            }
+            Envelope::DataResp { resp: Err(_), .. } | Envelope::ControlResp { resp: Err(_), .. }
         )
     }
 }
@@ -120,8 +330,8 @@ impl<S: Service> Service for Deduplicated<S> {
         let Some(id) = Self::request_id(&req) else {
             return self.inner.handle(req, session);
         };
-        if let Some(cache) = self.sessions.lock().get(&session.id()) {
-            if let Some(resp) = cache.responses.get(&id) {
+        if let Some(cache) = self.sessions.lock().get_mut(&session.id()) {
+            if let Some(resp) = cache.lookup(id) {
                 self.replays
                     .fetch_add(1, jiffy_sync::atomic::Ordering::Relaxed);
                 return resp.clone();
@@ -131,12 +341,12 @@ impl<S: Service> Service for Deduplicated<S> {
         // duplicates may both execute (same race exists on a real network);
         // the cache closes the much wider retry-after-timeout window.
         let resp = self.inner.handle(req, session);
-        if !Self::is_throttled(&resp) {
+        if !Self::is_error(&resp) {
             self.sessions
                 .lock()
                 .entry(session.id())
-                .or_default()
-                .insert(id, resp.clone(), self.capacity);
+                .or_insert_with(|| ReplayWindow::new(self.capacity, u64::MAX))
+                .insert(id, resp.clone(), 0);
         }
         resp
     }
@@ -236,7 +446,7 @@ mod tests {
     }
 
     #[test]
-    fn cache_is_bounded_fifo() {
+    fn cache_is_bounded_lru() {
         let d = svc();
         let s = session();
         let first = d.handle(req(1), &s);
@@ -249,6 +459,24 @@ mod tests {
                                   // But recent ids are still cached.
         let recent = DEDUP_CACHE_PER_SESSION as u64 + 1;
         assert_eq!(d.handle(req(recent), &s), d.handle(req(recent), &s));
+    }
+
+    #[test]
+    fn actively_retried_ids_stay_resident() {
+        // A lookup refreshes recency: an id that keeps being retried is
+        // not evicted by newer traffic, unlike under FIFO.
+        let d = svc();
+        let s = session();
+        let first = d.handle(req(1), &s);
+        for id in 2..(DEDUP_CACHE_PER_SESSION as u64) {
+            d.handle(req(id), &s);
+            assert_eq!(d.handle(req(1), &s), first); // touch
+        }
+        // Two more distinct ids would evict the FIFO-oldest (1) but must
+        // evict an idle id instead.
+        d.handle(req(10_001), &s);
+        d.handle(req(10_002), &s);
+        assert_eq!(d.handle(req(1), &s), first);
     }
 
     #[test]
@@ -266,6 +494,7 @@ mod tests {
                     jiffy_proto::DsOp::Enqueue { item: "a".into() },
                     jiffy_proto::DsOp::Enqueue { item: "b".into() },
                 ],
+                rids: vec![],
             },
             tenant: jiffy_common::TenantId::ANONYMOUS,
         };
@@ -277,14 +506,15 @@ mod tests {
     }
 
     #[test]
-    fn throttled_responses_are_not_cached() {
-        // A Throttled answer means "did not execute", so a retry with the
-        // same id must reach the service again rather than replay the
-        // rejection forever.
-        struct ThrottleOnce {
+    fn error_responses_are_not_cached() {
+        // An error answer means "did not execute" (throttles precede
+        // execution; other errors leave the target unmutated), so a
+        // retry with the same id must reach the service again rather
+        // than replay a possibly-healed rejection forever.
+        struct FailOnce {
             executed: AtomicUsize,
         }
-        impl Service for ThrottleOnce {
+        impl Service for FailOnce {
             fn handle(&self, req: Envelope, _s: &SessionHandle) -> Envelope {
                 let n = self.executed.fetch_add(1, Ordering::SeqCst);
                 let id = match req {
@@ -296,6 +526,11 @@ mod tests {
                         id,
                         resp: Err(jiffy_common::JiffyError::Throttled { retry_after_ms: 1 }),
                     }
+                } else if n == 1 {
+                    Envelope::DataResp {
+                        id,
+                        resp: Err(jiffy_common::JiffyError::StaleMetadata),
+                    }
                 } else {
                     Envelope::DataResp {
                         id,
@@ -304,25 +539,27 @@ mod tests {
                 }
             }
         }
-        let d = Deduplicated::new(ThrottleOnce {
+        let d = Deduplicated::new(FailOnce {
             executed: AtomicUsize::new(0),
         });
         let s = session();
         let first = d.handle(req(21), &s);
-        assert!(Deduplicated::<ThrottleOnce>::is_throttled(&first));
+        assert!(Deduplicated::<FailOnce>::is_error(&first));
         let second = d.handle(req(21), &s);
+        assert!(Deduplicated::<FailOnce>::is_error(&second));
+        let third = d.handle(req(21), &s);
         assert_eq!(
-            second,
+            third,
             Envelope::DataResp {
                 id: 21,
                 resp: Ok(DataResponse::Pong)
             }
         );
-        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 2);
+        assert_eq!(d.inner().executed.load(Ordering::SeqCst), 3);
         assert_eq!(d.replays(), 0);
         // The successful answer IS cached.
-        let third = d.handle(req(21), &s);
-        assert_eq!(second, third);
+        let fourth = d.handle(req(21), &s);
+        assert_eq!(third, fourth);
         assert_eq!(d.replays(), 1);
     }
 
@@ -339,5 +576,48 @@ mod tests {
         let b = d.handle(req(9), &s);
         assert_eq!(a, b);
         assert_eq!(d.inner().executed.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn window_evicts_lru_within_entry_and_byte_bounds() {
+        let mut w: ReplayWindow<u64> = ReplayWindow::new(3, 100);
+        w.insert(1, 10, 40);
+        w.insert(2, 20, 40);
+        assert_eq!(w.lookup(1), Some(&10)); // touch 1: 2 is now LRU
+        w.insert(3, 30, 40); // 120 bytes > 100: evict 2
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.bytes(), 80);
+        assert_eq!(w.lookup(2), None);
+        assert_eq!(w.lookup(1), Some(&10));
+        assert!(w.watermark() > 0);
+        // Entry-count bound.
+        w.insert(4, 40, 1);
+        w.insert(5, 50, 1);
+        assert_eq!(w.len(), 3);
+        // First insert wins on a repeated id.
+        w.insert(5, 99, 1);
+        assert_eq!(w.lookup(5), Some(&50));
+    }
+
+    #[test]
+    fn window_export_import_round_trips() {
+        let mut w: ReplayWindow<u64> = ReplayWindow::new(4, 1000);
+        for id in 1..=6u64 {
+            w.insert(id, id * 100, 8);
+        }
+        w.lookup(3);
+        let bytes = w.export_bytes().unwrap();
+        let mut restored: ReplayWindow<u64> = ReplayWindow::new(4, 1000);
+        restored.import_bytes(&bytes).unwrap();
+        assert_eq!(restored.len(), w.len());
+        assert_eq!(restored.bytes(), w.bytes());
+        assert_eq!(restored.watermark(), w.watermark());
+        assert_eq!(restored.export_bytes().unwrap(), bytes);
+        // Merge into a non-empty window keeps resident entries.
+        let mut target: ReplayWindow<u64> = ReplayWindow::new(8, 1000);
+        target.insert(3, 7, 8);
+        target.import_bytes(&bytes).unwrap();
+        assert_eq!(target.lookup(3), Some(&7)); // resident wins
+        assert_eq!(target.lookup(6), Some(&600));
     }
 }

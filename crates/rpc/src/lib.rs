@@ -37,7 +37,7 @@ pub mod retry;
 pub mod service;
 pub mod tcp;
 
-pub use dedup::Deduplicated;
+pub use dedup::{Deduplicated, ReplayWindow};
 pub use fabric::{Fabric, LatencyInjector};
 pub use fault::{ChaosConn, FaultInjector, FaultRule, FaultStats};
 pub use inproc::InprocHub;

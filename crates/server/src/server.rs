@@ -9,7 +9,7 @@ use jiffy_common::clock::SystemClock;
 use jiffy_common::{BlockId, JiffyConfig, JiffyError, Result, ServerId, TenantId};
 use jiffy_proto::{
     ControlRequest, ControlResponse, DataRequest, DataResponse, DsOp, DsResult, Envelope,
-    MergeSpec, SplitSpec,
+    MergeSpec, SplitSpec, CLIENT_RID_BASE, INTERNAL_RID,
 };
 use jiffy_qos::AdmissionControl;
 use jiffy_rpc::{Fabric, Service, SessionHandle};
@@ -30,6 +30,9 @@ pub struct ServerStats {
     pub merges: u64,
     /// Repartition payloads imported (as the target block).
     pub imports: u64,
+    /// Retried requests answered from a block's replicated replay window
+    /// instead of re-executing (exactly-once across head failover).
+    pub window_replays: u64,
 }
 
 #[derive(Default)]
@@ -39,6 +42,7 @@ struct StatCells {
     splits: AtomicU64,
     merges: AtomicU64,
     imports: AtomicU64,
+    window_replays: AtomicU64,
 }
 
 /// One Jiffy memory server.
@@ -169,6 +173,7 @@ impl MemoryServer {
             splits: self.stats.splits.load(Ordering::Relaxed),
             merges: self.stats.merges.load(Ordering::Relaxed),
             imports: self.stats.imports.load(Ordering::Relaxed),
+            window_replays: self.stats.window_replays.load(Ordering::Relaxed),
         }
     }
 
@@ -199,11 +204,39 @@ impl MemoryServer {
         }
     }
 
-    fn execute_op(&self, block_id: BlockId, op: &DsOp) -> Result<DsResult> {
+    /// Whether `rid` identifies a client-stamped mutation whose result
+    /// belongs in the block's replay window. Pure reads are idempotent
+    /// (re-executing one is harmless), and internal/auto-assigned ids
+    /// (fan-down envelopes, legacy callers) stay below
+    /// [`CLIENT_RID_BASE`], so only client-originated writes are
+    /// tracked.
+    fn replay_tracked(rid: u64, op: &DsOp) -> bool {
+        rid >= CLIENT_RID_BASE && op.kind().is_some()
+    }
+
+    /// Executes one op, answering from the block's replay window when
+    /// the same client request id already executed here (a retry after
+    /// a lost ack or a chain-head failover). `record` is set on the
+    /// replication path, where the executing replica must remember the
+    /// result so ANY replica — including a freshly promoted head — can
+    /// answer the retry without re-executing.
+    fn execute_op(&self, block_id: BlockId, op: &DsOp, rid: u64, record: bool) -> Result<DsResult> {
         let block = self.store.get(block_id)?;
+        let tracked = Self::replay_tracked(rid, op);
         let (result, notification, event) = {
             let mut guard = block.lock();
-            guard.execute(op)?
+            if tracked {
+                if let Some(hit) = guard.replay_lookup(rid) {
+                    drop(guard);
+                    self.stats.window_replays.fetch_add(1, Ordering::Relaxed);
+                    return Ok(hit);
+                }
+            }
+            let executed = guard.execute(op)?;
+            if tracked && record {
+                guard.replay_record(rid, &executed.0);
+            }
+            executed
         };
         self.stats.ops.fetch_add(1, Ordering::Relaxed);
         if let Some(n) = notification {
@@ -228,18 +261,53 @@ impl MemoryServer {
     ///
     /// Notifications and threshold events are collected inside the lock
     /// but published after it drops, like the single-op path.
-    fn execute_batch(&self, block_id: BlockId, ops: &[DsOp]) -> Result<Vec<Result<DsResult>>> {
+    ///
+    /// `rids` carries one client request id per op (or is empty for
+    /// read-only batches): retries may regroup pending ops into
+    /// different batches after a split re-routes some of them, so the
+    /// replay window tracks individual ops, never batch identities. An
+    /// op whose rid already sits in the window replays its cached
+    /// result instead of executing.
+    fn execute_batch(
+        &self,
+        block_id: BlockId,
+        ops: &[DsOp],
+        rids: &[u64],
+        record: bool,
+    ) -> Result<Vec<Result<DsResult>>> {
+        if !rids.is_empty() && rids.len() != ops.len() {
+            return Err(JiffyError::Rpc(format!(
+                "batch rids/ops length mismatch: {} rids for {} ops",
+                rids.len(),
+                ops.len()
+            )));
+        }
         let block = self.store.get(block_id)?;
         let mut results = Vec::with_capacity(ops.len());
         let mut notifications = Vec::new();
         let mut last_event = None;
         let mut executed = 0u64;
+        let mut replayed = 0u64;
         {
             let mut guard = block.lock();
-            for op in ops {
+            for (i, op) in ops.iter().enumerate() {
+                let rid = rids.get(i).copied().unwrap_or(INTERNAL_RID);
+                if Self::replay_tracked(rid, op) {
+                    if let Some(hit) = guard.replay_lookup(rid) {
+                        // Already executed here (the ack was lost, or a
+                        // promoted replica is answering the retry):
+                        // notifications were published the first time.
+                        replayed += 1;
+                        results.push(Ok(hit));
+                        continue;
+                    }
+                }
                 match guard.execute(op) {
                     Ok((result, notification, event)) => {
                         executed += 1;
+                        if record && Self::replay_tracked(rid, op) {
+                            guard.replay_record(rid, &result);
+                        }
                         if let Some(n) = notification {
                             notifications.push(n);
                         }
@@ -258,6 +326,9 @@ impl MemoryServer {
             }
         }
         self.stats.ops.fetch_add(executed, Ordering::Relaxed);
+        self.stats
+            .window_replays
+            .fetch_add(replayed, Ordering::Relaxed);
         for n in notifications {
             let fanned = self.subs.publish(&n);
             self.stats
@@ -292,12 +363,24 @@ impl MemoryServer {
         target: Option<&jiffy_proto::BlockLocation>,
     ) -> Result<()> {
         let block = self.store.get(block_id)?;
-        let payload = {
+        let (payload, replay) = {
             let mut guard = block.lock();
             guard.set_repartition_in_flight(true);
+            // The replay window travels with repartitioned data: a
+            // retry for a key that moved re-routes to the target block
+            // and must still find its cached result there. The snapshot
+            // is taken under the same lock as the extraction, so it
+            // covers every op the shipped payload reflects.
+            let replay = match guard.export_replay() {
+                Ok(r) => r,
+                Err(e) => {
+                    guard.set_repartition_in_flight(false);
+                    return Err(e);
+                }
+            };
             let r = guard.partition_mut()?.split_out(spec);
             match r {
-                Ok(p) => p,
+                Ok(p) => (p, replay),
                 Err(e) => {
                     guard.set_repartition_in_flight(false);
                     return Err(e);
@@ -309,7 +392,7 @@ impl MemoryServer {
         // transfer).
         let data_moved = !payload.is_empty();
         let result = match (target, data_moved) {
-            (Some(t), true) => self.ship_payload(t, &payload),
+            (Some(t), true) => self.ship_payload(t, &payload, &replay),
             _ => Ok(()),
         };
         let mut guard = block.lock();
@@ -330,12 +413,21 @@ impl MemoryServer {
         target: Option<&jiffy_proto::BlockLocation>,
     ) -> Result<()> {
         let block = self.store.get(block_id)?;
-        let payloads = {
+        let (payloads, replay) = {
             let mut guard = block.lock();
             guard.set_repartition_in_flight(true);
+            // As with split: the merged-away block's replay window moves
+            // to the target, where retries for its keys will re-route.
+            let replay = match guard.export_replay() {
+                Ok(r) => r,
+                Err(e) => {
+                    guard.set_repartition_in_flight(false);
+                    return Err(e);
+                }
+            };
             let r = guard.partition_mut()?.merge_out();
             match r {
-                Ok(p) => p,
+                Ok(p) => (p, replay),
                 Err(e) => {
                     guard.set_repartition_in_flight(false);
                     return Err(e);
@@ -346,7 +438,7 @@ impl MemoryServer {
         let mut shipped = 0;
         if let Some(t) = target {
             for p in &payloads {
-                match self.ship_payload(t, p) {
+                match self.ship_payload(t, p, &replay) {
                     Ok(()) => shipped += 1,
                     Err(e) => {
                         result = Err(e);
@@ -377,25 +469,33 @@ impl MemoryServer {
         result
     }
 
-    fn ship_payload(&self, target: &jiffy_proto::BlockLocation, payload: &[u8]) -> Result<()> {
+    fn ship_payload(
+        &self,
+        target: &jiffy_proto::BlockLocation,
+        payload: &[u8],
+        replay: &[u8],
+    ) -> Result<()> {
         // Every replica of the target chain absorbs the payload: reads
         // route to the tail, so a transfer that stopped at the head
         // would leave replicas answering `StaleMetadata` for the moved
-        // ranges forever (and a later promotion would lose them).
+        // ranges forever (and a later promotion would lose them). The
+        // replay window ships alongside for the same reason: any
+        // replica may be asked to answer a retry after a promotion.
         let my_addr = self.identity().map(|(_, addr)| addr);
         for replica in &target.chain {
             // Local-target fast path (same server): skip the transport.
             if my_addr.as_deref() == Some(replica.addr.as_str()) {
-                self.import_payload(replica.block, payload)?;
+                self.import_payload(replica.block, payload, replay)?;
                 continue;
             }
             let conn = self.fabric.connect(&replica.addr)?;
             // Server-to-server transfer: exempt from admission control.
             match conn.call(Envelope::DataReq {
-                id: 0,
+                id: INTERNAL_RID,
                 req: DataRequest::ImportPayload {
                     block: replica.block,
                     payload: payload.into(),
+                    replay: replay.into(),
                 },
                 tenant: TenantId::ANONYMOUS,
             })? {
@@ -407,11 +507,12 @@ impl MemoryServer {
         Ok(())
     }
 
-    fn import_payload(&self, block_id: BlockId, payload: &[u8]) -> Result<()> {
+    fn import_payload(&self, block_id: BlockId, payload: &[u8], replay: &[u8]) -> Result<()> {
         let block = self.store.get(block_id)?;
         let event = {
             let mut guard = block.lock();
             guard.partition_mut()?.absorb(payload)?;
+            guard.import_replay(replay)?;
             guard.check_thresholds()
         };
         if let Some(e) = event {
@@ -426,8 +527,15 @@ impl MemoryServer {
         block_id: BlockId,
         op: &DsOp,
         downstream: &[jiffy_proto::Replica],
+        rid: u64,
     ) -> Result<DsResult> {
-        let result = self.execute_op(block_id, op)?;
+        // Execute-or-replay under the block lock, recording the result
+        // in the replay window so a retry after this replica is
+        // promoted to head answers from the cache. A window hit still
+        // falls through to the fan-down below: the first attempt may
+        // have died mid-chain, so the retry must finish propagating the
+        // write (downstream replicas dedupe via their own windows).
+        let result = self.execute_op(block_id, op, rid, true)?;
         // Forward down the chain before acknowledging (chain
         // replication: a write is durable once the tail has it).
         if let Some((next, rest)) = downstream.split_first() {
@@ -435,13 +543,16 @@ impl MemoryServer {
             // The chain-head already charged this op against the tenant;
             // forwarding anonymously keeps replication from multiplying
             // the charge (and from being throttled mid-chain, which
-            // would leave replicas diverged).
+            // would leave replicas diverged). The originating request id
+            // fans down explicitly — the envelope id is re-stamped by
+            // the transport, so it cannot carry the rid.
             match conn.call(Envelope::DataReq {
-                id: 0,
+                id: INTERNAL_RID,
                 req: DataRequest::Replicate {
                     block: next.block,
                     op: op.clone(),
                     downstream: rest.to_vec(),
+                    rid,
                 },
                 tenant: TenantId::ANONYMOUS,
             })? {
@@ -453,6 +564,60 @@ impl MemoryServer {
         Ok(result)
     }
 
+    /// The batched replication path: executes the batch locally (with
+    /// per-op replay-window dedup), then fans the successfully executed
+    /// prefix down the chain. Only the `Ok` prefix propagates — under
+    /// stop-at-first-error semantics the ops after a failure never
+    /// executed here, so forwarding them would diverge the replicas.
+    fn replicate_batch(
+        &self,
+        block_id: BlockId,
+        ops: &[DsOp],
+        downstream: &[jiffy_proto::Replica],
+        rids: &[u64],
+    ) -> Result<Vec<Result<DsResult>>> {
+        let results = self.execute_batch(block_id, ops, rids, true)?;
+        let ok_prefix = results.iter().take_while(|r| r.is_ok()).count();
+        if ok_prefix > 0 {
+            if let Some((next, rest)) = downstream.split_first() {
+                let conn = self.fabric.connect(&next.addr)?;
+                let fan_rids = if rids.is_empty() {
+                    Vec::new()
+                } else {
+                    rids[..ok_prefix].to_vec()
+                };
+                match conn.call(Envelope::DataReq {
+                    id: INTERNAL_RID,
+                    req: DataRequest::ReplicateBatch {
+                        block: next.block,
+                        ops: ops[..ok_prefix].to_vec(),
+                        downstream: rest.to_vec(),
+                        rids: fan_rids,
+                    },
+                    tenant: TenantId::ANONYMOUS,
+                })? {
+                    Envelope::DataResp {
+                        resp: Ok(DataResponse::Batch(down)),
+                        ..
+                    } => {
+                        // The downstream replica saw exactly the ops we
+                        // executed; anything but an all-`Ok` echo of
+                        // that prefix means the chain diverged.
+                        if down.len() != ok_prefix || down.iter().any(Result::is_err) {
+                            return Err(JiffyError::Rpc(format!(
+                                "replicated batch diverged downstream: \
+                                 {ok_prefix} ops forwarded, reply {down:?}"
+                            )));
+                        }
+                    }
+                    Envelope::DataResp { resp: Err(e), .. } => return Err(e),
+                    other => return Err(JiffyError::Rpc(format!("unexpected reply: {other:?}"))),
+                }
+            }
+        }
+        Ok(results)
+    }
+
     /// The `(ops, ingress bytes)` cost admission control charges for a
     /// request, or `None` for requests exempt from throttling (reads of
     /// metadata, subscriptions, and controller/server-internal traffic).
@@ -461,7 +626,7 @@ impl MemoryServer {
             DataRequest::Op { op, .. } | DataRequest::Replicate { op, .. } => {
                 Some((1, op.ingress_bytes()))
             }
-            DataRequest::Batch { ops, .. } => {
+            DataRequest::Batch { ops, .. } | DataRequest::ReplicateBatch { ops, .. } => {
                 Some((ops.len() as u64, ops.iter().map(DsOp::ingress_bytes).sum()))
             }
             // Exempt: metadata reads, subscriptions, liveness, and the
@@ -502,6 +667,7 @@ impl MemoryServer {
         req: DataRequest,
         tenant: TenantId,
         session: &SessionHandle,
+        rid: u64,
     ) -> Result<DataResponse> {
         // Admission control runs BEFORE any execution or replay-cache
         // registration: a `Throttled` answer is a server-definitive
@@ -511,7 +677,7 @@ impl MemoryServer {
         if let Some((ops, bytes)) = Self::admission_cost(&req) {
             self.qos.admit(tenant, ops, bytes)?;
         }
-        let resp = self.dispatch_inner(req, session)?;
+        let resp = self.dispatch_inner(req, session, rid)?;
         let egress = Self::egress_cost(&resp);
         if egress > 0 {
             self.qos.charge_egress(tenant, egress);
@@ -519,10 +685,23 @@ impl MemoryServer {
         Ok(resp)
     }
 
-    fn dispatch_inner(&self, req: DataRequest, session: &SessionHandle) -> Result<DataResponse> {
+    fn dispatch_inner(
+        &self,
+        req: DataRequest,
+        session: &SessionHandle,
+        rid: u64,
+    ) -> Result<DataResponse> {
         match req {
             DataRequest::Op { block, op } => {
-                Ok(DataResponse::OpResult(self.execute_op(block, &op)?))
+                // The envelope id doubles as the request id on the plain
+                // Op path (clients stamp both from one counter). Lookup
+                // only — a single-replica block has nowhere to fail over
+                // to, so the per-session dedup cache already covers the
+                // lost-ack case; the block window answers retries that
+                // re-route here after a promotion or migration.
+                Ok(DataResponse::OpResult(
+                    self.execute_op(block, &op, rid, false)?,
+                ))
             }
             DataRequest::Subscribe { block, ops } => {
                 // Validate the block exists so clients learn of typos.
@@ -542,18 +721,35 @@ impl MemoryServer {
                     capacity: guard.capacity() as u64,
                 })
             }
-            DataRequest::ImportPayload { block, payload } => {
-                self.import_payload(block, &payload)?;
+            DataRequest::ImportPayload {
+                block,
+                payload,
+                replay,
+            } => {
+                self.import_payload(block, &payload, &replay)?;
                 Ok(DataResponse::Ack)
             }
             DataRequest::Replicate {
                 block,
                 op,
                 downstream,
+                rid,
             } => Ok(DataResponse::OpResult(self.replicate(
                 block,
                 &op,
                 &downstream,
+                rid,
+            )?)),
+            DataRequest::ReplicateBatch {
+                block,
+                ops,
+                downstream,
+                rids,
+            } => Ok(DataResponse::Batch(self.replicate_batch(
+                block,
+                &ops,
+                &downstream,
+                &rids,
             )?)),
             DataRequest::SplitBlock {
                 block,
@@ -583,9 +779,16 @@ impl MemoryServer {
             DataRequest::ExportBlock { block } => {
                 let block = self.store.get(block)?;
                 let guard = block.lock();
+                // Payload and replay window snapshot under ONE lock, so
+                // the window is exactly as of the exported image (a
+                // migration re-imports both at every destination
+                // replica; flush drops the window — persisted images
+                // predate any retry they could answer).
                 let payload = guard.partition_ref()?.export()?;
+                let replay = guard.export_replay()?;
                 Ok(DataResponse::Exported {
                     payload: payload.into(),
+                    replay: replay.into(),
                 })
             }
             DataRequest::SealBlock { block, sealed } => {
@@ -599,9 +802,9 @@ impl MemoryServer {
                 Ok(DataResponse::Ack)
             }
             DataRequest::Ping => Ok(DataResponse::Pong),
-            DataRequest::Batch { block, ops } => {
-                Ok(DataResponse::Batch(self.execute_batch(block, &ops)?))
-            }
+            DataRequest::Batch { block, ops, rids } => Ok(DataResponse::Batch(
+                self.execute_batch(block, &ops, &rids, false)?,
+            )),
         }
     }
 
@@ -683,7 +886,7 @@ impl Service for MemoryServer {
         match req {
             Envelope::DataReq { id, req, tenant } => Envelope::DataResp {
                 id,
-                resp: self.dispatch(req, tenant, session),
+                resp: self.dispatch(req, tenant, session, id),
             },
             Envelope::ControlReq { id, .. } => Envelope::ControlResp {
                 id,
@@ -865,6 +1068,7 @@ mod tests {
             &loc.head().addr,
             DataRequest::Batch {
                 block: loc.id(),
+                rids: vec![],
                 ops: vec![
                     DsOp::Put {
                         key: "a".into(),
@@ -914,6 +1118,7 @@ mod tests {
             DataRequest::Batch {
                 block: BlockId(9999),
                 ops: vec![DsOp::KvCount],
+                rids: vec![],
             },
         )
         .is_err());
@@ -1203,6 +1408,7 @@ mod tests {
                     server: ServerId(1),
                     addr: addr1.to_string(),
                 }],
+                rid: CLIENT_RID_BASE + 1,
             },
         )
         .unwrap();
@@ -1220,5 +1426,226 @@ mod tests {
             got,
             DataResponse::OpResult(DsResult::MaybeData(Some("v".into())))
         );
+    }
+
+    /// The tentpole invariant, driven deterministically: a replicated
+    /// write executes on head and tail; the head then "dies" (we simply
+    /// stop talking to it) and the client retries the same request id
+    /// against the promoted tail. The retry is answered from the tail's
+    /// replay window — byte-identical result, zero re-executions.
+    #[test]
+    fn promoted_replica_answers_retry_from_replay_window() {
+        let (fabric, _ctrl_addr, servers) = cluster(2, 2);
+        let params = jiffy_proto::to_bytes(&jiffy_ds::KvParams {
+            ranges: vec![(0, 1023)],
+            num_slots: 1024,
+        })
+        .unwrap();
+        let addr0 = "inproc:1";
+        let addr1 = "inproc:2";
+        for (addr, block) in [(addr0, BlockId(0)), (addr1, BlockId(2))] {
+            data(
+                &fabric,
+                addr,
+                DataRequest::InitBlock {
+                    block,
+                    ds: DsType::KvStore.to_string(),
+                    params: params.clone().into(),
+                },
+            )
+            .unwrap();
+        }
+        let rid = CLIENT_RID_BASE + 42;
+        let put = DsOp::Put {
+            key: "k".into(),
+            value: "v1".into(),
+        };
+        // First attempt: executes on both replicas. Put over an absent
+        // key answers `Replaced(None)` — re-executing it would answer
+        // `Replaced(Some("v1"))`, so the reply itself proves whether
+        // the retry replayed or re-ran.
+        let first = data(
+            &fabric,
+            addr0,
+            DataRequest::Replicate {
+                block: BlockId(0),
+                op: put.clone(),
+                downstream: vec![jiffy_proto::Replica {
+                    block: BlockId(2),
+                    server: ServerId(1),
+                    addr: addr1.to_string(),
+                }],
+                rid,
+            },
+        )
+        .unwrap();
+        assert_eq!(first, DataResponse::OpResult(DsResult::Replaced(None)));
+        let (ops0, ops1) = (servers[0].stats().ops, servers[1].stats().ops);
+        // Head failover: the promoted tail serves the block alone, so
+        // the retry arrives as a plain Op whose envelope id carries the
+        // original request id.
+        let conn = fabric.connect(addr1).unwrap();
+        let retried = match conn
+            .call(Envelope::DataReq {
+                id: rid,
+                req: DataRequest::Op {
+                    block: BlockId(2),
+                    op: put,
+                },
+                tenant: TenantId::ANONYMOUS,
+            })
+            .unwrap()
+        {
+            Envelope::DataResp { resp, .. } => resp.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            retried,
+            DataResponse::OpResult(DsResult::Replaced(None)),
+            "retry must replay the original result, not re-execute"
+        );
+        assert_eq!(servers[0].stats().ops, ops0, "head saw no retry");
+        assert_eq!(servers[1].stats().ops, ops1, "tail must not re-execute");
+        assert_eq!(servers[1].stats().window_replays, 1);
+        // A *different* rid for the same op is a new request and does
+        // execute (second Put over the now-present key).
+        let fresh = match conn
+            .call(Envelope::DataReq {
+                id: rid + 1,
+                req: DataRequest::Op {
+                    block: BlockId(2),
+                    op: DsOp::Put {
+                        key: "k".into(),
+                        value: "v2".into(),
+                    },
+                },
+                tenant: TenantId::ANONYMOUS,
+            })
+            .unwrap()
+        {
+            Envelope::DataResp { resp, .. } => resp.unwrap(),
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(
+            fresh,
+            DataResponse::OpResult(DsResult::Replaced(Some("v1".into())))
+        );
+    }
+
+    /// Batched replication fans per-op request ids down the chain and
+    /// replays per-op on retry, even when the retry regroups the ops.
+    #[test]
+    fn replicated_batch_retries_replay_per_op() {
+        let (fabric, _ctrl_addr, servers) = cluster(2, 2);
+        let addr0 = "inproc:1";
+        let addr1 = "inproc:2";
+        for (addr, block) in [(addr0, BlockId(0)), (addr1, BlockId(2))] {
+            data(
+                &fabric,
+                addr,
+                DataRequest::InitBlock {
+                    block,
+                    ds: DsType::Queue.to_string(),
+                    params: vec![].into(),
+                },
+            )
+            .unwrap();
+        }
+        let base = CLIENT_RID_BASE + 100;
+        let ops: Vec<DsOp> = (0..4)
+            .map(|i| DsOp::Enqueue {
+                item: format!("item-{i}").into_bytes().into(),
+            })
+            .collect();
+        let rids: Vec<u64> = (0..4).map(|i| base + i).collect();
+        let downstream = vec![jiffy_proto::Replica {
+            block: BlockId(2),
+            server: ServerId(1),
+            addr: addr1.to_string(),
+        }];
+        let resp = data(
+            &fabric,
+            addr0,
+            DataRequest::ReplicateBatch {
+                block: BlockId(0),
+                ops: ops.clone(),
+                downstream: downstream.clone(),
+                rids: rids.clone(),
+            },
+        )
+        .unwrap();
+        match resp {
+            DataResponse::Batch(r) => {
+                assert_eq!(r.len(), 4);
+                assert!(r.iter().all(Result::is_ok));
+            }
+            other => panic!("{other:?}"),
+        }
+        let (ops0, ops1) = (servers[0].stats().ops, servers[1].stats().ops);
+        // Retry the SAME rids regrouped: the first two ops as one batch,
+        // the last two as singles — all must replay, none re-execute.
+        let resp = data(
+            &fabric,
+            addr0,
+            DataRequest::ReplicateBatch {
+                block: BlockId(0),
+                ops: ops[..2].to_vec(),
+                downstream: downstream.clone(),
+                rids: rids[..2].to_vec(),
+            },
+        )
+        .unwrap();
+        match resp {
+            DataResponse::Batch(r) => assert_eq!(r.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        for i in 2..4 {
+            data(
+                &fabric,
+                addr0,
+                DataRequest::Replicate {
+                    block: BlockId(0),
+                    op: ops[i].clone(),
+                    downstream: downstream.clone(),
+                    rid: rids[i],
+                },
+            )
+            .unwrap();
+        }
+        assert_eq!(servers[0].stats().ops, ops0, "head re-executed a retry");
+        assert_eq!(servers[1].stats().ops, ops1, "tail re-executed a retry");
+        assert!(servers[0].stats().window_replays >= 4);
+        assert!(servers[1].stats().window_replays >= 4);
+        // Exactly-once proof: the queue on each replica holds exactly
+        // the four items, in order.
+        for (addr, block) in [(addr0, BlockId(0)), (addr1, BlockId(2))] {
+            for i in 0..4 {
+                let got = data(
+                    &fabric,
+                    addr,
+                    DataRequest::Op {
+                        block,
+                        op: DsOp::Dequeue,
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    got,
+                    DataResponse::OpResult(DsResult::MaybeData(Some(
+                        format!("item-{i}").into_bytes().into()
+                    )))
+                );
+            }
+            let empty = data(
+                &fabric,
+                addr,
+                DataRequest::Op {
+                    block,
+                    op: DsOp::Dequeue,
+                },
+            )
+            .unwrap();
+            assert_eq!(empty, DataResponse::OpResult(DsResult::MaybeData(None)));
+        }
     }
 }

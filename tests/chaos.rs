@@ -280,15 +280,10 @@ fn throttled_aggressor_under_membership_churn_never_hurts_the_victim() {
     // mid-run. The history checker proves every acked write of *both*
     // tenants landed exactly once — throttling is retryable and never
     // double-executes — and the isolation checker proves neither tenant
-    // can read the other's keys.
-    //
-    // Churn here is graceful (drain) rather than an abrupt kill: the
-    // replay cache that makes lost-reply retries exactly-once lives in
-    // the chain head's sessions, so an abrupt head kill between a lost
-    // reply and its retry can re-execute an op on the promoted chain.
-    // That gap predates QoS (throttling merely stretches the run so
-    // churn lands amid more in-flight ops) and is tracked as a ROADMAP
-    // open item; this test pins the QoS contract, not that gap.
+    // can read the other's keys. The churn is an abrupt head kill: the
+    // replicated replay window makes retries across the promotion
+    // exactly-once even with throttling stretching the run so the kill
+    // lands amid more in-flight ops.
     lower_call_timeout();
     let cfg = HarnessConfig {
         seed: 0x0A05_0001,
@@ -309,7 +304,7 @@ fn throttled_aggressor_under_membership_churn_never_hurts_the_victim() {
         }],
         elastic: vec![
             (60, ElasticAction::JoinServer),
-            (150, ElasticAction::DrainServer),
+            (150, ElasticAction::KillServer),
         ],
         ..HarnessConfig::default()
     };

@@ -121,6 +121,7 @@ fn batch(ops: Vec<DsOp>) -> Envelope {
         req: DataRequest::Batch {
             block: BlockId(0),
             ops,
+            rids: Vec::new(),
         },
         tenant: jiffy_common::TenantId::ANONYMOUS,
     }

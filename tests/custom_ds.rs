@@ -204,7 +204,7 @@ fn custom_counter_structure_runs_on_a_memory_server() {
     )
     .unwrap()
     {
-        DataResponse::Exported { payload } => payload,
+        DataResponse::Exported { payload, .. } => payload,
         other => panic!("{other:?}"),
     };
     data(
@@ -223,6 +223,7 @@ fn custom_counter_structure_runs_on_a_memory_server() {
         DataRequest::ImportPayload {
             block: jiffy_common::BlockId(1),
             payload: exported,
+            replay: Blob::default(),
         },
     )
     .unwrap();

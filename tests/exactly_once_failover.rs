@@ -1,0 +1,102 @@
+//! Tier-1 exactly-once-across-failover battery: abrupt chain-head kills
+//! land between an executed-but-unacked write and the client's retry,
+//! and the replicated per-block replay window must answer that retry
+//! from the promoted replica without re-executing.
+//!
+//! Every schedule runs the full invariant checker (no duplicate
+//! executions — queue FIFO and dequeue exactly-once, file length exact,
+//! KV read-your-acked-writes — and zero acked-write loss). On top of
+//! that, each battery asserts that the replay window actually fired at
+//! least once across its seeds: the exactly-once verdicts must come
+//! from replayed answers, not from lucky schedules that never retried.
+//! (The deterministic replay-path unit tests live in `jiffy-server`;
+//! these schedules prove the same machinery end to end under chaos.)
+
+use std::time::Duration;
+
+use jiffy_harness::{run, ElasticAction, HarnessConfig, WorkloadMix};
+use jiffy_rpc::FaultRule;
+
+/// Chaos tuned to manufacture the failover-retry race: reply-side drops
+/// leave executed-but-unacked writes behind, transient errors force
+/// connection eviction (so the per-session dedup cache cannot answer
+/// and the block window must), and duplicates replay whole envelopes.
+fn failover_chaos() -> FaultRule {
+    FaultRule::none()
+        .with_drop(0.04)
+        .with_delay(0.20, Duration::ZERO, Duration::from_millis(3))
+        .with_duplicate(0.03)
+        .with_error(0.04)
+}
+
+fn lower_call_timeout() {
+    jiffy_common::set_call_timeout(Duration::from_secs(2));
+}
+
+/// One seeded schedule: 3 workers hammer a 2-replica cluster, a spare
+/// server joins early, and the oldest server — hosting every chain head
+/// — is killed abruptly mid-workload. `kill_after` staggers the kill
+/// across seeds so it lands amid different in-flight ops each time.
+/// Returns the run's replay-window hit count.
+fn killed_head_schedule(seed: u64, batch: usize, kill_after: usize) -> u64 {
+    lower_call_timeout();
+    let cfg = HarnessConfig {
+        seed,
+        workers: 3,
+        ops_per_worker: 120,
+        rule: failover_chaos(),
+        mix: WorkloadMix::all(),
+        num_servers: 3,
+        chain_length: 2,
+        batch,
+        elastic: vec![
+            (40, ElasticAction::JoinServer),
+            (kill_after, ElasticAction::KillServer),
+        ],
+        ..HarnessConfig::default()
+    };
+    let report = run(&cfg).unwrap();
+    report.assert_ok();
+    report.window_replays
+}
+
+/// Runs ten staggered-kill schedules, then — if no retry happened to
+/// land on a replay window yet — keeps drawing further seeds (bounded)
+/// until one does. Every schedule, base or extra, runs the full
+/// invariant checker; the fallback only exists because whether a kill
+/// lands between an executed write and its ack is probabilistic per
+/// seed, and the battery must prove the window fired, not get lucky.
+fn battery(base_seed: u64, batch: usize, stride: usize) {
+    let mut replays = 0;
+    for i in 0..10u64 {
+        replays += killed_head_schedule(base_seed + i, batch, 90 + (i as usize * stride) % 120);
+    }
+    let mut extra = 10u64;
+    while replays == 0 && extra < 40 {
+        replays += killed_head_schedule(
+            base_seed + extra,
+            batch,
+            90 + (extra as usize * stride) % 120,
+        );
+        extra += 1;
+    }
+    assert!(
+        replays > 0,
+        "no schedule ever answered a retry from a replay window — the \
+         exactly-once verdicts above are vacuous"
+    );
+}
+
+#[test]
+fn single_op_writes_survive_abrupt_head_kill_exactly_once() {
+    // 10+ schedules of unbatched ops, kill staggered across the run.
+    battery(0xE10F_0000, 1, 17);
+}
+
+#[test]
+fn batched_writes_survive_abrupt_head_kill_exactly_once() {
+    // 10+ schedules where runs of same-kind ops ride multi-op batches
+    // (ReplicateBatch down the chain, per-op request ids): retries may
+    // regroup after the kill re-routes part of a batch.
+    battery(0xE10F_1000, 6, 23);
+}

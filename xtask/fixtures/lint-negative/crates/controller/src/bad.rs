@@ -38,6 +38,14 @@ fn ack_without_journal(req: ControlRequest) -> Result<ControlResponse, ()> {
     }
 }
 
+fn internal_probe(conn: &Conn) -> Result<Envelope, ()> {
+    conn.call(Envelope::DataReq {
+        id: 0, // rule: internal-rid — spell the sentinel INTERNAL_RID
+        req: DataRequest::Ping,
+        tenant: TenantId::ANONYMOUS,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     // Exempt region: none of these may be reported.

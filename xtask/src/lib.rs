@@ -37,6 +37,12 @@
 //!    mutation. Read-only arms (`ResolvePrefix`, `GetStats`, ...) and
 //!    the liveness-only `Heartbeat` are exempt, as are pure routers
 //!    (sharding) that forward the request without minting a response.
+//! 6. **internal-rid** — an `Envelope::DataReq` construction may not
+//!    carry a bare `id: 0` literal outside `crates/proto` and test code.
+//!    Request id 0 is the "untracked internal traffic" sentinel that
+//!    bypasses both replay caches (DESIGN.md §16); spelling it
+//!    `INTERNAL_RID` keeps that bypass greppable and keeps a refactor
+//!    from silently turning a client path into untracked traffic.
 
 use std::fmt;
 use std::fs;
@@ -95,6 +101,11 @@ pub const RULES: &[RuleMeta] = &[
         summary: "mutating control arms journal before acking",
     },
     RuleMeta {
+        name: "internal-rid",
+        phase: RulePhase::Lint,
+        summary: "internal data envelopes spell out INTERNAL_RID",
+    },
+    RuleMeta {
         name: "no-guard-across-rpc",
         phase: RulePhase::Analyze,
         summary: "no jiffy-sync guard live across a transport call",
@@ -131,7 +142,7 @@ pub fn is_known_rule(name: &str) -> bool {
 pub struct Violation {
     /// Which rule fired: `"sync-facade"`, `"no-unwrap"`,
     /// `"error-taxonomy"`, `"exhaustive-dispatch"`,
-    /// `"journal-before-ack"`.
+    /// `"journal-before-ack"`, `"internal-rid"`.
     pub rule: &'static str,
     /// Path relative to the lint root.
     pub path: PathBuf,
@@ -184,6 +195,9 @@ pub fn lint_file(rel: &Path, text: &str, out: &mut Vec<Violation>) {
         check_exhaustive_dispatch(rel, text, out);
         check_journal_before_ack(rel, text, out);
     }
+    if !scope.rid_exempt && !scope.test_only {
+        check_internal_rid(rel, text, out);
+    }
     let mut tests = TestRegionTracker::new();
     for (idx, raw) in text.lines().enumerate() {
         let line_no = idx + 1;
@@ -218,6 +232,9 @@ struct Scope {
     /// `crates/controller` + `crates/server`: the exhaustive-dispatch
     /// rule applies (these hold the RPC dispatch `match`es).
     dispatch: bool,
+    /// `crates/proto` defines `INTERNAL_RID` (and pins its wire value in
+    /// examples): exempt from the internal-rid rule.
+    rid_exempt: bool,
     /// Dedicated test trees (`tests/`, `benches/`, `examples/`): only the
     /// sync-facade rule applies.
     test_only: bool,
@@ -246,6 +263,7 @@ impl Scope {
             match parts.get(1).copied() {
                 Some("sync") => scope.facade_exempt = true,
                 Some("common") => scope.taxonomy_exempt = true,
+                Some("proto") => scope.rid_exempt = true,
                 Some(name) if DATA_PATH_CRATES.contains(&name) => {
                     scope.data_path = true;
                     // rpc is both data-path (no-unwrap applies) and a
@@ -570,6 +588,76 @@ fn check_journal_before_ack(rel: &Path, text: &str, out: &mut Vec<Violation>) {
     }
 }
 
+/// Rule 6: a bare `id: 0` literal inside an `Envelope::DataReq`
+/// construction (spell it `INTERNAL_RID`).
+///
+/// Same shape as rule 4's region machinery: a construction opens on a
+/// line where `Envelope::DataReq` appears in construction position (per
+/// [`is_construction`] — pattern matches and `..` wildcards are not
+/// flagged) and stays open until its brace closes, so the `id:` field
+/// is caught wherever rustfmt put it. `DataResp` / `ControlReq`
+/// envelopes are out of scope: only data *requests* carry a request id
+/// the replay window interprets.
+fn check_internal_rid(rel: &Path, text: &str, out: &mut Vec<Violation>) {
+    let mut depth = 0i32;
+    // Body depths of open `Envelope::DataReq { ... }` literals.
+    let mut regions: Vec<i32> = Vec::new();
+    let mut tests = TestRegionTracker::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_comments(raw);
+        if tests.observe(&code) {
+            continue;
+        }
+        let mut opened = false;
+        if let Some(pos) = code.find("Envelope::DataReq") {
+            let after = &code[pos + "Envelope::DataReq".len()..];
+            opened = is_construction(&code, pos, after);
+        }
+        if (opened || !regions.is_empty()) && has_bare_zero_id(&code) {
+            out.push(Violation {
+                rule: "internal-rid",
+                path: rel.to_path_buf(),
+                line: line_no,
+                message: "bare `id: 0` on a data envelope — write \
+                          `jiffy_proto::INTERNAL_RID` so the replay-window bypass for \
+                          internal traffic stays greppable (DESIGN.md §16)"
+                    .into(),
+            });
+        }
+        let delta = brace_delta(&code);
+        if opened && delta > 0 {
+            regions.push(depth + delta);
+        }
+        depth += delta;
+        while regions.last().is_some_and(|&d| depth < d) {
+            regions.pop();
+        }
+    }
+}
+
+/// Does the line contain `id: 0` as a whole field init (not `rid: 0`,
+/// `id: 0x...`, an identifier suffix, ...)?
+fn has_bare_zero_id(code: &str) -> bool {
+    let bytes = code.as_bytes();
+    let mut start = 0;
+    while let Some(pos) = code[start..].find("id: 0") {
+        let abs = start + pos;
+        let before_ok = abs == 0 || {
+            let b = bytes[abs - 1];
+            !b.is_ascii_alphanumeric() && b != b'_'
+        };
+        let after_ok = !bytes
+            .get(abs + "id: 0".len())
+            .is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_' || *b == b'.');
+        if before_ok && after_ok {
+            return true;
+        }
+        start = abs + "id: 0".len();
+    }
+    false
+}
+
 /// Is the `match` keyword (not `matches!`, `.match_indices`, an
 /// identifier suffix, ...) present on this comment-stripped line?
 fn has_match_keyword(code: &str) -> bool {
@@ -829,6 +917,54 @@ fn real2() { z.unwrap(); }
             "Err(JiffyError::Timeout { after_ms: 5 })\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn internal_rid_flags_bare_zero_in_datareq_construction() {
+        // Multi-line construction (the rustfmt shape).
+        let src = "\
+fn probe(conn: &Conn) -> Result<Envelope> {
+    conn.call(Envelope::DataReq {
+        id: 0,
+        req: DataRequest::Ping,
+        tenant: TenantId::ANONYMOUS,
+    })
+}
+";
+        let v = lint_str("crates/client/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "internal-rid");
+        assert_eq!(v[0].line, 3);
+        // The sanctioned spelling, patterns, other envelopes, other
+        // zero-valued fields, and the proto crate itself: all exempt.
+        for (rel, ok) in [
+            (
+                "crates/client/src/lib.rs",
+                "Envelope::DataReq { id: INTERNAL_RID, req, tenant }\n",
+            ),
+            (
+                "crates/client/src/lib.rs",
+                "Envelope::DataReq { id: 0, .. } => replay(),\n",
+            ),
+            (
+                "crates/client/src/lib.rs",
+                "Envelope::DataResp { id: 0, resp }\n",
+            ),
+            (
+                "crates/server/src/lib.rs",
+                "Envelope::DataReq { id: rid, req, tenant }\n",
+            ),
+            (
+                "crates/server/src/lib.rs",
+                "let x = Thing { rid: 0, id: 7 };\n",
+            ),
+            (
+                "crates/proto/src/messages.rs",
+                "Envelope::DataReq { id: 0, req, tenant }\n",
+            ),
+        ] {
+            assert!(lint_str(rel, ok).is_empty(), "{rel}: {ok}");
+        }
     }
 
     #[test]

@@ -34,14 +34,15 @@ fn negative_fixture_trips_every_rule() {
             && rules.contains("no-unwrap")
             && rules.contains("error-taxonomy")
             && rules.contains("exhaustive-dispatch")
-            && rules.contains("journal-before-ack"),
-        "fixture must trip all five rules, got {rules:?}: {violations:?}"
+            && rules.contains("journal-before-ack")
+            && rules.contains("internal-rid"),
+        "fixture must trip all six rules, got {rules:?}: {violations:?}"
     );
     // The #[cfg(test)] block in the fixture must stay exempt.
     assert!(
-        violations.iter().all(|v| v.line < 41),
+        violations.iter().all(|v| v.line < 49),
         "no violations from the fixture's test module: {violations:?}"
     );
-    // Exactly the seven seeded non-test violations.
-    assert_eq!(violations.len(), 7, "{violations:?}");
+    // Exactly the eight seeded non-test violations.
+    assert_eq!(violations.len(), 8, "{violations:?}");
 }
